@@ -1,0 +1,57 @@
+// Figure A (reconstructed): accuracy — WavePipe waveforms overlaid on the
+// serial reference, plus the max-deviation table.  The paper's claim:
+// pipelining does not jeopardize accuracy; deviations stay at the LTE
+// tolerance scale.
+#include "bench_common.hpp"
+#include "bench_suite.hpp"
+
+using namespace wavepipe;
+
+int main() {
+  std::printf("=== Figure A: waveform accuracy vs serial reference ===\n\n");
+
+  util::Table table({"circuit", "probe", "swing (V)", "bwp dev (mV)", "fwp dev (mV)",
+                     "comb dev (mV)", "dev / swing"});
+
+  std::vector<circuits::GeneratedCircuit> suite;
+  suite.push_back(circuits::MakeRingOscillator(9));
+  suite.push_back(circuits::MakeRcMesh(16, 16));
+  suite.push_back(circuits::MakeInverterChain(20));
+  suite.push_back(circuits::MakeDiodeRectifier(4));
+
+  for (auto& gen : suite) {
+    engine::MnaStructure mna(*gen.circuit);
+    const auto serial = bench::RunScheme(gen, mna, pipeline::Scheme::kSerial, 1);
+    const auto bwp = bench::RunScheme(gen, mna, pipeline::Scheme::kBackward, 2);
+    const auto fwp = bench::RunScheme(gen, mna, pipeline::Scheme::kForward, 2);
+    const auto comb = bench::RunScheme(gen, mna, pipeline::Scheme::kCombined, 3);
+
+    double vmin = 1e300, vmax = -1e300;
+    for (std::size_t i = 0; i < serial.trace.num_samples(); ++i) {
+      vmin = std::min(vmin, serial.trace.value(i, 0));
+      vmax = std::max(vmax, serial.trace.value(i, 0));
+    }
+    const double swing = vmax - vmin;
+    const double dev_bwp = engine::Trace::MaxDeviationAll(serial.trace, bwp.trace);
+    const double dev_fwp = engine::Trace::MaxDeviationAll(serial.trace, fwp.trace);
+    const double dev_comb = engine::Trace::MaxDeviationAll(serial.trace, comb.trace);
+    const double worst = std::max({dev_bwp, dev_fwp, dev_comb});
+    table.AddRow({gen.name, serial.trace.probes().names[0], util::Table::Cell(swing, 3),
+                  util::Table::Cell(dev_bwp * 1e3, 3), util::Table::Cell(dev_fwp * 1e3, 3),
+                  util::Table::Cell(dev_comb * 1e3, 3),
+                  util::Table::Cell(worst / std::max(swing, 1e-12), 2)});
+
+    if (gen.name.rfind("ringosc", 0) == 0) {
+      std::printf("overlay (%s, probe %s): serial '*' vs combined 'o'\n", gen.name.c_str(),
+                  serial.trace.probes().names[0].c_str());
+      util::AsciiChart chart(72, 12);
+      chart.AddSeries("serial", serial.trace.Series(0));
+      chart.AddSeries("combined", comb.trace.Series(0));
+      std::printf("%s\n", chart.ToString().c_str());
+    }
+  }
+  bench::Emit(table, "fig_accuracy");
+  std::printf("Expected shape (paper): overlays indistinguishable; deviations well\n"
+              "under 1%% of signal swing (oscillator phase drift dominates there).\n");
+  return 0;
+}

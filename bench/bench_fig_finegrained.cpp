@@ -1,0 +1,51 @@
+// Figure D (reconstructed): WavePipe vs conventional fine-grained
+// parallelism (intra-time-point parallel device evaluation).  The paper's
+// motivation: fine-grained speedup is Amdahl-capped by the serial matrix
+// solution; WavePipe's coarse-grained axis is orthogonal and keeps scaling.
+#include "bench_common.hpp"
+#include "bench_suite.hpp"
+#include "parallel/fine_grained.hpp"
+
+using namespace wavepipe;
+
+int main() {
+  std::printf("=== Figure D: WavePipe vs fine-grained device-eval parallelism ===\n\n");
+
+  std::vector<circuits::GeneratedCircuit> suite;
+  suite.push_back(circuits::MakeInverterChain(30));   // model-eval heavy
+  suite.push_back(circuits::MakeClockTree(4));        // mixed
+  suite.push_back(circuits::MakeRcMesh(20, 20));      // matrix heavy
+
+  util::Table table({"circuit", "eval %", "lu %", "fg x2", "fg x4", "fg x8",
+                     "wavepipe x2", "wavepipe x4"});
+
+  for (auto& gen : suite) {
+    engine::MnaStructure mna(*gen.circuit);
+
+    // Phase breakdown from an instrumented 1-thread fine-grained run.
+    parallel::FineGrainedOptions fg_options;
+    fg_options.threads = 1;
+    const auto fg = parallel::RunTransientFineGrained(*gen.circuit, mna, gen.spec,
+                                                      fg_options);
+    const double total = fg.phases.Total();
+
+    const auto serial = bench::RunScheme(gen, mna, pipeline::Scheme::kSerial, 1);
+    const auto wp2 = bench::RunScheme(gen, mna, pipeline::Scheme::kForward, 2);
+    const auto wp4 = bench::RunScheme(gen, mna, pipeline::Scheme::kCombined, 4);
+
+    table.AddRow(
+        {gen.name, util::Table::Cell(100 * fg.phases.model_eval / total, 3),
+         util::Table::Cell(100 * fg.phases.lu / total, 3),
+         util::Table::Cell(parallel::ModelFineGrainedSpeedup(fg.phases, 2), 3),
+         util::Table::Cell(parallel::ModelFineGrainedSpeedup(fg.phases, 4), 3),
+         util::Table::Cell(parallel::ModelFineGrainedSpeedup(fg.phases, 8), 3),
+         bench::Speedup(serial.makespan_seconds, wp2.makespan_seconds),
+         bench::Speedup(serial.makespan_seconds, wp4.makespan_seconds)});
+  }
+  bench::Emit(table, "fig_finegrained");
+  std::printf(
+      "Expected shape (paper): fine-grained gains track the device-eval share and\n"
+      "flatten fast (serial LU floor); WavePipe's axis is independent of that split\n"
+      "and composes with fine-grained parallelism (they multiply, not compete).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// The paper-scale benchmark circuit set used by every table bench
+// (reconstruction of the paper's Table 1; see DESIGN.md source-text caveat).
+// Sizes are chosen so the full suite finishes in minutes on one core while
+// spanning three orders of magnitude in matrix size.
+#pragma once
+
+#include <vector>
+
+#include "circuits/generators.hpp"
+
+namespace wavepipe::bench {
+
+inline std::vector<circuits::GeneratedCircuit> PaperSuite() {
+  std::vector<circuits::GeneratedCircuit> suite;
+  suite.push_back(circuits::MakeRcMesh(24, 24));        // power grid, linear
+  suite.push_back(circuits::MakeRcLadder(400));         // long interconnect
+  suite.push_back(circuits::MakeRingOscillator(11));    // autonomous analog
+  suite.push_back(circuits::MakeInverterChain(30));     // digital chain
+  suite.push_back(circuits::MakeDiodeRectifier(6));     // mixed AC/DC
+  suite.push_back(circuits::MakeMosAmplifierChain(4));  // analog amplifier
+  suite.push_back(circuits::MakeClockTree(4));          // buffered clock tree
+  return suite;
+}
+
+/// A faster subset for the sweep-heavy benches.
+inline std::vector<circuits::GeneratedCircuit> QuickSuite() {
+  std::vector<circuits::GeneratedCircuit> suite;
+  suite.push_back(circuits::MakeRcLadder(150));
+  suite.push_back(circuits::MakeRingOscillator(9));
+  suite.push_back(circuits::MakeInverterChain(12));
+  return suite;
+}
+
+}  // namespace wavepipe::bench

@@ -1,0 +1,432 @@
+#include "circuits/generators.hpp"
+
+#include <cmath>
+
+#include "devices/diode.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wavepipe::circuits {
+
+using devices::Capacitor;
+using devices::CurrentSource;
+using devices::DcWaveform;
+using devices::Diode;
+using devices::DiodeModel;
+using devices::Mosfet;
+using devices::MosfetModel;
+using devices::PulseWaveform;
+using devices::Resistor;
+using devices::SinWaveform;
+using devices::VoltageSource;
+using engine::Circuit;
+using engine::ProbeSet;
+
+namespace {
+
+/// Adds a CMOS inverter (PMOS + NMOS) between `in` and `out`.
+void AddInverter(Circuit& c, const std::string& tag, int in, int out, int vdd,
+                 const MosfetModel& nmos, const MosfetModel& pmos) {
+  // PMOS: drain=out gate=in source=vdd bulk=vdd; NMOS mirrored to ground.
+  c.Emplace<Mosfet>("mp_" + tag, out, in, vdd, vdd, pmos, 4e-6, 1e-6);
+  c.Emplace<Mosfet>("mn_" + tag, out, in, devices::kGround, devices::kGround, nmos, 2e-6,
+                    1e-6);
+}
+
+ProbeSet NamedProbes(const Circuit& c, std::initializer_list<std::string> names) {
+  ProbeSet probes;
+  for (const auto& n : names) {
+    probes.unknowns.push_back(c.NodeIndex(n));
+    probes.names.push_back(n);
+  }
+  return probes;
+}
+
+}  // namespace
+
+MosfetModel DefaultNmos() {
+  MosfetModel m;
+  m.name = "nmos_generic";
+  m.type = 1;
+  m.vto = 0.7;
+  m.kp = 120e-6;
+  m.gamma = 0.45;
+  m.phi = 0.65;
+  m.lambda = 0.04;
+  m.tox = 10e-9;
+  m.cgso = 0.3e-9;
+  m.cgdo = 0.3e-9;
+  return m;
+}
+
+MosfetModel DefaultPmos() {
+  MosfetModel m;
+  m.name = "pmos_generic";
+  m.type = -1;
+  m.vto = -0.8;
+  m.kp = 40e-6;
+  m.gamma = 0.5;
+  m.phi = 0.65;
+  m.lambda = 0.05;
+  m.tox = 10e-9;
+  m.cgso = 0.3e-9;
+  m.cgdo = 0.3e-9;
+  return m;
+}
+
+GeneratedCircuit MakeRcLadder(int stages, double r_ohm, double c_farad) {
+  WP_ASSERT(stages >= 1);
+  auto circuit = std::make_unique<Circuit>();
+  Circuit& c = *circuit;
+
+  const int in = c.AddNode("in");
+  int prev = in;
+  for (int i = 1; i <= stages; ++i) {
+    const int node = c.AddNode("n" + std::to_string(i));
+    c.Emplace<Resistor>("r" + std::to_string(i), prev, node, r_ohm);
+    c.Emplace<Capacitor>("c" + std::to_string(i), node, devices::kGround, c_farad);
+    prev = node;
+  }
+  const double tau = r_ohm * c_farad * stages * stages / 2.0;  // Elmore-ish
+  const double tstop = 20.0 * tau;
+  c.Emplace<VoltageSource>(
+      "vin", in, devices::kGround,
+      std::make_unique<PulseWaveform>(0.0, 1.0, 0.05 * tstop, tau / 20, tau / 20,
+                                      0.45 * tstop, tstop * 2));
+  c.Finalize();
+
+  GeneratedCircuit out;
+  out.name = "rcladder" + std::to_string(stages);
+  out.kind = "linear";
+  out.spec.tstart = 0.0;
+  out.spec.tstop = tstop;
+  out.spec.tstep = tstop / 200.0;
+  out.spec.probes = NamedProbes(c, {"in", "n" + std::to_string(stages)});
+  out.circuit = std::move(circuit);
+  return out;
+}
+
+GeneratedCircuit MakeRcMesh(int rows, int cols, unsigned seed, double r_ohm, double c_farad,
+                            int num_loads) {
+  WP_ASSERT(rows >= 2 && cols >= 2);
+  auto circuit = std::make_unique<Circuit>();
+  Circuit& c = *circuit;
+  util::Rng rng(seed);
+
+  auto node_name = [](int r, int col) {
+    return "g" + std::to_string(r) + "_" + std::to_string(col);
+  };
+  // Grid nodes and resistive fabric.
+  std::vector<int> nodes(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int col = 0; col < cols; ++col) {
+      nodes[static_cast<std::size_t>(r) * cols + col] = c.AddNode(node_name(r, col));
+    }
+  }
+  int res_id = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int col = 0; col < cols; ++col) {
+      const int here = nodes[static_cast<std::size_t>(r) * cols + col];
+      if (col + 1 < cols) {
+        c.Emplace<Resistor>("rh" + std::to_string(res_id++), here,
+                            nodes[static_cast<std::size_t>(r) * cols + col + 1], r_ohm);
+      }
+      if (r + 1 < rows) {
+        c.Emplace<Resistor>("rv" + std::to_string(res_id++), here,
+                            nodes[static_cast<std::size_t>(r + 1) * cols + col], r_ohm);
+      }
+      c.Emplace<Capacitor>("cg" + std::to_string(here), here, devices::kGround, c_farad);
+    }
+  }
+  // Supply at the corner through a small spreading resistance.
+  const int vddnode = c.AddNode("vddpin");
+  c.Emplace<VoltageSource>("vdd", vddnode, devices::kGround,
+                           std::make_unique<DcWaveform>(1.8));
+  c.Emplace<Resistor>("rspread", vddnode, nodes[0], r_ohm / 10.0);
+
+  // Switching current loads (PULSE) at random grid nodes.
+  const double t_unit = r_ohm * c_farad * rows * cols;  // grid time constant scale
+  const double tstop = 60.0 * t_unit;
+  if (num_loads < 0) num_loads = std::max(2, rows * cols / 16);
+  for (int k = 0; k < num_loads; ++k) {
+    const int target = nodes[rng.NextBelow(nodes.size())];
+    const double i_peak = rng.Uniform(0.5e-3, 3e-3);
+    const double delay = rng.Uniform(0.05, 0.4) * tstop;
+    const double width = rng.Uniform(0.05, 0.2) * tstop;
+    const double period = rng.Uniform(0.3, 0.6) * tstop;
+    c.Emplace<CurrentSource>(
+        "iload" + std::to_string(k), target, devices::kGround,
+        std::make_unique<PulseWaveform>(0.0, i_peak, delay, width / 10, width / 10, width,
+                                        period));
+  }
+  c.Finalize();
+
+  GeneratedCircuit out;
+  out.name = "rcmesh" + std::to_string(rows) + "x" + std::to_string(cols);
+  out.kind = "linear";
+  out.spec.tstart = 0.0;
+  out.spec.tstop = tstop;
+  out.spec.tstep = tstop / 200.0;
+  out.spec.probes = NamedProbes(
+      c, {node_name(0, 0), node_name(rows / 2, cols / 2), node_name(rows - 1, cols - 1)});
+  out.circuit = std::move(circuit);
+  return out;
+}
+
+GeneratedCircuit MakeRingOscillator(int stages, double vdd, double cload) {
+  WP_ASSERT(stages >= 3 && stages % 2 == 1);
+  auto circuit = std::make_unique<Circuit>();
+  Circuit& c = *circuit;
+  const MosfetModel nmos = DefaultNmos();
+  const MosfetModel pmos = DefaultPmos();
+
+  const int vddnode = c.AddNode("vdd");
+  c.Emplace<VoltageSource>("vdd", vddnode, devices::kGround,
+                           std::make_unique<DcWaveform>(vdd));
+  std::vector<int> taps(static_cast<std::size_t>(stages));
+  for (int i = 0; i < stages; ++i) taps[i] = c.AddNode("s" + std::to_string(i));
+  for (int i = 0; i < stages; ++i) {
+    const int in = taps[i];
+    const int out_node = taps[(i + 1) % stages];
+    AddInverter(c, std::to_string(i), in, out_node, vddnode, nmos, pmos);
+    c.Emplace<Capacitor>("cl" + std::to_string(i), out_node, devices::kGround, cload);
+  }
+  // Startup kick: short current pulse pulls stage 0 away from the metastable
+  // mid-rail operating point the DC solve finds for a symmetric ring.
+  c.Emplace<CurrentSource>(
+      "ikick", devices::kGround, taps[0],
+      std::make_unique<PulseWaveform>(0.0, 200e-6, 10e-12, 5e-12, 5e-12, 100e-12, 1.0));
+  c.Finalize();
+
+  // Rough stage delay for scaling the window: C·Vdd / Idsat.
+  const double idsat = 0.5 * nmos.kp * 2.0 * (vdd - nmos.vto) * (vdd - nmos.vto);
+  const double stage_delay = (cload + 15e-15) * vdd / idsat;
+  const double period = 2.0 * stages * stage_delay;
+
+  GeneratedCircuit out;
+  out.name = "ringosc" + std::to_string(stages);
+  out.kind = "analog";
+  out.spec.tstart = 0.0;
+  out.spec.tstop = 15.0 * period;
+  out.spec.tstep = period / 40.0;
+  out.spec.probes = NamedProbes(c, {"s0", "s1"});
+  out.circuit = std::move(circuit);
+  return out;
+}
+
+GeneratedCircuit MakeInverterChain(int stages, double vdd, double cload) {
+  WP_ASSERT(stages >= 1);
+  auto circuit = std::make_unique<Circuit>();
+  Circuit& c = *circuit;
+  const MosfetModel nmos = DefaultNmos();
+  const MosfetModel pmos = DefaultPmos();
+
+  const int vddnode = c.AddNode("vdd");
+  c.Emplace<VoltageSource>("vdd", vddnode, devices::kGround,
+                           std::make_unique<DcWaveform>(vdd));
+
+  const double idsat = 0.5 * nmos.kp * 2.0 * (vdd - nmos.vto) * (vdd - nmos.vto);
+  const double stage_delay = (cload + 15e-15) * vdd / idsat;
+  const double period = std::max(40.0 * stage_delay, 4.0 * stages * stage_delay);
+
+  const int in = c.AddNode("in");
+  c.Emplace<VoltageSource>(
+      "vin", in, devices::kGround,
+      std::make_unique<PulseWaveform>(0.0, vdd, period / 10, period / 100, period / 100,
+                                      period * 0.4, period));
+  int prev = in;
+  for (int i = 0; i < stages; ++i) {
+    const int node = c.AddNode("x" + std::to_string(i));
+    AddInverter(c, std::to_string(i), prev, node, vddnode, nmos, pmos);
+    c.Emplace<Capacitor>("cl" + std::to_string(i), node, devices::kGround, cload);
+    prev = node;
+  }
+  c.Finalize();
+
+  GeneratedCircuit out;
+  out.name = "invchain" + std::to_string(stages);
+  out.kind = "digital";
+  out.spec.tstart = 0.0;
+  out.spec.tstop = 2.0 * period;
+  out.spec.tstep = period / 100.0;
+  out.spec.probes = NamedProbes(c, {"in", "x" + std::to_string(stages - 1)});
+  out.circuit = std::move(circuit);
+  return out;
+}
+
+GeneratedCircuit MakeDiodeRectifier(int ladder_sections, double freq) {
+  WP_ASSERT(ladder_sections >= 0);
+  auto circuit = std::make_unique<Circuit>();
+  Circuit& c = *circuit;
+
+  DiodeModel dm;
+  dm.name = "dbridge";
+  dm.is = 1e-14;
+  dm.cj0 = 2e-12;
+  dm.tt = 5e-9;
+
+  const int acp = c.AddNode("acp");
+  const int acn = c.AddNode("acn");
+  const int outp = c.AddNode("outp");
+  const int outn = c.AddNode("outn");
+  c.Emplace<VoltageSource>("vac", acp, acn, std::make_unique<SinWaveform>(0.0, 5.0, freq));
+  // Bridge.
+  c.Emplace<Diode>("d1", acp, outp, dm);
+  c.Emplace<Diode>("d2", acn, outp, dm);
+  c.Emplace<Diode>("d3", outn, acp, dm);
+  c.Emplace<Diode>("d4", outn, acn, dm);
+  // Ground reference on the negative rail.
+  c.Emplace<Resistor>("rref", outn, devices::kGround, 1.0);
+  // Smoothing cap + load.
+  c.Emplace<Capacitor>("csmooth", outp, outn, 100e-9);
+  c.Emplace<Resistor>("rload", outp, outn, 2e3);
+  // Optional RC post-filter ladder.
+  int prev = outp;
+  for (int i = 0; i < ladder_sections; ++i) {
+    const int node = c.AddNode("f" + std::to_string(i));
+    c.Emplace<Resistor>("rf" + std::to_string(i), prev, node, 50.0);
+    c.Emplace<Capacitor>("cf" + std::to_string(i), node, outn, 20e-9);
+    prev = node;
+  }
+  c.Finalize();
+
+  GeneratedCircuit out;
+  out.name = "rectifier" + std::to_string(ladder_sections);
+  out.kind = "mixed";
+  out.spec.tstart = 0.0;
+  out.spec.tstop = 6.0 / freq;
+  out.spec.tstep = 0.01 / freq;
+  out.spec.probes =
+      ladder_sections > 0
+          ? NamedProbes(c, {"acp", "outp", "f" + std::to_string(ladder_sections - 1)})
+          : NamedProbes(c, {"acp", "outp"});
+  out.circuit = std::move(circuit);
+  return out;
+}
+
+GeneratedCircuit MakeMosAmplifierChain(int stages, double freq) {
+  WP_ASSERT(stages >= 1);
+  auto circuit = std::make_unique<Circuit>();
+  Circuit& c = *circuit;
+  const MosfetModel nmos = DefaultNmos();
+  const double vdd = 3.3;
+
+  const int vddnode = c.AddNode("vdd");
+  c.Emplace<VoltageSource>("vdd", vddnode, devices::kGround,
+                           std::make_unique<DcWaveform>(vdd));
+  const int in = c.AddNode("in");
+  c.Emplace<VoltageSource>("vin", in, devices::kGround,
+                           std::make_unique<SinWaveform>(0.0, 10e-3, freq));
+
+  int prev = in;
+  for (int i = 0; i < stages; ++i) {
+    const std::string tag = std::to_string(i);
+    const int gate = c.AddNode("gate" + tag);
+    const int drain = c.AddNode("amp" + tag);
+    // AC coupling into a resistive bias divider.
+    c.Emplace<Capacitor>("cc" + tag, prev, gate, 10e-12);
+    c.Emplace<Resistor>("rb1" + tag, vddnode, gate, 300e3);
+    c.Emplace<Resistor>("rb2" + tag, gate, devices::kGround, 100e3);
+    // Common-source stage with source degeneration.
+    const int source = c.AddNode("src" + tag);
+    c.Emplace<Resistor>("rd" + tag, vddnode, drain, 10e3);
+    c.Emplace<Resistor>("rs" + tag, source, devices::kGround, 1e3);
+    c.Emplace<Capacitor>("cs" + tag, source, devices::kGround, 50e-12);
+    c.Emplace<Mosfet>("m" + tag, drain, gate, source, devices::kGround, nmos, 20e-6, 2e-6);
+    c.Emplace<Capacitor>("cl" + tag, drain, devices::kGround, 0.5e-12);
+    prev = drain;
+  }
+  c.Finalize();
+
+  GeneratedCircuit out;
+  out.name = "amp" + std::to_string(stages);
+  out.kind = "analog";
+  out.spec.tstart = 0.0;
+  out.spec.tstop = 8.0 / freq;
+  out.spec.tstep = 0.01 / freq;
+  out.spec.probes = NamedProbes(c, {"in", "amp" + std::to_string(stages - 1)});
+  out.circuit = std::move(circuit);
+  return out;
+}
+
+GeneratedCircuit MakeClockTree(int levels, double vdd) {
+  WP_ASSERT(levels >= 1 && levels <= 10);
+  auto circuit = std::make_unique<Circuit>();
+  Circuit& c = *circuit;
+  const MosfetModel nmos = DefaultNmos();
+  const MosfetModel pmos = DefaultPmos();
+
+  const int vddnode = c.AddNode("vdd");
+  c.Emplace<VoltageSource>("vdd", vddnode, devices::kGround,
+                           std::make_unique<DcWaveform>(vdd));
+
+  const double clock_period = 4e-9;
+  const int clk = c.AddNode("clk");
+  c.Emplace<VoltageSource>(
+      "vclk", clk, devices::kGround,
+      std::make_unique<PulseWaveform>(0.0, vdd, 0.2e-9, 0.1e-9, 0.1e-9,
+                                      clock_period / 2 - 0.1e-9, clock_period));
+
+  int wire_id = 0;
+  // Recursive binary fan-out: each level adds an RC wire + buffer per branch.
+  struct Frame {
+    int node;
+    int level;
+    std::string path;
+  };
+  std::vector<Frame> stack{{clk, 0, "r"}};
+  int last_leaf = -1;
+  std::string last_leaf_name;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.level == levels) {
+      c.Emplace<Capacitor>("cleaf_" + f.path, f.node, devices::kGround, 20e-15);
+      last_leaf = f.node;
+      last_leaf_name = "b_" + f.path;  // buffer output feeding this leaf
+      continue;
+    }
+    for (int child = 0; child < 2; ++child) {
+      const std::string path = f.path + std::to_string(child);
+      // RC wire segment.
+      const int mid = c.AddNode("w_" + path);
+      c.Emplace<Resistor>("rw" + std::to_string(wire_id), f.node, mid, 150.0);
+      c.Emplace<Capacitor>("cw" + std::to_string(wire_id), mid, devices::kGround, 8e-15);
+      ++wire_id;
+      // Two cascaded inverters = non-inverting buffer.
+      const int inv1 = c.AddNode("i_" + path);
+      const int buf = c.AddNode("b_" + path);
+      AddInverter(c, "a" + path, mid, inv1, vddnode, nmos, pmos);
+      AddInverter(c, "b" + path, inv1, buf, vddnode, nmos, pmos);
+      stack.push_back({buf, f.level + 1, path});
+    }
+  }
+  c.Finalize();
+
+  GeneratedCircuit out;
+  out.name = "clocktree" + std::to_string(levels);
+  out.kind = "digital";
+  out.spec.tstart = 0.0;
+  out.spec.tstop = 3.0 * clock_period;
+  out.spec.tstep = clock_period / 100.0;
+  out.spec.probes = NamedProbes(c, {"clk", last_leaf_name});
+  (void)last_leaf;
+  out.circuit = std::move(circuit);
+  return out;
+}
+
+std::vector<GeneratedCircuit> MakeBenchmarkSuite() {
+  std::vector<GeneratedCircuit> suite;
+  suite.push_back(MakeRcMesh(16, 16));
+  suite.push_back(MakeRcLadder(200));
+  suite.push_back(MakeRingOscillator(9));
+  suite.push_back(MakeInverterChain(20));
+  suite.push_back(MakeDiodeRectifier(4));
+  suite.push_back(MakeMosAmplifierChain(3));
+  suite.push_back(MakeClockTree(3));
+  return suite;
+}
+
+}  // namespace wavepipe::circuits

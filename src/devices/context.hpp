@@ -1,0 +1,109 @@
+// Contexts through which devices talk to the analysis engine.
+//
+// Thread-safety contract (load-bearing for WavePipe): after elaboration,
+// Device instances are IMMUTABLE — Eval() is const and writes only through
+// the EvalContext it is handed.  Several WavePipe worker threads evaluate the
+// same device list concurrently, each with its own EvalContext (own Jacobian
+// values, RHS, state and limiting arrays).  Any per-instance mutable state
+// (Newton limiting memory, charges) therefore lives in context slots claimed
+// during Bind(), never in the device object.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace wavepipe::devices {
+
+/// Terminal index representing the ground/reference node.  Stamps into
+/// ground rows/columns are discarded (the ground equation is dropped in MNA).
+inline constexpr int kGround = -1;
+
+/// Phase 1 of elaboration: devices claim extra unknowns (branch currents),
+/// dynamic-state slots (charges/fluxes) and Newton-limiting memory slots.
+class Binder {
+ public:
+  virtual ~Binder() = default;
+
+  /// Claims a new branch-current unknown; returns its unknown index.
+  virtual int AddBranch(const std::string& owner_name) = 0;
+  /// Claims a dynamic state slot (one charge or flux).
+  virtual int AddState(const std::string& owner_name) = 0;
+  /// Claims one double of Newton-limiting memory.
+  virtual int AddLimitSlot() = 0;
+  /// Looks up the branch unknown of another device (for F/H/K elements).
+  /// Throws ElaborationError if `device_name` has no branch.
+  virtual int BranchOf(const std::string& device_name) = 0;
+};
+
+/// Phase 2: devices declare which Jacobian entries they will write.  The
+/// engine compresses all declarations into one CSC pattern and hands back a
+/// slot id per declaration; Eval() then accumulates by slot, so the hot loop
+/// never searches the matrix.  Ground rows/cols yield slot -1 (discarded).
+class PatternBuilder {
+ public:
+  virtual ~PatternBuilder() = default;
+  virtual int Entry(int row, int col) = 0;
+};
+
+/// Phase 3 (hot path, non-virtual): one Newton evaluation.
+///
+/// The engine uses the classic SPICE companion formulation: devices stamp
+/// the Jacobian J and the right-hand side b such that the linear system
+/// J * x_next = b reproduces  J * x_k - F(x_k).  Linear devices therefore
+/// stamp their exact conductances with no RHS term; nonlinear devices stamp
+/// the linearization g = dI/dV plus the equivalent current  Ieq = I - g*V.
+class EvalContext {
+ public:
+  // ---- inputs -------------------------------------------------------------
+  double time = 0.0;            ///< absolute time of the point being solved
+  double a0 = 0.0;              ///< d/dt coefficient of the active integrator
+  bool transient = false;       ///< false during DC operating point
+  bool first_iteration = true;  ///< true on Newton iteration 0
+  double gmin = 0.0;            ///< continuation gmin across nonlinear junctions
+  double source_scale = 1.0;    ///< source-stepping continuation factor
+
+  std::span<const double> x;  ///< current Newton iterate (all unknowns)
+
+  /// Voltage of a terminal (0 for ground).
+  double V(int node) const { return node < 0 ? 0.0 : x[static_cast<std::size_t>(node)]; }
+  /// Value of any unknown (branch currents included).
+  double Unknown(int index) const { return x[static_cast<std::size_t>(index)]; }
+
+  // ---- outputs ------------------------------------------------------------
+  std::span<double> jacobian_values;  ///< indexed by pattern slot
+  std::span<double> rhs;              ///< indexed by unknown
+
+  void AddJacobian(int slot, double value) {
+    if (slot >= 0) jacobian_values[static_cast<std::size_t>(slot)] += value;
+  }
+  void AddRhs(int row, double value) {
+    if (row >= 0) rhs[static_cast<std::size_t>(row)] += value;
+  }
+
+  // ---- dynamic state ------------------------------------------------------
+  std::span<double> state_now;          ///< charges computed this iterate
+  std::span<const double> state_hist;   ///< integrator history term per slot
+
+  /// Records candidate charge/flux q for `slot` and returns its time
+  /// derivative under the active method:  dq/dt ≈ a0*q + history(slot).
+  /// During DC both a0 and the history are zero, so dynamic branches vanish.
+  double IntegrateState(int slot, double q) {
+    state_now[static_cast<std::size_t>(slot)] = q;
+    return a0 * q + state_hist[static_cast<std::size_t>(slot)];
+  }
+
+  // ---- Newton limiting memory ---------------------------------------------
+  std::span<const double> limit_prev;  ///< limited values of previous iterate
+  std::span<double> limit_now;
+  bool limit_valid = false;  ///< false on the very first iterate of a solve
+
+  /// Previous limited value of `slot`, or `seed` when no history exists yet.
+  double PrevLimit(int slot, double seed) const {
+    return limit_valid ? limit_prev[static_cast<std::size_t>(slot)] : seed;
+  }
+  void SetLimit(int slot, double value) {
+    limit_now[static_cast<std::size_t>(slot)] = value;
+  }
+};
+
+}  // namespace wavepipe::devices

@@ -1,0 +1,6 @@
+#include "devices/device.hpp"
+
+// Intentionally (almost) empty: Device is header-only apart from anchoring
+// the vtable here so every translation unit doesn't emit it.
+
+namespace wavepipe::devices {}  // namespace wavepipe::devices

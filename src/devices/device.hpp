@@ -1,0 +1,95 @@
+// Abstract device interface.
+//
+// Lifecycle:
+//   1. construction (from the netlist or the C++ builder API)
+//   2. Bind()            — claim branch unknowns / state / limiting slots
+//   3. DeclarePattern()  — claim Jacobian entries, store returned slot ids
+//   4. Eval() x N        — hot loop; const, reentrant, writes via EvalContext
+//
+// See context.hpp for the thread-safety contract that makes step 4 safe to
+// run concurrently from multiple WavePipe workers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "devices/context.hpp"
+
+namespace wavepipe::devices {
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  virtual void Bind(Binder& binder) = 0;
+  virtual void DeclarePattern(PatternBuilder& pattern) = 0;
+  virtual void Eval(EvalContext& ctx) const = 0;
+
+  /// Appends to `out` every time in (t0, t1] where this device's behaviour
+  /// has a corner (source edges, PWL knots).  The transient loop lands a
+  /// time point exactly on each breakpoint and resets the step size there.
+  virtual void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const {
+    (void)t0;
+    (void)t1;
+    (void)out;
+  }
+
+  /// True if Eval() depends nonlinearly on x (drives Newton iteration count
+  /// heuristics and convergence bookkeeping).
+  virtual bool is_nonlinear() const { return false; }
+
+  /// Number of Jacobian entries this device stamps (for load statistics).
+  virtual int pattern_size() const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Stamps a standard 2-terminal conductance block: rows/cols (p,p) (p,n)
+/// (n,p) (n,n).  Shared by most devices; returns the 4 slot ids.
+struct ConductanceSlots {
+  int pp = -1, pn = -1, np = -1, nn = -1;
+
+  void Declare(PatternBuilder& pattern, int p, int n) {
+    pp = pattern.Entry(p, p);
+    pn = pattern.Entry(p, n);
+    np = pattern.Entry(n, p);
+    nn = pattern.Entry(n, n);
+  }
+
+  /// Adds conductance g between the two terminals.
+  void Stamp(EvalContext& ctx, double g) const {
+    ctx.AddJacobian(pp, g);
+    ctx.AddJacobian(pn, -g);
+    ctx.AddJacobian(np, -g);
+    ctx.AddJacobian(nn, g);
+  }
+};
+
+/// Stamps a transconductance block: current g*(Vcp - Vcn) injected from
+/// terminal p to terminal n.
+struct TransconductanceSlots {
+  int pcp = -1, pcn = -1, ncp = -1, ncn = -1;
+
+  void Declare(PatternBuilder& pattern, int p, int n, int cp, int cn) {
+    pcp = pattern.Entry(p, cp);
+    pcn = pattern.Entry(p, cn);
+    ncp = pattern.Entry(n, cp);
+    ncn = pattern.Entry(n, cn);
+  }
+
+  void Stamp(EvalContext& ctx, double gm) const {
+    ctx.AddJacobian(pcp, gm);
+    ctx.AddJacobian(pcn, -gm);
+    ctx.AddJacobian(ncp, -gm);
+    ctx.AddJacobian(ncn, gm);
+  }
+};
+
+}  // namespace wavepipe::devices

@@ -1,0 +1,123 @@
+#include "devices/diode.hpp"
+
+#include <cmath>
+
+#include "devices/limiting.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::devices {
+namespace {
+
+constexpr double kBoltzmann = 1.380649e-23;
+constexpr double kElectronCharge = 1.602176634e-19;
+
+// Forward-depletion capacitance linearization corner, as in SPICE (fc).
+constexpr double kFc = 0.5;
+
+}  // namespace
+
+double DiodeModel::ThermalVoltage() const { return kBoltzmann * temp / kElectronCharge; }
+
+Diode::Diode(std::string name, int p, int n, DiodeModel model, double area)
+    : Device(std::move(name)), p_(p), n_(n), model_(std::move(model)), area_(area) {
+  WP_ASSERT(area_ > 0);
+  isat_ = model_.is * area_;
+  vt_ = model_.n * model_.ThermalVoltage();
+  vcrit_ = JunctionVcrit(isat_, vt_);
+}
+
+void Diode::Bind(Binder& binder) {
+  state_ = binder.AddState(name());
+  limit_ = binder.AddLimitSlot();
+}
+
+void Diode::DeclarePattern(PatternBuilder& pattern) { slots_.Declare(pattern, p_, n_); }
+
+double Diode::Current(double vd, double gmin) const {
+  if (vd >= -3 * vt_) {
+    return isat_ * (std::exp(vd / vt_) - 1) + gmin * vd;
+  }
+  // Reverse region: SPICE's smooth reverse characteristic avoids the flat
+  // exponential tail that starves Newton of gradient.
+  const double arg = 3 * vt_ / (vd * std::exp(1.0));
+  const double arg3 = arg * arg * arg;
+  return -isat_ * (1 + arg3) + gmin * vd;
+}
+
+double Diode::Conductance(double vd, double gmin) const {
+  if (vd >= -3 * vt_) {
+    return isat_ / vt_ * std::exp(vd / vt_) + gmin;
+  }
+  // d/dvd of -isat*(1 + arg^3): arg = 3vt/(vd*e) is negative here, so
+  // 3*isat*arg^3/vd is positive (SPICE3's diode gd).
+  const double arg = 3 * vt_ / (vd * std::exp(1.0));
+  const double arg3 = arg * arg * arg;
+  return 3 * isat_ * arg3 / vd + gmin;
+}
+
+double Diode::Charge(double vd) const {
+  const double cj0 = model_.cj0 * area_;
+  const double tt_current = model_.tt * Current(vd, 0.0);
+  if (cj0 == 0.0) return tt_current;
+  double depletion;
+  if (vd < kFc * model_.vj) {
+    depletion = cj0 * model_.vj / (1 - model_.m) *
+                (1 - std::pow(1 - vd / model_.vj, 1 - model_.m));
+  } else {
+    // Linearized beyond fc·vj, C¹-continuous with the sqrt-law region.
+    const double f1 = model_.vj / (1 - model_.m) * (1 - std::pow(1 - kFc, 1 - model_.m));
+    const double f2 = std::pow(1 - kFc, 1 + model_.m);
+    const double f3 = 1 - kFc * (1 + model_.m);
+    const double vd0 = kFc * model_.vj;
+    depletion = cj0 * (f1 + (1 / f2) * (f3 * (vd - vd0) +
+                                        model_.m / (2 * model_.vj) * (vd * vd - vd0 * vd0)));
+  }
+  return depletion + tt_current;
+}
+
+double Diode::Capacitance(double vd) const {
+  const double cj0 = model_.cj0 * area_;
+  const double diffusion = model_.tt * Conductance(vd, 0.0);
+  if (cj0 == 0.0) return diffusion;
+  double depletion;
+  if (vd < kFc * model_.vj) {
+    depletion = cj0 * std::pow(1 - vd / model_.vj, -model_.m);
+  } else {
+    const double f2 = std::pow(1 - kFc, 1 + model_.m);
+    depletion = cj0 / f2 * (1 - kFc * (1 + model_.m) + model_.m * vd / model_.vj);
+  }
+  return depletion + diffusion;
+}
+
+void Diode::Eval(EvalContext& ctx) const {
+  double vd = ctx.V(p_) - ctx.V(n_);
+  // Junction limiting against this solve's previous iterate.
+  const double vd_old = ctx.PrevLimit(limit_, vd > vcrit_ ? vcrit_ : vd);
+  bool limited = false;
+  vd = PnjLim(vd, vd_old, vt_, vcrit_, &limited);
+  ctx.SetLimit(limit_, vd);
+
+  const double id = Current(vd, ctx.gmin);
+  const double gd = Conductance(vd, ctx.gmin);
+  slots_.Stamp(ctx, gd);
+  const double ieq = id - gd * vd;
+  ctx.AddRhs(p_, -ieq);
+  ctx.AddRhs(n_, ieq);
+
+  if (ctx.transient || ctx.a0 != 0.0) {
+    const double q = Charge(vd);
+    const double c = Capacitance(vd);
+    const double iq = ctx.IntegrateState(state_, q);
+    const double gc = ctx.a0 * c;
+    slots_.Stamp(ctx, gc);
+    const double iceq = iq - gc * vd;
+    ctx.AddRhs(p_, -iceq);
+    ctx.AddRhs(n_, iceq);
+  } else {
+    // Keep the charge state current during DC so the first transient step
+    // starts from the operating-point charge.
+    ctx.IntegrateState(state_, Charge(vd));
+  }
+}
+
+}  // namespace wavepipe::devices

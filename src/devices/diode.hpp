@@ -1,0 +1,61 @@
+// PN-junction diode: Shockley equation with series conductance floor (gmin),
+// junction voltage limiting, depletion + diffusion capacitance.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "devices/device.hpp"
+
+namespace wavepipe::devices {
+
+/// .model parameters (SPICE "D" model card subset).
+struct DiodeModel {
+  std::string name = "d_default";
+  double is = 1e-14;    ///< saturation current [A]
+  double n = 1.0;       ///< emission coefficient
+  double rs = 0.0;      ///< series resistance [ohm] (0 = none)
+  double cj0 = 0.0;     ///< zero-bias junction capacitance [F]
+  double vj = 1.0;      ///< junction potential [V]
+  double m = 0.5;       ///< grading coefficient
+  double tt = 0.0;      ///< transit time [s] (diffusion capacitance)
+  double temp = 300.15; ///< device temperature [K]
+
+  double ThermalVoltage() const;
+};
+
+class Diode final : public Device {
+ public:
+  /// `area` scales is/cj0 as in SPICE.  rs > 0 adds an internal node — not
+  /// supported here; rs is folded into the companion conductance instead
+  /// (documented approximation, exact for rs = 0).
+  Diode(std::string name, int p, int n, DiodeModel model, double area = 1.0);
+
+  void Bind(Binder& binder) override;
+  void DeclarePattern(PatternBuilder& pattern) override;
+  void Eval(EvalContext& ctx) const override;
+  bool is_nonlinear() const override { return true; }
+  int pattern_size() const override { return 4; }
+
+  const DiodeModel& model() const { return model_; }
+
+  /// Static current for a junction voltage (exposed for unit tests).
+  double Current(double vd, double gmin) const;
+  double Conductance(double vd, double gmin) const;
+  /// Junction charge (depletion + diffusion) for a junction voltage.
+  double Charge(double vd) const;
+  double Capacitance(double vd) const;
+
+ private:
+  int p_, n_;
+  DiodeModel model_;
+  double area_;
+  double isat_;     // area-scaled saturation current
+  double vt_;       // n * thermal voltage
+  double vcrit_;
+  int state_ = -1;  // junction charge
+  int limit_ = -1;  // limited junction voltage memory
+  ConductanceSlots slots_;
+};
+
+}  // namespace wavepipe::devices

@@ -1,0 +1,89 @@
+#include "devices/limiting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavepipe::devices {
+
+double PnjLim(double vnew, double vold, double vt, double vcrit, bool* limited) {
+  if (limited) *limited = false;
+  if (vnew > vcrit && std::abs(vnew - vold) > vt + vt) {
+    if (vold > 0) {
+      const double arg = (vnew - vold) / vt;
+      if (arg > 0) {
+        vnew = vold + vt * (2 + std::log(arg - 2));
+      } else {
+        vnew = vold - vt * (2 + std::log(2 - arg));
+      }
+    } else {
+      vnew = vt * std::log(vnew / vt);
+    }
+    if (limited) *limited = true;
+  }
+  return vnew;
+}
+
+double FetLim(double vnew, double vold, double vto) {
+  const double vtsthi = std::abs(2 * (vold - vto)) + 2.0;
+  const double vtstlo = vtsthi / 2 + 2.0;
+  const double vtox = vto + 3.5;
+  const double delv = vnew - vold;
+
+  if (vold >= vto) {
+    if (vold >= vtox) {
+      if (delv <= 0) {
+        // Going off.
+        if (vnew >= vtox) {
+          if (-delv > vtstlo) vnew = vold - vtstlo;
+        } else {
+          vnew = std::max(vnew, vto + 2.0);
+        }
+      } else {
+        // Staying on.
+        if (delv >= vtsthi) vnew = vold + vtsthi;
+      }
+    } else {
+      // Middle region.
+      if (delv <= 0) {
+        vnew = std::max(vnew, vto - 0.5);
+      } else {
+        vnew = std::min(vnew, vto + 4.0);
+      }
+    }
+  } else {
+    // Off.
+    if (delv <= 0) {
+      if (-delv > vtsthi) vnew = vold - vtsthi;
+    } else {
+      if (vnew <= vto + 0.5) {
+        if (delv > vtstlo) vnew = vold + vtstlo;
+      } else {
+        vnew = vto + 0.5;
+      }
+    }
+  }
+  return vnew;
+}
+
+double LimVds(double vnew, double vold) {
+  if (vold >= 3.5) {
+    if (vnew > vold) {
+      vnew = std::min(vnew, 3 * vold + 2);
+    } else if (vnew < 3.5) {
+      vnew = std::max(vnew, 2.0);
+    }
+  } else {
+    if (vnew > vold) {
+      vnew = std::min(vnew, 4.0);
+    } else {
+      vnew = std::max(vnew, -0.5);
+    }
+  }
+  return vnew;
+}
+
+double JunctionVcrit(double isat, double vt) {
+  return vt * std::log(vt / (std::sqrt(2.0) * isat));
+}
+
+}  // namespace wavepipe::devices

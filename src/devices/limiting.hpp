@@ -1,0 +1,27 @@
+// Newton-iteration limiting helpers.
+//
+// Exponential device equations overflow double precision when Newton
+// proposes a junction voltage a few volts too high; SPICE's classic fix is
+// to limit the per-iteration voltage change.  These are the standard
+// Berkeley SPICE3 limiting functions (pnjlim, fetlim, limvds), reimplemented.
+#pragma once
+
+namespace wavepipe::devices {
+
+/// Limits a PN-junction voltage update.  vnew/vold are the proposed and
+/// previous junction voltages, vt the thermal voltage, vcrit the critical
+/// voltage sqrt-law corner of the junction.  Sets *limited if the value was
+/// changed.
+double PnjLim(double vnew, double vold, double vt, double vcrit, bool* limited);
+
+/// Limits a MOSFET gate-source voltage update around the threshold vto.
+double FetLim(double vnew, double vold, double vto);
+
+/// Limits a MOSFET drain-source voltage update.
+double LimVds(double vnew, double vold);
+
+/// Critical voltage of a junction with saturation current isat at thermal
+/// voltage vt: the voltage where the exponential's curvature takes over.
+double JunctionVcrit(double isat, double vt);
+
+}  // namespace wavepipe::devices

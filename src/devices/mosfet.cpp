@@ -1,0 +1,249 @@
+#include "devices/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "devices/limiting.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::devices {
+namespace {
+
+constexpr double kEpsOx = 3.9 * 8.8541878128e-12;  // SiO2 permittivity [F/m]
+
+}  // namespace
+
+double MosfetModel::CoxPerArea() const { return kEpsOx / tox; }
+
+Mosfet::Mosfet(std::string name, int d, int g, int s, int b, MosfetModel model, double w,
+               double l)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), model_(std::move(model)), w_(w),
+      l_(l) {
+  WP_ASSERT(w_ > 0 && l_ > 0);
+  WP_ASSERT(model_.type == 1 || model_.type == -1);
+  beta_ = model_.kp * w_ / l_;
+  coxwl_ = model_.CoxPerArea() * w_ * l_;
+}
+
+void Mosfet::Bind(Binder& binder) {
+  state_qgs_ = binder.AddState(name());
+  state_qgd_ = binder.AddState(name());
+  state_qgb_ = binder.AddState(name());
+  limit_vgs_ = binder.AddLimitSlot();
+  limit_vds_ = binder.AddLimitSlot();
+  limit_vbs_ = binder.AddLimitSlot();
+}
+
+void Mosfet::DeclarePattern(PatternBuilder& pattern) {
+  const int nodes[4] = {d_, g_, s_, b_};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) slot_[r][c] = pattern.Entry(nodes[r], nodes[c]);
+  }
+}
+
+Mosfet::ChannelEval Mosfet::EvalChannel(double vgs, double vds, double vbs) const {
+  // Reverse mode (vds < 0): evaluate the forward equations with source and
+  // drain exchanged, then map the derivatives back by the chain rule.
+  const bool reverse = vds < 0;
+  const double fvgs = reverse ? vgs - vds : vgs;
+  const double fvds = reverse ? -vds : vds;
+  const double fvbs = reverse ? vbs - vds : vbs;
+
+  // Body effect.  vbs > phi would make the sqrt imaginary; clamp (the
+  // junction limiting keeps iterates out of that region anyway).
+  const double arg = std::max(model_.phi - fvbs, 1e-6);
+  const double sqrt_term = std::sqrt(arg);
+  // Folded frame is always NMOS-like: vto enters multiplied by the type.
+  const double vth = model_.vto * model_.type +
+                     model_.gamma * (sqrt_term - std::sqrt(model_.phi));
+  const double dvth_dvbs = (arg > 1e-6) ? -model_.gamma / (2 * sqrt_term) : 0.0;
+
+  const double vgst = fvgs - vth;
+  double ids = 0, f1 = 0, f2 = 0, f3 = 0;  // F and its partials in forward frame
+  if (vgst <= 0) {
+    // Cutoff.
+  } else if (vgst <= fvds) {
+    // Saturation.
+    const double clm = 1 + model_.lambda * fvds;
+    ids = 0.5 * beta_ * vgst * vgst * clm;
+    f1 = beta_ * vgst * clm;
+    f2 = 0.5 * beta_ * vgst * vgst * model_.lambda;
+    f3 = f1 * (-dvth_dvbs);
+  } else {
+    // Linear (triode).
+    const double clm = 1 + model_.lambda * fvds;
+    ids = beta_ * fvds * (vgst - 0.5 * fvds) * clm;
+    f1 = beta_ * fvds * clm;
+    f2 = beta_ * (vgst - fvds) * clm + beta_ * fvds * (vgst - 0.5 * fvds) * model_.lambda;
+    f3 = f1 * (-dvth_dvbs);
+  }
+
+  ChannelEval out{};
+  if (!reverse) {
+    out.ids = ids;
+    out.gm = f1;
+    out.gds = f2;
+    out.gmbs = f3;
+  } else {
+    // I = -F(vgs - vds, -vds, vbs - vds).
+    out.ids = -ids;
+    out.gm = -f1;
+    out.gmbs = -f3;
+    out.gds = f1 + f2 + f3;
+  }
+  return out;
+}
+
+Mosfet::CapSet Mosfet::EvalCaps(double vgs, double vds, double vbs) const {
+  CapSet caps{};
+  const double ov_gs = model_.cgso * w_;
+  const double ov_gd = model_.cgdo * w_;
+  const double ov_gb = model_.cgbo * l_;
+
+  if (!model_.meyer) {
+    // Constant split: half the oxide capacitance to source, half to drain.
+    caps.cgs = ov_gs + 0.5 * coxwl_;
+    caps.cgd = ov_gd + 0.5 * coxwl_;
+    caps.cgb = ov_gb;
+    return caps;
+  }
+
+  // Piecewise Meyer capacitances (SPICE DEVqmeyer), evaluated in the
+  // type-folded frame; reverse mode swaps cgs/cgd.
+  const bool reverse = vds < 0;
+  const double fvgs = reverse ? vgs - vds : vgs;
+  const double fvds = reverse ? -vds : vds;
+  const double fvbs = reverse ? vbs - vds : vbs;
+  const double arg = std::max(model_.phi - fvbs, 1e-6);
+  const double vth = model_.vto * model_.type +
+                     model_.gamma * (std::sqrt(arg) - std::sqrt(model_.phi));
+  const double vgst = fvgs - vth;
+  const double phi = model_.phi;
+
+  double cgs_m, cgd_m, cgb_m;
+  if (vgst <= -phi) {
+    cgb_m = 0.5 * coxwl_;
+    cgs_m = 0;
+    cgd_m = 0;
+  } else if (vgst <= -phi / 2) {
+    cgb_m = -vgst * coxwl_ / (2 * phi);
+    cgs_m = 0;
+    cgd_m = 0;
+  } else if (vgst <= 0) {
+    cgb_m = -vgst * coxwl_ / (2 * phi);
+    cgs_m = vgst * coxwl_ / (1.5 * phi) + coxwl_ / 3;
+    cgd_m = 0;
+  } else if (vgst <= fvds) {
+    // Saturation.
+    cgb_m = 0;
+    cgs_m = 2.0 / 3.0 * coxwl_;
+    cgd_m = 0;
+  } else {
+    // Linear.
+    const double denom = 2 * vgst - fvds;
+    const double rs = (vgst - fvds) / denom;
+    const double rd = vgst / denom;
+    cgb_m = 0;
+    cgs_m = (1 - rs * rs) * 2.0 / 3.0 * coxwl_;
+    cgd_m = (1 - rd * rd) * 2.0 / 3.0 * coxwl_;
+  }
+  if (reverse) std::swap(cgs_m, cgd_m);
+  caps.cgs = ov_gs + cgs_m;
+  caps.cgd = ov_gd + cgd_m;
+  caps.cgb = ov_gb + cgb_m;
+  return caps;
+}
+
+void Mosfet::Eval(EvalContext& ctx) const {
+  const double type = static_cast<double>(model_.type);
+  // Type-folded controlling voltages.
+  double vgs = type * (ctx.V(g_) - ctx.V(s_));
+  double vds = type * (ctx.V(d_) - ctx.V(s_));
+  double vbs = type * (ctx.V(b_) - ctx.V(s_));
+
+  // Newton limiting (memory slots hold folded values).
+  const double folded_vto = model_.vto * type;
+  const double vgs_old = ctx.PrevLimit(limit_vgs_, vgs);
+  const double vds_old = ctx.PrevLimit(limit_vds_, vds);
+  const double vbs_old = ctx.PrevLimit(limit_vbs_, vbs);
+  if (ctx.limit_valid) {
+    vgs = FetLim(vgs, vgs_old, folded_vto);
+    vds = LimVds(vds, vds_old);
+    // Bulk junction: cap the per-iteration change.
+    vbs = std::clamp(vbs, vbs_old - 1.0, vbs_old + 1.0);
+  }
+  vbs = std::min(vbs, model_.phi - 1e-3);  // keep body-effect sqrt real
+  ctx.SetLimit(limit_vgs_, vgs);
+  ctx.SetLimit(limit_vds_, vds);
+  ctx.SetLimit(limit_vbs_, vbs);
+
+  const ChannelEval ch = EvalChannel(vgs, vds, vbs);
+
+  // Physical drain current and node-frame derivatives (the type factor
+  // cancels in every second derivative; see DESIGN.md key decision notes).
+  const double id_phys = type * ch.ids;
+  const double gm = ch.gm, gds = ch.gds, gmbs = ch.gmbs;
+  const double gss = gm + gds + gmbs;
+
+  enum { D = 0, G = 1, S = 2, B = 3 };
+  ctx.AddJacobian(slot_[D][G], gm);
+  ctx.AddJacobian(slot_[D][D], gds);
+  ctx.AddJacobian(slot_[D][B], gmbs);
+  ctx.AddJacobian(slot_[D][S], -gss);
+  ctx.AddJacobian(slot_[S][G], -gm);
+  ctx.AddJacobian(slot_[S][D], -gds);
+  ctx.AddJacobian(slot_[S][B], -gmbs);
+  ctx.AddJacobian(slot_[S][S], gss);
+
+  // Companion RHS in node frame: ieq = I_D − J_row · v.  The folded voltages
+  // equal type·(node differences), so type·(g·v_folded) = g·(node diff)·1.
+  const double lin = gm * vgs + gds * vds + gmbs * vbs;  // folded frame
+  const double ieq = id_phys - type * lin;
+  ctx.AddRhs(d_, -ieq);
+  ctx.AddRhs(s_, ieq);
+
+  // gmin from drain and source to bulk keeps isolated nodes anchored.
+  if (ctx.gmin > 0) {
+    ctx.AddJacobian(slot_[D][D], ctx.gmin);
+    ctx.AddJacobian(slot_[D][B], -ctx.gmin);
+    ctx.AddJacobian(slot_[B][D], -ctx.gmin);
+    ctx.AddJacobian(slot_[B][B], ctx.gmin);
+    ctx.AddJacobian(slot_[S][S], ctx.gmin);
+    ctx.AddJacobian(slot_[S][B], -ctx.gmin);
+    ctx.AddJacobian(slot_[B][S], -ctx.gmin);
+    ctx.AddJacobian(slot_[B][B], ctx.gmin);
+  }
+
+  // Gate capacitances (charges in node frame; caps evaluated folded).
+  const CapSet caps = EvalCaps(vgs, vds, vbs);
+  struct GateCap {
+    int other;      // node on the far side of the cap
+    double c;
+    int state;
+  };
+  const GateCap gate_caps[3] = {{s_, caps.cgs, state_qgs_},
+                                {d_, caps.cgd, state_qgd_},
+                                {b_, caps.cgb, state_qgb_}};
+  const int gate_row[3] = {S, D, B};
+  for (int k = 0; k < 3; ++k) {
+    const auto& gc = gate_caps[k];
+    const double v = ctx.V(g_) - ctx.V(gc.other);
+    const double q = gc.c * v;
+    if (!ctx.transient && ctx.a0 == 0.0) {
+      ctx.IntegrateState(gc.state, q);  // record operating-point charge
+      continue;
+    }
+    const double iq = ctx.IntegrateState(gc.state, q);
+    const double geq = ctx.a0 * gc.c;
+    const int o = gate_row[k];
+    ctx.AddJacobian(slot_[G][G], geq);
+    ctx.AddJacobian(slot_[G][o], -geq);
+    ctx.AddJacobian(slot_[o][G], -geq);
+    ctx.AddJacobian(slot_[o][o], geq);
+    const double iceq = iq - geq * v;
+    ctx.AddRhs(g_, -iceq);
+    ctx.AddRhs(gc.other, iceq);
+  }
+}
+
+}  // namespace wavepipe::devices

@@ -1,0 +1,76 @@
+// MOSFET level 1 (Shichman–Hodges), the workhorse of the digital benchmark
+// circuits: square-law channel current with body effect and channel-length
+// modulation, plus gate capacitances (constant split or piecewise Meyer).
+#pragma once
+
+#include <string>
+
+#include "devices/device.hpp"
+
+namespace wavepipe::devices {
+
+/// .model parameters (SPICE level-1 subset).  Defaults approximate a generic
+/// 1um CMOS process, adequate for ring oscillators and logic chains.
+struct MosfetModel {
+  std::string name = "mos_default";
+  int type = 1;          ///< +1 NMOS, -1 PMOS
+  double vto = 0.7;      ///< threshold voltage [V] (negative for PMOS given as -0.7 etc.)
+  double kp = 110e-6;    ///< transconductance parameter [A/V^2]
+  double gamma = 0.4;    ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.65;     ///< surface potential [V]
+  double lambda = 0.05;  ///< channel-length modulation [1/V]
+  double tox = 20e-9;    ///< oxide thickness [m] (sets Cox for gate caps)
+  double cgso = 0.0;     ///< gate-source overlap cap [F/m of width]
+  double cgdo = 0.0;     ///< gate-drain overlap cap [F/m]
+  double cgbo = 0.0;     ///< gate-bulk overlap cap [F/m of length]
+  bool meyer = false;    ///< true: piecewise Meyer caps; false: constant split
+
+  /// Oxide capacitance per area [F/m^2].
+  double CoxPerArea() const;
+};
+
+class Mosfet final : public Device {
+ public:
+  Mosfet(std::string name, int d, int g, int s, int b, MosfetModel model, double w,
+         double l);
+
+  void Bind(Binder& binder) override;
+  void DeclarePattern(PatternBuilder& pattern) override;
+  void Eval(EvalContext& ctx) const override;
+  bool is_nonlinear() const override { return true; }
+  int pattern_size() const override { return 16; }
+
+  const MosfetModel& model() const { return model_; }
+  double width() const { return w_; }
+  double length() const { return l_; }
+
+  /// Channel current and derivatives at (vgs, vds, vbs) in the type-folded
+  /// frame (exposed for unit tests).  Handles both vds signs.
+  struct ChannelEval {
+    double ids;   // drain->source current
+    double gm;    // d ids / d vgs
+    double gds;   // d ids / d vds
+    double gmbs;  // d ids / d vbs
+  };
+  ChannelEval EvalChannel(double vgs, double vds, double vbs) const;
+
+ private:
+  struct CapSet {
+    double cgs, cgd, cgb;
+  };
+  CapSet EvalCaps(double vgs, double vds, double vbs) const;
+
+  int d_, g_, s_, b_;
+  MosfetModel model_;
+  double w_, l_;
+  double beta_;   // kp * W / L
+  double coxwl_;  // total oxide capacitance
+
+  int state_qgs_ = -1, state_qgd_ = -1, state_qgb_ = -1;
+  int limit_vgs_ = -1, limit_vds_ = -1, limit_vbs_ = -1;
+
+  // Full 4x4 slot block over (d, g, s, b).
+  int slot_[4][4] = {};
+};
+
+}  // namespace wavepipe::devices

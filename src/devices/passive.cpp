@@ -1,0 +1,115 @@
+#include "devices/passive.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wavepipe::devices {
+
+// ---------------------------------------------------------------- Resistor
+
+Resistor::Resistor(std::string name, int p, int n, double resistance)
+    : Device(std::move(name)), p_(p), n_(n), resistance_(resistance) {
+  WP_ASSERT(resistance != 0.0);
+  conductance_ = 1.0 / resistance;
+}
+
+void Resistor::DeclarePattern(PatternBuilder& pattern) { slots_.Declare(pattern, p_, n_); }
+
+void Resistor::Eval(EvalContext& ctx) const { slots_.Stamp(ctx, conductance_); }
+
+// --------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(std::string name, int p, int n, double capacitance)
+    : Device(std::move(name)), p_(p), n_(n), capacitance_(capacitance) {
+  WP_ASSERT(capacitance >= 0.0);
+}
+
+void Capacitor::Bind(Binder& binder) { state_ = binder.AddState(name()); }
+
+void Capacitor::DeclarePattern(PatternBuilder& pattern) { slots_.Declare(pattern, p_, n_); }
+
+void Capacitor::Eval(EvalContext& ctx) const {
+  const double v = ctx.V(p_) - ctx.V(n_);
+  const double q = capacitance_ * v;
+  const double i = ctx.IntegrateState(state_, q);  // dq/dt (0 during DC)
+  const double geq = ctx.a0 * capacitance_;
+  slots_.Stamp(ctx, geq);
+  // Companion current: the RHS sees  -(i - geq*v)  at p, + at n.
+  const double ieq = i - geq * v;
+  ctx.AddRhs(p_, -ieq);
+  ctx.AddRhs(n_, ieq);
+}
+
+// ---------------------------------------------------------------- Inductor
+
+Inductor::Inductor(std::string name, int p, int n, double inductance)
+    : Device(std::move(name)), p_(p), n_(n), inductance_(inductance) {
+  WP_ASSERT(inductance > 0.0);
+}
+
+void Inductor::Bind(Binder& binder) {
+  branch_ = binder.AddBranch(name());
+  state_ = binder.AddState(name());
+}
+
+void Inductor::DeclarePattern(PatternBuilder& pattern) {
+  slot_pb_ = pattern.Entry(p_, branch_);
+  slot_nb_ = pattern.Entry(n_, branch_);
+  slot_bp_ = pattern.Entry(branch_, p_);
+  slot_bn_ = pattern.Entry(branch_, n_);
+  slot_bb_ = pattern.Entry(branch_, branch_);
+}
+
+void Inductor::Eval(EvalContext& ctx) const {
+  // KCL: branch current leaves p, enters n.
+  ctx.AddJacobian(slot_pb_, 1.0);
+  ctx.AddJacobian(slot_nb_, -1.0);
+  // Branch equation F = v_p − v_n − dφ/dt, φ = L·i.
+  const double i = ctx.Unknown(branch_);
+  const double flux = inductance_ * i;
+  const double flux_dot = ctx.IntegrateState(state_, flux);
+  ctx.AddJacobian(slot_bp_, 1.0);
+  ctx.AddJacobian(slot_bn_, -1.0);
+  ctx.AddJacobian(slot_bb_, -ctx.a0 * inductance_);
+  // Companion RHS: J·x − F = history term (see derivation in DESIGN.md).
+  ctx.AddRhs(branch_, flux_dot - ctx.a0 * flux);
+}
+
+// ------------------------------------------------------- MutualInductance
+
+MutualInductance::MutualInductance(std::string name, std::string inductor1,
+                                   std::string inductor2, double coupling, double l1,
+                                   double l2)
+    : Device(std::move(name)), name1_(std::move(inductor1)), name2_(std::move(inductor2)) {
+  WP_ASSERT(coupling > -1.0 && coupling < 1.0 && coupling != 0.0);
+  mutual_ = coupling * std::sqrt(l1 * l2);
+}
+
+void MutualInductance::Bind(Binder& binder) {
+  branch1_ = binder.BranchOf(name1_);
+  branch2_ = binder.BranchOf(name2_);
+  state12_ = binder.AddState(name());
+  state21_ = binder.AddState(name());
+}
+
+void MutualInductance::DeclarePattern(PatternBuilder& pattern) {
+  slot_b1b2_ = pattern.Entry(branch1_, branch2_);
+  slot_b2b1_ = pattern.Entry(branch2_, branch1_);
+}
+
+void MutualInductance::Eval(EvalContext& ctx) const {
+  // Adds −d(M·i_other)/dt to each inductor's branch equation.
+  const double i1 = ctx.Unknown(branch1_);
+  const double i2 = ctx.Unknown(branch2_);
+  const double q12 = mutual_ * i2;  // extra flux seen by branch 1
+  const double q21 = mutual_ * i1;
+  const double q12_dot = ctx.IntegrateState(state12_, q12);
+  const double q21_dot = ctx.IntegrateState(state21_, q21);
+  ctx.AddJacobian(slot_b1b2_, -ctx.a0 * mutual_);
+  ctx.AddJacobian(slot_b2b1_, -ctx.a0 * mutual_);
+  ctx.AddRhs(branch1_, q12_dot - ctx.a0 * q12);
+  ctx.AddRhs(branch2_, q21_dot - ctx.a0 * q21);
+}
+
+}  // namespace wavepipe::devices

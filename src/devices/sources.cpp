@@ -1,0 +1,145 @@
+#include "devices/sources.hpp"
+
+#include "util/error.hpp"
+
+namespace wavepipe::devices {
+
+// ----------------------------------------------------------- VoltageSource
+
+VoltageSource::VoltageSource(std::string name, int p, int n,
+                             std::unique_ptr<Waveform> waveform)
+    : Device(std::move(name)), p_(p), n_(n), waveform_(std::move(waveform)) {
+  WP_ASSERT(waveform_ != nullptr);
+}
+
+void VoltageSource::Bind(Binder& binder) { branch_ = binder.AddBranch(name()); }
+
+void VoltageSource::DeclarePattern(PatternBuilder& pattern) {
+  slot_pb_ = pattern.Entry(p_, branch_);
+  slot_nb_ = pattern.Entry(n_, branch_);
+  slot_bp_ = pattern.Entry(branch_, p_);
+  slot_bn_ = pattern.Entry(branch_, n_);
+}
+
+void VoltageSource::Eval(EvalContext& ctx) const {
+  ctx.AddJacobian(slot_pb_, 1.0);
+  ctx.AddJacobian(slot_nb_, -1.0);
+  ctx.AddJacobian(slot_bp_, 1.0);
+  ctx.AddJacobian(slot_bn_, -1.0);
+  const double value = ctx.transient ? waveform_->Value(ctx.time) : waveform_->DcValue();
+  ctx.AddRhs(branch_, ctx.source_scale * value);
+}
+
+void VoltageSource::CollectBreakpoints(double t0, double t1,
+                                       std::vector<double>& out) const {
+  waveform_->CollectBreakpoints(t0, t1, out);
+}
+
+// ----------------------------------------------------------- CurrentSource
+
+CurrentSource::CurrentSource(std::string name, int p, int n,
+                             std::unique_ptr<Waveform> waveform)
+    : Device(std::move(name)), p_(p), n_(n), waveform_(std::move(waveform)) {
+  WP_ASSERT(waveform_ != nullptr);
+}
+
+void CurrentSource::Eval(EvalContext& ctx) const {
+  const double value = ctx.transient ? waveform_->Value(ctx.time) : waveform_->DcValue();
+  const double i = ctx.source_scale * value;
+  ctx.AddRhs(p_, -i);
+  ctx.AddRhs(n_, i);
+}
+
+void CurrentSource::CollectBreakpoints(double t0, double t1,
+                                       std::vector<double>& out) const {
+  waveform_->CollectBreakpoints(t0, t1, out);
+}
+
+// --------------------------------------------------------------------- Vcvs
+
+Vcvs::Vcvs(std::string name, int p, int n, int cp, int cn, double gain)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::Bind(Binder& binder) { branch_ = binder.AddBranch(name()); }
+
+void Vcvs::DeclarePattern(PatternBuilder& pattern) {
+  slot_pb_ = pattern.Entry(p_, branch_);
+  slot_nb_ = pattern.Entry(n_, branch_);
+  slot_bp_ = pattern.Entry(branch_, p_);
+  slot_bn_ = pattern.Entry(branch_, n_);
+  slot_bcp_ = pattern.Entry(branch_, cp_);
+  slot_bcn_ = pattern.Entry(branch_, cn_);
+}
+
+void Vcvs::Eval(EvalContext& ctx) const {
+  ctx.AddJacobian(slot_pb_, 1.0);
+  ctx.AddJacobian(slot_nb_, -1.0);
+  // Branch equation: v_p − v_n − gain·(v_cp − v_cn) = 0.
+  ctx.AddJacobian(slot_bp_, 1.0);
+  ctx.AddJacobian(slot_bn_, -1.0);
+  ctx.AddJacobian(slot_bcp_, -gain_);
+  ctx.AddJacobian(slot_bcn_, gain_);
+}
+
+// --------------------------------------------------------------------- Vccs
+
+Vccs::Vccs(std::string name, int p, int n, int cp, int cn, double gm)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gm_(gm) {}
+
+void Vccs::DeclarePattern(PatternBuilder& pattern) {
+  slots_.Declare(pattern, p_, n_, cp_, cn_);
+}
+
+void Vccs::Eval(EvalContext& ctx) const { slots_.Stamp(ctx, gm_); }
+
+// --------------------------------------------------------------------- Cccs
+
+Cccs::Cccs(std::string name, int p, int n, std::string sense_vsource, double gain)
+    : Device(std::move(name)), p_(p), n_(n), sense_(std::move(sense_vsource)),
+      gain_(gain) {}
+
+void Cccs::Bind(Binder& binder) { sense_branch_ = binder.BranchOf(sense_); }
+
+void Cccs::DeclarePattern(PatternBuilder& pattern) {
+  slot_pb_ = pattern.Entry(p_, sense_branch_);
+  slot_nb_ = pattern.Entry(n_, sense_branch_);
+}
+
+void Cccs::Eval(EvalContext& ctx) const {
+  ctx.AddJacobian(slot_pb_, gain_);
+  ctx.AddJacobian(slot_nb_, -gain_);
+}
+
+// --------------------------------------------------------------------- Ccvs
+
+Ccvs::Ccvs(std::string name, int p, int n, std::string sense_vsource,
+           double transresistance)
+    : Device(std::move(name)), p_(p), n_(n), sense_(std::move(sense_vsource)),
+      transresistance_(transresistance) {}
+
+void Ccvs::Bind(Binder& binder) {
+  // Resolve the (possibly not-yet-bound) sense source first: BranchOf may
+  // throw for deferred binding, and claiming our own branch before that
+  // would leak an unknown on retry.
+  sense_branch_ = binder.BranchOf(sense_);
+  branch_ = binder.AddBranch(name());
+}
+
+void Ccvs::DeclarePattern(PatternBuilder& pattern) {
+  slot_pb_ = pattern.Entry(p_, branch_);
+  slot_nb_ = pattern.Entry(n_, branch_);
+  slot_bp_ = pattern.Entry(branch_, p_);
+  slot_bn_ = pattern.Entry(branch_, n_);
+  slot_bs_ = pattern.Entry(branch_, sense_branch_);
+}
+
+void Ccvs::Eval(EvalContext& ctx) const {
+  ctx.AddJacobian(slot_pb_, 1.0);
+  ctx.AddJacobian(slot_nb_, -1.0);
+  // Branch equation: v_p − v_n − r·i_sense = 0.
+  ctx.AddJacobian(slot_bp_, 1.0);
+  ctx.AddJacobian(slot_bn_, -1.0);
+  ctx.AddJacobian(slot_bs_, -transresistance_);
+}
+
+}  // namespace wavepipe::devices

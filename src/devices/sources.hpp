@@ -1,0 +1,123 @@
+// Independent and controlled sources.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "devices/device.hpp"
+#include "devices/waveform.hpp"
+
+namespace wavepipe::devices {
+
+/// Independent voltage source (branch-current unknown).  Positive branch
+/// current flows from p through the source to n.
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, int p, int n, std::unique_ptr<Waveform> waveform);
+
+  void Bind(Binder& binder) override;
+  void DeclarePattern(PatternBuilder& pattern) override;
+  void Eval(EvalContext& ctx) const override;
+  void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+  int pattern_size() const override { return 4; }
+
+  int branch() const { return branch_; }
+  const Waveform& waveform() const { return *waveform_; }
+
+ private:
+  int p_, n_;
+  std::unique_ptr<Waveform> waveform_;
+  int branch_ = -1;
+  int slot_pb_ = -1, slot_nb_ = -1, slot_bp_ = -1, slot_bn_ = -1;
+};
+
+/// Independent current source; positive current flows p -> n through it.
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, int p, int n, std::unique_ptr<Waveform> waveform);
+
+  void Bind(Binder&) override {}
+  void DeclarePattern(PatternBuilder&) override {}
+  void Eval(EvalContext& ctx) const override;
+  void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+  int pattern_size() const override { return 0; }
+
+ private:
+  int p_, n_;
+  std::unique_ptr<Waveform> waveform_;
+};
+
+/// VCVS ("E"): v(p,n) = gain * v(cp,cn).
+class Vcvs final : public Device {
+ public:
+  Vcvs(std::string name, int p, int n, int cp, int cn, double gain);
+
+  void Bind(Binder& binder) override;
+  void DeclarePattern(PatternBuilder& pattern) override;
+  void Eval(EvalContext& ctx) const override;
+  int pattern_size() const override { return 6; }
+
+  int branch() const { return branch_; }
+
+ private:
+  int p_, n_, cp_, cn_;
+  double gain_;
+  int branch_ = -1;
+  int slot_pb_ = -1, slot_nb_ = -1, slot_bp_ = -1, slot_bn_ = -1, slot_bcp_ = -1,
+      slot_bcn_ = -1;
+};
+
+/// VCCS ("G"): i(p->n) = gm * v(cp,cn).
+class Vccs final : public Device {
+ public:
+  Vccs(std::string name, int p, int n, int cp, int cn, double gm);
+
+  void Bind(Binder&) override {}
+  void DeclarePattern(PatternBuilder& pattern) override;
+  void Eval(EvalContext& ctx) const override;
+  int pattern_size() const override { return 4; }
+
+ private:
+  int p_, n_, cp_, cn_;
+  double gm_;
+  TransconductanceSlots slots_;
+};
+
+/// CCCS ("F"): i(p->n) = gain * i(sense V-source branch).
+class Cccs final : public Device {
+ public:
+  Cccs(std::string name, int p, int n, std::string sense_vsource, double gain);
+
+  void Bind(Binder& binder) override;
+  void DeclarePattern(PatternBuilder& pattern) override;
+  void Eval(EvalContext& ctx) const override;
+  int pattern_size() const override { return 2; }
+
+ private:
+  int p_, n_;
+  std::string sense_;
+  double gain_;
+  int sense_branch_ = -1;
+  int slot_pb_ = -1, slot_nb_ = -1;
+};
+
+/// CCVS ("H"): v(p,n) = r * i(sense V-source branch).
+class Ccvs final : public Device {
+ public:
+  Ccvs(std::string name, int p, int n, std::string sense_vsource, double transresistance);
+
+  void Bind(Binder& binder) override;
+  void DeclarePattern(PatternBuilder& pattern) override;
+  void Eval(EvalContext& ctx) const override;
+  int pattern_size() const override { return 5; }
+
+ private:
+  int p_, n_;
+  std::string sense_;
+  double transresistance_;
+  int branch_ = -1;
+  int sense_branch_ = -1;
+  int slot_pb_ = -1, slot_nb_ = -1, slot_bp_ = -1, slot_bn_ = -1, slot_bs_ = -1;
+};
+
+}  // namespace wavepipe::devices

@@ -1,0 +1,132 @@
+#include "devices/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wavepipe::devices {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void AddBreakpoint(double t, double t0, double t1, std::vector<double>& out) {
+  if (t > t0 && t <= t1) out.push_back(t);
+}
+
+}  // namespace
+
+PulseWaveform::PulseWaveform(double v1, double v2, double delay, double rise, double fall,
+                             double width, double period)
+    : v1_(v1), v2_(v2), delay_(delay), rise_(rise), fall_(fall), width_(width),
+      period_(period) {
+  WP_ASSERT(rise_ >= 0 && fall_ >= 0 && width_ >= 0);
+  // SPICE defaults degenerate zero rise/fall to "very fast but finite" so the
+  // waveform stays a function; 1ps keeps corners well-posed.
+  if (rise_ == 0) rise_ = 1e-12;
+  if (fall_ == 0) fall_ = 1e-12;
+  if (period_ <= 0) period_ = 1e30;  // single pulse
+  WP_ASSERT(period_ >= rise_ + width_ + fall_);
+}
+
+double PulseWaveform::Value(double t) const {
+  t = std::max(t, 0.0);
+  if (t < delay_) return v1_;
+  const double tp = std::fmod(t - delay_, period_);
+  if (tp < rise_) return v1_ + (v2_ - v1_) * tp / rise_;
+  if (tp < rise_ + width_) return v2_;
+  if (tp < rise_ + width_ + fall_) {
+    return v2_ + (v1_ - v2_) * (tp - rise_ - width_) / fall_;
+  }
+  return v1_;
+}
+
+void PulseWaveform::CollectBreakpoints(double t0, double t1, std::vector<double>& out) const {
+  if (period_ >= 1e29) {
+    // Single pulse.
+    AddBreakpoint(delay_, t0, t1, out);
+    AddBreakpoint(delay_ + rise_, t0, t1, out);
+    AddBreakpoint(delay_ + rise_ + width_, t0, t1, out);
+    AddBreakpoint(delay_ + rise_ + width_ + fall_, t0, t1, out);
+    return;
+  }
+  // Periodic: emit corners of every period intersecting (t0, t1].
+  const double first_period = std::floor(std::max(0.0, t0 - delay_) / period_);
+  for (double k = first_period;; k += 1.0) {
+    const double base = delay_ + k * period_;
+    if (base > t1) break;
+    AddBreakpoint(base, t0, t1, out);
+    AddBreakpoint(base + rise_, t0, t1, out);
+    AddBreakpoint(base + rise_ + width_, t0, t1, out);
+    AddBreakpoint(base + rise_ + width_ + fall_, t0, t1, out);
+  }
+}
+
+SinWaveform::SinWaveform(double offset, double amplitude, double freq, double delay,
+                         double damping)
+    : offset_(offset), amplitude_(amplitude), freq_(freq), delay_(delay), damping_(damping) {
+  WP_ASSERT(freq_ > 0);
+}
+
+double SinWaveform::Value(double t) const {
+  t = std::max(t, 0.0);
+  if (t < delay_) return offset_;
+  const double tau = t - delay_;
+  return offset_ + amplitude_ * std::exp(-damping_ * tau) * std::sin(2 * kPi * freq_ * tau);
+}
+
+void SinWaveform::CollectBreakpoints(double t0, double t1, std::vector<double>& out) const {
+  // The only corner is the delayed start; the sinusoid itself is smooth.
+  AddBreakpoint(delay_, t0, t1, out);
+}
+
+ExpWaveform::ExpWaveform(double v1, double v2, double rise_delay, double rise_tau,
+                         double fall_delay, double fall_tau)
+    : v1_(v1), v2_(v2), rise_delay_(rise_delay), rise_tau_(rise_tau),
+      fall_delay_(fall_delay), fall_tau_(fall_tau) {
+  WP_ASSERT(rise_tau_ > 0 && fall_tau_ > 0);
+  WP_ASSERT(fall_delay_ >= rise_delay_);
+}
+
+double ExpWaveform::Value(double t) const {
+  t = std::max(t, 0.0);
+  double v = v1_;
+  if (t >= rise_delay_) {
+    v += (v2_ - v1_) * (1.0 - std::exp(-(t - rise_delay_) / rise_tau_));
+  }
+  if (t >= fall_delay_) {
+    v += (v1_ - v2_) * (1.0 - std::exp(-(t - fall_delay_) / fall_tau_));
+  }
+  return v;
+}
+
+void ExpWaveform::CollectBreakpoints(double t0, double t1, std::vector<double>& out) const {
+  AddBreakpoint(rise_delay_, t0, t1, out);
+  AddBreakpoint(fall_delay_, t0, t1, out);
+}
+
+PwlWaveform::PwlWaveform(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  WP_ASSERT(!points_.empty());
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    WP_ASSERT(points_[i].first > points_[i - 1].first);
+  }
+}
+
+double PwlWaveform::Value(double t) const {
+  t = std::max(t, 0.0);
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  const auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                                   [](double v, const auto& p) { return v < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double f = (t - lo.first) / (hi.first - lo.first);
+  return lo.second + f * (hi.second - lo.second);
+}
+
+void PwlWaveform::CollectBreakpoints(double t0, double t1, std::vector<double>& out) const {
+  for (const auto& [t, v] : points_) AddBreakpoint(t, t0, t1, out);
+}
+
+}  // namespace wavepipe::devices

@@ -1,0 +1,91 @@
+// Time-dependent source waveforms: DC, PULSE, SIN, EXP, PWL.
+//
+// Matches SPICE semantics, including the breakpoint sets the transient loop
+// uses to land on waveform corners (a step that straddles a PULSE edge
+// otherwise forces a cascade of LTE rejections).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace wavepipe::devices {
+
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+
+  /// Value at absolute time t (t < 0 is treated as t = 0).
+  virtual double Value(double t) const = 0;
+
+  /// Appends corner times in (t0, t1] to `out`.
+  virtual void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const {
+    (void)t0;
+    (void)t1;
+    (void)out;
+  }
+
+  /// Value for the DC operating point (SPICE uses the t=0 value).
+  double DcValue() const { return Value(0.0); }
+};
+
+/// Constant value.
+class DcWaveform final : public Waveform {
+ public:
+  explicit DcWaveform(double value) : value_(value) {}
+  double Value(double) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// PULSE(v1 v2 td tr tf pw per)
+class PulseWaveform final : public Waveform {
+ public:
+  PulseWaveform(double v1, double v2, double delay, double rise, double fall, double width,
+                double period);
+  double Value(double t) const override;
+  void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+
+  double period() const { return period_; }
+
+ private:
+  double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+/// SIN(vo va freq td theta)
+class SinWaveform final : public Waveform {
+ public:
+  SinWaveform(double offset, double amplitude, double freq, double delay = 0.0,
+              double damping = 0.0);
+  double Value(double t) const override;
+  void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+
+ private:
+  double offset_, amplitude_, freq_, delay_, damping_;
+};
+
+/// EXP(v1 v2 td1 tau1 td2 tau2)
+class ExpWaveform final : public Waveform {
+ public:
+  ExpWaveform(double v1, double v2, double rise_delay, double rise_tau, double fall_delay,
+              double fall_tau);
+  double Value(double t) const override;
+  void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+
+ private:
+  double v1_, v2_, rise_delay_, rise_tau_, fall_delay_, fall_tau_;
+};
+
+/// PWL(t1 v1 t2 v2 ...) — linear interpolation, clamped outside the knots.
+class PwlWaveform final : public Waveform {
+ public:
+  /// Points must be strictly increasing in time.
+  explicit PwlWaveform(std::vector<std::pair<double, double>> points);
+  double Value(double t) const override;
+  void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace wavepipe::devices

@@ -1,0 +1,109 @@
+#include "engine/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavepipe::engine {
+
+int Circuit::AddNode(const std::string& name) {
+  WP_ASSERT(!finalized_);
+  const std::string key = util::ToLowerAscii(name);
+  if (key == "0" || key == "gnd") return devices::kGround;
+  const auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  const int index = num_nodes_++;
+  node_index_.emplace(key, index);
+  node_names_.push_back(key);
+  return index;
+}
+
+int Circuit::NodeIndex(const std::string& name) const {
+  const std::string key = util::ToLowerAscii(name);
+  if (key == "0" || key == "gnd") return devices::kGround;
+  const auto it = node_index_.find(key);
+  if (it == node_index_.end()) throw ElaborationError("unknown node '" + name + "'");
+  return it->second;
+}
+
+bool Circuit::HasNode(const std::string& name) const {
+  const std::string key = util::ToLowerAscii(name);
+  return key == "0" || key == "gnd" || node_index_.count(key) > 0;
+}
+
+const std::string& Circuit::node_name(int index) const {
+  WP_ASSERT(index >= 0 && index < num_nodes_);
+  return node_names_[static_cast<std::size_t>(index)];
+}
+
+void Circuit::Finalize() {
+  WP_ASSERT(!finalized_);
+  // Devices that look up other devices' branches (K, F, H elements) may be
+  // declared before their targets; retry until a pass makes no progress.
+  std::vector<devices::Device*> pending;
+  pending.reserve(devices_.size());
+  for (const auto& device : devices_) pending.push_back(device.get());
+
+  while (!pending.empty()) {
+    std::vector<devices::Device*> deferred;
+    std::string last_error;
+    for (devices::Device* device : pending) {
+      try {
+        device->Bind(*this);
+      } catch (const ElaborationError& e) {
+        deferred.push_back(device);
+        last_error = e.what();
+        continue;
+      }
+      if (device->is_nonlinear()) nonlinear_ = true;
+    }
+    if (deferred.size() == pending.size()) {
+      throw ElaborationError("unresolvable device reference: " + last_error);
+    }
+    pending = std::move(deferred);
+  }
+  finalized_ = true;
+}
+
+std::vector<double> Circuit::CollectBreakpoints(double t0, double t1) const {
+  std::vector<double> points;
+  for (const auto& device : devices_) device->CollectBreakpoints(t0, t1, points);
+  std::sort(points.begin(), points.end());
+  // Merge breakpoints closer than a relative epsilon; a pair of nearly equal
+  // breakpoints would otherwise force a degenerate micro-step between them.
+  const double merge_tol = 1e-12 * std::max(1.0, std::abs(t1));
+  std::vector<double> unique;
+  for (double t : points) {
+    if (unique.empty() || t - unique.back() > merge_tol) unique.push_back(t);
+  }
+  return unique;
+}
+
+int Circuit::BranchIndex(const std::string& device_name) const {
+  const auto it = branch_of_device_.find(util::ToLowerAscii(device_name));
+  if (it == branch_of_device_.end()) {
+    throw ElaborationError("device '" + device_name + "' has no branch current");
+  }
+  return it->second;
+}
+
+int Circuit::AddBranch(const std::string& owner_name) {
+  const int index = num_nodes_ + num_branches_++;
+  branch_of_device_[util::ToLowerAscii(owner_name)] = index;
+  return index;
+}
+
+int Circuit::AddState(const std::string& owner_name) {
+  (void)owner_name;
+  return num_states_++;
+}
+
+int Circuit::AddLimitSlot() { return num_limits_++; }
+
+int Circuit::BranchOf(const std::string& device_name) {
+  return static_cast<const Circuit*>(this)->BranchIndex(device_name);
+}
+
+}  // namespace wavepipe::engine

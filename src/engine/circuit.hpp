@@ -1,0 +1,93 @@
+// Circuit: the elaborated device list plus the unknown/state bookkeeping.
+//
+// Build one either through the netlist front end or directly with the C++
+// builder API (see examples/quickstart.cpp), then call Finalize() once.
+// After Finalize() the circuit is immutable and may be shared read-only by
+// any number of solver threads.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::engine {
+
+class Circuit final : private devices::Binder {
+ public:
+  Circuit() = default;
+
+  // ---- construction ---------------------------------------------------------
+  /// Returns the unknown index for a named node, creating it on first use.
+  /// "0" and "gnd" (any case) map to devices::kGround.
+  int AddNode(const std::string& name);
+
+  /// Index of an existing node; throws ElaborationError if unknown.
+  int NodeIndex(const std::string& name) const;
+  bool HasNode(const std::string& name) const;
+
+  /// Adds a device; the circuit takes ownership.  Returns a raw observer
+  /// pointer typed as passed (convenient for the builder API).
+  template <typename DeviceT>
+  DeviceT* Add(std::unique_ptr<DeviceT> device) {
+    WP_ASSERT(!finalized_);
+    DeviceT* raw = device.get();
+    devices_.push_back(std::move(device));
+    return raw;
+  }
+
+  /// Convenience: constructs DeviceT in place.
+  template <typename DeviceT, typename... Args>
+  DeviceT* Emplace(Args&&... args) {
+    return Add(std::make_unique<DeviceT>(std::forward<Args>(args)...));
+  }
+
+  /// Runs the Bind phase over all devices, fixing unknown/state counts.
+  /// Must be called exactly once, after the last Add().
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- post-Finalize queries --------------------------------------------------
+  int num_nodes() const { return num_nodes_; }
+  int num_branches() const { return num_branches_; }
+  int num_unknowns() const { return num_nodes_ + num_branches_; }
+  int num_states() const { return num_states_; }
+  int num_limit_slots() const { return num_limits_; }
+  std::size_t num_devices() const { return devices_.size(); }
+  bool is_nonlinear() const { return nonlinear_; }
+
+  const std::vector<std::unique_ptr<devices::Device>>& devices() const { return devices_; }
+
+  const std::string& node_name(int index) const;
+  const std::map<std::string, int>& node_map() const { return node_index_; }
+
+  /// Sorted, deduplicated breakpoint times in (t0, t1] over all devices.
+  std::vector<double> CollectBreakpoints(double t0, double t1) const;
+
+  /// Unknown index of a device's branch current; throws if it has none.
+  int BranchIndex(const std::string& device_name) const;
+
+ private:
+  // devices::Binder implementation (used only inside Finalize()).
+  int AddBranch(const std::string& owner_name) override;
+  int AddState(const std::string& owner_name) override;
+  int AddLimitSlot() override;
+  int BranchOf(const std::string& device_name) override;
+
+  bool finalized_ = false;
+  bool nonlinear_ = false;
+  int num_nodes_ = 0;
+  int num_branches_ = 0;  // assigned indices num_nodes_ .. num_nodes_+num_branches_-1
+  int num_states_ = 0;
+  int num_limits_ = 0;
+
+  std::vector<std::unique_ptr<devices::Device>> devices_;
+  std::map<std::string, int> node_index_;
+  std::vector<std::string> node_names_;            // by node index
+  std::map<std::string, int> branch_of_device_;    // device name -> unknown index
+};
+
+}  // namespace wavepipe::engine

@@ -1,0 +1,111 @@
+#include "engine/dcop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace wavepipe::engine {
+namespace {
+
+NewtonInputs DcInputs(const SimOptions& options) {
+  NewtonInputs inputs;
+  inputs.time = 0.0;
+  inputs.a0 = 0.0;
+  inputs.transient = false;
+  inputs.gmin = options.gmin;
+  inputs.gshunt = 0.0;
+  inputs.source_scale = 1.0;
+  return inputs;
+}
+
+}  // namespace
+
+DcopResult SolveDcOperatingPoint(SolveContext& ctx, const SimOptions& options,
+                                 std::span<const std::pair<int, double>> nodesets) {
+  std::fill(ctx.state_hist.begin(), ctx.state_hist.end(), 0.0);
+
+  // Nodeset pass: force the requested node voltages through a 1-ohm clamp,
+  // solve, then fall through to the regular ladder (clamp released) with the
+  // clamped solution as the starting point.
+  if (!nodesets.empty()) {
+    for (const auto& [node, volts] : nodesets) {
+      if (node >= 0 && node < static_cast<int>(ctx.x.size())) {
+        ctx.x[static_cast<std::size_t>(node)] = volts;
+      }
+    }
+    NewtonInputs inputs = DcInputs(options);
+    inputs.nodesets = nodesets;
+    inputs.nodeset_g = 1.0;
+    const NewtonStats stats =
+        SolveNewton(ctx, inputs, options, options.max_dcop_iters);
+    if (!stats.converged) {
+      WP_DEBUG << "dcop: clamped nodeset pass failed; continuing unclamped";
+    }
+  }
+  const std::vector<double> initial_guess = ctx.x;
+
+  // --- Strategy 1: direct ----------------------------------------------------
+  {
+    NewtonStats stats = SolveNewton(ctx, DcInputs(options), options, options.max_dcop_iters);
+    if (stats.converged) return {stats, "direct"};
+    WP_DEBUG << "dcop: direct Newton failed after " << stats.iterations << " iterations";
+  }
+
+  // --- Strategy 2: gmin stepping ----------------------------------------------
+  {
+    ctx.x = initial_guess;
+    NewtonInputs inputs = DcInputs(options);
+    bool ladder_ok = true;
+    // Shunt ladder from 10 mS down to 0, log-spaced.
+    double gshunt = 1e-2;
+    for (int step = 0; step < options.gmin_stepping_steps && ladder_ok; ++step) {
+      inputs.gshunt = gshunt;
+      NewtonStats stats = SolveNewton(ctx, inputs, options, options.max_dcop_iters);
+      if (!stats.converged) {
+        ladder_ok = false;
+        break;
+      }
+      gshunt /= 10.0;
+    }
+    if (ladder_ok) {
+      // Final solve with the shunt fully removed.
+      inputs.gshunt = 0.0;
+      NewtonStats stats = SolveNewton(ctx, inputs, options, options.max_dcop_iters);
+      if (stats.converged) return {stats, "gmin-stepping"};
+    }
+    WP_DEBUG << "dcop: gmin stepping failed";
+  }
+
+  // --- Strategy 3: source stepping ---------------------------------------------
+  {
+    ctx.x = initial_guess;
+    NewtonInputs inputs = DcInputs(options);
+    bool ok = true;
+    for (int step = 1; step <= options.source_stepping_steps; ++step) {
+      inputs.source_scale =
+          static_cast<double>(step) / static_cast<double>(options.source_stepping_steps);
+      NewtonStats stats = SolveNewton(ctx, inputs, options, options.max_dcop_iters);
+      if (!stats.converged) {
+        ok = false;
+        break;
+      }
+      if (step == options.source_stepping_steps) return {stats, "source-stepping"};
+    }
+    (void)ok;
+  }
+
+  throw ConvergenceError("DC operating point failed (direct, gmin and source stepping)");
+}
+
+SolutionPointPtr MakeDcSolutionPoint(const SolveContext& ctx, double time) {
+  auto point = std::make_shared<SolutionPoint>();
+  point->time = time;
+  point->x = ctx.x;
+  point->q = ctx.state_now;
+  point->qdot.assign(ctx.state_now.size(), 0.0);
+  return point;
+}
+
+}  // namespace wavepipe::engine

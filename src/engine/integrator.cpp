@@ -1,0 +1,81 @@
+#include "engine/integrator.hpp"
+
+#include "util/error.hpp"
+
+namespace wavepipe::engine {
+
+IntegrationPlan PlanIntegration(Method requested, double t_new, const HistoryWindow& window,
+                                std::span<double> state_hist) {
+  WP_ASSERT(!window.empty());
+  const SolutionPoint& newest = *window.back();
+  const double h = t_new - newest.time;
+  WP_ASSERT(h > 0.0);
+  WP_ASSERT(state_hist.size() == newest.q.size());
+
+  IntegrationPlan plan;
+  plan.h = h;
+
+  Method method = requested;
+  if (method == Method::kGear2) {
+    // Gear-2 needs at least one non-auxiliary point before the newest.
+    bool have_prev = false;
+    for (std::size_t i = 0; i + 1 < window.size(); ++i) {
+      have_prev |= !window[i]->auxiliary;
+    }
+    if (!have_prev) method = Method::kBackwardEuler;
+  }
+  plan.effective_method = method;
+  plan.order = MethodOrder(method);
+
+  switch (method) {
+    case Method::kBackwardEuler: {
+      plan.a0 = 1.0 / h;
+      for (std::size_t s = 0; s < state_hist.size(); ++s) {
+        state_hist[s] = -newest.q[s] / h;
+      }
+      break;
+    }
+    case Method::kTrapezoidal: {
+      plan.a0 = 2.0 / h;
+      for (std::size_t s = 0; s < state_hist.size(); ++s) {
+        state_hist[s] = -2.0 * newest.q[s] / h - newest.qdot[s];
+      }
+      break;
+    }
+    case Method::kGear2: {
+      // Skip auxiliary (backward-pipelined) points: see SolutionPoint docs.
+      const SolutionPoint* prev_ptr = nullptr;
+      for (std::size_t i = window.size() - 1; i-- > 0;) {
+        if (!window[i]->auxiliary) {
+          prev_ptr = window[i].get();
+          break;
+        }
+      }
+      if (prev_ptr == nullptr) prev_ptr = window[window.size() - 2].get();
+      const SolutionPoint& prev = *prev_ptr;
+      const double h_prev = newest.time - prev.time;
+      WP_ASSERT(h_prev > 0.0);
+      const double r = h / h_prev;
+      const double a0 = (1 + 2 * r) / (h * (1 + r));
+      const double a1 = -(1 + r) / h;  // times (1+r)/h... coefficient of q_n
+      const double a2 = r * r / (h * (1 + r));
+      plan.a0 = a0;
+      for (std::size_t s = 0; s < state_hist.size(); ++s) {
+        state_hist[s] = a1 * newest.q[s] + a2 * prev.q[s];
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+void ComputeQdot(const IntegrationPlan& plan, std::span<const double> q_new,
+                 std::span<const double> state_hist, std::span<double> qdot_out) {
+  WP_ASSERT(q_new.size() == state_hist.size());
+  WP_ASSERT(q_new.size() == qdot_out.size());
+  for (std::size_t s = 0; s < q_new.size(); ++s) {
+    qdot_out[s] = plan.a0 * q_new[s] + state_hist[s];
+  }
+}
+
+}  // namespace wavepipe::engine

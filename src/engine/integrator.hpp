@@ -1,0 +1,44 @@
+// Variable-step implicit integration coefficients.
+//
+// Every dynamic device hands its charge/flux q to the engine and receives
+// dq/dt ≈ a0·q_new + hist, where hist collects the method's dependence on
+// past accepted points:
+//
+//   backward Euler:  dq/dt = (q_new − q_n) / h
+//   trapezoidal:     dq/dt = 2(q_new − q_n)/h − qdot_n
+//   Gear-2 (BDF2), variable step with r = h/h_prev:
+//                    dq/dt = a0·q_new + a1·q_n + a2·q_{n−1}
+//                    a0 = (1+2r)/(h(1+r)),  a1 = −(1+r)/h,  a2 = r²/(h(1+r))
+//
+// The requested method degrades gracefully when history is short: Gear-2
+// needs two past points and falls back to backward Euler on the first step.
+#pragma once
+
+#include <span>
+
+#include "engine/history.hpp"
+#include "engine/options.hpp"
+
+namespace wavepipe::engine {
+
+struct IntegrationPlan {
+  Method effective_method = Method::kBackwardEuler;  ///< after degradation
+  int order = 1;
+  double a0 = 0.0;
+  double h = 0.0;  ///< t_new − newest history time
+};
+
+/// Builds the coefficient a0 and fills `state_hist` (one entry per device
+/// state) for a step from the newest point of `window` to `t_new`.
+/// `window` must be time-ascending with at least one point, and
+/// t_new > window.back()->time.
+IntegrationPlan PlanIntegration(Method requested, double t_new, const HistoryWindow& window,
+                                std::span<double> state_hist);
+
+/// Computes qdot at the new point for every state, given the plan used to
+/// solve it:  qdot = a0·q_new + hist.  Stored into the accepted point so the
+/// trapezoidal rule can consume it on the next step.
+void ComputeQdot(const IntegrationPlan& plan, std::span<const double> q_new,
+                 std::span<const double> state_hist, std::span<double> qdot_out);
+
+}  // namespace wavepipe::engine

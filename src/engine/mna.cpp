@@ -1,0 +1,68 @@
+#include "engine/mna.hpp"
+
+#include "engine/circuit.hpp"
+#include "sparse/triplet.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::engine {
+namespace {
+
+/// Pass 1: records coordinates, returns placeholder slots.
+class CollectingPatternBuilder final : public devices::PatternBuilder {
+ public:
+  explicit CollectingPatternBuilder(sparse::TripletBuilder& builder) : builder_(builder) {}
+
+  int Entry(int row, int col) override {
+    if (row < 0 || col < 0) return -1;  // ground row/col: discarded
+    builder_.AddPattern(row, col);
+    return -1;
+  }
+
+ private:
+  sparse::TripletBuilder& builder_;
+};
+
+/// Pass 2: resolves coordinates against the final CSC pattern.
+class ResolvingPatternBuilder final : public devices::PatternBuilder {
+ public:
+  explicit ResolvingPatternBuilder(const sparse::CscMatrix& pattern) : pattern_(pattern) {}
+
+  int Entry(int row, int col) override {
+    if (row < 0 || col < 0) return -1;
+    const int slot = pattern_.FindEntry(row, col);
+    WP_ASSERT(slot >= 0);  // pass 1 must have declared it
+    return slot;
+  }
+
+ private:
+  const sparse::CscMatrix& pattern_;
+};
+
+}  // namespace
+
+MnaStructure::MnaStructure(const Circuit& circuit) {
+  WP_ASSERT(circuit.finalized());
+  dimension_ = circuit.num_unknowns();
+
+  sparse::TripletBuilder builder(dimension_, dimension_);
+  // Every node diagonal is structural: gmin stepping and the gmin shunts
+  // need a slot there even when no device stamps it.
+  for (int i = 0; i < circuit.num_nodes(); ++i) builder.AddPattern(i, i);
+
+  CollectingPatternBuilder collect(builder);
+  for (const auto& device : circuit.devices()) device->DeclarePattern(collect);
+  pattern_ = builder.ToCsc();
+  pattern_.ZeroValues();
+
+  ResolvingPatternBuilder resolve(pattern_);
+  for (const auto& device : circuit.devices()) device->DeclarePattern(resolve);
+
+  node_diag_slots_.resize(static_cast<std::size_t>(circuit.num_nodes()));
+  for (int i = 0; i < circuit.num_nodes(); ++i) {
+    const int slot = pattern_.FindEntry(i, i);
+    WP_ASSERT(slot >= 0);
+    node_diag_slots_[static_cast<std::size_t>(i)] = slot;
+  }
+}
+
+}  // namespace wavepipe::engine

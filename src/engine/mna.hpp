@@ -1,0 +1,41 @@
+// MNA structure: the shared, immutable sparsity pattern of the Jacobian plus
+// the slot table that lets devices write matrix values without searching.
+//
+// Built once per circuit.  Each solver thread then owns a SolveContext with a
+// private copy of the value array (same pattern), so concurrent WavePipe
+// solves never share mutable matrix state.
+#pragma once
+
+#include <vector>
+
+#include "devices/context.hpp"
+#include "sparse/csc.hpp"
+
+namespace wavepipe::engine {
+
+class Circuit;
+
+class MnaStructure {
+ public:
+  /// Runs the DeclarePattern phase over the circuit (twice: collect, then
+  /// resolve to CSC value indices — devices keep the ids of the second pass).
+  explicit MnaStructure(const Circuit& circuit);
+
+  /// Pattern matrix with all values zero; SolveContexts copy it.
+  const sparse::CscMatrix& pattern() const { return pattern_; }
+
+  int dimension() const { return dimension_; }
+  std::size_t nnz() const { return pattern_.num_nonzeros(); }
+
+  /// CSC value index of diagonal (i, i) for each node unknown: where gmin
+  /// stepping adds its continuation conductance.  Always present (the
+  /// structure declares every node diagonal).
+  const std::vector<int>& node_diag_slots() const { return node_diag_slots_; }
+
+ private:
+  int dimension_ = 0;
+  sparse::CscMatrix pattern_;
+  std::vector<int> node_diag_slots_;
+};
+
+}  // namespace wavepipe::engine

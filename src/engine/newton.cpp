@@ -1,0 +1,139 @@
+#include "engine/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wavepipe::engine {
+
+SolveContext::SolveContext(const Circuit& circuit, const MnaStructure& structure)
+    : matrix(structure.pattern()),
+      rhs(static_cast<std::size_t>(structure.dimension()), 0.0),
+      x(static_cast<std::size_t>(structure.dimension()), 0.0),
+      x_new(static_cast<std::size_t>(structure.dimension()), 0.0),
+      state_now(static_cast<std::size_t>(circuit.num_states()), 0.0),
+      state_hist(static_cast<std::size_t>(circuit.num_states()), 0.0),
+      limit_a(static_cast<std::size_t>(circuit.num_limit_slots()), 0.0),
+      limit_b(static_cast<std::size_t>(circuit.num_limit_slots()), 0.0),
+      circuit_(&circuit),
+      structure_(&structure) {
+  WP_ASSERT(circuit.finalized());
+}
+
+void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid,
+                 bool first_iteration) {
+  ctx.matrix.ZeroValues();
+  std::fill(ctx.rhs.begin(), ctx.rhs.end(), 0.0);
+
+  devices::EvalContext eval;
+  eval.time = inputs.time;
+  eval.a0 = inputs.a0;
+  eval.transient = inputs.transient;
+  eval.first_iteration = first_iteration;
+  eval.gmin = inputs.gmin;
+  eval.source_scale = inputs.source_scale;
+  eval.x = ctx.x;
+  eval.jacobian_values = ctx.matrix.mutable_values();
+  eval.rhs = ctx.rhs;
+  eval.state_now = ctx.state_now;
+  eval.state_hist = ctx.state_hist;
+  eval.limit_prev = ctx.limit_a;
+  eval.limit_now = ctx.limit_b;
+  eval.limit_valid = limit_valid;
+
+  for (const auto& device : ctx.circuit().devices()) device->Eval(eval);
+
+  // Gmin-stepping shunt: conductance from every node to ground.  Stamped
+  // after devices so it can't be overwritten.
+  if (inputs.gshunt > 0.0) {
+    auto values = ctx.matrix.mutable_values();
+    for (int slot : ctx.structure().node_diag_slots()) values[slot] += inputs.gshunt;
+  }
+
+  // Nodeset clamps (.ic): tie each listed node to its target voltage.
+  if (inputs.nodeset_g > 0.0) {
+    auto values = ctx.matrix.mutable_values();
+    const auto& diag = ctx.structure().node_diag_slots();
+    for (const auto& [node, volts] : inputs.nodesets) {
+      if (node < 0 || node >= static_cast<int>(diag.size())) continue;  // voltages only
+      values[diag[static_cast<std::size_t>(node)]] += inputs.nodeset_g;
+      ctx.rhs[static_cast<std::size_t>(node)] += inputs.nodeset_g * volts;
+    }
+  }
+
+  // The values just written to limit_b become "previous" for the next pass.
+  std::swap(ctx.limit_a, ctx.limit_b);
+}
+
+NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
+                        const SimOptions& options, int max_iterations) {
+  const int n = ctx.structure().dimension();
+  const int num_nodes = ctx.circuit().num_nodes();
+  NewtonStats stats;
+
+  bool limit_valid = false;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    stats.iterations = iter + 1;
+    ++ctx.total_newton_iterations;
+
+    EvalDevices(ctx, inputs, limit_valid, iter == 0);
+    limit_valid = true;
+
+    const auto before_factor = ctx.lu.stats().factor_count;
+    const auto before_refactor = ctx.lu.stats().refactor_count;
+    ctx.lu.FactorOrRefactor(ctx.matrix);
+    stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
+    stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
+
+    std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
+    ctx.lu.Solve(ctx.x_new);
+
+    // Weighted max-norm convergence test (SPICE-style).
+    double worst = 0.0;
+    bool finite = true;
+    for (int i = 0; i < n; ++i) {
+      const double xn = ctx.x_new[i];
+      if (!std::isfinite(xn)) {
+        finite = false;
+        break;
+      }
+      const double tol = options.reltol * std::max(std::abs(xn), std::abs(ctx.x[i])) +
+                         (i < num_nodes ? options.vntol : options.abstol);
+      worst = std::max(worst, std::abs(xn - ctx.x[i]) / tol);
+    }
+    if (!finite) {
+      // Diverged; restart damping won't save an inf/NaN iterate.
+      stats.converged = false;
+      stats.final_delta = std::numeric_limits<double>::infinity();
+      return stats;
+    }
+
+    std::swap(ctx.x, ctx.x_new);
+    stats.final_delta = worst;
+    // Convergence: the weighted update is within tolerance.  Nonlinear
+    // circuits normally need a confirming second pass (the first update away
+    // from an arbitrary guess says nothing) — EXCEPT when the very first
+    // update is already far inside tolerance: then the seed was the solution
+    // (hot start), and demanding another iteration would make forward
+    // pipelining's repair pass as expensive as a cold solve.
+    const bool hot_start_accept = worst <= 0.05;
+    const bool confirmed =
+        worst <= 1.0 &&
+        (iter >= 1 || !ctx.circuit().is_nonlinear() || inputs.trusted_seed);
+    if (confirmed || hot_start_accept) {
+      stats.converged = true;
+      // ctx.state_now was evaluated at the pre-update iterate; refresh it at
+      // the converged point unless the update was too small to matter.
+      if (worst > 0.1) {
+        EvalDevices(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false);
+      }
+      return stats;
+    }
+  }
+  stats.converged = false;
+  return stats;
+}
+
+}  // namespace wavepipe::engine

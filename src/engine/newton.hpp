@@ -1,0 +1,86 @@
+// Newton–Raphson nonlinear solver and its per-thread workspace.
+//
+// SolveContext bundles everything one solver thread mutates: Jacobian
+// values, RHS, iterate, dynamic state, limiting memory, and the sparse LU.
+// WavePipe gives each worker its own SolveContext; the Circuit and
+// MnaStructure stay shared and read-only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/circuit.hpp"
+#include "engine/mna.hpp"
+#include "engine/options.hpp"
+#include "sparse/lu.hpp"
+
+namespace wavepipe::engine {
+
+struct NewtonStats {
+  bool converged = false;
+  int iterations = 0;
+  double final_delta = 0.0;   ///< max weighted update of the last iteration
+  int lu_full_factors = 0;
+  int lu_refactors = 0;
+};
+
+class SolveContext {
+ public:
+  SolveContext(const Circuit& circuit, const MnaStructure& structure);
+
+  const Circuit& circuit() const { return *circuit_; }
+  const MnaStructure& structure() const { return *structure_; }
+
+  // Workspaces (public by design: the Newton loop, the DC continuation and
+  // the integrators all operate on them directly).
+  sparse::CscMatrix matrix;        ///< private copy of the pattern
+  std::vector<double> rhs;
+  std::vector<double> x;           ///< current iterate / final solution
+  std::vector<double> x_new;
+  std::vector<double> state_now;   ///< charges of the current iterate
+  std::vector<double> state_hist;  ///< integrator history term per state
+  std::vector<double> limit_a, limit_b;
+  sparse::SparseLu lu;
+
+  std::uint64_t total_newton_iterations = 0;  ///< lifetime counter
+
+ private:
+  const Circuit* circuit_;
+  const MnaStructure* structure_;
+};
+
+struct NewtonInputs {
+  double time = 0.0;         ///< absolute time (ignored for DC)
+  double a0 = 0.0;           ///< integrator derivative coefficient (0 = DC)
+  bool transient = false;
+  double gmin = 1e-12;       ///< junction gmin handed to devices
+  double gshunt = 0.0;       ///< extra node-diagonal conductance (gmin stepping)
+  double source_scale = 1.0; ///< source-stepping continuation factor
+  /// The caller attests the initial guess is already near the solution
+  /// (forward pipelining's repair seeds with a validated speculative
+  /// solution).  Permits convergence on the very first iteration at the
+  /// standard tolerance — the usual "confirming second pass" exists only to
+  /// protect against arbitrary starting points.
+  bool trusted_seed = false;
+
+  /// Nodeset clamps: each (node unknown, volts) pair is tied to its target
+  /// through a conductance of `nodeset_g` siemens (SPICE's .ic/.nodeset
+  /// 1-ohm forcing).  Applied when nodeset_g > 0; the DC ladder runs one
+  /// clamped pass, then releases and re-solves.
+  std::span<const std::pair<int, double>> nodesets;
+  double nodeset_g = 0.0;
+};
+
+/// Runs Newton–Raphson from the initial guess already stored in ctx.x.
+/// state_hist must be filled by the caller (zero for DC).  On success ctx.x
+/// is the solution and ctx.state_now the consistent charges.
+NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
+                        const SimOptions& options, int max_iterations);
+
+/// Evaluates all devices at ctx.x into ctx.matrix/ctx.rhs/ctx.state_now
+/// (one model pass, no solve).  `limit_valid` selects whether limiting
+/// history from the previous pass is honoured.
+void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid,
+                 bool first_iteration);
+
+}  // namespace wavepipe::engine

@@ -1,0 +1,55 @@
+// Simulation options shared by DC, transient, and the WavePipe schedulers.
+// Field names and defaults follow SPICE .options conventions.
+#pragma once
+
+namespace wavepipe::engine {
+
+/// Implicit integration method for transient analysis.
+enum class Method {
+  kBackwardEuler,  ///< order 1, L-stable; used for the first step and restarts
+  kTrapezoidal,    ///< order 2, A-stable; SPICE default
+  kGear2,          ///< order 2 BDF, L-stable; preferred for stiff circuits
+};
+
+inline const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kBackwardEuler: return "be";
+    case Method::kTrapezoidal: return "trap";
+    case Method::kGear2: return "gear2";
+  }
+  return "?";
+}
+
+/// Integration order of a method (the LTE exponent is order + 1).
+inline int MethodOrder(Method m) { return m == Method::kBackwardEuler ? 1 : 2; }
+
+struct SimOptions {
+  // ---- tolerances (SPICE defaults) ---------------------------------------
+  double reltol = 1e-3;   ///< relative tolerance on all unknowns
+  double vntol = 1e-6;    ///< absolute tolerance on node voltages [V]
+  double abstol = 1e-12;  ///< absolute tolerance on branch currents [A]
+  double gmin = 1e-12;    ///< minimum junction conductance [S]
+
+  // ---- Newton-Raphson ------------------------------------------------------
+  int max_newton_iters = 60;      ///< per time point ("itl4" role)
+  int max_dcop_iters = 200;       ///< for the operating point ("itl1")
+  int gmin_stepping_steps = 12;   ///< continuation ladder length
+  int source_stepping_steps = 20;
+
+  // ---- transient step control ---------------------------------------------
+  Method method = Method::kTrapezoidal;
+  double trtol = 7.0;         ///< LTE overestimation compensation (SPICE trtol)
+  double step_safety = 0.9;   ///< multiplier on the LTE-optimal next step
+  double step_growth = 2.0;   ///< serial growth cap gamma: h_next <= gamma*h
+  double min_shrink = 0.1;    ///< floor on per-decision step reduction
+  double reject_shrink = 0.5; ///< extra factor applied on an LTE rejection
+  int newton_fail_shrink = 8; ///< divide h by this on Newton failure
+  double hmax = 0.0;          ///< 0 = auto ((tstop - tstart) / 50)
+  double hmin_ratio = 1e-9;   ///< hmin = hmin_ratio * (tstop - tstart)
+  double first_step_ratio = 1e-3;  ///< h0 = ratio * min(tstep, hmax)
+
+  // ---- bookkeeping ----------------------------------------------------------
+  int history_depth = 8;  ///< solution points kept for predictors/LTE
+};
+
+}  // namespace wavepipe::engine

@@ -1,0 +1,102 @@
+#include "engine/step_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wavepipe::engine {
+
+void PredictSolution(const HistoryWindow& window, int points, double t_new,
+                     std::span<double> out) {
+  PredictField(window, points, t_new, &SolutionPoint::x, out);
+}
+
+SolutionPointPtr PredictPoint(const HistoryWindow& window, int points, double t_new) {
+  WP_ASSERT(!window.empty());
+  auto point = std::make_shared<SolutionPoint>();
+  point->time = t_new;
+  point->auxiliary = true;
+  point->x.resize(window.back()->x.size());
+  point->q.resize(window.back()->q.size());
+  point->qdot.resize(window.back()->qdot.size());
+  PredictField(window, points, t_new, &SolutionPoint::x, point->x);
+  PredictField(window, points, t_new, &SolutionPoint::q, point->q);
+  PredictField(window, points, t_new, &SolutionPoint::qdot, point->qdot);
+  return point;
+}
+
+void PredictField(const HistoryWindow& window, int points, double t_new,
+                  const std::vector<double> SolutionPoint::*field, std::span<double> out) {
+  WP_ASSERT(!window.empty());
+  const int m = std::min<int>(points, static_cast<int>(window.size()));
+  WP_ASSERT(m >= 1);
+  const std::size_t n = out.size();
+
+  // Use the m newest points (ascending time): window[size-m .. size-1].
+  const std::size_t base = window.size() - static_cast<std::size_t>(m);
+  std::vector<double> times(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    times[i] = window[base + static_cast<std::size_t>(i)]->time;
+    WP_ASSERT(((*window[base + static_cast<std::size_t>(i)]).*field).size() == n);
+  }
+
+  // Lagrange-basis extrapolation, vectorized over unknowns.  m is at most 4,
+  // so the O(m^2) basis weights are negligible next to the O(m·n) sweep.
+  std::fill(out.begin(), out.end(), 0.0);
+  for (int i = 0; i < m; ++i) {
+    double weight = 1.0;
+    for (int j = 0; j < m; ++j) {
+      if (j == i) continue;
+      weight *= (t_new - times[j]) / (times[i] - times[j]);
+    }
+    const auto& xi = (*window[base + static_cast<std::size_t>(i)]).*field;
+    for (std::size_t u = 0; u < n; ++u) out[u] += weight * xi[u];
+  }
+}
+
+StepAssessment AssessStep(std::span<const double> solved, std::span<const double> predicted,
+                          double h, bool lte_active, const StepControlParams& params) {
+  WP_ASSERT(solved.size() == predicted.size());
+  StepAssessment out;
+
+  if (!lte_active) {
+    out.accept = true;
+    out.error = 0.0;
+    out.h_next = h * params.growth_cap;
+    return out;
+  }
+
+  out.error = SolutionWrmsDistance(solved, predicted, params) / params.trtol;
+  out.accept = out.error <= 1.0;
+
+  // Optimal-step rule; the tiny floor on error avoids div-by-zero blowup on
+  // exactly-polynomial waveforms.
+  const double exponent = -1.0 / (params.order + 1);
+  double factor = params.safety * std::pow(std::max(out.error, 1e-10), exponent);
+  factor = std::clamp(factor, params.min_shrink, params.growth_cap);
+  if (!out.accept) factor = std::min(factor, params.reject_shrink);
+  out.h_next = h * factor;
+  return out;
+}
+
+double SolutionWrmsDistance(std::span<const double> a, std::span<const double> b,
+                            const StepControlParams& params) {
+  WP_ASSERT(a.size() == b.size());
+  if (params.norm_unknowns >= 0) {
+    a = a.subspan(0, static_cast<std::size_t>(params.norm_unknowns));
+    b = b.subspan(0, static_cast<std::size_t>(params.norm_unknowns));
+  }
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double tol =
+        params.reltol * std::max(std::abs(a[i]), std::abs(b[i])) +
+        (static_cast<int>(i) < params.num_nodes ? params.vntol : params.abstol);
+    const double e = (a[i] - b[i]) / tol;
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace wavepipe::engine

@@ -1,0 +1,86 @@
+// Predictor and LTE-based step-size control.
+//
+// The controller is the heart of both serial SPICE and WavePipe's backward
+// pipelining, so its contract is spelled out precisely:
+//
+//  * Before a solve, the solution at the new time is PREDICTED by polynomial
+//    extrapolation (divided differences) through the newest history points.
+//    The prediction doubles as the Newton initial guess.
+//
+//  * After the solve, the local truncation error is estimated from the
+//    predictor–corrector difference:  err = WRMS(x − x̂) / trtol, with
+//    SPICE-style weights reltol·|x| + abstol.  err ≤ 1 accepts the step.
+//
+//  * The next step size follows the classic optimal-step rule
+//      h_next = h · safety · err^(−1/(order+1))
+//    clamped to [min_shrink·h, growth_cap·h].  The growth cap exists because
+//    the divided-difference derivative estimate behind `err` loses accuracy
+//    when consecutive steps differ wildly — THE hook WavePipe's backward
+//    pipelining exploits: an extra solution point close behind the leading
+//    edge keeps the estimate trustworthy over a longer extrapolation range,
+//    so the cap can be raised (see wavepipe/bwp.hpp).
+#pragma once
+
+#include <span>
+
+#include "engine/history.hpp"
+#include "engine/options.hpp"
+
+namespace wavepipe::engine {
+
+/// Extrapolates x(t_new) through the newest `points` history entries.
+/// points is clamped to window size.
+void PredictSolution(const HistoryWindow& window, int points, double t_new,
+                     std::span<double> out);
+
+/// Same extrapolation over any per-point vector field (x, q, qdot).  Forward
+/// pipelining uses this to fabricate the predicted history point a
+/// speculative solve integrates from.
+void PredictField(const HistoryWindow& window, int points, double t_new,
+                  const std::vector<double> SolutionPoint::*field, std::span<double> out);
+
+/// Fabricates a complete predicted SolutionPoint at t_new (x, q, qdot all
+/// extrapolated).  Marked auxiliary.
+SolutionPointPtr PredictPoint(const HistoryWindow& window, int points, double t_new);
+
+struct StepAssessment {
+  bool accept = false;
+  double error = 0.0;   ///< normalized LTE estimate (accept iff <= 1)
+  double h_next = 0.0;  ///< recommended next step (after accept OR reject)
+};
+
+struct StepControlParams {
+  double reltol = 1e-3;
+  double vntol = 1e-6;
+  double abstol = 1e-12;
+  double trtol = 7.0;
+  double safety = 0.9;
+  double growth_cap = 2.0;   ///< gamma; raised by backward pipelining
+  double min_shrink = 0.1;
+  double reject_shrink = 0.5;
+  int order = 2;
+  int num_nodes = 0;  ///< unknowns below this index use vntol, others abstol
+  /// Restrict the LTE / prediction-distance norm to the first
+  /// `norm_unknowns` entries (-1 = all).  The engine sets this to the node
+  /// count: branch currents of voltage-source-like elements are algebraic,
+  /// derivative-coupled unknowns whose solved value is inconsistent with
+  /// extrapolated history by O(LTE/h) — including them pins the error
+  /// estimate above 1 at any step size.  Classic SPICE likewise excludes
+  /// source currents from truncation-error control.
+  int norm_unknowns = -1;
+};
+
+/// Assesses a solved candidate against its prediction.  `h` is the step that
+/// produced the candidate.  When `lte_active` is false (first step after DC
+/// or a breakpoint, where no meaningful predictor exists) the step is
+/// accepted unconditionally and h_next grows by the cap.
+StepAssessment AssessStep(std::span<const double> solved, std::span<const double> predicted,
+                          double h, bool lte_active, const StepControlParams& params);
+
+/// Weighted RMS distance between two solution vectors using the same weight
+/// recipe as the LTE test; used by FWP prediction validation and by the
+/// accuracy benches.
+double SolutionWrmsDistance(std::span<const double> a, std::span<const double> b,
+                            const StepControlParams& params);
+
+}  // namespace wavepipe::engine

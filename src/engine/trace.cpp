@@ -1,0 +1,73 @@
+#include "engine/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wavepipe::engine {
+
+ProbeSet ProbeSet::All(int num_unknowns) {
+  ProbeSet out;
+  out.unknowns.reserve(static_cast<std::size_t>(num_unknowns));
+  for (int i = 0; i < num_unknowns; ++i) {
+    out.unknowns.push_back(i);
+    out.names.push_back("u" + std::to_string(i));
+  }
+  return out;
+}
+
+ProbeSet ProbeSet::FirstNodes(int num_nodes, int limit) {
+  ProbeSet out;
+  const int n = std::min(num_nodes, limit);
+  for (int i = 0; i < n; ++i) {
+    out.unknowns.push_back(i);
+    out.names.push_back("v" + std::to_string(i));
+  }
+  return out;
+}
+
+void Trace::Record(double time, std::span<const double> full_solution) {
+  WP_ASSERT(times_.empty() || time > times_.back());
+  times_.push_back(time);
+  for (int u : probes_.unknowns) {
+    values_.push_back(full_solution[static_cast<std::size_t>(u)]);
+  }
+}
+
+double Trace::Interpolate(double t, std::size_t p) const {
+  WP_ASSERT(!times_.empty());
+  WP_ASSERT(p < probes_.size());
+  if (t <= times_.front()) return value(0, p);
+  if (t >= times_.back()) return value(times_.size() - 1, p);
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return value(lo, p) + f * (value(hi, p) - value(lo, p));
+}
+
+std::vector<std::pair<double, double>> Trace::Series(std::size_t p) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(times_.size());
+  for (std::size_t i = 0; i < times_.size(); ++i) out.emplace_back(times_[i], value(i, p));
+  return out;
+}
+
+double Trace::MaxDeviation(const Trace& a, const Trace& b, std::size_t p) {
+  double worst = 0.0;
+  for (double t : a.times_) worst = std::max(worst, std::abs(a.Interpolate(t, p) - b.Interpolate(t, p)));
+  for (double t : b.times_) worst = std::max(worst, std::abs(a.Interpolate(t, p) - b.Interpolate(t, p)));
+  return worst;
+}
+
+double Trace::MaxDeviationAll(const Trace& a, const Trace& b) {
+  WP_ASSERT(a.probes_.size() == b.probes_.size());
+  double worst = 0.0;
+  for (std::size_t p = 0; p < a.probes_.size(); ++p) {
+    worst = std::max(worst, MaxDeviation(a, b, p));
+  }
+  return worst;
+}
+
+}  // namespace wavepipe::engine

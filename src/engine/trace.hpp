@@ -1,0 +1,62 @@
+// Recorded waveforms: (time, probed values) samples of a transient run, with
+// interpolation and comparison utilities for the accuracy experiments.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wavepipe::engine {
+
+/// Which unknowns a transient run records.  Recording everything is O(steps
+/// × unknowns) memory, so big-circuit benches probe a subset.
+struct ProbeSet {
+  std::vector<int> unknowns;      ///< unknown indices, in recording order
+  std::vector<std::string> names; ///< parallel display names
+
+  static ProbeSet All(int num_unknowns);
+  static ProbeSet FirstNodes(int num_nodes, int limit);
+
+  std::size_t size() const { return unknowns.size(); }
+};
+
+/// Time-ordered samples of the probed unknowns plus the step-size sequence.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(ProbeSet probes) : probes_(std::move(probes)) {}
+
+  const ProbeSet& probes() const { return probes_; }
+
+  void Record(double time, std::span<const double> full_solution);
+
+  std::size_t num_samples() const { return times_.size(); }
+  double time(std::size_t i) const { return times_[i]; }
+  std::span<const double> times() const { return times_; }
+
+  /// Value of probe `p` at sample `i`.
+  double value(std::size_t i, std::size_t p) const {
+    return values_[i * probes_.size() + p];
+  }
+
+  /// Linear interpolation of probe `p` at time `t` (clamped to the range).
+  double Interpolate(double t, std::size_t p) const;
+
+  /// Series (t, v) of one probe, for charts.
+  std::vector<std::pair<double, double>> Series(std::size_t p) const;
+
+  /// Max |a − b| over a common probe index, evaluated at the union of both
+  /// traces' sample times with linear interpolation.  The accuracy metric of
+  /// the paper's waveform-overlay figure.
+  static double MaxDeviation(const Trace& a, const Trace& b, std::size_t p);
+
+  /// MaxDeviation over all probes (traces must have equal probe counts).
+  static double MaxDeviationAll(const Trace& a, const Trace& b);
+
+ private:
+  ProbeSet probes_;
+  std::vector<double> times_;
+  std::vector<double> values_;  // row-major: sample * probes
+};
+
+}  // namespace wavepipe::engine

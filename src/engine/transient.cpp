@@ -1,0 +1,195 @@
+#include "engine/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace wavepipe::engine {
+
+StepControlParams MakeStepParams(const SimOptions& options, int num_nodes, int order) {
+  StepControlParams params;
+  params.reltol = options.reltol;
+  params.vntol = options.vntol;
+  params.abstol = options.abstol;
+  params.trtol = options.trtol;
+  params.safety = options.step_safety;
+  params.growth_cap = options.step_growth;
+  params.min_shrink = options.min_shrink;
+  params.reject_shrink = options.reject_shrink;
+  params.order = order;
+  params.num_nodes = num_nodes;
+  params.norm_unknowns = num_nodes;  // LTE on node voltages; see field docs
+  return params;
+}
+
+StepLimits StepLimits::FromSpec(const TransientSpec& spec, const SimOptions& options) {
+  const double span = spec.tstop - spec.tstart;
+  WP_ASSERT(span > 0.0);
+  StepLimits limits;
+  // tstep is the user's print-interval hint, NOT a step cap (SPICE3 uses
+  // span/50 as the default maximum step; TMAX/.options maxstep overrides).
+  limits.hmax = options.hmax > 0.0 ? options.hmax : span / 50.0;
+  limits.hmin = options.hmin_ratio * span;
+  limits.h0 = std::max(options.first_step_ratio * limits.hmax, limits.hmin);
+  if (spec.tstep > 0.0) limits.h0 = std::min(limits.h0, spec.tstep);
+  return limits;
+}
+
+StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, double t_new,
+                               Method method, bool restart, const SimOptions& options,
+                               std::span<const double> seed_x) {
+  WP_ASSERT(!window.empty());
+  WP_ASSERT(t_new > window.back()->time);
+  util::ThreadCpuTimer timer;
+
+  StepSolveResult result;
+  const Method effective = restart ? Method::kBackwardEuler : method;
+  result.plan = PlanIntegration(effective, t_new, window, ctx.state_hist);
+
+  // Predictor: constant on restarts (no trustworthy local polynomial),
+  // otherwise one more point than the method order.
+  const int predictor_points = restart ? 1 : result.plan.order + 1;
+  result.predicted.resize(ctx.x.size());
+  PredictSolution(window, predictor_points, t_new, result.predicted);
+  if (seed_x.empty()) {
+    ctx.x = result.predicted;
+  } else {
+    WP_ASSERT(seed_x.size() == ctx.x.size());
+    std::copy(seed_x.begin(), seed_x.end(), ctx.x.begin());
+  }
+
+  NewtonInputs inputs;
+  inputs.time = t_new;
+  inputs.a0 = result.plan.a0;
+  inputs.transient = true;
+  inputs.gmin = options.gmin;
+  inputs.source_scale = 1.0;
+  inputs.trusted_seed = !seed_x.empty();
+  result.newton = SolveNewton(ctx, inputs, options, options.max_newton_iters);
+  result.converged = result.newton.converged;
+
+  if (result.converged) {
+    auto point = std::make_shared<SolutionPoint>();
+    point->time = t_new;
+    point->x = ctx.x;
+    point->q = ctx.state_now;
+    point->qdot.resize(ctx.state_now.size());
+    ComputeQdot(result.plan, point->q, ctx.state_hist, point->qdot);
+    result.point = std::move(point);
+  }
+  result.solve_seconds = timer.Seconds();
+  return result;
+}
+
+TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& structure,
+                                   const TransientSpec& spec, const SimOptions& options) {
+  WP_ASSERT(spec.tstop > spec.tstart);
+  util::WallTimer total_timer;
+
+  TransientResult result;
+  result.trace = Trace(spec.probes.size() > 0
+                           ? spec.probes
+                           : ProbeSet::FirstNodes(circuit.num_nodes(), 16));
+
+  SolveContext ctx(circuit, structure);
+  const DcopResult dcop = SolveDcOperatingPoint(ctx, options, spec.initial_conditions);
+  result.stats.dcop_strategy = dcop.strategy;
+
+  History history(options.history_depth);
+  history.Add(MakeDcSolutionPoint(ctx, spec.tstart));
+  result.trace.Record(spec.tstart, history.newest()->x);
+
+  const StepLimits limits = StepLimits::FromSpec(spec, options);
+  std::vector<double> breakpoints = circuit.CollectBreakpoints(spec.tstart, spec.tstop);
+  std::size_t next_bp = 0;
+
+  double h = limits.h0;
+  bool restart = true;  // first step integrates off the DC point
+  int steps_since_restart = 0;
+
+  while (history.newest_time() < spec.tstop - 1e-15 * spec.tstop) {
+    const double t_now = history.newest_time();
+
+    // Clip the step to the next breakpoint / stop time.
+    h = std::clamp(h, limits.hmin, limits.hmax);
+    double t_new = t_now + h;
+    bool hit_breakpoint = false;
+    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t_now + limits.hmin) {
+      ++next_bp;  // already passed (or unreachably close)
+    }
+    if (next_bp < breakpoints.size() && t_new >= breakpoints[next_bp] - limits.hmin) {
+      t_new = breakpoints[next_bp];
+      hit_breakpoint = true;
+    }
+    if (t_new > spec.tstop) {
+      t_new = spec.tstop;
+      hit_breakpoint = false;
+    }
+
+    const HistoryWindow window = history.Window(4);
+    StepSolveResult solve =
+        SolveTimePoint(ctx, window, t_new, options.method, restart, options);
+    result.stats.newton_iterations += static_cast<std::uint64_t>(solve.newton.iterations);
+    result.stats.lu_full_factors += static_cast<std::uint64_t>(solve.newton.lu_full_factors);
+    result.stats.lu_refactors += static_cast<std::uint64_t>(solve.newton.lu_refactors);
+
+    if (!solve.converged) {
+      result.stats.steps_rejected_newton += 1;
+      if (spec.record_step_details) {
+        result.steps.push_back({t_new, t_new - t_now, solve.newton.iterations, 0.0,
+                                /*accepted=*/false, restart});
+      }
+      h = (t_new - t_now) / options.newton_fail_shrink;
+      if (h < limits.hmin) {
+        throw ConvergenceError("transient: timestep too small at t = " +
+                               std::to_string(t_now));
+      }
+      continue;
+    }
+
+    // LTE acceptance test.  Skipped while the local polynomial model is not
+    // yet trustworthy (restart step and the one following it).
+    const bool lte_active = !restart && steps_since_restart >= 1 && window.size() >= 2;
+    const StepControlParams params =
+        MakeStepParams(options, circuit.num_nodes(), solve.plan.order);
+    const StepAssessment assess = AssessStep(solve.point->x, solve.predicted,
+                                             t_new - t_now, lte_active, params);
+    if (spec.record_step_details) {
+      result.steps.push_back({t_new, t_new - t_now, solve.newton.iterations, assess.error,
+                              assess.accept, restart});
+    }
+
+    // The 1e-6 slack makes the force-accept-at-hmin comparison robust to the
+    // rounding of (t_now + hmin) - t_now.
+    if (!assess.accept && (t_new - t_now) > limits.hmin * (1.0 + 1e-6)) {
+      result.stats.steps_rejected_lte += 1;
+      h = std::max(assess.h_next, limits.hmin);
+      continue;
+    }
+
+    // Accept.
+    history.Add(solve.point);
+    result.trace.Record(t_new, solve.point->x);
+    result.stats.steps_accepted += 1;
+    result.final_point = solve.point;
+    ++steps_since_restart;
+    restart = false;
+
+    if (hit_breakpoint) {
+      ++next_bp;
+      restart = true;
+      steps_since_restart = 0;
+      h = limits.h0;
+    } else {
+      h = std::max(assess.h_next, limits.hmin);
+    }
+  }
+
+  result.stats.wall_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace wavepipe::engine

@@ -1,0 +1,105 @@
+// Transient analysis: the single-time-point solve primitive (shared with the
+// WavePipe schedulers) and the conventional serial driver (the baseline every
+// experiment compares against).
+#pragma once
+
+#include <vector>
+
+#include "engine/circuit.hpp"
+#include "engine/dcop.hpp"
+#include "engine/history.hpp"
+#include "engine/integrator.hpp"
+#include "engine/mna.hpp"
+#include "engine/newton.hpp"
+#include "engine/options.hpp"
+#include "engine/step_control.hpp"
+#include "engine/trace.hpp"
+
+namespace wavepipe::engine {
+
+/// Result of solving the circuit at one time point from a history window.
+struct StepSolveResult {
+  bool converged = false;
+  /// Null unless converged.  Mutable here (the WavePipe driver tags backward
+  /// points as auxiliary before publishing); converts to SolutionPointPtr
+  /// when added to a History.
+  std::shared_ptr<SolutionPoint> point;
+  NewtonStats newton;
+  IntegrationPlan plan;
+  std::vector<double> predicted;  ///< predictor at t_new (LTE / FWP checks)
+  double solve_seconds = 0.0;     ///< measured wall cost (feeds the ledger)
+};
+
+/// Solves the circuit at `t_new` using history `window` (time-ascending,
+/// newest last, t_new beyond it).  `restart` forces backward Euler with a
+/// constant predictor — used for the first step and after breakpoints, where
+/// extrapolating across a waveform kink would poison both the initial guess
+/// and the integrator history.
+///
+/// Pure function of (window, t_new): touches only `ctx`, never shared state,
+/// so WavePipe can run several of these concurrently on different contexts.
+///
+/// `seed_x` (optional) overrides the Newton initial guess — forward
+/// pipelining's repair pass hot-starts from the speculative solution this
+/// way.  The predictor is still computed for the LTE test.
+StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, double t_new,
+                               Method method, bool restart, const SimOptions& options,
+                               std::span<const double> seed_x = {});
+
+/// Builds the LTE/step-control parameter block from SimOptions.
+StepControlParams MakeStepParams(const SimOptions& options, int num_nodes, int order);
+
+struct TransientSpec {
+  double tstart = 0.0;
+  double tstop = 0.0;
+  double tstep = 0.0;  ///< suggested step scale (SPICE .tran TSTEP role)
+  ProbeSet probes;
+  bool record_step_details = true;  ///< keep per-step h / iteration records
+  /// Nodeset-style initial conditions (.ic): (unknown index, volts) pairs
+  /// used as the DC operating point's starting guess.  Steers multi-stable
+  /// circuits (latches, ring oscillators) toward the intended state.
+  std::vector<std::pair<int, double>> initial_conditions;
+};
+
+/// One accepted (or rejected) step, for the step-size figure.
+struct StepRecord {
+  double time = 0.0;       ///< time point solved
+  double h = 0.0;
+  int newton_iterations = 0;
+  double lte = 0.0;        ///< normalized error estimate
+  bool accepted = true;
+  bool restart_step = false;
+};
+
+struct TransientStats {
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected_lte = 0;
+  std::size_t steps_rejected_newton = 0;
+  std::uint64_t newton_iterations = 0;
+  std::uint64_t lu_full_factors = 0;
+  std::uint64_t lu_refactors = 0;
+  double wall_seconds = 0.0;
+  std::string dcop_strategy;
+};
+
+struct TransientResult {
+  Trace trace;
+  TransientStats stats;
+  std::vector<StepRecord> steps;
+  SolutionPointPtr final_point;
+};
+
+/// Conventional serial SPICE transient loop: DC operating point, then
+/// LTE-controlled variable-step integration with breakpoint handling.
+TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& structure,
+                                   const TransientSpec& spec, const SimOptions& options);
+
+/// Step scheduling limits shared by the serial and WavePipe drivers.
+struct StepLimits {
+  double hmin = 0.0;
+  double hmax = 0.0;
+  double h0 = 0.0;  ///< (re)start step size
+  static StepLimits FromSpec(const TransientSpec& spec, const SimOptions& options);
+};
+
+}  // namespace wavepipe::engine

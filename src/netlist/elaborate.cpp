@@ -1,0 +1,355 @@
+#include "netlist/elaborate.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "devices/diode.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavepipe::netlist {
+namespace {
+
+using devices::Waveform;
+using util::EqualsIgnoreCase;
+using util::ParseSpiceNumber;
+using util::ToLowerAscii;
+
+double RequireNumber(const std::string& token, int line) {
+  const auto value = ParseSpiceNumber(token);
+  if (!value) throw ParseError("expected a number, got '" + token + "'", line);
+  return *value;
+}
+
+/// Cursor over an element card's argument tokens.
+class Args {
+ public:
+  explicit Args(const ElementCard& card) : card_(card) {}
+
+  bool done() const { return pos_ >= card_.args.size(); }
+  const std::string& peek() const {
+    if (done()) throw ParseError(card_.name + ": unexpected end of line", card_.line);
+    return card_.args[pos_];
+  }
+  std::string Next() {
+    const std::string tok = peek();
+    ++pos_;
+    return tok;
+  }
+  double NextNumber() { return RequireNumber(Next(), card_.line); }
+  int line() const { return card_.line; }
+
+ private:
+  const ElementCard& card_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses the source specification tail of a V/I card:
+///   [DC value] [PULSE|SIN|EXP|PWL ( v v v ... )] | value
+/// If both DC and a time-varying function are given, the function wins for
+/// transient and its t = 0 value is used for DC (documented simplification).
+std::unique_ptr<Waveform> ParseSourceWaveform(Args& args) {
+  double dc_value = 0.0;
+
+  while (!args.done()) {
+    const std::string tok = ToLowerAscii(args.Next());
+    if (tok == "dc") {
+      dc_value = args.NextNumber();
+      continue;
+    }
+    if (tok == "pulse" || tok == "sin" || tok == "exp" || tok == "pwl") {
+      std::vector<double> v;
+      if (!args.done() && args.peek() == "(") args.Next();
+      while (!args.done() && args.peek() != ")") {
+        if (args.peek() == ",") {
+          args.Next();
+          continue;
+        }
+        v.push_back(args.NextNumber());
+      }
+      if (!args.done()) args.Next();  // consume ')'
+
+      auto get = [&](std::size_t i, double fallback) {
+        return i < v.size() ? v[i] : fallback;
+      };
+      if (tok == "pulse") {
+        if (v.size() < 2) throw ParseError("PULSE needs at least v1 v2", args.line());
+        return std::make_unique<devices::PulseWaveform>(
+            v[0], v[1], get(2, 0.0), get(3, 0.0), get(4, 0.0), get(5, 1e30), get(6, 0.0));
+      }
+      if (tok == "sin") {
+        if (v.size() < 3) throw ParseError("SIN needs vo va freq", args.line());
+        return std::make_unique<devices::SinWaveform>(v[0], v[1], v[2], get(3, 0.0),
+                                                      get(4, 0.0));
+      }
+      if (tok == "exp") {
+        if (v.size() < 2) throw ParseError("EXP needs v1 v2", args.line());
+        const double td1 = get(2, 0.0);
+        const double tau1 = get(3, 1e-9);
+        const double td2 = get(4, td1 + tau1);
+        const double tau2 = get(5, tau1);
+        return std::make_unique<devices::ExpWaveform>(v[0], v[1], td1, tau1, td2, tau2);
+      }
+      // PWL.
+      if (v.size() < 2 || v.size() % 2 != 0) {
+        throw ParseError("PWL needs t/v pairs", args.line());
+      }
+      std::vector<std::pair<double, double>> points;
+      for (std::size_t i = 0; i + 1 < v.size(); i += 2) points.emplace_back(v[i], v[i + 1]);
+      return std::make_unique<devices::PwlWaveform>(std::move(points));
+    }
+    // Bare number = DC value.
+    const auto value = ParseSpiceNumber(tok);
+    if (!value) throw ParseError("unexpected source token '" + tok + "'", args.line());
+    dc_value = *value;
+  }
+  return std::make_unique<devices::DcWaveform>(dc_value);
+}
+
+double ModelParam(const ModelCard& card, const char* key, double fallback) {
+  const auto it = card.params.find(key);
+  return it == card.params.end() ? fallback : it->second;
+}
+
+devices::DiodeModel BuildDiodeModel(const ModelCard& card) {
+  devices::DiodeModel m;
+  m.name = card.name;
+  m.is = ModelParam(card, "is", m.is);
+  m.n = ModelParam(card, "n", m.n);
+  m.rs = ModelParam(card, "rs", m.rs);
+  m.cj0 = ModelParam(card, "cjo", ModelParam(card, "cj0", m.cj0));
+  m.vj = ModelParam(card, "vj", m.vj);
+  m.m = ModelParam(card, "m", m.m);
+  m.tt = ModelParam(card, "tt", m.tt);
+  return m;
+}
+
+devices::MosfetModel BuildMosfetModel(const ModelCard& card) {
+  const double level = ModelParam(card, "level", 1.0);
+  if (level != 1.0) {
+    throw ElaborationError(".model " + card.name + ": only LEVEL=1 is supported");
+  }
+  devices::MosfetModel m;
+  m.name = card.name;
+  m.type = card.type == "pmos" ? -1 : 1;
+  m.vto = ModelParam(card, "vto", m.type == 1 ? 0.7 : -0.7);
+  m.kp = ModelParam(card, "kp", m.type == 1 ? 110e-6 : 40e-6);
+  m.gamma = ModelParam(card, "gamma", m.gamma);
+  m.phi = ModelParam(card, "phi", m.phi);
+  m.lambda = ModelParam(card, "lambda", m.lambda);
+  m.tox = ModelParam(card, "tox", m.tox);
+  m.cgso = ModelParam(card, "cgso", m.cgso);
+  m.cgdo = ModelParam(card, "cgdo", m.cgdo);
+  m.cgbo = ModelParam(card, "cgbo", m.cgbo);
+  m.meyer = ModelParam(card, "meyer", 0.0) != 0.0;
+  return m;
+}
+
+const ModelCard& FindModel(const ParsedNetlist& netlist, const std::string& name,
+                           int line) {
+  const auto it = netlist.models.find(ToLowerAscii(name));
+  if (it == netlist.models.end()) {
+    throw ParseError("unknown .model '" + name + "'", line);
+  }
+  return it->second;
+}
+
+engine::SimOptions BuildSimOptions(const ParsedNetlist& netlist) {
+  engine::SimOptions sim;
+  for (const auto& [key, value] : netlist.options) {
+    const auto number = ParseSpiceNumber(value);
+    if (key == "reltol" && number) sim.reltol = *number;
+    else if (key == "abstol" && number) sim.abstol = *number;
+    else if (key == "vntol" && number) sim.vntol = *number;
+    else if (key == "gmin" && number) sim.gmin = *number;
+    else if (key == "trtol" && number) sim.trtol = *number;
+    else if ((key == "itl4" || key == "itl1") && number) {
+      if (key == "itl4") sim.max_newton_iters = static_cast<int>(*number);
+      else sim.max_dcop_iters = static_cast<int>(*number);
+    } else if (key == "maxstep" && number) {
+      sim.hmax = *number;
+    } else if (key == "method") {
+      if (value == "trap" || value == "trapezoidal") sim.method = engine::Method::kTrapezoidal;
+      else if (value == "gear" || value == "gear2") sim.method = engine::Method::kGear2;
+      else if (value == "be" || value == "euler") sim.method = engine::Method::kBackwardEuler;
+      else throw ElaborationError(".options method: unknown method '" + value + "'");
+    }
+    // Unknown options are accepted and ignored, as in SPICE.
+  }
+  return sim;
+}
+
+}  // namespace
+
+ElaboratedCircuit Elaborate(const ParsedNetlist& netlist) {
+  ElaboratedCircuit out;
+  out.title = netlist.title;
+  out.circuit = std::make_unique<engine::Circuit>();
+  engine::Circuit& c = *out.circuit;
+
+  std::set<std::string> names;
+  for (const ElementCard& card : netlist.elements) {
+    if (!names.insert(card.name).second) {
+      throw ElaborationError("duplicate instance name '" + card.name + "'");
+    }
+    Args args(card);
+    switch (card.kind) {
+      case 'r': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        const double value = args.NextNumber();
+        if (value == 0.0) throw ElaborationError(card.name + ": zero resistance");
+        c.Emplace<devices::Resistor>(card.name, p, n, value);
+        break;
+      }
+      case 'c': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        c.Emplace<devices::Capacitor>(card.name, p, n, args.NextNumber());
+        break;
+      }
+      case 'l': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        c.Emplace<devices::Inductor>(card.name, p, n, args.NextNumber());
+        break;
+      }
+      case 'k': {
+        const std::string l1 = ToLowerAscii(args.Next());
+        const std::string l2 = ToLowerAscii(args.Next());
+        const double k = args.NextNumber();
+        // Inductance values are needed for M = k*sqrt(L1*L2); find them.
+        auto find_l = [&](const std::string& lname) -> double {
+          for (const ElementCard& e : netlist.elements) {
+            if (e.kind == 'l' && e.name == lname && e.args.size() >= 3) {
+              return RequireNumber(e.args[2], e.line);
+            }
+          }
+          throw ElaborationError(card.name + ": unknown inductor '" + lname + "'");
+        };
+        c.Emplace<devices::MutualInductance>(card.name, l1, l2, k, find_l(l1), find_l(l2));
+        break;
+      }
+      case 'v': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        c.Emplace<devices::VoltageSource>(card.name, p, n, ParseSourceWaveform(args));
+        break;
+      }
+      case 'i': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        c.Emplace<devices::CurrentSource>(card.name, p, n, ParseSourceWaveform(args));
+        break;
+      }
+      case 'e': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        const int cp = c.AddNode(args.Next());
+        const int cn = c.AddNode(args.Next());
+        c.Emplace<devices::Vcvs>(card.name, p, n, cp, cn, args.NextNumber());
+        break;
+      }
+      case 'g': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        const int cp = c.AddNode(args.Next());
+        const int cn = c.AddNode(args.Next());
+        c.Emplace<devices::Vccs>(card.name, p, n, cp, cn, args.NextNumber());
+        break;
+      }
+      case 'f': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        const std::string sense = ToLowerAscii(args.Next());
+        c.Emplace<devices::Cccs>(card.name, p, n, sense, args.NextNumber());
+        break;
+      }
+      case 'h': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        const std::string sense = ToLowerAscii(args.Next());
+        c.Emplace<devices::Ccvs>(card.name, p, n, sense, args.NextNumber());
+        break;
+      }
+      case 'd': {
+        const int p = c.AddNode(args.Next());
+        const int n = c.AddNode(args.Next());
+        const ModelCard& model = FindModel(netlist, args.Next(), card.line);
+        if (model.type != "d") {
+          throw ElaborationError(card.name + ": model '" + model.name + "' is not a diode");
+        }
+        const double area = args.done() ? 1.0 : args.NextNumber();
+        c.Emplace<devices::Diode>(card.name, p, n, BuildDiodeModel(model), area);
+        break;
+      }
+      case 'm': {
+        const int d = c.AddNode(args.Next());
+        const int g = c.AddNode(args.Next());
+        const int s = c.AddNode(args.Next());
+        const int b = c.AddNode(args.Next());
+        const ModelCard& model = FindModel(netlist, args.Next(), card.line);
+        if (model.type != "nmos" && model.type != "pmos") {
+          throw ElaborationError(card.name + ": model '" + model.name + "' is not a MOSFET");
+        }
+        double w = 2e-6, l = 1e-6;
+        while (!args.done()) {
+          const std::string key = ToLowerAscii(args.Next());
+          if (args.done() || args.peek() != "=") {
+            throw ParseError(card.name + ": expected '" + key + " = value'", card.line);
+          }
+          args.Next();  // '='
+          const double value = args.NextNumber();
+          if (key == "w") w = value;
+          else if (key == "l") l = value;
+          else throw ParseError(card.name + ": unknown parameter '" + key + "'", card.line);
+        }
+        c.Emplace<devices::Mosfet>(card.name, d, g, s, b, BuildMosfetModel(model), w, l);
+        break;
+      }
+      default:
+        throw ElaborationError(std::string("unhandled element kind '") + card.kind + "'");
+    }
+    if (!args.done() && card.kind != 'v' && card.kind != 'i') {
+      throw ParseError(card.name + ": trailing garbage '" + args.peek() + "'", card.line);
+    }
+  }
+  c.Finalize();
+
+  out.sim_options = BuildSimOptions(netlist);
+  out.has_tran = netlist.tran.present;
+  if (out.has_tran) {
+    out.spec.tstart = netlist.tran.tstart;
+    out.spec.tstop = netlist.tran.tstop;
+    out.spec.tstep = netlist.tran.tstep;
+    if (!netlist.print_nodes.empty()) {
+      for (const std::string& node : netlist.print_nodes) {
+        out.spec.probes.unknowns.push_back(c.NodeIndex(node));
+        out.spec.probes.names.push_back(node);
+      }
+    }
+  }
+  for (const auto& [node, volts] : netlist.initial_conditions) {
+    out.initial_conditions.emplace_back(c.NodeIndex(node), volts);
+  }
+  out.spec.initial_conditions = out.initial_conditions;
+  return out;
+}
+
+ElaboratedCircuit ParseAndElaborate(std::string_view deck_text) {
+  return Elaborate(ParseNetlist(deck_text));
+}
+
+ElaboratedCircuit LoadDeckFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open deck file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseAndElaborate(buffer.str());
+}
+
+}  // namespace wavepipe::netlist

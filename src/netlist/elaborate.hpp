@@ -1,0 +1,35 @@
+// Elaboration: ParsedNetlist -> engine::Circuit plus analysis setup.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "engine/circuit.hpp"
+#include "engine/options.hpp"
+#include "engine/transient.hpp"
+#include "netlist/parser.hpp"
+
+namespace wavepipe::netlist {
+
+struct ElaboratedCircuit {
+  std::string title;
+  std::unique_ptr<engine::Circuit> circuit;
+  bool has_tran = false;
+  engine::TransientSpec spec;       ///< valid when has_tran
+  engine::SimOptions sim_options;   ///< .options applied over defaults
+  /// .ic entries resolved to unknown indices (applied as the DC guess).
+  std::vector<std::pair<int, double>> initial_conditions;
+};
+
+/// Builds devices from cards; throws ElaborationError / ParseError on
+/// missing models, bad node counts, duplicate instances.
+ElaboratedCircuit Elaborate(const ParsedNetlist& netlist);
+
+/// Convenience: parse + elaborate a deck string.
+ElaboratedCircuit ParseAndElaborate(std::string_view deck_text);
+
+/// Convenience: load a deck from a file path.
+ElaboratedCircuit LoadDeckFile(const std::string& path);
+
+}  // namespace wavepipe::netlist

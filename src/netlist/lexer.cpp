@@ -1,0 +1,80 @@
+#include "netlist/lexer.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavepipe::netlist {
+namespace {
+
+std::string_view StripTrailingComment(std::string_view line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '$' || line[i] == ';') return line.substr(0, i);
+  }
+  return line;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char ch : text) {
+    if (util::IsSpaceAscii(ch)) {
+      flush();
+    } else if (ch == '(' || ch == ')' || ch == ',' || ch == '=') {
+      flush();
+      tokens.push_back(std::string(1, ch));
+    } else {
+      current.push_back(ch);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace
+
+LexedDeck LexDeck(std::string_view text) {
+  LexedDeck deck;
+  const auto physical = util::SplitExact(text, '\n');
+
+  bool saw_title = false;
+  for (std::size_t i = 0; i < physical.size(); ++i) {
+    const int line_number = static_cast<int>(i) + 1;
+    std::string_view raw = physical[i];
+    if (!raw.empty() && raw.back() == '\r') raw.remove_suffix(1);
+
+    if (!saw_title) {
+      // SPICE: the very first line is always the title.
+      deck.title = std::string(util::TrimAscii(raw));
+      saw_title = true;
+      continue;
+    }
+
+    std::string_view line = util::TrimAscii(StripTrailingComment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '*') continue;  // comment line
+
+    if (line.front() == '+') {
+      if (deck.lines.empty()) {
+        throw ParseError("continuation line with nothing to continue", line_number);
+      }
+      auto continued = Tokenize(line.substr(1));
+      auto& previous = deck.lines.back().tokens;
+      previous.insert(previous.end(), continued.begin(), continued.end());
+      continue;
+    }
+
+    LogicalLine logical;
+    logical.line_number = line_number;
+    logical.tokens = Tokenize(line);
+    if (!logical.tokens.empty()) deck.lines.push_back(std::move(logical));
+  }
+  return deck;
+}
+
+}  // namespace wavepipe::netlist

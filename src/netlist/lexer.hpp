@@ -1,0 +1,28 @@
+// Deck lexer: physical lines -> logical lines -> token lists.
+//
+// Handles SPICE line conventions: the first line is the title, '*' starts a
+// comment line, '$' and ';' start trailing comments, '+' continues the
+// previous logical line.  Punctuation '(' ')' ',' '=' is split into its own
+// tokens so PULSE(...) and W=2u parse uniformly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wavepipe::netlist {
+
+struct LogicalLine {
+  int line_number = 0;  ///< physical line where the logical line starts
+  std::vector<std::string> tokens;
+};
+
+struct LexedDeck {
+  std::string title;
+  std::vector<LogicalLine> lines;
+};
+
+/// Lexes a whole deck.  Throws ParseError on stray continuation lines.
+LexedDeck LexDeck(std::string_view text);
+
+}  // namespace wavepipe::netlist

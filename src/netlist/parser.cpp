@@ -1,0 +1,150 @@
+#include "netlist/parser.hpp"
+
+#include "netlist/lexer.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavepipe::netlist {
+namespace {
+
+using util::EqualsIgnoreCase;
+using util::ParseSpiceNumber;
+using util::ToLowerAscii;
+
+double RequireNumber(const std::string& token, int line) {
+  const auto value = ParseSpiceNumber(token);
+  if (!value) throw ParseError("expected a number, got '" + token + "'", line);
+  return *value;
+}
+
+/// Parses ".model name type ( k=v k=v ... )" — parens optional.
+ModelCard ParseModelCard(const std::vector<std::string>& tokens, int line) {
+  if (tokens.size() < 3) throw ParseError(".model needs a name and a type", line);
+  ModelCard card;
+  card.line = line;
+  card.name = ToLowerAscii(tokens[1]);
+  card.type = ToLowerAscii(tokens[2]);
+  if (card.type != "d" && card.type != "nmos" && card.type != "pmos") {
+    throw ParseError("unsupported .model type '" + tokens[2] + "'", line);
+  }
+  std::size_t i = 3;
+  while (i < tokens.size()) {
+    const std::string& tok = tokens[i];
+    if (tok == "(" || tok == ")" || tok == ",") {
+      ++i;
+      continue;
+    }
+    // Expect key = value.
+    if (i + 2 >= tokens.size() || tokens[i + 1] != "=") {
+      throw ParseError("expected 'param = value' in .model, got '" + tok + "'", line);
+    }
+    card.params[ToLowerAscii(tok)] = RequireNumber(tokens[i + 2], line);
+    i += 3;
+  }
+  return card;
+}
+
+void ParseDotCard(const std::vector<std::string>& tokens, int line, ParsedNetlist& out) {
+  const std::string directive = ToLowerAscii(tokens[0]);
+  if (directive == ".model") {
+    ModelCard card = ParseModelCard(tokens, line);
+    if (out.models.count(card.name)) {
+      throw ParseError("duplicate .model '" + card.name + "'", line);
+    }
+    out.models.emplace(card.name, std::move(card));
+  } else if (directive == ".tran") {
+    if (tokens.size() < 3) throw ParseError(".tran needs tstep and tstop", line);
+    out.tran.present = true;
+    out.tran.tstep = RequireNumber(tokens[1], line);
+    out.tran.tstop = RequireNumber(tokens[2], line);
+    out.tran.tstart = tokens.size() > 3 ? RequireNumber(tokens[3], line) : 0.0;
+    if (out.tran.tstop <= out.tran.tstart) {
+      throw ParseError(".tran: tstop must exceed tstart", line);
+    }
+  } else if (directive == ".op") {
+    out.op_requested = true;
+  } else if (directive == ".options" || directive == ".option") {
+    std::size_t i = 1;
+    while (i < tokens.size()) {
+      const std::string key = ToLowerAscii(tokens[i]);
+      if (i + 2 < tokens.size() + 1 && i + 1 < tokens.size() && tokens[i + 1] == "=") {
+        if (i + 2 >= tokens.size()) throw ParseError("option '" + key + "' missing value", line);
+        out.options[key] = ToLowerAscii(tokens[i + 2]);
+        i += 3;
+      } else {
+        out.options[key] = "1";  // boolean flag
+        i += 1;
+      }
+    }
+  } else if (directive == ".ic") {
+    // .ic v(node)=value ...
+    std::size_t i = 1;
+    while (i < tokens.size()) {
+      if (!EqualsIgnoreCase(tokens[i], "v")) {
+        throw ParseError(".ic: expected v(node)=value", line);
+      }
+      if (i + 5 >= tokens.size() + 1 || i + 4 >= tokens.size() || tokens[i + 1] != "(" ||
+          tokens[i + 3] != ")" || tokens[i + 4] != "=") {
+        throw ParseError(".ic: malformed v(node)=value", line);
+      }
+      if (i + 5 >= tokens.size()) throw ParseError(".ic: missing value", line);
+      out.initial_conditions[ToLowerAscii(tokens[i + 2])] =
+          RequireNumber(tokens[i + 5], line);
+      i += 6;
+    }
+  } else if (directive == ".print" || directive == ".probe" || directive == ".plot") {
+    // .print [tran] v(a) v(b) ...
+    std::size_t i = 1;
+    while (i < tokens.size()) {
+      if (EqualsIgnoreCase(tokens[i], "tran")) {
+        ++i;
+        continue;
+      }
+      if (EqualsIgnoreCase(tokens[i], "v") && i + 3 < tokens.size() + 1 &&
+          i + 1 < tokens.size() && tokens[i + 1] == "(") {
+        if (i + 3 >= tokens.size() || tokens[i + 3] != ")") {
+          throw ParseError(".print: malformed v(node)", line);
+        }
+        out.print_nodes.push_back(ToLowerAscii(tokens[i + 2]));
+        i += 4;
+      } else {
+        throw ParseError(".print: expected v(node), got '" + tokens[i] + "'", line);
+      }
+    }
+  } else if (directive == ".end" || directive == ".ends") {
+    // no-op
+  } else {
+    throw ParseError("unsupported directive '" + directive + "'", line);
+  }
+}
+
+}  // namespace
+
+ParsedNetlist ParseNetlist(std::string_view text) {
+  const LexedDeck deck = LexDeck(text);
+  ParsedNetlist out;
+  out.title = deck.title;
+
+  for (const LogicalLine& line : deck.lines) {
+    const std::string& head = line.tokens.front();
+    if (head.front() == '.') {
+      ParseDotCard(line.tokens, line.line_number, out);
+      continue;
+    }
+    const char kind = util::ToLowerAscii(head.front());
+    static constexpr std::string_view kKnown = "rclkviegfhdm";
+    if (kKnown.find(kind) == std::string_view::npos) {
+      throw ParseError("unknown element type '" + std::string(1, head.front()) + "'",
+                       line.line_number);
+    }
+    ElementCard card;
+    card.kind = kind;
+    card.name = ToLowerAscii(head);
+    card.args.assign(line.tokens.begin() + 1, line.tokens.end());
+    card.line = line.line_number;
+    out.elements.push_back(std::move(card));
+  }
+  return out;
+}
+
+}  // namespace wavepipe::netlist

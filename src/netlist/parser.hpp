@@ -1,0 +1,48 @@
+// Deck parser: token lines -> a structured netlist (no device objects yet;
+// elaboration turns this into an engine::Circuit).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wavepipe::netlist {
+
+struct ModelCard {
+  std::string name;                      ///< lowercase
+  std::string type;                      ///< "d", "nmos", or "pmos"
+  std::map<std::string, double> params;  ///< lowercase keys
+  int line = 0;
+};
+
+/// One element instance, pre-parsed into name, nodes and remaining fields.
+struct ElementCard {
+  char kind = '?';  ///< lowercase element letter: r c l k v i e g f h d m
+  std::string name; ///< full instance name, lowercase ("r1", "mload")
+  std::vector<std::string> args;  ///< tokens after the name (punct split out)
+  int line = 0;
+};
+
+struct TranCard {
+  bool present = false;
+  double tstep = 0.0;
+  double tstop = 0.0;
+  double tstart = 0.0;
+};
+
+struct ParsedNetlist {
+  std::string title;
+  std::vector<ElementCard> elements;
+  std::map<std::string, ModelCard> models;       ///< by lowercase name
+  TranCard tran;
+  bool op_requested = false;
+  std::map<std::string, std::string> options;    ///< raw .options key -> value
+  std::map<std::string, double> initial_conditions;  ///< node -> volts (.ic)
+  std::vector<std::string> print_nodes;          ///< .print/.probe v(x) targets
+};
+
+/// Parses a full deck.  Throws ParseError with line numbers on bad input.
+ParsedNetlist ParseNetlist(std::string_view text);
+
+}  // namespace wavepipe::netlist

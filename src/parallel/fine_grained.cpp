@@ -1,0 +1,313 @@
+#include "parallel/fine_grained.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "devices/context.hpp"
+#include "engine/dcop.hpp"
+#include "engine/integrator.hpp"
+#include "engine/newton.hpp"
+#include "engine/step_control.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace wavepipe::parallel {
+namespace {
+
+using engine::SolveContext;
+
+/// Per-worker private accumulation buffers.
+struct WorkerBuffers {
+  std::vector<double> jacobian;
+  std::vector<double> rhs;
+};
+
+/// Chunked, multi-threaded device evaluation with reduction.  Mirrors
+/// engine::EvalDevices but distributes the device loop.
+class FineGrainedEvaluator {
+ public:
+  FineGrainedEvaluator(const engine::Circuit& circuit, const engine::MnaStructure& structure,
+                       int threads)
+      : circuit_(circuit), structure_(structure), threads_(std::max(1, threads)),
+        pool_(static_cast<unsigned>(std::max(1, threads))) {
+    const std::size_t num_devices = circuit.devices().size();
+    const std::size_t per_chunk =
+        (num_devices + static_cast<std::size_t>(threads_) - 1) /
+        static_cast<std::size_t>(threads_);
+    for (std::size_t begin = 0; begin < num_devices; begin += per_chunk) {
+      chunks_.emplace_back(begin, std::min(begin + per_chunk, num_devices));
+    }
+    buffers_.resize(chunks_.size());
+    for (auto& buf : buffers_) {
+      buf.jacobian.assign(structure.nnz(), 0.0);
+      buf.rhs.assign(static_cast<std::size_t>(structure.dimension()), 0.0);
+    }
+  }
+
+  /// Parallel analogue of engine::EvalDevices.  Phase costs accumulate into
+  /// `phases`.
+  void Eval(SolveContext& ctx, const engine::NewtonInputs& inputs, bool limit_valid,
+            bool first_iteration, PhaseBreakdown& phases) {
+    // --- parallel device evaluation -----------------------------------------
+    std::vector<std::future<double>> futures;
+    futures.reserve(chunks_.size());
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      futures.push_back(pool_.Submit([this, c, &ctx, &inputs, limit_valid,
+                                      first_iteration]() -> double {
+        util::ThreadCpuTimer timer;
+        WorkerBuffers& buf = buffers_[c];
+        std::fill(buf.jacobian.begin(), buf.jacobian.end(), 0.0);
+        std::fill(buf.rhs.begin(), buf.rhs.end(), 0.0);
+
+        devices::EvalContext eval;
+        eval.time = inputs.time;
+        eval.a0 = inputs.a0;
+        eval.transient = inputs.transient;
+        eval.first_iteration = first_iteration;
+        eval.gmin = inputs.gmin;
+        eval.source_scale = inputs.source_scale;
+        eval.x = ctx.x;
+        eval.jacobian_values = buf.jacobian;
+        eval.rhs = buf.rhs;
+        // state/limit slots are disjoint per device: shared arrays are safe.
+        eval.state_now = ctx.state_now;
+        eval.state_hist = ctx.state_hist;
+        eval.limit_prev = ctx.limit_a;
+        eval.limit_now = ctx.limit_b;
+        eval.limit_valid = limit_valid;
+
+        const auto& devices = circuit_.devices();
+        for (std::size_t i = chunks_[c].first; i < chunks_[c].second; ++i) {
+          devices[i]->Eval(eval);
+        }
+        return timer.Seconds();
+      }));
+    }
+    for (auto& future : futures) phases.model_eval += future.get();
+
+    // --- reduction (serial; this is the fine-grained tax) --------------------
+    util::ThreadCpuTimer reduce_timer;
+    auto values = ctx.matrix.mutable_values();
+    std::fill(values.begin(), values.end(), 0.0);
+    std::fill(ctx.rhs.begin(), ctx.rhs.end(), 0.0);
+    for (const auto& buf : buffers_) {
+      for (std::size_t k = 0; k < values.size(); ++k) values[k] += buf.jacobian[k];
+      for (std::size_t i = 0; i < ctx.rhs.size(); ++i) ctx.rhs[i] += buf.rhs[i];
+    }
+    if (inputs.gshunt > 0.0) {
+      for (int slot : structure_.node_diag_slots()) values[slot] += inputs.gshunt;
+    }
+    std::swap(ctx.limit_a, ctx.limit_b);
+    phases.reduction += reduce_timer.Seconds();
+  }
+
+  int threads() const { return threads_; }
+
+ private:
+  const engine::Circuit& circuit_;
+  const engine::MnaStructure& structure_;
+  int threads_;
+  util::ThreadPool pool_;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks_;
+  std::vector<WorkerBuffers> buffers_;
+};
+
+/// Newton loop on top of the parallel evaluator (mirrors engine::SolveNewton).
+engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
+                                           SolveContext& ctx,
+                                           const engine::NewtonInputs& inputs,
+                                           const engine::SimOptions& options,
+                                           int max_iterations, PhaseBreakdown& phases) {
+  const int n = ctx.structure().dimension();
+  const int num_nodes = ctx.circuit().num_nodes();
+  engine::NewtonStats stats;
+
+  bool limit_valid = false;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    stats.iterations = iter + 1;
+    evaluator.Eval(ctx, inputs, limit_valid, iter == 0, phases);
+    limit_valid = true;
+
+    util::ThreadCpuTimer lu_timer;
+    const auto before_factor = ctx.lu.stats().factor_count;
+    const auto before_refactor = ctx.lu.stats().refactor_count;
+    ctx.lu.FactorOrRefactor(ctx.matrix);
+    stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
+    stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
+    std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
+    ctx.lu.Solve(ctx.x_new);
+    phases.lu += lu_timer.Seconds();
+
+    double worst = 0.0;
+    bool finite = true;
+    for (int i = 0; i < n; ++i) {
+      const double xn = ctx.x_new[i];
+      if (!std::isfinite(xn)) {
+        finite = false;
+        break;
+      }
+      const double tol = options.reltol * std::max(std::abs(xn), std::abs(ctx.x[i])) +
+                         (i < num_nodes ? options.vntol : options.abstol);
+      worst = std::max(worst, std::abs(xn - ctx.x[i]) / tol);
+    }
+    if (!finite) {
+      stats.converged = false;
+      stats.final_delta = std::numeric_limits<double>::infinity();
+      return stats;
+    }
+    std::swap(ctx.x, ctx.x_new);
+    stats.final_delta = worst;
+    // Same convergence protocol as engine::SolveNewton (incl. hot-start
+    // fast acceptance) so both paths take identical step sequences.
+    const bool hot_start_accept = worst <= 0.05;
+    const bool confirmed =
+        worst <= 1.0 && (iter >= 1 || !ctx.circuit().is_nonlinear());
+    if (confirmed || hot_start_accept) {
+      stats.converged = true;
+      if (worst > 0.1) {
+        evaluator.Eval(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false,
+                       phases);
+      }
+      return stats;
+    }
+  }
+  stats.converged = false;
+  return stats;
+}
+
+}  // namespace
+
+FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
+                                          const engine::MnaStructure& structure,
+                                          const engine::TransientSpec& spec,
+                                          const FineGrainedOptions& options) {
+  util::WallTimer total_timer;
+  FineGrainedResult result;
+  result.trace = engine::Trace(spec.probes.size() > 0
+                                   ? spec.probes
+                                   : engine::ProbeSet::FirstNodes(circuit.num_nodes(), 16));
+
+  FineGrainedEvaluator evaluator(circuit, structure, options.threads);
+  SolveContext ctx(circuit, structure);
+
+  // DC operating point (reuses the serial path; the phase split targets the
+  // transient loop, which dominates).
+  const engine::DcopResult dcop =
+      engine::SolveDcOperatingPoint(ctx, options.sim, spec.initial_conditions);
+  result.stats.dcop_strategy = dcop.strategy;
+
+  engine::History history(options.sim.history_depth);
+  history.Add(engine::MakeDcSolutionPoint(ctx, spec.tstart));
+  result.trace.Record(spec.tstart, history.newest()->x);
+
+  const engine::StepLimits limits = engine::StepLimits::FromSpec(spec, options.sim);
+  std::vector<double> breakpoints = circuit.CollectBreakpoints(spec.tstart, spec.tstop);
+  std::size_t next_bp = 0;
+
+  double h = limits.h0;
+  bool restart = true;
+  int steps_since_restart = 0;
+
+  while (history.newest_time() < spec.tstop - 1e-15 * spec.tstop) {
+    const double t_now = history.newest_time();
+    h = std::clamp(h, limits.hmin, limits.hmax);
+    double t_new = t_now + h;
+    bool hit_breakpoint = false;
+    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t_now + limits.hmin) {
+      ++next_bp;
+    }
+    if (next_bp < breakpoints.size() && t_new >= breakpoints[next_bp] - limits.hmin) {
+      t_new = breakpoints[next_bp];
+      hit_breakpoint = true;
+    }
+    if (t_new > spec.tstop) {
+      t_new = spec.tstop;
+      hit_breakpoint = false;
+    }
+
+    util::ThreadCpuTimer control_timer;
+    const engine::HistoryWindow window = history.Window(4);
+    const engine::Method method =
+        restart ? engine::Method::kBackwardEuler : options.sim.method;
+    const engine::IntegrationPlan plan =
+        engine::PlanIntegration(method, t_new, window, ctx.state_hist);
+    std::vector<double> predicted(ctx.x.size());
+    engine::PredictSolution(window, restart ? 1 : plan.order + 1, t_new, predicted);
+    ctx.x = predicted;
+    result.phases.control += control_timer.Seconds();
+
+    engine::NewtonInputs inputs;
+    inputs.time = t_new;
+    inputs.a0 = plan.a0;
+    inputs.transient = true;
+    inputs.gmin = options.sim.gmin;
+    const engine::NewtonStats newton = SolveNewtonFineGrained(
+        evaluator, ctx, inputs, options.sim, options.sim.max_newton_iters, result.phases);
+    result.stats.newton_iterations += static_cast<std::uint64_t>(newton.iterations);
+    result.stats.lu_full_factors += static_cast<std::uint64_t>(newton.lu_full_factors);
+    result.stats.lu_refactors += static_cast<std::uint64_t>(newton.lu_refactors);
+
+    if (!newton.converged) {
+      result.stats.steps_rejected_newton += 1;
+      h = (t_new - t_now) / options.sim.newton_fail_shrink;
+      if (h < limits.hmin) {
+        throw ConvergenceError("fine-grained transient: timestep too small");
+      }
+      continue;
+    }
+
+    control_timer.Reset();
+    const bool lte_active = !restart && steps_since_restart >= 1 && window.size() >= 2;
+    const engine::StepControlParams params =
+        engine::MakeStepParams(options.sim, circuit.num_nodes(), plan.order);
+    const engine::StepAssessment assess =
+        engine::AssessStep(ctx.x, predicted, t_new - t_now, lte_active, params);
+    result.phases.control += control_timer.Seconds();
+
+    if (!assess.accept && (t_new - t_now) > limits.hmin * (1.0 + 1e-6)) {
+      result.stats.steps_rejected_lte += 1;
+      h = std::max(assess.h_next, limits.hmin);
+      continue;
+    }
+
+    auto point = std::make_shared<engine::SolutionPoint>();
+    point->time = t_new;
+    point->x = ctx.x;
+    point->q = ctx.state_now;
+    point->qdot.resize(ctx.state_now.size());
+    engine::ComputeQdot(plan, point->q, ctx.state_hist, point->qdot);
+    history.Add(point);
+    result.trace.Record(t_new, point->x);
+    result.final_point = point;
+    result.stats.steps_accepted += 1;
+    ++steps_since_restart;
+    restart = false;
+
+    if (hit_breakpoint) {
+      ++next_bp;
+      restart = true;
+      steps_since_restart = 0;
+      h = limits.h0;
+    } else {
+      h = std::max(assess.h_next, limits.hmin);
+    }
+  }
+
+  result.stats.wall_seconds = total_timer.Seconds();
+  return result;
+}
+
+double ModelFineGrainedSpeedup(const PhaseBreakdown& phases, int threads) {
+  WP_ASSERT(threads >= 1);
+  const double serial_total = phases.Total() - phases.reduction;  // 1-thread run has no copies
+  // With k threads: model eval / k; reduction sweeps k private copies; LU
+  // and control untouched.
+  const double reduction_k = phases.reduction * threads;
+  const double parallel_total =
+      phases.model_eval / threads + reduction_k + phases.lu + phases.control;
+  return serial_total / parallel_total;
+}
+
+}  // namespace wavepipe::parallel

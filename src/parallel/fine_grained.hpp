@@ -1,0 +1,56 @@
+// Conventional fine-grained parallel SPICE: the baseline WavePipe is
+// positioned against in the paper.
+//
+// Parallelism lives INSIDE each time-point solve: device model evaluation is
+// chunked across worker threads (each accumulating into a private Jacobian/
+// RHS copy, reduced afterwards), while the time axis, the Newton iteration
+// and the sparse LU remain strictly sequential.  Its scaling is therefore
+// Amdahl-limited by the matrix solution — the motivation the paper opens
+// with, and the effect the fig-D bench quantifies.
+#pragma once
+
+#include "engine/circuit.hpp"
+#include "engine/mna.hpp"
+#include "engine/options.hpp"
+#include "engine/trace.hpp"
+#include "engine/transient.hpp"
+
+namespace wavepipe::parallel {
+
+struct FineGrainedOptions {
+  int threads = 2;
+  engine::SimOptions sim;
+};
+
+/// Where the CPU time of a run went (thread-CPU seconds, summed over
+/// workers for the parallel phase).
+struct PhaseBreakdown {
+  double model_eval = 0.0;  ///< device evaluation (parallelizable)
+  double reduction = 0.0;   ///< summing private Jacobian/RHS copies (overhead)
+  double lu = 0.0;          ///< factor + triangular solves (serial)
+  double control = 0.0;     ///< everything else: predictor, LTE, bookkeeping
+
+  double Total() const { return model_eval + reduction + lu + control; }
+};
+
+struct FineGrainedResult {
+  engine::Trace trace;
+  engine::TransientStats stats;
+  PhaseBreakdown phases;
+  engine::SolutionPointPtr final_point;
+};
+
+/// Runs the fine-grained-parallel transient.  Waveforms are identical to the
+/// serial engine (same math, same step control) — only the evaluation is
+/// distributed.
+FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
+                                          const engine::MnaStructure& structure,
+                                          const engine::TransientSpec& spec,
+                                          const FineGrainedOptions& options);
+
+/// Amdahl-style runtime model for k threads given a measured breakdown:
+/// model eval divides by k, the reduction grows with (k-1) private copies,
+/// LU and control stay serial.  Returns the modeled speedup over 1 thread.
+double ModelFineGrainedSpeedup(const PhaseBreakdown& phases, int threads);
+
+}  // namespace wavepipe::parallel

@@ -1,0 +1,125 @@
+#include "sparse/csc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sparse/triplet.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::sparse {
+
+CscMatrix::CscMatrix(int rows, int cols, std::vector<int> col_ptr, std::vector<int> row_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)),
+      values_(std::move(values)) {
+  WP_ASSERT(col_ptr_.size() == static_cast<std::size_t>(cols_) + 1);
+  WP_ASSERT(row_idx_.size() == values_.size());
+  WP_ASSERT(col_ptr_.front() == 0);
+  WP_ASSERT(col_ptr_.back() == static_cast<int>(row_idx_.size()));
+}
+
+CscMatrix CscMatrix::Identity(int n) {
+  std::vector<int> col_ptr(static_cast<std::size_t>(n) + 1);
+  std::vector<int> row_idx(static_cast<std::size_t>(n));
+  std::vector<double> values(static_cast<std::size_t>(n), 1.0);
+  for (int i = 0; i <= n; ++i) col_ptr[i] = i;
+  for (int i = 0; i < n; ++i) row_idx[i] = i;
+  return CscMatrix(n, n, std::move(col_ptr), std::move(row_idx), std::move(values));
+}
+
+int CscMatrix::FindEntry(int row, int col) const {
+  WP_ASSERT(col >= 0 && col < cols_);
+  const auto begin = row_idx_.begin() + col_ptr_[col];
+  const auto end = row_idx_.begin() + col_ptr_[col + 1];
+  const auto it = std::lower_bound(begin, end, row);
+  if (it == end || *it != row) return -1;
+  return static_cast<int>(it - row_idx_.begin());
+}
+
+void CscMatrix::ZeroValues() { std::fill(values_.begin(), values_.end(), 0.0); }
+
+void CscMatrix::Multiply(std::span<const double> x, std::span<double> y) const {
+  WP_ASSERT(static_cast<int>(x.size()) == cols_);
+  WP_ASSERT(static_cast<int>(y.size()) == rows_);
+  std::fill(y.begin(), y.end(), 0.0);
+  MultiplyAccumulate(x, y);
+}
+
+void CscMatrix::MultiplyAccumulate(std::span<const double> x, std::span<double> y,
+                                   double alpha) const {
+  for (int c = 0; c < cols_; ++c) {
+    const double xc = alpha * x[c];
+    if (xc == 0.0) continue;
+    for (int k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      y[row_idx_[k]] += values_[k] * xc;
+    }
+  }
+}
+
+void CscMatrix::MultiplyTranspose(std::span<const double> x, std::span<double> y) const {
+  WP_ASSERT(static_cast<int>(x.size()) == rows_);
+  WP_ASSERT(static_cast<int>(y.size()) == cols_);
+  for (int c = 0; c < cols_; ++c) {
+    double sum = 0.0;
+    for (int k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      sum += values_[k] * x[row_idx_[k]];
+    }
+    y[c] = sum;
+  }
+}
+
+CscMatrix CscMatrix::Transpose() const {
+  TripletBuilder builder(cols_, rows_);
+  for (int c = 0; c < cols_; ++c) {
+    for (int k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      builder.Add(c, row_idx_[k], values_[k]);
+    }
+  }
+  return builder.ToCsc();
+}
+
+CscMatrix CscMatrix::SymmetrizedPattern() const {
+  WP_ASSERT(rows_ == cols_);
+  TripletBuilder builder(rows_, cols_);
+  for (int c = 0; c < cols_; ++c) {
+    for (int k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      builder.Add(row_idx_[k], c, values_[k]);
+      builder.Add(c, row_idx_[k], values_[k]);
+    }
+  }
+  return builder.ToCsc();
+}
+
+double CscMatrix::ColumnMaxAbs(int col) const {
+  double best = 0.0;
+  for (int k = col_ptr_[col]; k < col_ptr_[col + 1]; ++k) {
+    best = std::max(best, std::abs(values_[k]));
+  }
+  return best;
+}
+
+bool CscMatrix::SamePattern(const CscMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && col_ptr_ == other.col_ptr_ &&
+         row_idx_ == other.row_idx_;
+}
+
+std::string CscMatrix::ToDenseString() const {
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const int k = FindEntry(r, c);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%10.4g", k < 0 ? 0.0 : values_[k]);
+      os << buf << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wavepipe::sparse

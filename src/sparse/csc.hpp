@@ -1,0 +1,78 @@
+// Compressed sparse column matrix.
+//
+// This is the storage the LU factorization and the MNA assembler work on.
+// Row indices inside each column are kept sorted, which FindEntry() relies on
+// (binary search) and which makes the pattern canonical: two assemblies of
+// the same circuit produce bit-identical patterns, so LU symbolic reuse works.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wavepipe::sparse {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Takes ownership of raw CSC arrays.  col_ptr has size cols+1; row index
+  /// runs within each column must be sorted strictly ascending.
+  CscMatrix(int rows, int cols, std::vector<int> col_ptr, std::vector<int> row_idx,
+            std::vector<double> values);
+
+  /// Builds an n x n identity.
+  static CscMatrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t num_nonzeros() const { return row_idx_.size(); }
+
+  std::span<const int> col_ptr() const { return col_ptr_; }
+  std::span<const int> row_idx() const { return row_idx_; }
+  std::span<const double> values() const { return values_; }
+  std::span<double> mutable_values() { return values_; }
+
+  int col_begin(int col) const { return col_ptr_[col]; }
+  int col_end(int col) const { return col_ptr_[col + 1]; }
+  int row_of(int k) const { return row_idx_[k]; }
+  double value_of(int k) const { return values_[k]; }
+
+  /// Index into values() of entry (row, col), or -1 if not in the pattern.
+  /// O(log nnz(col)).
+  int FindEntry(int row, int col) const;
+
+  /// Sets all stored values to zero (pattern preserved).
+  void ZeroValues();
+
+  /// y = A * x.
+  void Multiply(std::span<const double> x, std::span<double> y) const;
+  /// y += alpha * A * x.
+  void MultiplyAccumulate(std::span<const double> x, std::span<double> y,
+                          double alpha = 1.0) const;
+  /// y = A^T * x.
+  void MultiplyTranspose(std::span<const double> x, std::span<double> y) const;
+
+  CscMatrix Transpose() const;
+
+  /// Pattern of A + A^T (values summed); used by the fill-reducing ordering.
+  CscMatrix SymmetrizedPattern() const;
+
+  /// Max absolute value within column `col` (0 if empty).
+  double ColumnMaxAbs(int col) const;
+
+  /// True if both matrices share an identical sparsity pattern.
+  bool SamePattern(const CscMatrix& other) const;
+
+  /// Human-readable dump (small matrices only; for debugging/tests).
+  std::string ToDenseString() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> col_ptr_{0};
+  std::vector<int> row_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace wavepipe::sparse

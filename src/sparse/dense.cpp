@@ -1,0 +1,85 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/csc.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::sparse {
+
+DenseMatrix::DenseMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, 0.0) {}
+
+DenseMatrix DenseMatrix::FromCsc(const CscMatrix& sparse) {
+  DenseMatrix out(sparse.rows(), sparse.cols());
+  for (int c = 0; c < sparse.cols(); ++c) {
+    for (int k = sparse.col_begin(c); k < sparse.col_end(c); ++k) {
+      out.At(sparse.row_of(k), c) += sparse.value_of(k);
+    }
+  }
+  return out;
+}
+
+void DenseMatrix::Multiply(std::span<const double> x, std::span<double> y) const {
+  WP_ASSERT(static_cast<int>(x.size()) == cols_);
+  WP_ASSERT(static_cast<int>(y.size()) == rows_);
+  for (int r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < cols_; ++c) sum += At(r, c) * x[c];
+    y[r] = sum;
+  }
+}
+
+DenseLu::DenseLu(const DenseMatrix& matrix) {
+  WP_ASSERT(matrix.rows() == matrix.cols());
+  n_ = matrix.rows();
+  lu_.resize(static_cast<std::size_t>(n_) * n_);
+  for (int r = 0; r < n_; ++r) {
+    for (int c = 0; c < n_; ++c) lu_[static_cast<std::size_t>(r) * n_ + c] = matrix.At(r, c);
+  }
+  pivots_.resize(static_cast<std::size_t>(n_));
+
+  auto at = [&](int r, int c) -> double& { return lu_[static_cast<std::size_t>(r) * n_ + c]; };
+  for (int k = 0; k < n_; ++k) {
+    // Partial pivoting.
+    int pivot = k;
+    for (int r = k + 1; r < n_; ++r) {
+      if (std::abs(at(r, k)) > std::abs(at(pivot, k))) pivot = r;
+    }
+    pivots_[k] = pivot;
+    if (pivot != k) {
+      for (int c = 0; c < n_; ++c) std::swap(at(k, c), at(pivot, c));
+    }
+    const double diag = at(k, k);
+    if (diag == 0.0) throw SingularMatrixError("dense LU: zero pivot", k);
+    for (int r = k + 1; r < n_; ++r) {
+      const double factor = at(r, k) / diag;
+      at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (int c = k + 1; c < n_; ++c) at(r, c) -= factor * at(k, c);
+    }
+  }
+}
+
+void DenseLu::Solve(std::span<double> b) const {
+  WP_ASSERT(static_cast<int>(b.size()) == n_);
+  auto at = [&](int r, int c) { return lu_[static_cast<std::size_t>(r) * n_ + c]; };
+  for (int k = 0; k < n_; ++k) {
+    if (pivots_[k] != k) std::swap(b[k], b[pivots_[k]]);
+  }
+  // Forward substitution (unit lower).
+  for (int r = 1; r < n_; ++r) {
+    double sum = b[r];
+    for (int c = 0; c < r; ++c) sum -= at(r, c) * b[c];
+    b[r] = sum;
+  }
+  // Back substitution.
+  for (int r = n_ - 1; r >= 0; --r) {
+    double sum = b[r];
+    for (int c = r + 1; c < n_; ++c) sum -= at(r, c) * b[c];
+    b[r] = sum / at(r, r);
+  }
+}
+
+}  // namespace wavepipe::sparse

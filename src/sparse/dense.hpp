@@ -1,0 +1,52 @@
+// Small dense matrix with LU solve.
+//
+// Reference implementation used by tests to cross-check the sparse LU, and a
+// fallback for tiny systems where sparse bookkeeping costs more than it
+// saves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wavepipe::sparse {
+
+class CscMatrix;
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols);
+
+  static DenseMatrix FromCsc(const CscMatrix& sparse);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& At(int row, int col) { return data_[static_cast<std::size_t>(row) * cols_ + col]; }
+  double At(int row, int col) const {
+    return data_[static_cast<std::size_t>(row) * cols_ + col];
+  }
+
+  void Multiply(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dense LU with partial pivoting.  Throws SingularMatrixError.
+class DenseLu {
+ public:
+  explicit DenseLu(const DenseMatrix& matrix);
+
+  /// Solves A x = b in place.
+  void Solve(std::span<double> b) const;
+
+ private:
+  int n_ = 0;
+  std::vector<double> lu_;    // row-major packed LU
+  std::vector<int> pivots_;   // row swaps
+};
+
+}  // namespace wavepipe::sparse

@@ -1,0 +1,123 @@
+// Sparse LU factorization for circuit (MNA) matrices.
+//
+// Two paths, mirroring what production SPICE engines do:
+//
+//  * Factor(): full Gilbert–Peierls left-looking factorization with
+//    threshold partial pivoting and a diagonal preference, on top of a
+//    fill-reducing minimum-degree column ordering.  Run once per sparsity
+//    pattern (and again whenever pivots degrade).
+//
+//  * Refactor(): numeric-only refactorization that reuses the symbolic
+//    pattern AND the pivot sequence of the last Factor().  This is the hot
+//    path of the Newton loop: every Newton iteration changes only the
+//    *values* of the Jacobian, never its pattern, so refactorization skips
+//    the entire symbolic machinery.  If a reused pivot has become too small
+//    relative to its column, Refactor() reports failure and the caller falls
+//    back to Factor().
+//
+// The factorization is A(:, q) = P^T · L · U, i.e. column j of the factors
+// corresponds to original column q[j], and row i of A lives at permuted
+// position pinv[i].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace wavepipe::sparse {
+
+class SparseLu {
+ public:
+  struct Options {
+    /// Pick the diagonal entry as pivot whenever |diag| >= diag_preference *
+    /// (column max).  Keeps MNA pivots on the diagonal (low fill, stable for
+    /// diagonally dominant conductance matrices) while still escaping to
+    /// true partial pivoting when the diagonal collapses.
+    double diag_preference = 1e-3;
+    /// Refactor() fails (returns false) when a reused pivot is smaller than
+    /// this fraction of its column's max, signalling that the pivot sequence
+    /// chosen at Factor() time is no longer numerically valid.
+    double refactor_pivot_tol = 1e-10;
+    /// Absolute floor below which a pivot is considered singular.
+    double singular_tol = 1e-300;
+    /// Fill-reducing ordering choice.
+    enum class Ordering { kMinimumDegree, kNatural, kRcm };
+    Ordering ordering = Ordering::kMinimumDegree;
+  };
+
+  struct Stats {
+    std::size_t nnz_l = 0;            // strictly-lower entries (unit diagonal implicit)
+    std::size_t nnz_u = 0;            // strictly-upper entries + n diagonal entries
+    std::uint64_t factor_count = 0;   // full factorizations performed
+    std::uint64_t refactor_count = 0; // numeric-only refactorizations
+    std::uint64_t solve_count = 0;
+    std::uint64_t factor_flops = 0;   // multiply-add count, cumulative
+    std::uint64_t solve_flops = 0;
+  };
+
+  SparseLu() : SparseLu(Options{}) {}
+  explicit SparseLu(Options options);
+
+  /// Full symbolic + numeric factorization.  Throws SingularMatrixError if a
+  /// structurally or numerically singular column is met.
+  void Factor(const CscMatrix& matrix);
+
+  /// Numeric-only refactorization.  Preconditions: Factor() has succeeded on
+  /// a matrix with the identical pattern.  Returns false when pivot quality
+  /// degraded; the factors are then invalid and Factor() must be rerun.
+  bool Refactor(const CscMatrix& matrix);
+
+  /// Refactor() if a compatible factorization exists, else Factor().
+  void FactorOrRefactor(const CscMatrix& matrix);
+
+  /// Solves A x = b in place (b becomes x).
+  void Solve(std::span<double> b) const;
+
+  /// One step of iterative refinement: x += A \ (b - A x).  Returns the
+  /// inf-norm of the correction (a cheap accuracy probe).
+  double Refine(const CscMatrix& matrix, std::span<const double> b,
+                std::span<double> x) const;
+
+  bool factored() const { return factored_; }
+  int dimension() const { return n_; }
+  const Stats& stats() const { return stats_; }
+  std::span<const int> column_order() const { return q_; }
+
+ private:
+  void ComputeOrdering(const CscMatrix& matrix);
+  // Depth-first reach of A(:, col) over the partially built L; appends the
+  // reach in reverse-topological (finishing) order to postorder_.
+  void SymbolicReach(const CscMatrix& matrix, int col, int stamp);
+
+  Options options_;
+  Stats stats_;
+  bool factored_ = false;
+  int n_ = 0;
+  std::size_t pattern_nnz_ = 0;  // nnz of the matrix Factor() saw
+
+  // Column elimination order and row permutation.
+  std::vector<int> q_;     // q_[j] = original column eliminated at step j
+  std::vector<int> pinv_;  // pinv_[original row] = permuted position
+  std::vector<int> prow_;  // prow_[permuted position] = original row
+
+  // L: strictly lower triangular, unit diagonal implicit, permuted row ids.
+  std::vector<int> lp_;
+  std::vector<int> li_;
+  std::vector<double> lx_;
+  // U: strictly upper, permuted row ids sorted ascending per column.
+  std::vector<int> up_;
+  std::vector<int> ui_;
+  std::vector<double> ux_;
+  std::vector<double> udiag_;
+
+  // Workspaces (sized n), reused across calls.
+  mutable std::vector<double> work_;
+  std::vector<int> mark_;
+  std::vector<int> postorder_;
+  std::vector<int> dfs_stack_;
+  std::vector<int> dfs_child_;
+};
+
+}  // namespace wavepipe::sparse

@@ -1,0 +1,149 @@
+#include "sparse/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <set>
+
+#include "sparse/csc.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::sparse {
+namespace {
+
+// Adjacency lists (no self loops) of the undirected graph of A + A^T.
+std::vector<std::vector<int>> BuildAdjacency(const CscMatrix& matrix) {
+  const CscMatrix sym = matrix.SymmetrizedPattern();
+  const int n = sym.cols();
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    for (int k = sym.col_begin(c); k < sym.col_end(c); ++k) {
+      const int r = sym.row_of(k);
+      if (r != c) adj[c].push_back(r);
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<int> NaturalOrder(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+bool IsPermutation(const std::vector<int>& order, int n) {
+  if (static_cast<int>(order.size()) != n) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (int v : order) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+std::vector<int> MinimumDegreeOrder(const CscMatrix& matrix) {
+  WP_ASSERT(matrix.rows() == matrix.cols());
+  const int n = matrix.cols();
+  // Sets give O(log d) updates during elimination; for the sizes we target
+  // (<= ~1e5 nodes, low average degree) this is far from the bottleneck.
+  std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+  {
+    auto lists = BuildAdjacency(matrix);
+    for (int v = 0; v < n; ++v) adj[v].insert(lists[v].begin(), lists[v].end());
+  }
+
+  // Bucketed degree lists with lazy deletion.
+  using Entry = std::pair<int, int>;  // (degree, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<int> degree(static_cast<std::size_t>(n));
+  std::vector<bool> eliminated(static_cast<std::size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    degree[v] = static_cast<int>(adj[v].size());
+    heap.emplace(degree[v], v);
+  }
+
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!heap.empty()) {
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (eliminated[v] || deg != degree[v]) continue;  // stale heap entry
+    eliminated[v] = true;
+    order.push_back(v);
+
+    // Eliminate v: clique its neighbourhood (this models LU fill).
+    std::vector<int> nbrs(adj[v].begin(), adj[v].end());
+    for (int u : nbrs) {
+      adj[u].erase(v);
+    }
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const int u = nbrs[i];
+      if (eliminated[u]) continue;
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const int w = nbrs[j];
+        if (eliminated[w]) continue;
+        if (adj[u].insert(w).second) adj[w].insert(u);
+      }
+    }
+    for (int u : nbrs) {
+      if (eliminated[u]) continue;
+      const int d = static_cast<int>(adj[u].size());
+      if (d != degree[u]) {
+        degree[u] = d;
+        heap.emplace(d, u);
+      }
+    }
+    adj[v].clear();
+  }
+  WP_ASSERT(IsPermutation(order, n));
+  return order;
+}
+
+std::vector<int> ReverseCuthillMcKeeOrder(const CscMatrix& matrix) {
+  WP_ASSERT(matrix.rows() == matrix.cols());
+  const int n = matrix.cols();
+  auto adj = BuildAdjacency(matrix);
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+
+  std::vector<int> degree(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) degree[v] = static_cast<int>(adj[v].size());
+
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+
+  for (;;) {
+    // Pick the unvisited vertex of minimum degree as the next BFS root.
+    int root = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!visited[v] && (root < 0 || degree[v] < degree[root])) root = v;
+    }
+    if (root < 0) break;
+
+    std::queue<int> queue;
+    queue.push(root);
+    visited[root] = true;
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      std::vector<int> next;
+      for (int u : adj[v]) {
+        if (!visited[u]) {
+          visited[u] = true;
+          next.push_back(u);
+        }
+      }
+      std::sort(next.begin(), next.end(),
+                [&](int a, int b) { return degree[a] < degree[b]; });
+      for (int u : next) queue.push(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  WP_ASSERT(IsPermutation(order, n));
+  return order;
+}
+
+}  // namespace wavepipe::sparse

@@ -1,0 +1,66 @@
+#include "sparse/triplet.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/csc.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::sparse {
+
+TripletBuilder::TripletBuilder(int rows, int cols) : rows_(rows), cols_(cols) {
+  WP_ASSERT(rows >= 0 && cols >= 0);
+}
+
+void TripletBuilder::Add(int row, int col, double value) {
+  WP_ASSERT(row >= 0 && row < rows_);
+  WP_ASSERT(col >= 0 && col < cols_);
+  row_.push_back(row);
+  col_.push_back(col);
+  value_.push_back(value);
+}
+
+CscMatrix TripletBuilder::ToCsc() const {
+  const std::size_t nnz_in = row_.size();
+
+  // Counting sort by (col, row): stable two-pass radix over row then col.
+  std::vector<std::size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (col_[a] != col_[b]) return col_[a] < col_[b];
+    return row_[a] < row_[b];
+  });
+
+  std::vector<int> col_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  std::vector<int> row_idx;
+  std::vector<double> values;
+  row_idx.reserve(nnz_in);
+  values.reserve(nnz_in);
+
+  int last_col = -1;
+  int last_row = -1;
+  for (std::size_t k : order) {
+    const int r = row_[k];
+    const int c = col_[k];
+    if (c == last_col && r == last_row) {
+      values.back() += value_[k];  // duplicate: MNA superposition
+      continue;
+    }
+    row_idx.push_back(r);
+    values.push_back(value_[k]);
+    ++col_ptr[static_cast<std::size_t>(c) + 1];
+    last_col = c;
+    last_row = r;
+  }
+  for (int c = 0; c < cols_; ++c) col_ptr[c + 1] += col_ptr[c];
+
+  return CscMatrix(rows_, cols_, std::move(col_ptr), std::move(row_idx), std::move(values));
+}
+
+void TripletBuilder::Clear() {
+  row_.clear();
+  col_.clear();
+  value_.clear();
+}
+
+}  // namespace wavepipe::sparse

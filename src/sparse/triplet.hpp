@@ -1,0 +1,42 @@
+// Coordinate-format (COO) builder for sparse matrices.
+//
+// MNA assembly naturally produces duplicate coordinates (every device stamps
+// its own conductance into shared nodes); ToCsc() sums duplicates, which is
+// exactly the MNA superposition rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wavepipe::sparse {
+
+class CscMatrix;
+
+class TripletBuilder {
+ public:
+  TripletBuilder(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t num_entries() const { return row_.size(); }
+
+  /// Adds value at (row, col); duplicates are summed by ToCsc().
+  void Add(int row, int col, double value);
+
+  /// Structural insertion (value 0) — used to reserve a slot in the pattern.
+  void AddPattern(int row, int col) { Add(row, col, 0.0); }
+
+  /// Compresses to CSC, summing duplicates and sorting row indices per column.
+  CscMatrix ToCsc() const;
+
+  void Clear();
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int> row_;
+  std::vector<int> col_;
+  std::vector<double> value_;
+};
+
+}  // namespace wavepipe::sparse

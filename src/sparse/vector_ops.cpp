@@ -1,0 +1,73 @@
+#include "sparse/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/csc.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::sparse {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  WP_ASSERT(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  WP_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double NormInf(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double Norm2(std::span<const double> x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double MaxAbsDiff(std::span<const double> x, std::span<const double> y) {
+  WP_ASSERT(x.size() == y.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) best = std::max(best, std::abs(x[i] - y[i]));
+  return best;
+}
+
+void Residual(const CscMatrix& a, std::span<const double> x, std::span<const double> b,
+              std::span<double> r) {
+  WP_ASSERT(r.size() == b.size());
+  if (r.data() != b.data()) std::copy(b.begin(), b.end(), r.begin());
+  a.MultiplyAccumulate(x, r, -1.0);
+}
+
+double WrmsNorm(std::span<const double> x, std::span<const double> weights) {
+  WP_ASSERT(x.size() == weights.size());
+  if (x.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = x[i] / weights[i];
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<double>(x.size()));
+}
+
+void BuildErrorWeights(std::span<const double> ref, double reltol,
+                       std::span<const double> abstol, std::span<double> weights) {
+  WP_ASSERT(ref.size() == weights.size());
+  WP_ASSERT(abstol.size() == weights.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    weights[i] = reltol * std::abs(ref[i]) + abstol[i];
+  }
+}
+
+}  // namespace wavepipe::sparse

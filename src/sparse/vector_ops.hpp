@@ -1,0 +1,37 @@
+// Dense vector kernels shared by the Newton loop and the integrators.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wavepipe::sparse {
+
+class CscMatrix;
+
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void Scale(double alpha, std::span<double> x);
+
+double NormInf(std::span<const double> x);
+double Norm2(std::span<const double> x);
+
+/// max_i |x_i - y_i|.
+double MaxAbsDiff(std::span<const double> x, std::span<const double> y);
+
+/// r = b - A*x (r may alias b).
+void Residual(const CscMatrix& a, std::span<const double> x, std::span<const double> b,
+              std::span<double> r);
+
+/// Weighted RMS norm: sqrt(mean((x_i / w_i)^2)).  The SPICE/DASSL-style
+/// error norm; weights are reltol*|ref_i| + abstol_i.
+double WrmsNorm(std::span<const double> x, std::span<const double> weights);
+
+/// weights_i = reltol * |ref_i| + abstol_i.
+void BuildErrorWeights(std::span<const double> ref, double reltol,
+                       std::span<const double> abstol, std::span<double> weights);
+
+}  // namespace wavepipe::sparse

@@ -1,0 +1,68 @@
+// Error types shared across the WavePipe code base.
+//
+// Errors that a caller can reasonably recover from (bad netlist, singular
+// matrix, non-convergent Newton loop) are reported with exceptions derived
+// from `wavepipe::Error`.  Programming errors (violated preconditions) are
+// checked with WP_ASSERT, which is active in all build types: a circuit
+// simulator that silently reads out of bounds produces plausible-looking
+// garbage, which is worse than a crash.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wavepipe {
+
+/// Base class for all recoverable WavePipe errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed netlist / deck input.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line = 0)
+      : Error(line > 0 ? "parse error at line " + std::to_string(line) + ": " + what
+                       : "parse error: " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Structural problems found while elaborating a circuit (dangling nodes,
+/// missing .model cards, duplicate instance names, ...).
+class ElaborationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Numerical failure: singular or numerically unacceptable matrix.
+class SingularMatrixError : public Error {
+ public:
+  explicit SingularMatrixError(const std::string& what, int column = -1)
+      : Error(what), column_(column) {}
+  /// Column (unknown index) at which factorization broke down, or -1.
+  int column() const { return column_; }
+
+ private:
+  int column_;
+};
+
+/// Newton-Raphson (or a continuation wrapper around it) failed to converge.
+class ConvergenceError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file, int line) {
+  throw std::logic_error(std::string("assertion failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line));
+}
+
+}  // namespace wavepipe
+
+#define WP_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::wavepipe::AssertFail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The simulator is a library first: by default it is silent (kWarn).  Tools
+// (examples, benches) raise the level.  Logging is thread-safe; WavePipe
+// worker threads log scheduling decisions at kDebug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wavepipe::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one line ("[level] message") to stderr under a lock.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace wavepipe::util
+
+// Level check happens before the stream is built, so disabled logs cost one
+// comparison.
+#define WP_LOG(level)                                               \
+  if (::wavepipe::util::GetLogLevel() > ::wavepipe::util::LogLevel::level) \
+    ;                                                               \
+  else                                                              \
+    ::wavepipe::util::internal::LogLine(::wavepipe::util::LogLevel::level)
+
+#define WP_DEBUG WP_LOG(kDebug)
+#define WP_INFO WP_LOG(kInfo)
+#define WP_WARN WP_LOG(kWarn)
+#define WP_ERROR WP_LOG(kError)

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generator (xoshiro256** seeded with
+// splitmix64).  Circuit generators and property tests must be reproducible
+// from a single seed across platforms, which rules out std::default_random_
+// engine (implementation-defined) and std::uniform_real_distribution
+// (implementation-defined rounding); both are reimplemented here.
+#pragma once
+
+#include <cstdint>
+
+namespace wavepipe::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the 256-bit xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t NextBelow(std::uint64_t n) {
+    // Rejection sampling for an unbiased result.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  int UniformInt(int lo, int hi_inclusive) {
+    return lo + static_cast<int>(NextBelow(static_cast<std::uint64_t>(hi_inclusive - lo + 1)));
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Log-uniform in [lo, hi): natural for component values (1pF..1uF etc.).
+  double LogUniform(double lo, double hi);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace wavepipe::util
+
+#include <cmath>
+
+namespace wavepipe::util {
+
+inline double Rng::LogUniform(double lo, double hi) {
+  return std::exp(Uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace wavepipe::util

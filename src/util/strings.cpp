@@ -1,0 +1,130 @@
+#include "util/strings.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace wavepipe::util {
+
+char ToLowerAscii(char c) { return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c; }
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(ToLowerAscii(c));
+  return out;
+}
+
+bool IsDigitAscii(char c) { return c >= '0' && c <= '9'; }
+
+bool IsAlphaAscii(char c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'); }
+
+bool IsSpaceAscii(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f'; }
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ToLowerAscii(a[i]) != ToLowerAscii(b[i])) return false;
+  }
+  return true;
+}
+
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && EqualsIgnoreCase(s.substr(0, prefix.size()), prefix);
+}
+
+std::string_view TrimAscii(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsSpaceAscii(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsSpaceAscii(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view s, std::string_view delims) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    size_t start = i;
+    while (i < s.size() && delims.find(s[i]) == std::string_view::npos) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitExact(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::optional<double> ParseSpiceNumber(std::string_view s) {
+  s = TrimAscii(s);
+  if (s.empty()) return std::nullopt;
+
+  // strtod needs a NUL-terminated buffer; SPICE numbers are short.
+  char buffer[64];
+  if (s.size() >= sizeof(buffer)) return std::nullopt;
+  std::memcpy(buffer, s.data(), s.size());
+  buffer[s.size()] = '\0';
+
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer, &end);
+  if (end == buffer || errno == ERANGE) return std::nullopt;
+
+  std::string_view rest = TrimAscii(std::string_view(end));
+  if (rest.empty()) return value;
+  // Only an alphabetic suffix is legal after the mantissa.
+  for (char c : rest) {
+    if (!IsAlphaAscii(c)) return std::nullopt;
+  }
+
+  const std::string suffix = ToLowerAscii(rest);
+  double scale = 1.0;
+  size_t consumed = 1;
+  if (suffix.rfind("meg", 0) == 0) {
+    scale = 1e6;
+    consumed = 3;
+  } else if (suffix.rfind("mil", 0) == 0) {
+    scale = 25.4e-6;
+    consumed = 3;
+  } else {
+    switch (suffix[0]) {
+      case 't': scale = 1e12; break;
+      case 'g': scale = 1e9; break;
+      case 'k': scale = 1e3; break;
+      case 'm': scale = 1e-3; break;
+      case 'u': scale = 1e-6; break;
+      case 'n': scale = 1e-9; break;
+      case 'p': scale = 1e-12; break;
+      case 'f': scale = 1e-15; break;
+      case 'a': scale = 1e-18; break;
+      default:
+        // Unknown letter: SPICE treats it as a unit ("10V"), scale 1.
+        scale = 1.0;
+        consumed = 0;
+        break;
+    }
+  }
+  // Remaining letters after the suffix are a unit and are ignored ("10pF").
+  (void)consumed;
+  return value * scale;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", digits, value);
+  return buffer;
+}
+
+}  // namespace wavepipe::util

@@ -1,0 +1,45 @@
+// String helpers used by the netlist front end and table writers.
+//
+// SPICE decks are ASCII and case-insensitive; these helpers are deliberately
+// locale-independent (std::tolower and friends consult the global locale,
+// which is wrong for a deck parser).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wavepipe::util {
+
+/// ASCII-only lowercase (locale independent).
+char ToLowerAscii(char c);
+std::string ToLowerAscii(std::string_view s);
+
+bool IsDigitAscii(char c);
+bool IsAlphaAscii(char c);
+bool IsSpaceAscii(char c);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+std::string_view TrimAscii(std::string_view s);
+
+/// Splits on any run of characters from `delims`; empty fields are dropped.
+std::vector<std::string_view> SplitTokens(std::string_view s, std::string_view delims = " \t");
+
+/// Splits on a single delimiter; empty fields are kept.
+std::vector<std::string_view> SplitExact(std::string_view s, char delim);
+
+/// Parses a SPICE number with an optional engineering suffix:
+///   1k = 1e3, 2.5u = 2.5e-6, 10meg = 1e7, 3mil = 3*25.4e-6, ...
+/// Trailing alphabetic unit garbage after the suffix is ignored, as in SPICE
+/// ("10pF" parses as 10e-12).  Returns nullopt on malformed input.
+std::optional<double> ParseSpiceNumber(std::string_view s);
+
+/// Formats a double compactly ("1.5e-09" -> "1.5n" style is NOT used; we keep
+/// plain scientific with `digits` significant digits for unambiguous CSVs).
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace wavepipe::util

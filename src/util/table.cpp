@@ -1,0 +1,168 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavepipe::util {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size();
+}
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  WP_ASSERT(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Cell(double value, int digits) { return FormatDouble(value, digits); }
+std::string Table::Cell(int value) { return std::to_string(value); }
+std::string Table::Cell(std::size_t value) { return std::to_string(value); }
+
+std::string Table::ToString() const {
+  const std::size_t cols = header_.size();
+  std::vector<std::size_t> width(cols);
+  std::vector<bool> numeric(cols, true);
+  for (std::size_t c = 0; c < cols; ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!LooksNumeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < cols; ++c) os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (align_numeric && numeric[c]) {
+        os << ' ' << std::string(pad, ' ') << cell << ' ';
+      } else {
+        os << ' ' << cell << std::string(pad, ' ') << ' ';
+      }
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(header_, /*align_numeric=*/false);
+  rule();
+  for (const auto& row : rows_) line(row, /*align_numeric=*/true);
+  rule();
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << CsvEscape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::Print(std::ostream& os) const { os << ToString(); }
+
+void Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  out << ToCsv();
+  if (!out) throw Error("write failed for " + path);
+}
+
+void AsciiChart::AddSeries(std::string name, std::vector<std::pair<double, double>> points) {
+  std::sort(points.begin(), points.end());
+  series_.emplace_back(std::move(name), std::move(points));
+}
+
+std::string AsciiChart::ToString() const {
+  if (series_.empty()) return "(empty chart)\n";
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& [name, pts] : series_) {
+    for (const auto& [x, y] : pts) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!(xmax > xmin)) xmax = xmin + 1;
+  if (!(ymax > ymin)) ymax = ymin + 1;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  const char* glyphs = "*o+x#@";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const auto& pts = series_[s].second;
+    const char glyph = glyphs[s % 6];
+    // Sample each column by linear interpolation for a continuous trace.
+    for (int col = 0; col < width_; ++col) {
+      const double x = xmin + (xmax - xmin) * col / std::max(1, width_ - 1);
+      // Find bracketing points.
+      double y = std::numeric_limits<double>::quiet_NaN();
+      for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+        if (pts[i].first <= x && x <= pts[i + 1].first) {
+          const double t = (x - pts[i].first) /
+                           std::max(1e-300, pts[i + 1].first - pts[i].first);
+          y = pts[i].second + t * (pts[i + 1].second - pts[i].second);
+          break;
+        }
+      }
+      if (std::isnan(y)) continue;
+      int row = static_cast<int>(std::lround((ymax - y) / (ymax - ymin) * (height_ - 1)));
+      row = std::clamp(row, 0, height_ - 1);
+      grid[row][col] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << FormatDouble(ymax, 3) << '\n';
+  for (const auto& line : grid) os << '|' << line << '\n';
+  os << FormatDouble(ymin, 3) << ' ' << std::string(std::max(0, width_ - 16), '-') << ' '
+     << "x: [" << FormatDouble(xmin, 3) << ", " << FormatDouble(xmax, 3) << "]\n";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    os << "  '" << glyphs[s % 6] << "' = " << series_[s].first << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wavepipe::util

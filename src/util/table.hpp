@@ -1,0 +1,67 @@
+// Console table / CSV writers used by the benchmark harnesses to print the
+// paper-style tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wavepipe::util {
+
+/// Accumulates rows of strings and renders an aligned ASCII table, e.g.
+///
+///   +----------+-------+---------+
+///   | circuit  | nodes | speedup |
+///   +----------+-------+---------+
+///   | mesh32   |  1024 |    1.52 |
+///   +----------+-------+---------+
+///
+/// Numeric-looking cells are right-aligned, text cells left-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `digits` significant digits.
+  static std::string Cell(double value, int digits = 4);
+  static std::string Cell(int value);
+  static std::string Cell(std::size_t value);
+
+  /// Renders the ASCII table.
+  std::string ToString() const;
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  std::string ToCsv() const;
+
+  void Print(std::ostream& os) const;
+  /// Writes the CSV form to `path`; throws wavepipe::Error on I/O failure.
+  void WriteCsv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an ASCII line chart (time on x, one or more named series on y)
+/// for "figure" benches, so figures are inspectable without a plotting stack.
+/// Each series is a vector of (x, y); series are linearly interpolated onto
+/// the common x range.
+class AsciiChart {
+ public:
+  AsciiChart(int width, int height) : width_(width), height_(height) {}
+
+  void AddSeries(std::string name, std::vector<std::pair<double, double>> points);
+
+  std::string ToString() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>> series_;
+};
+
+}  // namespace wavepipe::util

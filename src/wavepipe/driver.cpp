@@ -1,0 +1,286 @@
+#include "wavepipe/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace wavepipe::pipeline {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSerial: return "serial";
+    case Scheme::kBackward: return "bwp";
+    case Scheme::kForward: return "fwp";
+    case Scheme::kCombined: return "combined";
+  }
+  return "?";
+}
+
+PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
+                               const engine::MnaStructure& structure,
+                               const engine::TransientSpec& spec,
+                               const WavePipeOptions& options)
+    : circuit_(circuit),
+      structure_(structure),
+      spec_(spec),
+      options_(options),
+      limits_(engine::StepLimits::FromSpec(spec, options.sim)),
+      history_(options.sim.history_depth) {
+  WP_ASSERT(options_.threads >= 1);
+  if (options_.scheme == Scheme::kSerial) options_.threads = 1;
+  if (options_.scheme == Scheme::kCombined && options_.threads < 3) {
+    // Combined needs one backward + one forward helper; degrade gracefully.
+    options_.threads = 3;
+  }
+  breakpoints_ = circuit.CollectBreakpoints(spec.tstart, spec.tstop);
+
+  const int slots = options_.threads;
+  contexts_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    contexts_.push_back(std::make_unique<engine::SolveContext>(circuit, structure));
+  }
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(options_.threads));
+  }
+}
+
+bool PipelineDriver::Done() const {
+  return history_.newest_time() >= spec_.tstop - 1e-15 * std::abs(spec_.tstop);
+}
+
+WavePipeResult PipelineDriver::Run() {
+  util::WallTimer total_timer;
+  result_.trace = engine::Trace(spec_.probes.size() > 0
+                                    ? spec_.probes
+                                    : engine::ProbeSet::FirstNodes(circuit_.num_nodes(), 16));
+
+  // Sequential prologue: DC operating point on context 0.
+  engine::SolveContext& ctx0 = *contexts_[0];
+  util::ThreadCpuTimer dc_timer;
+  const engine::DcopResult dcop =
+      engine::SolveDcOperatingPoint(ctx0, options_.sim, spec_.initial_conditions);
+  result_.stats.dcop_strategy = dcop.strategy;
+
+  SolveRecord dc_record;
+  dc_record.kind = SolveKind::kDcop;
+  dc_record.time_point = spec_.tstart;
+  dc_record.seconds = dc_timer.Seconds();
+  dc_record.newton_iterations = dcop.newton.iterations;
+  const int dc_id = result_.ledger.Add(dc_record);
+
+  // Seed history/trace with the operating point.  Not counted as an
+  // accepted step (the serial engine doesn't count it either).
+  const engine::SolutionPointPtr dc_point = engine::MakeDcSolutionPoint(ctx0, spec_.tstart);
+  history_.Add(dc_point);
+  ledger_id_of_point_[dc_point.get()] = dc_id;
+  result_.trace.Record(dc_point->time, dc_point->x);
+  result_.final_point = dc_point;
+
+  h_ = limits_.h0;
+  restart_ = true;
+  steps_since_restart_ = 0;
+
+  while (!Done()) {
+    result_.sched.rounds += 1;
+    switch (options_.scheme) {
+      case Scheme::kSerial: RunRoundSerial(); break;
+      case Scheme::kBackward: RunRoundBackward(); break;
+      case Scheme::kForward: RunRoundForward(); break;
+      case Scheme::kCombined: RunRoundCombined(); break;
+    }
+  }
+
+  result_.stats.wall_seconds = total_timer.Seconds();
+  return std::move(result_);
+}
+
+PipelineDriver::Clip PipelineDriver::ClipStep(double t_from, double h) {
+  Clip clip{t_from + h, false, false};
+  while (next_breakpoint_ < breakpoints_.size() &&
+         breakpoints_[next_breakpoint_] <= t_from + limits_.hmin) {
+    ++next_breakpoint_;
+  }
+  if (next_breakpoint_ < breakpoints_.size() &&
+      clip.t_new >= breakpoints_[next_breakpoint_] - limits_.hmin) {
+    clip.t_new = breakpoints_[next_breakpoint_];
+    clip.hit_breakpoint = true;
+  }
+  if (clip.t_new >= spec_.tstop) {
+    clip.t_new = spec_.tstop;
+    clip.hit_stop = true;
+    clip.hit_breakpoint = false;
+  }
+  return clip;
+}
+
+std::future<engine::StepSolveResult> PipelineDriver::SubmitSolve(
+    int slot, engine::HistoryWindow window, double t_new, bool restart,
+    std::vector<double> seed_x) {
+  WP_ASSERT(slot >= 0 && slot < static_cast<int>(contexts_.size()));
+  engine::SolveContext* ctx = contexts_[static_cast<std::size_t>(slot)].get();
+  const engine::Method method = options_.sim.method;
+  const engine::SimOptions sim = options_.sim;
+
+  auto task = [ctx, window = std::move(window), t_new, method, restart, sim,
+               seed = std::move(seed_x)]() {
+    return engine::SolveTimePoint(*ctx, window, t_new, method, restart, sim, seed);
+  };
+  if (pool_) return pool_->Submit(std::move(task));
+  // Single-threaded: run inline but keep the future-based interface.
+  std::promise<engine::StepSolveResult> promise;
+  promise.set_value(task());
+  return promise.get_future();
+}
+
+std::vector<int> PipelineDriver::DepsOf(const engine::HistoryWindow& window) const {
+  std::vector<int> deps;
+  deps.reserve(window.size());
+  for (const auto& point : window) {
+    const auto it = ledger_id_of_point_.find(point.get());
+    if (it != ledger_id_of_point_.end()) deps.push_back(it->second);
+  }
+  return deps;
+}
+
+bool PipelineDriver::RepairWorthwhile() const {
+  // Warm-up: gather a few repair samples before judging.
+  if (repair_samples_ < 8) return true;
+  return avg_repair_iters_ + 0.5 < avg_lead_iters_;
+}
+
+int PipelineDriver::Record(SolveKind kind, const engine::StepSolveResult& solve,
+                           std::vector<int> deps, bool useful) {
+  constexpr double kEma = 0.05;
+  if (kind == SolveKind::kLeading) {
+    avg_lead_iters_ = avg_lead_iters_ == 0.0
+                          ? solve.newton.iterations
+                          : (1 - kEma) * avg_lead_iters_ + kEma * solve.newton.iterations;
+  } else if (kind == SolveKind::kRepair) {
+    avg_repair_iters_ =
+        avg_repair_iters_ == 0.0
+            ? solve.newton.iterations
+            : (1 - kEma) * avg_repair_iters_ + kEma * solve.newton.iterations;
+    ++repair_samples_;
+  }
+  SolveRecord record;
+  record.kind = kind;
+  record.time_point = solve.point ? solve.point->time : 0.0;
+  record.seconds = solve.solve_seconds;
+  record.newton_iterations = solve.newton.iterations;
+  record.deps = std::move(deps);
+  record.useful = useful;
+
+  result_.stats.newton_iterations += static_cast<std::uint64_t>(solve.newton.iterations);
+  result_.stats.lu_full_factors += static_cast<std::uint64_t>(solve.newton.lu_full_factors);
+  result_.stats.lu_refactors += static_cast<std::uint64_t>(solve.newton.lu_refactors);
+  return result_.ledger.Add(std::move(record));
+}
+
+void PipelineDriver::AcceptPoint(const engine::SolutionPointPtr& point, int ledger_id,
+                                 bool leading) {
+  history_.Add(point);
+  ledger_id_of_point_[point.get()] = ledger_id;
+  // Prune map entries for points that fell out of the bounded history.
+  if (ledger_id_of_point_.size() > 4 * static_cast<std::size_t>(options_.sim.history_depth)) {
+    std::map<const engine::SolutionPoint*, int> kept;
+    for (int i = 0; i < history_.size(); ++i) {
+      const auto* raw = history_.FromNewest(i).get();
+      const auto it = ledger_id_of_point_.find(raw);
+      if (it != ledger_id_of_point_.end()) kept.emplace(raw, it->second);
+    }
+    ledger_id_of_point_ = std::move(kept);
+  }
+  if (leading) {
+    result_.trace.Record(point->time, point->x);
+    result_.stats.steps_accepted += 1;
+    result_.final_point = point;
+  }
+}
+
+void PipelineDriver::OnNewtonFailure(double attempted_h,
+                                     const engine::StepSolveResult& solve,
+                                     std::vector<int> deps) {
+  result_.stats.steps_rejected_newton += 1;
+  Record(SolveKind::kRejected, solve, std::move(deps), /*useful=*/false);
+  h_ = attempted_h / options_.sim.newton_fail_shrink;
+  if (h_ < limits_.hmin) {
+    throw ConvergenceError("wavepipe: timestep too small at t = " +
+                           std::to_string(history_.newest_time()));
+  }
+}
+
+void PipelineDriver::OnLteRejection(const engine::StepAssessment& assess,
+                                    double attempted_h) {
+  (void)attempted_h;
+  result_.stats.steps_rejected_lte += 1;
+  h_ = std::max(assess.h_next, limits_.hmin);
+  bwp_cooldown_ = 1;
+}
+
+void PipelineDriver::OnLeadingAccepted(const engine::StepAssessment& assess,
+                                       bool hit_breakpoint, double growth_cap,
+                                       double h_used, bool update_step_control) {
+  (void)growth_cap;
+  if (bwp_cooldown_ > 0) --bwp_cooldown_;
+  ++steps_since_restart_;
+  restart_ = false;
+  if (hit_breakpoint) {
+    ++next_breakpoint_;
+    restart_ = true;
+    steps_since_restart_ = 0;
+    h_ = limits_.h0;
+    last_growth_factor_ = 1.0;
+    return;
+  }
+  if (!update_step_control) return;
+  if (h_used > 0.0) {
+    last_growth_factor_ = std::clamp(assess.h_next / h_used, 0.5, 4.0);
+  }
+  h_ = std::clamp(assess.h_next, limits_.hmin, limits_.hmax);
+}
+
+engine::StepControlParams PipelineDriver::ParamsWithCap(int order, double cap) const {
+  engine::StepControlParams params =
+      engine::MakeStepParams(options_.sim, circuit_.num_nodes(), order);
+  params.growth_cap = cap;
+  return params;
+}
+
+int PipelineDriver::BackwardPointCount() const {
+  if (restart_ || steps_since_restart_ < 1 || history_.size() < 2) return 0;
+  // The trailing interval is already densified (a rejected round keeps its
+  // backward points in history); piling more points into it adds cost and
+  // numerical noise, never information.
+  if (history_.FromNewest(1)->auxiliary) return 0;
+  // After an LTE rejection the local error estimate just proved optimistic;
+  // run one round at the serial cap before trusting the raised one again.
+  if (bwp_cooldown_ > 0) return 0;
+  int helpers = 0;
+  switch (options_.scheme) {
+    case Scheme::kBackward: helpers = options_.threads - 1; break;
+    case Scheme::kCombined: helpers = 1; break;
+    default: return 0;
+  }
+  return std::clamp(helpers, 0, static_cast<int>(options_.bwp_growth_caps.size()));
+}
+
+double PipelineDriver::BwpGrowthCap(int backward_points) const {
+  if (backward_points <= 0) return options_.sim.step_growth;
+  const std::size_t index =
+      std::min(static_cast<std::size_t>(backward_points) - 1,
+               options_.bwp_growth_caps.size() - 1);
+  return options_.bwp_growth_caps[index];
+}
+
+WavePipeResult RunWavePipe(const engine::Circuit& circuit,
+                           const engine::MnaStructure& structure,
+                           const engine::TransientSpec& spec,
+                           const WavePipeOptions& options) {
+  PipelineDriver driver(circuit, structure, spec, options);
+  return driver.Run();
+}
+
+}  // namespace wavepipe::pipeline

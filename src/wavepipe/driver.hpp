@@ -1,0 +1,160 @@
+// PipelineDriver: the machinery shared by all WavePipe schemes — fork/join
+// round execution over a thread pool, breakpoint handling, history and trace
+// management, ledger bookkeeping.
+//
+// Each scheme contributes one RunRound*() method (bwp.cpp, fwp.cpp,
+// combined.cpp); a round inspects the shared history, launches concurrent
+// SolveTimePoint tasks on per-slot SolveContexts, joins them, and decides
+// what to accept.  Rounds are the synchronization unit: between rounds only
+// the driver thread touches shared state, which keeps the scheduler
+// deterministic (a requirement the tests rely on).
+#pragma once
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/dcop.hpp"
+#include "engine/newton.hpp"
+#include "engine/step_control.hpp"
+#include "engine/transient.hpp"
+#include "util/thread_pool.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe::pipeline {
+
+class PipelineDriver {
+ public:
+  PipelineDriver(const engine::Circuit& circuit, const engine::MnaStructure& structure,
+                 const engine::TransientSpec& spec, const WavePipeOptions& options);
+
+  WavePipeResult Run();
+
+ private:
+  // ---- per-scheme round logic (one accepted leading step or a retry) ------
+  void RunRoundSerial();
+  void RunRoundBackward();
+  void RunRoundForward();
+  void RunRoundCombined();
+
+  // ---- shared helpers -------------------------------------------------------
+  struct Clip {
+    double t_new;
+    bool hit_breakpoint;
+    bool hit_stop;
+  };
+  /// Clips t_from + h to the next breakpoint / tstop.  Commits the skip of
+  /// breakpoints already passed (mirrors the serial engine exactly).
+  Clip ClipStep(double t_from, double h);
+
+  /// Launches SolveTimePoint asynchronously on context slot `slot`.
+  std::future<engine::StepSolveResult> SubmitSolve(int slot, engine::HistoryWindow window,
+                                                   double t_new, bool restart,
+                                                   std::vector<double> seed_x = {});
+
+  /// Ledger ids of the records that produced the window's points (task deps).
+  std::vector<int> DepsOf(const engine::HistoryWindow& window) const;
+
+  /// Records a solve in the ledger; returns its id.
+  int Record(SolveKind kind, const engine::StepSolveResult& solve,
+             std::vector<int> deps, bool useful);
+
+  /// Accepts a solution point: history + ledger-id map (+ trace for leading
+  /// points).
+  void AcceptPoint(const engine::SolutionPointPtr& point, int ledger_id, bool leading);
+
+  /// Handles a failed leading solve (Newton divergence): shrink h, count it.
+  void OnNewtonFailure(double attempted_h, const engine::StepSolveResult& solve,
+                       std::vector<int> deps);
+  /// Handles an LTE rejection of the leading step.
+  void OnLteRejection(const engine::StepAssessment& assess, double attempted_h);
+  /// Bookkeeping after an accepted leading step of size `h_used`.  When
+  /// `update_step_control` is false the acceptance is recorded but h_ and
+  /// the growth factor keep their last clean values — used for directly-
+  /// accepted speculative steps, whose tolerance-scale solution noise sits
+  /// on the LTE estimate as an h-independent floor and would otherwise
+  /// drive the controller's err -> h feedback into a downward wobble.
+  void OnLeadingAccepted(const engine::StepAssessment& assess, bool hit_breakpoint,
+                         double growth_cap, double h_used,
+                         bool update_step_control = true);
+
+  /// Step-control parameter block with the given growth cap.
+  engine::StepControlParams ParamsWithCap(int order, double cap) const;
+
+  /// One in-flight helper solve (backward point or speculative point).
+  struct HelperTask {
+    double time = 0.0;
+    engine::SolutionPointPtr predicted_predecessor;  // speculative chains only
+    std::vector<int> deps;
+    std::future<engine::StepSolveResult> future;
+  };
+
+  /// Launches `count` backward-point solves inside the trailing history
+  /// interval on context slots first_slot, first_slot+1, ...
+  std::vector<HelperTask> LaunchBackwardTasks(int count, int first_slot);
+  /// Joins backward tasks and publishes converged points (auxiliary) into
+  /// the shared history + ledger.
+  void JoinAndPublishBackward(std::vector<HelperTask>& tasks);
+
+  /// Launches up to `depth` chained speculative solves at t1+h1, t1+2*h1, ...
+  /// over predicted histories.  Stops before any breakpoint/stop corner.
+  std::vector<HelperTask> LaunchSpeculativeChain(int depth, int first_slot, double t1,
+                                                 double h1,
+                                                 engine::HistoryWindow base_window);
+  /// Discards an entire speculative chain starting at entry `from` (records
+  /// the wasted work in the ledger).
+  void DiscardSpeculativeChain(std::vector<HelperTask>& chain,
+                               std::vector<engine::StepSolveResult>& results,
+                               std::size_t from);
+  /// Validates + repairs the chain after the leading step was accepted.
+  void ValidateSpeculativeChain(std::vector<HelperTask>& chain,
+                                std::vector<engine::StepSolveResult>& results);
+
+  /// Number of backward helper points this scheme/thread-count runs per
+  /// round (0 when history is too short or a restart is pending).
+  int BackwardPointCount() const;
+  double BwpGrowthCap(int backward_points) const;
+
+  bool Done() const;
+
+  // ---- immutable configuration ---------------------------------------------
+  const engine::Circuit& circuit_;
+  const engine::MnaStructure& structure_;
+  engine::TransientSpec spec_;
+  WavePipeOptions options_;
+  engine::StepLimits limits_;
+  std::vector<double> breakpoints_;
+
+  // ---- run state -------------------------------------------------------------
+  std::vector<std::unique_ptr<engine::SolveContext>> contexts_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  engine::History history_;
+  std::map<const engine::SolutionPoint*, int> ledger_id_of_point_;
+  std::size_t next_breakpoint_ = 0;
+  double h_ = 0.0;
+  bool restart_ = true;
+  int steps_since_restart_ = 0;
+  int bwp_cooldown_ = 0;  ///< rounds to hold the serial growth cap after a rejection
+  /// Realized step-growth factor of the last accepted leading step.  The
+  /// speculative chain follows this trajectory (t2 = t1 + g*h1, ...): during
+  /// cap-limited ramps the serial controller doubles every step, and a chain
+  /// that reused h1 flat would fall behind the serial trajectory and lose.
+  double last_growth_factor_ = 1.0;
+
+  /// Running Newton-iteration averages (exponential moving averages) that
+  /// drive the adaptive repair policy: a hot-started repair only belongs on
+  /// the critical path when it is actually cheaper than the cold solve it
+  /// replaces.  With cheap device models and a good predictor, cold solves
+  /// converge in ~2 iterations and repairs cannot pay — the rational policy
+  /// degenerates to direct-accept-or-discard.  With expensive multi-
+  /// iteration models (the paper's regime) repairs stay enabled.
+  double avg_lead_iters_ = 0.0;
+  double avg_repair_iters_ = 0.0;
+  int repair_samples_ = 0;
+  bool RepairWorthwhile() const;
+
+  WavePipeResult result_;
+};
+
+}  // namespace wavepipe::pipeline

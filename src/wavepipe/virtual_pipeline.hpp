@@ -1,0 +1,32 @@
+// Virtual-time replay: list-schedules a Ledger's task DAG onto k workers and
+// reports the makespan.  See ledger.hpp for why this stands in for multi-core
+// wall clock on this single-core container.
+#pragma once
+
+#include "wavepipe/ledger.hpp"
+
+namespace wavepipe::pipeline {
+
+struct ReplayResult {
+  int workers = 1;
+  double makespan_seconds = 0.0;       ///< modeled parallel runtime
+  double busy_seconds = 0.0;           ///< sum of task costs (all workers)
+  double critical_path_seconds = 0.0;  ///< longest dependency chain (k = inf bound)
+  double utilization = 0.0;            ///< busy / (makespan * workers)
+};
+
+/// How task cost is measured during replay.
+enum class ReplayCost {
+  kMeasuredSeconds,   ///< thread-CPU seconds (reflects this machine)
+  kNewtonIterations,  ///< deterministic: 1 unit per Newton iteration.  Noise-
+                      ///< free across runs; the right basis for speedup
+                      ///< tables when individual solves are microseconds.
+};
+
+/// Greedy list scheduling in ledger order (which is the order the real
+/// scheduler released the tasks): each task starts at
+/// max(earliest worker free time, all deps' finish times).
+ReplayResult ReplayOnWorkers(const Ledger& ledger, int workers,
+                             ReplayCost cost = ReplayCost::kMeasuredSeconds);
+
+}  // namespace wavepipe::pipeline

@@ -1,0 +1,112 @@
+// WavePipe public API: waveform-pipelined parallel transient simulation.
+//
+// Reproduces Dong, Li, Ye, "WavePipe: parallel transient simulation of analog
+// and digital circuits on multi-core shared-memory machines", DAC 2008.
+//
+// Three schemes over the same SPICE-class core (src/engine):
+//
+//  * kBackward  — backward pipelining: helper threads solve full-accuracy
+//    intermediate points BEHIND the leading edge; the denser local history
+//    makes the divided-difference LTE estimate trustworthy over a longer
+//    extrapolation range, so the leading step's growth cap is raised
+//    (gamma 2 -> 3 with one helper, -> 4 with two).  Every point is a true
+//    circuit solution; acceptance still passes the unchanged LTE test.
+//
+//  * kForward   — forward pipelining: helper threads speculatively solve
+//    FUTURE time points seeded with a polynomial prediction of the not-yet-
+//    converged predecessor.  When the predecessor converges, the prediction
+//    is validated; a close prediction turns the speculative solve into a
+//    cheap hot-start repair, a bad one is discarded and redone.  Accuracy
+//    and convergence are never compromised — speculative state is private
+//    until validated.
+//
+//  * kCombined  — one backward helper plus forward speculation (3+ threads).
+//
+// kSerial runs the conventional loop through the same machinery, producing
+// the ledger the speedup comparisons need.
+#pragma once
+
+#include <vector>
+
+#include "engine/circuit.hpp"
+#include "engine/mna.hpp"
+#include "engine/options.hpp"
+#include "engine/trace.hpp"
+#include "engine/transient.hpp"
+#include "wavepipe/ledger.hpp"
+
+namespace wavepipe::pipeline {
+
+enum class Scheme { kSerial, kBackward, kForward, kCombined };
+
+const char* SchemeName(Scheme scheme);
+
+struct WavePipeOptions {
+  Scheme scheme = Scheme::kCombined;
+  /// Worker threads (including the leading solve).  Serial ignores it.
+  int threads = 2;
+
+  /// Raised leading-edge growth caps, indexed by (number of backward helper
+  /// points - 1).  Reconstructed from the paper's scheme: one extra backward
+  /// point justifies gamma = 3, two justify 4; beyond that the estimator
+  /// gains little.
+  std::vector<double> bwp_growth_caps = {3.0, 4.0, 4.5};
+  /// Where in the trailing interval the backward point lands (0.5 = middle).
+  double bwp_backward_fraction = 0.5;
+
+  /// Direct-acceptance threshold for forward pipelining, in the WRMS units
+  /// of the solver tolerance.  When the predicted predecessor was within
+  /// this distance of the converged truth, the speculative solution is
+  /// accepted AS IS: its deviation from the exact solution is of the same
+  /// order as the Newton/LTE error already admitted everywhere, and skipping
+  /// the repair removes the solve from the critical path entirely — this is
+  /// where forward pipelining's speedup comes from.
+  /// Default 1.0 = strictly within solver tolerance.  Looser values buy more
+  /// overlap but inject tolerance-scale noise into the history, which costs
+  /// extra LTE rejections on smooth analog circuits (see bench_abl_predictor).
+  double fwp_direct_tol = 1.0;
+
+  /// Repair threshold: predictions worse than fwp_direct_tol but within this
+  /// bound trigger a hot-started re-solve against the true history (cheap,
+  /// 1-2 Newton iterations); beyond it the speculative work is discarded.
+  /// Accuracy never depends on this knob — only how often speculation pays.
+  double fwp_prediction_tol = 8.0;
+
+  engine::SimOptions sim;
+};
+
+struct PipelineSchedStats {
+  std::size_t rounds = 0;
+  std::size_t backward_solves = 0;
+  std::size_t speculative_solves = 0;
+  std::size_t speculative_accepted = 0;
+  std::size_t speculative_direct = 0;  ///< accepted without a repair pass
+  std::size_t speculative_discarded = 0;
+  std::size_t repair_solves = 0;
+  std::uint64_t repair_newton_iterations = 0;
+
+  double speculation_acceptance() const {
+    return speculative_solves == 0
+               ? 0.0
+               : static_cast<double>(speculative_accepted) /
+                     static_cast<double>(speculative_solves);
+  }
+};
+
+struct WavePipeResult {
+  engine::Trace trace;
+  engine::TransientStats stats;
+  PipelineSchedStats sched;
+  Ledger ledger;
+  engine::SolutionPointPtr final_point;
+};
+
+/// Runs a transient analysis under the selected scheme.  Thread-safe with
+/// respect to the circuit/structure (read-only); the run itself spawns
+/// options.threads workers.
+WavePipeResult RunWavePipe(const engine::Circuit& circuit,
+                           const engine::MnaStructure& structure,
+                           const engine::TransientSpec& spec,
+                           const WavePipeOptions& options);
+
+}  // namespace wavepipe::pipeline

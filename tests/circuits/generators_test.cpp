@@ -1,0 +1,139 @@
+#include "circuits/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/transient.hpp"
+
+namespace wavepipe::circuits {
+namespace {
+
+TEST(Generators, RcLadderTopology) {
+  const auto gen = MakeRcLadder(10);
+  EXPECT_EQ(gen.circuit->num_nodes(), 11);      // in + 10 stages
+  EXPECT_EQ(gen.circuit->num_branches(), 1);    // the driver
+  EXPECT_EQ(gen.circuit->num_devices(), 21u);   // 10 R + 10 C + 1 V
+  EXPECT_FALSE(gen.circuit->is_nonlinear());
+  EXPECT_EQ(gen.kind, "linear");
+  EXPECT_GT(gen.spec.tstop, 0.0);
+}
+
+TEST(Generators, RcMeshScalesWithGrid) {
+  const auto small = MakeRcMesh(4, 4);
+  const auto big = MakeRcMesh(8, 8);
+  EXPECT_GT(big.circuit->num_nodes(), small.circuit->num_nodes());
+  EXPECT_EQ(small.circuit->num_nodes(), 17);  // 16 grid + vdd pin
+}
+
+TEST(Generators, RcMeshDeterministicBySeed) {
+  const auto a = MakeRcMesh(5, 5, /*seed=*/3);
+  const auto b = MakeRcMesh(5, 5, /*seed=*/3);
+  EXPECT_EQ(a.circuit->num_devices(), b.circuit->num_devices());
+  const auto bps_a = a.circuit->CollectBreakpoints(0, a.spec.tstop);
+  const auto bps_b = b.circuit->CollectBreakpoints(0, b.spec.tstop);
+  EXPECT_EQ(bps_a, bps_b);
+}
+
+TEST(Generators, RingOscillatorOscillates) {
+  const auto gen = MakeRingOscillator(5);
+  engine::MnaStructure mna(*gen.circuit);
+  const auto res =
+      engine::RunTransientSerial(*gen.circuit, mna, gen.spec, engine::SimOptions{});
+  int crossings = 0;
+  const double mid = 1.25;
+  for (std::size_t i = 1; i < res.trace.num_samples(); ++i) {
+    if ((res.trace.value(i - 1, 0) - mid) * (res.trace.value(i, 0) - mid) < 0) ++crossings;
+  }
+  EXPECT_GE(crossings, 6) << "ring oscillator failed to start";
+}
+
+TEST(Generators, RingRequiresOddStages) {
+  EXPECT_THROW(MakeRingOscillator(4), std::logic_error);
+  EXPECT_THROW(MakeRingOscillator(1), std::logic_error);
+}
+
+TEST(Generators, InverterChainPropagatesEdge) {
+  const auto gen = MakeInverterChain(4);
+  engine::MnaStructure mna(*gen.circuit);
+  const auto res =
+      engine::RunTransientSerial(*gen.circuit, mna, gen.spec, engine::SimOptions{});
+  // Probe 1 is the last stage; with an even number of inverters it follows
+  // the input, so it must swing rail-to-rail at least once.
+  double vmin = 1e9, vmax = -1e9;
+  for (std::size_t i = 0; i < res.trace.num_samples(); ++i) {
+    vmin = std::min(vmin, res.trace.value(i, 1));
+    vmax = std::max(vmax, res.trace.value(i, 1));
+  }
+  EXPECT_LT(vmin, 0.3);
+  EXPECT_GT(vmax, 2.2);
+}
+
+TEST(Generators, RectifierRectifies) {
+  const auto gen = MakeDiodeRectifier(0);
+  engine::MnaStructure mna(*gen.circuit);
+  const auto res =
+      engine::RunTransientSerial(*gen.circuit, mna, gen.spec, engine::SimOptions{});
+  // Probe 1 = outp: after a few cycles the smoothed DC output is positive
+  // and clearly nonzero.
+  const double v_late = res.trace.value(res.trace.num_samples() - 1, 1);
+  EXPECT_GT(v_late, 1.0);
+}
+
+TEST(Generators, AmplifierAmplifies) {
+  const auto gen = MakeMosAmplifierChain(1, /*freq=*/5e6);
+  engine::MnaStructure mna(*gen.circuit);
+  const auto res =
+      engine::RunTransientSerial(*gen.circuit, mna, gen.spec, engine::SimOptions{});
+  // Output AC amplitude in the second half of the run must exceed the 10 mV
+  // input amplitude (stage gain ~ gm * Rd >> 1).
+  double vmin = 1e9, vmax = -1e9;
+  for (std::size_t i = res.trace.num_samples() / 2; i < res.trace.num_samples(); ++i) {
+    vmin = std::min(vmin, res.trace.value(i, 1));
+    vmax = std::max(vmax, res.trace.value(i, 1));
+  }
+  EXPECT_GT(vmax - vmin, 2 * 10e-3);
+}
+
+TEST(Generators, ClockTreeLeavesToggle) {
+  const auto gen = MakeClockTree(2);
+  engine::MnaStructure mna(*gen.circuit);
+  const auto res =
+      engine::RunTransientSerial(*gen.circuit, mna, gen.spec, engine::SimOptions{});
+  double vmin = 1e9, vmax = -1e9;
+  for (std::size_t i = 0; i < res.trace.num_samples(); ++i) {
+    vmin = std::min(vmin, res.trace.value(i, 1));
+    vmax = std::max(vmax, res.trace.value(i, 1));
+  }
+  EXPECT_LT(vmin, 0.4);
+  EXPECT_GT(vmax, 2.1);
+}
+
+TEST(Generators, BenchmarkSuiteCoversAllKinds) {
+  const auto suite = MakeBenchmarkSuite();
+  ASSERT_GE(suite.size(), 6u);
+  bool linear = false, digital = false, analog = false, mixed = false;
+  for (const auto& gen : suite) {
+    ASSERT_TRUE(gen.circuit->finalized()) << gen.name;
+    EXPECT_GT(gen.spec.tstop, gen.spec.tstart) << gen.name;
+    EXPECT_GT(gen.spec.probes.size(), 0u) << gen.name;
+    linear |= gen.kind == "linear";
+    digital |= gen.kind == "digital";
+    analog |= gen.kind == "analog";
+    mixed |= gen.kind == "mixed";
+  }
+  EXPECT_TRUE(linear && digital && analog && mixed);
+}
+
+TEST(Generators, DefaultModelsSane) {
+  const auto nmos = DefaultNmos();
+  const auto pmos = DefaultPmos();
+  EXPECT_EQ(nmos.type, 1);
+  EXPECT_EQ(pmos.type, -1);
+  EXPECT_GT(nmos.vto, 0);
+  EXPECT_LT(pmos.vto, 0);
+  EXPECT_GT(nmos.CoxPerArea(), 0);
+}
+
+}  // namespace
+}  // namespace wavepipe::circuits

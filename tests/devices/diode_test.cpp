@@ -1,0 +1,119 @@
+#include "devices/diode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testutil/device_harness.hpp"
+
+namespace wavepipe::devices {
+namespace {
+
+using testutil::DeviceHarness;
+
+DiodeModel TestModel() {
+  DiodeModel m;
+  m.is = 1e-14;
+  m.n = 1.0;
+  m.cj0 = 1e-12;
+  m.vj = 0.8;
+  m.m = 0.5;
+  m.tt = 1e-9;
+  return m;
+}
+
+TEST(Diode, ShockleyCurrent) {
+  Diode d("d1", 0, 1, TestModel());
+  const double vt = TestModel().ThermalVoltage();
+  EXPECT_NEAR(d.Current(0.0, 0.0), 0.0, 1e-20);
+  EXPECT_NEAR(d.Current(vt, 0.0), 1e-14 * (std::exp(1.0) - 1), 1e-18);
+  // Reverse saturation.
+  EXPECT_NEAR(d.Current(-1.0, 0.0), -1e-14, 1e-15);
+}
+
+TEST(Diode, ConductanceIsCurrentDerivative) {
+  Diode d("d1", 0, 1, TestModel());
+  for (double v : {-0.5, 0.0, 0.3, 0.5, 0.65}) {
+    const double eps = 1e-7;
+    const double numeric = (d.Current(v + eps, 0.0) - d.Current(v - eps, 0.0)) / (2 * eps);
+    const double analytic = d.Conductance(v, 0.0);
+    EXPECT_NEAR(analytic, numeric, std::abs(numeric) * 1e-4 + 1e-15) << "v=" << v;
+  }
+}
+
+TEST(Diode, CapacitanceIsChargeDerivative) {
+  Diode d("d1", 0, 1, TestModel());
+  for (double v : {-1.0, 0.0, 0.2, 0.39, 0.41, 0.6}) {  // spans the fc*vj corner at 0.4
+    const double eps = 1e-7;
+    const double numeric = (d.Charge(v + eps) - d.Charge(v - eps)) / (2 * eps);
+    const double analytic = d.Capacitance(v);
+    EXPECT_NEAR(analytic, numeric, std::abs(numeric) * 1e-3 + 1e-18) << "v=" << v;
+  }
+}
+
+TEST(Diode, ChargeIsContinuousAcrossFcCorner) {
+  Diode d("d1", 0, 1, TestModel());
+  const double corner = 0.5 * 0.8;  // fc * vj
+  EXPECT_NEAR(d.Charge(corner - 1e-9), d.Charge(corner + 1e-9), 1e-18);
+  EXPECT_NEAR(d.Capacitance(corner - 1e-9), d.Capacitance(corner + 1e-9), 1e-15);
+}
+
+TEST(Diode, AreaScalesCurrent) {
+  Diode d1("d1", 0, 1, TestModel(), 1.0);
+  Diode d2("d2", 0, 1, TestModel(), 3.0);
+  EXPECT_NEAR(d2.Current(0.5, 0.0), 3.0 * d1.Current(0.5, 0.0), 1e-18);
+}
+
+TEST(Diode, GminAddsLinearTerm) {
+  Diode d("d1", 0, 1, TestModel());
+  const double gmin = 1e-12;
+  EXPECT_NEAR(d.Current(0.1, gmin) - d.Current(0.1, 0.0), gmin * 0.1, 1e-18);
+  EXPECT_NEAR(d.Conductance(-2.0, gmin), d.Conductance(-2.0, 0.0) + gmin, 1e-20);
+}
+
+TEST(Diode, StampConsistentWithModelFunctions) {
+  Diode d("d1", 0, kGround, TestModel());
+  DeviceHarness h(1);
+  h.Setup(d);
+  const double vd = 0.55;
+  const auto out = h.Eval(d, {.x = {vd}, .gmin = 1e-12});
+  const double g = d.Conductance(vd, 1e-12);
+  const double i = d.Current(vd, 1e-12);
+  EXPECT_NEAR(out.jacobian.at({0, 0}), g, g * 1e-12);
+  // rhs = -(i - g*vd).
+  EXPECT_NEAR(out.rhs[0], -(i - g * vd), std::abs(i) * 1e-9 + 1e-18);
+}
+
+TEST(Diode, LimitingKicksInOnSecondIteration) {
+  Diode d("d1", 0, kGround, TestModel());
+  DeviceHarness h(1);
+  h.Setup(d);
+  // First eval seeds the limiting memory near vcrit.
+  (void)h.Eval(d, {.x = {0.6}});
+  // Second eval proposes a destructive 5 V junction voltage; the stamp must
+  // stay finite (unlimited exp(5/0.026) would overflow the companion terms).
+  const auto out = h.Eval(d, {.x = {5.0}, .limit_valid = true});
+  EXPECT_TRUE(std::isfinite(out.jacobian.at({0, 0})));
+  EXPECT_TRUE(std::isfinite(out.rhs[0]));
+  EXPECT_LT(out.jacobian.at({0, 0}), 1e3);  // far below exp(5/vt) scale
+}
+
+TEST(Diode, ReverseRegionHasPositiveConductance) {
+  Diode d("d1", 0, 1, TestModel());
+  for (double v : {-0.2, -1.0, -5.0, -20.0}) {
+    EXPECT_GT(d.Conductance(v, 0.0), 0.0) << v;
+  }
+}
+
+TEST(Diode, TransientStampAddsJunctionCap) {
+  Diode d("d1", 0, kGround, TestModel());
+  DeviceHarness h(1);
+  h.Setup(d);
+  const double vd = 0.2, a0 = 1e9;
+  const auto out = h.Eval(d, {.x = {vd}, .a0 = a0, .transient = true});
+  const double expected = d.Conductance(vd, 0.0) + a0 * d.Capacitance(vd);
+  EXPECT_NEAR(out.jacobian.at({0, 0}), expected, expected * 1e-9);
+}
+
+}  // namespace
+}  // namespace wavepipe::devices

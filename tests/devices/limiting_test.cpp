@@ -1,0 +1,99 @@
+#include "devices/limiting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wavepipe::devices {
+namespace {
+
+constexpr double kVt = 0.02585;
+
+TEST(PnjLim, SmallStepsPassThrough) {
+  bool limited = true;
+  const double v = PnjLim(0.61, 0.60, kVt, 0.7, &limited);
+  EXPECT_DOUBLE_EQ(v, 0.61);
+  EXPECT_FALSE(limited);
+}
+
+TEST(PnjLim, LargeForwardStepIsLimited) {
+  bool limited = false;
+  const double v = PnjLim(5.0, 0.6, kVt, JunctionVcrit(1e-14, kVt), &limited);
+  EXPECT_TRUE(limited);
+  EXPECT_LT(v, 5.0);
+  EXPECT_GT(v, 0.6);  // still moves forward
+}
+
+TEST(PnjLim, FromNegativeVoltage) {
+  bool limited = false;
+  const double vcrit = JunctionVcrit(1e-14, kVt);
+  const double v = PnjLim(3.0, -1.0, kVt, vcrit, &limited);
+  EXPECT_TRUE(limited);
+  EXPECT_LT(v, 3.0);
+}
+
+TEST(PnjLim, BelowVcritUnlimited) {
+  bool limited = false;
+  const double v = PnjLim(0.3, -0.5, kVt, 0.7, &limited);
+  EXPECT_DOUBLE_EQ(v, 0.3);
+  EXPECT_FALSE(limited);
+}
+
+TEST(JunctionVcrit, TypicalDiode) {
+  const double vcrit = JunctionVcrit(1e-14, kVt);
+  EXPECT_GT(vcrit, 0.5);
+  EXPECT_LT(vcrit, 1.0);
+}
+
+TEST(FetLim, SmallUpdatePassesThrough) {
+  EXPECT_DOUBLE_EQ(FetLim(1.05, 1.0, 0.7), 1.05);
+}
+
+TEST(FetLim, LargeTurnOnLimited) {
+  const double v = FetLim(10.0, 1.0, 0.7);
+  EXPECT_LT(v, 10.0);
+  EXPECT_GT(v, 1.0);
+}
+
+TEST(FetLim, LargeTurnOffLimited) {
+  const double v = FetLim(-10.0, 3.0, 0.7);
+  EXPECT_GT(v, -10.0);
+  EXPECT_LT(v, 3.0);
+}
+
+TEST(FetLim, OffDeviceStaysBounded) {
+  const double v = FetLim(5.0, -1.0, 0.7);
+  EXPECT_LE(v, 1.3);  // capped near threshold region
+}
+
+TEST(LimVds, SmallStepsPass) {
+  EXPECT_DOUBLE_EQ(LimVds(2.1, 2.0), 2.1);
+}
+
+TEST(LimVds, LargeJumpBounded) {
+  EXPECT_LE(LimVds(50.0, 4.0), 3 * 4.0 + 2);
+  EXPECT_LE(LimVds(50.0, 1.0), 4.0);
+  EXPECT_GE(LimVds(-50.0, 1.0), -0.5);
+}
+
+// Property: limiting never reverses the direction of the update.
+class PnjDirectionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PnjDirectionTest, PreservesDirection) {
+  const double vold = GetParam();
+  const double vcrit = JunctionVcrit(1e-14, kVt);
+  for (double vnew : {vold + 3.0, vold + 0.01, vold - 0.01, vold - 3.0}) {
+    bool limited = false;
+    const double v = PnjLim(vnew, vold, kVt, vcrit, &limited);
+    if (vnew > vold) {
+      EXPECT_GE(v, vold - 1e-12) << "vold=" << vold << " vnew=" << vnew;
+    }
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PnjDirectionTest,
+                         ::testing::Values(-2.0, -0.5, 0.0, 0.3, 0.6, 0.75, 1.0));
+
+}  // namespace
+}  // namespace wavepipe::devices

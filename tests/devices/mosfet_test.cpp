@@ -1,0 +1,169 @@
+#include "devices/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testutil/device_harness.hpp"
+
+namespace wavepipe::devices {
+namespace {
+
+using testutil::DeviceHarness;
+
+MosfetModel Nmos() {
+  MosfetModel m;
+  m.type = 1;
+  m.vto = 0.7;
+  m.kp = 100e-6;
+  m.gamma = 0.4;
+  m.phi = 0.65;
+  m.lambda = 0.02;
+  return m;
+}
+
+MosfetModel Pmos() {
+  MosfetModel m = Nmos();
+  m.type = -1;
+  m.vto = -0.7;
+  return m;
+}
+
+TEST(Mosfet, CutoffHasNoCurrent) {
+  Mosfet m("m1", 0, 1, 2, 3, Nmos(), 2e-6, 1e-6);
+  const auto ch = m.EvalChannel(0.3, 1.0, 0.0);  // vgs < vto
+  EXPECT_DOUBLE_EQ(ch.ids, 0.0);
+  EXPECT_DOUBLE_EQ(ch.gm, 0.0);
+}
+
+TEST(Mosfet, SaturationSquareLaw) {
+  MosfetModel model = Nmos();
+  model.gamma = 0.0;
+  model.lambda = 0.0;
+  Mosfet m("m1", 0, 1, 2, 3, model, 2e-6, 1e-6);
+  const double beta = model.kp * 2.0;
+  const double vgs = 1.7, vds = 2.0;  // vgst = 1.0 < vds -> saturation
+  const auto ch = m.EvalChannel(vgs, vds, 0.0);
+  EXPECT_NEAR(ch.ids, 0.5 * beta * 1.0, 1e-12);
+  EXPECT_NEAR(ch.gm, beta * 1.0, 1e-12);
+  EXPECT_NEAR(ch.gds, 0.0, 1e-15);
+}
+
+TEST(Mosfet, TriodeRegion) {
+  MosfetModel model = Nmos();
+  model.gamma = 0.0;
+  model.lambda = 0.0;
+  Mosfet m("m1", 0, 1, 2, 3, model, 2e-6, 1e-6);
+  const double beta = model.kp * 2.0;
+  const double vgs = 2.7, vds = 0.5;  // vgst = 2.0 > vds -> triode
+  const auto ch = m.EvalChannel(vgs, vds, 0.0);
+  EXPECT_NEAR(ch.ids, beta * vds * (2.0 - 0.25), 1e-12);
+}
+
+TEST(Mosfet, ChannelCurrentContinuousAtSatBoundary) {
+  Mosfet m("m1", 0, 1, 2, 3, Nmos(), 2e-6, 1e-6);
+  const double vgs = 1.7;
+  // vds at vgst boundary (~1.0 with gamma=0.4 shifting vth slightly).
+  for (double vbs : {0.0, -0.5}) {
+    const auto a = m.EvalChannel(vgs, 0.999, vbs);
+    const auto b = m.EvalChannel(vgs, 1.001, vbs);
+    EXPECT_NEAR(a.ids, b.ids, std::abs(a.ids) * 0.02 + 1e-9);
+  }
+}
+
+TEST(Mosfet, DerivativesMatchFiniteDifferences) {
+  Mosfet m("m1", 0, 1, 2, 3, Nmos(), 4e-6, 1e-6);
+  const double eps = 1e-6;
+  for (double vgs : {0.5, 1.0, 1.8}) {
+    for (double vds : {-1.5, -0.3, 0.2, 1.5}) {
+      for (double vbs : {0.0, -0.8}) {
+        const auto ch = m.EvalChannel(vgs, vds, vbs);
+        const double gm_fd =
+            (m.EvalChannel(vgs + eps, vds, vbs).ids - m.EvalChannel(vgs - eps, vds, vbs).ids) /
+            (2 * eps);
+        const double gds_fd =
+            (m.EvalChannel(vgs, vds + eps, vbs).ids - m.EvalChannel(vgs, vds - eps, vbs).ids) /
+            (2 * eps);
+        const double gmbs_fd =
+            (m.EvalChannel(vgs, vds, vbs + eps).ids - m.EvalChannel(vgs, vds, vbs - eps).ids) /
+            (2 * eps);
+        const double tol = 1e-4 * std::max(1e-6, std::abs(ch.ids) / 0.1);
+        EXPECT_NEAR(ch.gm, gm_fd, tol) << vgs << " " << vds << " " << vbs;
+        EXPECT_NEAR(ch.gds, gds_fd, tol) << vgs << " " << vds << " " << vbs;
+        EXPECT_NEAR(ch.gmbs, gmbs_fd, tol) << vgs << " " << vds << " " << vbs;
+      }
+    }
+  }
+}
+
+TEST(Mosfet, ReverseModeAntisymmetric) {
+  MosfetModel model = Nmos();
+  model.gamma = 0.0;  // body effect breaks pure D/S symmetry; remove it
+  model.lambda = 0.0;
+  Mosfet m("m1", 0, 1, 2, 3, model, 2e-6, 1e-6);
+  // Swapping drain and source negates the current: I(vgs, vds) with roles
+  // reversed equals -I(vgd, -vds).
+  const auto fwd = m.EvalChannel(2.0, 1.0, 0.0);
+  const auto rev = m.EvalChannel(1.0, -1.0, -1.0);  // vgs' = vgd = 1, vbs' = vbd
+  EXPECT_NEAR(rev.ids, -fwd.ids, std::abs(fwd.ids) * 1e-9);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  MosfetModel nm = Nmos();
+  nm.gamma = 0;
+  MosfetModel pm = Pmos();
+  pm.gamma = 0;
+  pm.kp = nm.kp;
+  Mosfet n("mn", 0, 1, 2, 3, nm, 2e-6, 1e-6);
+  Mosfet p("mp", 0, 1, 2, 3, pm, 2e-6, 1e-6);
+  // In the folded frame the devices are identical, so equal folded voltages
+  // give equal folded currents.
+  const auto cn = n.EvalChannel(1.5, 1.0, 0.0);
+  const auto cp = p.EvalChannel(1.5, 1.0, 0.0);
+  EXPECT_NEAR(cn.ids, cp.ids, std::abs(cn.ids) * 1e-12);
+}
+
+TEST(Mosfet, FullStampKclConsistency) {
+  // Sum of each Jacobian column over all 4 device rows must be 0 (KCL: what
+  // leaves the drain enters the source), and RHS entries must cancel.
+  Mosfet m("m1", 0, 1, 2, 3, Nmos(), 2e-6, 1e-6);
+  DeviceHarness h(4);
+  h.Setup(m);
+  const auto out = h.Eval(m, {.x = {1.8, 2.5, 0.0, 0.0}, .a0 = 1e9, .transient = true});
+  for (int col = 0; col < 4; ++col) {
+    double sum = 0.0;
+    for (int row = 0; row < 4; ++row) {
+      const auto it = out.jacobian.find({row, col});
+      if (it != out.jacobian.end()) sum += it->second;
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-9) << "column " << col;
+  }
+  EXPECT_NEAR(out.rhs[0] + out.rhs[1] + out.rhs[2] + out.rhs[3], 0.0, 1e-12);
+}
+
+TEST(Mosfet, MeyerCapsTrackRegions) {
+  MosfetModel model = Nmos();
+  model.meyer = true;
+  Mosfet m("m1", 0, 1, 2, 3, model, 2e-6, 1e-6);
+  DeviceHarness h(4);
+  h.Setup(m);
+  // Deep cutoff (vgs far below vth): all gate charge couples to bulk; the
+  // qgb state must dominate qgs.
+  const auto off = h.Eval(m, {.x = {0.0, -2.0, 0.0, 0.0}, .a0 = 1e9, .transient = true});
+  EXPECT_GT(std::abs(off.states[2]), std::abs(off.states[0]));  // qgb > qgs
+  // Strong saturation: qgs dominates qgd.
+  const auto sat = h.Eval(m, {.x = {3.0, 2.0, 0.0, 0.0}, .a0 = 1e9, .transient = true});
+  EXPECT_GT(std::abs(sat.states[0]), std::abs(sat.states[1]));
+}
+
+TEST(Mosfet, GminAnchorsFloatingTerminals) {
+  Mosfet m("m1", 0, 1, 2, 3, Nmos(), 2e-6, 1e-6);
+  DeviceHarness h(4);
+  h.Setup(m);
+  const auto out = h.Eval(m, {.x = {0, 0, 0, 0}, .gmin = 1e-9});
+  EXPECT_NEAR(out.jacobian.at({0, 0}), 1e-9, 1e-15);  // drain diag has gmin
+  EXPECT_NEAR(out.jacobian.at({2, 2}), 1e-9, 1e-15);  // source diag
+}
+
+}  // namespace
+}  // namespace wavepipe::devices

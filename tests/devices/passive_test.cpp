@@ -1,0 +1,126 @@
+#include "devices/passive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil/device_harness.hpp"
+
+namespace wavepipe::devices {
+namespace {
+
+using testutil::DeviceHarness;
+
+TEST(Resistor, StampsConductanceBlock) {
+  Resistor r("r1", 0, 1, 100.0);
+  DeviceHarness h(2);
+  h.Setup(r);
+  const auto out = h.Eval(r, {.x = {1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, 0}), 0.01);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, 1}), -0.01);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({1, 0}), -0.01);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({1, 1}), 0.01);
+  EXPECT_DOUBLE_EQ(out.rhs[0], 0.0);
+}
+
+TEST(Resistor, GroundedTerminalDiscardsGroundStamps) {
+  Resistor r("r1", 0, kGround, 1e3);
+  DeviceHarness h(1);
+  h.Setup(r);
+  const auto out = h.Eval(r, {.x = {2.0}});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, 0}), 1e-3);
+  EXPECT_EQ(out.jacobian.size(), 1u);  // only the (0,0) entry exists
+}
+
+TEST(Capacitor, OpenInDc) {
+  Capacitor c("c1", 0, 1, 1e-9);
+  DeviceHarness h(2);
+  h.Setup(c);
+  const auto out = h.Eval(c, {.x = {1.0, 0.0}, .a0 = 0.0, .transient = false});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(out.rhs[0], 0.0);
+  // Charge still tracked for the transient handoff.
+  EXPECT_DOUBLE_EQ(out.states[0], 1e-9 * 1.0);
+}
+
+TEST(Capacitor, CompanionModelBackwardEuler) {
+  // BE with h: a0 = 1/h; hist = -q_n/h.  v_n = 1 (q_n = C), v_new = 2.
+  const double c_val = 1e-9, hstep = 1e-6;
+  Capacitor c("c1", 0, kGround, c_val);
+  DeviceHarness h(1);
+  h.Setup(c);
+  const double a0 = 1.0 / hstep;
+  const double hist = -c_val * 1.0 / hstep;
+  const auto out = h.Eval(c, {.x = {2.0}, .a0 = a0, .transient = true,
+                              .state_hist = {hist}});
+  const double geq = a0 * c_val;
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, 0}), geq);
+  // i = a0*q_new + hist = C*(2-1)/h; ieq = i - geq*v = C/h - 2C/h = -C/h.
+  EXPECT_NEAR(out.rhs[0], c_val / hstep, 1e-18);
+  EXPECT_DOUBLE_EQ(out.states[0], 2.0 * c_val);
+}
+
+TEST(Inductor, ShortInDc) {
+  Inductor l("l1", 0, 1, 1e-3);
+  DeviceHarness h(2);
+  h.Setup(l);
+  ASSERT_EQ(h.num_branches(), 1);
+  const int b = 2;  // branch unknown index
+  const auto out = h.Eval(l, {.x = {1.0, 1.0, 0.5}, .a0 = 0.0, .transient = false});
+  // Branch equation v_p - v_n = 0 and KCL hookups.
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 1}), -1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, b}), 1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({1, b}), -1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, b}), 0.0);
+  EXPECT_DOUBLE_EQ(out.rhs[b], 0.0);
+  // Flux state = L * i.
+  EXPECT_DOUBLE_EQ(out.states[0], 1e-3 * 0.5);
+}
+
+TEST(Inductor, TransientBranchEquation) {
+  const double l_val = 1e-3, hstep = 1e-6, i_old = 2.0;
+  Inductor l("l1", 0, kGround, l_val);
+  DeviceHarness h(1);
+  h.Setup(l);
+  const int b = 1;
+  const double a0 = 1.0 / hstep;                       // BE
+  const double hist = -l_val * i_old / hstep;          // -phi_n / h
+  const auto out = h.Eval(l, {.x = {0.0, 3.0}, .a0 = a0, .transient = true,
+                              .state_hist = {hist}});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, b}), -a0 * l_val);
+  // RHS = hist term: flux_dot - a0*flux = hist.
+  EXPECT_NEAR(out.rhs[b], hist, 1e-12);
+}
+
+TEST(MutualInductance, CrossCouplesBranches) {
+  Inductor l1("l1", 0, kGround, 1e-3);
+  Inductor l2("l2", 1, kGround, 4e-3);
+  MutualInductance k("k1", "l1", "l2", 0.5, 1e-3, 4e-3);
+  // M = 0.5 * sqrt(4e-6) = 1e-3.
+  EXPECT_DOUBLE_EQ(k.mutual(), 1e-3);
+
+  DeviceHarness h(2);
+  h.Setup(l1);
+  h.Setup(l2);
+  h.RegisterBranch("l1", 2);
+  h.RegisterBranch("l2", 3);
+  h.Setup(k);
+  const double a0 = 1e6;
+  const auto out = h.Eval(k, {.x = {0, 0, 1.0, 2.0}, .a0 = a0, .transient = true});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({2, 3}), -a0 * 1e-3);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({3, 2}), -a0 * 1e-3);
+  // Cross fluxes recorded: q12 = M*i2, q21 = M*i1.
+  EXPECT_DOUBLE_EQ(out.states[2], 1e-3 * 2.0);
+  EXPECT_DOUBLE_EQ(out.states[3], 1e-3 * 1.0);
+}
+
+TEST(MutualInductance, RejectsInvalidCoupling) {
+  EXPECT_THROW(MutualInductance("k", "a", "b", 1.5, 1e-3, 1e-3), std::logic_error);
+  EXPECT_THROW(MutualInductance("k", "a", "b", 0.0, 1e-3, 1e-3), std::logic_error);
+}
+
+TEST(Resistor, ZeroResistanceAsserts) {
+  EXPECT_THROW(Resistor("r", 0, 1, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wavepipe::devices

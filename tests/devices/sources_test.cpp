@@ -1,0 +1,108 @@
+#include "devices/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil/device_harness.hpp"
+
+namespace wavepipe::devices {
+namespace {
+
+using testutil::DeviceHarness;
+
+TEST(VoltageSource, StampsBranchEquations) {
+  VoltageSource v("v1", 0, 1, std::make_unique<DcWaveform>(5.0));
+  DeviceHarness h(2);
+  h.Setup(v);
+  const int b = 2;
+  const auto out = h.Eval(v, {.x = {0, 0, 0}});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, b}), 1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({1, b}), -1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 1}), -1.0);
+  EXPECT_DOUBLE_EQ(out.rhs[b], 5.0);
+}
+
+TEST(VoltageSource, TransientUsesWaveformTime) {
+  VoltageSource v("v1", 0, kGround,
+                  std::make_unique<PulseWaveform>(0, 1, 1, 1, 1, 2, 10));
+  DeviceHarness h(1);
+  h.Setup(v);
+  const auto dc = h.Eval(v, {.x = {0, 0}, .transient = false});
+  EXPECT_DOUBLE_EQ(dc.rhs[1], 0.0);  // t=0 value
+  const auto tr = h.Eval(v, {.x = {0, 0}, .time = 2.5, .transient = true});
+  EXPECT_DOUBLE_EQ(tr.rhs[1], 1.0);
+}
+
+TEST(VoltageSource, SourceScaleApplies) {
+  VoltageSource v("v1", 0, kGround, std::make_unique<DcWaveform>(10.0));
+  DeviceHarness h(1);
+  h.Setup(v);
+  const auto out = h.Eval(v, {.x = {0, 0}, .source_scale = 0.25});
+  EXPECT_DOUBLE_EQ(out.rhs[1], 2.5);
+}
+
+TEST(CurrentSource, StampsRhsOnly) {
+  CurrentSource i("i1", 0, 1, std::make_unique<DcWaveform>(1e-3));
+  DeviceHarness h(2);
+  h.Setup(i);
+  const auto out = h.Eval(i, {.x = {0, 0}});
+  EXPECT_TRUE(out.jacobian.empty());
+  EXPECT_DOUBLE_EQ(out.rhs[0], -1e-3);
+  EXPECT_DOUBLE_EQ(out.rhs[1], 1e-3);
+}
+
+TEST(Vcvs, BranchAndControlStamps) {
+  Vcvs e("e1", 0, 1, 2, 3, 10.0);
+  DeviceHarness h(4);
+  h.Setup(e);
+  const int b = 4;
+  const auto out = h.Eval(e, {.x = {0, 0, 0, 0, 0}});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 1}), -1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 2}), -10.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 3}), 10.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, b}), 1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({1, b}), -1.0);
+}
+
+TEST(Vccs, TransconductanceBlock) {
+  Vccs g("g1", 0, 1, 2, 3, 1e-3);
+  DeviceHarness h(4);
+  h.Setup(g);
+  const auto out = h.Eval(g, {.x = {0, 0, 0, 0}});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, 2}), 1e-3);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, 3}), -1e-3);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({1, 2}), -1e-3);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({1, 3}), 1e-3);
+}
+
+TEST(Cccs, CouplesToSenseBranch) {
+  Cccs f("f1", 0, 1, "vsense", 2.0);
+  DeviceHarness h(2);
+  h.RegisterBranch("vsense", 7);
+  h.Setup(f);
+  const auto out = h.Eval(f, {.x = {0, 0}});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({0, 7}), 2.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({1, 7}), -2.0);
+}
+
+TEST(Cccs, MissingSenseThrows) {
+  Cccs f("f1", 0, 1, "nope", 2.0);
+  DeviceHarness h(2);
+  EXPECT_THROW(h.Setup(f), wavepipe::ElaborationError);
+}
+
+TEST(Ccvs, BranchCouplesToSense) {
+  Ccvs hdev("h1", 0, 1, "vsense", 50.0);
+  DeviceHarness h(2);
+  h.RegisterBranch("vsense", 9);
+  h.Setup(hdev);
+  const int b = 2;  // own branch allocated after sense lookup
+  const auto out = h.Eval(hdev, {.x = {0, 0, 0}});
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 1}), -1.0);
+  EXPECT_DOUBLE_EQ(out.jacobian.at({b, 9}), -50.0);
+}
+
+}  // namespace
+}  // namespace wavepipe::devices

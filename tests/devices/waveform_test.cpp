@@ -1,0 +1,122 @@
+#include "devices/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wavepipe::devices {
+namespace {
+
+TEST(DcWaveform, Constant) {
+  DcWaveform w(2.5);
+  EXPECT_DOUBLE_EQ(w.Value(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(w.Value(1e9), 2.5);
+  EXPECT_DOUBLE_EQ(w.DcValue(), 2.5);
+  std::vector<double> bps;
+  w.CollectBreakpoints(0, 1, bps);
+  EXPECT_TRUE(bps.empty());
+}
+
+TEST(PulseWaveform, PiecewiseShape) {
+  // v1=0 v2=1 td=1 tr=1 tf=1 pw=2 per=10
+  PulseWaveform w(0, 1, 1, 1, 1, 2, 10);
+  EXPECT_DOUBLE_EQ(w.Value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.Value(0.999), 0.0);
+  EXPECT_DOUBLE_EQ(w.Value(1.5), 0.5);   // mid-rise
+  EXPECT_DOUBLE_EQ(w.Value(2.0), 1.0);   // top start
+  EXPECT_DOUBLE_EQ(w.Value(3.5), 1.0);   // still top
+  EXPECT_DOUBLE_EQ(w.Value(4.5), 0.5);   // mid-fall
+  EXPECT_DOUBLE_EQ(w.Value(6.0), 0.0);   // low
+  // Periodicity.
+  EXPECT_DOUBLE_EQ(w.Value(11.5), 0.5);
+  EXPECT_DOUBLE_EQ(w.Value(12.0), 1.0);
+}
+
+TEST(PulseWaveform, SinglePulseWhenNoPeriod) {
+  PulseWaveform w(0, 1, 0, 0.1, 0.1, 0.5, 0.0);  // period <= 0 -> single shot
+  EXPECT_DOUBLE_EQ(w.Value(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(w.Value(100.0), 0.0);
+}
+
+TEST(PulseWaveform, BreakpointsWithinWindow) {
+  PulseWaveform w(0, 1, 1, 1, 1, 2, 10);
+  std::vector<double> bps;
+  w.CollectBreakpoints(0.0, 10.0, bps);
+  // First period corners: 1, 2, 4, 5.
+  ASSERT_GE(bps.size(), 4u);
+  EXPECT_DOUBLE_EQ(bps[0], 1.0);
+  EXPECT_DOUBLE_EQ(bps[1], 2.0);
+  EXPECT_DOUBLE_EQ(bps[2], 4.0);
+  EXPECT_DOUBLE_EQ(bps[3], 5.0);
+}
+
+TEST(PulseWaveform, BreakpointsRespectHalfOpenWindow) {
+  PulseWaveform w(0, 1, 1, 1, 1, 2, 10);
+  std::vector<double> bps;
+  w.CollectBreakpoints(1.0, 4.0, bps);  // (1, 4]: excludes t=1, includes t=4
+  ASSERT_EQ(bps.size(), 2u);
+  EXPECT_DOUBLE_EQ(bps[0], 2.0);
+  EXPECT_DOUBLE_EQ(bps[1], 4.0);
+}
+
+TEST(PulseWaveform, ZeroRiseFallDegradedToFinite) {
+  PulseWaveform w(0, 1, 0, 0, 0, 1, 3);
+  // Must remain a function (finite slope): value just after t=0 is defined.
+  EXPECT_GE(w.Value(1e-13), 0.0);
+  EXPECT_DOUBLE_EQ(w.Value(0.5), 1.0);
+}
+
+TEST(SinWaveform, BasicSinusoid) {
+  SinWaveform w(1.0, 2.0, 1.0);  // offset 1, amp 2, 1 Hz
+  EXPECT_DOUBLE_EQ(w.Value(0.0), 1.0);
+  EXPECT_NEAR(w.Value(0.25), 3.0, 1e-12);
+  EXPECT_NEAR(w.Value(0.75), -1.0, 1e-12);
+}
+
+TEST(SinWaveform, DelayAndDamping) {
+  SinWaveform w(0.0, 1.0, 1.0, /*delay=*/1.0, /*damping=*/1.0);
+  EXPECT_DOUBLE_EQ(w.Value(0.5), 0.0);  // before delay
+  EXPECT_NEAR(w.Value(1.25), std::exp(-0.25), 1e-12);
+  std::vector<double> bps;
+  w.CollectBreakpoints(0, 2, bps);
+  ASSERT_EQ(bps.size(), 1u);
+  EXPECT_DOUBLE_EQ(bps[0], 1.0);
+}
+
+TEST(ExpWaveform, RiseAndFall) {
+  ExpWaveform w(0, 1, 1, 0.5, 3, 0.5);
+  EXPECT_DOUBLE_EQ(w.Value(0.5), 0.0);
+  EXPECT_NEAR(w.Value(1.5), 1 - std::exp(-1.0), 1e-12);
+  // Past fall delay the two exponentials superpose.
+  const double v4 = w.Value(4.0);
+  EXPECT_LT(v4, w.Value(3.0));
+  std::vector<double> bps;
+  w.CollectBreakpoints(0, 5, bps);
+  EXPECT_EQ(bps.size(), 2u);
+}
+
+TEST(PwlWaveform, InterpolatesAndClamps) {
+  PwlWaveform w({{1, 0}, {2, 1}, {4, -1}});
+  EXPECT_DOUBLE_EQ(w.Value(0.0), 0.0);   // clamp left
+  EXPECT_DOUBLE_EQ(w.Value(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(w.Value(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.Value(10.0), -1.0); // clamp right
+  std::vector<double> bps;
+  w.CollectBreakpoints(0, 5, bps);
+  EXPECT_EQ(bps.size(), 3u);
+}
+
+TEST(PwlWaveform, RejectsNonMonotonicTimes) {
+  EXPECT_THROW(PwlWaveform({{1, 0}, {1, 1}}), std::logic_error);
+  EXPECT_THROW(PwlWaveform({{2, 0}, {1, 1}}), std::logic_error);
+}
+
+TEST(Waveform, NegativeTimeClampedToZero) {
+  PulseWaveform p(0, 1, 0.5, 0.1, 0.1, 1, 5);
+  EXPECT_DOUBLE_EQ(p.Value(-1.0), p.Value(0.0));
+  SinWaveform s(0, 1, 1);
+  EXPECT_DOUBLE_EQ(s.Value(-1.0), s.Value(0.0));
+}
+
+}  // namespace
+}  // namespace wavepipe::devices

@@ -1,0 +1,94 @@
+#include "engine/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::engine {
+namespace {
+
+TEST(Circuit, NodeCreationAndAliases) {
+  Circuit c;
+  EXPECT_EQ(c.AddNode("0"), devices::kGround);
+  EXPECT_EQ(c.AddNode("GND"), devices::kGround);
+  const int a = c.AddNode("a");
+  EXPECT_EQ(c.AddNode("A"), a);  // case-insensitive
+  EXPECT_EQ(c.AddNode("b"), a + 1);
+  EXPECT_EQ(c.num_nodes(), 2);
+}
+
+TEST(Circuit, NodeIndexThrowsOnUnknown) {
+  Circuit c;
+  c.AddNode("a");
+  EXPECT_THROW(c.NodeIndex("zz"), ElaborationError);
+  EXPECT_TRUE(c.HasNode("a"));
+  EXPECT_TRUE(c.HasNode("0"));
+  EXPECT_FALSE(c.HasNode("zz"));
+}
+
+TEST(Circuit, FinalizeAssignsBranches) {
+  Circuit c;
+  const int a = c.AddNode("a");
+  c.Emplace<devices::VoltageSource>("v1", a, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(1.0));
+  c.Emplace<devices::Inductor>("l1", a, devices::kGround, 1e-3);
+  c.Finalize();
+  EXPECT_EQ(c.num_branches(), 2);
+  EXPECT_EQ(c.num_unknowns(), 3);
+  EXPECT_EQ(c.BranchIndex("v1"), 1);
+  EXPECT_EQ(c.BranchIndex("l1"), 2);
+  EXPECT_EQ(c.num_states(), 1);  // inductor flux
+}
+
+TEST(Circuit, DeferredBindResolvesForwardReferences) {
+  // K element before its inductors: Finalize must retry.
+  Circuit c;
+  const int a = c.AddNode("a"), b = c.AddNode("b");
+  c.Emplace<devices::MutualInductance>("k1", "l1", "l2", 0.5, 1e-3, 1e-3);
+  c.Emplace<devices::Inductor>("l1", a, devices::kGround, 1e-3);
+  c.Emplace<devices::Inductor>("l2", b, devices::kGround, 1e-3);
+  EXPECT_NO_THROW(c.Finalize());
+  EXPECT_EQ(c.num_branches(), 2);
+}
+
+TEST(Circuit, UnresolvableReferenceThrows) {
+  Circuit c;
+  c.AddNode("a");
+  c.Emplace<devices::Cccs>("f1", 0, devices::kGround, "ghost", 1.0);
+  EXPECT_THROW(c.Finalize(), ElaborationError);
+}
+
+TEST(Circuit, NonlinearFlag) {
+  Circuit c1;
+  c1.Emplace<devices::Resistor>("r1", c1.AddNode("a"), devices::kGround, 1.0);
+  c1.Finalize();
+  EXPECT_FALSE(c1.is_nonlinear());
+}
+
+TEST(Circuit, BreakpointsSortedUnique) {
+  Circuit c;
+  const int a = c.AddNode("a");
+  c.Emplace<devices::VoltageSource>(
+      "v1", a, devices::kGround,
+      std::make_unique<devices::PulseWaveform>(0, 1, 3, 1, 1, 2, 100));
+  c.Emplace<devices::VoltageSource>(
+      "v2", c.AddNode("b"), devices::kGround,
+      std::make_unique<devices::PulseWaveform>(0, 1, 3, 1, 1, 2, 100));  // same corners
+  c.Finalize();
+  const auto bps = c.CollectBreakpoints(0, 10);
+  ASSERT_EQ(bps.size(), 4u);  // duplicates merged: 3, 4, 6, 7
+  EXPECT_DOUBLE_EQ(bps[0], 3.0);
+  EXPECT_DOUBLE_EQ(bps[3], 7.0);
+  for (std::size_t i = 1; i < bps.size(); ++i) EXPECT_LT(bps[i - 1], bps[i]);
+}
+
+TEST(Circuit, NodeNamesRoundTrip) {
+  Circuit c;
+  const int a = c.AddNode("Alpha");
+  EXPECT_EQ(c.node_name(a), "alpha");
+}
+
+}  // namespace
+}  // namespace wavepipe::engine

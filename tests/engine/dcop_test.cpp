@@ -1,0 +1,112 @@
+#include "engine/dcop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "devices/diode.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "engine/circuit.hpp"
+#include "testutil/helpers.hpp"
+
+namespace wavepipe::engine {
+namespace {
+
+TEST(Dcop, LinearDividerDirect) {
+  Circuit c;
+  const int in = c.AddNode("in"), mid = c.AddNode("mid");
+  c.Emplace<devices::VoltageSource>("v1", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(9.0));
+  c.Emplace<devices::Resistor>("r1", in, mid, 2e3);
+  c.Emplace<devices::Resistor>("r2", mid, devices::kGround, 1e3);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+  const DcopResult result = SolveDcOperatingPoint(ctx, SimOptions{});
+  EXPECT_EQ(result.strategy, "direct");
+  EXPECT_NEAR(ctx.x[mid], 3.0, 1e-9);
+}
+
+TEST(Dcop, CapacitorIsOpen) {
+  // in -- R -- out with only a capacitor to ground: out floats to v(in)
+  // through R (no DC current), anchored by gmin.
+  auto f = testutil::MakeStepRc();
+  MnaStructure mna(*f.circuit);
+  SolveContext ctx(*f.circuit, mna);
+  SolveDcOperatingPoint(ctx, SimOptions{});
+  EXPECT_NEAR(ctx.x[f.out], 1.0, 1e-6);
+}
+
+TEST(Dcop, InductorIsShort) {
+  auto f = testutil::MakeSeriesRlc();
+  MnaStructure mna(*f.circuit);
+  SolveContext ctx(*f.circuit, mna);
+  SolveDcOperatingPoint(ctx, SimOptions{});
+  // The pulse source is at its t = 0 value (0 V); with the inductor a DC
+  // short and the capacitor open, vc follows the source with no drop.
+  EXPECT_NEAR(ctx.x[f.vc], 0.0, 1e-6);
+  // A second fixture with a DC source: vc = source (short through R and L).
+  engine::Circuit c;
+  const int in = c.AddNode("in"), mid = c.AddNode("mid"), vc = c.AddNode("vc");
+  c.Emplace<devices::VoltageSource>("v", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(1.0));
+  c.Emplace<devices::Resistor>("r", in, mid, 10.0);
+  c.Emplace<devices::Inductor>("l", mid, vc, 1e-3);
+  c.Emplace<devices::Resistor>("rl", vc, devices::kGround, 1e3);
+  c.Finalize();
+  MnaStructure mna2(c);
+  SolveContext ctx2(c, mna2);
+  SolveDcOperatingPoint(ctx2, SimOptions{});
+  // Divider 10 / 1000: vc = 1000/1010.
+  EXPECT_NEAR(ctx2.x[vc], 1000.0 / 1010.0, 1e-6);
+}
+
+TEST(Dcop, DiodeBridgeConverges) {
+  auto gen = circuits::MakeDiodeRectifier(0);
+  MnaStructure mna(*gen.circuit);
+  SolveContext ctx(*gen.circuit, mna);
+  EXPECT_NO_THROW(SolveDcOperatingPoint(ctx, SimOptions{}));
+}
+
+TEST(Dcop, MosInverterMidpoint) {
+  // CMOS inverter with input at VDD/2 conducts both devices.
+  Circuit c;
+  const int vdd = c.AddNode("vdd"), in = c.AddNode("in"), out = c.AddNode("out");
+  c.Emplace<devices::VoltageSource>("vdd", vdd, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(2.5));
+  c.Emplace<devices::VoltageSource>("vin", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(1.25));
+  c.Emplace<devices::Mosfet>("mp", out, in, vdd, vdd, circuits::DefaultPmos(), 4e-6, 1e-6);
+  c.Emplace<devices::Mosfet>("mn", out, in, devices::kGround, devices::kGround,
+                             circuits::DefaultNmos(), 2e-6, 1e-6);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+  SolveDcOperatingPoint(ctx, SimOptions{});
+  EXPECT_GT(ctx.x[out], 0.01);
+  EXPECT_LT(ctx.x[out], 2.49);
+}
+
+TEST(Dcop, SolutionPointSeedsHistory) {
+  auto f = testutil::MakeStepRc();
+  MnaStructure mna(*f.circuit);
+  SolveContext ctx(*f.circuit, mna);
+  SolveDcOperatingPoint(ctx, SimOptions{});
+  const SolutionPointPtr point = MakeDcSolutionPoint(ctx, 1.5);
+  EXPECT_DOUBLE_EQ(point->time, 1.5);
+  EXPECT_EQ(point->x, ctx.x);
+  EXPECT_EQ(point->q.size(), static_cast<std::size_t>(f.circuit->num_states()));
+  for (double qd : point->qdot) EXPECT_DOUBLE_EQ(qd, 0.0);
+}
+
+TEST(Dcop, EveryBenchmarkCircuitHasOperatingPoint) {
+  for (auto& gen : circuits::MakeBenchmarkSuite()) {
+    MnaStructure mna(*gen.circuit);
+    SolveContext ctx(*gen.circuit, mna);
+    EXPECT_NO_THROW(SolveDcOperatingPoint(ctx, SimOptions{})) << gen.name;
+  }
+}
+
+}  // namespace
+}  // namespace wavepipe::engine

@@ -1,0 +1,82 @@
+#include "engine/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavepipe::engine {
+namespace {
+
+SolutionPointPtr Point(double t, bool auxiliary = false) {
+  auto p = std::make_shared<SolutionPoint>();
+  p->time = t;
+  p->x = {t};
+  p->q = {0.0};
+  p->qdot = {0.0};
+  p->auxiliary = auxiliary;
+  return p;
+}
+
+TEST(History, KeepsAscendingOrder) {
+  History h(8);
+  h.Add(Point(1.0));
+  h.Add(Point(3.0));
+  h.Add(Point(2.0));  // backward-pipelined insertion
+  ASSERT_EQ(h.size(), 3);
+  EXPECT_DOUBLE_EQ(h.FromNewest(0)->time, 3.0);
+  EXPECT_DOUBLE_EQ(h.FromNewest(1)->time, 2.0);
+  EXPECT_DOUBLE_EQ(h.FromNewest(2)->time, 1.0);
+  EXPECT_DOUBLE_EQ(h.newest_time(), 3.0);
+}
+
+TEST(History, BoundedDepthDropsOldest) {
+  History h(3);
+  for (int i = 0; i < 6; ++i) h.Add(Point(i));
+  EXPECT_EQ(h.size(), 3);
+  EXPECT_DOUBLE_EQ(h.FromNewest(2)->time, 3.0);  // 0,1,2 evicted
+}
+
+TEST(History, WindowAscendingAndClamped) {
+  History h(8);
+  for (int i = 0; i < 5; ++i) h.Add(Point(i));
+  const HistoryWindow w = h.Window(3);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0]->time, 2.0);
+  EXPECT_DOUBLE_EQ(w[2]->time, 4.0);
+  EXPECT_EQ(h.Window(100).size(), 5u);
+}
+
+TEST(History, WindowSharesOwnership) {
+  History h(2);
+  h.Add(Point(0.0));
+  h.Add(Point(1.0));
+  const HistoryWindow w = h.Window(2);
+  h.Add(Point(2.0));  // evicts t=0 from the history...
+  h.Add(Point(3.0));
+  // ...but the snapshot stays valid (shared_ptr keeps the point alive).
+  EXPECT_DOUBLE_EQ(w[0]->time, 0.0);
+  EXPECT_DOUBLE_EQ(w[0]->x[0], 0.0);
+}
+
+TEST(History, BackwardPointBetweenExisting) {
+  History h(8);
+  h.Add(Point(0.0));
+  h.Add(Point(1.0));
+  h.Add(Point(0.5, /*auxiliary=*/true));
+  EXPECT_DOUBLE_EQ(h.FromNewest(1)->time, 0.5);
+  EXPECT_TRUE(h.FromNewest(1)->auxiliary);
+  EXPECT_FALSE(h.newest()->auxiliary);
+}
+
+TEST(History, ClearEmpties) {
+  History h(4);
+  h.Add(Point(1.0));
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0);
+}
+
+TEST(History, MinDepthEnforced) {
+  EXPECT_THROW(History h(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wavepipe::engine

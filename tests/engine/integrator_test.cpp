@@ -1,0 +1,125 @@
+#include "engine/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wavepipe::engine {
+namespace {
+
+SolutionPointPtr MakePoint(double t, double q, double qdot, bool auxiliary = false) {
+  auto p = std::make_shared<SolutionPoint>();
+  p->time = t;
+  p->x = {0.0};
+  p->q = {q};
+  p->qdot = {qdot};
+  p->auxiliary = auxiliary;
+  return p;
+}
+
+TEST(Integrator, BackwardEulerCoefficients) {
+  HistoryWindow w{MakePoint(0.0, 2.0, 0.0)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kBackwardEuler, 0.5, w, hist);
+  EXPECT_EQ(plan.order, 1);
+  EXPECT_DOUBLE_EQ(plan.a0, 2.0);         // 1/h
+  EXPECT_DOUBLE_EQ(hist[0], -4.0);        // -q_n/h
+  // Exactness on constant q: dq/dt = a0*q + hist = 0.
+  EXPECT_DOUBLE_EQ(plan.a0 * 2.0 + hist[0], 0.0);
+}
+
+TEST(Integrator, TrapezoidalCoefficients) {
+  HistoryWindow w{MakePoint(0.0, 1.0, 3.0)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kTrapezoidal, 0.5, w, hist);
+  EXPECT_EQ(plan.order, 2);
+  EXPECT_DOUBLE_EQ(plan.a0, 4.0);  // 2/h
+  // dq/dt(new) = 2(q_new - q_n)/h - qdot_n; check against q_new = 2:
+  EXPECT_DOUBLE_EQ(plan.a0 * 2.0 + hist[0], 2 * (2.0 - 1.0) / 0.5 - 3.0);
+}
+
+TEST(Integrator, TrapezoidalExactForLinearRamp) {
+  // q(t) = 5t: qdot = 5 everywhere.
+  HistoryWindow w{MakePoint(1.0, 5.0, 5.0)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kTrapezoidal, 1.5, w, hist);
+  const double q_new = 5.0 * 1.5;
+  EXPECT_NEAR(plan.a0 * q_new + hist[0], 5.0, 1e-12);
+}
+
+TEST(Integrator, Gear2VariableStepExactForQuadratic) {
+  // q(t) = t^2 -> dq/dt = 2t.  Uneven steps h_prev = 1, h = 0.5.
+  HistoryWindow w{MakePoint(0.0, 0.0, 0.0), MakePoint(1.0, 1.0, 2.0)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kGear2, 1.5, w, hist);
+  EXPECT_EQ(plan.effective_method, Method::kGear2);
+  const double q_new = 1.5 * 1.5;
+  EXPECT_NEAR(plan.a0 * q_new + hist[0], 3.0, 1e-12);
+}
+
+TEST(Integrator, Gear2ExactForConstantAndLinear) {
+  HistoryWindow w{MakePoint(0.0, 7.0, 0.0), MakePoint(0.3, 7.0, 0.0)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kGear2, 0.7, w, hist);
+  EXPECT_NEAR(plan.a0 * 7.0 + hist[0], 0.0, 1e-10);  // constant
+
+  HistoryWindow w2{MakePoint(0.0, 0.0, 2.0), MakePoint(0.4, 0.8, 2.0)};
+  const auto plan2 = PlanIntegration(Method::kGear2, 1.0, w2, hist);
+  EXPECT_NEAR(plan2.a0 * 2.0 + hist[0], 2.0, 1e-10);  // q = 2t at t=1
+}
+
+TEST(Integrator, Gear2DegradesToBeWithOnePoint) {
+  HistoryWindow w{MakePoint(0.0, 1.0, 0.0)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kGear2, 0.5, w, hist);
+  EXPECT_EQ(plan.effective_method, Method::kBackwardEuler);
+  EXPECT_EQ(plan.order, 1);
+}
+
+TEST(Integrator, Gear2SkipsAuxiliaryPoints) {
+  // Points: leading at t=0 (q=0), auxiliary at t=0.9, leading at t=1 (q=1).
+  // Gear2 at t=1.5 must pair t=1 with t=0 (not the auxiliary t=0.9) for its
+  // two-step history: verify by exactness on q = t^2 where the auxiliary
+  // point carries a WRONG value that would poison the result if used.
+  HistoryWindow w{MakePoint(0.0, 0.0, 0.0), MakePoint(0.9, 123.0, 0.0, /*aux=*/true),
+                  MakePoint(1.0, 1.0, 2.0)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kGear2, 1.5, w, hist);
+  EXPECT_EQ(plan.effective_method, Method::kGear2);
+  EXPECT_NEAR(plan.a0 * 2.25 + hist[0], 3.0, 1e-10);
+}
+
+TEST(Integrator, Gear2AllAuxiliaryHistoryDegrades) {
+  HistoryWindow w{MakePoint(0.0, 0.0, 0.0, /*aux=*/true), MakePoint(1.0, 1.0, 2.0)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kGear2, 1.5, w, hist);
+  EXPECT_EQ(plan.effective_method, Method::kBackwardEuler);
+}
+
+TEST(Integrator, ComputeQdotInverts) {
+  HistoryWindow w{MakePoint(0.0, 1.0, 0.5)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(Method::kTrapezoidal, 0.25, w, hist);
+  std::vector<double> q_new{2.0}, qdot(1);
+  ComputeQdot(plan, q_new, hist, qdot);
+  EXPECT_DOUBLE_EQ(qdot[0], plan.a0 * 2.0 + hist[0]);
+}
+
+// Property: all three methods are exact on q(t) = a + b*t (order >= 1).
+class LinearExactnessTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(LinearExactnessTest, ExactOnLinear) {
+  const double a = 2.0, b = -3.0;
+  auto q = [&](double t) { return a + b * t; };
+  HistoryWindow w{MakePoint(0.1, q(0.1), b), MakePoint(0.45, q(0.45), b)};
+  std::vector<double> hist(1);
+  const auto plan = PlanIntegration(GetParam(), 0.8, w, hist);
+  EXPECT_NEAR(plan.a0 * q(0.8) + hist[0], b, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, LinearExactnessTest,
+                         ::testing::Values(Method::kBackwardEuler, Method::kTrapezoidal,
+                                           Method::kGear2));
+
+}  // namespace
+}  // namespace wavepipe::engine

@@ -1,0 +1,96 @@
+#include "engine/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "engine/circuit.hpp"
+#include "engine/newton.hpp"
+
+namespace wavepipe::engine {
+namespace {
+
+TEST(Mna, PatternCoversDeviceStamps) {
+  Circuit c;
+  const int a = c.AddNode("a"), b = c.AddNode("b");
+  c.Emplace<devices::Resistor>("r1", a, b, 1e3);
+  c.Emplace<devices::VoltageSource>("v1", a, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(1.0));
+  c.Finalize();
+  MnaStructure mna(c);
+  EXPECT_EQ(mna.dimension(), 3);
+  const auto& p = mna.pattern();
+  // Resistor block.
+  EXPECT_GE(p.FindEntry(a, a), 0);
+  EXPECT_GE(p.FindEntry(a, b), 0);
+  EXPECT_GE(p.FindEntry(b, a), 0);
+  EXPECT_GE(p.FindEntry(b, b), 0);
+  // Voltage source block (branch index 2).
+  EXPECT_GE(p.FindEntry(a, 2), 0);
+  EXPECT_GE(p.FindEntry(2, a), 0);
+}
+
+TEST(Mna, NodeDiagonalsAlwaysPresent) {
+  // A node touched only by a V source has no natural diagonal entry; the
+  // structure must synthesize one for gmin stepping.
+  Circuit c;
+  const int a = c.AddNode("a");
+  c.Emplace<devices::VoltageSource>("v1", a, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(1.0));
+  c.Finalize();
+  MnaStructure mna(c);
+  ASSERT_EQ(static_cast<int>(mna.node_diag_slots().size()), 1);
+  EXPECT_GE(mna.node_diag_slots()[0], 0);
+}
+
+TEST(Mna, ValuesAssembleCorrectly) {
+  // 1V -- R(2ohm) -- a -- R(2ohm) -- gnd: check assembled matrix numerics.
+  Circuit c;
+  const int in = c.AddNode("in"), a = c.AddNode("a");
+  c.Emplace<devices::VoltageSource>("v1", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(1.0));
+  c.Emplace<devices::Resistor>("r1", in, a, 2.0);
+  c.Emplace<devices::Resistor>("r2", a, devices::kGround, 2.0);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+
+  NewtonInputs inputs;
+  EvalDevices(ctx, inputs, false, true);
+  const auto& m = ctx.matrix;
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(in, in)), 0.5);
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(a, a)), 1.0);
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(in, a)), -0.5);
+  EXPECT_DOUBLE_EQ(ctx.rhs[2], 1.0);  // source branch
+}
+
+TEST(Mna, GshuntStampsAllNodeDiagonals) {
+  Circuit c;
+  const int a = c.AddNode("a"), b = c.AddNode("b");
+  c.Emplace<devices::Resistor>("r1", a, b, 1.0);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+  NewtonInputs inputs;
+  inputs.gshunt = 0.125;
+  EvalDevices(ctx, inputs, false, true);
+  const auto& m = ctx.matrix;
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(a, a)), 1.125);
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(b, b)), 1.125);
+}
+
+TEST(Mna, RepeatedEvalIsIdempotent) {
+  Circuit c;
+  const int a = c.AddNode("a");
+  c.Emplace<devices::Resistor>("r1", a, devices::kGround, 4.0);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+  NewtonInputs inputs;
+  EvalDevices(ctx, inputs, false, true);
+  EvalDevices(ctx, inputs, true, false);
+  EXPECT_DOUBLE_EQ(ctx.matrix.value_of(ctx.matrix.FindEntry(a, a)), 0.25);
+}
+
+}  // namespace
+}  // namespace wavepipe::engine

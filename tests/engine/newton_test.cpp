@@ -1,0 +1,138 @@
+#include "engine/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "devices/diode.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "engine/circuit.hpp"
+
+namespace wavepipe::engine {
+namespace {
+
+TEST(Newton, LinearCircuitSolvesExactly) {
+  // Divider: 1V across two 1k resistors -> 0.5V.
+  Circuit c;
+  const int in = c.AddNode("in"), mid = c.AddNode("mid");
+  c.Emplace<devices::VoltageSource>("v1", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(1.0));
+  c.Emplace<devices::Resistor>("r1", in, mid, 1e3);
+  c.Emplace<devices::Resistor>("r2", mid, devices::kGround, 1e3);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+
+  SimOptions options;
+  NewtonInputs inputs;
+  inputs.gmin = options.gmin;
+  const NewtonStats stats = SolveNewton(ctx, inputs, options, 20);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LE(stats.iterations, 2);
+  EXPECT_NEAR(ctx.x[mid], 0.5, 1e-9);
+  EXPECT_NEAR(ctx.x[in], 1.0, 1e-12);
+  // Branch current: 1V / 2k = 0.5 mA flowing out of the source.
+  EXPECT_NEAR(ctx.x[2], -0.5e-3, 1e-9);
+}
+
+TEST(Newton, DiodeDividerConverges) {
+  // 5V -- 1k -- diode to ground: V_diode ~ 0.6-0.7.
+  Circuit c;
+  const int in = c.AddNode("in"), d = c.AddNode("d");
+  c.Emplace<devices::VoltageSource>("v1", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(5.0));
+  c.Emplace<devices::Resistor>("r1", in, d, 1e3);
+  devices::DiodeModel dm;
+  c.Emplace<devices::Diode>("d1", d, devices::kGround, dm);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+
+  SimOptions options;
+  NewtonInputs inputs;
+  inputs.gmin = options.gmin;
+  const NewtonStats stats = SolveNewton(ctx, inputs, options, 60);
+  ASSERT_TRUE(stats.converged);
+  EXPECT_GT(ctx.x[d], 0.55);
+  EXPECT_LT(ctx.x[d], 0.75);
+  // KCL: resistor current equals diode current.
+  devices::Diode probe("probe", 0, 1, dm);
+  const double i_r = (ctx.x[in] - ctx.x[d]) / 1e3;
+  const double i_d = probe.Current(ctx.x[d], options.gmin);
+  EXPECT_NEAR(i_r, i_d, 1e-2 * i_r + 1e-9);
+}
+
+TEST(Newton, ReportsNonConvergenceWithinBudget) {
+  Circuit c;
+  const int in = c.AddNode("in"), d = c.AddNode("d");
+  c.Emplace<devices::VoltageSource>("v1", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(5.0));
+  c.Emplace<devices::Resistor>("r1", in, d, 1e3);
+  c.Emplace<devices::Diode>("d1", d, devices::kGround, devices::DiodeModel{});
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+
+  SimOptions options;
+  NewtonInputs inputs;
+  inputs.gmin = options.gmin;
+  // A 1-iteration budget cannot converge a nonlinear circuit.
+  const NewtonStats stats = SolveNewton(ctx, inputs, options, 1);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.iterations, 1);
+}
+
+TEST(Newton, StateConsistentWithSolution) {
+  // After convergence, ctx.state_now must be the charge at ctx.x.
+  Circuit c;
+  const int a = c.AddNode("a");
+  c.Emplace<devices::VoltageSource>("v1", a, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(2.0));
+  c.Emplace<devices::Capacitor>("c1", a, devices::kGround, 3e-9);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+  SimOptions options;
+  NewtonInputs inputs;
+  ASSERT_TRUE(SolveNewton(ctx, inputs, options, 10).converged);
+  EXPECT_NEAR(ctx.state_now[0], 2.0 * 3e-9, 1e-18);
+}
+
+TEST(Newton, LuReusePathExercised) {
+  // A nonlinear solve takes >= 2 iterations; after the first full factor,
+  // subsequent iterations must go through Refactor.
+  Circuit c;
+  const int in = c.AddNode("in"), d = c.AddNode("d");
+  c.Emplace<devices::VoltageSource>("v1", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(3.0));
+  c.Emplace<devices::Resistor>("r1", in, d, 1e3);
+  c.Emplace<devices::Diode>("d1", d, devices::kGround, devices::DiodeModel{});
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+  SimOptions options;
+  NewtonInputs inputs;
+  inputs.gmin = options.gmin;
+  const NewtonStats stats = SolveNewton(ctx, inputs, options, 60);
+  ASSERT_TRUE(stats.converged);
+  EXPECT_EQ(stats.lu_full_factors, 1);
+  EXPECT_GE(stats.lu_refactors, 1);
+}
+
+TEST(Newton, SourceScaleScalesSolution) {
+  Circuit c;
+  const int in = c.AddNode("in");
+  c.Emplace<devices::VoltageSource>("v1", in, devices::kGround,
+                                    std::make_unique<devices::DcWaveform>(4.0));
+  c.Emplace<devices::Resistor>("r1", in, devices::kGround, 1.0);
+  c.Finalize();
+  MnaStructure mna(c);
+  SolveContext ctx(c, mna);
+  SimOptions options;
+  NewtonInputs inputs;
+  inputs.source_scale = 0.5;
+  ASSERT_TRUE(SolveNewton(ctx, inputs, options, 10).converged);
+  EXPECT_NEAR(ctx.x[in], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wavepipe::engine

@@ -1,0 +1,160 @@
+#include "engine/step_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wavepipe::engine {
+namespace {
+
+SolutionPointPtr MakePoint(double t, std::vector<double> x) {
+  auto p = std::make_shared<SolutionPoint>();
+  p->time = t;
+  p->x = std::move(x);
+  p->q = {0.0};
+  p->qdot = {0.0};
+  return p;
+}
+
+StepControlParams Params(int order = 2) {
+  StepControlParams p;
+  p.order = order;
+  p.num_nodes = 1;
+  return p;
+}
+
+TEST(Predictor, ConstantWithOnePoint) {
+  HistoryWindow w{MakePoint(0.0, {3.0})};
+  std::vector<double> out(1);
+  PredictSolution(w, 1, 1.0, out);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST(Predictor, LinearWithTwoPoints) {
+  HistoryWindow w{MakePoint(0.0, {0.0}), MakePoint(1.0, {2.0})};
+  std::vector<double> out(1);
+  PredictSolution(w, 2, 2.5, out);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+}
+
+TEST(Predictor, QuadraticExactWithThreePoints) {
+  auto f = [](double t) { return 1 + 2 * t + 3 * t * t; };
+  HistoryWindow w{MakePoint(0.0, {f(0)}), MakePoint(0.7, {f(0.7)}),
+                  MakePoint(1.0, {f(1.0)})};
+  std::vector<double> out(1);
+  PredictSolution(w, 3, 1.6, out);
+  EXPECT_NEAR(out[0], f(1.6), 1e-12);
+}
+
+TEST(Predictor, PointsClampedToWindowSize) {
+  HistoryWindow w{MakePoint(0.0, {1.0}), MakePoint(1.0, {2.0})};
+  std::vector<double> out(1);
+  PredictSolution(w, 4, 2.0, out);  // asks for 4, has 2 -> linear
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST(Predictor, UsesNewestPointsOnly) {
+  // Old garbage point must not affect a 2-point prediction.
+  HistoryWindow w{MakePoint(-5.0, {1e9}), MakePoint(0.0, {0.0}), MakePoint(1.0, {1.0})};
+  std::vector<double> out(1);
+  PredictSolution(w, 2, 2.0, out);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+}
+
+TEST(PredictPoint, ExtrapolatesAllFields) {
+  auto p0 = std::make_shared<SolutionPoint>();
+  p0->time = 0.0;
+  p0->x = {0.0};
+  p0->q = {1.0};
+  p0->qdot = {0.5};
+  auto p1 = std::make_shared<SolutionPoint>();
+  p1->time = 1.0;
+  p1->x = {2.0};
+  p1->q = {3.0};
+  p1->qdot = {1.5};
+  const SolutionPointPtr pred = PredictPoint({p0, p1}, 2, 2.0);
+  EXPECT_TRUE(pred->auxiliary);
+  EXPECT_DOUBLE_EQ(pred->x[0], 4.0);
+  EXPECT_DOUBLE_EQ(pred->q[0], 5.0);
+  EXPECT_DOUBLE_EQ(pred->qdot[0], 2.5);
+}
+
+TEST(AssessStep, AcceptsSmallError) {
+  std::vector<double> solved{1.0005}, predicted{1.0};
+  const auto a = AssessStep(solved, predicted, 0.1, true, Params());
+  // |diff| = 5e-4, tol ~ 1e-3 -> raw ~0.5, / trtol 7 -> ~0.07.
+  EXPECT_TRUE(a.accept);
+  EXPECT_LT(a.error, 1.0);
+  EXPECT_GT(a.h_next, 0.1);  // grows
+}
+
+TEST(AssessStep, RejectsLargeError) {
+  std::vector<double> solved{2.0}, predicted{1.0};
+  const auto a = AssessStep(solved, predicted, 0.1, true, Params());
+  EXPECT_FALSE(a.accept);
+  EXPECT_LT(a.h_next, 0.1 * 0.5 + 1e-15);  // reject shrink applies
+}
+
+TEST(AssessStep, GrowthCapped) {
+  std::vector<double> solved{1.0}, predicted{1.0};  // zero error
+  StepControlParams p = Params();
+  p.growth_cap = 3.0;
+  const auto a = AssessStep(solved, predicted, 0.1, true, p);
+  EXPECT_TRUE(a.accept);
+  EXPECT_NEAR(a.h_next, 0.3, 1e-12);  // exactly the cap
+}
+
+TEST(AssessStep, InactiveAcceptsAndGrows) {
+  std::vector<double> solved{5.0}, predicted{0.0};  // huge apparent error
+  const auto a = AssessStep(solved, predicted, 0.1, /*lte_active=*/false, Params());
+  EXPECT_TRUE(a.accept);
+  EXPECT_DOUBLE_EQ(a.h_next, 0.2);
+}
+
+TEST(AssessStep, OrderControlsExponent) {
+  // Same error, higher order -> milder shrink.
+  std::vector<double> solved{1.1}, predicted{1.0};
+  const auto a1 = AssessStep(solved, predicted, 0.1, true, Params(1));
+  const auto a2 = AssessStep(solved, predicted, 0.1, true, Params(2));
+  EXPECT_LT(a1.h_next, a2.h_next);
+}
+
+TEST(AssessStep, MinShrinkFloor) {
+  std::vector<double> solved{100.0}, predicted{0.0};
+  StepControlParams p = Params();
+  p.min_shrink = 0.25;
+  p.reject_shrink = 0.5;
+  const auto a = AssessStep(solved, predicted, 1.0, true, p);
+  EXPECT_FALSE(a.accept);
+  EXPECT_GE(a.h_next, 0.25);
+}
+
+TEST(WrmsDistance, UsesVoltageAndCurrentTolerances) {
+  StepControlParams p = Params();
+  p.num_nodes = 1;
+  p.norm_unknowns = -1;
+  // Unknown 0 is a voltage (vntol), unknown 1 a current (abstol).
+  std::vector<double> a{0.0, 0.0}, b{1e-6, 1e-6};
+  const double d = SolutionWrmsDistance(a, b, p);
+  // voltage error = 1e-6/1e-6 = 1; current error = 1e-6/1e-12 = 1e6.
+  EXPECT_GT(d, 100.0);  // current term dominates: ~1e3/sqrt(2)
+}
+
+TEST(WrmsDistance, NormUnknownsRestricts) {
+  StepControlParams p = Params();
+  p.num_nodes = 1;
+  p.norm_unknowns = 1;  // voltages only
+  std::vector<double> a{0.0, 0.0}, b{1e-6, 1.0};  // huge current mismatch ignored
+  const double d = SolutionWrmsDistance(a, b, p);
+  EXPECT_NEAR(d, 1.0, 1e-2);
+}
+
+TEST(WrmsDistance, EmptyIsZero) {
+  StepControlParams p = Params();
+  p.norm_unknowns = 0;
+  std::vector<double> a{1.0}, b{2.0};
+  EXPECT_DOUBLE_EQ(SolutionWrmsDistance(a, b, p), 0.0);
+}
+
+}  // namespace
+}  // namespace wavepipe::engine

@@ -1,0 +1,83 @@
+#include "engine/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavepipe::engine {
+namespace {
+
+ProbeSet TwoProbes() {
+  ProbeSet p;
+  p.unknowns = {0, 2};
+  p.names = {"a", "c"};
+  return p;
+}
+
+TEST(Trace, RecordsSelectedUnknowns) {
+  Trace t(TwoProbes());
+  t.Record(0.0, std::vector<double>{1.0, 99.0, 3.0});
+  t.Record(1.0, std::vector<double>{2.0, 99.0, 6.0});
+  EXPECT_EQ(t.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(t.value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.value(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(t.value(1, 1), 6.0);
+}
+
+TEST(Trace, RejectsNonMonotonicTime) {
+  Trace t(TwoProbes());
+  t.Record(1.0, std::vector<double>{0, 0, 0});
+  EXPECT_THROW(t.Record(1.0, std::vector<double>{0, 0, 0}), std::logic_error);
+  EXPECT_THROW(t.Record(0.5, std::vector<double>{0, 0, 0}), std::logic_error);
+}
+
+TEST(Trace, InterpolationLinearAndClamped) {
+  Trace t(TwoProbes());
+  t.Record(0.0, std::vector<double>{0.0, 0, 10.0});
+  t.Record(2.0, std::vector<double>{4.0, 0, 20.0});
+  EXPECT_DOUBLE_EQ(t.Interpolate(1.0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.Interpolate(1.0, 1), 15.0);
+  EXPECT_DOUBLE_EQ(t.Interpolate(-5.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.Interpolate(99.0, 0), 4.0);
+}
+
+TEST(Trace, SeriesExtraction) {
+  Trace t(TwoProbes());
+  t.Record(0.0, std::vector<double>{1.0, 0, 2.0});
+  t.Record(1.0, std::vector<double>{3.0, 0, 4.0});
+  const auto s = t.Series(1);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[1].second, 4.0);
+}
+
+TEST(Trace, MaxDeviationOnDifferentGrids) {
+  // Same ramp sampled at different times must deviate ~0.
+  Trace a(TwoProbes()), b(TwoProbes());
+  a.Record(0.0, std::vector<double>{0.0, 0, 0.0});
+  a.Record(1.0, std::vector<double>{1.0, 0, 1.0});
+  b.Record(0.0, std::vector<double>{0.0, 0, 0.0});
+  b.Record(0.5, std::vector<double>{0.5, 0, 0.5});
+  b.Record(1.0, std::vector<double>{1.0, 0, 1.0});
+  EXPECT_NEAR(Trace::MaxDeviationAll(a, b), 0.0, 1e-12);
+}
+
+TEST(Trace, MaxDeviationDetectsDifference) {
+  Trace a(TwoProbes()), b(TwoProbes());
+  a.Record(0.0, std::vector<double>{0.0, 0, 0.0});
+  a.Record(1.0, std::vector<double>{1.0, 0, 0.0});
+  b.Record(0.0, std::vector<double>{0.0, 0, 0.0});
+  b.Record(1.0, std::vector<double>{1.5, 0, 0.0});
+  EXPECT_NEAR(Trace::MaxDeviation(a, b, 0), 0.5, 1e-12);
+  EXPECT_NEAR(Trace::MaxDeviation(a, b, 1), 0.0, 1e-12);
+}
+
+TEST(ProbeSet, Factories) {
+  const auto all = ProbeSet::All(3);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.names[2], "u2");
+  const auto first = ProbeSet::FirstNodes(10, 4);
+  EXPECT_EQ(first.size(), 4u);
+  const auto fewer = ProbeSet::FirstNodes(2, 4);
+  EXPECT_EQ(fewer.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wavepipe::engine

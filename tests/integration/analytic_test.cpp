@@ -1,0 +1,188 @@
+// Integration-level accuracy checks against closed-form circuit solutions,
+// including tolerance-scaling sweeps (the property that makes LTE control
+// meaningful: tightening reltol tightens the waveform error).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "engine/transient.hpp"
+#include "testutil/helpers.hpp"
+
+namespace wavepipe {
+namespace {
+
+using engine::Method;
+using engine::MnaStructure;
+using engine::RunTransientSerial;
+using engine::SimOptions;
+using engine::TransientSpec;
+
+double RcError(double reltol, Method method) {
+  const double delay = 1e-4;
+  auto f = testutil::MakeStepRc(delay);
+  MnaStructure mna(*f.circuit);
+  TransientSpec spec;
+  spec.tstop = 4e-3;
+  spec.probes.unknowns = {f.out};
+  spec.probes.names = {"out"};
+  SimOptions options;
+  options.reltol = reltol;
+  options.method = method;
+  const auto res = RunTransientSerial(*f.circuit, mna, spec, options);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < res.trace.num_samples(); ++i) {
+    const double t = res.trace.time(i);
+    const double analytic = t <= delay ? 0.0 : 1.0 - std::exp(-(t - delay) / f.tau());
+    worst = std::max(worst, std::abs(res.trace.value(i, 0) - analytic));
+  }
+  return worst;
+}
+
+class RcToleranceSweep
+    : public ::testing::TestWithParam<std::tuple<double, Method>> {};
+
+TEST_P(RcToleranceSweep, ErrorBoundedByTolerance) {
+  const auto [reltol, method] = GetParam();
+  const double err = RcError(reltol, method);
+  // The waveform error tracks the LTE tolerance up to the trtol slack (7x)
+  // and error accumulation; 50x is a safely conservative envelope that still
+  // fails if step control is broken.
+  EXPECT_LT(err, 50 * reltol + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RcToleranceSweep,
+    ::testing::Combine(::testing::Values(1e-2, 1e-3, 1e-4),
+                       ::testing::Values(Method::kBackwardEuler, Method::kTrapezoidal,
+                                         Method::kGear2)));
+
+TEST(Analytic, TighteningToleranceReducesError) {
+  const double loose = RcError(1e-2, Method::kTrapezoidal);
+  const double tight = RcError(1e-5, Method::kTrapezoidal);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(Analytic, RlcEnergyDecaysMonotonically) {
+  // The envelope of the underdamped response must decay at rate alpha.
+  auto f = testutil::MakeSeriesRlc();
+  MnaStructure mna(*f.circuit);
+  TransientSpec spec;
+  spec.tstop = 3e-3;
+  spec.probes.unknowns = {f.vc};
+  spec.probes.names = {"vc"};
+  const auto res = RunTransientSerial(*f.circuit, mna, spec, SimOptions{});
+  // Peak deviation from the final value, early vs late in the decay.
+  auto deviation_near = [&](double t) {
+    double worst = 0.0;
+    for (double dt = 0; dt < 2.5e-4; dt += 5e-6) {
+      worst = std::max(worst, std::abs(res.trace.Interpolate(t + dt, 0) - 1.0));
+    }
+    return worst;
+  };
+  const double early = deviation_near(2e-4);
+  const double late = deviation_near(1.4e-3);
+  EXPECT_LT(late, early);
+}
+
+TEST(Analytic, LinearityScalesWithSource) {
+  // Doubling the source doubles the response everywhere (linear circuit).
+  auto run = [](double volts) {
+    engine::Circuit c;
+    const int in = c.AddNode("in"), out = c.AddNode("out");
+    c.Emplace<devices::VoltageSource>(
+        "v", in, devices::kGround,
+        std::make_unique<devices::PulseWaveform>(0, volts, 1e-5, 1e-8, 1e-8, 1, 2));
+    c.Emplace<devices::Resistor>("r", in, out, 1e3);
+    c.Emplace<devices::Capacitor>("c", out, devices::kGround, 1e-7);
+    c.Finalize();
+    MnaStructure mna(c);
+    TransientSpec spec;
+    spec.tstop = 1e-3;
+    spec.probes.unknowns = {out};
+    spec.probes.names = {"out"};
+    return RunTransientSerial(c, mna, spec, SimOptions{});
+  };
+  const auto r1 = run(1.0);
+  const auto r2 = run(2.0);
+  for (double t : {2e-4, 5e-4, 9e-4}) {
+    EXPECT_NEAR(2 * r1.trace.Interpolate(t, 0), r2.trace.Interpolate(t, 0), 5e-3);
+  }
+}
+
+TEST(Analytic, LadderDelayGrowsSuperlinearly) {
+  // The 50% crossing delay of an RC ladder grows ~quadratically with length
+  // (diffusive line): doubling the stages should much more than double it.
+  auto delay_of = [](int stages) {
+    engine::Circuit c;
+    const int in = c.AddNode("in");
+    int prev = in;
+    for (int i = 0; i < stages; ++i) {
+      const int node = c.AddNode("n" + std::to_string(i));
+      c.Emplace<devices::Resistor>("r" + std::to_string(i), prev, node, 100.0);
+      c.Emplace<devices::Capacitor>("c" + std::to_string(i), node, devices::kGround,
+                                    1e-12);
+      prev = node;
+    }
+    c.Emplace<devices::VoltageSource>(
+        "v", in, devices::kGround,
+        std::make_unique<devices::PulseWaveform>(0, 1, 1e-10, 1e-11, 1e-11, 1, 2));
+    c.Finalize();
+    MnaStructure mna(c);
+    TransientSpec spec;
+    spec.tstop = 100e-9 * stages * stages / 100;
+    spec.probes.unknowns = {prev};
+    spec.probes.names = {"end"};
+    const auto res = RunTransientSerial(c, mna, spec, SimOptions{});
+    for (std::size_t i = 0; i < res.trace.num_samples(); ++i) {
+      if (res.trace.value(i, 0) >= 0.5) return res.trace.time(i);
+    }
+    return spec.tstop;
+  };
+  const double d10 = delay_of(10);
+  const double d20 = delay_of(20);
+  EXPECT_GT(d20, 2.5 * d10);
+}
+
+TEST(Analytic, LcTankFrequency) {
+  // Parallel LC excited by an initial current step oscillates at
+  // f = 1/(2 pi sqrt(LC)).
+  engine::Circuit c;
+  const int n = c.AddNode("tank");
+  c.Emplace<devices::CurrentSource>(
+      "i", devices::kGround, n,
+      std::make_unique<devices::PulseWaveform>(0, 1e-3, 1e-6, 1e-8, 1e-8, 1e30, 0));
+  c.Emplace<devices::Inductor>("l", n, devices::kGround, 1e-3);
+  c.Emplace<devices::Capacitor>("cap", n, devices::kGround, 1e-9);
+  c.Emplace<devices::Resistor>("rq", n, devices::kGround, 100e3);  // light damping
+  c.Finalize();
+  MnaStructure mna(c);
+  TransientSpec spec;
+  spec.tstop = 4e-5;
+  spec.probes.unknowns = {n};
+  spec.probes.names = {"tank"};
+  SimOptions options;
+  options.reltol = 1e-4;
+  const auto res = RunTransientSerial(c, mna, spec, options);
+
+  // Count zero crossings after the kick to estimate the period.
+  std::vector<double> crossings;
+  for (std::size_t i = 1; i < res.trace.num_samples(); ++i) {
+    const double a = res.trace.value(i - 1, 0), b = res.trace.value(i, 0);
+    if (res.trace.time(i) > 2e-6 && a * b < 0) {
+      const double t0 = res.trace.time(i - 1);
+      const double t1 = res.trace.time(i);
+      crossings.push_back(t0 + (t1 - t0) * a / (a - b));
+    }
+  }
+  ASSERT_GE(crossings.size(), 6u);
+  const double half_period =
+      (crossings.back() - crossings.front()) / (crossings.size() - 1);
+  const double f_measured = 1.0 / (2 * half_period);
+  const double f_expected = 1.0 / (2 * M_PI * std::sqrt(1e-3 * 1e-9));
+  EXPECT_NEAR(f_measured, f_expected, 0.02 * f_expected);
+}
+
+}  // namespace
+}  // namespace wavepipe

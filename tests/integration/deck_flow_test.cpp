@@ -1,0 +1,117 @@
+// End-to-end: SPICE deck text -> parse -> elaborate -> WavePipe transient,
+// the path a downstream user of the library takes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/elaborate.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe {
+namespace {
+
+constexpr const char* kRc = R"(rc lowpass
+V1 in 0 DC 0 PULSE(0 1 100u 1u 1u 10m 20m)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 5m
+.print v(out) v(in)
+.end
+)";
+
+constexpr const char* kDiodeClipper = R"(clipper
+V1 in 0 SIN(0 3 10k)
+R1 in out 1k
+D1 out 0 dclip
+D2 0 out dclip
+.model dclip D (is=1e-14 n=1.2)
+.tran 1u 300u
+.print v(in) v(out)
+)";
+
+constexpr const char* kCmosInverter = R"(inverter
+VDD vdd 0 2.5
+VIN in 0 PULSE(0 2.5 1n 0.2n 0.2n 4n 8n)
+.model pmos1 PMOS (vto=-0.8 kp=40u)
+.model nmos1 NMOS (vto=0.7 kp=120u)
+MP out in vdd vdd pmos1 W=4u L=1u
+MN out in 0 0 nmos1 W=2u L=1u
+CL out 0 20f
+.tran 0.05n 16n
+.print v(in) v(out)
+)";
+
+pipeline::WavePipeResult RunDeck(const char* deck, pipeline::Scheme scheme, int threads) {
+  auto e = netlist::ParseAndElaborate(deck);
+  engine::MnaStructure mna(*e.circuit);
+  pipeline::WavePipeOptions options;
+  options.scheme = scheme;
+  options.threads = threads;
+  options.sim = e.sim_options;
+  return pipeline::RunWavePipe(*e.circuit, mna, e.spec, options);
+}
+
+TEST(DeckFlow, RcDeckThroughAllSchemes) {
+  const auto serial = RunDeck(kRc, pipeline::Scheme::kSerial, 1);
+  // v(out) fully charged at end.
+  EXPECT_NEAR(serial.trace.value(serial.trace.num_samples() - 1, 0), 1.0, 0.02);  // ~4.9 tau
+  for (auto scheme : {pipeline::Scheme::kBackward, pipeline::Scheme::kForward,
+                      pipeline::Scheme::kCombined}) {
+    const auto piped = RunDeck(kRc, scheme, 3);
+    EXPECT_LT(engine::Trace::MaxDeviationAll(serial.trace, piped.trace), 0.03)
+        << pipeline::SchemeName(scheme);
+  }
+}
+
+TEST(DeckFlow, DiodeClipperClipsSymmetrically) {
+  const auto res = RunDeck(kDiodeClipper, pipeline::Scheme::kCombined, 3);
+  double vmin = 1e9, vmax = -1e9;
+  for (std::size_t i = 0; i < res.trace.num_samples(); ++i) {
+    vmin = std::min(vmin, res.trace.value(i, 1));
+    vmax = std::max(vmax, res.trace.value(i, 1));
+  }
+  // Antiparallel diodes clamp the 3V sine to roughly +-0.8V.
+  EXPECT_LT(vmax, 1.0);
+  EXPECT_GT(vmin, -1.0);
+  EXPECT_GT(vmax, 0.4);
+  EXPECT_LT(vmin, -0.4);
+}
+
+TEST(DeckFlow, CmosInverterInverts) {
+  const auto res = RunDeck(kCmosInverter, pipeline::Scheme::kCombined, 3);
+  // When in is high, out is low and vice versa: correlation is negative.
+  double corr = 0;
+  for (std::size_t i = 0; i < res.trace.num_samples(); ++i) {
+    corr += (res.trace.value(i, 0) - 1.25) * (res.trace.value(i, 1) - 1.25);
+  }
+  EXPECT_LT(corr, 0.0);
+}
+
+TEST(DeckFlow, DeckOptionsPropagate) {
+  const std::string deck = std::string(kRc) + ".options method=gear2 reltol=1e-4\n";
+  auto e = netlist::ParseAndElaborate(deck);
+  EXPECT_EQ(e.sim_options.method, engine::Method::kGear2);
+  EXPECT_DOUBLE_EQ(e.sim_options.reltol, 1e-4);
+  engine::MnaStructure mna(*e.circuit);
+  pipeline::WavePipeOptions options;
+  options.scheme = pipeline::Scheme::kBackward;
+  options.sim = e.sim_options;
+  EXPECT_NO_THROW(pipeline::RunWavePipe(*e.circuit, mna, e.spec, options));
+}
+
+TEST(DeckFlow, SerialEngineAndPipelineSerialAgreeExactly) {
+  auto e = netlist::ParseAndElaborate(kRc);
+  engine::MnaStructure mna(*e.circuit);
+  const auto engine_serial =
+      engine::RunTransientSerial(*e.circuit, mna, e.spec, e.sim_options);
+  pipeline::WavePipeOptions options;
+  options.scheme = pipeline::Scheme::kSerial;
+  options.sim = e.sim_options;
+  const auto pipeline_serial = pipeline::RunWavePipe(*e.circuit, mna, e.spec, options);
+  EXPECT_EQ(engine_serial.stats.steps_accepted, pipeline_serial.stats.steps_accepted);
+  EXPECT_LT(engine::Trace::MaxDeviationAll(engine_serial.trace, pipeline_serial.trace),
+            1e-12);
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,173 @@
+#include "netlist/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "devices/passive.hpp"
+#include "testutil/helpers.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::netlist {
+namespace {
+
+TEST(Elaborate, BuildsCircuitWithNodesAndBranches) {
+  const auto e = ParseAndElaborate(R"(rc deck
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1u
+.tran 1u 1m
+.end
+)");
+  EXPECT_EQ(e.circuit->num_nodes(), 2);
+  EXPECT_EQ(e.circuit->num_branches(), 1);  // the V source
+  EXPECT_EQ(e.circuit->num_devices(), 3u);
+  EXPECT_TRUE(e.has_tran);
+  EXPECT_DOUBLE_EQ(e.spec.tstop, 1e-3);
+}
+
+TEST(Elaborate, GroundAliases) {
+  const auto e = ParseAndElaborate("t\nR1 a 0 1\nR2 a GND 1\nR3 a gnd 1\n");
+  EXPECT_EQ(e.circuit->num_nodes(), 1);  // only "a"
+}
+
+TEST(Elaborate, CaseInsensitiveNodesAndNames) {
+  const auto e = ParseAndElaborate("t\nR1 NodeA nodeB 1\nC1 NODEA 0 1p\n");
+  EXPECT_EQ(e.circuit->num_nodes(), 2);
+  EXPECT_TRUE(e.circuit->HasNode("nodea"));
+}
+
+TEST(Elaborate, DuplicateInstanceThrows) {
+  EXPECT_THROW(ParseAndElaborate("t\nR1 a 0 1\nr1 b 0 2\n"), ElaborationError);
+}
+
+TEST(Elaborate, SourceWaveforms) {
+  const auto e = ParseAndElaborate(R"(t
+V1 a 0 PULSE(0 5 1n 1n 1n 10n 20n)
+V2 b 0 SIN(0 1 1meg)
+V3 c 0 EXP(0 1 0 1n)
+V4 d 0 PWL(0 0 1n 1 2n 0)
+V5 e 0 3.3
+I1 a 0 DC 1m
+)");
+  EXPECT_EQ(e.circuit->num_branches(), 5);
+  const auto bps = e.circuit->CollectBreakpoints(0.0, 20e-9);
+  // Pulse corners {1n, 2n, 12n, 13n}; the PWL knots and EXP delay coincide
+  // with 1n/2n and merge.
+  EXPECT_GE(bps.size(), 4u);
+}
+
+TEST(Elaborate, DcValueComesFromWaveformAtZero) {
+  const auto e = ParseAndElaborate("t\nV1 a 0 PULSE(2 5 1n 1n 1n 10n 20n)\nR1 a 0 1k\n");
+  const auto x = testutil::SolveDc(*e.circuit);
+  EXPECT_NEAR(x[e.circuit->NodeIndex("a")], 2.0, 1e-9);
+}
+
+TEST(Elaborate, DiodeNeedsModel) {
+  EXPECT_THROW(ParseAndElaborate("t\nD1 a 0 nomodel\n"), ParseError);
+  EXPECT_THROW(ParseAndElaborate("t\n.model m NMOS\nD1 a 0 m\n"), ElaborationError);
+}
+
+TEST(Elaborate, MosfetParameters) {
+  const auto e = ParseAndElaborate(R"(t
+.model mn NMOS (vto=0.5 kp=200u)
+M1 d g 0 0 mn W=10u L=2u
+)");
+  EXPECT_EQ(e.circuit->num_devices(), 1u);
+  EXPECT_TRUE(e.circuit->is_nonlinear());
+}
+
+TEST(Elaborate, MosfetUnknownParamThrows) {
+  EXPECT_THROW(ParseAndElaborate("t\n.model mn NMOS\nM1 d g 0 0 mn AD=1p\n"), ParseError);
+}
+
+TEST(Elaborate, ControlledSources) {
+  const auto e = ParseAndElaborate(R"(t
+V1 in 0 1
+R1 in a 1k
+E1 b 0 in a 10
+G1 c 0 in a 1m
+F1 d 0 v1 2
+H1 e 0 v1 50
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+R5 e 0 1k
+)");
+  // Branches: V1, E1, H1.
+  EXPECT_EQ(e.circuit->num_branches(), 3);
+}
+
+TEST(Elaborate, MutualInductanceResolvesInductors) {
+  const auto e = ParseAndElaborate(R"(t
+L1 a 0 1m
+L2 b 0 4m
+K1 L1 L2 0.5
+R1 a 0 1
+R2 b 0 1
+)");
+  EXPECT_EQ(e.circuit->num_branches(), 2);
+}
+
+TEST(Elaborate, MutualWithUnknownInductorThrows) {
+  EXPECT_THROW(ParseAndElaborate("t\nL1 a 0 1m\nK1 L1 LX 0.5\n"), ElaborationError);
+}
+
+TEST(Elaborate, OptionsApplied) {
+  const auto e = ParseAndElaborate(R"(t
+.options reltol=1e-4 abstol=1e-10 vntol=1u method=gear2 maxstep=1n itl4=33
+)");
+  EXPECT_DOUBLE_EQ(e.sim_options.reltol, 1e-4);
+  EXPECT_DOUBLE_EQ(e.sim_options.abstol, 1e-10);
+  EXPECT_DOUBLE_EQ(e.sim_options.vntol, 1e-6);
+  EXPECT_EQ(e.sim_options.method, engine::Method::kGear2);
+  EXPECT_DOUBLE_EQ(e.sim_options.hmax, 1e-9);
+  EXPECT_EQ(e.sim_options.max_newton_iters, 33);
+}
+
+TEST(Elaborate, UnknownOptionIgnored) {
+  EXPECT_NO_THROW(ParseAndElaborate("t\n.options mysteryopt=7\n"));
+}
+
+TEST(Elaborate, PrintNodesBecomeProbes) {
+  const auto e = ParseAndElaborate(R"(t
+R1 a b 1
+R2 b 0 1
+V1 a 0 1
+.tran 1n 10n
+.print v(b)
+)");
+  ASSERT_EQ(e.spec.probes.size(), 1u);
+  EXPECT_EQ(e.spec.probes.names[0], "b");
+}
+
+TEST(Elaborate, IcResolvesNodes) {
+  const auto e = ParseAndElaborate("t\nR1 out 0 1k\nC1 out 0 1p\n.ic v(out)=2.5\n");
+  ASSERT_EQ(e.initial_conditions.size(), 1u);
+  EXPECT_EQ(e.initial_conditions[0].first, e.circuit->NodeIndex("out"));
+  EXPECT_DOUBLE_EQ(e.initial_conditions[0].second, 2.5);
+}
+
+TEST(Elaborate, TrailingGarbageOnElementThrows) {
+  EXPECT_THROW(ParseAndElaborate("t\nR1 a 0 1k extra\n"), ParseError);
+}
+
+TEST(Elaborate, ZeroResistanceThrows) {
+  EXPECT_THROW(ParseAndElaborate("t\nR1 a 0 0\n"), ElaborationError);
+}
+
+TEST(Elaborate, FullDeckSimulates) {
+  const auto e = ParseAndElaborate(R"(low-pass
+V1 in 0 DC 0 PULSE(0 1 0 1n 1n 1 2)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 5m
+.print v(out)
+)");
+  engine::MnaStructure mna(*e.circuit);
+  const auto res =
+      engine::RunTransientSerial(*e.circuit, mna, e.spec, e.sim_options);
+  // After 5 tau the output is within a millivolt of the input.
+  EXPECT_NEAR(res.trace.value(res.trace.num_samples() - 1, 0), 1.0, 0.01);  // 5 tau window
+}
+
+}  // namespace
+}  // namespace wavepipe::netlist

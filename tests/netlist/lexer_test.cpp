@@ -1,0 +1,74 @@
+#include "netlist/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wavepipe::netlist {
+namespace {
+
+TEST(Lexer, FirstLineIsTitle) {
+  const auto deck = LexDeck("my circuit title\nR1 a b 1k\n");
+  EXPECT_EQ(deck.title, "my circuit title");
+  ASSERT_EQ(deck.lines.size(), 1u);
+  EXPECT_EQ(deck.lines[0].tokens[0], "R1");
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto deck = LexDeck("t\n* full line comment\nR1 a b 1 $ trailing\nC1 a 0 1p ; also\n");
+  ASSERT_EQ(deck.lines.size(), 2u);
+  EXPECT_EQ(deck.lines[0].tokens.size(), 4u);
+  EXPECT_EQ(deck.lines[1].tokens.size(), 4u);
+}
+
+TEST(Lexer, ContinuationJoins) {
+  const auto deck = LexDeck("t\nV1 in 0\n+ PULSE(0 1\n+ 2 3)\n");
+  ASSERT_EQ(deck.lines.size(), 1u);
+  const auto& tokens = deck.lines[0].tokens;
+  // V1 in 0 PULSE ( 0 1 2 3 )
+  EXPECT_EQ(tokens.size(), 10u);
+  EXPECT_EQ(tokens[3], "PULSE");
+  EXPECT_EQ(tokens[4], "(");
+  EXPECT_EQ(tokens.back(), ")");
+}
+
+TEST(Lexer, StrayContinuationThrows) {
+  EXPECT_THROW(LexDeck("t\n+ continuation first\n"), ParseError);
+}
+
+TEST(Lexer, PunctuationSplit) {
+  const auto deck = LexDeck("t\nM1 d g s b mod W=2u L=1u\n");
+  const auto& tokens = deck.lines[0].tokens;
+  // M1 d g s b mod W = 2u L = 1u
+  ASSERT_EQ(tokens.size(), 12u);
+  EXPECT_EQ(tokens[7], "=");
+  EXPECT_EQ(tokens[8], "2u");
+}
+
+TEST(Lexer, WindowsLineEndings) {
+  const auto deck = LexDeck("t\r\nR1 a b 1\r\n");
+  ASSERT_EQ(deck.lines.size(), 1u);
+  EXPECT_EQ(deck.lines[0].tokens[3], "1");
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto deck = LexDeck("t\n\n* c\nR1 a b 1\n");
+  ASSERT_EQ(deck.lines.size(), 1u);
+  EXPECT_EQ(deck.lines[0].line_number, 4);
+}
+
+TEST(Lexer, EmptyDeck) {
+  const auto deck = LexDeck("");
+  EXPECT_TRUE(deck.lines.empty());
+  EXPECT_EQ(deck.title, "");
+}
+
+TEST(Lexer, CommaSeparatedPwl) {
+  const auto deck = LexDeck("t\nV1 a 0 PWL(0,0 1n,1)\n");
+  const auto& tokens = deck.lines[0].tokens;
+  // V1 a 0 PWL ( 0 , 0 1n , 1 )
+  EXPECT_EQ(tokens.size(), 12u);
+}
+
+}  // namespace
+}  // namespace wavepipe::netlist

@@ -1,0 +1,111 @@
+#include "netlist/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wavepipe::netlist {
+namespace {
+
+TEST(Parser, SubcircuitInstancesUnsupported) {
+  // 'X' (subcircuit instance) is outside the supported flat-deck subset.
+  EXPECT_THROW(ParseNetlist("t\nXBAD a b mysub\n"), ParseError);
+}
+
+TEST(Parser, BasicElements) {
+  const auto nl = ParseNetlist("t\nR1 a b 1k\nC2 b 0 1p\nL3 a 0 1u\n.end\n");
+  ASSERT_EQ(nl.elements.size(), 3u);
+  EXPECT_EQ(nl.elements[0].kind, 'r');
+  EXPECT_EQ(nl.elements[0].name, "r1");
+  EXPECT_EQ(nl.elements[1].kind, 'c');
+  EXPECT_EQ(nl.elements[2].kind, 'l');
+  EXPECT_EQ(nl.elements[0].args.size(), 3u);
+}
+
+TEST(Parser, UnknownElementThrows) {
+  EXPECT_THROW(ParseNetlist("t\nQ1 c b e model\n"), ParseError);
+}
+
+TEST(Parser, ModelCardWithParens) {
+  const auto nl = ParseNetlist("t\n.model mynmos NMOS (vto=0.6 kp=100u)\n");
+  ASSERT_EQ(nl.models.size(), 1u);
+  const auto& m = nl.models.at("mynmos");
+  EXPECT_EQ(m.type, "nmos");
+  EXPECT_DOUBLE_EQ(m.params.at("vto"), 0.6);
+  EXPECT_DOUBLE_EQ(m.params.at("kp"), 100e-6);
+}
+
+TEST(Parser, ModelCardWithoutParens) {
+  const auto nl = ParseNetlist("t\n.model d1 D is=2e-14 n=1.5\n");
+  const auto& m = nl.models.at("d1");
+  EXPECT_EQ(m.type, "d");
+  EXPECT_DOUBLE_EQ(m.params.at("is"), 2e-14);
+  EXPECT_DOUBLE_EQ(m.params.at("n"), 1.5);
+}
+
+TEST(Parser, DuplicateModelThrows) {
+  EXPECT_THROW(ParseNetlist("t\n.model m D\n.model M d\n"), ParseError);
+}
+
+TEST(Parser, UnsupportedModelTypeThrows) {
+  EXPECT_THROW(ParseNetlist("t\n.model q NPN\n"), ParseError);
+}
+
+TEST(Parser, TranCard) {
+  const auto nl = ParseNetlist("t\n.tran 1n 100n 10n\n");
+  EXPECT_TRUE(nl.tran.present);
+  EXPECT_DOUBLE_EQ(nl.tran.tstep, 1e-9);
+  EXPECT_DOUBLE_EQ(nl.tran.tstop, 100e-9);
+  EXPECT_DOUBLE_EQ(nl.tran.tstart, 10e-9);
+}
+
+TEST(Parser, TranRejectsBadWindow) {
+  EXPECT_THROW(ParseNetlist("t\n.tran 1n 10n 10n\n"), ParseError);
+  EXPECT_THROW(ParseNetlist("t\n.tran 1n\n"), ParseError);
+}
+
+TEST(Parser, OptionsKeyValueAndFlags) {
+  const auto nl = ParseNetlist("t\n.options reltol=1e-4 method=gear noacct\n");
+  EXPECT_EQ(nl.options.at("reltol"), "1e-4");
+  EXPECT_EQ(nl.options.at("method"), "gear");
+  EXPECT_EQ(nl.options.at("noacct"), "1");
+}
+
+TEST(Parser, IcCard) {
+  const auto nl = ParseNetlist("t\n.ic v(out)=2.5 v(in)=0\n");
+  EXPECT_DOUBLE_EQ(nl.initial_conditions.at("out"), 2.5);
+  EXPECT_DOUBLE_EQ(nl.initial_conditions.at("in"), 0.0);
+}
+
+TEST(Parser, MalformedIcThrows) {
+  EXPECT_THROW(ParseNetlist("t\n.ic out=2.5\n"), ParseError);
+  EXPECT_THROW(ParseNetlist("t\n.ic v(out)\n"), ParseError);
+}
+
+TEST(Parser, PrintCard) {
+  const auto nl = ParseNetlist("t\n.print tran v(a) v(b)\n");
+  ASSERT_EQ(nl.print_nodes.size(), 2u);
+  EXPECT_EQ(nl.print_nodes[0], "a");
+  EXPECT_EQ(nl.print_nodes[1], "b");
+}
+
+TEST(Parser, OpCard) {
+  EXPECT_TRUE(ParseNetlist("t\n.op\n").op_requested);
+  EXPECT_FALSE(ParseNetlist("t\nR1 a 0 1\n").op_requested);
+}
+
+TEST(Parser, UnknownDirectiveThrows) {
+  EXPECT_THROW(ParseNetlist("t\n.fourier 1k v(out)\n"), ParseError);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    ParseNetlist("t\nR1 a 0 1\n.tran 1n\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace wavepipe::netlist

@@ -1,0 +1,104 @@
+#include "sparse/csc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/triplet.hpp"
+
+namespace wavepipe::sparse {
+namespace {
+
+CscMatrix Make2x2(double a, double b, double c, double d) {
+  TripletBuilder t(2, 2);
+  if (a != 0) t.Add(0, 0, a);
+  if (b != 0) t.Add(0, 1, b);
+  if (c != 0) t.Add(1, 0, c);
+  if (d != 0) t.Add(1, 1, d);
+  return t.ToCsc();
+}
+
+TEST(Csc, Identity) {
+  const CscMatrix eye = CscMatrix::Identity(3);
+  EXPECT_EQ(eye.num_nonzeros(), 3u);
+  std::vector<double> x{1, 2, 3}, y(3);
+  eye.Multiply(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Csc, Multiply) {
+  const CscMatrix m = Make2x2(1, 2, 3, 4);
+  std::vector<double> x{1, 1}, y(2);
+  m.Multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Csc, MultiplyAccumulateWithAlpha) {
+  const CscMatrix m = Make2x2(1, 0, 0, 1);
+  std::vector<double> x{2, 3}, y{10, 10};
+  m.MultiplyAccumulate(x, y, -1.0);
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Csc, MultiplyTranspose) {
+  const CscMatrix m = Make2x2(1, 2, 3, 4);
+  std::vector<double> x{1, 1}, y(2);
+  m.MultiplyTranspose(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);  // col 0: 1 + 3
+  EXPECT_DOUBLE_EQ(y[1], 6.0);  // col 1: 2 + 4
+}
+
+TEST(Csc, TransposeRoundTrip) {
+  const CscMatrix m = Make2x2(1, 2, 0, 4);
+  const CscMatrix mt = m.Transpose();
+  EXPECT_DOUBLE_EQ(mt.value_of(mt.FindEntry(1, 0)), 2.0);
+  EXPECT_EQ(mt.FindEntry(0, 1), -1);
+  const CscMatrix mtt = mt.Transpose();
+  EXPECT_TRUE(m.SamePattern(mtt));
+}
+
+TEST(Csc, FindEntry) {
+  const CscMatrix m = Make2x2(1, 0, 3, 0);
+  EXPECT_GE(m.FindEntry(0, 0), 0);
+  EXPECT_GE(m.FindEntry(1, 0), 0);
+  EXPECT_EQ(m.FindEntry(0, 1), -1);
+  EXPECT_EQ(m.FindEntry(1, 1), -1);
+}
+
+TEST(Csc, ZeroValuesKeepsPattern) {
+  CscMatrix m = Make2x2(1, 2, 3, 4);
+  m.ZeroValues();
+  EXPECT_EQ(m.num_nonzeros(), 4u);
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(1, 1)), 0.0);
+}
+
+TEST(Csc, SymmetrizedPattern) {
+  const CscMatrix m = Make2x2(1, 2, 0, 4);  // asymmetric: (0,1) w/o (1,0)
+  const CscMatrix s = m.SymmetrizedPattern();
+  EXPECT_GE(s.FindEntry(1, 0), 0);
+  EXPECT_GE(s.FindEntry(0, 1), 0);
+}
+
+TEST(Csc, ColumnMaxAbs) {
+  const CscMatrix m = Make2x2(1, 2, -3, 4);
+  EXPECT_DOUBLE_EQ(m.ColumnMaxAbs(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.ColumnMaxAbs(1), 4.0);
+}
+
+TEST(Csc, SamePattern) {
+  const CscMatrix a = Make2x2(1, 2, 3, 4);
+  const CscMatrix b = Make2x2(5, 6, 7, 8);
+  const CscMatrix c = Make2x2(1, 0, 3, 4);
+  EXPECT_TRUE(a.SamePattern(b));
+  EXPECT_FALSE(a.SamePattern(c));
+}
+
+TEST(Csc, ToDenseString) {
+  const CscMatrix m = Make2x2(1, 0, 0, 2);
+  const std::string s = m.ToDenseString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavepipe::sparse

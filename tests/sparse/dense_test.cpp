@@ -1,0 +1,70 @@
+#include "sparse/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/csc.hpp"
+#include "sparse/triplet.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::sparse {
+namespace {
+
+TEST(Dense, SolveKnownSystem) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 3;
+  DenseLu lu(a);
+  std::vector<double> b{3, 4};  // solution x = {1, 1}
+  lu.Solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+TEST(Dense, PivotingHandlesZeroDiagonal) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  DenseLu lu(a);  // would fail without row pivoting
+  std::vector<double> b{2, 3};
+  lu.Solve(b);
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Dense, SingularThrows) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  EXPECT_THROW(DenseLu lu(a), SingularMatrixError);
+}
+
+TEST(Dense, FromCscSumsEntries) {
+  TripletBuilder t(2, 2);
+  t.Add(0, 0, 1.0);
+  t.Add(0, 0, 2.0);
+  t.Add(1, 1, 5.0);
+  const DenseMatrix d = DenseMatrix::FromCsc(t.ToCsc());
+  EXPECT_DOUBLE_EQ(d.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.At(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 0.0);
+}
+
+TEST(Dense, Multiply) {
+  DenseMatrix a(2, 3);
+  a.At(0, 0) = 1;
+  a.At(0, 2) = 2;
+  a.At(1, 1) = 3;
+  std::vector<double> x{1, 1, 1}, y(2);
+  a.Multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+}  // namespace
+}  // namespace wavepipe::sparse

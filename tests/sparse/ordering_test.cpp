@@ -1,0 +1,106 @@
+#include "sparse/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/csc.hpp"
+#include "sparse/triplet.hpp"
+#include "util/rng.hpp"
+
+namespace wavepipe::sparse {
+namespace {
+
+CscMatrix TridiagonalPattern(int n) {
+  TripletBuilder t(n, n);
+  for (int i = 0; i < n; ++i) {
+    t.Add(i, i, 2.0);
+    if (i > 0) t.Add(i, i - 1, -1.0);
+    if (i + 1 < n) t.Add(i, i + 1, -1.0);
+  }
+  return t.ToCsc();
+}
+
+CscMatrix ArrowPattern(int n) {
+  // Dense first row/col + diagonal: natural order fills in completely,
+  // minimum degree should eliminate the hub last.
+  TripletBuilder t(n, n);
+  for (int i = 0; i < n; ++i) {
+    t.Add(i, i, 4.0);
+    if (i > 0) {
+      t.Add(0, i, 1.0);
+      t.Add(i, 0, 1.0);
+    }
+  }
+  return t.ToCsc();
+}
+
+TEST(Ordering, NaturalIsIdentity) {
+  const auto order = NaturalOrder(5);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Ordering, IsPermutationValidator) {
+  EXPECT_TRUE(IsPermutation({2, 0, 1}, 3));
+  EXPECT_FALSE(IsPermutation({0, 0, 1}, 3));
+  EXPECT_FALSE(IsPermutation({0, 1}, 3));
+  EXPECT_FALSE(IsPermutation({0, 1, 3}, 3));
+}
+
+TEST(Ordering, MinimumDegreeIsPermutation) {
+  const auto order = MinimumDegreeOrder(TridiagonalPattern(20));
+  EXPECT_TRUE(IsPermutation(order, 20));
+}
+
+TEST(Ordering, MinimumDegreeEliminatesHubLast) {
+  const auto order = MinimumDegreeOrder(ArrowPattern(12));
+  ASSERT_TRUE(IsPermutation(order, 12));
+  // The hub (vertex 0, degree 11) must be among the last two eliminated
+  // (ties with the final leaf are broken arbitrarily).
+  EXPECT_TRUE(order[11] == 0 || order[10] == 0);
+}
+
+TEST(Ordering, RcmIsPermutation) {
+  const auto order = ReverseCuthillMcKeeOrder(ArrowPattern(10));
+  EXPECT_TRUE(IsPermutation(order, 10));
+}
+
+TEST(Ordering, RcmHandlesDisconnectedGraph) {
+  TripletBuilder t(6, 6);
+  // Two disjoint triangles.
+  for (int base : {0, 3}) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) t.Add(base + i, base + j, 1.0);
+    }
+  }
+  const auto order = ReverseCuthillMcKeeOrder(t.ToCsc());
+  EXPECT_TRUE(IsPermutation(order, 6));
+  const auto md = MinimumDegreeOrder(t.ToCsc());
+  EXPECT_TRUE(IsPermutation(md, 6));
+}
+
+TEST(Ordering, SingletonAndEmpty) {
+  EXPECT_TRUE(MinimumDegreeOrder(TridiagonalPattern(1)) == std::vector<int>{0});
+  EXPECT_TRUE(MinimumDegreeOrder(CscMatrix::Identity(0)).empty());
+}
+
+class RandomOrderingTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomOrderingTest, AlwaysPermutations) {
+  util::Rng rng(GetParam());
+  const int n = 5 + static_cast<int>(rng.NextBelow(30));
+  TripletBuilder t(n, n);
+  for (int i = 0; i < n; ++i) t.Add(i, i, 1.0);
+  const int extra = n * 2;
+  for (int k = 0; k < extra; ++k) {
+    const int r = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+    const int c = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+    t.Add(r, c, 1.0);
+  }
+  const CscMatrix m = t.ToCsc();
+  EXPECT_TRUE(IsPermutation(MinimumDegreeOrder(m), n));
+  EXPECT_TRUE(IsPermutation(ReverseCuthillMcKeeOrder(m), n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOrderingTest, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace wavepipe::sparse

@@ -1,0 +1,77 @@
+#include "sparse/triplet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/csc.hpp"
+
+namespace wavepipe::sparse {
+namespace {
+
+TEST(Triplet, BuildsSortedCsc) {
+  TripletBuilder b(3, 3);
+  b.Add(2, 0, 3.0);
+  b.Add(0, 0, 1.0);
+  b.Add(1, 2, 5.0);
+  b.Add(0, 1, 2.0);
+  const CscMatrix m = b.ToCsc();
+  EXPECT_EQ(m.num_nonzeros(), 4u);
+  // Column 0: rows {0, 2} sorted.
+  EXPECT_EQ(m.row_of(m.col_begin(0)), 0);
+  EXPECT_EQ(m.row_of(m.col_begin(0) + 1), 2);
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(2, 0)), 3.0);
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(1, 2)), 5.0);
+}
+
+TEST(Triplet, SumsDuplicates) {
+  TripletBuilder b(2, 2);
+  b.Add(0, 0, 1.0);
+  b.Add(0, 0, 2.5);
+  b.Add(1, 1, -1.0);
+  b.Add(1, 1, 1.0);
+  const CscMatrix m = b.ToCsc();
+  EXPECT_EQ(m.num_nonzeros(), 2u);  // duplicates merged
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(0, 0)), 3.5);
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(1, 1)), 0.0);
+}
+
+TEST(Triplet, EmptyMatrix) {
+  TripletBuilder b(4, 4);
+  const CscMatrix m = b.ToCsc();
+  EXPECT_EQ(m.num_nonzeros(), 0u);
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.FindEntry(1, 1), -1);
+}
+
+TEST(Triplet, EmptyColumnsHandled) {
+  TripletBuilder b(3, 3);
+  b.Add(0, 2, 1.0);  // only last column populated
+  const CscMatrix m = b.ToCsc();
+  EXPECT_EQ(m.col_begin(0), m.col_end(0));
+  EXPECT_EQ(m.col_begin(1), m.col_end(1));
+  EXPECT_EQ(m.col_end(2) - m.col_begin(2), 1);
+}
+
+TEST(Triplet, OutOfRangeAsserts) {
+  TripletBuilder b(2, 2);
+  EXPECT_THROW(b.Add(2, 0, 1.0), std::logic_error);
+  EXPECT_THROW(b.Add(0, -1, 1.0), std::logic_error);
+}
+
+TEST(Triplet, ClearResets) {
+  TripletBuilder b(2, 2);
+  b.Add(0, 0, 1.0);
+  b.Clear();
+  EXPECT_EQ(b.num_entries(), 0u);
+  EXPECT_EQ(b.ToCsc().num_nonzeros(), 0u);
+}
+
+TEST(Triplet, PatternEntriesSurviveAtZero) {
+  TripletBuilder b(2, 2);
+  b.AddPattern(0, 1);
+  const CscMatrix m = b.ToCsc();
+  ASSERT_GE(m.FindEntry(0, 1), 0);
+  EXPECT_DOUBLE_EQ(m.value_of(m.FindEntry(0, 1)), 0.0);
+}
+
+}  // namespace
+}  // namespace wavepipe::sparse

@@ -1,0 +1,68 @@
+#include "sparse/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/csc.hpp"
+#include "sparse/triplet.hpp"
+
+namespace wavepipe::sparse {
+namespace {
+
+TEST(VectorOps, Dot) {
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(Dot(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, AxpyAndScale) {
+  std::vector<double> x{1, 1}, y{1, 2};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+  Scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.5);
+}
+
+TEST(VectorOps, Norms) {
+  std::vector<double> x{3, -4};
+  EXPECT_DOUBLE_EQ(NormInf(x), 4.0);
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(NormInf(std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, MaxAbsDiff) {
+  std::vector<double> a{1, 2, 3}, b{1, 5, 2};
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 3.0);
+}
+
+TEST(VectorOps, Residual) {
+  TripletBuilder t(2, 2);
+  t.Add(0, 0, 2.0);
+  t.Add(1, 1, 3.0);
+  const CscMatrix a = t.ToCsc();
+  std::vector<double> x{1, 1}, b{5, 5}, r(2);
+  Residual(a, x, b, r);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+}
+
+TEST(VectorOps, WrmsNorm) {
+  std::vector<double> x{1e-3, 2e-3}, w{1e-3, 1e-3};
+  // errors 1 and 2 -> sqrt((1+4)/2)
+  EXPECT_NEAR(WrmsNorm(x, w), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(WrmsNorm(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, BuildErrorWeights) {
+  std::vector<double> ref{-2.0, 0.0};
+  std::vector<double> abstol{1e-6, 1e-6};
+  std::vector<double> w(2);
+  BuildErrorWeights(ref, 1e-3, abstol, w);
+  EXPECT_DOUBLE_EQ(w[0], 2e-3 + 1e-6);
+  EXPECT_DOUBLE_EQ(w[1], 1e-6);
+}
+
+}  // namespace
+}  // namespace wavepipe::sparse

@@ -1,0 +1,91 @@
+// Shared helpers for the WavePipe test suites: tiny canonical circuits with
+// closed-form behaviour, plus wrappers that run an analysis in one call.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "engine/circuit.hpp"
+#include "engine/dcop.hpp"
+#include "engine/mna.hpp"
+#include "engine/newton.hpp"
+#include "engine/transient.hpp"
+
+namespace wavepipe::testutil {
+
+/// V(1V) -> R(1k) -> node out -> C(1uF) to ground.  tau = 1 ms.
+struct RcFixture {
+  std::unique_ptr<engine::Circuit> circuit;
+  int in = -1;
+  int out = -1;
+  double r = 1e3;
+  double c = 1e-6;
+  double tau() const { return r * c; }
+};
+
+inline RcFixture MakeStepRc(double delay = 0.0) {
+  RcFixture f;
+  f.circuit = std::make_unique<engine::Circuit>();
+  f.in = f.circuit->AddNode("in");
+  f.out = f.circuit->AddNode("out");
+  std::unique_ptr<devices::Waveform> wave;
+  if (delay > 0.0) {
+    wave = std::make_unique<devices::PulseWaveform>(0.0, 1.0, delay, 1e-9, 1e-9, 1.0, 2.0);
+  } else {
+    wave = std::make_unique<devices::DcWaveform>(1.0);
+  }
+  f.circuit->Emplace<devices::VoltageSource>("vin", f.in, devices::kGround, std::move(wave));
+  f.circuit->Emplace<devices::Resistor>("r1", f.in, f.out, f.r);
+  f.circuit->Emplace<devices::Capacitor>("c1", f.out, devices::kGround, f.c);
+  f.circuit->Finalize();
+  return f;
+}
+
+/// Series RLC: V(step at t = delay) - R - L - C to ground.  Underdamped for
+/// the defaults.  The source steps AFTER t = 0 so the DC operating point is
+/// the discharged state and a real transient follows.
+struct RlcFixture {
+  std::unique_ptr<engine::Circuit> circuit;
+  int vc = -1;  ///< capacitor voltage node
+  double r = 10.0, l = 1e-3, c = 1e-6;
+  double delay = 1e-5;
+  double omega0() const { return 1.0 / std::sqrt(l * c); }
+  double alpha() const { return r / (2 * l); }
+};
+
+inline RlcFixture MakeSeriesRlc() {
+  RlcFixture f;
+  f.circuit = std::make_unique<engine::Circuit>();
+  const int in = f.circuit->AddNode("in");
+  const int mid = f.circuit->AddNode("mid");
+  f.vc = f.circuit->AddNode("vc");
+  f.circuit->Emplace<devices::VoltageSource>(
+      "vin", in, devices::kGround,
+      std::make_unique<devices::PulseWaveform>(0.0, 1.0, f.delay, 1e-9, 1e-9, 1.0, 2.0));
+  f.circuit->Emplace<devices::Resistor>("r1", in, mid, f.r);
+  f.circuit->Emplace<devices::Inductor>("l1", mid, f.vc, f.l);
+  f.circuit->Emplace<devices::Capacitor>("c1", f.vc, devices::kGround, f.c);
+  f.circuit->Finalize();
+  return f;
+}
+
+/// Runs DC on a finalized circuit, returns the solution vector.
+inline std::vector<double> SolveDc(const engine::Circuit& circuit,
+                                   engine::SimOptions options = {}) {
+  engine::MnaStructure mna(circuit);
+  engine::SolveContext ctx(circuit, mna);
+  engine::SolveDcOperatingPoint(ctx, options);
+  return ctx.x;
+}
+
+/// Runs a serial transient with default options.
+inline engine::TransientResult RunSerial(const engine::Circuit& circuit,
+                                         const engine::TransientSpec& spec,
+                                         engine::SimOptions options = {}) {
+  engine::MnaStructure mna(circuit);
+  return engine::RunTransientSerial(circuit, mna, spec, options);
+}
+
+}  // namespace wavepipe::testutil

@@ -1,0 +1,45 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavepipe {
+namespace {
+
+TEST(Error, HierarchyIsCatchable) {
+  try {
+    throw ParseError("bad token", 12);
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 12"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad token"), std::string::npos);
+  }
+}
+
+TEST(Error, ParseErrorWithoutLine) {
+  ParseError e("oops");
+  EXPECT_EQ(std::string(e.what()), "parse error: oops");
+  EXPECT_EQ(e.line(), 0);
+}
+
+TEST(Error, SingularMatrixCarriesColumn) {
+  SingularMatrixError e("singular", 5);
+  EXPECT_EQ(e.column(), 5);
+  SingularMatrixError no_col("singular");
+  EXPECT_EQ(no_col.column(), -1);
+}
+
+TEST(Error, AssertMacroThrowsLogicError) {
+  EXPECT_THROW(WP_ASSERT(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(WP_ASSERT(1 == 1));
+}
+
+TEST(Error, AssertMessageNamesExpression) {
+  try {
+    WP_ASSERT(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace wavepipe::util {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table t({"circuit", "nodes", "speedup"});
+  t.AddRow({"mesh32", "1024", "1.52"});
+  t.AddRow({"ring9", "11", "1.9"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| circuit"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  // Numeric columns right-aligned: "1.9" should be padded on the left.
+  EXPECT_NE(s.find(" 1.9 "), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.AddRow({"a,b", "say \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CellFormatters) {
+  EXPECT_EQ(Table::Cell(3), "3");
+  EXPECT_EQ(Table::Cell(std::size_t{42}), "42");
+  EXPECT_EQ(Table::Cell(1.25, 3), "1.25");
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, EmptyTableStillRenders) {
+  Table t({"h1"});
+  EXPECT_NE(t.ToString().find("h1"), std::string::npos);
+  EXPECT_EQ(t.ToCsv(), "h1\n");
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  AsciiChart chart(40, 10);
+  chart.AddSeries("rising", {{0, 0}, {1, 1}});
+  chart.AddSeries("falling", {{0, 1}, {1, 0}});
+  const std::string s = chart.ToString();
+  EXPECT_NE(s.find("rising"), std::string::npos);
+  EXPECT_NE(s.find("falling"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartDoesNotCrash) {
+  AsciiChart chart(10, 5);
+  EXPECT_EQ(chart.ToString(), "(empty chart)\n");
+}
+
+}  // namespace
+}  // namespace wavepipe::util

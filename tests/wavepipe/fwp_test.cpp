@@ -1,0 +1,134 @@
+// Forward-pipelining behaviour: speculation never leaks unvalidated state,
+// repairs are cheap, and the critical path shortens.
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "engine/transient.hpp"
+#include "wavepipe/virtual_pipeline.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe::pipeline {
+namespace {
+
+WavePipeResult RunScheme(const circuits::GeneratedCircuit& gen, Scheme scheme, int threads) {
+  engine::MnaStructure mna(*gen.circuit);
+  WavePipeOptions options;
+  options.scheme = scheme;
+  options.threads = threads;
+  return RunWavePipe(*gen.circuit, mna, gen.spec, options);
+}
+
+TEST(Fwp, SpeculatesAndAccepts) {
+  const auto gen = circuits::MakeRcLadder(30);
+  const auto res = RunScheme(gen, Scheme::kForward, 2);
+  EXPECT_GT(res.sched.speculative_solves, 0u);
+  EXPECT_GT(res.sched.speculative_accepted, 0u);
+  // Every non-direct acceptance is backed by a repair record in the ledger.
+  EXPECT_GE(res.ledger.CountKind(SolveKind::kRepair) + res.sched.speculative_direct,
+            res.sched.speculative_accepted);
+  EXPECT_EQ(res.sched.backward_solves, 0u);
+}
+
+TEST(Fwp, AccountingConsistent) {
+  const auto gen = circuits::MakeRcLadder(30);
+  const auto res = RunScheme(gen, Scheme::kForward, 2);
+  EXPECT_EQ(res.sched.speculative_solves,
+            res.sched.speculative_accepted + res.sched.speculative_discarded);
+  // Accepted speculations either landed directly or via exactly one repair.
+  EXPECT_LE(res.sched.speculative_accepted,
+            res.sched.repair_solves + res.sched.speculative_direct);
+  EXPECT_LE(res.sched.speculative_direct, res.sched.speculative_accepted);
+}
+
+TEST(Fwp, PipelinesWithoutPathology) {
+  // Whether FWP reduces rounds depends on the cost regime (see DESIGN.md's
+  // "Reconstruction refinements"); the invariants that must always hold:
+  // no round explosion, real overlap in the task DAG, and some accepted
+  // speculation on a predictable circuit.
+  const auto gen = circuits::MakeRcLadder(50);
+  const auto serial = RunScheme(gen, Scheme::kSerial, 1);
+  const auto fwp = RunScheme(gen, Scheme::kForward, 2);
+  EXPECT_LT(fwp.sched.rounds, serial.sched.rounds * 13 / 10);
+  const auto replay1 = ReplayOnWorkers(fwp.ledger, 1, ReplayCost::kNewtonIterations);
+  const auto replay2 = ReplayOnWorkers(fwp.ledger, 2, ReplayCost::kNewtonIterations);
+  EXPECT_LT(replay2.makespan_seconds, replay1.makespan_seconds);
+  EXPECT_GT(fwp.sched.speculative_accepted, 0u);
+}
+
+TEST(Fwp, WaveformMatchesSerial) {
+  const auto gen = circuits::MakeRcLadder(30);
+  const auto serial = RunScheme(gen, Scheme::kSerial, 1);
+  const auto fwp = RunScheme(gen, Scheme::kForward, 2);
+  EXPECT_LT(engine::Trace::MaxDeviationAll(serial.trace, fwp.trace), 0.02);
+}
+
+TEST(Fwp, RepairsAreCheaperThanFullSolves) {
+  const auto gen = circuits::MakeInverterChain(6);
+  const auto res = RunScheme(gen, Scheme::kForward, 2);
+  ASSERT_GT(res.sched.repair_solves, 0u);
+  const double avg_repair_iters =
+      static_cast<double>(res.sched.repair_newton_iterations) /
+      static_cast<double>(res.sched.repair_solves);
+  // Hot-started repairs: expect clearly fewer Newton iterations than the 3+
+  // a cold nonlinear solve needs.
+  EXPECT_LT(avg_repair_iters, 3.5);
+}
+
+TEST(Fwp, PredictionToleranceGatesAcceptance) {
+  const auto gen = circuits::MakeRcLadder(30);
+  engine::MnaStructure mna(*gen.circuit);
+  WavePipeOptions strict;
+  strict.scheme = Scheme::kForward;
+  strict.threads = 2;
+  // Rejects everything except exactly-predicted flat stretches.
+  strict.fwp_prediction_tol = 1e-9;
+  const auto res_strict = RunWavePipe(*gen.circuit, mna, gen.spec, strict);
+
+  WavePipeOptions loose = strict;
+  loose.fwp_prediction_tol = 1e9;
+  const auto res_loose = RunWavePipe(*gen.circuit, mna, gen.spec, loose);
+  EXPECT_GT(res_loose.sched.speculative_accepted, 0u);
+  EXPECT_LT(res_strict.sched.speculative_accepted,
+            res_loose.sched.speculative_accepted);
+  EXPECT_LT(res_strict.sched.speculation_acceptance(),
+            res_loose.sched.speculation_acceptance());
+  // Even with an absurdly loose gate, accuracy holds: repairs re-solve
+  // against the true history and the LTE test still accepts/rejects.
+  const auto serial = RunScheme(gen, Scheme::kSerial, 1);
+  EXPECT_LT(engine::Trace::MaxDeviationAll(serial.trace, res_loose.trace), 0.02);
+}
+
+TEST(Fwp, ThreeThreadsSpeculateDeeper) {
+  const auto gen = circuits::MakeRcLadder(40);
+  const auto t2 = RunScheme(gen, Scheme::kForward, 2);
+  const auto t3 = RunScheme(gen, Scheme::kForward, 3);
+  EXPECT_GT(static_cast<double>(t3.sched.speculative_solves) / t3.sched.rounds,
+            static_cast<double>(t2.sched.speculative_solves) / t2.sched.rounds);
+}
+
+TEST(Fwp, CriticalPathShorterThanSerialWork) {
+  const auto gen = circuits::MakeInverterChain(8);
+  const auto fwp = RunScheme(gen, Scheme::kForward, 2);
+  const auto replay = ReplayOnWorkers(fwp.ledger, 2);
+  // Overlap exists: two workers beat one on the same ledger.
+  EXPECT_LT(replay.makespan_seconds, ReplayOnWorkers(fwp.ledger, 1).makespan_seconds);
+}
+
+TEST(Fwp, NoSpeculationAcrossBreakpoints) {
+  // A circuit whose pulse has many corners: accepted repairs must never land
+  // beyond a breakpoint that the leading edge hasn't crossed.  Indirectly
+  // verified: the trace must contain a sample exactly at each corner.
+  const auto gen = circuits::MakeInverterChain(4);
+  const auto res = RunScheme(gen, Scheme::kForward, 3);
+  const auto corners = gen.circuit->CollectBreakpoints(gen.spec.tstart, gen.spec.tstop);
+  for (double corner : corners) {
+    bool found = false;
+    for (std::size_t i = 0; i < res.trace.num_samples(); ++i) {
+      if (std::abs(res.trace.time(i) - corner) < 1e-18 + 1e-12 * corner) found = true;
+    }
+    EXPECT_TRUE(found) << "missing breakpoint sample at " << corner;
+  }
+}
+
+}  // namespace
+}  // namespace wavepipe::pipeline

@@ -1,0 +1,52 @@
+#include "wavepipe/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavepipe::pipeline {
+namespace {
+
+SolveRecord Rec(SolveKind kind, double seconds, std::vector<int> deps = {},
+                bool useful = true) {
+  SolveRecord r;
+  r.kind = kind;
+  r.seconds = seconds;
+  r.deps = std::move(deps);
+  r.useful = useful;
+  r.newton_iterations = 3;
+  return r;
+}
+
+TEST(Ledger, AssignsSequentialIds) {
+  Ledger ledger;
+  EXPECT_EQ(ledger.Add(Rec(SolveKind::kDcop, 1.0)), 0);
+  EXPECT_EQ(ledger.Add(Rec(SolveKind::kLeading, 2.0, {0})), 1);
+  EXPECT_EQ(ledger.size(), 2u);
+}
+
+TEST(Ledger, RejectsForwardDependencies) {
+  Ledger ledger;
+  ledger.Add(Rec(SolveKind::kDcop, 1.0));
+  EXPECT_THROW(ledger.Add(Rec(SolveKind::kLeading, 1.0, {5})), std::logic_error);
+  EXPECT_THROW(ledger.Add(Rec(SolveKind::kLeading, 1.0, {1})), std::logic_error);  // self
+}
+
+TEST(Ledger, Totals) {
+  Ledger ledger;
+  ledger.Add(Rec(SolveKind::kDcop, 1.0));
+  ledger.Add(Rec(SolveKind::kLeading, 2.0, {0}));
+  ledger.Add(Rec(SolveKind::kSpeculative, 4.0, {0}, /*useful=*/false));
+  EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 7.0);
+  EXPECT_DOUBLE_EQ(ledger.UsefulSeconds(), 3.0);
+  EXPECT_EQ(ledger.CountKind(SolveKind::kSpeculative), 1u);
+  EXPECT_EQ(ledger.CountKind(SolveKind::kRepair), 0u);
+  EXPECT_EQ(ledger.TotalNewtonIterations(), 9u);
+}
+
+TEST(Ledger, KindNames) {
+  EXPECT_STREQ(SolveKindName(SolveKind::kDcop), "dcop");
+  EXPECT_STREQ(SolveKindName(SolveKind::kBackward), "backward");
+  EXPECT_STREQ(SolveKindName(SolveKind::kRepair), "repair");
+}
+
+}  // namespace
+}  // namespace wavepipe::pipeline

@@ -1,0 +1,189 @@
+// wavespice: command-line SPICE front end for the WavePipe engine.
+//
+//   wavespice <deck.sp> [options]
+//
+//   --scheme serial|bwp|fwp|combined   pipelining scheme      (default serial)
+//   --threads N                        worker threads          (default 3)
+//   --out FILE.csv                     write probed waveforms  (default stdout table off)
+//   --chart                            ASCII chart of the probes
+//   --stats                            print scheduling/solver statistics
+//   --compare-serial                   also run serial, report deviation + speedup
+//
+// Exit codes: 0 ok, 1 usage, 2 parse/elaboration error, 3 analysis failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "netlist/elaborate.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "wavepipe/virtual_pipeline.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+using namespace wavepipe;
+
+namespace {
+
+struct CliOptions {
+  std::string deck_path;
+  pipeline::Scheme scheme = pipeline::Scheme::kSerial;
+  int threads = 3;
+  std::string csv_out;
+  bool chart = false;
+  bool stats = false;
+  bool compare_serial = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wavespice <deck.sp> [--scheme serial|bwp|fwp|combined] "
+               "[--threads N] [--out file.csv] [--chart] [--stats] "
+               "[--compare-serial]\n");
+  return 1;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--scheme") {
+      const char* v = next();
+      if (!v) return false;
+      if (!std::strcmp(v, "serial")) out->scheme = pipeline::Scheme::kSerial;
+      else if (!std::strcmp(v, "bwp")) out->scheme = pipeline::Scheme::kBackward;
+      else if (!std::strcmp(v, "fwp")) out->scheme = pipeline::Scheme::kForward;
+      else if (!std::strcmp(v, "combined")) out->scheme = pipeline::Scheme::kCombined;
+      else return false;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      out->threads = std::atoi(v);
+      if (out->threads < 1) return false;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      out->csv_out = v;
+    } else if (arg == "--chart") {
+      out->chart = true;
+    } else if (arg == "--stats") {
+      out->stats = true;
+    } else if (arg == "--compare-serial") {
+      out->compare_serial = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (out->deck_path.empty()) {
+      out->deck_path = arg;
+    } else {
+      return false;
+    }
+  }
+  return !out->deck_path.empty();
+}
+
+void WriteCsv(const engine::Trace& trace, const std::string& path) {
+  util::Table table([&] {
+    std::vector<std::string> header{"time"};
+    for (const auto& name : trace.probes().names) header.push_back("v(" + name + ")");
+    return header;
+  }());
+  for (std::size_t i = 0; i < trace.num_samples(); ++i) {
+    std::vector<std::string> row{util::FormatDouble(trace.time(i), 9)};
+    for (std::size_t p = 0; p < trace.probes().size(); ++p) {
+      row.push_back(util::FormatDouble(trace.value(i, p), 9));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.WriteCsv(path);
+  std::printf("wrote %zu samples x %zu probes to %s\n", trace.num_samples(),
+              trace.probes().size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return Usage();
+
+  netlist::ElaboratedCircuit elaborated;
+  try {
+    elaborated = netlist::LoadDeckFile(cli.deck_path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "wavespice: %s\n", e.what());
+    return 2;
+  }
+  if (!elaborated.has_tran) {
+    std::fprintf(stderr, "wavespice: deck has no .tran card\n");
+    return 2;
+  }
+  std::printf("%s: %d unknowns, %zu devices, tran %g..%g s\n",
+              elaborated.title.c_str(), elaborated.circuit->num_unknowns(),
+              elaborated.circuit->num_devices(), elaborated.spec.tstart,
+              elaborated.spec.tstop);
+
+  try {
+    engine::MnaStructure mna(*elaborated.circuit);
+    pipeline::WavePipeOptions options;
+    options.scheme = cli.scheme;
+    options.threads = cli.threads;
+    options.sim = elaborated.sim_options;
+    const auto result =
+        pipeline::RunWavePipe(*elaborated.circuit, mna, elaborated.spec, options);
+
+    std::printf("scheme %s: %zu steps, %zu rounds, %llu Newton iterations, "
+                "dcop via %s, wall %.3f s\n",
+                pipeline::SchemeName(cli.scheme), result.stats.steps_accepted,
+                result.sched.rounds,
+                static_cast<unsigned long long>(result.stats.newton_iterations),
+                result.stats.dcop_strategy.c_str(), result.stats.wall_seconds);
+
+    if (cli.stats) {
+      std::printf("  LTE rejections: %zu, Newton rejections: %zu\n",
+                  result.stats.steps_rejected_lte, result.stats.steps_rejected_newton);
+      std::printf("  LU full factors: %llu, refactors: %llu\n",
+                  static_cast<unsigned long long>(result.stats.lu_full_factors),
+                  static_cast<unsigned long long>(result.stats.lu_refactors));
+      std::printf("  backward solves: %zu, speculative: %zu (accepted %zu, direct %zu)\n",
+                  result.sched.backward_solves, result.sched.speculative_solves,
+                  result.sched.speculative_accepted, result.sched.speculative_direct);
+      const auto replay = pipeline::ReplayOnWorkers(
+          result.ledger, cli.scheme == pipeline::Scheme::kSerial ? 1 : cli.threads);
+      std::printf("  solver CPU: %.4f s, modeled %d-core makespan: %.4f s (util %.0f%%)\n",
+                  replay.busy_seconds, replay.workers, replay.makespan_seconds,
+                  100 * replay.utilization);
+    }
+
+    if (cli.compare_serial && cli.scheme != pipeline::Scheme::kSerial) {
+      pipeline::WavePipeOptions serial_options = options;
+      serial_options.scheme = pipeline::Scheme::kSerial;
+      const auto serial =
+          pipeline::RunWavePipe(*elaborated.circuit, mna, elaborated.spec, serial_options);
+      const double deviation =
+          engine::Trace::MaxDeviationAll(serial.trace, result.trace);
+      const double serial_makespan =
+          pipeline::ReplayOnWorkers(serial.ledger, 1).makespan_seconds;
+      const double scheme_makespan =
+          pipeline::ReplayOnWorkers(result.ledger, cli.threads).makespan_seconds;
+      std::printf("vs serial: max deviation %.3g V, modeled x%d speedup %.2f\n",
+                  deviation, cli.threads, serial_makespan / scheme_makespan);
+    }
+
+    if (cli.chart && result.trace.probes().size() > 0) {
+      util::AsciiChart chart(72, 14);
+      for (std::size_t p = 0; p < result.trace.probes().size() && p < 4; ++p) {
+        chart.AddSeries("v(" + result.trace.probes().names[p] + ")",
+                        result.trace.Series(p));
+      }
+      std::printf("%s", chart.ToString().c_str());
+    }
+
+    if (!cli.csv_out.empty()) WriteCsv(result.trace, cli.csv_out);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "wavespice: analysis failed: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}
