@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_growth"
+  "../bench/bench_abl_growth.pdb"
+  "CMakeFiles/bench_abl_growth.dir/bench_abl_growth.cpp.o"
+  "CMakeFiles/bench_abl_growth.dir/bench_abl_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

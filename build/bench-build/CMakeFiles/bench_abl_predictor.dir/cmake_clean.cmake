@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_predictor"
+  "../bench/bench_abl_predictor.pdb"
+  "CMakeFiles/bench_abl_predictor.dir/bench_abl_predictor.cpp.o"
+  "CMakeFiles/bench_abl_predictor.dir/bench_abl_predictor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_steps"
+  "../bench/bench_fig_steps.pdb"
+  "CMakeFiles/bench_fig_steps.dir/bench_fig_steps.cpp.o"
+  "CMakeFiles/bench_fig_steps.dir/bench_fig_steps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

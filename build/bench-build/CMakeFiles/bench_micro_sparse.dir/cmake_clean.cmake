@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_sparse"
+  "../bench/bench_micro_sparse.pdb"
+  "CMakeFiles/bench_micro_sparse.dir/bench_micro_sparse.cpp.o"
+  "CMakeFiles/bench_micro_sparse.dir/bench_micro_sparse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

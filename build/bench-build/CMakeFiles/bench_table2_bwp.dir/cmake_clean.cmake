@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_bwp"
+  "../bench/bench_table2_bwp.pdb"
+  "CMakeFiles/bench_table2_bwp.dir/bench_table2_bwp.cpp.o"
+  "CMakeFiles/bench_table2_bwp.dir/bench_table2_bwp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_bwp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_fwp"
+  "../bench/bench_table3_fwp.pdb"
+  "CMakeFiles/bench_table3_fwp.dir/bench_table3_fwp.cpp.o"
+  "CMakeFiles/bench_table3_fwp.dir/bench_table3_fwp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fwp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_combined"
+  "../bench/bench_table4_combined.pdb"
+  "CMakeFiles/bench_table4_combined.dir/bench_table4_combined.cpp.o"
+  "CMakeFiles/bench_table4_combined.dir/bench_table4_combined.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_signal.dir/mixed_signal.cpp.o"
+  "CMakeFiles/mixed_signal.dir/mixed_signal.cpp.o.d"
+  "mixed_signal"
+  "mixed_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ring_oscillator.cpp" "examples/CMakeFiles/ring_oscillator.dir/ring_oscillator.cpp.o" "gcc" "examples/CMakeFiles/ring_oscillator.dir/ring_oscillator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wavepipe/CMakeFiles/wp_wavepipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/wp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/wp_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/wp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/wp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/wp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/wp_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_oscillator.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/ring_oscillator.dir/ring_oscillator.cpp.o.d"
+  "ring_oscillator"
+  "ring_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/generators.cpp" "src/circuits/CMakeFiles/wp_circuits.dir/generators.cpp.o" "gcc" "src/circuits/CMakeFiles/wp_circuits.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/wp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/wp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/wp_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

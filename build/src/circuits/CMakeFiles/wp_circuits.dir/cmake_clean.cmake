@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_circuits.dir/generators.cpp.o"
+  "CMakeFiles/wp_circuits.dir/generators.cpp.o.d"
+  "libwp_circuits.a"
+  "libwp_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

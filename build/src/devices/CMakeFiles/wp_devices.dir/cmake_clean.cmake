@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_devices.dir/device.cpp.o"
+  "CMakeFiles/wp_devices.dir/device.cpp.o.d"
+  "CMakeFiles/wp_devices.dir/diode.cpp.o"
+  "CMakeFiles/wp_devices.dir/diode.cpp.o.d"
+  "CMakeFiles/wp_devices.dir/limiting.cpp.o"
+  "CMakeFiles/wp_devices.dir/limiting.cpp.o.d"
+  "CMakeFiles/wp_devices.dir/mosfet.cpp.o"
+  "CMakeFiles/wp_devices.dir/mosfet.cpp.o.d"
+  "CMakeFiles/wp_devices.dir/passive.cpp.o"
+  "CMakeFiles/wp_devices.dir/passive.cpp.o.d"
+  "CMakeFiles/wp_devices.dir/sources.cpp.o"
+  "CMakeFiles/wp_devices.dir/sources.cpp.o.d"
+  "CMakeFiles/wp_devices.dir/waveform.cpp.o"
+  "CMakeFiles/wp_devices.dir/waveform.cpp.o.d"
+  "libwp_devices.a"
+  "libwp_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

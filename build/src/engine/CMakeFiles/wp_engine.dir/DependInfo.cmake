@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/circuit.cpp" "src/engine/CMakeFiles/wp_engine.dir/circuit.cpp.o" "gcc" "src/engine/CMakeFiles/wp_engine.dir/circuit.cpp.o.d"
+  "/root/repo/src/engine/dcop.cpp" "src/engine/CMakeFiles/wp_engine.dir/dcop.cpp.o" "gcc" "src/engine/CMakeFiles/wp_engine.dir/dcop.cpp.o.d"
+  "/root/repo/src/engine/integrator.cpp" "src/engine/CMakeFiles/wp_engine.dir/integrator.cpp.o" "gcc" "src/engine/CMakeFiles/wp_engine.dir/integrator.cpp.o.d"
+  "/root/repo/src/engine/mna.cpp" "src/engine/CMakeFiles/wp_engine.dir/mna.cpp.o" "gcc" "src/engine/CMakeFiles/wp_engine.dir/mna.cpp.o.d"
+  "/root/repo/src/engine/newton.cpp" "src/engine/CMakeFiles/wp_engine.dir/newton.cpp.o" "gcc" "src/engine/CMakeFiles/wp_engine.dir/newton.cpp.o.d"
+  "/root/repo/src/engine/step_control.cpp" "src/engine/CMakeFiles/wp_engine.dir/step_control.cpp.o" "gcc" "src/engine/CMakeFiles/wp_engine.dir/step_control.cpp.o.d"
+  "/root/repo/src/engine/trace.cpp" "src/engine/CMakeFiles/wp_engine.dir/trace.cpp.o" "gcc" "src/engine/CMakeFiles/wp_engine.dir/trace.cpp.o.d"
+  "/root/repo/src/engine/transient.cpp" "src/engine/CMakeFiles/wp_engine.dir/transient.cpp.o" "gcc" "src/engine/CMakeFiles/wp_engine.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/wp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/wp_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_engine.dir/circuit.cpp.o"
+  "CMakeFiles/wp_engine.dir/circuit.cpp.o.d"
+  "CMakeFiles/wp_engine.dir/dcop.cpp.o"
+  "CMakeFiles/wp_engine.dir/dcop.cpp.o.d"
+  "CMakeFiles/wp_engine.dir/integrator.cpp.o"
+  "CMakeFiles/wp_engine.dir/integrator.cpp.o.d"
+  "CMakeFiles/wp_engine.dir/mna.cpp.o"
+  "CMakeFiles/wp_engine.dir/mna.cpp.o.d"
+  "CMakeFiles/wp_engine.dir/newton.cpp.o"
+  "CMakeFiles/wp_engine.dir/newton.cpp.o.d"
+  "CMakeFiles/wp_engine.dir/step_control.cpp.o"
+  "CMakeFiles/wp_engine.dir/step_control.cpp.o.d"
+  "CMakeFiles/wp_engine.dir/trace.cpp.o"
+  "CMakeFiles/wp_engine.dir/trace.cpp.o.d"
+  "CMakeFiles/wp_engine.dir/transient.cpp.o"
+  "CMakeFiles/wp_engine.dir/transient.cpp.o.d"
+  "libwp_engine.a"
+  "libwp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

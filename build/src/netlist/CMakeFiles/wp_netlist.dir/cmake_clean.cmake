@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_netlist.dir/elaborate.cpp.o"
+  "CMakeFiles/wp_netlist.dir/elaborate.cpp.o.d"
+  "CMakeFiles/wp_netlist.dir/lexer.cpp.o"
+  "CMakeFiles/wp_netlist.dir/lexer.cpp.o.d"
+  "CMakeFiles/wp_netlist.dir/parser.cpp.o"
+  "CMakeFiles/wp_netlist.dir/parser.cpp.o.d"
+  "libwp_netlist.a"
+  "libwp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

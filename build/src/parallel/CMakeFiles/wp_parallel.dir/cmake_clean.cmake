@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_parallel.dir/fine_grained.cpp.o"
+  "CMakeFiles/wp_parallel.dir/fine_grained.cpp.o.d"
+  "libwp_parallel.a"
+  "libwp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csc.cpp" "src/sparse/CMakeFiles/wp_sparse.dir/csc.cpp.o" "gcc" "src/sparse/CMakeFiles/wp_sparse.dir/csc.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/wp_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/wp_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/lu.cpp" "src/sparse/CMakeFiles/wp_sparse.dir/lu.cpp.o" "gcc" "src/sparse/CMakeFiles/wp_sparse.dir/lu.cpp.o.d"
+  "/root/repo/src/sparse/ordering.cpp" "src/sparse/CMakeFiles/wp_sparse.dir/ordering.cpp.o" "gcc" "src/sparse/CMakeFiles/wp_sparse.dir/ordering.cpp.o.d"
+  "/root/repo/src/sparse/triplet.cpp" "src/sparse/CMakeFiles/wp_sparse.dir/triplet.cpp.o" "gcc" "src/sparse/CMakeFiles/wp_sparse.dir/triplet.cpp.o.d"
+  "/root/repo/src/sparse/vector_ops.cpp" "src/sparse/CMakeFiles/wp_sparse.dir/vector_ops.cpp.o" "gcc" "src/sparse/CMakeFiles/wp_sparse.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_sparse.dir/csc.cpp.o"
+  "CMakeFiles/wp_sparse.dir/csc.cpp.o.d"
+  "CMakeFiles/wp_sparse.dir/dense.cpp.o"
+  "CMakeFiles/wp_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/wp_sparse.dir/lu.cpp.o"
+  "CMakeFiles/wp_sparse.dir/lu.cpp.o.d"
+  "CMakeFiles/wp_sparse.dir/ordering.cpp.o"
+  "CMakeFiles/wp_sparse.dir/ordering.cpp.o.d"
+  "CMakeFiles/wp_sparse.dir/triplet.cpp.o"
+  "CMakeFiles/wp_sparse.dir/triplet.cpp.o.d"
+  "CMakeFiles/wp_sparse.dir/vector_ops.cpp.o"
+  "CMakeFiles/wp_sparse.dir/vector_ops.cpp.o.d"
+  "libwp_sparse.a"
+  "libwp_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

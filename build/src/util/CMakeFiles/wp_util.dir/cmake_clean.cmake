@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_util.dir/log.cpp.o"
+  "CMakeFiles/wp_util.dir/log.cpp.o.d"
+  "CMakeFiles/wp_util.dir/strings.cpp.o"
+  "CMakeFiles/wp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/wp_util.dir/table.cpp.o"
+  "CMakeFiles/wp_util.dir/table.cpp.o.d"
+  "CMakeFiles/wp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/wp_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/wp_util.dir/timer.cpp.o"
+  "CMakeFiles/wp_util.dir/timer.cpp.o.d"
+  "libwp_util.a"
+  "libwp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavepipe/bwp.cpp" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/bwp.cpp.o" "gcc" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/bwp.cpp.o.d"
+  "/root/repo/src/wavepipe/combined.cpp" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/combined.cpp.o" "gcc" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/combined.cpp.o.d"
+  "/root/repo/src/wavepipe/driver.cpp" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/driver.cpp.o" "gcc" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/driver.cpp.o.d"
+  "/root/repo/src/wavepipe/fwp.cpp" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/fwp.cpp.o" "gcc" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/fwp.cpp.o.d"
+  "/root/repo/src/wavepipe/ledger.cpp" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/ledger.cpp.o" "gcc" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/ledger.cpp.o.d"
+  "/root/repo/src/wavepipe/serial.cpp" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/serial.cpp.o" "gcc" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/serial.cpp.o.d"
+  "/root/repo/src/wavepipe/virtual_pipeline.cpp" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/virtual_pipeline.cpp.o" "gcc" "src/wavepipe/CMakeFiles/wp_wavepipe.dir/virtual_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/wp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/wp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/wp_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

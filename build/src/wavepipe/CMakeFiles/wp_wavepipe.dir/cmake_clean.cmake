@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_wavepipe.dir/bwp.cpp.o"
+  "CMakeFiles/wp_wavepipe.dir/bwp.cpp.o.d"
+  "CMakeFiles/wp_wavepipe.dir/combined.cpp.o"
+  "CMakeFiles/wp_wavepipe.dir/combined.cpp.o.d"
+  "CMakeFiles/wp_wavepipe.dir/driver.cpp.o"
+  "CMakeFiles/wp_wavepipe.dir/driver.cpp.o.d"
+  "CMakeFiles/wp_wavepipe.dir/fwp.cpp.o"
+  "CMakeFiles/wp_wavepipe.dir/fwp.cpp.o.d"
+  "CMakeFiles/wp_wavepipe.dir/ledger.cpp.o"
+  "CMakeFiles/wp_wavepipe.dir/ledger.cpp.o.d"
+  "CMakeFiles/wp_wavepipe.dir/serial.cpp.o"
+  "CMakeFiles/wp_wavepipe.dir/serial.cpp.o.d"
+  "CMakeFiles/wp_wavepipe.dir/virtual_pipeline.cpp.o"
+  "CMakeFiles/wp_wavepipe.dir/virtual_pipeline.cpp.o.d"
+  "libwp_wavepipe.a"
+  "libwp_wavepipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_wavepipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

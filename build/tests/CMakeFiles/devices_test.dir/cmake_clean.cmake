@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_test.dir/devices/diode_test.cpp.o"
+  "CMakeFiles/devices_test.dir/devices/diode_test.cpp.o.d"
+  "CMakeFiles/devices_test.dir/devices/limiting_test.cpp.o"
+  "CMakeFiles/devices_test.dir/devices/limiting_test.cpp.o.d"
+  "CMakeFiles/devices_test.dir/devices/mosfet_test.cpp.o"
+  "CMakeFiles/devices_test.dir/devices/mosfet_test.cpp.o.d"
+  "CMakeFiles/devices_test.dir/devices/passive_test.cpp.o"
+  "CMakeFiles/devices_test.dir/devices/passive_test.cpp.o.d"
+  "CMakeFiles/devices_test.dir/devices/sources_test.cpp.o"
+  "CMakeFiles/devices_test.dir/devices/sources_test.cpp.o.d"
+  "CMakeFiles/devices_test.dir/devices/waveform_test.cpp.o"
+  "CMakeFiles/devices_test.dir/devices/waveform_test.cpp.o.d"
+  "devices_test"
+  "devices_test.pdb"
+  "devices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/circuit_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/circuit_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/dcop_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/dcop_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/history_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/history_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/integrator_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/integrator_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/mna_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/mna_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/newton_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/newton_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/step_control_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/step_control_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/trace_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/trace_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/transient_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/transient_test.cpp.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

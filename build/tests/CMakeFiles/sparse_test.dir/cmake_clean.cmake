@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_test.dir/sparse/csc_test.cpp.o"
+  "CMakeFiles/sparse_test.dir/sparse/csc_test.cpp.o.d"
+  "CMakeFiles/sparse_test.dir/sparse/dense_test.cpp.o"
+  "CMakeFiles/sparse_test.dir/sparse/dense_test.cpp.o.d"
+  "CMakeFiles/sparse_test.dir/sparse/lu_test.cpp.o"
+  "CMakeFiles/sparse_test.dir/sparse/lu_test.cpp.o.d"
+  "CMakeFiles/sparse_test.dir/sparse/ordering_test.cpp.o"
+  "CMakeFiles/sparse_test.dir/sparse/ordering_test.cpp.o.d"
+  "CMakeFiles/sparse_test.dir/sparse/triplet_test.cpp.o"
+  "CMakeFiles/sparse_test.dir/sparse/triplet_test.cpp.o.d"
+  "CMakeFiles/sparse_test.dir/sparse/vector_ops_test.cpp.o"
+  "CMakeFiles/sparse_test.dir/sparse/vector_ops_test.cpp.o.d"
+  "sparse_test"
+  "sparse_test.pdb"
+  "sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

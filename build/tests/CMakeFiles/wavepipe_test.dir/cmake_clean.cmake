@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepipe_test.dir/wavepipe/bwp_test.cpp.o"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/bwp_test.cpp.o.d"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/equivalence_test.cpp.o"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/equivalence_test.cpp.o.d"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/fwp_test.cpp.o"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/fwp_test.cpp.o.d"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/ledger_test.cpp.o"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/ledger_test.cpp.o.d"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/virtual_pipeline_test.cpp.o"
+  "CMakeFiles/wavepipe_test.dir/wavepipe/virtual_pipeline_test.cpp.o.d"
+  "wavepipe_test"
+  "wavepipe_test.pdb"
+  "wavepipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavespice.dir/wavespice.cpp.o"
+  "CMakeFiles/wavespice.dir/wavespice.cpp.o.d"
+  "wavespice"
+  "wavespice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavespice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
