@@ -31,6 +31,18 @@ class Device {
   virtual void DeclarePattern(PatternBuilder& pattern) = 0;
   virtual void Eval(EvalContext& ctx) const = 0;
 
+  /// Appends every Jacobian value slot and every RHS row this device's
+  /// Eval() may ever write (a superset over all operating regions).  Valid
+  /// only after DeclarePattern() has resolved slot ids.  Ground writes
+  /// (slot/row -1) may be included; consumers must ignore them.
+  ///
+  /// This is the conflict footprint the parallel assembly coloring is built
+  /// from: two devices whose footprints are disjoint can stamp the shared
+  /// matrix concurrently.  State and limiting slots are excluded on purpose —
+  /// they are claimed per device during Bind() and never shared.
+  virtual void StampFootprint(std::vector<int>& jacobian_slots,
+                              std::vector<int>& rhs_rows) const = 0;
+
   /// Appends to `out` every time in (t0, t1] where this device's behaviour
   /// has a corner (source edges, PWL knots).  The transient loop lands a
   /// time point exactly on each breakpoint and resets the step size there.
@@ -70,6 +82,10 @@ struct ConductanceSlots {
     ctx.AddJacobian(np, -g);
     ctx.AddJacobian(nn, g);
   }
+
+  void AppendTo(std::vector<int>& slots) const {
+    slots.insert(slots.end(), {pp, pn, np, nn});
+  }
 };
 
 /// Stamps a transconductance block: current g*(Vcp - Vcn) injected from
@@ -89,6 +105,10 @@ struct TransconductanceSlots {
     ctx.AddJacobian(pcn, -gm);
     ctx.AddJacobian(ncp, -gm);
     ctx.AddJacobian(ncn, gm);
+  }
+
+  void AppendTo(std::vector<int>& slots) const {
+    slots.insert(slots.end(), {pcp, pcn, ncp, ncn});
   }
 };
 

@@ -120,4 +120,10 @@ void Diode::Eval(EvalContext& ctx) const {
   }
 }
 
+void Diode::StampFootprint(std::vector<int>& jacobian_slots,
+                           std::vector<int>& rhs_rows) const {
+  slots_.AppendTo(jacobian_slots);
+  rhs_rows.insert(rhs_rows.end(), {p_, n_});
+}
+
 }  // namespace wavepipe::devices

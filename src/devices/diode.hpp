@@ -34,6 +34,8 @@ class Diode final : public Device {
   void Bind(Binder& binder) override;
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   bool is_nonlinear() const override { return true; }
   int pattern_size() const override { return 4; }
 

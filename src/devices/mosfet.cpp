@@ -246,4 +246,14 @@ void Mosfet::Eval(EvalContext& ctx) const {
   }
 }
 
+void Mosfet::StampFootprint(std::vector<int>& jacobian_slots,
+                            std::vector<int>& rhs_rows) const {
+  // Eval() may touch any of the 16 block slots depending on region/caps;
+  // report the full block so the footprint is a superset in every regime.
+  for (const auto& row : slot_) {
+    jacobian_slots.insert(jacobian_slots.end(), row, row + 4);
+  }
+  rhs_rows.insert(rhs_rows.end(), {d_, g_, s_, b_});
+}
+
 }  // namespace wavepipe::devices

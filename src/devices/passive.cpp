@@ -18,6 +18,12 @@ void Resistor::DeclarePattern(PatternBuilder& pattern) { slots_.Declare(pattern,
 
 void Resistor::Eval(EvalContext& ctx) const { slots_.Stamp(ctx, conductance_); }
 
+void Resistor::StampFootprint(std::vector<int>& jacobian_slots,
+                              std::vector<int>& rhs_rows) const {
+  (void)rhs_rows;
+  slots_.AppendTo(jacobian_slots);
+}
+
 // --------------------------------------------------------------- Capacitor
 
 Capacitor::Capacitor(std::string name, int p, int n, double capacitance)
@@ -39,6 +45,12 @@ void Capacitor::Eval(EvalContext& ctx) const {
   const double ieq = i - geq * v;
   ctx.AddRhs(p_, -ieq);
   ctx.AddRhs(n_, ieq);
+}
+
+void Capacitor::StampFootprint(std::vector<int>& jacobian_slots,
+                               std::vector<int>& rhs_rows) const {
+  slots_.AppendTo(jacobian_slots);
+  rhs_rows.insert(rhs_rows.end(), {p_, n_});
 }
 
 // ---------------------------------------------------------------- Inductor
@@ -76,6 +88,13 @@ void Inductor::Eval(EvalContext& ctx) const {
   ctx.AddRhs(branch_, flux_dot - ctx.a0 * flux);
 }
 
+void Inductor::StampFootprint(std::vector<int>& jacobian_slots,
+                              std::vector<int>& rhs_rows) const {
+  jacobian_slots.insert(jacobian_slots.end(),
+                        {slot_pb_, slot_nb_, slot_bp_, slot_bn_, slot_bb_});
+  rhs_rows.push_back(branch_);
+}
+
 // ------------------------------------------------------- MutualInductance
 
 MutualInductance::MutualInductance(std::string name, std::string inductor1,
@@ -110,6 +129,12 @@ void MutualInductance::Eval(EvalContext& ctx) const {
   ctx.AddJacobian(slot_b2b1_, -ctx.a0 * mutual_);
   ctx.AddRhs(branch1_, q12_dot - ctx.a0 * q12);
   ctx.AddRhs(branch2_, q21_dot - ctx.a0 * q21);
+}
+
+void MutualInductance::StampFootprint(std::vector<int>& jacobian_slots,
+                                      std::vector<int>& rhs_rows) const {
+  jacobian_slots.insert(jacobian_slots.end(), {slot_b1b2_, slot_b2b1_});
+  rhs_rows.insert(rhs_rows.end(), {branch1_, branch2_});
 }
 
 }  // namespace wavepipe::devices

@@ -15,6 +15,8 @@ class Resistor final : public Device {
   void Bind(Binder& binder) override {}
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 4; }
 
   double resistance() const { return resistance_; }
@@ -35,6 +37,8 @@ class Capacitor final : public Device {
   void Bind(Binder& binder) override;
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 4; }
 
   double capacitance() const { return capacitance_; }
@@ -56,6 +60,8 @@ class Inductor final : public Device {
   void Bind(Binder& binder) override;
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 5; }
 
   double inductance() const { return inductance_; }
@@ -79,6 +85,8 @@ class MutualInductance final : public Device {
   void Bind(Binder& binder) override;
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 2; }
 
   double mutual() const { return mutual_; }

@@ -30,6 +30,12 @@ void VoltageSource::Eval(EvalContext& ctx) const {
   ctx.AddRhs(branch_, ctx.source_scale * value);
 }
 
+void VoltageSource::StampFootprint(std::vector<int>& jacobian_slots,
+                                   std::vector<int>& rhs_rows) const {
+  jacobian_slots.insert(jacobian_slots.end(), {slot_pb_, slot_nb_, slot_bp_, slot_bn_});
+  rhs_rows.push_back(branch_);
+}
+
 void VoltageSource::CollectBreakpoints(double t0, double t1,
                                        std::vector<double>& out) const {
   waveform_->CollectBreakpoints(t0, t1, out);
@@ -48,6 +54,12 @@ void CurrentSource::Eval(EvalContext& ctx) const {
   const double i = ctx.source_scale * value;
   ctx.AddRhs(p_, -i);
   ctx.AddRhs(n_, i);
+}
+
+void CurrentSource::StampFootprint(std::vector<int>& jacobian_slots,
+                                   std::vector<int>& rhs_rows) const {
+  (void)jacobian_slots;
+  rhs_rows.insert(rhs_rows.end(), {p_, n_});
 }
 
 void CurrentSource::CollectBreakpoints(double t0, double t1,
@@ -81,6 +93,13 @@ void Vcvs::Eval(EvalContext& ctx) const {
   ctx.AddJacobian(slot_bcn_, gain_);
 }
 
+void Vcvs::StampFootprint(std::vector<int>& jacobian_slots,
+                          std::vector<int>& rhs_rows) const {
+  (void)rhs_rows;
+  jacobian_slots.insert(jacobian_slots.end(),
+                        {slot_pb_, slot_nb_, slot_bp_, slot_bn_, slot_bcp_, slot_bcn_});
+}
+
 // --------------------------------------------------------------------- Vccs
 
 Vccs::Vccs(std::string name, int p, int n, int cp, int cn, double gm)
@@ -91,6 +110,12 @@ void Vccs::DeclarePattern(PatternBuilder& pattern) {
 }
 
 void Vccs::Eval(EvalContext& ctx) const { slots_.Stamp(ctx, gm_); }
+
+void Vccs::StampFootprint(std::vector<int>& jacobian_slots,
+                          std::vector<int>& rhs_rows) const {
+  (void)rhs_rows;
+  slots_.AppendTo(jacobian_slots);
+}
 
 // --------------------------------------------------------------------- Cccs
 
@@ -108,6 +133,12 @@ void Cccs::DeclarePattern(PatternBuilder& pattern) {
 void Cccs::Eval(EvalContext& ctx) const {
   ctx.AddJacobian(slot_pb_, gain_);
   ctx.AddJacobian(slot_nb_, -gain_);
+}
+
+void Cccs::StampFootprint(std::vector<int>& jacobian_slots,
+                          std::vector<int>& rhs_rows) const {
+  (void)rhs_rows;
+  jacobian_slots.insert(jacobian_slots.end(), {slot_pb_, slot_nb_});
 }
 
 // --------------------------------------------------------------------- Ccvs
@@ -140,6 +171,13 @@ void Ccvs::Eval(EvalContext& ctx) const {
   ctx.AddJacobian(slot_bp_, 1.0);
   ctx.AddJacobian(slot_bn_, -1.0);
   ctx.AddJacobian(slot_bs_, -transresistance_);
+}
+
+void Ccvs::StampFootprint(std::vector<int>& jacobian_slots,
+                          std::vector<int>& rhs_rows) const {
+  (void)rhs_rows;
+  jacobian_slots.insert(jacobian_slots.end(),
+                        {slot_pb_, slot_nb_, slot_bp_, slot_bn_, slot_bs_});
 }
 
 }  // namespace wavepipe::devices

@@ -19,6 +19,8 @@ class VoltageSource final : public Device {
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
   void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 4; }
 
   int branch() const { return branch_; }
@@ -40,6 +42,8 @@ class CurrentSource final : public Device {
   void DeclarePattern(PatternBuilder&) override {}
   void Eval(EvalContext& ctx) const override;
   void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 0; }
 
  private:
@@ -55,6 +59,8 @@ class Vcvs final : public Device {
   void Bind(Binder& binder) override;
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 6; }
 
   int branch() const { return branch_; }
@@ -75,6 +81,8 @@ class Vccs final : public Device {
   void Bind(Binder&) override {}
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 4; }
 
  private:
@@ -91,6 +99,8 @@ class Cccs final : public Device {
   void Bind(Binder& binder) override;
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 2; }
 
  private:
@@ -109,6 +119,8 @@ class Ccvs final : public Device {
   void Bind(Binder& binder) override;
   void DeclarePattern(PatternBuilder& pattern) override;
   void Eval(EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
   int pattern_size() const override { return 5; }
 
  private:

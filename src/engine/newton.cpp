@@ -24,26 +24,31 @@ SolveContext::SolveContext(const Circuit& circuit, const MnaStructure& structure
 
 void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid,
                  bool first_iteration) {
-  ctx.matrix.ZeroValues();
-  std::fill(ctx.rhs.begin(), ctx.rhs.end(), 0.0);
+  if (ctx.assembler != nullptr) {
+    // Delegated zero+stamp (e.g. colored conflict-free parallel assembly).
+    ctx.assembler->Assemble(ctx, inputs, limit_valid, first_iteration);
+  } else {
+    ctx.matrix.ZeroValues();
+    std::fill(ctx.rhs.begin(), ctx.rhs.end(), 0.0);
 
-  devices::EvalContext eval;
-  eval.time = inputs.time;
-  eval.a0 = inputs.a0;
-  eval.transient = inputs.transient;
-  eval.first_iteration = first_iteration;
-  eval.gmin = inputs.gmin;
-  eval.source_scale = inputs.source_scale;
-  eval.x = ctx.x;
-  eval.jacobian_values = ctx.matrix.mutable_values();
-  eval.rhs = ctx.rhs;
-  eval.state_now = ctx.state_now;
-  eval.state_hist = ctx.state_hist;
-  eval.limit_prev = ctx.limit_a;
-  eval.limit_now = ctx.limit_b;
-  eval.limit_valid = limit_valid;
+    devices::EvalContext eval;
+    eval.time = inputs.time;
+    eval.a0 = inputs.a0;
+    eval.transient = inputs.transient;
+    eval.first_iteration = first_iteration;
+    eval.gmin = inputs.gmin;
+    eval.source_scale = inputs.source_scale;
+    eval.x = ctx.x;
+    eval.jacobian_values = ctx.matrix.mutable_values();
+    eval.rhs = ctx.rhs;
+    eval.state_now = ctx.state_now;
+    eval.state_hist = ctx.state_hist;
+    eval.limit_prev = ctx.limit_a;
+    eval.limit_now = ctx.limit_b;
+    eval.limit_valid = limit_valid;
 
-  for (const auto& device : ctx.circuit().devices()) device->Eval(eval);
+    for (const auto& device : ctx.circuit().devices()) device->Eval(eval);
+  }
 
   // Gmin-stepping shunt: conductance from every node to ground.  Stamped
   // after devices so it can't be overwritten.
@@ -88,7 +93,7 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
     stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
 
     std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
-    ctx.lu.Solve(ctx.x_new);
+    ctx.lu.Solve(ctx.x_new, ctx.lu_work);
 
     // Weighted max-norm convergence test (SPICE-style).
     double worst = 0.0;

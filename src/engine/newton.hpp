@@ -24,6 +24,42 @@ struct NewtonStats {
   int lu_refactors = 0;
 };
 
+struct NewtonInputs;
+class SolveContext;
+
+/// How an attached assembler spent its time and what it decided — surfaced
+/// through FineGrainedResult / WavePipeResult so benches can report the
+/// coloring-vs-reduction split without reaching into parallel internals.
+struct AssemblyStats {
+  const char* strategy = "serial";  ///< "serial", "reduction", or "colored"
+  int colors = 0;                   ///< color phases (0 = not colored)
+  std::size_t conflict_edges = 0;   ///< device-conflict graph edges
+  int max_degree = 0;               ///< max conflict degree over devices
+  std::uint64_t passes = 0;         ///< assembly passes executed
+  double zero_seconds = 0.0;        ///< zeroing matrix/RHS (shared or private)
+  double stamp_seconds = 0.0;       ///< device evaluation proper
+  double merge_seconds = 0.0;       ///< reduction sweep or color barriers
+};
+
+/// Strategy hook for the device-evaluation half of EvalDevices().  A
+/// SolveContext with an attached assembler delegates the zero+stamp work to
+/// it — this is how the colored conflict-free assembler (src/parallel)
+/// drops into the serial Newton loop and into every pipelined WavePipe
+/// solve without the engine depending on the parallel layer.
+///
+/// Contract: Assemble() must leave ctx.matrix / ctx.rhs / ctx.state_now /
+/// ctx.limit_b exactly as the serial device loop would (gshunt, nodesets and
+/// the limit swap stay with EvalDevices).  Implementations must be safe to
+/// call concurrently on DIFFERENT contexts (WavePipe workers share one
+/// assembler across their per-slot contexts).
+class DeviceAssembler {
+ public:
+  virtual ~DeviceAssembler() = default;
+  virtual void Assemble(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid,
+                        bool first_iteration) = 0;
+  virtual AssemblyStats stats() const = 0;
+};
+
 class SolveContext {
  public:
   SolveContext(const Circuit& circuit, const MnaStructure& structure);
@@ -41,6 +77,11 @@ class SolveContext {
   std::vector<double> state_hist;  ///< integrator history term per state
   std::vector<double> limit_a, limit_b;
   sparse::SparseLu lu;
+  std::vector<double> lu_work;  ///< per-context Solve() scratch (thread-safe LU)
+
+  /// Optional assembly strategy; null = serial device loop.  Not owned — the
+  /// creator (fine-grained evaluator, WavePipe driver) keeps it alive.
+  DeviceAssembler* assembler = nullptr;
 
   std::uint64_t total_newton_iterations = 0;  ///< lifetime counter
 

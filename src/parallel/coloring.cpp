@@ -1,0 +1,445 @@
+#include "parallel/coloring.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace wavepipe::parallel {
+namespace {
+
+/// Below this many devices a color phase is stamped inline by the calling
+/// thread: a fork/join barrier costs more than evaluating a handful of
+/// devices.  Chosen conservatively; affects speed only, never results.
+constexpr std::size_t kMinDevicesPerChunk = 8;
+
+/// One fork/join barrier expressed in memory-write units for the structure-
+/// only cost model (a submit + future wait is roughly a microsecond; a write
+/// a couple of nanoseconds).  Deliberately pessimistic toward coloring so
+/// the automatic mode only leaves the proven reduction path when the win is
+/// clear.
+constexpr double kBarrierWriteUnits = 512.0;
+
+devices::EvalContext MakeEval(engine::SolveContext& ctx, const engine::NewtonInputs& inputs,
+                              bool limit_valid, bool first_iteration,
+                              std::span<double> jacobian, std::span<double> rhs) {
+  devices::EvalContext eval;
+  eval.time = inputs.time;
+  eval.a0 = inputs.a0;
+  eval.transient = inputs.transient;
+  eval.first_iteration = first_iteration;
+  eval.gmin = inputs.gmin;
+  eval.source_scale = inputs.source_scale;
+  eval.x = ctx.x;
+  eval.jacobian_values = jacobian;
+  eval.rhs = rhs;
+  // State and limiting slots are disjoint per device (claimed in Bind), so
+  // the shared arrays are safe under any device partition.
+  eval.state_now = ctx.state_now;
+  eval.state_hist = ctx.state_hist;
+  eval.limit_prev = ctx.limit_a;
+  eval.limit_now = ctx.limit_b;
+  eval.limit_valid = limit_valid;
+  return eval;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- footprint
+
+StampFootprintSet FootprintOf(const devices::Device& device,
+                              const engine::MnaStructure& structure) {
+  StampFootprintSet fp;
+  device.StampFootprint(fp.jacobian_slots, fp.rhs_rows);
+
+  auto drop_ground = [](std::vector<int>& v) {
+    v.erase(std::remove_if(v.begin(), v.end(), [](int id) { return id < 0; }), v.end());
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  drop_ground(fp.jacobian_slots);
+  drop_ground(fp.rhs_rows);
+
+  const int nnz = static_cast<int>(structure.nnz());
+  fp.resources = fp.jacobian_slots;
+  fp.resources.reserve(fp.jacobian_slots.size() + fp.rhs_rows.size());
+  for (int row : fp.rhs_rows) fp.resources.push_back(nnz + row);
+  return fp;
+}
+
+// ----------------------------------------------------------------- coloring
+
+std::size_t ColorSchedule::widest_color() const {
+  std::size_t widest = 0;
+  for (int c = 0; c < num_colors(); ++c) {
+    widest = std::max(widest, ColorDevices(c).size());
+  }
+  return widest;
+}
+
+ColorSchedule BuildColorSchedule(const engine::Circuit& circuit,
+                                 const engine::MnaStructure& structure,
+                                 ColoringOptions options) {
+  WP_ASSERT(circuit.finalized());
+  const auto& devices = circuit.devices();
+  const std::size_t num_devices = devices.size();
+
+  // Resource -> touching devices.  Resource ids merge Jacobian slots and RHS
+  // rows (see FootprintOf); counting sort keeps this O(writes).
+  const std::size_t num_resources =
+      structure.nnz() + static_cast<std::size_t>(structure.dimension());
+  std::vector<std::vector<int>> touchers(num_resources);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    const StampFootprintSet fp = FootprintOf(*devices[d], structure);
+    for (int res : fp.resources) {
+      touchers[static_cast<std::size_t>(res)].push_back(static_cast<int>(d));
+    }
+  }
+
+  // Adjacency: all pairs within one resource's toucher list conflict.  A
+  // dense node (every device on a supply rail) degenerates into a clique;
+  // that's expected — the cost model rejects coloring there.
+  std::vector<std::vector<int>> adj(num_devices);
+  for (const auto& group : touchers) {
+    for (std::size_t i = 0; i + 1 < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        adj[static_cast<std::size_t>(group[i])].push_back(group[j]);
+        adj[static_cast<std::size_t>(group[j])].push_back(group[i]);
+      }
+    }
+  }
+  ColorSchedule schedule;
+  schedule.strategy_ = options.strategy;
+  schedule.color_of_.assign(num_devices, -1);
+  for (auto& neighbors : adj) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()), neighbors.end());
+    schedule.max_degree_ = std::max(schedule.max_degree_, static_cast<int>(neighbors.size()));
+    schedule.conflict_edges_ += neighbors.size();
+  }
+  schedule.conflict_edges_ /= 2;
+
+  int num_colors = 0;
+  if (options.strategy == ColorStrategy::kLargestDegreeFirst) {
+    // Welsh–Powell greedy: color in (degree desc, index asc) order with the
+    // smallest color absent from the already-colored neighborhood.
+    std::vector<int> order(num_devices);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&adj](int a, int b) {
+      return adj[static_cast<std::size_t>(a)].size() >
+             adj[static_cast<std::size_t>(b)].size();
+    });
+    std::vector<int> forbidden(num_devices, -1);  // color -> stamp of last use
+    for (int v : order) {
+      for (int neighbor : adj[static_cast<std::size_t>(v)]) {
+        const int c = schedule.color_of_[static_cast<std::size_t>(neighbor)];
+        if (c >= 0) forbidden[static_cast<std::size_t>(c)] = v;
+      }
+      int color = 0;
+      while (forbidden[static_cast<std::size_t>(color)] == v) ++color;
+      schedule.color_of_[static_cast<std::size_t>(v)] = color;
+      num_colors = std::max(num_colors, color + 1);
+    }
+  } else {
+    // Order-preserving layering: a device lands one layer above every
+    // earlier device it conflicts with.  Colors executed in ascending order
+    // then replay each shared slot's accumulation in exact device order —
+    // the bit-identity invariant the verification tests pin down.
+    for (std::size_t d = 0; d < num_devices; ++d) {
+      int color = 0;
+      for (int neighbor : adj[d]) {
+        if (static_cast<std::size_t>(neighbor) < d) {
+          color = std::max(color, schedule.color_of_[static_cast<std::size_t>(neighbor)] + 1);
+        }
+      }
+      schedule.color_of_[d] = color;
+      num_colors = std::max(num_colors, color + 1);
+    }
+  }
+
+  schedule.color_begin_.assign(static_cast<std::size_t>(num_colors) + 1, 0);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    ++schedule.color_begin_[static_cast<std::size_t>(schedule.color_of_[d]) + 1];
+  }
+  for (int c = 0; c < num_colors; ++c) {
+    schedule.color_begin_[static_cast<std::size_t>(c) + 1] +=
+        schedule.color_begin_[static_cast<std::size_t>(c)];
+  }
+  schedule.device_order_.resize(num_devices);
+  std::vector<int> cursor(schedule.color_begin_.begin(), schedule.color_begin_.end() - 1);
+  for (std::size_t d = 0; d < num_devices; ++d) {  // ascending index per color
+    schedule.device_order_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(schedule.color_of_[d])]++)] = static_cast<int>(d);
+  }
+  return schedule;
+}
+
+// --------------------------------------------------------------- cost model
+
+AssemblyCostEstimate CompareAssemblyCosts(const ColorSchedule& schedule,
+                                          const engine::MnaStructure& structure,
+                                          int threads) {
+  const double k = static_cast<double>(std::max(1, threads));
+  const double sweep =
+      static_cast<double>(structure.nnz()) + static_cast<double>(structure.dimension());
+  AssemblyCostEstimate est;
+  // Critical-path overhead per assembly pass, in write units.  The stamping
+  // itself is identical work in both paths and cancels.
+  //   reduction: zero k private copies (parallel, ~1 sweep) + serial merge
+  //              of k copies.
+  //   colored:   zero the shared copy (parallel) + one barrier per color.
+  est.reduction = (k + 1.0) * sweep;
+  est.colored = sweep / k + static_cast<double>(schedule.num_colors()) * kBarrierWriteUnits;
+  est.prefer_colored =
+      threads > 1 && schedule.num_devices() > 0 && est.colored < est.reduction;
+  return est;
+}
+
+double ModelAssemblySeconds(const engine::AssemblyStats& measured, int threads) {
+  const double k = static_cast<double>(std::max(1, threads));
+  if (std::strcmp(measured.strategy, "reduction") == 0) {
+    return measured.zero_seconds + measured.stamp_seconds / k + measured.merge_seconds * k;
+  }
+  if (std::strcmp(measured.strategy, "colored") == 0) {
+    return (measured.zero_seconds + measured.stamp_seconds) / k + measured.merge_seconds;
+  }
+  return measured.zero_seconds + measured.stamp_seconds + measured.merge_seconds;
+}
+
+// --------------------------------------------------------------- assemblers
+
+namespace {
+
+/// Shared bookkeeping: thread pool ownership + mutex-guarded stats.
+class AssemblerBase : public engine::DeviceAssembler {
+ public:
+  AssemblerBase(const engine::Circuit& circuit, const engine::MnaStructure& structure,
+                int threads)
+      : circuit_(circuit), structure_(structure), threads_(std::max(1, threads)) {
+    if (threads_ > 1) pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(threads_));
+  }
+
+  engine::AssemblyStats stats() const override {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
+
+ protected:
+  void AddTimings(double zero, double stamp, double merge) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.passes += 1;
+    stats_.zero_seconds += zero;
+    stats_.stamp_seconds += stamp;
+    stats_.merge_seconds += merge;
+  }
+
+  const engine::Circuit& circuit_;
+  const engine::MnaStructure& structure_;
+  int threads_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  mutable std::mutex stats_mutex_;
+  engine::AssemblyStats stats_;
+};
+
+/// The old fine-grained baseline, behind the DeviceAssembler interface:
+/// contiguous device chunks accumulate into private full-size Jacobian/RHS
+/// copies, merged serially afterwards.  Owns the private buffers, so it can
+/// only drive one SolveContext at a time.
+class ReductionAssembler final : public AssemblerBase {
+ public:
+  ReductionAssembler(const engine::Circuit& circuit, const engine::MnaStructure& structure,
+                     int threads)
+      : AssemblerBase(circuit, structure, threads) {
+    stats_.strategy = "reduction";
+    const std::size_t num_devices = circuit.devices().size();
+    const std::size_t per_chunk =
+        (num_devices + static_cast<std::size_t>(threads_) - 1) /
+        static_cast<std::size_t>(std::max(1, threads_));
+    for (std::size_t begin = 0; begin < num_devices; begin += per_chunk) {
+      chunks_.emplace_back(begin, std::min(begin + per_chunk, num_devices));
+    }
+    buffers_.resize(chunks_.size());
+    for (auto& buf : buffers_) {
+      buf.jacobian.assign(structure.nnz(), 0.0);
+      buf.rhs.assign(static_cast<std::size_t>(structure.dimension()), 0.0);
+    }
+  }
+
+  void Assemble(engine::SolveContext& ctx, const engine::NewtonInputs& inputs,
+                bool limit_valid, bool first_iteration) override {
+    struct ChunkTimings {
+      double zero = 0.0, stamp = 0.0;
+    };
+    auto run_chunk = [&](std::size_t c) -> ChunkTimings {
+      ChunkTimings t;
+      util::ThreadCpuTimer timer;
+      auto& buf = buffers_[c];
+      std::fill(buf.jacobian.begin(), buf.jacobian.end(), 0.0);
+      std::fill(buf.rhs.begin(), buf.rhs.end(), 0.0);
+      t.zero = timer.Seconds();
+
+      timer.Reset();
+      devices::EvalContext eval =
+          MakeEval(ctx, inputs, limit_valid, first_iteration, buf.jacobian, buf.rhs);
+      const auto& devices = circuit_.devices();
+      for (std::size_t i = chunks_[c].first; i < chunks_[c].second; ++i) {
+        devices[i]->Eval(eval);
+      }
+      t.stamp = timer.Seconds();
+      return t;
+    };
+
+    double zero = 0.0, stamp = 0.0;
+    if (pool_ && chunks_.size() > 1) {
+      std::vector<std::future<ChunkTimings>> futures;
+      futures.reserve(chunks_.size());
+      for (std::size_t c = 0; c < chunks_.size(); ++c) {
+        futures.push_back(pool_->Submit([&run_chunk, c] { return run_chunk(c); }));
+      }
+      for (auto& future : futures) {
+        const ChunkTimings t = future.get();
+        zero += t.zero;
+        stamp += t.stamp;
+      }
+    } else {
+      for (std::size_t c = 0; c < chunks_.size(); ++c) {
+        const ChunkTimings t = run_chunk(c);
+        zero += t.zero;
+        stamp += t.stamp;
+      }
+    }
+
+    // The serial merge: the reduction tax this subsystem exists to remove.
+    util::ThreadCpuTimer merge_timer;
+    auto values = ctx.matrix.mutable_values();
+    std::fill(values.begin(), values.end(), 0.0);
+    std::fill(ctx.rhs.begin(), ctx.rhs.end(), 0.0);
+    for (const auto& buf : buffers_) {
+      for (std::size_t k = 0; k < values.size(); ++k) values[k] += buf.jacobian[k];
+      for (std::size_t i = 0; i < ctx.rhs.size(); ++i) ctx.rhs[i] += buf.rhs[i];
+    }
+    AddTimings(zero, stamp, merge_timer.Seconds());
+  }
+
+ private:
+  struct Buffers {
+    std::vector<double> jacobian;
+    std::vector<double> rhs;
+  };
+  std::vector<std::pair<std::size_t, std::size_t>> chunks_;
+  std::vector<Buffers> buffers_;
+};
+
+/// Conflict-free colored stamping: colors execute as sequential barriers,
+/// devices inside a color stamp the shared matrix/RHS directly from any
+/// number of threads.  Stateless with respect to the context, so WavePipe
+/// workers share one instance across their per-slot contexts.
+class ColoredAssembler final : public AssemblerBase {
+ public:
+  ColoredAssembler(const engine::Circuit& circuit, const engine::MnaStructure& structure,
+                   ColorSchedule schedule, int threads)
+      : AssemblerBase(circuit, structure, threads), schedule_(std::move(schedule)) {
+    stats_.strategy = "colored";
+    stats_.colors = schedule_.num_colors();
+    stats_.conflict_edges = schedule_.conflict_edges();
+    stats_.max_degree = schedule_.max_degree();
+  }
+
+  const ColorSchedule& schedule() const { return schedule_; }
+
+  void Assemble(engine::SolveContext& ctx, const engine::NewtonInputs& inputs,
+                bool limit_valid, bool first_iteration) override {
+    util::ThreadCpuTimer zero_timer;
+    auto values = ctx.matrix.mutable_values();
+    std::fill(values.begin(), values.end(), 0.0);
+    std::fill(ctx.rhs.begin(), ctx.rhs.end(), 0.0);
+    const double zero = zero_timer.Seconds();
+
+    double stamp = 0.0, barrier = 0.0;
+    const auto& devices = circuit_.devices();
+    auto stamp_range = [&](std::span<const int> ids) -> double {
+      util::ThreadCpuTimer timer;
+      devices::EvalContext eval =
+          MakeEval(ctx, inputs, limit_valid, first_iteration, values, ctx.rhs);
+      for (int id : ids) devices[static_cast<std::size_t>(id)]->Eval(eval);
+      return timer.Seconds();
+    };
+
+    if (!pool_) {
+      // Single-threaded: colors in order on the calling thread, one timer
+      // over the whole loop (a per-color thread-CPU read is a syscall and
+      // would dominate small color groups — and distort the 1-thread
+      // measurement the virtual-time bench projects from).
+      util::ThreadCpuTimer timer;
+      devices::EvalContext eval =
+          MakeEval(ctx, inputs, limit_valid, first_iteration, values, ctx.rhs);
+      for (int id : schedule_.device_order()) {
+        devices[static_cast<std::size_t>(id)]->Eval(eval);
+      }
+      AddTimings(zero, timer.Seconds(), 0.0);
+      return;
+    }
+
+    for (int color = 0; color < schedule_.num_colors(); ++color) {
+      const std::span<const int> group = schedule_.ColorDevices(color);
+      const std::size_t chunk_count = std::clamp<std::size_t>(
+          group.size() / kMinDevicesPerChunk, 1, static_cast<std::size_t>(threads_));
+      if (chunk_count <= 1) {
+        stamp += stamp_range(group);
+        continue;
+      }
+      // Fork/join barrier: same-color devices write disjoint slots, so the
+      // partition is free to be anything; contiguous keeps it cache-friendly.
+      util::WallTimer barrier_timer;
+      const std::size_t per_chunk = (group.size() + chunk_count - 1) / chunk_count;
+      std::vector<std::future<double>> futures;
+      futures.reserve(chunk_count);
+      for (std::size_t begin = 0; begin < group.size(); begin += per_chunk) {
+        const std::span<const int> part =
+            group.subspan(begin, std::min(per_chunk, group.size() - begin));
+        futures.push_back(pool_->Submit([&stamp_range, part] { return stamp_range(part); }));
+      }
+      double color_cpu = 0.0;
+      for (auto& future : futures) color_cpu += future.get();
+      stamp += color_cpu;
+      barrier += std::max(0.0, barrier_timer.Seconds() - color_cpu);
+    }
+    AddTimings(zero, stamp, barrier);
+  }
+
+ private:
+  ColorSchedule schedule_;
+};
+
+}  // namespace
+
+std::unique_ptr<engine::DeviceAssembler> MakeAssembler(
+    AssemblyMode mode, const engine::Circuit& circuit,
+    const engine::MnaStructure& structure, int threads, ColoringOptions options) {
+  if (mode == AssemblyMode::kReduction) {
+    return std::make_unique<ReductionAssembler>(circuit, structure, threads);
+  }
+  if (mode == AssemblyMode::kColored) {
+    return std::make_unique<ColoredAssembler>(
+        circuit, structure, BuildColorSchedule(circuit, structure, options), threads);
+  }
+  // kAuto.  One thread: the 1-chunk reduction path IS the serial loop (same
+  // bits, no barriers), so coloring can only add overhead.
+  if (threads <= 1) {
+    return std::make_unique<ReductionAssembler>(circuit, structure, threads);
+  }
+  ColorSchedule schedule = BuildColorSchedule(circuit, structure, options);
+  const AssemblyCostEstimate est = CompareAssemblyCosts(schedule, structure, threads);
+  if (est.prefer_colored) {
+    return std::make_unique<ColoredAssembler>(circuit, structure, std::move(schedule),
+                                              threads);
+  }
+  return std::make_unique<ReductionAssembler>(circuit, structure, threads);
+}
+
+}  // namespace wavepipe::parallel

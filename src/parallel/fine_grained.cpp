@@ -4,13 +4,10 @@
 #include <cmath>
 #include <limits>
 
-#include "devices/context.hpp"
 #include "engine/dcop.hpp"
 #include "engine/integrator.hpp"
-#include "engine/newton.hpp"
 #include "engine/step_control.hpp"
 #include "util/error.hpp"
-#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace wavepipe::parallel {
@@ -18,100 +15,35 @@ namespace {
 
 using engine::SolveContext;
 
-/// Per-worker private accumulation buffers.
-struct WorkerBuffers {
-  std::vector<double> jacobian;
-  std::vector<double> rhs;
-};
-
-/// Chunked, multi-threaded device evaluation with reduction.  Mirrors
-/// engine::EvalDevices but distributes the device loop.
+/// Thin wrapper that routes engine::EvalDevices through a DeviceAssembler
+/// (reduction or colored, see parallel/coloring.hpp) and converts the
+/// assembler's phase clock into the PhaseBreakdown the bench/model expect.
 class FineGrainedEvaluator {
  public:
   FineGrainedEvaluator(const engine::Circuit& circuit, const engine::MnaStructure& structure,
-                       int threads)
-      : circuit_(circuit), structure_(structure), threads_(std::max(1, threads)),
-        pool_(static_cast<unsigned>(std::max(1, threads))) {
-    const std::size_t num_devices = circuit.devices().size();
-    const std::size_t per_chunk =
-        (num_devices + static_cast<std::size_t>(threads_) - 1) /
-        static_cast<std::size_t>(threads_);
-    for (std::size_t begin = 0; begin < num_devices; begin += per_chunk) {
-      chunks_.emplace_back(begin, std::min(begin + per_chunk, num_devices));
-    }
-    buffers_.resize(chunks_.size());
-    for (auto& buf : buffers_) {
-      buf.jacobian.assign(structure.nnz(), 0.0);
-      buf.rhs.assign(static_cast<std::size_t>(structure.dimension()), 0.0);
-    }
-  }
+                       const FineGrainedOptions& options)
+      : assembler_(MakeAssembler(options.assembly, circuit, structure, options.threads,
+                                 options.coloring)) {}
 
-  /// Parallel analogue of engine::EvalDevices.  Phase costs accumulate into
-  /// `phases`.
+  /// Delegates the zero+stamp half of this context's EvalDevices calls.
+  void Attach(SolveContext& ctx) { ctx.assembler = assembler_.get(); }
+
+  engine::AssemblyStats stats() const { return assembler_->stats(); }
+
   void Eval(SolveContext& ctx, const engine::NewtonInputs& inputs, bool limit_valid,
             bool first_iteration, PhaseBreakdown& phases) {
-    // --- parallel device evaluation -----------------------------------------
-    std::vector<std::future<double>> futures;
-    futures.reserve(chunks_.size());
-    for (std::size_t c = 0; c < chunks_.size(); ++c) {
-      futures.push_back(pool_.Submit([this, c, &ctx, &inputs, limit_valid,
-                                      first_iteration]() -> double {
-        util::ThreadCpuTimer timer;
-        WorkerBuffers& buf = buffers_[c];
-        std::fill(buf.jacobian.begin(), buf.jacobian.end(), 0.0);
-        std::fill(buf.rhs.begin(), buf.rhs.end(), 0.0);
-
-        devices::EvalContext eval;
-        eval.time = inputs.time;
-        eval.a0 = inputs.a0;
-        eval.transient = inputs.transient;
-        eval.first_iteration = first_iteration;
-        eval.gmin = inputs.gmin;
-        eval.source_scale = inputs.source_scale;
-        eval.x = ctx.x;
-        eval.jacobian_values = buf.jacobian;
-        eval.rhs = buf.rhs;
-        // state/limit slots are disjoint per device: shared arrays are safe.
-        eval.state_now = ctx.state_now;
-        eval.state_hist = ctx.state_hist;
-        eval.limit_prev = ctx.limit_a;
-        eval.limit_now = ctx.limit_b;
-        eval.limit_valid = limit_valid;
-
-        const auto& devices = circuit_.devices();
-        for (std::size_t i = chunks_[c].first; i < chunks_[c].second; ++i) {
-          devices[i]->Eval(eval);
-        }
-        return timer.Seconds();
-      }));
-    }
-    for (auto& future : futures) phases.model_eval += future.get();
-
-    // --- reduction (serial; this is the fine-grained tax) --------------------
-    util::ThreadCpuTimer reduce_timer;
-    auto values = ctx.matrix.mutable_values();
-    std::fill(values.begin(), values.end(), 0.0);
-    std::fill(ctx.rhs.begin(), ctx.rhs.end(), 0.0);
-    for (const auto& buf : buffers_) {
-      for (std::size_t k = 0; k < values.size(); ++k) values[k] += buf.jacobian[k];
-      for (std::size_t i = 0; i < ctx.rhs.size(); ++i) ctx.rhs[i] += buf.rhs[i];
-    }
-    if (inputs.gshunt > 0.0) {
-      for (int slot : structure_.node_diag_slots()) values[slot] += inputs.gshunt;
-    }
-    std::swap(ctx.limit_a, ctx.limit_b);
-    phases.reduction += reduce_timer.Seconds();
+    const engine::AssemblyStats before = assembler_->stats();
+    engine::EvalDevices(ctx, inputs, limit_valid, first_iteration);
+    const engine::AssemblyStats after = assembler_->stats();
+    // Zero + stamp is the distributable work; the merge sweep (reduction) or
+    // the color barriers (colored) are the parallelization overhead.
+    phases.model_eval += (after.zero_seconds - before.zero_seconds) +
+                         (after.stamp_seconds - before.stamp_seconds);
+    phases.reduction += after.merge_seconds - before.merge_seconds;
   }
 
-  int threads() const { return threads_; }
-
  private:
-  const engine::Circuit& circuit_;
-  const engine::MnaStructure& structure_;
-  int threads_;
-  util::ThreadPool pool_;
-  std::vector<std::pair<std::size_t, std::size_t>> chunks_;
-  std::vector<WorkerBuffers> buffers_;
+  std::unique_ptr<engine::DeviceAssembler> assembler_;
 };
 
 /// Newton loop on top of the parallel evaluator (mirrors engine::SolveNewton).
@@ -137,7 +69,7 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
     stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
     stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
     std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
-    ctx.lu.Solve(ctx.x_new);
+    ctx.lu.Solve(ctx.x_new, ctx.lu_work);
     phases.lu += lu_timer.Seconds();
 
     double worst = 0.0;
@@ -189,7 +121,7 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
                                    ? spec.probes
                                    : engine::ProbeSet::FirstNodes(circuit.num_nodes(), 16));
 
-  FineGrainedEvaluator evaluator(circuit, structure, options.threads);
+  FineGrainedEvaluator evaluator(circuit, structure, options);
   SolveContext ctx(circuit, structure);
 
   // DC operating point (reuses the serial path; the phase split targets the
@@ -197,6 +129,10 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
   const engine::DcopResult dcop =
       engine::SolveDcOperatingPoint(ctx, options.sim, spec.initial_conditions);
   result.stats.dcop_strategy = dcop.strategy;
+
+  // From here on every EvalDevices on this context goes through the
+  // assembler.
+  evaluator.Attach(ctx);
 
   engine::History history(options.sim.history_depth);
   history.Add(engine::MakeDcSolutionPoint(ctx, spec.tstart));
@@ -296,6 +232,7 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
   }
 
   result.stats.wall_seconds = total_timer.Seconds();
+  result.assembly = evaluator.stats();
   return result;
 }
 

@@ -2,23 +2,40 @@
 // positioned against in the paper.
 //
 // Parallelism lives INSIDE each time-point solve: device model evaluation is
-// chunked across worker threads (each accumulating into a private Jacobian/
-// RHS copy, reduced afterwards), while the time axis, the Newton iteration
-// and the sparse LU remain strictly sequential.  Its scaling is therefore
-// Amdahl-limited by the matrix solution — the motivation the paper opens
-// with, and the effect the fig-D bench quantifies.
+// distributed across worker threads, while the time axis, the Newton
+// iteration and the sparse LU remain strictly sequential.  Its scaling is
+// therefore Amdahl-limited by the matrix solution — the motivation the paper
+// opens with, and the effect the fig-D bench quantifies.
+//
+// Two assembly strategies sit behind the evaluator (see parallel/coloring.hpp):
+//
+//  * reduction — each worker accumulates into a private Jacobian/RHS copy,
+//    merged serially afterwards (the historical baseline; the merge is the
+//    O(nnz x threads) tax).
+//  * colored   — conflict-free device coloring stamps the shared matrix
+//    directly, no private copies, one barrier per color.
+//
+// The default (kAuto) picks per circuit with a structure-only cost model;
+// tests force either mode explicitly.
 #pragma once
 
 #include "engine/circuit.hpp"
 #include "engine/mna.hpp"
+#include "engine/newton.hpp"
 #include "engine/options.hpp"
 #include "engine/trace.hpp"
 #include "engine/transient.hpp"
+#include "parallel/coloring.hpp"
 
 namespace wavepipe::parallel {
 
 struct FineGrainedOptions {
   int threads = 2;
+  /// Assembly strategy; kAuto lets the cost model choose colored vs
+  /// reduction from the conflict graph.
+  AssemblyMode assembly = AssemblyMode::kAuto;
+  /// Coloring heuristic when the colored path is used.
+  ColoringOptions coloring;
   engine::SimOptions sim;
 };
 
@@ -37,6 +54,7 @@ struct FineGrainedResult {
   engine::Trace trace;
   engine::TransientStats stats;
   PhaseBreakdown phases;
+  engine::AssemblyStats assembly;  ///< strategy chosen + per-phase assembly time
   engine::SolutionPointPtr final_point;
 };
 

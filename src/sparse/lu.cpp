@@ -251,11 +251,17 @@ void SparseLu::FactorOrRefactor(const CscMatrix& matrix) {
 }
 
 void SparseLu::Solve(std::span<double> b) const {
+  std::vector<double> workspace;
+  Solve(b, workspace);
+}
+
+void SparseLu::Solve(std::span<double> b, std::vector<double>& workspace) const {
   WP_ASSERT(factored_);
   WP_ASSERT(static_cast<int>(b.size()) == n_);
 
   // z = P b.
-  std::vector<double>& z = work_;
+  workspace.resize(static_cast<std::size_t>(n_));
+  std::vector<double>& z = workspace;
   for (int i = 0; i < n_; ++i) z[pinv_[i]] = b[i];
 
   // Forward substitution, unit lower triangular.
@@ -274,9 +280,16 @@ void SparseLu::Solve(std::span<double> b) const {
   // Un-permute columns: x[q_[j]] = z[j].
   for (int j = 0; j < n_; ++j) b[q_[j]] = z[j];
 
-  auto& stats = const_cast<Stats&>(stats_);
-  stats.solve_count += 1;
-  stats.solve_flops += li_.size() + ui_.size() + static_cast<std::size_t>(n_);
+  solve_count_.fetch_add(1, std::memory_order_relaxed);
+  solve_flops_.fetch_add(li_.size() + ui_.size() + static_cast<std::size_t>(n_),
+                         std::memory_order_relaxed);
+}
+
+SparseLu::Stats SparseLu::stats() const {
+  Stats snapshot = stats_;
+  snapshot.solve_count = solve_count_.load(std::memory_order_relaxed);
+  snapshot.solve_flops = solve_flops_.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 double SparseLu::Refine(const CscMatrix& matrix, std::span<const double> b,

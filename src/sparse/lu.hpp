@@ -20,6 +20,7 @@
 // position pinv[i].
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -72,7 +73,15 @@ class SparseLu {
   /// Refactor() if a compatible factorization exists, else Factor().
   void FactorOrRefactor(const CscMatrix& matrix);
 
-  /// Solves A x = b in place (b becomes x).
+  /// Solves A x = b in place (b becomes x) using `workspace` as scratch
+  /// (resized to the matrix dimension).  Thread-safe: any number of threads
+  /// may Solve() against one factorization concurrently as long as each
+  /// passes its own workspace.  Hot paths keep a workspace alive across
+  /// calls to avoid reallocation.
+  void Solve(std::span<double> b, std::vector<double>& workspace) const;
+
+  /// Convenience overload with a per-call workspace allocation.  Equally
+  /// thread-safe, but allocates; prefer the workspace overload in hot loops.
   void Solve(std::span<double> b) const;
 
   /// One step of iterative refinement: x += A \ (b - A x).  Returns the
@@ -82,7 +91,9 @@ class SparseLu {
 
   bool factored() const { return factored_; }
   int dimension() const { return n_; }
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters (by value: solve counters are atomics
+  /// internally so concurrent Solve() calls don't race on the tallies).
+  Stats stats() const;
   std::span<const int> column_order() const { return q_; }
 
  private:
@@ -92,7 +103,11 @@ class SparseLu {
   void SymbolicReach(const CscMatrix& matrix, int col, int stamp);
 
   Options options_;
-  Stats stats_;
+  Stats stats_;  ///< factor-side counters (mutated only by Factor/Refactor)
+  /// Solve-side counters, atomic so concurrent const Solve() calls sharing
+  /// one factorization tally without racing.
+  mutable std::atomic<std::uint64_t> solve_count_{0};
+  mutable std::atomic<std::uint64_t> solve_flops_{0};
   bool factored_ = false;
   int n_ = 0;
   std::size_t pattern_nnz_ = 0;  // nnz of the matrix Factor() saw
@@ -112,8 +127,10 @@ class SparseLu {
   std::vector<double> ux_;
   std::vector<double> udiag_;
 
-  // Workspaces (sized n), reused across calls.
-  mutable std::vector<double> work_;
+  // Workspaces (sized n), reused across Factor/Refactor calls.  Solve()
+  // deliberately does NOT touch these: it is const and may run concurrently
+  // from several threads, so its scratch is caller-provided.
+  std::vector<double> work_;
   std::vector<int> mark_;
   std::vector<int> postorder_;
   std::vector<int> dfs_stack_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "parallel/coloring.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -44,6 +46,19 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
   }
   if (options_.threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(options_.threads));
+  }
+
+  // Intra-solve colored assembly: let the cost model decide, but only attach
+  // a COLORED assembler.  The reduction fallback owns private buffers and
+  // can't serve concurrent contexts — if the graph isn't profitably
+  // colorable, pipelined solves keep the plain serial device loop.
+  if (options_.assembly_threads > 1) {
+    auto assembler = parallel::MakeAssembler(parallel::AssemblyMode::kAuto, circuit,
+                                             structure, options_.assembly_threads);
+    if (std::strcmp(assembler->stats().strategy, "colored") == 0) {
+      assembler_ = std::move(assembler);
+      for (auto& ctx : contexts_) ctx->assembler = assembler_.get();
+    }
   }
 }
 
@@ -94,6 +109,7 @@ WavePipeResult PipelineDriver::Run() {
   }
 
   result_.stats.wall_seconds = total_timer.Seconds();
+  if (assembler_) result_.assembly = assembler_->stats();
   return std::move(result_);
 }
 

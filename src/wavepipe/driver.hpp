@@ -128,6 +128,11 @@ class PipelineDriver {
 
   // ---- run state -------------------------------------------------------------
   std::vector<std::unique_ptr<engine::SolveContext>> contexts_;
+  /// Shared conflict-free colored assembler (parallel/coloring.hpp) attached
+  /// to every context when options_.assembly_threads engages it.  Colored
+  /// assemblers are stateless per call, so concurrent pipelined solves on
+  /// different contexts can share this one instance.
+  std::unique_ptr<engine::DeviceAssembler> assembler_;
   std::unique_ptr<util::ThreadPool> pool_;
   engine::History history_;
   std::map<const engine::SolutionPoint*, int> ledger_id_of_point_;

@@ -72,6 +72,14 @@ struct WavePipeOptions {
   /// Accuracy never depends on this knob — only how often speculation pays.
   double fwp_prediction_tol = 8.0;
 
+  /// Stamping threads for conflict-free colored matrix assembly INSIDE each
+  /// pipelined solve (orthogonal to `threads`, which parallelizes across
+  /// time points).  0/1 keeps the serial device loop.  Only engaged when the
+  /// structure-only cost model judges the circuit's conflict graph colorable
+  /// at a profit (see parallel/coloring.hpp); on degenerate graphs the
+  /// option is silently a no-op rather than a slowdown.
+  int assembly_threads = 0;
+
   engine::SimOptions sim;
 };
 
@@ -98,6 +106,9 @@ struct WavePipeResult {
   engine::TransientStats stats;
   PipelineSchedStats sched;
   Ledger ledger;
+  /// Colored-assembly accounting when assembly_threads engaged a colored
+  /// assembler; strategy stays "serial" otherwise.
+  engine::AssemblyStats assembly;
   engine::SolutionPointPtr final_point;
 };
 

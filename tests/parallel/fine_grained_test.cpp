@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "circuits/generators.hpp"
 #include "engine/transient.hpp"
 
@@ -42,6 +44,78 @@ TEST(FineGrained, PhaseBreakdownPopulated) {
   EXPECT_GT(fg.phases.lu, 0.0);
   EXPECT_GE(fg.phases.reduction, 0.0);
   EXPECT_GT(fg.phases.Total(), 0.0);
+}
+
+TEST(FineGrained, ForcedOrderPreservingColoredBitIdenticalWaveform) {
+  // The acceptance invariant: colored assembly under the order-preserving
+  // strategy replays every per-slot accumulation in exact device order, so
+  // the whole transient — every Newton iterate, every step decision — is
+  // BIT-identical to the serial engine.
+  std::vector<circuits::GeneratedCircuit> gens;
+  gens.push_back(circuits::MakeRcLadder(20));
+  gens.push_back(circuits::MakeInverterChain(4));
+  for (const auto& gen : gens) {
+    engine::MnaStructure mna(*gen.circuit);
+    const auto serial =
+        engine::RunTransientSerial(*gen.circuit, mna, gen.spec, engine::SimOptions{});
+    FineGrainedOptions options;
+    options.threads = 3;
+    options.assembly = AssemblyMode::kColored;
+    options.coloring.strategy = ColorStrategy::kOrderPreserving;
+    const auto fg = RunTransientFineGrained(*gen.circuit, mna, gen.spec, options);
+    EXPECT_STREQ(fg.assembly.strategy, "colored") << gen.name;
+    EXPECT_EQ(engine::Trace::MaxDeviationAll(serial.trace, fg.trace), 0.0) << gen.name;
+    EXPECT_EQ(fg.stats.steps_accepted, serial.stats.steps_accepted) << gen.name;
+  }
+}
+
+TEST(FineGrained, ForcedColoredMatchesSerialWaveform) {
+  // Default (largest-degree-first) coloring: rounding-level deviations only.
+  const auto gen = circuits::MakeRcMesh(6, 6);
+  engine::MnaStructure mna(*gen.circuit);
+  const auto serial =
+      engine::RunTransientSerial(*gen.circuit, mna, gen.spec, engine::SimOptions{});
+  FineGrainedOptions options;
+  options.threads = 4;
+  options.assembly = AssemblyMode::kColored;
+  const auto fg = RunTransientFineGrained(*gen.circuit, mna, gen.spec, options);
+  EXPECT_STREQ(fg.assembly.strategy, "colored");
+  EXPECT_GT(fg.assembly.colors, 0);
+  EXPECT_LT(engine::Trace::MaxDeviationAll(serial.trace, fg.trace), 2e-3);
+}
+
+TEST(FineGrained, ForcedReductionMatchesSerialWaveform) {
+  const auto gen = circuits::MakeRcMesh(6, 6);
+  engine::MnaStructure mna(*gen.circuit);
+  const auto serial =
+      engine::RunTransientSerial(*gen.circuit, mna, gen.spec, engine::SimOptions{});
+  FineGrainedOptions options;
+  options.threads = 4;
+  options.assembly = AssemblyMode::kReduction;
+  const auto fg = RunTransientFineGrained(*gen.circuit, mna, gen.spec, options);
+  EXPECT_STREQ(fg.assembly.strategy, "reduction");
+  EXPECT_LT(engine::Trace::MaxDeviationAll(serial.trace, fg.trace), 2e-3);
+}
+
+TEST(FineGrained, AutoModePicksByCostModel) {
+  // Large mesh: colorable at a profit.  Inverter chain: supply-rail clique,
+  // reduction keeps the job.
+  {
+    const auto gen = circuits::MakeRcMesh(16, 16);
+    engine::MnaStructure mna(*gen.circuit);
+    FineGrainedOptions options;
+    options.threads = 4;
+    const auto fg = RunTransientFineGrained(*gen.circuit, mna, gen.spec, options);
+    EXPECT_STREQ(fg.assembly.strategy, "colored");
+  }
+  {
+    const auto gen = circuits::MakeInverterChain(5);
+    engine::MnaStructure mna(*gen.circuit);
+    FineGrainedOptions options;
+    options.threads = 4;
+    const auto fg = RunTransientFineGrained(*gen.circuit, mna, gen.spec, options);
+    EXPECT_STREQ(fg.assembly.strategy, "reduction");
+  }
 }
 
 TEST(FineGrained, AmdahlModelSaturates) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "sparse/dense.hpp"
 #include "sparse/triplet.hpp"
@@ -159,6 +160,79 @@ TEST(SparseLu, RefactorDetectsPivotDegradation) {
   std::vector<double> b = x;
   lu.Solve(x);
   EXPECT_LT(SolveResidualInf(bad, x, b), 1e-10);
+}
+
+TEST(SparseLu, RefactorPivotTolTripRecoversViaFreshFactor) {
+  // Regression: a pivot that is perfectly nonsingular in absolute terms but
+  // small RELATIVE to its column must trip refactor_pivot_tol, and
+  // FactorOrRefactor must transparently fall back to a fresh Factor() (which
+  // re-pivots) instead of returning garbage triangles.
+  TripletBuilder t(2, 2);
+  t.Add(0, 0, 4.0);
+  t.Add(0, 1, 1.0);
+  t.Add(1, 0, 1.0);
+  t.Add(1, 1, 4.0);
+  CscMatrix a = t.ToCsc();
+
+  SparseLu::Options options;
+  options.refactor_pivot_tol = 1e-2;  // strict relative-quality gate
+  SparseLu lu(options);
+  lu.Factor(a);
+  const auto factors_before = lu.stats().factor_count;
+
+  // Pivot (0,0) becomes 1e-3 against a column max of 1.0: far from singular,
+  // but below the 1e-2 relative gate.
+  CscMatrix degraded = a;
+  auto values = degraded.mutable_values();
+  values[degraded.FindEntry(0, 0)] = 1e-3;
+  EXPECT_FALSE(lu.Refactor(degraded));
+  EXPECT_FALSE(lu.factored());
+
+  lu.FactorOrRefactor(degraded);
+  EXPECT_TRUE(lu.factored());
+  EXPECT_EQ(lu.stats().factor_count, factors_before + 1);  // full factor, not refactor
+
+  std::vector<double> b{1.0, 2.0};
+  std::vector<double> x = b;
+  lu.Solve(x);
+  EXPECT_LT(SolveResidualInf(degraded, x, b), 1e-10);
+}
+
+TEST(SparseLu, ConcurrentSolvesWithPrivateWorkspaces) {
+  // Solve() is const and must be safe from many threads sharing one
+  // factorization, each bringing its own workspace (the WavePipe usage).
+  const int n = 64;
+  const CscMatrix a = Tridiagonal(n);
+  SparseLu lu;
+  lu.Factor(a);
+
+  DenseLu dense(DenseMatrix::FromCsc(a));
+
+  constexpr int kThreads = 4;
+  constexpr int kSolvesPerThread = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::vector<double> workspace;
+      for (int s = 0; s < kSolvesPerThread; ++s) {
+        std::vector<double> b(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) b[i] = std::sin(0.1 * (i + tid) + s);
+        std::vector<double> x = b;
+        lu.Solve(x, workspace);
+        std::vector<double> x_ref = b;
+        dense.Solve(x_ref);
+        for (int i = 0; i < n; ++i) {
+          if (std::abs(x[i] - x_ref[i]) > 1e-9) ++mismatches[tid];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int tid = 0; tid < kThreads; ++tid) EXPECT_EQ(mismatches[tid], 0) << tid;
+  // Atomic tallies: no lost updates across concurrent solves.
+  EXPECT_EQ(lu.stats().solve_count,
+            static_cast<std::uint64_t>(kThreads * kSolvesPerThread));
 }
 
 TEST(SparseLu, IterativeRefinementImproves) {
