@@ -88,12 +88,15 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
 
     const auto before_factor = ctx.lu.stats().factor_count;
     const auto before_refactor = ctx.lu.stats().refactor_count;
-    ctx.lu.FactorOrRefactor(ctx.matrix);
+    ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
     stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
     stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
 
     std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
-    ctx.lu.Solve(ctx.x_new, ctx.lu_work);
+    ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
+    for (int r = 0; r < options.newton_refine_steps; ++r) {
+      ctx.lu.Refine(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work);
+    }
 
     // Weighted max-norm convergence test (SPICE-style).
     double worst = 0.0;

@@ -14,6 +14,10 @@
 #include "engine/options.hpp"
 #include "sparse/lu.hpp"
 
+namespace wavepipe::util {
+class ThreadPool;
+}
+
 namespace wavepipe::engine {
 
 struct NewtonStats {
@@ -78,10 +82,20 @@ class SolveContext {
   std::vector<double> limit_a, limit_b;
   sparse::SparseLu lu;
   std::vector<double> lu_work;  ///< per-context Solve() scratch (thread-safe LU)
+  std::vector<double> refine_work;  ///< residual scratch for iterative refinement
 
   /// Optional assembly strategy; null = serial device loop.  Not owned — the
   /// creator (fine-grained evaluator, WavePipe driver) keeps it alive.
   DeviceAssembler* assembler = nullptr;
+
+  /// Optional worker pool for level-scheduled refactorization / triangular
+  /// solves inside SolveNewton (RefactorParallel / SolveParallel).  Null =
+  /// serial LU kernels.  Not owned; the pool may be shared with the colored
+  /// assembler — assembly and factorization never overlap within one Newton
+  /// iteration, so sharing is free.  Must be a pool whose workers do not
+  /// themselves block on this context (WavePipe gives pipeline workers a
+  /// separate intra-solve pool for exactly this reason).
+  util::ThreadPool* factor_pool = nullptr;
 
   std::uint64_t total_newton_iterations = 0;  ///< lifetime counter
 

@@ -50,6 +50,12 @@ struct SimOptions {
 
   // ---- bookkeeping ----------------------------------------------------------
   int history_depth = 8;  ///< solution points kept for predictors/LTE
+
+  // ---- linear-solver extras -------------------------------------------------
+  /// Iterative-refinement steps applied to each converged Newton update
+  /// (x += A \ (b - A x)).  0 (default) keeps the historical bit-exact
+  /// behavior; 1 is plenty for ill-conditioned MNA systems.
+  int newton_refine_steps = 0;
 };
 
 }  // namespace wavepipe::engine

@@ -189,6 +189,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
   }
 
   result.stats.wall_seconds = total_timer.Seconds();
+  result.stats.AbsorbLuStats(ctx.lu.stats());
   return result;
 }
 

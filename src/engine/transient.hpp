@@ -80,6 +80,27 @@ struct TransientStats {
   std::uint64_t lu_refactors = 0;
   double wall_seconds = 0.0;
   std::string dcop_strategy;
+  // LU level-scheduling telemetry (sparse/lu.hpp), copied from the primary
+  // SolveContext at the end of a run so benches and traces stop re-deriving
+  // schedules.  Valid whenever the run factored at least once.
+  int factor_levels = 0;                      ///< refactor DAG depth
+  std::size_t factor_widest_level = 0;        ///< widest refactor level (columns)
+  double modeled_refactor_speedup2 = 1.0;     ///< cost model at 2 threads
+  double modeled_refactor_speedup4 = 1.0;     ///< cost model at 4 threads
+  std::uint64_t lu_parallel_refactors = 0;    ///< level-scheduled refactors run
+  std::uint64_t lu_refactor_fallbacks = 0;    ///< pool offered, model chose serial
+  std::uint64_t lu_parallel_solves = 0;       ///< level-scheduled solves run
+
+  /// Copies the LU telemetry block from a solver's stats snapshot.
+  void AbsorbLuStats(const sparse::SparseLu::Stats& lu) {
+    factor_levels = lu.factor_levels;
+    factor_widest_level = lu.factor_widest_level;
+    modeled_refactor_speedup2 = lu.modeled_refactor_speedup2;
+    modeled_refactor_speedup4 = lu.modeled_refactor_speedup4;
+    lu_parallel_refactors += lu.parallel_refactor_count;
+    lu_refactor_fallbacks += lu.refactor_fallback_count;
+    lu_parallel_solves += lu.parallel_solve_count;
+  }
 };
 
 struct TransientResult {

@@ -215,13 +215,22 @@ double ModelAssemblySeconds(const engine::AssemblyStats& measured, int threads) 
 
 namespace {
 
-/// Shared bookkeeping: thread pool ownership + mutex-guarded stats.
+/// Shared bookkeeping: thread pool ownership + mutex-guarded stats.  When a
+/// shared (externally owned) pool is supplied, stamping runs on it and no
+/// private pool is created — this is how assembly and level-scheduled LU
+/// refactorization share one set of workers.
 class AssemblerBase : public engine::DeviceAssembler {
  public:
   AssemblerBase(const engine::Circuit& circuit, const engine::MnaStructure& structure,
-                int threads)
+                int threads, util::ThreadPool* shared_pool)
       : circuit_(circuit), structure_(structure), threads_(std::max(1, threads)) {
-    if (threads_ > 1) pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(threads_));
+    if (shared_pool != nullptr && shared_pool->size() > 1) {
+      pool_ = shared_pool;
+      threads_ = std::max(threads_, static_cast<int>(shared_pool->size()));
+    } else if (threads_ > 1) {
+      owned_pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(threads_));
+      pool_ = owned_pool_.get();
+    }
   }
 
   engine::AssemblyStats stats() const override {
@@ -241,7 +250,8 @@ class AssemblerBase : public engine::DeviceAssembler {
   const engine::Circuit& circuit_;
   const engine::MnaStructure& structure_;
   int threads_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;  ///< owned_pool_.get() or the shared pool
   mutable std::mutex stats_mutex_;
   engine::AssemblyStats stats_;
 };
@@ -253,8 +263,8 @@ class AssemblerBase : public engine::DeviceAssembler {
 class ReductionAssembler final : public AssemblerBase {
  public:
   ReductionAssembler(const engine::Circuit& circuit, const engine::MnaStructure& structure,
-                     int threads)
-      : AssemblerBase(circuit, structure, threads) {
+                     int threads, util::ThreadPool* shared_pool)
+      : AssemblerBase(circuit, structure, threads, shared_pool) {
     stats_.strategy = "reduction";
     const std::size_t num_devices = circuit.devices().size();
     const std::size_t per_chunk =
@@ -342,8 +352,9 @@ class ReductionAssembler final : public AssemblerBase {
 class ColoredAssembler final : public AssemblerBase {
  public:
   ColoredAssembler(const engine::Circuit& circuit, const engine::MnaStructure& structure,
-                   ColorSchedule schedule, int threads)
-      : AssemblerBase(circuit, structure, threads), schedule_(std::move(schedule)) {
+                   ColorSchedule schedule, int threads, util::ThreadPool* shared_pool)
+      : AssemblerBase(circuit, structure, threads, shared_pool),
+        schedule_(std::move(schedule)) {
     stats_.strategy = "colored";
     stats_.colors = schedule_.num_colors();
     stats_.conflict_edges = schedule_.conflict_edges();
@@ -420,26 +431,31 @@ class ColoredAssembler final : public AssemblerBase {
 
 std::unique_ptr<engine::DeviceAssembler> MakeAssembler(
     AssemblyMode mode, const engine::Circuit& circuit,
-    const engine::MnaStructure& structure, int threads, ColoringOptions options) {
+    const engine::MnaStructure& structure, int threads, ColoringOptions options,
+    util::ThreadPool* shared_pool) {
   if (mode == AssemblyMode::kReduction) {
-    return std::make_unique<ReductionAssembler>(circuit, structure, threads);
+    return std::make_unique<ReductionAssembler>(circuit, structure, threads, shared_pool);
   }
   if (mode == AssemblyMode::kColored) {
     return std::make_unique<ColoredAssembler>(
-        circuit, structure, BuildColorSchedule(circuit, structure, options), threads);
+        circuit, structure, BuildColorSchedule(circuit, structure, options), threads,
+        shared_pool);
   }
   // kAuto.  One thread: the 1-chunk reduction path IS the serial loop (same
   // bits, no barriers), so coloring can only add overhead.
-  if (threads <= 1) {
-    return std::make_unique<ReductionAssembler>(circuit, structure, threads);
+  if (threads <= 1 && (shared_pool == nullptr || shared_pool->size() <= 1)) {
+    return std::make_unique<ReductionAssembler>(circuit, structure, threads, nullptr);
   }
+  const int effective_threads =
+      std::max(threads, shared_pool ? static_cast<int>(shared_pool->size()) : 1);
   ColorSchedule schedule = BuildColorSchedule(circuit, structure, options);
-  const AssemblyCostEstimate est = CompareAssemblyCosts(schedule, structure, threads);
+  const AssemblyCostEstimate est =
+      CompareAssemblyCosts(schedule, structure, effective_threads);
   if (est.prefer_colored) {
     return std::make_unique<ColoredAssembler>(circuit, structure, std::move(schedule),
-                                              threads);
+                                              threads, shared_pool);
   }
-  return std::make_unique<ReductionAssembler>(circuit, structure, threads);
+  return std::make_unique<ReductionAssembler>(circuit, structure, threads, shared_pool);
 }
 
 }  // namespace wavepipe::parallel

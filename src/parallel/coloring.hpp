@@ -43,6 +43,10 @@
 #include "engine/mna.hpp"
 #include "engine/newton.hpp"
 
+namespace wavepipe::util {
+class ThreadPool;
+}
+
 namespace wavepipe::parallel {
 
 enum class ColorStrategy {
@@ -123,15 +127,18 @@ enum class AssemblyMode {
   kColored,    ///< force conflict-free colored stamping
 };
 
-/// Creates the assembler for the requested mode.  The returned object holds
-/// its own stamping thread pool (when threads > 1) and may be attached to
-/// any number of SolveContexts via SolveContext::assembler.  Colored
-/// assemblers are safe to use from several contexts concurrently; the
-/// reduction assembler owns private accumulation buffers and must only
-/// drive one context at a time.
+/// Creates the assembler for the requested mode.  The returned object stamps
+/// on `shared_pool` when one is given (so assembly and level-scheduled LU
+/// refactorization share a single set of workers), otherwise it owns its own
+/// stamping thread pool (when threads > 1).  It may be attached to any
+/// number of SolveContexts via SolveContext::assembler.  Colored assemblers
+/// are safe to use from several contexts concurrently; the reduction
+/// assembler owns private accumulation buffers and must only drive one
+/// context at a time.
 std::unique_ptr<engine::DeviceAssembler> MakeAssembler(
     AssemblyMode mode, const engine::Circuit& circuit,
-    const engine::MnaStructure& structure, int threads, ColoringOptions options = {});
+    const engine::MnaStructure& structure, int threads, ColoringOptions options = {},
+    util::ThreadPool* shared_pool = nullptr);
 
 /// Virtual-time model of one assembly pass at `threads` workers, fed by the
 /// measured 1-thread phase seconds of the same strategy:

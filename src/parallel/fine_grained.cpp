@@ -8,6 +8,7 @@
 #include "engine/integrator.hpp"
 #include "engine/step_control.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace wavepipe::parallel {
@@ -21,12 +22,24 @@ using engine::SolveContext;
 class FineGrainedEvaluator {
  public:
   FineGrainedEvaluator(const engine::Circuit& circuit, const engine::MnaStructure& structure,
-                       const FineGrainedOptions& options)
-      : assembler_(MakeAssembler(options.assembly, circuit, structure, options.threads,
-                                 options.coloring)) {}
+                       const FineGrainedOptions& options) {
+    // One pool serves both colored stamping and level-scheduled LU: the two
+    // phases alternate within a Newton iteration, never overlap.
+    const int pool_size = std::max(options.threads, options.factor_threads);
+    if (pool_size > 1) {
+      pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(pool_size));
+    }
+    assembler_ = MakeAssembler(options.assembly, circuit, structure, options.threads,
+                               options.coloring, pool_.get());
+    if (options.factor_threads > 1) factor_pool_ = pool_.get();
+  }
 
-  /// Delegates the zero+stamp half of this context's EvalDevices calls.
-  void Attach(SolveContext& ctx) { ctx.assembler = assembler_.get(); }
+  /// Delegates the zero+stamp half of this context's EvalDevices calls and
+  /// routes its LU through the shared pool (when factor_threads >= 2).
+  void Attach(SolveContext& ctx) {
+    ctx.assembler = assembler_.get();
+    ctx.factor_pool = factor_pool_;
+  }
 
   engine::AssemblyStats stats() const { return assembler_->stats(); }
 
@@ -43,7 +56,9 @@ class FineGrainedEvaluator {
   }
 
  private:
+  std::unique_ptr<util::ThreadPool> pool_;  ///< shared: assembly + factorization
   std::unique_ptr<engine::DeviceAssembler> assembler_;
+  util::ThreadPool* factor_pool_ = nullptr;  ///< pool_.get() when factor_threads >= 2
 };
 
 /// Newton loop on top of the parallel evaluator (mirrors engine::SolveNewton).
@@ -65,11 +80,11 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
     util::ThreadCpuTimer lu_timer;
     const auto before_factor = ctx.lu.stats().factor_count;
     const auto before_refactor = ctx.lu.stats().refactor_count;
-    ctx.lu.FactorOrRefactor(ctx.matrix);
+    ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
     stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
     stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
     std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
-    ctx.lu.Solve(ctx.x_new, ctx.lu_work);
+    ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
     phases.lu += lu_timer.Seconds();
 
     double worst = 0.0;
@@ -232,6 +247,7 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
   }
 
   result.stats.wall_seconds = total_timer.Seconds();
+  result.stats.AbsorbLuStats(ctx.lu.stats());
   result.assembly = evaluator.stats();
   return result;
 }

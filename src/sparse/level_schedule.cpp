@@ -1,0 +1,54 @@
+#include "sparse/level_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavepipe::sparse {
+
+std::size_t LevelSchedule::widest_level() const {
+  std::size_t widest = 0;
+  for (int l = 0; l < num_levels(); ++l) widest = std::max(widest, Level(l).size());
+  return widest;
+}
+
+LevelSchedule BuildLevelSchedule(std::span<const int> level_of) {
+  LevelSchedule schedule;
+  int num_levels = 0;
+  for (int level : level_of) {
+    WP_ASSERT(level >= 0);
+    num_levels = std::max(num_levels, level + 1);
+  }
+  schedule.level_ptr_.assign(static_cast<std::size_t>(num_levels) + 1, 0);
+  for (int level : level_of) ++schedule.level_ptr_[static_cast<std::size_t>(level) + 1];
+  for (int l = 0; l < num_levels; ++l) {
+    schedule.level_ptr_[static_cast<std::size_t>(l) + 1] +=
+        schedule.level_ptr_[static_cast<std::size_t>(l)];
+  }
+  schedule.nodes_.resize(level_of.size());
+  std::vector<int> cursor(schedule.level_ptr_.begin(), schedule.level_ptr_.end() - 1);
+  for (std::size_t v = 0; v < level_of.size(); ++v) {  // ascending id per level
+    schedule.nodes_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(level_of[v])]++)] = static_cast<int>(v);
+  }
+  return schedule;
+}
+
+double ModelLevelMakespan(const LevelSchedule& schedule, std::span<const double> node_cost,
+                          int threads, double barrier_cost) {
+  const double k = static_cast<double>(std::max(1, threads));
+  double total = 0.0;
+  for (int l = 0; l < schedule.num_levels(); ++l) {
+    double sum = 0.0, heaviest = 0.0;
+    for (int node : schedule.Level(l)) {
+      const double cost = node_cost[static_cast<std::size_t>(node)];
+      sum += cost;
+      heaviest = std::max(heaviest, cost);
+    }
+    total += std::max(sum / k, heaviest);
+    if (threads > 1) total += barrier_cost;
+  }
+  return total;
+}
+
+}  // namespace wavepipe::sparse

@@ -1,0 +1,63 @@
+// Level sets over a DAG, for barrier-style parallel execution.
+//
+// A level schedule partitions the nodes of a dependency DAG into "levels":
+// level(v) = 1 + max level over v's dependencies (0 when none).  All nodes in
+// one level are mutually independent, so a level can execute on any number of
+// threads; the whole DAG then runs as num_levels() sequential parallel
+// phases.  This is the classical scheme for parallel sparse triangular solves
+// and numeric refactorization (the column-dependency DAG of the LU factors —
+// see sparse/lu.hpp), where the DAG is fixed at Factor() time and replayed
+// every Newton iteration.
+//
+// The schedule is deterministic: nodes within a level are kept in ascending
+// id order, so chunk partitions — and therefore results, since level-parallel
+// kernels write disjoint outputs — never depend on thread count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wavepipe::sparse {
+
+class LevelSchedule {
+ public:
+  LevelSchedule() = default;
+
+  int num_levels() const { return static_cast<int>(level_ptr_.size()) - 1; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::span<const int> Level(int level) const {
+    return std::span<const int>(nodes_).subspan(
+        static_cast<std::size_t>(level_ptr_[level]),
+        static_cast<std::size_t>(level_ptr_[level + 1] - level_ptr_[level]));
+  }
+  /// Size of the largest level — the parallelism available in the widest phase.
+  std::size_t widest_level() const;
+  /// All nodes, grouped by level, ascending id inside each level.
+  std::span<const int> nodes() const { return nodes_; }
+
+ private:
+  friend LevelSchedule BuildLevelSchedule(std::span<const int> level_of);
+  std::vector<int> level_ptr_;  // size num_levels + 1
+  std::vector<int> nodes_;      // nodes bucketed by level
+};
+
+/// Buckets nodes by a precomputed level assignment (level_of[v] >= 0 for
+/// every v).  Counting sort: O(nodes + levels), stable, so node ids ascend
+/// within each level.
+LevelSchedule BuildLevelSchedule(std::span<const int> level_of);
+
+/// Deterministic makespan model of one barrier-per-level execution at
+/// `threads` workers, in the units of `node_cost`:
+///
+///   per level:  max(level_cost / threads, heaviest node) + barrier_cost
+///
+/// The max() captures that a level cannot finish before its most expensive
+/// node; barrier_cost is the fork/join overhead per level (charged only when
+/// threads > 1, so the 1-thread model equals the serial cost exactly).  This
+/// is the fallback gate for thin-level DAGs: deep elimination trees on analog
+/// meshes model slower than serial and keep the serial kernel.
+double ModelLevelMakespan(const LevelSchedule& schedule, std::span<const double> node_cost,
+                          int threads, double barrier_cost);
+
+}  // namespace wavepipe::sparse

@@ -48,17 +48,34 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
     pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(options_.threads));
   }
 
-  // Intra-solve colored assembly: let the cost model decide, but only attach
-  // a COLORED assembler.  The reduction fallback owns private buffers and
-  // can't serve concurrent contexts — if the graph isn't profitably
-  // colorable, pipelined solves keep the plain serial device loop.
+  // Intra-solve parallelism: ONE shared worker pool serves both colored
+  // assembly and level-scheduled LU refactorization (they alternate within a
+  // Newton iteration, never overlap).  This pool is distinct from pool_
+  // (whose workers run whole pipelined solves and block on intra-solve
+  // futures — a shared pool there would deadlock).
+  const int intra_threads = std::max(options_.assembly_threads, options_.factor_threads);
+  if (intra_threads > 1) {
+    intra_pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(intra_threads));
+  }
+
+  // Colored assembly: let the cost model decide, but only attach a COLORED
+  // assembler.  The reduction fallback owns private buffers and can't serve
+  // concurrent contexts — if the graph isn't profitably colorable, pipelined
+  // solves keep the plain serial device loop.
   if (options_.assembly_threads > 1) {
-    auto assembler = parallel::MakeAssembler(parallel::AssemblyMode::kAuto, circuit,
-                                             structure, options_.assembly_threads);
+    auto assembler =
+        parallel::MakeAssembler(parallel::AssemblyMode::kAuto, circuit, structure,
+                                options_.assembly_threads, {}, intra_pool_.get());
     if (std::strcmp(assembler->stats().strategy, "colored") == 0) {
       assembler_ = std::move(assembler);
       for (auto& ctx : contexts_) ctx->assembler = assembler_.get();
     }
+  }
+
+  // Level-scheduled LU: per-context opt-in; the per-level cost model inside
+  // SparseLu still falls back to the serial kernels when levels are thin.
+  if (options_.factor_threads > 1) {
+    for (auto& ctx : contexts_) ctx->factor_pool = intra_pool_.get();
   }
 }
 
@@ -110,6 +127,7 @@ WavePipeResult PipelineDriver::Run() {
 
   result_.stats.wall_seconds = total_timer.Seconds();
   if (assembler_) result_.assembly = assembler_->stats();
+  for (const auto& ctx : contexts_) result_.stats.AbsorbLuStats(ctx->lu.stats());
   return std::move(result_);
 }
 

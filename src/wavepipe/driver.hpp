@@ -134,6 +134,10 @@ class PipelineDriver {
   /// different contexts can share this one instance.
   std::unique_ptr<engine::DeviceAssembler> assembler_;
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Intra-solve pool shared by colored assembly and level-scheduled LU
+  /// factorization.  Deliberately separate from pool_: pipeline workers
+  /// block on intra-solve futures, so the two pools must not share threads.
+  std::unique_ptr<util::ThreadPool> intra_pool_;
   engine::History history_;
   std::map<const engine::SolutionPoint*, int> ledger_id_of_point_;
   std::size_t next_breakpoint_ = 0;

@@ -12,6 +12,8 @@ const char* SolveKindName(SolveKind kind) {
     case SolveKind::kSpeculative: return "speculative";
     case SolveKind::kRepair: return "repair";
     case SolveKind::kRejected: return "rejected";
+    case SolveKind::kAssembly: return "assembly";
+    case SolveKind::kFactorColumn: return "factor_column";
   }
   return "?";
 }

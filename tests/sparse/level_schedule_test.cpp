@@ -1,0 +1,52 @@
+#include "sparse/level_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wavepipe::sparse {
+namespace {
+
+TEST(LevelSchedule, BucketsNodesByLevelAscendingIds) {
+  // levels: node0->0, node1->1, node2->0, node3->2, node4->1
+  const std::vector<int> level_of{0, 1, 0, 2, 1};
+  const LevelSchedule s = BuildLevelSchedule(level_of);
+  ASSERT_EQ(s.num_levels(), 3);
+  EXPECT_EQ(s.num_nodes(), 5u);
+  ASSERT_EQ(s.Level(0).size(), 2u);
+  EXPECT_EQ(s.Level(0)[0], 0);
+  EXPECT_EQ(s.Level(0)[1], 2);
+  ASSERT_EQ(s.Level(1).size(), 2u);
+  EXPECT_EQ(s.Level(1)[0], 1);
+  EXPECT_EQ(s.Level(1)[1], 4);
+  ASSERT_EQ(s.Level(2).size(), 1u);
+  EXPECT_EQ(s.Level(2)[0], 3);
+  EXPECT_EQ(s.widest_level(), 2u);
+}
+
+TEST(LevelSchedule, EmptyInput) {
+  const LevelSchedule s = BuildLevelSchedule(std::vector<int>{});
+  EXPECT_EQ(s.num_levels(), 0);
+  EXPECT_EQ(s.num_nodes(), 0u);
+  EXPECT_EQ(s.widest_level(), 0u);
+}
+
+TEST(LevelSchedule, MakespanAtOneThreadEqualsSerialSum) {
+  const std::vector<int> level_of{0, 0, 1, 1, 2};
+  const std::vector<double> cost{3.0, 5.0, 2.0, 2.0, 7.0};
+  const LevelSchedule s = BuildLevelSchedule(level_of);
+  // 1 thread: no barrier charge, per level max(sum/1, heaviest) == sum.
+  EXPECT_DOUBLE_EQ(ModelLevelMakespan(s, cost, 1, 100.0), 19.0);
+}
+
+TEST(LevelSchedule, MakespanRespectsHeaviestNodeAndBarriers) {
+  // One wide level: sum = 12, heaviest = 10.  At 4 threads sum/k = 3 but the
+  // heaviest node pins the level at 10; plus one barrier.
+  const std::vector<int> level_of{0, 0, 0};
+  const std::vector<double> cost{10.0, 1.0, 1.0};
+  const LevelSchedule s = BuildLevelSchedule(level_of);
+  EXPECT_DOUBLE_EQ(ModelLevelMakespan(s, cost, 4, 5.0), 15.0);
+}
+
+}  // namespace
+}  // namespace wavepipe::sparse

@@ -1,0 +1,295 @@
+// Level-scheduled parallel LU (RefactorParallel / SolveParallel) vs the
+// serial kernels: bit-identity across the benchmark-circuit Jacobians and
+// pool sizes, pivot-failure abort, and concurrent use under TSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "engine/mna.hpp"
+#include "engine/newton.hpp"
+#include "sparse/lu.hpp"
+#include "sparse/triplet.hpp"
+#include "sparse/vector_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wavepipe::sparse {
+namespace {
+
+engine::NewtonInputs TransientInputs() {
+  engine::NewtonInputs inputs;
+  inputs.time = 1e-9;
+  inputs.a0 = 2e9;
+  inputs.transient = true;
+  inputs.gmin = 1e-12;
+  return inputs;
+}
+
+void SeedIterate(engine::SolveContext& ctx, double phase) {
+  for (std::size_t i = 0; i < ctx.x.size(); ++i) {
+    ctx.x[i] = 0.7 * std::sin(0.37 * static_cast<double>(i) + phase);
+  }
+}
+
+std::vector<double> RandomVector(int n, util::Rng& rng) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = rng.Uniform(-2, 2);
+  return v;
+}
+
+CscMatrix Tridiagonal(int n, double diag = 2.0, double off = -1.0) {
+  TripletBuilder t(n, n);
+  for (int i = 0; i < n; ++i) {
+    t.Add(i, i, diag);
+    if (i > 0) t.Add(i, i - 1, off);
+    if (i + 1 < n) t.Add(i, i + 1, off);
+  }
+  return t.ToCsc();
+}
+
+SparseLu::Options ForceLevels() {
+  SparseLu::Options opts;
+  opts.force_level_schedule = true;  // bypass the profitability fallback
+  return opts;
+}
+
+// Bit-identity over every benchmark-suite Jacobian at pool sizes 1/2/4:
+// factor the circuit's Jacobian, then refactor both instances against the
+// Jacobian of a DIFFERENT iterate (same pattern, new values) and require the
+// solve outputs to agree to the last bit.
+TEST(SparseLuParallel, RefactorAndSolveBitIdenticalAcrossSuite) {
+  auto suite = circuits::MakeBenchmarkSuite();
+  util::Rng rng(2024);
+  for (unsigned pool_threads : {1u, 2u, 4u}) {
+    util::ThreadPool pool(pool_threads);
+    for (const auto& gen : suite) {
+      const engine::MnaStructure mna(*gen.circuit);
+      engine::SolveContext ctx(*gen.circuit, mna);
+      const engine::NewtonInputs inputs = TransientInputs();
+
+      SeedIterate(ctx, 0.2);
+      engine::EvalDevices(ctx, inputs, /*limit_valid=*/false, /*first_iteration=*/true);
+
+      SparseLu serial(ForceLevels());
+      SparseLu parallel(ForceLevels());
+      serial.Factor(ctx.matrix);
+      parallel.Factor(ctx.matrix);
+
+      // New values, same pattern.
+      SeedIterate(ctx, 1.4);
+      engine::EvalDevices(ctx, inputs, /*limit_valid=*/false, /*first_iteration=*/true);
+
+      const bool ok_serial = serial.Refactor(ctx.matrix);
+      const bool ok_parallel = parallel.RefactorParallel(ctx.matrix, &pool);
+      ASSERT_EQ(ok_serial, ok_parallel) << gen.name << " pool=" << pool_threads;
+      if (!ok_serial) continue;  // both degraded identically; nothing to solve
+
+      const int n = mna.dimension();
+      const std::vector<double> b = RandomVector(n, rng);
+      std::vector<double> x_serial = b, x_parallel = b, ws1, ws2;
+      serial.Solve(x_serial, ws1);
+      parallel.SolveParallel(x_parallel, ws2, &pool);
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(x_serial[i], x_parallel[i])
+            << gen.name << " pool=" << pool_threads << " row " << i;
+      }
+
+      // SolveParallel on the SERIAL instance too: same factors, same bits.
+      std::vector<double> x_cross = b;
+      serial.SolveParallel(x_cross, ws1, &pool);
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(x_serial[i], x_cross[i]) << gen.name << " row " << i;
+      }
+    }
+  }
+}
+
+// The cost-model path (no force flag): results must still be bit-identical
+// whichever kernel the model picks, and the stats must account for the
+// choice.
+TEST(SparseLuParallel, CostModelFallbackKeepsResultsIdentical) {
+  util::ThreadPool pool(2);
+  const CscMatrix a = Tridiagonal(200);
+  SparseLu serial;  // default options: model decides
+  SparseLu parallel;
+  serial.Factor(a);
+  parallel.Factor(a);
+  ASSERT_TRUE(serial.Refactor(a));
+  ASSERT_TRUE(parallel.RefactorParallel(a, &pool));
+
+  util::Rng rng(7);
+  const std::vector<double> b = RandomVector(200, rng);
+  std::vector<double> x_serial = b, x_parallel = b, ws1, ws2;
+  serial.Solve(x_serial, ws1);
+  parallel.SolveParallel(x_parallel, ws2, &pool);
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(x_serial[i], x_parallel[i]) << i;
+
+  // A tridiagonal chain has one column per level: the model must refuse it.
+  EXPECT_FALSE(parallel.LevelScheduleProfitable(2));
+  EXPECT_EQ(parallel.stats().refactor_fallback_count, 1u);
+  EXPECT_EQ(parallel.stats().parallel_refactor_count, 0u);
+}
+
+// A degraded pivot mid-schedule: RefactorParallel must return false, leave
+// the object unfactored, and FactorOrRefactor must recover with a full
+// factorization.
+TEST(SparseLuParallel, PivotFailureAbortsAndRecovers) {
+  // Diagonal pattern: every column is level 0, so the failing column aborts
+  // sibling chunks of the SAME level via the atomic flag.
+  const int n = 64;
+  TripletBuilder t(n, n);
+  for (int i = 0; i < n; ++i) t.Add(i, i, 1.0 + i);
+  const CscMatrix good = t.ToCsc();
+
+  util::ThreadPool pool(4);
+  SparseLu lu(ForceLevels());
+  lu.Factor(good);
+
+  CscMatrix bad = good;
+  bad.mutable_values()[40] = 0.0;  // singular pivot in column 40
+  EXPECT_FALSE(lu.RefactorParallel(bad, &pool));
+  EXPECT_FALSE(lu.factored());
+
+  // Serial Refactor agrees on the same matrix after re-factoring the good one.
+  lu.Factor(good);
+  EXPECT_FALSE(lu.Refactor(bad));
+  EXPECT_FALSE(lu.factored());
+
+  // FactorOrRefactor falls back to Factor() and must throw on the singular
+  // matrix — and succeed again on the good one.
+  EXPECT_THROW(lu.FactorOrRefactor(bad, &pool), SingularMatrixError);
+  lu.FactorOrRefactor(good, &pool);
+  EXPECT_TRUE(lu.factored());
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0), ws;
+  lu.Solve(x, ws);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], 1.0 / (1.0 + i), 1e-12);
+}
+
+// Pivot degradation in a deeper schedule (chain): the abort propagates out
+// of a level > 0.
+TEST(SparseLuParallel, PivotFailureInDeepSchedule) {
+  const int n = 50;
+  const CscMatrix good = Tridiagonal(n);
+  util::ThreadPool pool(2);
+  SparseLu serial(ForceLevels());
+  SparseLu parallel(ForceLevels());
+  serial.Factor(good);
+  parallel.Factor(good);
+
+  // Zeroing a middle diagonal entry makes that column's reused pivot tiny
+  // relative to its off-diagonals after the left-looking update.
+  CscMatrix bad = good;
+  auto values = bad.mutable_values();
+  for (int k = bad.col_begin(n / 2); k < bad.col_end(n / 2); ++k) {
+    if (bad.row_of(k) == n / 2) values[k] = 1e-14;
+  }
+  const bool ok_serial = serial.Refactor(bad);
+  const bool ok_parallel = parallel.RefactorParallel(bad, &pool);
+  EXPECT_EQ(ok_serial, ok_parallel);
+}
+
+// Several threads each drive their OWN SparseLu through refactor+solve
+// cycles while SHARING one worker pool — the WavePipe driver's shape
+// (per-context LU, shared intra-solve pool).  TSan-checked via the suite's
+// tsan label.
+TEST(SparseLuParallel, ConcurrentRefactorSolveSharedPool) {
+  util::ThreadPool pool(4);
+  const CscMatrix base = Tridiagonal(120);
+
+  auto worker = [&pool, &base](unsigned seed) {
+    SparseLu lu(ForceLevels());
+    lu.Factor(base);
+    util::Rng rng(seed);
+    for (int round = 0; round < 20; ++round) {
+      CscMatrix m = base;
+      auto values = m.mutable_values();
+      for (double& v : values) v += 0.01 * rng.Uniform(-1, 1);
+      ASSERT_TRUE(lu.RefactorParallel(m, &pool));
+      std::vector<double> x(120, 1.0), ws;
+      lu.SolveParallel(x, ws, &pool);
+      std::vector<double> r(120, 1.0);
+      m.MultiplyAccumulate(x, r, -1.0);
+      ASSERT_LT(NormInf(r), 1e-10);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned s = 1; s <= 3; ++s) threads.emplace_back(worker, 1000 + s);
+  for (auto& t : threads) t.join();
+}
+
+// The ordering cache: a second Factor() on the same pattern must reuse the
+// fill-reducing ordering; a different pattern must not.
+TEST(SparseLuParallel, OrderingCacheReusedOnSamePattern) {
+  util::Rng rng(5);
+  const CscMatrix a = Tridiagonal(80);
+  SparseLu lu;
+  lu.Factor(a);
+  EXPECT_EQ(lu.stats().ordering_reuse_count, 0u);
+  lu.Factor(a);
+  EXPECT_EQ(lu.stats().ordering_reuse_count, 1u);
+
+  const std::vector<double> b = RandomVector(80, rng);
+  std::vector<double> x = b, ws;
+  lu.Solve(x, ws);
+  std::vector<double> r = b;
+  a.MultiplyAccumulate(x, r, -1.0);
+  EXPECT_LT(NormInf(r), 1e-12);
+
+  const CscMatrix other = Tridiagonal(81);
+  lu.Factor(other);
+  EXPECT_EQ(lu.stats().ordering_reuse_count, 1u);  // new pattern: no reuse
+  lu.Factor(other);
+  EXPECT_EQ(lu.stats().ordering_reuse_count, 2u);
+}
+
+// Level-scheduling telemetry lands in Stats after Factor().
+TEST(SparseLuParallel, StatsExposeLevelSchedules) {
+  const CscMatrix a = Tridiagonal(32);
+  SparseLu lu;
+  lu.Factor(a);
+  const SparseLu::Stats stats = lu.stats();
+  // A tridiagonal chain factors column-by-column: n levels of width 1.
+  EXPECT_EQ(stats.factor_levels, 32);
+  EXPECT_EQ(stats.factor_widest_level, 1u);
+  EXPECT_GT(stats.solve_fwd_levels, 0);
+  EXPECT_GT(stats.solve_bwd_levels, 0);
+  EXPECT_GT(stats.modeled_refactor_speedup2, 0.0);
+  EXPECT_LE(stats.modeled_refactor_speedup2, 1.0);  // chains cannot speed up
+  EXPECT_EQ(lu.factor_level_schedule().num_nodes(), 32u);
+  EXPECT_DOUBLE_EQ(lu.ModelRefactorMakespanFlops(1), lu.serial_refactor_flops());
+}
+
+// The caller-workspace Refine overload improves (or at least does not
+// degrade) the residual without allocating in the caller's loop.
+TEST(SparseLuParallel, RefineWithCallerWorkspace) {
+  util::Rng rng(11);
+  const CscMatrix a = Tridiagonal(60, 2.0, -1.0);
+  SparseLu lu;
+  lu.Factor(a);
+  const std::vector<double> b = RandomVector(60, rng);
+  std::vector<double> x = b, ws;
+  lu.Solve(x, ws);
+
+  std::vector<double> residual, solve_ws;
+  const double correction = lu.Refine(a, b, x, residual, solve_ws);
+  EXPECT_GE(correction, 0.0);
+  std::vector<double> r = b;
+  a.MultiplyAccumulate(x, r, -1.0);
+  EXPECT_LT(NormInf(r), 1e-11);
+
+  // Convenience overload (thread-local scratch) matches.
+  std::vector<double> x2 = b;
+  lu.Solve(x2);
+  lu.Refine(a, b, x2);
+  std::vector<double> r2 = b;
+  a.MultiplyAccumulate(x2, r2, -1.0);
+  EXPECT_LT(NormInf(r2), 1e-11);
+}
+
+}  // namespace
+}  // namespace wavepipe::sparse
