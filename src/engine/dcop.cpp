@@ -45,12 +45,22 @@ DcopResult SolveDcOperatingPoint(SolveContext& ctx, const SimOptions& options,
     }
   }
   const std::vector<double> initial_guess = ctx.x;
+  // Each strategy starts from initial_guess and, on failure, must leave no
+  // residue in ctx.x for the next one (a half-stepped continuation iterate
+  // is a WORSE starting point than the original guess).  The attempts log
+  // records what was tried so the final error is actionable.
+  std::string attempts;
+  const auto log_attempt = [&attempts](const std::string& entry) {
+    if (!attempts.empty()) attempts += ", ";
+    attempts += entry;
+  };
 
   // --- Strategy 1: direct ----------------------------------------------------
   {
     NewtonStats stats = SolveNewton(ctx, DcInputs(options), options, options.max_dcop_iters);
     if (stats.converged) return {stats, "direct"};
     WP_DEBUG << "dcop: direct Newton failed after " << stats.iterations << " iterations";
+    log_attempt("direct (" + std::to_string(stats.iterations) + " iters)");
   }
 
   // --- Strategy 2: gmin stepping ----------------------------------------------
@@ -60,11 +70,15 @@ DcopResult SolveDcOperatingPoint(SolveContext& ctx, const SimOptions& options,
     bool ladder_ok = true;
     // Shunt ladder from 10 mS down to 0, log-spaced.
     double gshunt = 1e-2;
+    int failed_rung = 0;
+    int failed_iters = 0;
     for (int step = 0; step < options.gmin_stepping_steps && ladder_ok; ++step) {
       inputs.gshunt = gshunt;
       NewtonStats stats = SolveNewton(ctx, inputs, options, options.max_dcop_iters);
       if (!stats.converged) {
         ladder_ok = false;
+        failed_rung = step + 1;
+        failed_iters = stats.iterations;
         break;
       }
       gshunt /= 10.0;
@@ -74,6 +88,12 @@ DcopResult SolveDcOperatingPoint(SolveContext& ctx, const SimOptions& options,
       inputs.gshunt = 0.0;
       NewtonStats stats = SolveNewton(ctx, inputs, options, options.max_dcop_iters);
       if (stats.converged) return {stats, "gmin-stepping"};
+      log_attempt("gmin-stepping (release solve, " + std::to_string(stats.iterations) +
+                  " iters)");
+    } else {
+      log_attempt("gmin-stepping (rung " + std::to_string(failed_rung) + "/" +
+                  std::to_string(options.gmin_stepping_steps) + ", " +
+                  std::to_string(failed_iters) + " iters)");
     }
     WP_DEBUG << "dcop: gmin stepping failed";
   }
@@ -82,21 +102,24 @@ DcopResult SolveDcOperatingPoint(SolveContext& ctx, const SimOptions& options,
   {
     ctx.x = initial_guess;
     NewtonInputs inputs = DcInputs(options);
-    bool ok = true;
     for (int step = 1; step <= options.source_stepping_steps; ++step) {
       inputs.source_scale =
           static_cast<double>(step) / static_cast<double>(options.source_stepping_steps);
       NewtonStats stats = SolveNewton(ctx, inputs, options, options.max_dcop_iters);
       if (!stats.converged) {
-        ok = false;
+        log_attempt("source-stepping (step " + std::to_string(step) + "/" +
+                    std::to_string(options.source_stepping_steps) + ", " +
+                    std::to_string(stats.iterations) + " iters)");
         break;
       }
       if (step == options.source_stepping_steps) return {stats, "source-stepping"};
     }
-    (void)ok;
   }
 
-  throw ConvergenceError("DC operating point failed (direct, gmin and source stepping)");
+  // Leave the context exactly as the caller handed it over: a failed
+  // mid-ladder continuation iterate must not masquerade as a solution.
+  ctx.x = initial_guess;
+  throw ConvergenceError("DC operating point failed; tried: " + attempts);
 }
 
 SolutionPointPtr MakeDcSolutionPoint(const SolveContext& ctx, double time) {

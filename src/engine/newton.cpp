@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace wavepipe::engine {
 
@@ -50,6 +51,13 @@ void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid
     for (const auto& device : ctx.circuit().devices()) device->Eval(eval);
   }
 
+  // Fault site: a device model producing a non-finite entry.  The poisoned
+  // RHS propagates through the linear solve into the iterate, where the
+  // Newton loop's finite check classifies the point as divergent.
+  if (WP_FAULT_POINT("device.eval_nan")) {
+    ctx.rhs[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+
   // Gmin-stepping shunt: conductance from every node to ground.  Stamped
   // after devices so it can't be overwritten.
   if (inputs.gshunt > 0.0) {
@@ -78,6 +86,10 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
   const int num_nodes = ctx.circuit().num_nodes();
   NewtonStats stats;
 
+  // Fault site: Newton declares divergence without iterating.  Exercises
+  // every step-shrink / rescue / abort path above this function.
+  if (WP_FAULT_POINT("newton.converge")) return stats;
+
   bool limit_valid = false;
   for (int iter = 0; iter < max_iterations; ++iter) {
     stats.iterations = iter + 1;
@@ -88,7 +100,17 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
 
     const auto before_factor = ctx.lu.stats().factor_count;
     const auto before_refactor = ctx.lu.stats().refactor_count;
-    ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
+    try {
+      ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
+    } catch (const SingularMatrixError&) {
+      // A singular pivot at this trial point is reported as a failed solve,
+      // not an unwound simulation: the caller shrinks the step or climbs the
+      // rescue ladder, both of which change the Jacobian it will retry with.
+      stats.converged = false;
+      stats.singular = true;
+      stats.final_delta = std::numeric_limits<double>::infinity();
+      return stats;
+    }
     stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
     stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
 
@@ -96,6 +118,15 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
     ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
     for (int r = 0; r < options.newton_refine_steps; ++r) {
       ctx.lu.Refine(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work);
+    }
+
+    // Damped update (rescue ladder): pull the full Newton step back toward
+    // the current iterate.  The convergence norm below then measures the
+    // damped update, so convergence still means "the iterate stopped moving".
+    if (inputs.damping < 1.0) {
+      for (int i = 0; i < n; ++i) {
+        ctx.x_new[i] = ctx.x[i] + inputs.damping * (ctx.x_new[i] - ctx.x[i]);
+      }
     }
 
     // Weighted max-norm convergence test (SPICE-style).

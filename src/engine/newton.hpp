@@ -26,6 +26,12 @@ struct NewtonStats {
   double final_delta = 0.0;   ///< max weighted update of the last iteration
   int lu_full_factors = 0;
   int lu_refactors = 0;
+  /// The iteration aborted on a singular (or injected) pivot failure rather
+  /// than plain non-convergence.  Reported instead of letting the
+  /// SingularMatrixError unwind: a singular Jacobian at one trial point is a
+  /// recoverable event (shrink the step, climb the rescue ladder), not a
+  /// reason to discard the waveform computed so far.
+  bool singular = false;
 };
 
 struct NewtonInputs;
@@ -117,6 +123,11 @@ struct NewtonInputs {
   /// standard tolerance — the usual "confirming second pass" exists only to
   /// protect against arbitrary starting points.
   bool trusted_seed = false;
+  /// Newton update damping: x <- x + damping * dx.  1.0 (default) is the
+  /// full undamped update; the rescue ladder's damped rung retries a
+  /// divergent time point with fractional steps to tame overshooting device
+  /// linearizations.
+  double damping = 1.0;
 
   /// Nodeset clamps: each (node unknown, volts) pair is tied to its target
   /// through a conductance of `nodeset_g` siemens (SPICE's .ic/.nodeset

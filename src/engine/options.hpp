@@ -23,6 +23,40 @@ inline const char* MethodName(Method m) {
 /// Integration order of a method (the LTE exponent is order + 1).
 inline int MethodOrder(Method m) { return m == Method::kBackwardEuler ? 1 : 2; }
 
+/// Rungs of the time-point rescue ladder (engine/rescue.hpp), in escalation
+/// order.  Used as indices into the TransientStats rescue counters.
+enum class RescueRung {
+  kBackwardEuler = 0,  ///< BE restart with a constant predictor
+  kDampedNewton = 1,   ///< BE restart + damped Newton updates
+  kGshuntRamp = 2,     ///< transient gshunt continuation ramp
+};
+inline constexpr int kNumRescueRungs = 3;
+
+inline const char* RescueRungName(RescueRung rung) {
+  switch (rung) {
+    case RescueRung::kBackwardEuler: return "be-restart";
+    case RescueRung::kDampedNewton: return "damped-newton";
+    case RescueRung::kGshuntRamp: return "gshunt-ramp";
+  }
+  return "?";
+}
+
+/// Time-point rescue ladder configuration.  The ladder only runs after the
+/// normal step-shrinking loop has already failed all the way down to hmin —
+/// the clean path never touches it (pay-on-failure only).
+struct RescueOptions {
+  bool enabled = true;
+  /// Damped-Newton rung: attempts with update scale damping, damping^2, ...
+  int damped_attempts = 2;
+  double damping = 0.5;
+  /// Gshunt rung: ramp from gshunt_start down one decade per stage for
+  /// `gshunt_stages` stages, then a final solve with the shunt removed.
+  int gshunt_stages = 4;
+  double gshunt_start = 1e-3;
+  /// Extra Newton budget while rescuing (multiplies max_newton_iters).
+  int max_iters_scale = 2;
+};
+
 struct SimOptions {
   // ---- tolerances (SPICE defaults) ---------------------------------------
   double reltol = 1e-3;   ///< relative tolerance on all unknowns
@@ -47,6 +81,11 @@ struct SimOptions {
   double hmax = 0.0;          ///< 0 = auto ((tstop - tstart) / 50)
   double hmin_ratio = 1e-9;   ///< hmin = hmin_ratio * (tstop - tstart)
   double first_step_ratio = 1e-3;  ///< h0 = ratio * min(tstep, hmax)
+
+  // ---- robustness -----------------------------------------------------------
+  /// Escalation ladder tried when Newton failure shrinks the step to hmin
+  /// (the historical hard-abort point).  See engine/rescue.hpp.
+  RescueOptions rescue;
 
   // ---- bookkeeping ----------------------------------------------------------
   int history_depth = 8;  ///< solution points kept for predictors/LTE

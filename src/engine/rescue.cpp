@@ -1,0 +1,130 @@
+#include "engine/rescue.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace wavepipe::engine {
+namespace {
+
+/// One guarded solve attempt: any recoverable engine error (a genuine or
+/// injected exception escaping the solver stack) is folded into a
+/// non-converged result so the ladder can keep climbing.
+StepSolveResult TrySolve(SolveContext& ctx, const HistoryWindow& window, double t_new,
+                         const SimOptions& options, std::span<const double> seed_x,
+                         const SolveOverrides& overrides) {
+  try {
+    return SolveTimePoint(ctx, window, t_new, options.method, /*restart=*/true, options,
+                          seed_x, overrides);
+  } catch (const Error& error) {
+    StepSolveResult failed;
+    failed.converged = false;
+    failed.failure = error.what();
+    return failed;
+  }
+}
+
+void Append(std::string& log, const std::string& entry) {
+  if (!log.empty()) log += ", ";
+  log += entry;
+}
+
+}  // namespace
+
+RescueOutcome AttemptRescue(SolveContext& ctx, const HistoryWindow& window, double t_new,
+                            const SimOptions& options, TransientStats& stats) {
+  RescueOutcome outcome;
+  const RescueOptions& rescue = options.rescue;
+  if (!rescue.enabled) {
+    outcome.attempts = "rescue ladder disabled";
+    return outcome;
+  }
+  WP_ASSERT(!window.empty() && t_new > window.back()->time);
+
+  auto succeed = [&](RescueRung rung, StepSolveResult solve) {
+    stats.rescues_succeeded[static_cast<int>(rung)] += 1;
+    outcome.rescued = true;
+    outcome.rung = rung;
+    outcome.solve = std::move(solve);
+    Append(outcome.attempts, std::string(RescueRungName(rung)) + " (" +
+                                 std::to_string(outcome.solve.newton.iterations) +
+                                 " iters, converged)");
+  };
+
+  // ---- rung 1: backward-Euler restart --------------------------------------
+  {
+    stats.rescues_attempted[static_cast<int>(RescueRung::kBackwardEuler)] += 1;
+    SolveOverrides overrides;
+    overrides.max_iters_scale = rescue.max_iters_scale;
+    StepSolveResult solve = TrySolve(ctx, window, t_new, options, {}, overrides);
+    if (solve.converged) {
+      succeed(RescueRung::kBackwardEuler, std::move(solve));
+      return outcome;
+    }
+    Append(outcome.attempts, "be-restart (" + std::to_string(solve.newton.iterations) +
+                                 " iters)");
+  }
+
+  // ---- rung 2: damped Newton -----------------------------------------------
+  {
+    stats.rescues_attempted[static_cast<int>(RescueRung::kDampedNewton)] += 1;
+    double damping = rescue.damping;
+    for (int attempt = 0; attempt < rescue.damped_attempts; ++attempt) {
+      SolveOverrides overrides;
+      overrides.damping = damping;
+      overrides.max_iters_scale = rescue.max_iters_scale;
+      StepSolveResult solve = TrySolve(ctx, window, t_new, options, {}, overrides);
+      if (solve.converged) {
+        succeed(RescueRung::kDampedNewton, std::move(solve));
+        return outcome;
+      }
+      Append(outcome.attempts,
+             "damped-newton d=" + std::to_string(damping) + " (" +
+                 std::to_string(solve.newton.iterations) + " iters)");
+      damping *= rescue.damping;
+    }
+  }
+
+  // ---- rung 3: gshunt continuation ramp ------------------------------------
+  {
+    stats.rescues_attempted[static_cast<int>(RescueRung::kGshuntRamp)] += 1;
+    double gshunt = rescue.gshunt_start;
+    std::vector<double> seed;  // empty for the first (most-shunted) stage
+    bool ramp_ok = true;
+    int stage = 0;
+    for (; stage < rescue.gshunt_stages; ++stage) {
+      SolveOverrides overrides;
+      overrides.gshunt = gshunt;
+      overrides.max_iters_scale = rescue.max_iters_scale;
+      StepSolveResult solve = TrySolve(ctx, window, t_new, options, seed, overrides);
+      if (!solve.converged) {
+        ramp_ok = false;
+        break;
+      }
+      seed = ctx.x;  // the shunted solution seeds the next, weaker stage
+      gshunt /= 10.0;
+    }
+    if (ramp_ok) {
+      SolveOverrides overrides;
+      overrides.max_iters_scale = rescue.max_iters_scale;
+      StepSolveResult solve = TrySolve(ctx, window, t_new, options, seed, overrides);
+      if (solve.converged) {
+        succeed(RescueRung::kGshuntRamp, std::move(solve));
+        return outcome;
+      }
+      Append(outcome.attempts, "gshunt-ramp (release solve failed after " +
+                                   std::to_string(rescue.gshunt_stages) + " stages)");
+    } else {
+      Append(outcome.attempts,
+             "gshunt-ramp (stage " + std::to_string(stage + 1) + "/" +
+                 std::to_string(rescue.gshunt_stages) + " failed)");
+    }
+  }
+
+  WP_DEBUG << "rescue: ladder exhausted at t=" << t_new << " (" << outcome.attempts << ")";
+  return outcome;
+}
+
+}  // namespace wavepipe::engine

@@ -1,0 +1,52 @@
+// Time-point rescue ladder: the escalation path between "Newton failed and
+// the step is already at hmin" and "give up".
+//
+// Historically that condition was an unguarded throw that discarded the
+// entire computed waveform.  Production SPICE engines instead escalate
+// through progressively more robust (and more expensive) per-point
+// continuation strategies before declaring the run dead.  This ladder runs
+// them in order, each rung a strict superset of the previous one's
+// robustness:
+//
+//   1. kBackwardEuler — re-solve the point as a backward-Euler restart with
+//      a constant predictor and an enlarged Newton budget.  Cures failures
+//      caused by a poisoned local polynomial model (trapezoidal ringing,
+//      stale history after a sharp device transition).
+//   2. kDampedNewton — BE restart plus damped Newton updates (scale d, d^2,
+//      ...).  Cures overshooting linearizations of strongly nonlinear
+//      devices, where full steps orbit the solution instead of landing.
+//   3. kGshuntRamp — transient gshunt continuation: solve with a large
+//      node-to-ground shunt (which makes any Jacobian diagonally dominant),
+//      then ramp the shunt down one decade per stage re-seeding each stage
+//      with the previous solution, and finish with the shunt removed.  The
+//      transient analogue of DC gmin stepping, reusing the same
+//      NewtonInputs::gshunt plumbing.
+//
+// The ladder is strictly pay-on-failure: a clean simulation never calls it,
+// so it cannot change clean-path step sequences or wall time.  Every rung
+// engaged is counted in TransientStats::rescues_attempted / _succeeded, and
+// the outcome carries a human-readable log of what was tried for abort
+// diagnostics.
+#pragma once
+
+#include "engine/transient.hpp"
+
+namespace wavepipe::engine {
+
+struct RescueOutcome {
+  bool rescued = false;
+  RescueRung rung = RescueRung::kBackwardEuler;  ///< the rung that succeeded
+  /// The converged solve when rescued (point, Newton stats, predictor).
+  StepSolveResult solve;
+  /// Ladder log, e.g. "be-restart (12 iters), damped-newton d=0.5 (9 iters),
+  /// gshunt-ramp (converged)".  Feeds abort_reason when nothing worked.
+  std::string attempts;
+};
+
+/// Runs the ladder for the time point `t_new` from history `window` on
+/// `ctx`.  Touches only `ctx` (like SolveTimePoint), so pipelined callers
+/// may run it on any idle context.  Counts every engaged rung in `stats`.
+RescueOutcome AttemptRescue(SolveContext& ctx, const HistoryWindow& window, double t_new,
+                            const SimOptions& options, TransientStats& stats);
+
+}  // namespace wavepipe::engine

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/rescue.hpp"
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -38,9 +40,35 @@ StepLimits StepLimits::FromSpec(const TransientSpec& spec, const SimOptions& opt
   return limits;
 }
 
+StepClip ClipStepToSchedule(double t_from, double h, double tstop,
+                            std::span<const double> breakpoints,
+                            std::size_t& next_breakpoint, double hmin) {
+  StepClip clip{t_from + h, false, false};
+  while (next_breakpoint < breakpoints.size() &&
+         breakpoints[next_breakpoint] <= t_from + hmin) {
+    ++next_breakpoint;  // already passed (or unreachably close)
+  }
+  if (next_breakpoint < breakpoints.size() &&
+      clip.t_new >= breakpoints[next_breakpoint] - hmin) {
+    clip.t_new = breakpoints[next_breakpoint];
+    clip.hit_breakpoint = true;
+  }
+  if (clip.t_new >= tstop) {
+    clip.t_new = tstop;
+    clip.hit_stop = true;
+    clip.hit_breakpoint = false;
+  }
+  return clip;
+}
+
+bool TransientHorizonReached(double newest_time, double tstop) {
+  return newest_time >= tstop - 1e-15 * std::abs(tstop);
+}
+
 StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, double t_new,
                                Method method, bool restart, const SimOptions& options,
-                               std::span<const double> seed_x) {
+                               std::span<const double> seed_x,
+                               const SolveOverrides& overrides) {
   WP_ASSERT(!window.empty());
   WP_ASSERT(t_new > window.back()->time);
   util::ThreadCpuTimer timer;
@@ -68,8 +96,12 @@ StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, d
   inputs.gmin = options.gmin;
   inputs.source_scale = 1.0;
   inputs.trusted_seed = !seed_x.empty();
-  result.newton = SolveNewton(ctx, inputs, options, options.max_newton_iters);
+  inputs.gshunt = overrides.gshunt;
+  inputs.damping = overrides.damping;
+  result.newton = SolveNewton(ctx, inputs, options,
+                              options.max_newton_iters * std::max(1, overrides.max_iters_scale));
   result.converged = result.newton.converged;
+  if (result.newton.singular) result.failure = "singular pivot";
 
   if (result.converged) {
     auto point = std::make_shared<SolutionPoint>();
@@ -95,8 +127,18 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
                            : ProbeSet::FirstNodes(circuit.num_nodes(), 16));
 
   SolveContext ctx(circuit, structure);
-  const DcopResult dcop = SolveDcOperatingPoint(ctx, options, spec.initial_conditions);
-  result.stats.dcop_strategy = dcop.strategy;
+  result.last_good_time = spec.tstart;
+  try {
+    const DcopResult dcop = SolveDcOperatingPoint(ctx, options, spec.initial_conditions);
+    result.stats.dcop_strategy = dcop.strategy;
+  } catch (const Error& error) {
+    // No operating point, no waveform to lose — but still a structured
+    // result instead of an unwound stack.
+    result.completed = false;
+    result.abort_reason = error.what();
+    result.stats.wall_seconds = total_timer.Seconds();
+    return result;
+  }
 
   History history(options.history_depth);
   history.Add(MakeDcSolutionPoint(ctx, spec.tstart));
@@ -110,28 +152,27 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
   bool restart = true;  // first step integrates off the DC point
   int steps_since_restart = 0;
 
-  while (history.newest_time() < spec.tstop - 1e-15 * spec.tstop) {
+  while (!TransientHorizonReached(history.newest_time(), spec.tstop)) {
     const double t_now = history.newest_time();
 
-    // Clip the step to the next breakpoint / stop time.
+    // Clip the step to the next breakpoint / stop time (shared rule with the
+    // pipeline driver — the two step sequences must stay identical).
     h = std::clamp(h, limits.hmin, limits.hmax);
-    double t_new = t_now + h;
-    bool hit_breakpoint = false;
-    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t_now + limits.hmin) {
-      ++next_bp;  // already passed (or unreachably close)
-    }
-    if (next_bp < breakpoints.size() && t_new >= breakpoints[next_bp] - limits.hmin) {
-      t_new = breakpoints[next_bp];
-      hit_breakpoint = true;
-    }
-    if (t_new > spec.tstop) {
-      t_new = spec.tstop;
-      hit_breakpoint = false;
-    }
+    const StepClip clip =
+        ClipStepToSchedule(t_now, h, spec.tstop, breakpoints, next_bp, limits.hmin);
+    const double t_new = clip.t_new;
+    const bool hit_breakpoint = clip.hit_breakpoint;
 
     const HistoryWindow window = history.Window(4);
-    StepSolveResult solve =
-        SolveTimePoint(ctx, window, t_new, options.method, restart, options);
+    StepSolveResult solve;
+    try {
+      solve = SolveTimePoint(ctx, window, t_new, options.method, restart, options);
+    } catch (const Error& error) {
+      // Recoverable engine errors (injected or genuine) demote to a failed
+      // solve: the shrink/rescue machinery below owns what happens next.
+      solve.converged = false;
+      solve.failure = error.what();
+    }
     result.stats.newton_iterations += static_cast<std::uint64_t>(solve.newton.iterations);
     result.stats.lu_full_factors += static_cast<std::uint64_t>(solve.newton.lu_full_factors);
     result.stats.lu_refactors += static_cast<std::uint64_t>(solve.newton.lu_refactors);
@@ -144,8 +185,35 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
       }
       h = (t_new - t_now) / options.newton_fail_shrink;
       if (h < limits.hmin) {
-        throw ConvergenceError("transient: timestep too small at t = " +
-                               std::to_string(t_now));
+        // Step shrinking is out of road: climb the rescue ladder for one
+        // minimal step before giving up.
+        const double t_rescue = std::min(t_now + limits.hmin, spec.tstop);
+        RescueOutcome rescue =
+            AttemptRescue(ctx, window, t_rescue, options, result.stats);
+        if (rescue.rescued) {
+          history.Add(rescue.solve.point);
+          result.trace.Record(t_rescue, rescue.solve.point->x);
+          result.stats.steps_accepted += 1;
+          result.final_point = rescue.solve.point;
+          if (spec.record_step_details) {
+            result.steps.push_back({t_rescue, t_rescue - t_now,
+                                    rescue.solve.newton.iterations, 0.0,
+                                    /*accepted=*/true, /*restart_step=*/true});
+          }
+          // The rescued point is a BE restart; rebuild the local history
+          // from it exactly as after a breakpoint.
+          restart = true;
+          steps_since_restart = 0;
+          h = limits.h0;
+          continue;
+        }
+        result.completed = false;
+        result.abort_reason =
+            "transient: Newton failure with step at hmin, t = " +
+            std::to_string(t_now) +
+            (solve.failure.empty() ? "" : " (" + solve.failure + ")") +
+            "; rescue ladder exhausted: " + rescue.attempts;
+        break;
       }
       continue;
     }
@@ -188,6 +256,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     }
   }
 
+  result.last_good_time = history.newest_time();
   result.stats.wall_seconds = total_timer.Seconds();
   result.stats.AbsorbLuStats(ctx.lu.stats());
   return result;

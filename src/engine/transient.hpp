@@ -3,6 +3,9 @@
 // experiment compares against).
 #pragma once
 
+#include <array>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "engine/circuit.hpp"
@@ -28,6 +31,18 @@ struct StepSolveResult {
   IntegrationPlan plan;
   std::vector<double> predicted;  ///< predictor at t_new (LTE / FWP checks)
   double solve_seconds = 0.0;     ///< measured wall cost (feeds the ledger)
+  /// Non-empty when the solve ended in something harder than plain
+  /// non-convergence (singular pivot, exception drained from a worker
+  /// future).  Carried into abort reasons.
+  std::string failure;
+};
+
+/// Per-solve parameter overrides used by the rescue ladder: the clean path
+/// always passes the defaults, so the regular solve sequence is untouched.
+struct SolveOverrides {
+  double gshunt = 0.0;       ///< extra node-diagonal shunt (continuation)
+  double damping = 1.0;      ///< Newton update damping
+  int max_iters_scale = 1;   ///< multiplies options.max_newton_iters
 };
 
 /// Solves the circuit at `t_new` using history `window` (time-ascending,
@@ -44,7 +59,8 @@ struct StepSolveResult {
 /// way.  The predictor is still computed for the LTE test.
 StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, double t_new,
                                Method method, bool restart, const SimOptions& options,
-                               std::span<const double> seed_x = {});
+                               std::span<const double> seed_x = {},
+                               const SolveOverrides& overrides = {});
 
 /// Builds the LTE/step-control parameter block from SimOptions.
 StepControlParams MakeStepParams(const SimOptions& options, int num_nodes, int order);
@@ -75,6 +91,21 @@ struct TransientStats {
   std::size_t steps_accepted = 0;
   std::size_t steps_rejected_lte = 0;
   std::size_t steps_rejected_newton = 0;
+  /// Rescue-ladder telemetry, indexed by RescueRung.  An "attempt" is one
+  /// rung engaged (not one Newton solve inside it); a rung that produced the
+  /// accepted point also counts in rescues_succeeded.
+  std::array<std::uint64_t, kNumRescueRungs> rescues_attempted{};
+  std::array<std::uint64_t, kNumRescueRungs> rescues_succeeded{};
+  std::uint64_t TotalRescuesAttempted() const {
+    std::uint64_t total = 0;
+    for (const auto count : rescues_attempted) total += count;
+    return total;
+  }
+  std::uint64_t TotalRescuesSucceeded() const {
+    std::uint64_t total = 0;
+    for (const auto count : rescues_succeeded) total += count;
+    return total;
+  }
   std::uint64_t newton_iterations = 0;
   std::uint64_t lu_full_factors = 0;
   std::uint64_t lu_refactors = 0;
@@ -108,6 +139,12 @@ struct TransientResult {
   TransientStats stats;
   std::vector<StepRecord> steps;
   SolutionPointPtr final_point;
+  /// False when the run aborted before reaching tstop.  The trace, stats,
+  /// ledger and final_point still hold everything computed up to
+  /// last_good_time — an abort never discards the waveform.
+  bool completed = true;
+  std::string abort_reason;     ///< empty when completed
+  double last_good_time = 0.0;  ///< newest accepted time point
 };
 
 /// Conventional serial SPICE transient loop: DC operating point, then
@@ -122,5 +159,25 @@ struct StepLimits {
   double h0 = 0.0;  ///< (re)start step size
   static StepLimits FromSpec(const TransientSpec& spec, const SimOptions& options);
 };
+
+/// A candidate step clipped against the breakpoint schedule and stop time.
+struct StepClip {
+  double t_new = 0.0;
+  bool hit_breakpoint = false;
+  bool hit_stop = false;
+};
+
+/// The ONE clipping rule both the serial engine and the pipeline driver use
+/// (they previously disagreed on > vs >= at tstop, which made their step
+/// sequences drift apart in the last interval).  Advances `next_breakpoint`
+/// past breakpoints already within hmin of t_from, snaps t_new onto a
+/// breakpoint within hmin, and clamps at tstop (stop wins over breakpoint).
+StepClip ClipStepToSchedule(double t_from, double h, double tstop,
+                            std::span<const double> breakpoints,
+                            std::size_t& next_breakpoint, double hmin);
+
+/// Shared loop-termination test: the newest accepted time has reached tstop
+/// (up to the same relative slack in both drivers).
+bool TransientHorizonReached(double newest_time, double tstop);
 
 }  // namespace wavepipe::engine

@@ -9,6 +9,7 @@
 #include "sparse/ordering.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wavepipe::sparse {
@@ -489,6 +490,12 @@ void SparseLu::FactorOrRefactor(const CscMatrix& matrix) {
 }
 
 void SparseLu::FactorOrRefactor(const CscMatrix& matrix, util::ThreadPool* pool) {
+  // Fault site: a pivot failure at the entry point of the Newton loop's
+  // linear-solver path.  Thrown (not returned) so tests exercise the same
+  // unwinding a genuine SingularMatrixError from Factor() would take.
+  if (WP_FAULT_POINT("lu.pivot")) {
+    throw SingularMatrixError("lu.pivot: injected pivot failure", -1);
+  }
   if (factored_ && matrix.cols() == n_ && matrix.num_nonzeros() == pattern_nnz_) {
     if (RefactorParallel(matrix, pool)) return;
   }

@@ -1,0 +1,113 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wavepipe::util::fault {
+namespace {
+
+struct SiteState {
+  std::string name;
+  Schedule schedule;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t rng = 0;  ///< splitmix64 state, seeded from schedule.seed
+};
+
+// A mutex-protected registry is fine here: ShouldFire only runs while a test
+// has armed at least one site, and even then one lock per fault-point hit is
+// noise next to the nonlinear solve each hit sits inside.  The common
+// (disabled) path never touches the registry at all.
+std::mutex g_mutex;
+std::vector<SiteState>& Registry() {
+  static std::vector<SiteState> sites;
+  return sites;
+}
+std::atomic<int> g_armed{0};
+
+SiteState* Find(std::string_view site) {
+  for (auto& state : Registry()) {
+    if (state.name == site) return &state;
+  }
+  return nullptr;
+}
+
+double NextUniform(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool Enabled() { return g_armed.load(std::memory_order_relaxed) > 0; }
+
+void Arm(std::string_view site, const Schedule& schedule) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState* state = Find(site);
+  if (state == nullptr) {
+    Registry().push_back({});
+    state = &Registry().back();
+    state->name = std::string(site);
+    g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+  state->schedule = schedule;
+  state->hits = 0;
+  state->fired = 0;
+  state->rng = schedule.seed;
+}
+
+void Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& sites = Registry();
+  for (auto it = sites.begin(); it != sites.end(); ++it) {
+    if (it->name == site) {
+      sites.erase(it);
+      g_armed.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.fetch_sub(static_cast<int>(Registry().size()), std::memory_order_relaxed);
+  Registry().clear();
+}
+
+std::uint64_t Hits(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const SiteState* state = Find(site);
+  return state != nullptr ? state->hits : 0;
+}
+
+std::uint64_t Fired(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const SiteState* state = Find(site);
+  return state != nullptr ? state->fired : 0;
+}
+
+bool ShouldFire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState* state = Find(site);
+  if (state == nullptr) return false;
+  const std::uint64_t hit = state->hits++;
+  if (hit < state->schedule.skip) return false;
+  if (state->schedule.fire != Schedule::kUnlimited &&
+      hit >= state->schedule.skip + state->schedule.fire) {
+    return false;
+  }
+  if (state->schedule.probability < 1.0 &&
+      NextUniform(state->rng) >= state->schedule.probability) {
+    return false;
+  }
+  ++state->fired;
+  return true;
+}
+
+}  // namespace wavepipe::util::fault

@@ -12,13 +12,17 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -5,6 +5,14 @@
 // intentionally simple: a mutex-protected deque and condition variable.  At
 // WavePipe's granularity (one task = a full nonlinear solve, milliseconds to
 // seconds) queue contention is irrelevant; clarity and correctness win.
+//
+// Shutdown semantics:
+//  * Shutdown() (also run by the destructor) DRAINS the queue: every task
+//    already accepted by Submit() runs to completion before the workers
+//    exit, so no future obtained from a successful Submit() can dangle.
+//  * Submit() after shutdown has begun throws wavepipe::Error instead of
+//    enqueueing a task no worker would ever run (whose future.get() would
+//    deadlock the caller forever).
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +22,9 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace wavepipe::util {
 
@@ -27,19 +38,36 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Schedules `fn` and returns a future for its result.  Exceptions thrown
-  /// by `fn` propagate through the future.
+  /// by `fn` propagate through the future.  Throws wavepipe::Error if the
+  /// pool has begun stopping (the task would never run and its future could
+  /// never be satisfied).
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using Result = std::invoke_result_t<Fn>;
-    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    // The fault check runs INSIDE the packaged task so an injected throw is
+    // captured into the future — exactly how a real task failure surfaces.
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [fn = std::forward<Fn>(fn)]() mutable -> Result {
+          if (WP_FAULT_POINT("pool.task_throw")) {
+            throw fault::FaultInjectedError("pool.task_throw");
+          }
+          return fn();
+        });
     std::future<Result> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw Error("ThreadPool: Submit after shutdown began; the task would never run");
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
     return future;
   }
+
+  /// Stops accepting work, drains every queued task, and joins the workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 

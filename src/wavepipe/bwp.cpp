@@ -52,7 +52,7 @@ std::vector<PipelineDriver::HelperTask> PipelineDriver::LaunchBackwardTasks(
 
 void PipelineDriver::JoinAndPublishBackward(std::vector<HelperTask>& tasks) {
   for (auto& task : tasks) {
-    engine::StepSolveResult back = task.future.get();
+    engine::StepSolveResult back = JoinSolve(task.future);
     result_.sched.backward_solves += 1;
     if (!back.converged) {
       WP_DEBUG << "bwp: backward solve at t=" << task.time << " failed Newton; dropped";
@@ -85,10 +85,12 @@ void PipelineDriver::RunRoundBackward() {
   auto lead_future = SubmitSolve(0, lead_window, clip.t_new, /*restart=*/false);
   std::vector<HelperTask> backward = LaunchBackwardTasks(nb, /*first_slot=*/1);
 
-  engine::StepSolveResult lead = lead_future.get();
+  engine::StepSolveResult lead = JoinSolve(lead_future);
 
   // Publish converged backward points before assessing the leading
-  // candidate: the dense predictor below must see them.
+  // candidate: the dense predictor below must see them.  Joining them even
+  // when the lead failed keeps the round exception-safe — every in-flight
+  // future is drained before any failure is acted on.
   JoinAndPublishBackward(backward);
 
   if (!lead.converged) {

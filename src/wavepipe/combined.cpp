@@ -46,10 +46,12 @@ void PipelineDriver::RunRoundCombined() {
                              /*first_slot=*/1 + nb, clip.t_new, h, lead_window);
 
   // ---- join -------------------------------------------------------------------
-  engine::StepSolveResult lead = lead_future.get();
+  // Drain EVERY in-flight future (lead, chain, backward) before acting on
+  // any outcome — see fwp.cpp for the exception-safety rationale.
+  engine::StepSolveResult lead = JoinSolve(lead_future);
   std::vector<engine::StepSolveResult> spec_results;
   spec_results.reserve(chain.size());
-  for (auto& task : chain) spec_results.push_back(task.future.get());
+  for (auto& task : chain) spec_results.push_back(JoinSolve(task.future));
 
   JoinAndPublishBackward(backward);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "engine/rescue.hpp"
 #include "parallel/coloring.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -80,7 +81,7 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
 }
 
 bool PipelineDriver::Done() const {
-  return history_.newest_time() >= spec_.tstop - 1e-15 * std::abs(spec_.tstop);
+  return engine::TransientHorizonReached(history_.newest_time(), spec_.tstop);
 }
 
 WavePipeResult PipelineDriver::Run() {
@@ -92,8 +93,16 @@ WavePipeResult PipelineDriver::Run() {
   // Sequential prologue: DC operating point on context 0.
   engine::SolveContext& ctx0 = *contexts_[0];
   util::ThreadCpuTimer dc_timer;
-  const engine::DcopResult dcop =
-      engine::SolveDcOperatingPoint(ctx0, options_.sim, spec_.initial_conditions);
+  engine::DcopResult dcop;
+  try {
+    dcop = engine::SolveDcOperatingPoint(ctx0, options_.sim, spec_.initial_conditions);
+  } catch (const Error& error) {
+    result_.completed = false;
+    result_.abort_reason = error.what();
+    result_.last_good_time = spec_.tstart;
+    result_.stats.wall_seconds = total_timer.Seconds();
+    return std::move(result_);
+  }
   result_.stats.dcop_strategy = dcop.strategy;
 
   SolveRecord dc_record;
@@ -115,9 +124,18 @@ WavePipeResult PipelineDriver::Run() {
   restart_ = true;
   steps_since_restart_ = 0;
 
-  while (!Done()) {
+  while (!Done() && !aborted_) {
     result_.sched.rounds += 1;
-    switch (options_.scheme) {
+    Scheme scheme = options_.scheme;
+    // Quarantine: after repeated leading failures the pipelined schemes run
+    // their cooldown rounds through the serial path — same LTE test, same
+    // acceptance, just no speculative helpers multiplying the blast radius.
+    if (quarantine_rounds_left_ > 0 && scheme != Scheme::kSerial) {
+      scheme = Scheme::kSerial;
+      --quarantine_rounds_left_;
+      result_.sched.quarantined_rounds += 1;
+    }
+    switch (scheme) {
       case Scheme::kSerial: RunRoundSerial(); break;
       case Scheme::kBackward: RunRoundBackward(); break;
       case Scheme::kForward: RunRoundForward(); break;
@@ -125,6 +143,9 @@ WavePipeResult PipelineDriver::Run() {
     }
   }
 
+  result_.completed = !aborted_;
+  result_.abort_reason = abort_reason_;
+  result_.last_good_time = history_.newest_time();
   result_.stats.wall_seconds = total_timer.Seconds();
   if (assembler_) result_.assembly = assembler_->stats();
   for (const auto& ctx : contexts_) result_.stats.AbsorbLuStats(ctx->lu.stats());
@@ -132,22 +153,30 @@ WavePipeResult PipelineDriver::Run() {
 }
 
 PipelineDriver::Clip PipelineDriver::ClipStep(double t_from, double h) {
-  Clip clip{t_from + h, false, false};
-  while (next_breakpoint_ < breakpoints_.size() &&
-         breakpoints_[next_breakpoint_] <= t_from + limits_.hmin) {
-    ++next_breakpoint_;
+  return engine::ClipStepToSchedule(t_from, h, spec_.tstop, breakpoints_,
+                                    next_breakpoint_, limits_.hmin);
+}
+
+engine::StepSolveResult PipelineDriver::JoinSolve(
+    std::future<engine::StepSolveResult>& future) {
+  try {
+    return future.get();
+  } catch (const Error& error) {
+    // A worker task threw (injected fault, singular pivot, poisoned model
+    // evaluation).  Drain it into a failed solve: the round's normal
+    // failure handling owns the policy, and no sibling future is abandoned.
+    result_.sched.drained_task_errors += 1;
+    engine::StepSolveResult failed;
+    failed.converged = false;
+    failed.failure = error.what();
+    return failed;
+  } catch (const std::future_error& error) {
+    result_.sched.drained_task_errors += 1;
+    engine::StepSolveResult failed;
+    failed.converged = false;
+    failed.failure = std::string("future error: ") + error.what();
+    return failed;
   }
-  if (next_breakpoint_ < breakpoints_.size() &&
-      clip.t_new >= breakpoints_[next_breakpoint_] - limits_.hmin) {
-    clip.t_new = breakpoints_[next_breakpoint_];
-    clip.hit_breakpoint = true;
-  }
-  if (clip.t_new >= spec_.tstop) {
-    clip.t_new = spec_.tstop;
-    clip.hit_stop = true;
-    clip.hit_breakpoint = false;
-  }
-  return clip;
 }
 
 std::future<engine::StepSolveResult> PipelineDriver::SubmitSolve(
@@ -234,16 +263,50 @@ void PipelineDriver::AcceptPoint(const engine::SolutionPointPtr& point, int ledg
   }
 }
 
+void PipelineDriver::MaybeQuarantine() {
+  if (options_.scheme == Scheme::kSerial) return;
+  if (consecutive_failures_ < options_.quarantine_threshold) return;
+  if (quarantine_rounds_left_ == 0) result_.sched.quarantine_activations += 1;
+  quarantine_rounds_left_ = options_.quarantine_rounds;
+  consecutive_failures_ = 0;
+}
+
 void PipelineDriver::OnNewtonFailure(double attempted_h,
                                      const engine::StepSolveResult& solve,
                                      std::vector<int> deps) {
   result_.stats.steps_rejected_newton += 1;
   Record(SolveKind::kRejected, solve, std::move(deps), /*useful=*/false);
+  ++consecutive_failures_;
+  MaybeQuarantine();
   h_ = attempted_h / options_.sim.newton_fail_shrink;
-  if (h_ < limits_.hmin) {
-    throw ConvergenceError("wavepipe: timestep too small at t = " +
-                           std::to_string(history_.newest_time()));
+  if (h_ >= limits_.hmin) return;
+
+  // Step shrinking is out of road — the historical hard-throw point.  Climb
+  // the rescue ladder for one minimal step on the leading context before
+  // declaring the run dead, and even then return a structured abort that
+  // keeps the partial trace/ledger instead of unwinding through the rounds.
+  const double t_now = history_.newest_time();
+  const double t_rescue = std::min(t_now + limits_.hmin, spec_.tstop);
+  const engine::HistoryWindow window = history_.Window(4);
+  engine::RescueOutcome rescue =
+      engine::AttemptRescue(*contexts_[0], window, t_rescue, options_.sim, result_.stats);
+  if (rescue.rescued) {
+    const int id =
+        Record(SolveKind::kLeading, rescue.solve, DepsOf(window), /*useful=*/true);
+    AcceptPoint(rescue.solve.point, id, /*leading=*/true);
+    // The rescued point is a BE restart: rebuild the local history from it
+    // exactly as after a breakpoint, at the fresh-start step size.
+    restart_ = true;
+    steps_since_restart_ = 0;
+    h_ = limits_.h0;
+    last_growth_factor_ = 1.0;
+    return;
   }
+  aborted_ = true;
+  abort_reason_ = "wavepipe: Newton failure with step at hmin, t = " +
+                  std::to_string(t_now) +
+                  (solve.failure.empty() ? "" : " (" + solve.failure + ")") +
+                  "; rescue ladder exhausted: " + rescue.attempts;
 }
 
 void PipelineDriver::OnLteRejection(const engine::StepAssessment& assess,
@@ -259,6 +322,7 @@ void PipelineDriver::OnLeadingAccepted(const engine::StepAssessment& assess,
                                        double h_used, bool update_step_control) {
   (void)growth_cap;
   if (bwp_cooldown_ > 0) --bwp_cooldown_;
+  consecutive_failures_ = 0;  // a clean leading accept ends the failure streak
   ++steps_since_restart_;
   restart_ = false;
   if (hit_breakpoint) {

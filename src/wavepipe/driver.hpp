@@ -39,13 +39,10 @@ class PipelineDriver {
   void RunRoundCombined();
 
   // ---- shared helpers -------------------------------------------------------
-  struct Clip {
-    double t_new;
-    bool hit_breakpoint;
-    bool hit_stop;
-  };
-  /// Clips t_from + h to the next breakpoint / tstop.  Commits the skip of
-  /// breakpoints already passed (mirrors the serial engine exactly).
+  using Clip = engine::StepClip;
+  /// Clips t_from + h to the next breakpoint / tstop via the ONE clipping
+  /// rule shared with the serial engine (engine::ClipStepToSchedule), so the
+  /// two drivers' step sequences are identical by construction.
   Clip ClipStep(double t_from, double h);
 
   /// Launches SolveTimePoint asynchronously on context slot `slot`.
@@ -64,9 +61,23 @@ class PipelineDriver {
   /// points).
   void AcceptPoint(const engine::SolutionPointPtr& point, int ledger_id, bool leading);
 
-  /// Handles a failed leading solve (Newton divergence): shrink h, count it.
+  /// Joins one solve future, draining any exception the task threw into a
+  /// non-converged StepSolveResult (counted in sched.drained_task_errors).
+  /// Rounds join EVERY in-flight future through this before acting on any
+  /// failure, which is what makes them exception-safe: no future is ever
+  /// abandoned mid-flight, so no worker outcome can be lost or deadlock a
+  /// later round.
+  engine::StepSolveResult JoinSolve(std::future<engine::StepSolveResult>& future);
+
+  /// Handles a failed leading solve (Newton divergence): shrink h, count it
+  /// toward quarantine, and — once the step has shrunk to hmin — climb the
+  /// rescue ladder before declaring a structured abort (never a throw).
   void OnNewtonFailure(double attempted_h, const engine::StepSolveResult& solve,
                        std::vector<int> deps);
+
+  /// Arms/extends the serial-only cooldown once consecutive_failures_
+  /// reaches options_.quarantine_threshold.
+  void MaybeQuarantine();
   /// Handles an LTE rejection of the leading step.
   void OnLteRejection(const engine::StepAssessment& assess, double attempted_h);
   /// Bookkeeping after an accepted leading step of size `h_used`.  When
@@ -145,6 +156,11 @@ class PipelineDriver {
   bool restart_ = true;
   int steps_since_restart_ = 0;
   int bwp_cooldown_ = 0;  ///< rounds to hold the serial growth cap after a rejection
+  // ---- failure hardening -----------------------------------------------------
+  bool aborted_ = false;          ///< unrecoverable failure; Run() returns partial
+  std::string abort_reason_;
+  int consecutive_failures_ = 0;  ///< leading Newton failures since last clean accept
+  int quarantine_rounds_left_ = 0;  ///< serial-only cooldown countdown
   /// Realized step-growth factor of the last accepted leading step.  The
   /// speculative chain follows this trajectory (t2 = t1 + g*h1, ...): during
   /// cap-limited ramps the serial controller doubles every step, and a chain

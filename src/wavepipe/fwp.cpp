@@ -152,8 +152,9 @@ void PipelineDriver::ValidateSpeculativeChain(
       const engine::HistoryWindow true_window = history_.Window(4);
       std::vector<int> repair_deps = DepsOf(true_window);
       repair_deps.push_back(spec_id);
-      engine::StepSolveResult repair =
-          SubmitSolve(0, true_window, task.time, /*restart=*/false, spec.point->x).get();
+      auto repair_future =
+          SubmitSolve(0, true_window, task.time, /*restart=*/false, spec.point->x);
+      engine::StepSolveResult repair = JoinSolve(repair_future);
       result_.sched.repair_solves += 1;
       result_.sched.repair_newton_iterations +=
           static_cast<std::uint64_t>(repair.newton.iterations);
@@ -213,10 +214,13 @@ void PipelineDriver::RunRoundForward() {
       std::min(options_.threads - 1, 3), /*first_slot=*/1, clip1.t_new, h1, base_window);
 
   // ---- join -------------------------------------------------------------------
-  engine::StepSolveResult lead = lead_future.get();
+  // Drain EVERY in-flight future before acting on any outcome: a worker
+  // exception folds into a failed solve (JoinSolve) instead of abandoning
+  // the rest of the chain mid-flight.
+  engine::StepSolveResult lead = JoinSolve(lead_future);
   std::vector<engine::StepSolveResult> spec_results;
   spec_results.reserve(chain.size());
-  for (auto& task : chain) spec_results.push_back(task.future.get());
+  for (auto& task : chain) spec_results.push_back(JoinSolve(task.future));
 
   if (!lead.converged) {
     DiscardSpeculativeChain(chain, spec_results, 0);

@@ -15,8 +15,8 @@ void PipelineDriver::RunRoundSerial() {
 
   const engine::HistoryWindow window = history_.Window(4);
   std::vector<int> deps = DepsOf(window);
-  const engine::StepSolveResult solve =
-      SubmitSolve(0, window, clip.t_new, restart_).get();
+  auto solve_future = SubmitSolve(0, window, clip.t_new, restart_);
+  const engine::StepSolveResult solve = JoinSolve(solve_future);
 
   if (!solve.converged) {
     OnNewtonFailure(h, solve, std::move(deps));

@@ -89,6 +89,17 @@ struct WavePipeOptions {
   /// cost model falls back to serial automatically.
   int factor_threads = 0;
 
+  /// Speculation quarantine: after this many CONSECUTIVE leading-point
+  /// Newton failures or rescue activations, the pipelined schemes degrade
+  /// to the serial round for `quarantine_rounds` rounds.  A circuit region
+  /// hostile enough to keep diverging makes speculative work pure waste —
+  /// and pipelined retries multiply the failure surface exactly when the
+  /// solver is most fragile.  Quarantine never changes accepted solutions
+  /// (the serial round applies the identical LTE test); it only withholds
+  /// helpers until the leading edge is healthy again.
+  int quarantine_threshold = 3;
+  int quarantine_rounds = 8;
+
   engine::SimOptions sim;
 };
 
@@ -101,6 +112,10 @@ struct PipelineSchedStats {
   std::size_t speculative_discarded = 0;
   std::size_t repair_solves = 0;
   std::uint64_t repair_newton_iterations = 0;
+  // Failure-hardening telemetry.
+  std::size_t quarantine_activations = 0;  ///< times the cooldown was (re)armed
+  std::size_t quarantined_rounds = 0;      ///< rounds forced to the serial scheme
+  std::size_t drained_task_errors = 0;     ///< worker exceptions folded into failed solves
 
   double speculation_acceptance() const {
     return speculative_solves == 0
@@ -119,6 +134,13 @@ struct WavePipeResult {
   /// assembler; strategy stays "serial" otherwise.
   engine::AssemblyStats assembly;
   engine::SolutionPointPtr final_point;
+  /// False when the run aborted before tstop.  Everything computed up to
+  /// last_good_time — trace, ledger, stats, final_point — is still here; an
+  /// abort never discards the waveform (the historical behaviour was an
+  /// unguarded ConvergenceError throw that lost all of it).
+  bool completed = true;
+  std::string abort_reason;     ///< empty when completed
+  double last_good_time = 0.0;  ///< newest accepted time point
 };
 
 /// Runs a transient analysis under the selected scheme.  Thread-safe with

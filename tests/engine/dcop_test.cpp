@@ -9,6 +9,7 @@
 #include "devices/sources.hpp"
 #include "engine/circuit.hpp"
 #include "testutil/helpers.hpp"
+#include "util/fault.hpp"
 
 namespace wavepipe::engine {
 namespace {
@@ -106,6 +107,34 @@ TEST(Dcop, EveryBenchmarkCircuitHasOperatingPoint) {
     SolveContext ctx(*gen.circuit, mna);
     EXPECT_NO_THROW(SolveDcOperatingPoint(ctx, SimOptions{})) << gen.name;
   }
+}
+
+TEST(Dcop, FailureRestoresInitialGuessAndEnumeratesStrategies) {
+  // When every strategy fails, the context must come back exactly as handed
+  // over — a half-stepped continuation iterate is a worse starting point than
+  // the caller's guess — and the error must say what was tried.
+  auto f = testutil::MakeStepRc();
+  MnaStructure mna(*f.circuit);
+  SolveContext ctx(*f.circuit, mna);
+  std::vector<double> guess(ctx.x.size());
+  for (std::size_t i = 0; i < guess.size(); ++i) guess[i] = 0.25 * (i + 1);
+  ctx.x = guess;
+
+  util::fault::Schedule always;
+  always.fire = util::fault::Schedule::kUnlimited;
+  util::fault::ScopedFault site("newton.converge", always);
+
+  try {
+    SolveDcOperatingPoint(ctx, SimOptions{});
+    FAIL() << "expected ConvergenceError";
+  } catch (const ConvergenceError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("tried:"), std::string::npos) << what;
+    EXPECT_NE(what.find("direct"), std::string::npos) << what;
+    EXPECT_NE(what.find("gmin-stepping"), std::string::npos) << what;
+    EXPECT_NE(what.find("source-stepping"), std::string::npos) << what;
+  }
+  EXPECT_EQ(ctx.x, guess);
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace wavepipe::util::fault {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefault) {
+  EXPECT_FALSE(Enabled());
+  // The macro must be safe (and false) with nothing armed.
+  EXPECT_FALSE(WP_FAULT_POINT("newton.converge"));
+  EXPECT_EQ(Hits("newton.converge"), 0u);
+}
+
+TEST_F(FaultInjectionTest, SkipThenFireWindow) {
+  Schedule schedule;
+  schedule.skip = 2;
+  schedule.fire = 3;
+  Arm("test.site", schedule);
+  EXPECT_TRUE(Enabled());
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(WP_FAULT_POINT("test.site"));
+  const std::vector<bool> expected = {false, false, true, true, true,
+                                      false, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(Hits("test.site"), 8u);
+  EXPECT_EQ(Fired("test.site"), 3u);
+}
+
+TEST_F(FaultInjectionTest, UnarmedSiteNeverFiresWhileAnotherIsArmed) {
+  Arm("test.armed", {});
+  EXPECT_TRUE(Enabled());
+  EXPECT_FALSE(WP_FAULT_POINT("test.other"));
+  EXPECT_TRUE(WP_FAULT_POINT("test.armed"));
+}
+
+TEST_F(FaultInjectionTest, RearmResetsCounters) {
+  Schedule schedule;
+  schedule.fire = Schedule::kUnlimited;
+  Arm("test.site", schedule);
+  EXPECT_TRUE(WP_FAULT_POINT("test.site"));
+  EXPECT_TRUE(WP_FAULT_POINT("test.site"));
+  EXPECT_EQ(Fired("test.site"), 2u);
+
+  Arm("test.site", schedule);  // re-arm resets
+  EXPECT_EQ(Hits("test.site"), 0u);
+  EXPECT_EQ(Fired("test.site"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityStreamIsDeterministic) {
+  Schedule schedule;
+  schedule.fire = Schedule::kUnlimited;
+  schedule.probability = 0.4;
+  schedule.seed = 12345;
+
+  auto run = [&schedule]() {
+    Arm("test.prob", schedule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(WP_FAULT_POINT("test.prob"));
+    Disarm("test.prob");
+    return fired;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+
+  // The stream must actually mix: neither all-true nor all-false at p=0.4.
+  int count = 0;
+  for (const bool b : first) count += b ? 1 : 0;
+  EXPECT_GT(count, 8);
+  EXPECT_LT(count, 56);
+}
+
+TEST_F(FaultInjectionTest, DisarmAllTurnsTheHarnessOff) {
+  Arm("test.a", {});
+  Arm("test.b", {});
+  EXPECT_TRUE(Enabled());
+  DisarmAll();
+  EXPECT_FALSE(Enabled());
+  EXPECT_FALSE(WP_FAULT_POINT("test.a"));
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnDestruction) {
+  {
+    ScopedFault fault("test.scoped");
+    EXPECT_TRUE(Enabled());
+    EXPECT_TRUE(WP_FAULT_POINT("test.scoped"));
+    EXPECT_EQ(fault.hits(), 1u);
+    EXPECT_EQ(fault.fired(), 1u);
+  }
+  EXPECT_FALSE(Enabled());
+}
+
+TEST_F(FaultInjectionTest, InjectedErrorIsDistinctType) {
+  try {
+    throw FaultInjectedError("test.site");
+  } catch (const Error& error) {
+    EXPECT_STREQ(error.what(), "injected fault: test.site");
+  }
+}
+
+}  // namespace
+}  // namespace wavepipe::util::fault

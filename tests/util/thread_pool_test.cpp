@@ -63,5 +63,43 @@ TEST(ThreadPool, TasksRunConcurrentlyWithWorkers) {
   EXPECT_EQ(outer.get(), 5);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  // Historically this silently enqueued a task no worker would ever run;
+  // the caller's future.get() then deadlocked forever.
+  ThreadPool pool(2);
+  auto pre = pool.Submit([] { return 1; });
+  EXPECT_EQ(pre.get(), 1);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] { return 2; }), Error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDrains) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  pool.Shutdown();  // must be a no-op, not a crash
+  EXPECT_EQ(counter.load(), 20);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, InjectedTaskThrowSurfacesThroughFuture) {
+  // The pool.task_throw fault fires inside the packaged task, so the
+  // injected exception takes the same path as a genuine task failure.
+  ThreadPool pool(2);
+  {
+    fault::ScopedFault site("pool.task_throw");
+    auto f = pool.Submit([] { return 3; });
+    EXPECT_THROW(f.get(), fault::FaultInjectedError);
+    EXPECT_EQ(site.fired(), 1u);
+  }
+  // Disarmed again: the pool is healthy and reusable.
+  auto ok = pool.Submit([] { return 4; });
+  EXPECT_EQ(ok.get(), 4);
+}
+
 }  // namespace
 }  // namespace wavepipe::util

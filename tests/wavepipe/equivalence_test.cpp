@@ -77,6 +77,28 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.threads);
     });
 
+TEST(SerialParity, PipelineSerialSchemeMatchesEngineStepSequence) {
+  // The serial engine and the pipeline driver's kSerial scheme share ONE
+  // stop-time/breakpoint clipping rule (engine::ClipStepToSchedule), so
+  // their step sequences must be identical — exactly, not within tolerance.
+  const auto gen = circuits::MakeRcLadder(12);
+  engine::MnaStructure mna(*gen.circuit);
+
+  const auto serial = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, {});
+  WavePipeOptions options;
+  options.scheme = Scheme::kSerial;
+  const auto piped = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+
+  ASSERT_TRUE(serial.completed);
+  ASSERT_TRUE(piped.completed);
+  EXPECT_EQ(serial.stats.steps_accepted, piped.stats.steps_accepted);
+  ASSERT_EQ(serial.trace.num_samples(), piped.trace.num_samples());
+  for (std::size_t i = 0; i < serial.trace.num_samples(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.trace.time(i), piped.trace.time(i)) << i;
+    EXPECT_DOUBLE_EQ(serial.trace.value(i, 0), piped.trace.value(i, 0)) << i;
+  }
+}
+
 TEST(Determinism, SameSeedSameSchedule) {
   // Two runs of the same configuration must make identical scheduling
   // decisions (rounds, accepted steps, speculation outcomes).

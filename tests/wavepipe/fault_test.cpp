@@ -1,0 +1,228 @@
+// Failure-path tests for the pipelined schemes under deterministic fault
+// injection: a fault may cost steps, never the waveform.  Because fault-site
+// hit counters are global across worker threads, WHICH solve absorbs an
+// injection is scheduling-dependent — so these tests assert outcome
+// properties (completed XOR structured abort, monotone trace, no hang,
+// consistent stats), not which worker failed.
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "engine/transient.hpp"
+#include "util/fault.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe::pipeline {
+namespace {
+
+using util::fault::Schedule;
+using util::fault::ScopedFault;
+
+struct FaultCase {
+  Scheme scheme;
+  int threads;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<FaultCase>& info) {
+  return std::string(SchemeName(info.param.scheme)) + "_t" +
+         std::to_string(info.param.threads);
+}
+
+/// Every outcome a faulted run is allowed to have: either it completed to
+/// tstop, or it returned a structured abort — with the partial waveform
+/// intact and monotone either way.  A throw or a hang fails the test.
+void ExpectWaveformNeverLost(const WavePipeResult& result, double tstop) {
+  if (result.completed) {
+    EXPECT_TRUE(result.abort_reason.empty()) << result.abort_reason;
+    ASSERT_NE(result.final_point, nullptr);
+    EXPECT_NEAR(result.final_point->time, tstop, 1e-12 * tstop);
+  } else {
+    EXPECT_FALSE(result.abort_reason.empty());
+    EXPECT_LT(result.last_good_time, tstop);
+  }
+  ASSERT_GE(result.trace.num_samples(), 1u);
+  for (std::size_t i = 1; i < result.trace.num_samples(); ++i) {
+    EXPECT_GT(result.trace.time(i), result.trace.time(i - 1));
+  }
+  EXPECT_DOUBLE_EQ(result.trace.time(result.trace.num_samples() - 1),
+                   result.last_good_time);
+}
+
+class SchemeFaultTest : public ::testing::TestWithParam<FaultCase> {
+ protected:
+  void TearDown() override { util::fault::DisarmAll(); }
+};
+
+TEST_P(SchemeFaultTest, TransientNewtonFaultsNeverLoseTheWaveform) {
+  const FaultCase& param = GetParam();
+  const auto gen = circuits::MakeRcLadder(12);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 6;
+  schedule.fire = 2;
+  ScopedFault site("newton.converge", schedule);
+
+  WavePipeOptions options;
+  options.scheme = param.scheme;
+  options.threads = param.threads;
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  ExpectWaveformNeverLost(result, gen.spec.tstop);
+  // Two transient failures are recoverable by shrink/rescue on this circuit.
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST_P(SchemeFaultTest, SingularPivotsNeverLoseTheWaveform) {
+  const FaultCase& param = GetParam();
+  const auto gen = circuits::MakeRcLadder(12);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 10;
+  schedule.fire = 2;
+  ScopedFault site("lu.pivot", schedule);
+
+  WavePipeOptions options;
+  options.scheme = param.scheme;
+  options.threads = param.threads;
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  ExpectWaveformNeverLost(result, gen.spec.tstop);
+}
+
+TEST_P(SchemeFaultTest, PoisonedDeviceEvalsNeverLoseTheWaveform) {
+  const FaultCase& param = GetParam();
+  const auto gen = circuits::MakeRcLadder(12);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 10;
+  schedule.fire = 2;
+  ScopedFault site("device.eval_nan", schedule);
+
+  WavePipeOptions options;
+  options.scheme = param.scheme;
+  options.threads = param.threads;
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  ExpectWaveformNeverLost(result, gen.spec.tstop);
+}
+
+TEST_P(SchemeFaultTest, UnrecoverableFaultsAbortStructurally) {
+  const FaultCase& param = GetParam();
+  const auto gen = circuits::MakeRcLadder(12);
+  engine::MnaStructure mna(*gen.circuit);
+
+  // Every Newton solve after warm-up fails, including the rescue ladder's:
+  // the run must abort with the partial trace — no throw, no hang.
+  Schedule schedule;
+  schedule.skip = 6;
+  schedule.fire = Schedule::kUnlimited;
+  ScopedFault site("newton.converge", schedule);
+
+  WavePipeOptions options;
+  options.scheme = param.scheme;
+  options.threads = param.threads;
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  ExpectWaveformNeverLost(result, gen.spec.tstop);
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("rescue ladder exhausted"), std::string::npos)
+      << result.abort_reason;
+  EXPECT_GE(result.stats.TotalRescuesAttempted(), 3u);
+  EXPECT_EQ(result.stats.TotalRescuesSucceeded(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeFaultTest,
+    ::testing::Values(FaultCase{Scheme::kSerial, 1},
+                      FaultCase{Scheme::kBackward, 2},
+                      FaultCase{Scheme::kBackward, 4},
+                      FaultCase{Scheme::kForward, 2},
+                      FaultCase{Scheme::kForward, 4},
+                      FaultCase{Scheme::kCombined, 3},
+                      FaultCase{Scheme::kCombined, 4}),
+    CaseName);
+
+class PipelineFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fault::DisarmAll(); }
+};
+
+TEST_F(PipelineFaultTest, WorkerThrowMidRoundIsDrainedNotFatal) {
+  // A task that throws inside the pool must be folded into a failed solve
+  // (counted in drained_task_errors) while every sibling future of the same
+  // round is still joined — the round may not hang or abandon workers.
+  for (const FaultCase param : {FaultCase{Scheme::kBackward, 2},
+                                FaultCase{Scheme::kForward, 4},
+                                FaultCase{Scheme::kCombined, 3}}) {
+    const auto gen = circuits::MakeRcLadder(12);
+    engine::MnaStructure mna(*gen.circuit);
+
+    Schedule schedule;
+    schedule.skip = 4;
+    schedule.fire = 2;
+    ScopedFault site("pool.task_throw", schedule);
+
+    WavePipeOptions options;
+    options.scheme = param.scheme;
+    options.threads = param.threads;
+    const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+    EXPECT_TRUE(result.completed)
+        << SchemeName(param.scheme) << ": " << result.abort_reason;
+    EXPECT_EQ(result.sched.drained_task_errors, 2u) << SchemeName(param.scheme);
+    util::fault::DisarmAll();
+  }
+}
+
+TEST_F(PipelineFaultTest, QuarantineDegradesToSerialAfterRepeatedFailures) {
+  const auto gen = circuits::MakeRcLadder(12);
+  engine::MnaStructure mna(*gen.circuit);
+
+  // A burst of failures long enough to cover at least one full round's
+  // solves, so the leading solve fails at least once.
+  Schedule schedule;
+  schedule.skip = 8;
+  schedule.fire = 6;
+  ScopedFault site("newton.converge", schedule);
+
+  WavePipeOptions options;
+  options.scheme = Scheme::kCombined;
+  options.threads = 3;
+  options.quarantine_threshold = 1;
+  options.quarantine_rounds = 4;
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_GE(result.sched.quarantine_activations, 1u);
+  EXPECT_GE(result.sched.quarantined_rounds, 1u);
+}
+
+TEST_F(PipelineFaultTest, CleanRunHasNoFailureTelemetry) {
+  const auto gen = circuits::MakeRcLadder(12);
+  engine::MnaStructure mna(*gen.circuit);
+  WavePipeOptions options;
+  options.scheme = Scheme::kCombined;
+  options.threads = 3;
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.sched.quarantine_activations, 0u);
+  EXPECT_EQ(result.sched.quarantined_rounds, 0u);
+  EXPECT_EQ(result.sched.drained_task_errors, 0u);
+  EXPECT_EQ(result.stats.TotalRescuesAttempted(), 0u);
+}
+
+TEST_F(PipelineFaultTest, DcopFaultAbortsStructurally) {
+  const auto gen = circuits::MakeRcLadder(8);
+  engine::MnaStructure mna(*gen.circuit);
+  Schedule always;
+  always.fire = Schedule::kUnlimited;
+  ScopedFault site("newton.converge", always);
+
+  WavePipeOptions options;
+  options.scheme = Scheme::kCombined;
+  options.threads = 3;
+  WavePipeResult result;
+  EXPECT_NO_THROW(result = RunWavePipe(*gen.circuit, mna, gen.spec, options));
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("DC operating point failed"), std::string::npos);
+  EXPECT_EQ(result.trace.num_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace wavepipe::pipeline
