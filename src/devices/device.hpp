@@ -56,6 +56,16 @@ class Device {
   /// heuristics and convergence bookkeeping).
   virtual bool is_nonlinear() const { return false; }
 
+  /// Appends the unknown indices whose values Eval() reads (terminal nodes,
+  /// controlling nodes, branch currents; ground entries allowed — consumers
+  /// drop them).  Implementing this is a device's opt-in to the latency
+  /// bypass (engine/bypass.hpp): it declares that Eval() is a pure function
+  /// of these unknowns, the device's own state/limit slots and the per-pass
+  /// scalars (a0, gmin, source_scale, transient) — never of time or the
+  /// iteration count.  Time-varying devices (sources) must NOT implement it.
+  /// The default (appending nothing) keeps the device out of the bypass set.
+  virtual void ControllingUnknowns(std::vector<int>& out) const { (void)out; }
+
   /// Number of Jacobian entries this device stamps (for load statistics).
   virtual int pattern_size() const = 0;
 

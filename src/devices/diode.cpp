@@ -126,4 +126,8 @@ void Diode::StampFootprint(std::vector<int>& jacobian_slots,
   rhs_rows.insert(rhs_rows.end(), {p_, n_});
 }
 
+void Diode::ControllingUnknowns(std::vector<int>& out) const {
+  out.insert(out.end(), {p_, n_});
+}
+
 }  // namespace wavepipe::devices

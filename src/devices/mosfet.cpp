@@ -256,4 +256,8 @@ void Mosfet::StampFootprint(std::vector<int>& jacobian_slots,
   rhs_rows.insert(rhs_rows.end(), {d_, g_, s_, b_});
 }
 
+void Mosfet::ControllingUnknowns(std::vector<int>& out) const {
+  out.insert(out.end(), {d_, g_, s_, b_});
+}
+
 }  // namespace wavepipe::devices

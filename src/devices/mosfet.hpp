@@ -39,6 +39,7 @@ class Mosfet final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void ControllingUnknowns(std::vector<int>& out) const override;
   bool is_nonlinear() const override { return true; }
   int pattern_size() const override { return 16; }
 

@@ -1,0 +1,225 @@
+#include "engine/bypass.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavepipe::engine {
+
+void DeviceBypass::Configure(const Circuit& circuit, const MnaStructure& structure,
+                             const SimOptions& options) {
+  (void)structure;
+  active_ = false;
+  replay_ok_ = false;
+  have_scalars_ = false;
+  entries_.clear();
+  ctrl_unknowns_.clear();
+  ctrl_cached_.clear();
+  jac_slots_.clear();
+  jac_cached_.clear();
+  jac_snap_.clear();
+  rhs_rows_.clear();
+  rhs_cached_.clear();
+  rhs_snap_.clear();
+  state_cached_.clear();
+  hist_cached_.clear();
+  limit_cached_.clear();
+  if (!options.device_bypass) return;
+
+  num_nodes_ = circuit.num_nodes();
+  reltol_ = options.reltol;
+  vntol_ = options.vntol;
+  abstol_ = options.abstol;
+  vtol_scale_ = options.bypass_vtol * kLatencyScale;
+
+  const auto& devices = circuit.devices();
+  entries_.resize(devices.size());
+  std::vector<int> ctrl, jac, rhs;
+  bool any = false;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    Entry& e = entries_[i];
+    ctrl.clear();
+    devices[i]->ControllingUnknowns(ctrl);
+    // Ground terminals contribute a constant 0 V — no need to track them.
+    ctrl.erase(std::remove_if(ctrl.begin(), ctrl.end(), [](int u) { return u < 0; }),
+               ctrl.end());
+    if (ctrl.empty()) continue;  // device did not opt in
+
+    jac.clear();
+    rhs.clear();
+    devices[i]->StampFootprint(jac, rhs);
+    // Footprints are supersets and may repeat a slot (shared terminals); the
+    // delta capture must see each slot exactly once.
+    auto dedup = [](std::vector<int>& v) {
+      v.erase(std::remove_if(v.begin(), v.end(), [](int s) { return s < 0; }), v.end());
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    dedup(jac);
+    dedup(rhs);
+
+    e.ctrl_begin = static_cast<int>(ctrl_unknowns_.size());
+    ctrl_unknowns_.insert(ctrl_unknowns_.end(), ctrl.begin(), ctrl.end());
+    e.ctrl_end = static_cast<int>(ctrl_unknowns_.size());
+    e.jac_begin = static_cast<int>(jac_slots_.size());
+    jac_slots_.insert(jac_slots_.end(), jac.begin(), jac.end());
+    e.jac_end = static_cast<int>(jac_slots_.size());
+    e.rhs_begin = static_cast<int>(rhs_rows_.size());
+    rhs_rows_.insert(rhs_rows_.end(), rhs.begin(), rhs.end());
+    e.rhs_end = static_cast<int>(rhs_rows_.size());
+    const Circuit::SlotRange states = circuit.device_state_range(i);
+    const Circuit::SlotRange limits = circuit.device_limit_range(i);
+    e.state_begin = states.begin;
+    e.state_end = states.end;
+    e.limit_begin = limits.begin;
+    e.limit_end = limits.end;
+    e.bypassable = true;
+    any = true;
+  }
+  if (!any) return;
+
+  ctrl_cached_.assign(ctrl_unknowns_.size(), 0.0);
+  jac_cached_.assign(jac_slots_.size(), 0.0);
+  jac_snap_.assign(jac_slots_.size(), 0.0);
+  rhs_cached_.assign(rhs_rows_.size(), 0.0);
+  rhs_snap_.assign(rhs_rows_.size(), 0.0);
+  state_cached_.assign(static_cast<std::size_t>(circuit.num_states()), 0.0);
+  hist_cached_.assign(static_cast<std::size_t>(circuit.num_states()), 0.0);
+  limit_cached_.assign(static_cast<std::size_t>(circuit.num_limit_slots()), 0.0);
+  active_ = true;
+}
+
+void DeviceBypass::Invalidate() {
+  for (Entry& e : entries_) e.valid = false;
+}
+
+void DeviceBypass::BeginPass(double a0, bool transient, double gmin,
+                             double source_scale) {
+  if (!active_) return;
+  // Bitwise scalar gate: devices may depend on any of these in any way, so
+  // replay is only sound when the whole tuple is unchanged.  A mismatched
+  // pass evaluates every device fully, which refreshes every cache under the
+  // new scalars — so the pass after it can replay again.
+  replay_ok_ = have_scalars_ && a0 == pass_a0_ && transient == pass_transient_ &&
+               gmin == pass_gmin_ && source_scale == pass_source_scale_;
+  pass_a0_ = a0;
+  pass_transient_ = transient;
+  pass_gmin_ = gmin;
+  pass_source_scale_ = source_scale;
+  have_scalars_ = true;
+}
+
+bool DeviceBypass::Replayable(const Entry& e, const devices::EvalContext& eval) const {
+  for (int c = e.ctrl_begin; c < e.ctrl_end; ++c) {
+    const int u = ctrl_unknowns_[static_cast<std::size_t>(c)];
+    const double v = eval.x[static_cast<std::size_t>(u)];
+    const double vc = ctrl_cached_[static_cast<std::size_t>(c)];
+    const double tol =
+        vtol_scale_ * (reltol_ * std::max(std::abs(v), std::abs(vc)) +
+                       (u < num_nodes_ ? vntol_ : abstol_));
+    if (std::abs(v - vc) > tol) return false;
+  }
+  // The history term enters the companion RHS linearly (dq/dt = a0*q + hist),
+  // so a drifted history falsifies the cached stamp even at frozen voltages.
+  for (int s = e.state_begin; s < e.state_end; ++s) {
+    const double h = eval.state_hist[static_cast<std::size_t>(s)];
+    const double hc = hist_cached_[static_cast<std::size_t>(s)];
+    const double tol =
+        vtol_scale_ * (reltol_ * std::max(std::abs(h), std::abs(hc)) + abstol_);
+    if (std::abs(h - hc) > tol) return false;
+  }
+  return true;
+}
+
+bool DeviceBypass::Process(std::size_t device_index, const devices::Device& device,
+                           devices::EvalContext& eval) {
+  Entry& e = entries_[device_index];
+  if (!e.bypassable) {
+    device.Eval(eval);
+    return false;
+  }
+
+  if (!e.capture_on) {
+    // Sleeping: the replay rate did not justify the bookkeeping.  Evaluate
+    // plainly until the sleep window ends, then re-probe with a fresh cache.
+    device.Eval(eval);
+    full_.fetch_add(1, std::memory_order_relaxed);
+    if (++e.window >= kSleepLen) {
+      e.window = 0;
+      e.hits = 0;
+      e.capture_on = true;
+    }
+    return false;
+  }
+
+  if (replay_ok_ && e.valid && Replayable(e, eval)) {
+    for (int j = e.jac_begin; j < e.jac_end; ++j) {
+      eval.jacobian_values[static_cast<std::size_t>(jac_slots_[static_cast<std::size_t>(j)])] +=
+          jac_cached_[static_cast<std::size_t>(j)];
+    }
+    for (int r = e.rhs_begin; r < e.rhs_end; ++r) {
+      eval.rhs[static_cast<std::size_t>(rhs_rows_[static_cast<std::size_t>(r)])] +=
+          rhs_cached_[static_cast<std::size_t>(r)];
+    }
+    for (int s = e.state_begin; s < e.state_end; ++s) {
+      eval.state_now[static_cast<std::size_t>(s)] = state_cached_[static_cast<std::size_t>(s)];
+    }
+    for (int l = e.limit_begin; l < e.limit_end; ++l) {
+      eval.limit_now[static_cast<std::size_t>(l)] = limit_cached_[static_cast<std::size_t>(l)];
+    }
+    bypassed_.fetch_add(1, std::memory_order_relaxed);
+    ++e.hits;
+    TickWindow(e);
+    return true;
+  }
+
+  // Full evaluation with delta capture: snapshot the footprint, run the
+  // model, store what it added plus the inputs it saw.
+  for (int j = e.jac_begin; j < e.jac_end; ++j) {
+    jac_snap_[static_cast<std::size_t>(j)] =
+        eval.jacobian_values[static_cast<std::size_t>(jac_slots_[static_cast<std::size_t>(j)])];
+  }
+  for (int r = e.rhs_begin; r < e.rhs_end; ++r) {
+    rhs_snap_[static_cast<std::size_t>(r)] =
+        eval.rhs[static_cast<std::size_t>(rhs_rows_[static_cast<std::size_t>(r)])];
+  }
+  device.Eval(eval);
+  for (int j = e.jac_begin; j < e.jac_end; ++j) {
+    jac_cached_[static_cast<std::size_t>(j)] =
+        eval.jacobian_values[static_cast<std::size_t>(jac_slots_[static_cast<std::size_t>(j)])] -
+        jac_snap_[static_cast<std::size_t>(j)];
+  }
+  for (int r = e.rhs_begin; r < e.rhs_end; ++r) {
+    rhs_cached_[static_cast<std::size_t>(r)] =
+        eval.rhs[static_cast<std::size_t>(rhs_rows_[static_cast<std::size_t>(r)])] -
+        rhs_snap_[static_cast<std::size_t>(r)];
+  }
+  for (int c = e.ctrl_begin; c < e.ctrl_end; ++c) {
+    ctrl_cached_[static_cast<std::size_t>(c)] =
+        eval.x[static_cast<std::size_t>(ctrl_unknowns_[static_cast<std::size_t>(c)])];
+  }
+  for (int s = e.state_begin; s < e.state_end; ++s) {
+    state_cached_[static_cast<std::size_t>(s)] = eval.state_now[static_cast<std::size_t>(s)];
+    hist_cached_[static_cast<std::size_t>(s)] = eval.state_hist[static_cast<std::size_t>(s)];
+  }
+  for (int l = e.limit_begin; l < e.limit_end; ++l) {
+    limit_cached_[static_cast<std::size_t>(l)] = eval.limit_now[static_cast<std::size_t>(l)];
+  }
+  e.valid = true;
+  full_.fetch_add(1, std::memory_order_relaxed);
+  TickWindow(e);
+  return false;
+}
+
+void DeviceBypass::TickWindow(Entry& e) {
+  if (++e.window < kProbeLen) return;
+  if (e.hits * 8 < kProbeLen) {
+    // Fewer than 1/8 of the probe window replayed: the capture overhead is
+    // not paying for itself on this device right now.
+    e.capture_on = false;
+    e.valid = false;
+  }
+  e.window = 0;
+  e.hits = 0;
+}
+
+}  // namespace wavepipe::engine

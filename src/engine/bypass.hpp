@@ -1,0 +1,155 @@
+// Device latency bypass: cache-and-replay of quiescent device evaluations.
+//
+// Classic SPICE bypass, adapted to the slot-stamped assembly used here.  A
+// device opts in by implementing Device::ControllingUnknowns(); for each such
+// device the bypass keeps
+//   - the controlling unknown values it was last evaluated at,
+//   - the Jacobian/RHS *deltas* it stamped (captured by snapshotting its
+//     StampFootprint() slots around Eval()),
+//   - the state charges, integrator history and limiting memory it produced.
+// On a later pass with bitwise-identical per-pass scalars (a0, transient,
+// gmin, source_scale), a device whose controlling unknowns and history terms
+// all moved less than `bypass_vtol x` the solver tolerances is *replayed*:
+// the cached deltas are added and the cached state/limits restored, skipping
+// the model evaluation entirely.  The latency comparison runs at 1% of the
+// solver tolerances (kLatencyScale) times the user's bypass_vtol: replay at
+// the solver's own tolerances lets stale stamps wobble every accepted
+// solution by up to one tolerance unit, which the LTE controller reads as
+// genuine truncation error and answers by collapsing the step size to hmin
+// (measured, not hypothetical).
+//
+// Safety hinges on one invariant: EVERY assembly pass processes EVERY device
+// through Process(), so any pass that cannot replay a device refreshes its
+// cache.  Validity flags are therefore never cleared, only overwritten.
+//
+// Thread safety: Process() may be called concurrently for DIFFERENT devices
+// writing a shared value array when the callers' stamp footprints are
+// disjoint (exactly the guarantee colored assembly provides).  All per-call
+// scratch is per-device-entry; the only shared mutable state is the pair of
+// relaxed counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "engine/circuit.hpp"
+#include "engine/mna.hpp"
+#include "engine/options.hpp"
+
+namespace wavepipe::engine {
+
+class DeviceBypass {
+ public:
+  DeviceBypass() = default;
+
+  /// Builds the cache tables.  Activates only when `options.device_bypass`
+  /// is set and at least one device opts in; otherwise active() stays false
+  /// and the evaluation paths keep their historical bit-exact loops.
+  void Configure(const Circuit& circuit, const MnaStructure& structure,
+                 const SimOptions& options);
+
+  bool active() const { return active_; }
+
+  /// Permanently deactivates replay for the rest of the run (counters are
+  /// preserved).  The transient engines call this through the step-floor
+  /// safety valve: no fixed latency tolerance is provably safe for every
+  /// circuit — a deck whose LTE budget sits below the replay wobble (tiny
+  /// capacitances, steep slopes) collapses the step size to hmin and crawls.
+  /// When kFloorStreakLimit consecutive accepted steps sit at the hmin floor
+  /// with bypass active, the engine trades the bypass for its step economy.
+  void Disable() { active_ = false; }
+
+  /// Consecutive near-floor accepted steps that trigger Disable().  "Near
+  /// floor" is h <= kFloorWindow * hmin: the wobble equilibrium hovers a
+  /// small factor above hmin (growth off a force-accepted hmin step before
+  /// the next rejection), so an exact hmin test keeps missing the streak.
+  /// 64 consecutive accepts below 4 * hmin is a pace that needs ~1e8 more
+  /// steps to finish — a run already lost without the valve.
+  static constexpr int kFloorStreakLimit = 64;
+  static constexpr double kFloorWindow = 4.0;
+
+  /// Called once at the top of each assembly pass with the per-pass scalars.
+  /// Replay is permitted for this pass only when all four match the previous
+  /// pass bitwise (devices may depend on any of them arbitrarily).
+  void BeginPass(double a0, bool transient, double gmin, double source_scale);
+
+  /// Evaluates (or replays) devices[device_index] into `eval`.  Returns true
+  /// when the cached stamps were replayed and Eval() was skipped.
+  bool Process(std::size_t device_index, const devices::Device& device,
+               devices::EvalContext& eval);
+
+  /// Drops every cached entry (next pass re-evaluates everything).
+  void Invalidate();
+
+  std::uint64_t bypassed_evals() const {
+    return bypassed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t full_evals() const { return full_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    // Half-open ranges into the flat arrays below; state/limit ranges index
+    // the context's own slot arrays directly.
+    int ctrl_begin = 0, ctrl_end = 0;
+    int jac_begin = 0, jac_end = 0;
+    int rhs_begin = 0, rhs_end = 0;
+    int state_begin = 0, state_end = 0;
+    int limit_begin = 0, limit_end = 0;
+    bool bypassable = false;
+    bool valid = false;
+    // Adaptive capture: a device that rarely replays stops paying the
+    // snapshot/delta bookkeeping.  While capturing, every kProbeLen
+    // decisions the replay rate is checked; below 1/8 the entry sleeps
+    // (plain Eval, cache invalid) for kSleepLen evals, then re-probes.
+    bool capture_on = true;
+    std::uint16_t window = 0;
+    std::uint16_t hits = 0;
+  };
+
+  static constexpr std::uint16_t kProbeLen = 128;
+  static constexpr std::uint16_t kSleepLen = 512;
+
+  bool Replayable(const Entry& e, const devices::EvalContext& eval) const;
+  static void TickWindow(Entry& e);
+
+  /// Baseline latency scale relative to the solver tolerances, multiplied by
+  /// the user's bypass_vtol.  Replay introduces stamp errors proportional to
+  /// the drift it admits; at the solver's own tolerances (scale 1) those
+  /// errors surface at LTE-tolerance scale in the accepted waveform and the
+  /// step controller collapses h to hmin — and within a Newton solve they
+  /// fabricate convergence (replayed stamps reproduce the previous linear
+  /// system exactly, so the update reads as zero).  The measured knee on the
+  /// benchmark suite: 1% is transparent (step counts within a few % of the
+  /// recompute path), 2% costs ~20% more steps, 5%+ collapses.
+  static constexpr double kLatencyScale = 0.01;
+
+  bool active_ = false;
+  bool replay_ok_ = false;  // this pass's scalars match the cached ones
+  bool have_scalars_ = false;
+  double pass_a0_ = 0.0, pass_gmin_ = 0.0, pass_source_scale_ = 1.0;
+  bool pass_transient_ = false;
+
+  int num_nodes_ = 0;
+  double reltol_ = 0.0, vntol_ = 0.0, abstol_ = 0.0, vtol_scale_ = 1.0;
+
+  std::vector<Entry> entries_;  // one per device
+
+  std::vector<int> ctrl_unknowns_;     // ground-dropped controlling unknowns
+  std::vector<double> ctrl_cached_;    // their values at the cached eval
+  std::vector<int> jac_slots_;         // deduped, ground-dropped footprint slots
+  std::vector<double> jac_cached_;     // stamped delta per slot
+  std::vector<double> jac_snap_;       // pre-Eval snapshot scratch
+  std::vector<int> rhs_rows_;          // deduped, ground-dropped RHS rows
+  std::vector<double> rhs_cached_;
+  std::vector<double> rhs_snap_;
+  std::vector<double> state_cached_;   // charges written at the cached eval
+  std::vector<double> hist_cached_;    // history terms the cached eval read
+  std::vector<double> limit_cached_;   // limiting memory it wrote
+
+  std::atomic<std::uint64_t> bypassed_{0};
+  std::atomic<std::uint64_t> full_{0};
+};
+
+}  // namespace wavepipe::engine

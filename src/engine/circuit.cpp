@@ -42,21 +42,32 @@ void Circuit::Finalize() {
   WP_ASSERT(!finalized_);
   // Devices that look up other devices' branches (K, F, H elements) may be
   // declared before their targets; retry until a pass makes no progress.
-  std::vector<devices::Device*> pending;
+  std::vector<std::size_t> pending;
   pending.reserve(devices_.size());
-  for (const auto& device : devices_) pending.push_back(device.get());
+  for (std::size_t i = 0; i < devices_.size(); ++i) pending.push_back(i);
+  state_range_.assign(devices_.size(), SlotRange{});
+  limit_range_.assign(devices_.size(), SlotRange{});
 
   while (!pending.empty()) {
-    std::vector<devices::Device*> deferred;
+    std::vector<std::size_t> deferred;
     std::string last_error;
-    for (devices::Device* device : pending) {
+    for (std::size_t index : pending) {
+      devices::Device* device = devices_[index].get();
+      const int states_before = num_states_;
+      const int limits_before = num_limits_;
       try {
         device->Bind(*this);
       } catch (const ElaborationError& e) {
-        deferred.push_back(device);
+        // A failed Bind must not have claimed slots (Bind resolves references
+        // before allocating), but reset defensively so a retry starts clean.
+        num_states_ = states_before;
+        num_limits_ = limits_before;
+        deferred.push_back(index);
         last_error = e.what();
         continue;
       }
+      state_range_[index] = SlotRange{states_before, num_states_};
+      limit_range_[index] = SlotRange{limits_before, num_limits_};
       if (device->is_nonlinear()) nonlinear_ = true;
     }
     if (deferred.size() == pending.size()) {

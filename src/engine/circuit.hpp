@@ -61,6 +61,19 @@ class Circuit final : private devices::Binder {
 
   const std::vector<std::unique_ptr<devices::Device>>& devices() const { return devices_; }
 
+  /// Half-open range of slot indices claimed by one device during Bind().
+  struct SlotRange {
+    int begin = 0, end = 0;
+    int size() const { return end - begin; }
+  };
+
+  /// State slots claimed by devices()[i] (valid after Finalize()).  Slot
+  /// ownership is exclusive per device, so replaying a device's cached
+  /// contribution may restore exactly this range.
+  SlotRange device_state_range(std::size_t i) const { return state_range_[i]; }
+  /// Limiting slots claimed by devices()[i] (valid after Finalize()).
+  SlotRange device_limit_range(std::size_t i) const { return limit_range_[i]; }
+
   const std::string& node_name(int index) const;
   const std::map<std::string, int>& node_map() const { return node_index_; }
 
@@ -85,6 +98,8 @@ class Circuit final : private devices::Binder {
   int num_limits_ = 0;
 
   std::vector<std::unique_ptr<devices::Device>> devices_;
+  std::vector<SlotRange> state_range_;  // by device index, filled in Finalize()
+  std::vector<SlotRange> limit_range_;
   std::map<std::string, int> node_index_;
   std::vector<std::string> node_names_;            // by node index
   std::map<std::string, int> branch_of_device_;    // device name -> unknown index

@@ -25,6 +25,10 @@ SolveContext::SolveContext(const Circuit& circuit, const MnaStructure& structure
 
 void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid,
                  bool first_iteration) {
+  // Latency bypass: open the pass gate before either assembly path runs so
+  // the serial loop and the colored assembler share one replay decision.
+  ctx.bypass.BeginPass(inputs.a0, inputs.transient, inputs.gmin, inputs.source_scale);
+
   if (ctx.assembler != nullptr) {
     // Delegated zero+stamp (e.g. colored conflict-free parallel assembly).
     ctx.assembler->Assemble(ctx, inputs, limit_valid, first_iteration);
@@ -48,7 +52,14 @@ void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid
     eval.limit_now = ctx.limit_b;
     eval.limit_valid = limit_valid;
 
-    for (const auto& device : ctx.circuit().devices()) device->Eval(eval);
+    const auto& devices = ctx.circuit().devices();
+    if (ctx.bypass.active()) {
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        ctx.bypass.Process(i, *devices[i], eval);
+      }
+    } else {
+      for (const auto& device : devices) device->Eval(eval);
+    }
   }
 
   // Fault site: a device model producing a non-finite entry.  The poisoned
@@ -90,6 +101,37 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
   // every step-shrink / rescue / abort path above this function.
   if (WP_FAULT_POINT("newton.converge")) return stats;
 
+  // Chord Newton is only sound when the linear step is the plain undamped
+  // Newton map: damping rescales the update outside the solve, and gshunt /
+  // nodeset clamps put extra conductances into the factored matrix that the
+  // chord residual (built from the clean device Jacobian) would not see.
+  const bool chord_enabled = options.chord_newton && inputs.damping >= 1.0 &&
+                             inputs.gshunt == 0.0 && inputs.nodeset_g == 0.0;
+  FactorReusePolicy& reuse = ctx.factor_reuse;
+  // Adaptive attempt gate: a solve inside a backoff window never tries chord
+  // steps (it still refreshes the factor snapshot for later reuse).
+  bool chord_allowed = chord_enabled;
+  if (chord_allowed && reuse.backoff_solves > 0) {
+    --reuse.backoff_solves;
+    chord_allowed = false;
+  }
+  bool chord_off = false;       // chord proved unproductive at this point
+  bool chord_attempted = false;
+  bool prev_chord = false;      // previous iteration was a chord step
+  double prev_worst = std::numeric_limits<double>::infinity();
+  // On exit, widen or reset the backoff window from how chord fared here:
+  // an unproductive (or failed) solve doubles the window, a productive one
+  // clears it so the next solve tries again immediately.
+  auto settle_backoff = [&]() {
+    if (!chord_attempted) return;
+    if (chord_off || !stats.converged) {
+      reuse.backoff_len = std::min(std::max(1, reuse.backoff_len * 2), 32);
+      reuse.backoff_solves = reuse.backoff_len;
+    } else {
+      reuse.backoff_len = 0;
+    }
+  };
+
   bool limit_valid = false;
   for (int iter = 0; iter < max_iterations; ++iter) {
     stats.iterations = iter + 1;
@@ -98,26 +140,94 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
     EvalDevices(ctx, inputs, limit_valid, iter == 0);
     limit_valid = true;
 
-    const auto before_factor = ctx.lu.stats().factor_count;
-    const auto before_refactor = ctx.lu.stats().refactor_count;
-    try {
-      ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
-    } catch (const SingularMatrixError&) {
-      // A singular pivot at this trial point is reported as a failed solve,
-      // not an unwound simulation: the caller shrinks the step or climbs the
-      // rescue ladder, both of which change the Jacobian it will retry with.
-      stats.converged = false;
-      stats.singular = true;
-      stats.final_delta = std::numeric_limits<double>::infinity();
-      return stats;
+    // Decide whether the factor already in ctx.lu may serve as a chord map
+    // for this iteration.  Within a solve any chord-clean factor qualifies;
+    // entering a new solve (iter 0) additionally requires the integrator
+    // coefficient not to have drifted, since a0 scales every capacitive
+    // companion conductance in the matrix the factor came from.
+    bool use_chord = false;
+    if (chord_allowed && !chord_off && reuse.factor_valid && reuse.worthwhile &&
+        reuse.chord_iters < options.chord_iter_budget) {
+      if (iter > 0) {
+        use_chord = true;
+      } else {
+        const double drift = std::abs(inputs.a0 - reuse.factor_a0);
+        const double scale = std::max(std::abs(inputs.a0), std::abs(reuse.factor_a0));
+        use_chord = drift <= options.chord_a0_reltol * scale ||
+                    (drift == 0.0 && scale == 0.0);
+      }
     }
-    stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
-    stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
 
-    std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
-    ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
-    for (int r = 0; r < options.newton_refine_steps; ++r) {
-      ctx.lu.Refine(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work);
+    // A reused factor whose source matrix is bitwise-identical to the current
+    // one is not stale at all — the "chord" solve is an exact Newton solve
+    // (linear circuits at a stable step size, or a nonlinear circuit whose
+    // devices all replayed from the bypass cache).  Only a genuinely stale
+    // factor needs the confirming fresh-factor iteration before acceptance.
+    bool exact_factor = false;
+    if (use_chord) {
+      const auto values = ctx.matrix.values();
+      exact_factor = reuse.factor_values.size() == values.size() &&
+                     std::equal(values.begin(), values.end(),
+                                reuse.factor_values.begin());
+      // Chord step with the reused factor, in true-residual form:
+      //   x_new = x + LU_old^{-1} (b - J_new x)
+      // The residual uses the FRESH Jacobian and RHS, so a converged chord
+      // iterate satisfies the same fixed-point equation as a full Newton
+      // iterate — only the path there changes, never the accepted solution.
+      std::copy(ctx.x.begin(), ctx.x.end(), ctx.x_new.begin());
+      ctx.lu.ChordStep(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work,
+                       ctx.factor_pool);
+      ++reuse.chord_iters;
+      ++stats.chord_solves;
+      chord_attempted = true;
+    } else {
+      const auto before_factor = ctx.lu.stats().factor_count;
+      const auto before_refactor = ctx.lu.stats().refactor_count;
+      try {
+        ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
+      } catch (const SingularMatrixError&) {
+        // A singular pivot at this trial point is reported as a failed solve,
+        // not an unwound simulation: the caller shrinks the step or climbs the
+        // rescue ladder, both of which change the Jacobian it will retry with.
+        reuse.factor_valid = false;
+        stats.converged = false;
+        stats.singular = true;
+        stats.final_delta = std::numeric_limits<double>::infinity();
+        settle_backoff();
+        return stats;
+      }
+      stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
+      stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
+      reuse.factor_valid = chord_enabled;
+      reuse.factor_a0 = inputs.a0;
+      reuse.chord_iters = 0;
+      exact_factor = true;
+      if (chord_enabled) {
+        // Cost gate: chord reuse only pays where factorization does real
+        // work, i.e. the pattern fills in.  The ratio is symbolic (stable
+        // across refactors), so recomputing it here is just a few loads.
+        const auto& lu_stats = ctx.lu.stats();
+        const auto values = ctx.matrix.values();
+        const double fill = values.empty()
+                                ? 1.0
+                                : static_cast<double>(lu_stats.nnz_l + lu_stats.nnz_u) /
+                                      static_cast<double>(values.size());
+        reuse.worthwhile =
+            options.chord_fill_ratio <= 0.0 || fill >= options.chord_fill_ratio;
+        if (reuse.worthwhile) {
+          reuse.factor_values.assign(values.begin(), values.end());
+        } else {
+          reuse.factor_values.clear();
+        }
+      } else {
+        reuse.factor_values.clear();
+      }
+
+      std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
+      ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
+      for (int r = 0; r < options.newton_refine_steps; ++r) {
+        ctx.lu.Refine(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work);
+      }
     }
 
     // Damped update (rescue ladder): pull the full Newton step back toward
@@ -146,11 +256,44 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       // Diverged; restart damping won't save an inf/NaN iterate.
       stats.converged = false;
       stats.final_delta = std::numeric_limits<double>::infinity();
+      settle_backoff();
       return stats;
     }
 
     std::swap(ctx.x, ctx.x_new);
     stats.final_delta = worst;
+
+    // Chord safety net: if a chord iterate failed to contract (or the fault
+    // site "chord.degraded" simulates that), disable chord for the rest of
+    // this solve and ride full Newton instead of a stale factor.  The budget
+    // check catches slow-but-steady chains the rate monitor never trips.
+    if (use_chord && !chord_off) {
+      const bool degraded =
+          (worst > options.chord_rate_limit * prev_worst && worst > 1.0) ||
+          reuse.chord_iters >= options.chord_iter_budget ||
+          WP_FAULT_POINT("chord.degraded");
+      if (degraded) {
+        chord_off = true;
+        ++stats.forced_refactors;
+      }
+    }
+    // A-posteriori trust in a chord iterate without refactoring: two
+    // consecutive chord steps with the same factor observe the contraction
+    // rate rho of the chord map, which bounds the distance to the fixed
+    // point by worst * rho / (1 - rho).  Requiring that bound <= 0.1 keeps
+    // the accepted point within a tenth of the Newton tolerance — far below
+    // the wobble the step controller could mistake for truncation error.
+    // The rho <= 0.7 cap rejects the noise regime where a single-pair rate
+    // estimate says nothing (a squashing stale LU shows rho near 1).
+    const bool had_rate_evidence = prev_chord;
+    const double chord_rate = had_rate_evidence
+                                  ? worst / std::max(prev_worst, 1e-300)
+                                  : std::numeric_limits<double>::infinity();
+    const bool rate_trusted =
+        use_chord && had_rate_evidence && chord_rate <= 0.7 &&
+        worst * (chord_rate / (1.0 - chord_rate)) <= 0.1;
+    prev_worst = worst;
+    prev_chord = use_chord;
     // Convergence: the weighted update is within tolerance.  Nonlinear
     // circuits normally need a confirming second pass (the first update away
     // from an arbitrary guess says nothing) — EXCEPT when the very first
@@ -161,17 +304,34 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
     const bool confirmed =
         worst <= 1.0 &&
         (iter >= 1 || !ctx.circuit().is_nonlinear() || inputs.trusted_seed);
-    if (confirmed || hot_start_accept) {
+    // An update measured through a genuinely stale factor can pass the norm
+    // test far from the solution (the old LU squashes the true residual), so
+    // a chord iterate only converges the solve when its factor is exact
+    // (source matrix bitwise-equal) or its observed contraction rate bounds
+    // the remaining error well inside tolerance.  A first passing chord
+    // iterate has no rate evidence yet: run one more chord step to measure
+    // it.  A passing iterate whose measured rate is too weak falls back to a
+    // confirming fresh-factor iteration (chord_off below).
+    const bool trusted_step = !use_chord || exact_factor || rate_trusted;
+    if ((confirmed || hot_start_accept) && !trusted_step) {
+      if (!had_rate_evidence && !chord_off) {
+        // No evidence yet — gather it with one more chord iteration.
+      } else {
+        chord_off = true;
+      }
+    } else if (confirmed || hot_start_accept) {
       stats.converged = true;
       // ctx.state_now was evaluated at the pre-update iterate; refresh it at
       // the converged point unless the update was too small to matter.
       if (worst > 0.1) {
         EvalDevices(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false);
       }
+      settle_backoff();
       return stats;
     }
   }
   stats.converged = false;
+  settle_backoff();
   return stats;
 }
 

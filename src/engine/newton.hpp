@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/bypass.hpp"
 #include "engine/circuit.hpp"
 #include "engine/mna.hpp"
 #include "engine/options.hpp"
@@ -26,6 +27,12 @@ struct NewtonStats {
   double final_delta = 0.0;   ///< max weighted update of the last iteration
   int lu_full_factors = 0;
   int lu_refactors = 0;
+  /// Chord-Newton iterations that reused a stale LU factor instead of
+  /// refactoring (0 unless SimOptions::chord_newton is on).
+  int chord_solves = 0;
+  /// Refactorizations forced by the chord safety net: degraded contraction
+  /// rate, exhausted per-factor iteration budget, or fault injection.
+  int forced_refactors = 0;
   /// The iteration aborted on a singular (or injected) pivot failure rather
   /// than plain non-convergence.  Reported instead of letting the
   /// SingularMatrixError unwind: a singular Jacobian at one trial point is a
@@ -70,12 +77,51 @@ class DeviceAssembler {
   virtual AssemblyStats stats() const = 0;
 };
 
+/// Per-context chord-Newton bookkeeping: tracks whether ctx.lu currently
+/// holds a factor that may legally serve as a chord map, and how much it has
+/// been reused.  Lives in the SolveContext so the reuse window naturally
+/// spans Newton iterations AND consecutive time points solved on the same
+/// context (WavePipe workers each carry their own policy state).
+struct FactorReusePolicy {
+  /// ctx.lu's factor was computed from a chord-clean Jacobian (full update,
+  /// no gshunt/nodeset clamps) and nothing has invalidated it since.
+  bool factor_valid = false;
+  /// Integrator coefficient a0 the factor was computed at; cross-time-point
+  /// reuse is gated on its relative drift (chord_a0_reltol).
+  double factor_a0 = 0.0;
+  /// Chord solves performed with the current factor (chord_iter_budget).
+  int chord_iters = 0;
+  /// The factored pattern's fill ratio clears options.chord_fill_ratio:
+  /// computed after each factorization; false until the first one.
+  bool worthwhile = false;
+  /// Adaptive backoff: after a solve in which chord proved unproductive
+  /// (degraded contraction or a failed confirmation), chord attempts are
+  /// skipped for `backoff_solves` further solves; the window doubles on each
+  /// consecutive unproductive attempt and resets on a productive one.
+  int backoff_solves = 0;
+  int backoff_len = 0;
+  /// Bitwise snapshot of the matrix values the factor was computed from.
+  /// When the current matrix equals this snapshot, a "chord" solve is in fact
+  /// an exact Newton solve and its convergence test can be trusted; when it
+  /// differs, a chord-converged iterate must be confirmed by one fresh-factor
+  /// iteration before acceptance (a stale LU can squash a large true residual
+  /// into an update that passes the weighted-norm test).
+  std::vector<double> factor_values;
+};
+
 class SolveContext {
  public:
   SolveContext(const Circuit& circuit, const MnaStructure& structure);
 
   const Circuit& circuit() const { return *circuit_; }
   const MnaStructure& structure() const { return *structure_; }
+
+  /// Enables the optional device-bypass / chord-Newton acceleration on this
+  /// context from the given options.  Call once after construction (and
+  /// after attaching any assembler); no-op with the default options.
+  void ConfigureAcceleration(const SimOptions& options) {
+    bypass.Configure(*circuit_, *structure_, options);
+  }
 
   // Workspaces (public by design: the Newton loop, the DC continuation and
   // the integrators all operate on them directly).
@@ -102,6 +148,15 @@ class SolveContext {
   /// themselves block on this context (WavePipe gives pipeline workers a
   /// separate intra-solve pool for exactly this reason).
   util::ThreadPool* factor_pool = nullptr;
+
+  /// Device latency bypass (engine/bypass.hpp).  Inactive unless
+  /// ConfigureAcceleration() was called with device_bypass set; both the
+  /// serial device loop and the colored assembler route through it when
+  /// active.  Holds atomics, which is what makes SolveContext non-copyable.
+  DeviceBypass bypass;
+
+  /// Chord-Newton factor reuse state (see SolveNewton).
+  FactorReusePolicy factor_reuse;
 
   std::uint64_t total_newton_iterations = 0;  ///< lifetime counter
 

@@ -95,6 +95,46 @@ struct SimOptions {
   /// (x += A \ (b - A x)).  0 (default) keeps the historical bit-exact
   /// behavior; 1 is plenty for ill-conditioned MNA systems.
   int newton_refine_steps = 0;
+
+  // ---- latency bypass & chord Newton ---------------------------------------
+  /// Device latency bypass (SPICE-style): cache each bypassable device's
+  /// stamped Jacobian/RHS contributions and replay them while its controlling
+  /// voltages stay within the latency tolerance.  Off by default — the
+  /// default path stays bit-exact with historical behavior.
+  bool device_bypass = false;
+  /// User multiplier on the latency comparison tolerance.  The comparison
+  /// itself runs at 1% of the solver tolerance pair (reltol, vntol/abstol) —
+  /// DeviceBypass::kLatencyScale — times this value; replay at the solver's
+  /// own tolerances would wobble accepted solutions at LTE-tolerance scale
+  /// and collapse the step size to hmin.  1.0 keeps the measured-safe scale;
+  /// smaller values bypass more conservatively.
+  double bypass_vtol = 1.0;
+  /// Chord Newton: keep the previous LU factor across iterations (and across
+  /// time points while a0 is stable), solving the true-residual form
+  /// x += LU_old \ (b - J_new x) instead of refactoring every iteration.
+  /// The contraction monitor and the iteration budget below force a fresh
+  /// refactor whenever the stale factor stops paying.  Off by default.
+  bool chord_newton = false;
+  /// Force a refactor when a chord iterate's weighted update fails to shrink
+  /// below `chord_rate_limit` times the previous one (and is not converged).
+  double chord_rate_limit = 0.5;
+  /// Chord solves allowed per factor before a refactor is forced.  The
+  /// trust gates (exact-factor match or an observed-contraction bound) do
+  /// the accuracy policing, so the budget is a staleness backstop, not a
+  /// tuning knob: long step-size plateaus legitimately reuse one factor for
+  /// hundreds of solves.
+  int chord_iter_budget = 500;
+  /// Maximum relative drift of the integrator coefficient a0 for reusing a
+  /// factor across time points (a0 scales every capacitive companion
+  /// conductance, so the drift bounds the chord contraction rate on
+  /// capacitive nodes; past ~30% the iteration stops paying for itself).
+  double chord_a0_reltol = 0.3;
+  /// Cost gate: LU fill ratio (|L|+|U| over |A|) below which chord reuse is
+  /// not attempted.  Without fill-in a refactorization costs about as much
+  /// as the triangular solve a chord iteration needs anyway, so reuse can
+  /// only add iterations (ladders, chains and trees factor fill-free; 2-D
+  /// meshes fill 3-5x and profit).  Set to 0 to attempt chord everywhere.
+  double chord_fill_ratio = 2.0;
 };
 
 }  // namespace wavepipe::engine

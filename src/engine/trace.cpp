@@ -27,6 +27,20 @@ ProbeSet ProbeSet::FirstNodes(int num_nodes, int limit) {
   return out;
 }
 
+void Trace::ReserveEstimate(double span, double hmin) {
+  if (!(span > 0.0)) return;
+  // span/hmin is a hard upper bound on accepted steps but off by orders of
+  // magnitude in practice (hmin_ratio defaults to 1e-9 of the span); the cap
+  // keeps the reservation proportional to a realistic long run instead.
+  constexpr double kMaxReservedSamples = 4096.0;
+  double estimate = kMaxReservedSamples;
+  if (hmin > 0.0) estimate = std::min(span / hmin, kMaxReservedSamples);
+  const auto samples = static_cast<std::size_t>(estimate);
+  reserved_samples_ = samples;
+  times_.reserve(times_.size() + samples);
+  values_.reserve(values_.size() + samples * probes_.size());
+}
+
 void Trace::Record(double time, std::span<const double> full_solution) {
   WP_ASSERT(times_.empty() || time > times_.back());
   times_.push_back(time);

@@ -30,6 +30,18 @@ class Trace {
 
   void Record(double time, std::span<const double> full_solution);
 
+  /// Pre-reserves sample storage for a run over `span` seconds with minimum
+  /// step `hmin`.  span/hmin bounds the accepted-step count but is
+  /// astronomically pessimistic (hmin is the abort floor, not the typical
+  /// step), so the estimate is capped — enough to absorb the reallocation
+  /// churn of long runs without committing gigabytes.  Additive over calls
+  /// and safe to skip entirely.
+  void ReserveEstimate(double span, double hmin);
+
+  /// Samples the last ReserveEstimate() sized for (0 before any call);
+  /// drivers reuse it to reserve their parallel step-record arrays.
+  std::size_t reserved_samples() const { return reserved_samples_; }
+
   std::size_t num_samples() const { return times_.size(); }
   double time(std::size_t i) const { return times_[i]; }
   std::span<const double> times() const { return times_; }
@@ -57,6 +69,7 @@ class Trace {
   ProbeSet probes_;
   std::vector<double> times_;
   std::vector<double> values_;  // row-major: sample * probes
+  std::size_t reserved_samples_ = 0;
 };
 
 }  // namespace wavepipe::engine

@@ -127,6 +127,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
                            : ProbeSet::FirstNodes(circuit.num_nodes(), 16));
 
   SolveContext ctx(circuit, structure);
+  ctx.ConfigureAcceleration(options);
   result.last_good_time = spec.tstart;
   try {
     const DcopResult dcop = SolveDcOperatingPoint(ctx, options, spec.initial_conditions);
@@ -145,12 +146,17 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
   result.trace.Record(spec.tstart, history.newest()->x);
 
   const StepLimits limits = StepLimits::FromSpec(spec, options);
+  result.trace.ReserveEstimate(spec.tstop - spec.tstart, limits.hmin);
+  if (spec.record_step_details) {
+    result.steps.reserve(result.trace.reserved_samples());
+  }
   std::vector<double> breakpoints = circuit.CollectBreakpoints(spec.tstart, spec.tstop);
   std::size_t next_bp = 0;
 
   double h = limits.h0;
   bool restart = true;  // first step integrates off the DC point
   int steps_since_restart = 0;
+  int floor_streak = 0;  // accepted-at-hmin run length (bypass safety valve)
 
   while (!TransientHorizonReached(history.newest_time(), spec.tstop)) {
     const double t_now = history.newest_time();
@@ -176,6 +182,8 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     result.stats.newton_iterations += static_cast<std::uint64_t>(solve.newton.iterations);
     result.stats.lu_full_factors += static_cast<std::uint64_t>(solve.newton.lu_full_factors);
     result.stats.lu_refactors += static_cast<std::uint64_t>(solve.newton.lu_refactors);
+    result.stats.chord_solves += static_cast<std::uint64_t>(solve.newton.chord_solves);
+    result.stats.forced_refactors += static_cast<std::uint64_t>(solve.newton.forced_refactors);
 
     if (!solve.converged) {
       result.stats.steps_rejected_newton += 1;
@@ -205,6 +213,13 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
           restart = true;
           steps_since_restart = 0;
           h = limits.h0;
+          // Rescued points advance by hmin by construction — they feed the
+          // bypass step-floor valve just like force-accepted hmin steps.
+          if (ctx.bypass.active() &&
+              ++floor_streak >= DeviceBypass::kFloorStreakLimit) {
+            ctx.bypass.Disable();
+            result.stats.bypass_auto_disables += 1;
+          }
           continue;
         }
         result.completed = false;
@@ -246,6 +261,21 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     ++steps_since_restart;
     restart = false;
 
+    // Bypass step-floor safety valve: a deck whose LTE budget sits below the
+    // replay wobble pins every accepted step at hmin and the run crawls.  A
+    // sustained floor streak with replay active trades the bypass for the
+    // step economy (see DeviceBypass::Disable).
+    if (ctx.bypass.active()) {
+      if (t_new - t_now <= limits.hmin * DeviceBypass::kFloorWindow) {
+        if (++floor_streak >= DeviceBypass::kFloorStreakLimit) {
+          ctx.bypass.Disable();
+          result.stats.bypass_auto_disables += 1;
+        }
+      } else {
+        floor_streak = 0;
+      }
+    }
+
     if (hit_breakpoint) {
       ++next_bp;
       restart = true;
@@ -259,6 +289,8 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
   result.last_good_time = history.newest_time();
   result.stats.wall_seconds = total_timer.Seconds();
   result.stats.AbsorbLuStats(ctx.lu.stats());
+  result.stats.bypassed_evals += ctx.bypass.bypassed_evals();
+  result.stats.bypass_full_evals += ctx.bypass.full_evals();
   return result;
 }
 

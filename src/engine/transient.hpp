@@ -109,6 +109,15 @@ struct TransientStats {
   std::uint64_t newton_iterations = 0;
   std::uint64_t lu_full_factors = 0;
   std::uint64_t lu_refactors = 0;
+  // Latency bypass / chord Newton telemetry (0 unless the features are on).
+  std::uint64_t bypassed_evals = 0;    ///< device evals replayed from cache
+  std::uint64_t bypass_full_evals = 0; ///< bypassable devices evaluated fully
+  std::uint64_t chord_solves = 0;      ///< Newton iterations on a stale factor
+  std::uint64_t forced_refactors = 0;  ///< chord safety-net refactorizations
+  /// Times the step-floor safety valve shut the bypass off mid-run: accepted
+  /// steps pinned at hmin for DeviceBypass::kFloorStreakLimit in a row with
+  /// replay active (the replay wobble exceeded the deck's LTE budget).
+  std::uint64_t bypass_auto_disables = 0;
   double wall_seconds = 0.0;
   std::string dcop_strategy;
   // LU level-scheduling telemetry (sparse/lu.hpp), copied from the primary

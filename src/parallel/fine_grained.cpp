@@ -8,6 +8,7 @@
 #include "engine/integrator.hpp"
 #include "engine/step_control.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -71,20 +72,55 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
   const int num_nodes = ctx.circuit().num_nodes();
   engine::NewtonStats stats;
 
+  // Same chord-Newton gating as engine::SolveNewton (the fine-grained loop
+  // always runs undamped without gshunt/nodeset clamps, but gate on the
+  // inputs anyway so the two loops can never drift apart).
+  const bool chord_enabled = options.chord_newton && inputs.damping >= 1.0 &&
+                             inputs.gshunt == 0.0 && inputs.nodeset_g == 0.0;
+  engine::FactorReusePolicy& reuse = ctx.factor_reuse;
+  bool force_refactor = false;
+  double prev_worst = std::numeric_limits<double>::infinity();
+
   bool limit_valid = false;
   for (int iter = 0; iter < max_iterations; ++iter) {
     stats.iterations = iter + 1;
     evaluator.Eval(ctx, inputs, limit_valid, iter == 0, phases);
     limit_valid = true;
 
+    bool use_chord = false;
+    if (chord_enabled && reuse.factor_valid && !force_refactor &&
+        reuse.chord_iters < options.chord_iter_budget) {
+      if (iter > 0) {
+        use_chord = true;
+      } else {
+        const double drift = std::abs(inputs.a0 - reuse.factor_a0);
+        const double scale = std::max(std::abs(inputs.a0), std::abs(reuse.factor_a0));
+        use_chord = drift <= options.chord_a0_reltol * scale ||
+                    (drift == 0.0 && scale == 0.0);
+      }
+    }
+
     util::ThreadCpuTimer lu_timer;
-    const auto before_factor = ctx.lu.stats().factor_count;
-    const auto before_refactor = ctx.lu.stats().refactor_count;
-    ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
-    stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
-    stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
-    std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
-    ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
+    if (use_chord) {
+      std::copy(ctx.x.begin(), ctx.x.end(), ctx.x_new.begin());
+      ctx.lu.ChordStep(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work,
+                       ctx.factor_pool);
+      ++reuse.chord_iters;
+      ++stats.chord_solves;
+    } else {
+      const auto before_factor = ctx.lu.stats().factor_count;
+      const auto before_refactor = ctx.lu.stats().refactor_count;
+      reuse.factor_valid = false;  // stays false if FactorOrRefactor throws
+      ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
+      stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
+      stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
+      reuse.factor_valid = chord_enabled;
+      reuse.factor_a0 = inputs.a0;
+      reuse.chord_iters = 0;
+      force_refactor = false;
+      std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
+      ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
+    }
     phases.lu += lu_timer.Seconds();
 
     double worst = 0.0;
@@ -106,6 +142,20 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
     }
     std::swap(ctx.x, ctx.x_new);
     stats.final_delta = worst;
+
+    // Chord safety net (mirrors engine::SolveNewton).
+    if (use_chord) {
+      const bool degraded =
+          (worst > options.chord_rate_limit * prev_worst && worst > 1.0) ||
+          reuse.chord_iters >= options.chord_iter_budget ||
+          WP_FAULT_POINT("chord.degraded");
+      if (degraded) {
+        force_refactor = true;
+        ++stats.forced_refactors;
+      }
+    }
+    prev_worst = worst;
+
     // Same convergence protocol as engine::SolveNewton (incl. hot-start
     // fast acceptance) so both paths take identical step sequences.
     const bool hot_start_accept = worst <= 0.05;
@@ -148,12 +198,14 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
   // From here on every EvalDevices on this context goes through the
   // assembler.
   evaluator.Attach(ctx);
+  ctx.ConfigureAcceleration(options.sim);
 
   engine::History history(options.sim.history_depth);
   history.Add(engine::MakeDcSolutionPoint(ctx, spec.tstart));
   result.trace.Record(spec.tstart, history.newest()->x);
 
   const engine::StepLimits limits = engine::StepLimits::FromSpec(spec, options.sim);
+  result.trace.ReserveEstimate(spec.tstop - spec.tstart, limits.hmin);
   std::vector<double> breakpoints = circuit.CollectBreakpoints(spec.tstart, spec.tstop);
   std::size_t next_bp = 0;
 
@@ -199,6 +251,8 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
     result.stats.newton_iterations += static_cast<std::uint64_t>(newton.iterations);
     result.stats.lu_full_factors += static_cast<std::uint64_t>(newton.lu_full_factors);
     result.stats.lu_refactors += static_cast<std::uint64_t>(newton.lu_refactors);
+    result.stats.chord_solves += static_cast<std::uint64_t>(newton.chord_solves);
+    result.stats.forced_refactors += static_cast<std::uint64_t>(newton.forced_refactors);
 
     if (!newton.converged) {
       result.stats.steps_rejected_newton += 1;
@@ -248,6 +302,8 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
 
   result.stats.wall_seconds = total_timer.Seconds();
   result.stats.AbsorbLuStats(ctx.lu.stats());
+  result.stats.bypassed_evals += ctx.bypass.bypassed_evals();
+  result.stats.bypass_full_evals += ctx.bypass.full_evals();
   result.assembly = evaluator.stats();
   return result;
 }

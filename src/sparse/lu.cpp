@@ -625,6 +625,7 @@ SparseLu::Stats SparseLu::stats() const {
   snapshot.solve_count = solve_count_.load(std::memory_order_relaxed);
   snapshot.solve_flops = solve_flops_.load(std::memory_order_relaxed);
   snapshot.parallel_solve_count = parallel_solve_count_.load(std::memory_order_relaxed);
+  snapshot.chord_step_count = chord_step_count_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -644,6 +645,19 @@ double SparseLu::Refine(const CscMatrix& matrix, std::span<const double> b,
   static thread_local std::vector<double> tl_residual;
   static thread_local std::vector<double> tl_workspace;
   return Refine(matrix, b, x, tl_residual, tl_workspace);
+}
+
+double SparseLu::ChordStep(const CscMatrix& matrix, std::span<const double> b,
+                           std::span<double> x, std::vector<double>& residual,
+                           std::vector<double>& solve_workspace,
+                           util::ThreadPool* pool) const {
+  residual.assign(b.begin(), b.end());
+  matrix.MultiplyAccumulate(x, residual, -1.0);
+  SolveParallel(residual, solve_workspace, pool);
+  const double correction = NormInf(residual);
+  Axpy(1.0, residual, x);
+  chord_step_count_.fetch_add(1, std::memory_order_relaxed);
+  return correction;
 }
 
 }  // namespace wavepipe::sparse

@@ -99,6 +99,7 @@ class SparseLu {
     std::uint64_t refactor_fallback_count = 0;  ///< pool given, model chose serial
     std::uint64_t parallel_solve_count = 0;     ///< level-scheduled solves run
     std::uint64_t ordering_reuse_count = 0;     ///< Factor() reused a cached ordering
+    std::uint64_t chord_step_count = 0;         ///< ChordStep() calls (stale-factor solves)
   };
 
   SparseLu() : SparseLu(Options{}) {}
@@ -160,6 +161,19 @@ class SparseLu {
   double Refine(const CscMatrix& matrix, std::span<const double> b,
                 std::span<double> x) const;
 
+  /// Chord-Newton step with a stale factor: x += LU \ (b - A x), where A/b
+  /// are the CURRENT Jacobian/RHS and LU is whatever this object last
+  /// factored.  Numerically this is one iterative-refinement sweep whose
+  /// "preconditioner" happens to be stale — the fixed point still satisfies
+  /// A x = b exactly, which is what makes factor reuse safe for Newton.
+  /// Returns the inf-norm of the applied correction.  `residual` and
+  /// `solve_workspace` are caller scratch (resized to dimension); the solve
+  /// routes through SolveParallel() so level scheduling applies when `pool`
+  /// is usable.
+  double ChordStep(const CscMatrix& matrix, std::span<const double> b,
+                   std::span<double> x, std::vector<double>& residual,
+                   std::vector<double>& solve_workspace, util::ThreadPool* pool) const;
+
   bool factored() const { return factored_; }
   int dimension() const { return n_; }
   /// Snapshot of the counters (by value: solve counters are atomics
@@ -213,6 +227,7 @@ class SparseLu {
   mutable std::atomic<std::uint64_t> solve_count_{0};
   mutable std::atomic<std::uint64_t> solve_flops_{0};
   mutable std::atomic<std::uint64_t> parallel_solve_count_{0};
+  mutable std::atomic<std::uint64_t> chord_step_count_{0};
   bool factored_ = false;
   int n_ = 0;
   std::size_t pattern_nnz_ = 0;  // nnz of the matrix Factor() saw

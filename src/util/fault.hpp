@@ -24,6 +24,8 @@
 //   lu.pivot          SparseLu::FactorOrRefactor throws SingularMatrixError
 //   device.eval_nan   EvalDevices poisons the RHS with a NaN
 //   pool.task_throw   a ThreadPool task throws before running its body
+//   chord.degraded    a chord-Newton iterate reports a degraded contraction
+//                     rate, forcing a refactorization on the next iteration
 #pragma once
 
 #include <cstdint>

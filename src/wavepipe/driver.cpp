@@ -78,6 +78,10 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
   if (options_.factor_threads > 1) {
     for (auto& ctx : contexts_) ctx->factor_pool = intra_pool_.get();
   }
+
+  // Latency bypass / chord Newton: per-context caches and factor-reuse
+  // state, so pipelined solves on different contexts never share them.
+  for (auto& ctx : contexts_) ctx->ConfigureAcceleration(options_.sim);
 }
 
 bool PipelineDriver::Done() const {
@@ -89,6 +93,7 @@ WavePipeResult PipelineDriver::Run() {
   result_.trace = engine::Trace(spec_.probes.size() > 0
                                     ? spec_.probes
                                     : engine::ProbeSet::FirstNodes(circuit_.num_nodes(), 16));
+  result_.trace.ReserveEstimate(spec_.tstop - spec_.tstart, limits_.hmin);
 
   // Sequential prologue: DC operating point on context 0.
   engine::SolveContext& ctx0 = *contexts_[0];
@@ -123,6 +128,7 @@ WavePipeResult PipelineDriver::Run() {
   h_ = limits_.h0;
   restart_ = true;
   steps_since_restart_ = 0;
+  last_leading_time_ = spec_.tstart;
 
   while (!Done() && !aborted_) {
     result_.sched.rounds += 1;
@@ -148,7 +154,11 @@ WavePipeResult PipelineDriver::Run() {
   result_.last_good_time = history_.newest_time();
   result_.stats.wall_seconds = total_timer.Seconds();
   if (assembler_) result_.assembly = assembler_->stats();
-  for (const auto& ctx : contexts_) result_.stats.AbsorbLuStats(ctx->lu.stats());
+  for (const auto& ctx : contexts_) {
+    result_.stats.AbsorbLuStats(ctx->lu.stats());
+    result_.stats.bypassed_evals += ctx->bypass.bypassed_evals();
+    result_.stats.bypass_full_evals += ctx->bypass.full_evals();
+  }
   return std::move(result_);
 }
 
@@ -239,6 +249,8 @@ int PipelineDriver::Record(SolveKind kind, const engine::StepSolveResult& solve,
   result_.stats.newton_iterations += static_cast<std::uint64_t>(solve.newton.iterations);
   result_.stats.lu_full_factors += static_cast<std::uint64_t>(solve.newton.lu_full_factors);
   result_.stats.lu_refactors += static_cast<std::uint64_t>(solve.newton.lu_refactors);
+  result_.stats.chord_solves += static_cast<std::uint64_t>(solve.newton.chord_solves);
+  result_.stats.forced_refactors += static_cast<std::uint64_t>(solve.newton.forced_refactors);
   return result_.ledger.Add(std::move(record));
 }
 
@@ -260,6 +272,23 @@ void PipelineDriver::AcceptPoint(const engine::SolutionPointPtr& point, int ledg
     result_.trace.Record(point->time, point->x);
     result_.stats.steps_accepted += 1;
     result_.final_point = point;
+
+    // Bypass step-floor safety valve (same rule as the serial engine): a
+    // sustained run of leading accepts pinned at hmin with replay active
+    // means the replay wobble exceeded the deck's LTE budget — shut the
+    // bypass off on every context and let the step size recover.
+    if (contexts_[0]->bypass.active()) {
+      if (point->time - last_leading_time_ <=
+          limits_.hmin * engine::DeviceBypass::kFloorWindow) {
+        if (++floor_streak_ >= engine::DeviceBypass::kFloorStreakLimit) {
+          for (auto& ctx : contexts_) ctx->bypass.Disable();
+          result_.stats.bypass_auto_disables += 1;
+        }
+      } else {
+        floor_streak_ = 0;
+      }
+    }
+    last_leading_time_ = point->time;
   }
 }
 

@@ -156,6 +156,8 @@ class PipelineDriver {
   bool restart_ = true;
   int steps_since_restart_ = 0;
   int bwp_cooldown_ = 0;  ///< rounds to hold the serial growth cap after a rejection
+  double last_leading_time_ = 0.0;  ///< previous leading accept (bypass valve)
+  int floor_streak_ = 0;  ///< leading accepts pinned at hmin (bypass valve)
   // ---- failure hardening -----------------------------------------------------
   bool aborted_ = false;          ///< unrecoverable failure; Run() returns partial
   std::string abort_reason_;

@@ -8,9 +8,13 @@
 //   --chart                            ASCII chart of the probes
 //   --stats                            print scheduling/solver statistics
 //   --compare-serial                   also run serial, report deviation + speedup
+//   --no-bypass                        disable the device latency bypass (on by default)
+//   --bypass-vtol X                    latency tolerance scale (default 1.0)
+//   --chord                            enable chord-Newton LU factor reuse
 //
 // Exit codes: 0 ok, 1 usage, 2 parse/elaboration error, 3 analysis failure.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,13 +40,18 @@ struct CliOptions {
   bool chart = false;
   bool stats = false;
   bool compare_serial = false;
+  // Latency bypass is on by default at the CLI (the library default stays
+  // off for bit-exact traces); chord Newton is opt-in either way.
+  bool bypass = true;
+  double bypass_vtol = 1.0;
+  bool chord = false;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: wavespice <deck.sp> [--scheme serial|bwp|fwp|combined] "
                "[--threads N] [--out file.csv] [--chart] [--stats] "
-               "[--compare-serial]\n");
+               "[--compare-serial] [--no-bypass] [--bypass-vtol X] [--chord]\n");
   return 1;
 }
 
@@ -73,6 +82,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->stats = true;
     } else if (arg == "--compare-serial") {
       out->compare_serial = true;
+    } else if (arg == "--no-bypass") {
+      out->bypass = false;
+    } else if (arg == "--bypass-vtol") {
+      const char* v = next();
+      if (!v) return false;
+      out->bypass_vtol = std::atof(v);
+      if (!(out->bypass_vtol > 0.0)) return false;
+    } else if (arg == "--chord") {
+      out->chord = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (out->deck_path.empty()) {
@@ -130,6 +148,9 @@ int main(int argc, char** argv) {
     options.scheme = cli.scheme;
     options.threads = cli.threads;
     options.sim = elaborated.sim_options;
+    options.sim.device_bypass = cli.bypass;
+    options.sim.bypass_vtol = cli.bypass_vtol;
+    options.sim.chord_newton = cli.chord;
     const auto result =
         pipeline::RunWavePipe(*elaborated.circuit, mna, elaborated.spec, options);
 
@@ -146,6 +167,24 @@ int main(int argc, char** argv) {
       std::printf("  LU full factors: %llu, refactors: %llu\n",
                   static_cast<unsigned long long>(result.stats.lu_full_factors),
                   static_cast<unsigned long long>(result.stats.lu_refactors));
+      const std::uint64_t bypass_total =
+          result.stats.bypassed_evals + result.stats.bypass_full_evals;
+      std::printf("  bypassed evals: %llu of %llu bypassable (%.0f%%)\n",
+                  static_cast<unsigned long long>(result.stats.bypassed_evals),
+                  static_cast<unsigned long long>(bypass_total),
+                  bypass_total > 0
+                      ? 100.0 * static_cast<double>(result.stats.bypassed_evals) /
+                            static_cast<double>(bypass_total)
+                      : 0.0);
+      if (result.stats.bypass_auto_disables > 0) {
+        std::printf("  bypass auto-disabled by the step-floor safety valve "
+                    "(%llu time%s)\n",
+                    static_cast<unsigned long long>(result.stats.bypass_auto_disables),
+                    result.stats.bypass_auto_disables == 1 ? "" : "s");
+      }
+      std::printf("  chord solves: %llu, forced refactors: %llu\n",
+                  static_cast<unsigned long long>(result.stats.chord_solves),
+                  static_cast<unsigned long long>(result.stats.forced_refactors));
       std::printf("  backward solves: %zu, speculative: %zu (accepted %zu, direct %zu)\n",
                   result.sched.backward_solves, result.sched.speculative_solves,
                   result.sched.speculative_accepted, result.sched.speculative_direct);
