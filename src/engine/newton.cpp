@@ -91,6 +91,150 @@ void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid
   std::swap(ctx.limit_a, ctx.limit_b);
 }
 
+ChordPolicy::ChordPolicy(SolveContext& ctx, const NewtonInputs& inputs,
+                         const SimOptions& options)
+    : ctx_(&ctx),
+      options_(&options),
+      a0_(inputs.a0),
+      prev_worst_(std::numeric_limits<double>::infinity()) {
+  enabled_ = options.chord_newton && inputs.damping >= 1.0 &&
+             inputs.gshunt == 0.0 && inputs.nodeset_g == 0.0;
+  // Adaptive attempt gate: a solve inside a backoff window never tries chord
+  // steps (it still refreshes the factor snapshot for later reuse).
+  allowed_ = enabled_;
+  if (allowed_ && ctx.factor_reuse.backoff_solves > 0) {
+    --ctx.factor_reuse.backoff_solves;
+    allowed_ = false;
+  }
+}
+
+bool ChordPolicy::ShouldUseChord(int iter) const {
+  const FactorReusePolicy& reuse = ctx_->factor_reuse;
+  if (!allowed_ || chord_off_ || !reuse.factor_valid || !reuse.worthwhile ||
+      reuse.chord_iters >= options_->chord_iter_budget) {
+    return false;
+  }
+  if (iter > 0) return true;
+  const double drift = std::abs(a0_ - reuse.factor_a0);
+  const double scale = std::max(std::abs(a0_), std::abs(reuse.factor_a0));
+  return drift <= options_->chord_a0_reltol * scale || (drift == 0.0 && scale == 0.0);
+}
+
+void ChordPolicy::BeginChordStep(NewtonStats& stats) {
+  FactorReusePolicy& reuse = ctx_->factor_reuse;
+  // A reused factor whose source matrix is bitwise-identical to the current
+  // one is not stale at all — the "chord" solve is an exact Newton solve
+  // (linear circuits at a stable step size, or a nonlinear circuit whose
+  // devices all replayed from the bypass cache).  Only a genuinely stale
+  // factor needs the confirming fresh-factor iteration before acceptance.
+  const auto values = ctx_->matrix.values();
+  exact_factor_ = reuse.factor_values.size() == values.size() &&
+                  std::equal(values.begin(), values.end(), reuse.factor_values.begin());
+  ++reuse.chord_iters;
+  ++stats.chord_solves;
+  attempted_ = true;
+  current_is_chord_ = true;
+}
+
+void ChordPolicy::NoteFactorAttempt() { ctx_->factor_reuse.factor_valid = false; }
+
+void ChordPolicy::NoteFreshFactor() {
+  FactorReusePolicy& reuse = ctx_->factor_reuse;
+  reuse.factor_valid = enabled_;
+  reuse.factor_a0 = a0_;
+  reuse.chord_iters = 0;
+  exact_factor_ = true;
+  current_is_chord_ = false;
+  if (enabled_) {
+    // Cost gate: chord reuse only pays where factorization does real work,
+    // i.e. the pattern fills in.  The ratio is symbolic (stable across
+    // refactors), so recomputing it here is just a few loads.
+    const auto& lu_stats = ctx_->lu.stats();
+    const auto values = ctx_->matrix.values();
+    const double fill = values.empty()
+                            ? 1.0
+                            : static_cast<double>(lu_stats.nnz_l + lu_stats.nnz_u) /
+                                  static_cast<double>(values.size());
+    reuse.worthwhile =
+        options_->chord_fill_ratio <= 0.0 || fill >= options_->chord_fill_ratio;
+    if (reuse.worthwhile) {
+      reuse.factor_values.assign(values.begin(), values.end());
+    } else {
+      reuse.factor_values.clear();
+    }
+  } else {
+    reuse.factor_values.clear();
+  }
+}
+
+bool ChordPolicy::FinishIteration(double worst, bool passed, NewtonStats& stats) {
+  const bool use_chord = current_is_chord_;
+  current_is_chord_ = false;
+  // Chord safety net: if a chord iterate failed to contract (or the fault
+  // site "chord.degraded" simulates that), disable chord for the rest of
+  // this solve and ride full Newton instead of a stale factor.  The budget
+  // check catches slow-but-steady chains the rate monitor never trips.
+  if (use_chord && !chord_off_) {
+    const bool degraded =
+        (worst > options_->chord_rate_limit * prev_worst_ && worst > 1.0) ||
+        ctx_->factor_reuse.chord_iters >= options_->chord_iter_budget ||
+        WP_FAULT_POINT("chord.degraded");
+    if (degraded) {
+      chord_off_ = true;
+      ++stats.forced_refactors;
+    }
+  }
+  // A-posteriori trust in a chord iterate without refactoring: two
+  // consecutive chord steps with the same factor observe the contraction
+  // rate rho of the chord map, which bounds the distance to the fixed
+  // point by worst * rho / (1 - rho).  Requiring that bound <= 0.1 keeps
+  // the accepted point within a tenth of the Newton tolerance — far below
+  // the wobble the step controller could mistake for truncation error.
+  // The rho <= 0.7 cap rejects the noise regime where a single-pair rate
+  // estimate says nothing (a squashing stale LU shows rho near 1).
+  const bool had_rate_evidence = prev_chord_;
+  const double chord_rate = had_rate_evidence
+                                ? worst / std::max(prev_worst_, 1e-300)
+                                : std::numeric_limits<double>::infinity();
+  const bool rate_trusted =
+      use_chord && had_rate_evidence && chord_rate <= 0.7 &&
+      worst * (chord_rate / (1.0 - chord_rate)) <= 0.1;
+  prev_worst_ = worst;
+  prev_chord_ = use_chord;
+  if (!passed) return false;
+  // An update measured through a genuinely stale factor can pass the norm
+  // test far from the solution (the old LU squashes the true residual), so
+  // a chord iterate only converges the solve when its factor is exact
+  // (source matrix bitwise-equal) or its observed contraction rate bounds
+  // the remaining error well inside tolerance.  A first passing chord
+  // iterate has no rate evidence yet: run one more chord step to measure
+  // it.  A passing iterate whose measured rate is too weak falls back to a
+  // confirming fresh-factor iteration (chord_off_ here).
+  if (use_chord && !exact_factor_ && !rate_trusted) {
+    if (!had_rate_evidence && !chord_off_) {
+      // No evidence yet — gather it with one more chord iteration.
+    } else {
+      chord_off_ = true;
+    }
+    return false;
+  }
+  return true;
+}
+
+void ChordPolicy::Settle(bool converged) {
+  // Widen or reset the backoff window from how chord fared this solve: an
+  // unproductive (or failed) solve doubles the window, a productive one
+  // clears it so the next solve tries again immediately.
+  if (!attempted_) return;
+  FactorReusePolicy& reuse = ctx_->factor_reuse;
+  if (chord_off_ || !converged) {
+    reuse.backoff_len = std::min(std::max(1, reuse.backoff_len * 2), 32);
+    reuse.backoff_solves = reuse.backoff_len;
+  } else {
+    reuse.backoff_len = 0;
+  }
+}
+
 NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
                         const SimOptions& options, int max_iterations) {
   const int n = ctx.structure().dimension();
@@ -101,36 +245,7 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
   // every step-shrink / rescue / abort path above this function.
   if (WP_FAULT_POINT("newton.converge")) return stats;
 
-  // Chord Newton is only sound when the linear step is the plain undamped
-  // Newton map: damping rescales the update outside the solve, and gshunt /
-  // nodeset clamps put extra conductances into the factored matrix that the
-  // chord residual (built from the clean device Jacobian) would not see.
-  const bool chord_enabled = options.chord_newton && inputs.damping >= 1.0 &&
-                             inputs.gshunt == 0.0 && inputs.nodeset_g == 0.0;
-  FactorReusePolicy& reuse = ctx.factor_reuse;
-  // Adaptive attempt gate: a solve inside a backoff window never tries chord
-  // steps (it still refreshes the factor snapshot for later reuse).
-  bool chord_allowed = chord_enabled;
-  if (chord_allowed && reuse.backoff_solves > 0) {
-    --reuse.backoff_solves;
-    chord_allowed = false;
-  }
-  bool chord_off = false;       // chord proved unproductive at this point
-  bool chord_attempted = false;
-  bool prev_chord = false;      // previous iteration was a chord step
-  double prev_worst = std::numeric_limits<double>::infinity();
-  // On exit, widen or reset the backoff window from how chord fared here:
-  // an unproductive (or failed) solve doubles the window, a productive one
-  // clears it so the next solve tries again immediately.
-  auto settle_backoff = [&]() {
-    if (!chord_attempted) return;
-    if (chord_off || !stats.converged) {
-      reuse.backoff_len = std::min(std::max(1, reuse.backoff_len * 2), 32);
-      reuse.backoff_solves = reuse.backoff_len;
-    } else {
-      reuse.backoff_len = 0;
-    }
-  };
+  ChordPolicy chord(ctx, inputs, options);
 
   bool limit_valid = false;
   for (int iter = 0; iter < max_iterations; ++iter) {
@@ -140,35 +255,8 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
     EvalDevices(ctx, inputs, limit_valid, iter == 0);
     limit_valid = true;
 
-    // Decide whether the factor already in ctx.lu may serve as a chord map
-    // for this iteration.  Within a solve any chord-clean factor qualifies;
-    // entering a new solve (iter 0) additionally requires the integrator
-    // coefficient not to have drifted, since a0 scales every capacitive
-    // companion conductance in the matrix the factor came from.
-    bool use_chord = false;
-    if (chord_allowed && !chord_off && reuse.factor_valid && reuse.worthwhile &&
-        reuse.chord_iters < options.chord_iter_budget) {
-      if (iter > 0) {
-        use_chord = true;
-      } else {
-        const double drift = std::abs(inputs.a0 - reuse.factor_a0);
-        const double scale = std::max(std::abs(inputs.a0), std::abs(reuse.factor_a0));
-        use_chord = drift <= options.chord_a0_reltol * scale ||
-                    (drift == 0.0 && scale == 0.0);
-      }
-    }
-
-    // A reused factor whose source matrix is bitwise-identical to the current
-    // one is not stale at all — the "chord" solve is an exact Newton solve
-    // (linear circuits at a stable step size, or a nonlinear circuit whose
-    // devices all replayed from the bypass cache).  Only a genuinely stale
-    // factor needs the confirming fresh-factor iteration before acceptance.
-    bool exact_factor = false;
-    if (use_chord) {
-      const auto values = ctx.matrix.values();
-      exact_factor = reuse.factor_values.size() == values.size() &&
-                     std::equal(values.begin(), values.end(),
-                                reuse.factor_values.begin());
+    if (chord.ShouldUseChord(iter)) {
+      chord.BeginChordStep(stats);
       // Chord step with the reused factor, in true-residual form:
       //   x_new = x + LU_old^{-1} (b - J_new x)
       // The residual uses the FRESH Jacobian and RHS, so a converged chord
@@ -177,51 +265,25 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       std::copy(ctx.x.begin(), ctx.x.end(), ctx.x_new.begin());
       ctx.lu.ChordStep(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work,
                        ctx.factor_pool);
-      ++reuse.chord_iters;
-      ++stats.chord_solves;
-      chord_attempted = true;
     } else {
       const auto before_factor = ctx.lu.stats().factor_count;
       const auto before_refactor = ctx.lu.stats().refactor_count;
+      chord.NoteFactorAttempt();
       try {
         ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
       } catch (const SingularMatrixError&) {
         // A singular pivot at this trial point is reported as a failed solve,
         // not an unwound simulation: the caller shrinks the step or climbs the
         // rescue ladder, both of which change the Jacobian it will retry with.
-        reuse.factor_valid = false;
         stats.converged = false;
         stats.singular = true;
         stats.final_delta = std::numeric_limits<double>::infinity();
-        settle_backoff();
+        chord.Settle(false);
         return stats;
       }
       stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
       stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
-      reuse.factor_valid = chord_enabled;
-      reuse.factor_a0 = inputs.a0;
-      reuse.chord_iters = 0;
-      exact_factor = true;
-      if (chord_enabled) {
-        // Cost gate: chord reuse only pays where factorization does real
-        // work, i.e. the pattern fills in.  The ratio is symbolic (stable
-        // across refactors), so recomputing it here is just a few loads.
-        const auto& lu_stats = ctx.lu.stats();
-        const auto values = ctx.matrix.values();
-        const double fill = values.empty()
-                                ? 1.0
-                                : static_cast<double>(lu_stats.nnz_l + lu_stats.nnz_u) /
-                                      static_cast<double>(values.size());
-        reuse.worthwhile =
-            options.chord_fill_ratio <= 0.0 || fill >= options.chord_fill_ratio;
-        if (reuse.worthwhile) {
-          reuse.factor_values.assign(values.begin(), values.end());
-        } else {
-          reuse.factor_values.clear();
-        }
-      } else {
-        reuse.factor_values.clear();
-      }
+      chord.NoteFreshFactor();
 
       std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
       ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
@@ -256,82 +318,38 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       // Diverged; restart damping won't save an inf/NaN iterate.
       stats.converged = false;
       stats.final_delta = std::numeric_limits<double>::infinity();
-      settle_backoff();
+      chord.Settle(false);
       return stats;
     }
 
     std::swap(ctx.x, ctx.x_new);
     stats.final_delta = worst;
 
-    // Chord safety net: if a chord iterate failed to contract (or the fault
-    // site "chord.degraded" simulates that), disable chord for the rest of
-    // this solve and ride full Newton instead of a stale factor.  The budget
-    // check catches slow-but-steady chains the rate monitor never trips.
-    if (use_chord && !chord_off) {
-      const bool degraded =
-          (worst > options.chord_rate_limit * prev_worst && worst > 1.0) ||
-          reuse.chord_iters >= options.chord_iter_budget ||
-          WP_FAULT_POINT("chord.degraded");
-      if (degraded) {
-        chord_off = true;
-        ++stats.forced_refactors;
-      }
-    }
-    // A-posteriori trust in a chord iterate without refactoring: two
-    // consecutive chord steps with the same factor observe the contraction
-    // rate rho of the chord map, which bounds the distance to the fixed
-    // point by worst * rho / (1 - rho).  Requiring that bound <= 0.1 keeps
-    // the accepted point within a tenth of the Newton tolerance — far below
-    // the wobble the step controller could mistake for truncation error.
-    // The rho <= 0.7 cap rejects the noise regime where a single-pair rate
-    // estimate says nothing (a squashing stale LU shows rho near 1).
-    const bool had_rate_evidence = prev_chord;
-    const double chord_rate = had_rate_evidence
-                                  ? worst / std::max(prev_worst, 1e-300)
-                                  : std::numeric_limits<double>::infinity();
-    const bool rate_trusted =
-        use_chord && had_rate_evidence && chord_rate <= 0.7 &&
-        worst * (chord_rate / (1.0 - chord_rate)) <= 0.1;
-    prev_worst = worst;
-    prev_chord = use_chord;
     // Convergence: the weighted update is within tolerance.  Nonlinear
     // circuits normally need a confirming second pass (the first update away
     // from an arbitrary guess says nothing) — EXCEPT when the very first
     // update is already far inside tolerance: then the seed was the solution
     // (hot start), and demanding another iteration would make forward
-    // pipelining's repair pass as expensive as a cold solve.
+    // pipelining's repair pass as expensive as a cold solve.  The chord
+    // policy has the final say: a passing iterate computed through a stale
+    // factor is only accepted when its trust gate holds.
     const bool hot_start_accept = worst <= 0.05;
     const bool confirmed =
         worst <= 1.0 &&
         (iter >= 1 || !ctx.circuit().is_nonlinear() || inputs.trusted_seed);
-    // An update measured through a genuinely stale factor can pass the norm
-    // test far from the solution (the old LU squashes the true residual), so
-    // a chord iterate only converges the solve when its factor is exact
-    // (source matrix bitwise-equal) or its observed contraction rate bounds
-    // the remaining error well inside tolerance.  A first passing chord
-    // iterate has no rate evidence yet: run one more chord step to measure
-    // it.  A passing iterate whose measured rate is too weak falls back to a
-    // confirming fresh-factor iteration (chord_off below).
-    const bool trusted_step = !use_chord || exact_factor || rate_trusted;
-    if ((confirmed || hot_start_accept) && !trusted_step) {
-      if (!had_rate_evidence && !chord_off) {
-        // No evidence yet — gather it with one more chord iteration.
-      } else {
-        chord_off = true;
-      }
-    } else if (confirmed || hot_start_accept) {
+    if (chord.FinishIteration(worst, confirmed || hot_start_accept, stats)) {
       stats.converged = true;
       // ctx.state_now was evaluated at the pre-update iterate; refresh it at
       // the converged point unless the update was too small to matter.
       if (worst > 0.1) {
         EvalDevices(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false);
       }
-      settle_backoff();
+      chord.Settle(true);
       return stats;
     }
   }
   stats.converged = false;
-  settle_backoff();
+  chord.Settle(false);
   return stats;
 }
 

@@ -109,6 +109,75 @@ struct FactorReusePolicy {
   std::vector<double> factor_values;
 };
 
+/// Chord-Newton attempt/accept policy shared by engine::SolveNewton and the
+/// fine-grained parallel loop (parallel/fine_grained.cpp).  One instance
+/// lives for one solve and owns every chord decision — whether an iteration
+/// may reuse the factor in ctx.lu (fill-ratio cost gate, cross-solve
+/// backoff, a0 drift), whether a passing iterate may be trusted (exact
+/// bitwise factor or an observed contraction rate bounding the remaining
+/// error), and when the safety net forces a fresh factorization — so the two
+/// Newton loops cannot drift apart.  The loops keep ownership of the LU
+/// calls themselves; the policy only mutates ctx.factor_reuse.
+class ChordPolicy {
+ public:
+  /// Consumes one backoff credit when the solve enters inside a backoff
+  /// window (such a solve never attempts chord steps but still refreshes the
+  /// factor snapshot for later reuse).  Chord is structurally sound only for
+  /// the plain undamped Newton map: damping rescales the update outside the
+  /// solve, and gshunt / nodeset clamps put conductances into the factored
+  /// matrix that the chord residual (clean device Jacobian) would not see.
+  ChordPolicy(SolveContext& ctx, const NewtonInputs& inputs, const SimOptions& options);
+
+  /// True when this iteration may run as a chord step with the factor
+  /// already in ctx.lu.  Within a solve any chord-clean factor qualifies;
+  /// entering a new solve (iter 0) additionally requires the integrator
+  /// coefficient a0 not to have drifted, since a0 scales every capacitive
+  /// companion conductance in the matrix the factor came from.
+  bool ShouldUseChord(int iter) const;
+
+  /// Call after device assembly, immediately before ChordStep(): bumps the
+  /// reuse counters and records whether the factor is bitwise-exact for the
+  /// freshly assembled matrix (then the "chord" solve is an exact Newton
+  /// solve and its convergence test can be trusted as-is).
+  void BeginChordStep(NewtonStats& stats);
+
+  /// Call before FactorOrRefactor(): invalidates the reuse state so a
+  /// thrown SingularMatrixError cannot leave a stale factor marked valid.
+  void NoteFactorAttempt();
+
+  /// Call after a successful FactorOrRefactor(): refreshes the reuse
+  /// snapshot, the a0 tag, and the fill-ratio cost gate.
+  void NoteFreshFactor();
+
+  /// Post-iterate bookkeeping and the acceptance verdict.  `worst` is the
+  /// weighted update norm of this iteration, `passed` whether the loop's
+  /// convergence test passed.  Runs the degradation safety net (contraction
+  /// monitor, per-factor budget, `chord.degraded` fault site) and, for chord
+  /// iterates, the trust gate; returns true when a passing iterate may be
+  /// accepted.  A false return with passed=true means keep iterating:
+  /// either one more chord step to gather rate evidence, or a confirming
+  /// fresh-factor pass (chord is off for the rest of the solve).
+  bool FinishIteration(double worst, bool passed, NewtonStats& stats);
+
+  /// Call on every exit path with the final convergence status: widens the
+  /// cross-solve backoff window after a solve in which chord proved
+  /// unproductive, clears it after a productive one.
+  void Settle(bool converged);
+
+ private:
+  SolveContext* ctx_;
+  const SimOptions* options_;
+  double a0_ = 0.0;          ///< this solve's integrator coefficient
+  bool enabled_ = false;     ///< chord structurally sound for this solve
+  bool allowed_ = false;     ///< enabled and not inside a backoff window
+  bool chord_off_ = false;   ///< chord proved unproductive at this point
+  bool attempted_ = false;   ///< at least one chord step ran this solve
+  bool current_is_chord_ = false;  ///< the in-flight iteration is a chord step
+  bool exact_factor_ = false;      ///< factor bitwise-exact for current matrix
+  bool prev_chord_ = false;        ///< previous iteration was a chord step
+  double prev_worst_ = 0.0;        ///< previous iteration's weighted norm
+};
+
 class SolveContext {
  public:
   SolveContext(const Circuit& circuit, const MnaStructure& structure);

@@ -8,7 +8,6 @@
 #include "engine/integrator.hpp"
 #include "engine/step_control.hpp"
 #include "util/error.hpp"
-#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -72,14 +71,10 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
   const int num_nodes = ctx.circuit().num_nodes();
   engine::NewtonStats stats;
 
-  // Same chord-Newton gating as engine::SolveNewton (the fine-grained loop
-  // always runs undamped without gshunt/nodeset clamps, but gate on the
-  // inputs anyway so the two loops can never drift apart).
-  const bool chord_enabled = options.chord_newton && inputs.damping >= 1.0 &&
-                             inputs.gshunt == 0.0 && inputs.nodeset_g == 0.0;
-  engine::FactorReusePolicy& reuse = ctx.factor_reuse;
-  bool force_refactor = false;
-  double prev_worst = std::numeric_limits<double>::infinity();
+  // Every chord decision — attempt gates (fill-ratio, backoff, a0 drift),
+  // trust-gated acceptance, safety nets — is the shared ChordPolicy, the
+  // same object engine::SolveNewton runs, so the two loops cannot drift.
+  engine::ChordPolicy chord(ctx, inputs, options);
 
   bool limit_valid = false;
   for (int iter = 0; iter < max_iterations; ++iter) {
@@ -87,37 +82,20 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
     evaluator.Eval(ctx, inputs, limit_valid, iter == 0, phases);
     limit_valid = true;
 
-    bool use_chord = false;
-    if (chord_enabled && reuse.factor_valid && !force_refactor &&
-        reuse.chord_iters < options.chord_iter_budget) {
-      if (iter > 0) {
-        use_chord = true;
-      } else {
-        const double drift = std::abs(inputs.a0 - reuse.factor_a0);
-        const double scale = std::max(std::abs(inputs.a0), std::abs(reuse.factor_a0));
-        use_chord = drift <= options.chord_a0_reltol * scale ||
-                    (drift == 0.0 && scale == 0.0);
-      }
-    }
-
     util::ThreadCpuTimer lu_timer;
-    if (use_chord) {
+    if (chord.ShouldUseChord(iter)) {
+      chord.BeginChordStep(stats);
       std::copy(ctx.x.begin(), ctx.x.end(), ctx.x_new.begin());
       ctx.lu.ChordStep(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work,
                        ctx.factor_pool);
-      ++reuse.chord_iters;
-      ++stats.chord_solves;
     } else {
       const auto before_factor = ctx.lu.stats().factor_count;
       const auto before_refactor = ctx.lu.stats().refactor_count;
-      reuse.factor_valid = false;  // stays false if FactorOrRefactor throws
+      chord.NoteFactorAttempt();  // reuse state stays invalid if this throws
       ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
       stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
       stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
-      reuse.factor_valid = chord_enabled;
-      reuse.factor_a0 = inputs.a0;
-      reuse.chord_iters = 0;
-      force_refactor = false;
+      chord.NoteFreshFactor();
       std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
       ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
     }
@@ -138,39 +116,31 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
     if (!finite) {
       stats.converged = false;
       stats.final_delta = std::numeric_limits<double>::infinity();
+      chord.Settle(false);
       return stats;
     }
     std::swap(ctx.x, ctx.x_new);
     stats.final_delta = worst;
 
-    // Chord safety net (mirrors engine::SolveNewton).
-    if (use_chord) {
-      const bool degraded =
-          (worst > options.chord_rate_limit * prev_worst && worst > 1.0) ||
-          reuse.chord_iters >= options.chord_iter_budget ||
-          WP_FAULT_POINT("chord.degraded");
-      if (degraded) {
-        force_refactor = true;
-        ++stats.forced_refactors;
-      }
-    }
-    prev_worst = worst;
-
-    // Same convergence protocol as engine::SolveNewton (incl. hot-start
-    // fast acceptance) so both paths take identical step sequences.
+    // Same convergence protocol as engine::SolveNewton (incl. hot-start fast
+    // acceptance) so both paths take identical step sequences; the chord
+    // policy withholds acceptance from untrusted stale-factor iterates.
     const bool hot_start_accept = worst <= 0.05;
     const bool confirmed =
-        worst <= 1.0 && (iter >= 1 || !ctx.circuit().is_nonlinear());
-    if (confirmed || hot_start_accept) {
+        worst <= 1.0 &&
+        (iter >= 1 || !ctx.circuit().is_nonlinear() || inputs.trusted_seed);
+    if (chord.FinishIteration(worst, confirmed || hot_start_accept, stats)) {
       stats.converged = true;
       if (worst > 0.1) {
         evaluator.Eval(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false,
                        phases);
       }
+      chord.Settle(true);
       return stats;
     }
   }
   stats.converged = false;
+  chord.Settle(false);
   return stats;
 }
 

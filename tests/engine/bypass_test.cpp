@@ -286,6 +286,29 @@ TEST(DeviceBypassTest, ColoredAssemblyParityWithBypass) {
   EXPECT_GT(result.stats.chord_solves, 0u);
 }
 
+// The chunked reduction assembler routes through the same bypass as the
+// serial and colored paths, but replay parity there rests on an invariant
+// nothing enforces at compile time: cached stamp deltas are replayed into
+// chunk-private buffers that must be zeroed every pass.  Pin it with a
+// parity run so a future buffer-reuse optimization cannot silently break
+// replay correctness.
+TEST(DeviceBypassTest, ReductionAssemblyParityWithBypass) {
+  const auto gen = circuits::MakeInverterChain(6);
+  MnaStructure mna(*gen.circuit);
+
+  parallel::FineGrainedOptions base;
+  base.threads = 4;
+  base.assembly = parallel::AssemblyMode::kReduction;
+  const auto baseline = parallel::RunTransientFineGrained(*gen.circuit, mna, gen.spec, base);
+
+  parallel::FineGrainedOptions accel = base;
+  accel.sim.device_bypass = true;
+  const auto result = parallel::RunTransientFineGrained(*gen.circuit, mna, gen.spec, accel);
+
+  EXPECT_LT(Trace::MaxDeviationAll(baseline.trace, result.trace), 0.15);
+  EXPECT_GT(result.stats.bypassed_evals, 0u);
+}
+
 // End to end through the WavePipe driver: the combined pipelining scheme
 // with both accelerations on still reproduces the plain serial waveform.
 TEST(DeviceBypassTest, WavePipeCombinedParityWithAcceleration) {

@@ -8,7 +8,7 @@
 //   --chart                            ASCII chart of the probes
 //   --stats                            print scheduling/solver statistics
 //   --compare-serial                   also run serial, report deviation + speedup
-//   --no-bypass                        disable the device latency bypass (on by default)
+//   --bypass                           enable the device latency bypass (off by default)
 //   --bypass-vtol X                    latency tolerance scale (default 1.0)
 //   --chord                            enable chord-Newton LU factor reuse
 //
@@ -40,9 +40,10 @@ struct CliOptions {
   bool chart = false;
   bool stats = false;
   bool compare_serial = false;
-  // Latency bypass is on by default at the CLI (the library default stays
-  // off for bit-exact traces); chord Newton is opt-in either way.
-  bool bypass = true;
+  // Both accelerations are opt-in, matching the library default: a plain
+  // wavespice run stays bit-exact with prior releases (replay wobble lands
+  // within LTE tolerance, but "within tolerance" is not "identical").
+  bool bypass = false;
   double bypass_vtol = 1.0;
   bool chord = false;
 };
@@ -51,7 +52,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: wavespice <deck.sp> [--scheme serial|bwp|fwp|combined] "
                "[--threads N] [--out file.csv] [--chart] [--stats] "
-               "[--compare-serial] [--no-bypass] [--bypass-vtol X] [--chord]\n");
+               "[--compare-serial] [--bypass] [--bypass-vtol X] [--chord]\n");
   return 1;
 }
 
@@ -82,7 +83,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->stats = true;
     } else if (arg == "--compare-serial") {
       out->compare_serial = true;
-    } else if (arg == "--no-bypass") {
+    } else if (arg == "--bypass") {
+      out->bypass = true;
+    } else if (arg == "--no-bypass") {  // kept for symmetry; off is the default
       out->bypass = false;
     } else if (arg == "--bypass-vtol") {
       const char* v = next();
