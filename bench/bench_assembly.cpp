@@ -112,6 +112,7 @@ int main() {
   std::string largest_name;
   std::size_t largest_nnz = 0;
   bool largest_colored_wins_at_2 = false;
+  engine::AssemblyStats largest_colored_stats;
 
   for (std::size_t ci = 0; ci < suite.size(); ++ci) {
     const auto& gen = suite[ci];
@@ -140,6 +141,7 @@ int main() {
       largest_nnz = mna.nnz();
       largest_name = gen.name;
       largest_colored_wins_at_2 = colored_wins_at_2;
+      largest_colored_stats = colored.stats;
     }
 
     table.AddRow({gen.name, std::to_string(gen.circuit->devices().size()),
@@ -175,6 +177,15 @@ int main() {
 
   std::fprintf(json, "  ],\n");
   std::fprintf(json, "  \"largest_circuit\": \"%s\",\n", largest_name.c_str());
+  // Same counter vocabulary as run_stats.json (assembly.*) — shared schema
+  // with the CLI stats output and tools/check_bench.py.
+  {
+    util::telemetry::CounterRegistry registry;
+    largest_colored_stats.ExportCounters(registry);
+    std::fprintf(json, "  \"largest_circuit_colored_counters\": ");
+    bench::WriteCountersJson(json, registry, 2);
+    std::fprintf(json, ",\n");
+  }
   std::fprintf(json, "  \"largest_circuit_colored_beats_reduction_at_2_threads\": %s\n",
                largest_colored_wins_at_2 ? "true" : "false");
   std::fprintf(json, "}\n");

@@ -148,6 +148,9 @@ int main(int argc, char** argv) {
   int circuits_at_1p2 = 0;
   bool disabled_paths_bit_identical = true;
   bool all_within_tolerance = true;
+  std::string largest_name;
+  int largest_unknowns = 0;
+  engine::TransientStats largest_accel_stats;
 
   for (std::size_t ci = 0; ci < suite.size(); ++ci) {
     const auto& gen = suite[ci];
@@ -180,6 +183,11 @@ int main(int argc, char** argv) {
     const double tolerance = gen.kind == "linear" ? 0.08 : 0.15;
     if (speedup >= 1.2) ++circuits_at_1p2;
     all_within_tolerance = all_within_tolerance && deviation < tolerance;
+    if (mna.dimension() > largest_unknowns) {
+      largest_unknowns = mna.dimension();
+      largest_name = gen.name;
+      largest_accel_stats = as;
+    }
 
     table.AddRow({gen.name, gen.kind, std::to_string(mna.dimension()),
                   std::to_string(as.steps_accepted),
@@ -225,6 +233,16 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(json, "  ],\n");
+  // Same counter vocabulary as run_stats.json (transient.* / lu.*), so
+  // tools/check_bench.py and the CLI stats consumers share one schema.
+  {
+    util::telemetry::CounterRegistry registry;
+    largest_accel_stats.ExportCounters(registry);
+    std::fprintf(json, "  \"largest_circuit\": \"%s\",\n", largest_name.c_str());
+    std::fprintf(json, "  \"largest_circuit_accel_counters\": ");
+    bench::WriteCountersJson(json, registry, 2);
+    std::fprintf(json, ",\n");
+  }
   std::fprintf(json, "  \"circuits_at_or_above_1p2_speedup\": %d,\n", circuits_at_1p2);
   std::fprintf(json, "  \"speedup_1p2_on_at_least_two_circuits\": %s,\n",
                circuits_at_1p2 >= 2 ? "true" : "false");

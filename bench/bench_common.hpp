@@ -10,11 +10,33 @@
 #include "circuits/generators.hpp"
 #include "engine/transient.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 #include "wavepipe/virtual_pipeline.hpp"
 #include "wavepipe/wavepipe.hpp"
 
 namespace wavepipe::bench {
+
+/// Writes a counter registry as a JSON object into an open bench JSON file,
+/// `indent` spaces deep (no trailing newline).  The names come from the same
+/// ExportCounters methods run_stats.json uses — bench artifacts and CLI
+/// stats share one counter vocabulary (see wavepipe/trace_export.hpp).
+inline void WriteCountersJson(std::FILE* f, const util::telemetry::CounterRegistry& reg,
+                              int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::fprintf(f, "{");
+  bool first = true;
+  for (const auto& c : reg.counters()) {
+    std::fprintf(f, "%s\n%s  \"%s\": ", first ? "" : ",", pad.c_str(), c.name.c_str());
+    if (c.integral) {
+      std::fprintf(f, "%lld", static_cast<long long>(c.value));
+    } else {
+      std::fprintf(f, "%.9g", c.value);
+    }
+    first = false;
+  }
+  std::fprintf(f, "\n%s}", pad.c_str());
+}
 
 /// Everything a table row needs about one (circuit, scheme, threads) run.
 struct SchemeMetrics {

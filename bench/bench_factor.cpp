@@ -87,6 +87,9 @@ int main() {
 
   bool all_within_5pct_at_1 = true;
   bool digital_mesh_beat_serial_at_2 = true;
+  std::string largest_name;
+  int largest_unknowns = 0;
+  sparse::SparseLu::Stats largest_lu_stats;
 
   for (std::size_t ci = 0; ci < suite.size(); ++ci) {
     const auto& gen = suite[ci];
@@ -182,6 +185,11 @@ int main() {
     if (is_digital_or_mesh) {
       digital_mesh_beat_serial_at_2 = digital_mesh_beat_serial_at_2 && beats_at_2;
     }
+    if (mna.dimension() > largest_unknowns) {
+      largest_unknowns = mna.dimension();
+      largest_name = gen.name;
+      largest_lu_stats = lu.stats();
+    }
 
     table.AddRow({gen.name, gen.kind, std::to_string(mna.dimension()),
                   std::to_string(fstats.nnz_l + fstats.nnz_u),
@@ -230,6 +238,16 @@ int main() {
   }
 
   std::fprintf(json, "  ],\n");
+  // Same counter vocabulary as run_stats.json (sparse_lu.*) — shared schema
+  // with the CLI stats output and tools/check_bench.py.
+  {
+    util::telemetry::CounterRegistry registry;
+    largest_lu_stats.ExportCounters(registry);
+    std::fprintf(json, "  \"largest_circuit\": \"%s\",\n", largest_name.c_str());
+    std::fprintf(json, "  \"largest_circuit_sparse_lu_counters\": ");
+    bench::WriteCountersJson(json, registry, 2);
+    std::fprintf(json, ",\n");
+  }
   std::fprintf(json, "  \"all_circuits_within_5pct_of_serial_at_1_thread\": %s,\n",
                all_within_5pct_at_1 ? "true" : "false");
   std::fprintf(json, "  \"digital_mesh_beat_serial_at_2_threads\": %s\n",

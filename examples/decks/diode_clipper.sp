@@ -1,0 +1,11 @@
+clipper
+* Antiparallel diode clipper on a 10 kHz sine: a small nonlinear deck for
+* exercising the Newton/chord paths from the command line.
+V1 in 0 SIN(0 3 10k)
+R1 in out 1k
+D1 out 0 dclip
+D2 0 out dclip
+.model dclip D (is=1e-14 n=1.2)
+.tran 1u 300u
+.print v(in) v(out)
+.end

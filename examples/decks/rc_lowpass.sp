@@ -1,0 +1,10 @@
+rc lowpass
+* First-order RC low-pass driven by a pulse source.  Small enough to run in
+* milliseconds; used by the CI observability job and the EXPERIMENTS.md
+* chrome://tracing walkthrough.
+V1 in 0 DC 0 PULSE(0 1 100u 1u 1u 10m 20m)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 5m
+.print v(out) v(in)
+.end

@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace wavepipe::engine {
 namespace {
@@ -24,6 +25,7 @@ NewtonInputs DcInputs(const SimOptions& options) {
 
 DcopResult SolveDcOperatingPoint(SolveContext& ctx, const SimOptions& options,
                                  std::span<const std::pair<int, double>> nodesets) {
+  WP_TSPAN("solve", "dc_operating_point");
   std::fill(ctx.state_hist.begin(), ctx.state_hist.end(), 0.0);
 
   // Nodeset pass: force the requested node voltages through a 1-ohm clamp,

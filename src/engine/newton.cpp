@@ -6,8 +6,30 @@
 
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/telemetry.hpp"
 
 namespace wavepipe::engine {
+
+void NewtonStats::ExportCounters(util::telemetry::CounterRegistry& registry) const {
+  registry.Count("newton.converged", converged ? 1 : 0);
+  registry.Count("newton.iterations", static_cast<std::uint64_t>(iterations));
+  registry.Value("newton.final_delta", final_delta);
+  registry.Count("newton.lu_full_factors", static_cast<std::uint64_t>(lu_full_factors));
+  registry.Count("newton.lu_refactors", static_cast<std::uint64_t>(lu_refactors));
+  registry.Count("newton.chord_solves", static_cast<std::uint64_t>(chord_solves));
+  registry.Count("newton.forced_refactors", static_cast<std::uint64_t>(forced_refactors));
+  registry.Count("newton.singular", singular ? 1 : 0);
+}
+
+void AssemblyStats::ExportCounters(util::telemetry::CounterRegistry& registry) const {
+  registry.Count("assembly.colors", static_cast<std::uint64_t>(colors));
+  registry.Count("assembly.conflict_edges", conflict_edges);
+  registry.Count("assembly.max_degree", static_cast<std::uint64_t>(max_degree));
+  registry.Count("assembly.passes", passes);
+  registry.Value("assembly.zero_seconds", zero_seconds);
+  registry.Value("assembly.stamp_seconds", stamp_seconds);
+  registry.Value("assembly.merge_seconds", merge_seconds);
+}
 
 SolveContext::SolveContext(const Circuit& circuit, const MnaStructure& structure)
     : matrix(structure.pattern()),
@@ -25,6 +47,7 @@ SolveContext::SolveContext(const Circuit& circuit, const MnaStructure& structure
 
 void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid,
                  bool first_iteration) {
+  WP_TSPAN("assembly", "eval_devices");
   // Latency bypass: open the pass gate before either assembly path runs so
   // the serial loop and the colored assembler share one replay decision.
   ctx.bypass.BeginPass(inputs.a0, inputs.transient, inputs.gmin, inputs.source_scale);
@@ -262,6 +285,7 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       // The residual uses the FRESH Jacobian and RHS, so a converged chord
       // iterate satisfies the same fixed-point equation as a full Newton
       // iterate — only the path there changes, never the accepted solution.
+      WP_TSPAN("solve", "chord_step");
       std::copy(ctx.x.begin(), ctx.x.end(), ctx.x_new.begin());
       ctx.lu.ChordStep(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work,
                        ctx.factor_pool);
@@ -270,6 +294,7 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       const auto before_refactor = ctx.lu.stats().refactor_count;
       chord.NoteFactorAttempt();
       try {
+        WP_TSPAN("factor", "lu_factor");
         ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
       } catch (const SingularMatrixError&) {
         // A singular pivot at this trial point is reported as a failed solve,
@@ -285,6 +310,7 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
       chord.NoteFreshFactor();
 
+      WP_TSPAN("solve", "triangular_solve");
       std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
       ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
       for (int r = 0; r < options.newton_refine_steps; ++r) {

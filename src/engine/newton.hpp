@@ -17,7 +17,10 @@
 
 namespace wavepipe::util {
 class ThreadPool;
+namespace telemetry {
+class CounterRegistry;
 }
+}  // namespace wavepipe::util
 
 namespace wavepipe::engine {
 
@@ -39,6 +42,9 @@ struct NewtonStats {
   /// recoverable event (shrink the step, climb the rescue ladder), not a
   /// reason to discard the waveform computed so far.
   bool singular = false;
+
+  /// Registers every field under the `newton.` prefix (util/telemetry.hpp).
+  void ExportCounters(util::telemetry::CounterRegistry& registry) const;
 };
 
 struct NewtonInputs;
@@ -56,6 +62,10 @@ struct AssemblyStats {
   double zero_seconds = 0.0;        ///< zeroing matrix/RHS (shared or private)
   double stamp_seconds = 0.0;       ///< device evaluation proper
   double merge_seconds = 0.0;       ///< reduction sweep or color barriers
+
+  /// Registers the numeric fields under the `assembly.` prefix; the strategy
+  /// string travels in the run-stats header, not the registry.
+  void ExportCounters(util::telemetry::CounterRegistry& registry) const;
 };
 
 /// Strategy hook for the device-evaluation half of EvalDevices().  A

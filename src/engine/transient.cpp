@@ -7,9 +7,39 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace wavepipe::engine {
+
+void TransientStats::ExportCounters(util::telemetry::CounterRegistry& registry) const {
+  registry.Count("transient.steps_accepted", steps_accepted);
+  registry.Count("transient.steps_rejected_lte", steps_rejected_lte);
+  registry.Count("transient.steps_rejected_newton", steps_rejected_newton);
+  for (int rung = 0; rung < kNumRescueRungs; ++rung) {
+    const char* name = RescueRungName(static_cast<RescueRung>(rung));
+    registry.Count(std::string("transient.rescues_attempted.") + name,
+                   rescues_attempted[static_cast<std::size_t>(rung)]);
+    registry.Count(std::string("transient.rescues_succeeded.") + name,
+                   rescues_succeeded[static_cast<std::size_t>(rung)]);
+  }
+  registry.Count("transient.newton_iterations", newton_iterations);
+  registry.Count("transient.bypassed_evals", bypassed_evals);
+  registry.Count("transient.bypass_full_evals", bypass_full_evals);
+  registry.Count("transient.chord_solves", chord_solves);
+  registry.Count("transient.forced_refactors", forced_refactors);
+  registry.Count("transient.bypass_auto_disables", bypass_auto_disables);
+  registry.Value("transient.wall_seconds", wall_seconds);
+  registry.Count("lu.full_factors", lu_full_factors);
+  registry.Count("lu.refactors", lu_refactors);
+  registry.Count("lu.factor_levels", static_cast<std::uint64_t>(factor_levels));
+  registry.Count("lu.factor_widest_level", factor_widest_level);
+  registry.Value("lu.modeled_refactor_speedup2", modeled_refactor_speedup2);
+  registry.Value("lu.modeled_refactor_speedup4", modeled_refactor_speedup4);
+  registry.Count("lu.parallel_refactors", lu_parallel_refactors);
+  registry.Count("lu.refactor_fallbacks", lu_refactor_fallbacks);
+  registry.Count("lu.parallel_solves", lu_parallel_solves);
+}
 
 StepControlParams MakeStepParams(const SimOptions& options, int num_nodes, int order) {
   StepControlParams params;
@@ -71,6 +101,7 @@ StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, d
                                const SolveOverrides& overrides) {
   WP_ASSERT(!window.empty());
   WP_ASSERT(t_new > window.back()->time);
+  WP_TSPAN("solve", "time_point");
   util::ThreadCpuTimer timer;
 
   StepSolveResult result;
@@ -119,6 +150,7 @@ StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, d
 TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& structure,
                                    const TransientSpec& spec, const SimOptions& options) {
   WP_ASSERT(spec.tstop > spec.tstart);
+  util::telemetry::ScopedLane lane(0, "serial-engine");
   util::WallTimer total_timer;
 
   TransientResult result;
@@ -186,6 +218,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     result.stats.forced_refactors += static_cast<std::uint64_t>(solve.newton.forced_refactors);
 
     if (!solve.converged) {
+      WP_TINSTANT("lte", "newton_reject");
       result.stats.steps_rejected_newton += 1;
       if (spec.record_step_details) {
         result.steps.push_back({t_new, t_new - t_now, solve.newton.iterations, 0.0,
@@ -238,8 +271,11 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     const bool lte_active = !restart && steps_since_restart >= 1 && window.size() >= 2;
     const StepControlParams params =
         MakeStepParams(options, circuit.num_nodes(), solve.plan.order);
-    const StepAssessment assess = AssessStep(solve.point->x, solve.predicted,
-                                             t_new - t_now, lte_active, params);
+    const StepAssessment assess = [&] {
+      WP_TSPAN("lte", "assess_step");
+      return AssessStep(solve.point->x, solve.predicted, t_new - t_now, lte_active,
+                        params);
+    }();
     if (spec.record_step_details) {
       result.steps.push_back({t_new, t_new - t_now, solve.newton.iterations, assess.error,
                               assess.accept, restart});
@@ -248,6 +284,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     // The 1e-6 slack makes the force-accept-at-hmin comparison robust to the
     // rounding of (t_now + hmin) - t_now.
     if (!assess.accept && (t_new - t_now) > limits.hmin * (1.0 + 1e-6)) {
+      WP_TINSTANT("lte", "lte_reject");
       result.stats.steps_rejected_lte += 1;
       h = std::max(assess.h_next, limits.hmin);
       continue;

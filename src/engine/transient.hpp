@@ -131,6 +131,11 @@ struct TransientStats {
   std::uint64_t lu_refactor_fallbacks = 0;    ///< pool offered, model chose serial
   std::uint64_t lu_parallel_solves = 0;       ///< level-scheduled solves run
 
+  /// Registers every field under the `transient.` prefix, the absorbed LU
+  /// block under `lu.` (util/telemetry.hpp).  Rescue counters expand to one
+  /// counter per rung, named by RescueRungName().
+  void ExportCounters(util::telemetry::CounterRegistry& registry) const;
+
   /// Copies the LU telemetry block from a solver's stats snapshot.
   void AbsorbLuStats(const sparse::SparseLu::Stats& lu) {
     factor_levels = lu.factor_levels;

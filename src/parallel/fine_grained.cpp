@@ -8,10 +8,19 @@
 #include "engine/integrator.hpp"
 #include "engine/step_control.hpp"
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace wavepipe::parallel {
+
+void PhaseBreakdown::ExportCounters(util::telemetry::CounterRegistry& registry) const {
+  registry.Value("phases.model_eval_seconds", model_eval);
+  registry.Value("phases.reduction_seconds", reduction);
+  registry.Value("phases.lu_seconds", lu);
+  registry.Value("phases.control_seconds", control);
+  registry.Value("phases.total_seconds", Total());
+}
 namespace {
 
 using engine::SolveContext;
@@ -84,6 +93,7 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
 
     util::ThreadCpuTimer lu_timer;
     if (chord.ShouldUseChord(iter)) {
+      WP_TSPAN("solve", "chord_step");
       chord.BeginChordStep(stats);
       std::copy(ctx.x.begin(), ctx.x.end(), ctx.x_new.begin());
       ctx.lu.ChordStep(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work,
@@ -92,10 +102,14 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
       const auto before_factor = ctx.lu.stats().factor_count;
       const auto before_refactor = ctx.lu.stats().refactor_count;
       chord.NoteFactorAttempt();  // reuse state stays invalid if this throws
-      ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
+      {
+        WP_TSPAN("factor", "lu_factor");
+        ctx.lu.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
+      }
       stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
       stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
       chord.NoteFreshFactor();
+      WP_TSPAN("solve", "triangular_solve");
       std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
       ctx.lu.SolveParallel(ctx.x_new, ctx.lu_work, ctx.factor_pool);
     }
@@ -150,6 +164,7 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
                                           const engine::MnaStructure& structure,
                                           const engine::TransientSpec& spec,
                                           const FineGrainedOptions& options) {
+  util::telemetry::ScopedLane lane(0, "fine-grained");
   util::WallTimer total_timer;
   FineGrainedResult result;
   result.trace = engine::Trace(spec.probes.size() > 0

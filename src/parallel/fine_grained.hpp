@@ -54,6 +54,9 @@ struct PhaseBreakdown {
   double control = 0.0;     ///< everything else: predictor, LTE, bookkeeping
 
   double Total() const { return model_eval + reduction + lu + control; }
+
+  /// Registers the breakdown under the `phases.` prefix (util/telemetry.hpp).
+  void ExportCounters(util::telemetry::CounterRegistry& registry) const;
 };
 
 struct FineGrainedResult {

@@ -10,9 +10,31 @@
 #include "sparse/vector_ops.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wavepipe::sparse {
+
+void SparseLu::Stats::ExportCounters(util::telemetry::CounterRegistry& registry) const {
+  registry.Count("sparse_lu.nnz_l", nnz_l);
+  registry.Count("sparse_lu.nnz_u", nnz_u);
+  registry.Count("sparse_lu.factor_count", factor_count);
+  registry.Count("sparse_lu.refactor_count", refactor_count);
+  registry.Count("sparse_lu.solve_count", solve_count);
+  registry.Count("sparse_lu.factor_flops", factor_flops);
+  registry.Count("sparse_lu.solve_flops", solve_flops);
+  registry.Count("sparse_lu.factor_levels", static_cast<std::uint64_t>(factor_levels));
+  registry.Count("sparse_lu.factor_widest_level", factor_widest_level);
+  registry.Count("sparse_lu.solve_fwd_levels", static_cast<std::uint64_t>(solve_fwd_levels));
+  registry.Count("sparse_lu.solve_bwd_levels", static_cast<std::uint64_t>(solve_bwd_levels));
+  registry.Value("sparse_lu.modeled_refactor_speedup2", modeled_refactor_speedup2);
+  registry.Value("sparse_lu.modeled_refactor_speedup4", modeled_refactor_speedup4);
+  registry.Count("sparse_lu.parallel_refactor_count", parallel_refactor_count);
+  registry.Count("sparse_lu.refactor_fallback_count", refactor_fallback_count);
+  registry.Count("sparse_lu.parallel_solve_count", parallel_solve_count);
+  registry.Count("sparse_lu.ordering_reuse_count", ordering_reuse_count);
+  registry.Count("sparse_lu.chord_step_count", chord_step_count);
+}
 namespace {
 
 /// Below this many columns a level chunk is processed inline by the calling

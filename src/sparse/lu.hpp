@@ -43,7 +43,10 @@
 
 namespace wavepipe::util {
 class ThreadPool;
+namespace telemetry {
+class CounterRegistry;
 }
+}  // namespace wavepipe::util
 
 namespace wavepipe::sparse {
 
@@ -100,6 +103,11 @@ class SparseLu {
     std::uint64_t parallel_solve_count = 0;     ///< level-scheduled solves run
     std::uint64_t ordering_reuse_count = 0;     ///< Factor() reused a cached ordering
     std::uint64_t chord_step_count = 0;         ///< ChordStep() calls (stale-factor solves)
+
+    /// Registers every field under the `sparse_lu.` prefix (the `lu.` block
+    /// absorbed into TransientStats keeps its own names, so both may live in
+    /// one registry).  See util/telemetry.hpp.
+    void ExportCounters(util::telemetry::CounterRegistry& registry) const;
   };
 
   SparseLu() : SparseLu(Options{}) {}

@@ -1,0 +1,206 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace wavepipe::util::telemetry {
+
+// ---------------------------------------------------------------------------
+// Counter registry
+// ---------------------------------------------------------------------------
+
+void CounterRegistry::Add(std::string_view name, double value, bool integral) {
+  if (Find(name) != nullptr) {
+    throw Error("telemetry: duplicate counter name '" + std::string(name) + "'");
+  }
+  counters_.push_back(Counter{std::string(name), value, integral});
+}
+
+void CounterRegistry::Count(std::string_view name, std::uint64_t value) {
+  Add(name, static_cast<double>(value), /*integral=*/true);
+}
+
+void CounterRegistry::Value(std::string_view name, double value) {
+  Add(name, value, /*integral=*/false);
+}
+
+const Counter* CounterRegistry::Find(std::string_view name) const {
+  for (const auto& counter : counters_) {
+    if (counter.name == name) return &counter;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> CounterRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& counter : counters_) names.push_back(counter.name);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Span capture
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-thread event buffer.  Owned jointly by the thread (thread_local
+/// shared_ptr, appends) and the global registry (shared_ptr, drains on
+/// StopCapture), so events survive worker-thread exit.  The per-buffer
+/// mutex is uncontended except for the brief overlap with StopCapture.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::uint32_t epoch = 0;  ///< capture epoch the events belong to
+  std::vector<SpanEvent> events;
+};
+
+struct GlobalState {
+  // Capture toggle + epoch.  `active` is the one relaxed load inactive spans
+  // pay; `epoch` distinguishes captures so a span that straddles Start/Stop
+  // can never leak into the wrong capture.
+  std::atomic<bool> active{false};
+  std::atomic<std::uint32_t> epoch{0};
+
+  std::mutex registry_mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<LaneLabel> lanes;
+};
+
+GlobalState& State() {
+  static GlobalState state;
+  return state;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> tl_buffer;
+thread_local std::uint32_t tl_lane = 0;
+thread_local std::int32_t tl_depth = 0;
+
+ThreadBuffer& LocalBuffer() {
+  if (!tl_buffer) {
+    tl_buffer = std::make_shared<ThreadBuffer>();
+    GlobalState& state = State();
+    std::lock_guard<std::mutex> lock(state.registry_mutex);
+    state.buffers.push_back(tl_buffer);
+  }
+  return *tl_buffer;
+}
+
+double NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+void RecordEvent(const SpanEvent& event, std::uint32_t epoch) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.epoch != epoch) {
+    // First event of a new capture on this thread: drop the previous
+    // capture's leftovers (already drained or abandoned).
+    buffer.events.clear();
+    buffer.epoch = epoch;
+  }
+  buffer.events.push_back(event);
+}
+
+}  // namespace
+
+bool CaptureActive() { return State().active.load(std::memory_order_relaxed); }
+
+void StartCapture() {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  state.epoch.fetch_add(1, std::memory_order_relaxed);
+  state.active.store(true, std::memory_order_release);
+}
+
+Capture StopCapture() {
+  GlobalState& state = State();
+  Capture capture;
+  state.active.store(false, std::memory_order_release);
+  const std::uint32_t epoch = state.epoch.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    if (buffer->epoch != epoch) continue;
+    capture.events.insert(capture.events.end(), buffer->events.begin(),
+                          buffer->events.end());
+    buffer->events.clear();
+  }
+  std::stable_sort(capture.events.begin(), capture.events.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  capture.lanes = state.lanes;
+  std::stable_sort(capture.lanes.begin(), capture.lanes.end(),
+                   [](const LaneLabel& a, const LaneLabel& b) { return a.lane < b.lane; });
+  return capture;
+}
+
+void RegisterLane(std::uint32_t lane, std::string label) {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  for (const auto& existing : state.lanes) {
+    if (existing.lane == lane) return;  // first registration wins
+  }
+  state.lanes.push_back(LaneLabel{lane, std::move(label)});
+}
+
+std::uint32_t CurrentLane() { return tl_lane; }
+
+ScopedLane::ScopedLane(std::uint32_t lane) : previous_(tl_lane) { tl_lane = lane; }
+
+ScopedLane::ScopedLane(std::uint32_t lane, std::string label) : previous_(tl_lane) {
+  tl_lane = lane;
+  RegisterLane(lane, std::move(label));
+}
+
+ScopedLane::~ScopedLane() { tl_lane = previous_; }
+
+#if !defined(WAVEPIPE_TELEMETRY_DISABLED)
+
+Span::Span(const char* category, const char* name)
+    : category_(category), name_(name) {
+  if (!CaptureActive()) return;  // epoch_ stays 0: record nothing on close
+  epoch_ = State().epoch.load(std::memory_order_relaxed);
+  ++tl_depth;
+  start_us_ = NowMicros();
+}
+
+Span::~Span() {
+  if (epoch_ == 0) return;
+  const double end_us = NowMicros();
+  --tl_depth;
+  if (!CaptureActive()) return;  // capture ended mid-span: drop, never truncate
+  SpanEvent event;
+  event.category = category_;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.lane = tl_lane;
+  event.depth = tl_depth;
+  event.instant = false;
+  RecordEvent(event, epoch_);
+}
+
+void Instant(const char* category, const char* name) {
+  if (!CaptureActive()) return;
+  SpanEvent event;
+  event.category = category;
+  event.name = name;
+  event.start_us = NowMicros();
+  event.dur_us = 0.0;
+  event.lane = tl_lane;
+  event.depth = tl_depth;
+  event.instant = true;
+  RecordEvent(event, State().epoch.load(std::memory_order_relaxed));
+}
+
+#endif  // !WAVEPIPE_TELEMETRY_DISABLED
+
+}  // namespace wavepipe::util::telemetry

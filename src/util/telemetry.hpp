@@ -1,0 +1,197 @@
+// Low-overhead telemetry: scoped span timers with thread-lane ids and a
+// named-counter registry every stats block exports into.
+//
+// Two halves, deliberately different in cost profile:
+//
+//  * SPANS — hot-path instrumentation.  `WP_TSPAN("factor", "lu_factor")`
+//    plants a scoped timer; while no capture is running the constructor is
+//    ONE relaxed atomic load and the destructor a predictable branch, so the
+//    engine pays nothing measurable (same discipline as WP_FAULT_POINT).
+//    During a capture each thread appends completed spans to its own buffer
+//    (per-buffer mutex, uncontended on the fast path); StopCapture() merges
+//    them into one time-sorted event list.  Threads carry a LANE id — the
+//    WavePipe driver assigns lane 0 to the round loop and lane i+1 to
+//    context slot i — which is what the Chrome trace_event exporter
+//    (wavepipe/trace_export.hpp) renders as one track per pipeline worker.
+//    Configuring with -DWAVEPIPE_TELEMETRY=OFF compiles the span macros and
+//    the Span/Instant bodies out entirely; the accepted waveforms are
+//    bit-identical either way (telemetry never touches numerics — the OFF
+//    build only removes the last few nanoseconds of overhead, and the CI
+//    telemetry-off job holds it to that claim).
+//
+//  * COUNTERS — cold-path accounting.  CounterRegistry is an insertion-
+//    ordered, uniqueness-enforced map of counter name -> value that
+//    NewtonStats / AssemblyStats / SparseLu::Stats / TransientStats /
+//    PipelineSchedStats export into (their ExportCounters methods).  It is
+//    the ONE source both `wavespice --stats` and the run_stats.json exporter
+//    print from, so a counter added to a stats struct appears in both
+//    automatically and the two can never drift apart.  Always compiled in:
+//    it runs once per run, not per iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wavepipe::util::telemetry {
+
+/// False when the library was configured with -DWAVEPIPE_TELEMETRY=OFF (the
+/// span half compiles to no-ops; captures always come back empty).  Tests
+/// that assert on captured spans skip themselves when this is false.
+#if defined(WAVEPIPE_TELEMETRY_DISABLED)
+inline constexpr bool kSpansCompiledIn = false;
+#else
+inline constexpr bool kSpansCompiledIn = true;
+#endif
+
+// ---------------------------------------------------------------------------
+// Counter registry
+// ---------------------------------------------------------------------------
+
+struct Counter {
+  std::string name;
+  double value = 0.0;
+  /// True for event counts (printed/serialized as integers), false for
+  /// real-valued metrics (seconds, ratios, modeled speedups).
+  bool integral = true;
+};
+
+/// Insertion-ordered named-counter map.  Registration enforces uniqueness:
+/// a second counter with an already-registered name throws util::Error —
+/// two stats blocks silently fighting over one name is exactly the drift
+/// this registry exists to prevent.
+class CounterRegistry {
+ public:
+  /// Registers an integral event counter.
+  void Count(std::string_view name, std::uint64_t value);
+  /// Registers a real-valued metric (seconds, ratio, speedup).
+  void Value(std::string_view name, double value);
+
+  const std::vector<Counter>& counters() const { return counters_; }
+  std::size_t size() const { return counters_.size(); }
+  /// Null when no counter has that name.
+  const Counter* Find(std::string_view name) const;
+  /// Registration-ordered names (schema-parity tests compare these).
+  std::vector<std::string> Names() const;
+
+ private:
+  void Add(std::string_view name, double value, bool integral);
+  std::vector<Counter> counters_;
+};
+
+// ---------------------------------------------------------------------------
+// Span capture
+// ---------------------------------------------------------------------------
+
+/// One completed span (or instant marker) from a capture.
+struct SpanEvent {
+  const char* category = "";  ///< phase family: "assembly", "factor", ...
+  const char* name = "";      ///< static string; no allocation on record
+  double start_us = 0.0;      ///< process-relative monotonic microseconds
+  double dur_us = 0.0;        ///< 0 for instants
+  std::uint32_t lane = 0;     ///< thread lane at record time
+  std::int32_t depth = 0;     ///< nesting depth at open (0 = outermost)
+  bool instant = false;       ///< true for Instant() markers
+};
+
+struct LaneLabel {
+  std::uint32_t lane = 0;
+  std::string label;
+};
+
+/// Everything StopCapture() hands back: events time-sorted by start, lane
+/// labels sorted by lane id (first registration of a lane wins).
+struct Capture {
+  std::vector<SpanEvent> events;
+  std::vector<LaneLabel> lanes;
+};
+
+/// True while a capture is running.  Relaxed load; this is the whole cost an
+/// inactive span pays.
+bool CaptureActive();
+
+/// Begins a capture: clears previously buffered events and opens a new
+/// epoch.  Spans already open when the capture starts are NOT recorded
+/// (their epoch predates the capture) — a capture only contains spans that
+/// both opened and closed inside it, which keeps events well-nested.
+void StartCapture();
+
+/// Ends the capture and returns the merged, time-sorted events.  Spans
+/// still open are dropped, never truncated.
+Capture StopCapture();
+
+/// Names a lane for exporters.  First registration of a lane id wins;
+/// re-registering the same id is ignored (the WavePipe driver registers its
+/// slot lanes once per run, but tests may run several captures).
+void RegisterLane(std::uint32_t lane, std::string label);
+
+/// This thread's current lane id (0 unless a ScopedLane is active).
+std::uint32_t CurrentLane();
+
+/// Sets the calling thread's lane for the lifetime of the scope, restoring
+/// the previous lane on exit.  The label overload also registers the lane
+/// name.  Cheap enough for per-task use (two thread-local stores).
+class ScopedLane {
+ public:
+  explicit ScopedLane(std::uint32_t lane);
+  ScopedLane(std::uint32_t lane, std::string label);
+  ~ScopedLane();
+  ScopedLane(const ScopedLane&) = delete;
+  ScopedLane& operator=(const ScopedLane&) = delete;
+
+ private:
+  std::uint32_t previous_ = 0;
+};
+
+#if !defined(WAVEPIPE_TELEMETRY_DISABLED)
+
+/// Scoped span timer.  Records one SpanEvent on destruction when a capture
+/// was active for the span's whole lifetime.  `category` and `name` must be
+/// string literals (or otherwise outlive the capture); nothing is copied on
+/// the hot path.
+class Span {
+ public:
+  Span(const char* category, const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* category_;
+  const char* name_;
+  double start_us_ = 0.0;
+  std::uint32_t epoch_ = 0;  ///< 0 = capture inactive at open; record nothing
+};
+
+/// Records a zero-duration marker event (step rejections, valve trips).
+void Instant(const char* category, const char* name);
+
+#else  // WAVEPIPE_TELEMETRY_DISABLED
+
+class Span {
+ public:
+  Span(const char*, const char*) {}
+};
+
+inline void Instant(const char*, const char*) {}
+
+#endif
+
+}  // namespace wavepipe::util::telemetry
+
+// Scoped-span convenience macros — the form production code uses.  They
+// vanish entirely under -DWAVEPIPE_TELEMETRY=OFF.
+#define WP_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define WP_TELEMETRY_CONCAT(a, b) WP_TELEMETRY_CONCAT_INNER(a, b)
+#if !defined(WAVEPIPE_TELEMETRY_DISABLED)
+#define WP_TSPAN(category, name)                                      \
+  ::wavepipe::util::telemetry::Span WP_TELEMETRY_CONCAT(wp_tspan_,    \
+                                                        __LINE__) {   \
+    category, name                                                    \
+  }
+#define WP_TINSTANT(category, name) ::wavepipe::util::telemetry::Instant(category, name)
+#else
+#define WP_TSPAN(category, name) static_cast<void>(0)
+#define WP_TINSTANT(category, name) static_cast<void>(0)
+#endif

@@ -8,6 +8,7 @@
 #include "parallel/coloring.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace wavepipe::pipeline {
@@ -89,6 +90,10 @@ bool PipelineDriver::Done() const {
 }
 
 WavePipeResult PipelineDriver::Run() {
+  // The round loop is telemetry lane 0; each context slot's solves land on
+  // lane slot+1 (see SubmitSolve), which the Chrome exporter renders as one
+  // track per pipeline worker.
+  util::telemetry::ScopedLane lane(0, "driver");
   util::WallTimer total_timer;
   result_.trace = engine::Trace(spec_.probes.size() > 0
                                     ? spec_.probes
@@ -142,10 +147,26 @@ WavePipeResult PipelineDriver::Run() {
       result_.sched.quarantined_rounds += 1;
     }
     switch (scheme) {
-      case Scheme::kSerial: RunRoundSerial(); break;
-      case Scheme::kBackward: RunRoundBackward(); break;
-      case Scheme::kForward: RunRoundForward(); break;
-      case Scheme::kCombined: RunRoundCombined(); break;
+      case Scheme::kSerial: {
+        WP_TSPAN("round", "serial");
+        RunRoundSerial();
+        break;
+      }
+      case Scheme::kBackward: {
+        WP_TSPAN("round", "bwp");
+        RunRoundBackward();
+        break;
+      }
+      case Scheme::kForward: {
+        WP_TSPAN("round", "fwp");
+        RunRoundForward();
+        break;
+      }
+      case Scheme::kCombined: {
+        WP_TSPAN("round", "combined");
+        RunRoundCombined();
+        break;
+      }
     }
   }
 
@@ -197,8 +218,10 @@ std::future<engine::StepSolveResult> PipelineDriver::SubmitSolve(
   const engine::Method method = options_.sim.method;
   const engine::SimOptions sim = options_.sim;
 
-  auto task = [ctx, window = std::move(window), t_new, method, restart, sim,
+  auto task = [ctx, slot, window = std::move(window), t_new, method, restart, sim,
                seed = std::move(seed_x)]() {
+    util::telemetry::ScopedLane lane(static_cast<std::uint32_t>(slot) + 1,
+                                     "slot-" + std::to_string(slot));
     return engine::SolveTimePoint(*ctx, window, t_new, method, restart, sim, seed);
   };
   if (pool_) return pool_->Submit(std::move(task));

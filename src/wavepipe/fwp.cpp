@@ -18,6 +18,7 @@
 #include <algorithm>
 
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace wavepipe::pipeline {
 
@@ -56,6 +57,7 @@ void PipelineDriver::DiscardSpeculativeChain(std::vector<HelperTask>& chain,
                                              std::vector<engine::StepSolveResult>& results,
                                              std::size_t from) {
   for (std::size_t d = from; d < chain.size(); ++d) {
+    WP_TINSTANT("sched", "speculation_discarded");
     result_.sched.speculative_solves += 1;
     result_.sched.speculative_discarded += 1;
     Record(SolveKind::kSpeculative, results[d], std::move(chain[d].deps),
@@ -182,6 +184,7 @@ void PipelineDriver::ValidateSpeculativeChain(
     }
 
     if (!chain_continues) {
+      WP_TINSTANT("sched", "speculation_discarded");
       result_.sched.speculative_discarded += 1;
       DiscardSpeculativeChain(chain, results, d + 1);
       return;

@@ -1,0 +1,97 @@
+// Observability exporters: the two machine-readable views of a run.
+//
+//  * run_stats.json — a stable, schema-versioned counter dump.  One
+//    BuildRunCounters() builds the registry for EVERY engine (serial,
+//    fine-grained, WavePipe); groups an engine lacks are exported with
+//    default values rather than omitted, so the key set is structurally
+//    identical across engines and a CI diff of two runs is always
+//    key-aligned.  tools/check_bench.py and the bench JSON artifacts consume
+//    this schema.
+//
+//  * Chrome trace_event JSON — a timeline for chrome://tracing / Perfetto
+//    with two process groups: pid 1 carries the LIVE telemetry spans
+//    captured during the run (one thread track per telemetry lane: driver
+//    loop, pipeline slots), pid 2 carries the VIRTUAL replay of the work
+//    ledger on k modeled workers (one track per worker; speculative solves
+//    that never reached the waveform are color-flagged as wasted).  The
+//    replay half is the paper's multi-core claim made visible: the same
+//    list-scheduled placement ReplayOnWorkers() reports as a makespan,
+//    rendered task by task.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/newton.hpp"
+#include "engine/transient.hpp"
+#include "parallel/fine_grained.hpp"
+#include "util/telemetry.hpp"
+#include "wavepipe/ledger.hpp"
+#include "wavepipe/virtual_pipeline.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe::pipeline {
+
+/// run_stats.json schema tag.  Bump ONLY with a matching update to
+/// tools/check_bench.py and the schema-parity tests.
+inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1";
+
+/// Identity of one run for the run_stats.json header.  Strings live here;
+/// the counter registry is numeric-only by design.
+struct RunInfo {
+  std::string engine;        ///< "serial" | "fine-grained" | "wavepipe"
+  std::string scheme = "-";  ///< pipeline scheme name, "-" off-pipeline
+  std::string deck;          ///< deck title (or path when untitled)
+  int threads = 1;
+  std::string dcop_strategy;
+  std::string assembly_strategy = "serial";
+  bool completed = true;
+  std::string abort_reason;
+  double last_good_time = 0.0;
+};
+
+/// Everything BuildRunCounters() folds into the registry.  Every member has
+/// a default: an engine without a scheduler (serial), phase breakdown
+/// (WavePipe) or ledger (fine-grained) exports the group's defaults, which
+/// is what keeps the schema identical across engines.
+struct RunCounterInputs {
+  engine::TransientStats stats;
+  engine::AssemblyStats assembly;
+  PipelineSchedStats sched;
+  parallel::PhaseBreakdown phases;
+  ReplayResult replay;
+  const Ledger* ledger = nullptr;
+};
+
+/// Builds the full run_stats counter registry: transient.* + lu.* (engine
+/// core), assembly.*, sched.*, phases.*, replay.*, ledger.*.  Group order
+/// and names are the schema; the parity test pins them.
+util::telemetry::CounterRegistry BuildRunCounters(const RunCounterInputs& inputs);
+
+/// Serializes header + counters to the run_stats.json document (integral
+/// counters as JSON integers, values as doubles, insertion order preserved).
+std::string RunStatsJson(const RunInfo& info,
+                         const util::telemetry::CounterRegistry& registry);
+
+/// Inputs for the Chrome trace exporter.  Both halves are optional: an empty
+/// capture emits no live spans, a null ledger no replay lanes.
+struct ChromeTraceInputs {
+  util::telemetry::Capture capture;
+  const Ledger* ledger = nullptr;
+  /// Virtual workers for the replay half (>= 1 to emit it).
+  int replay_workers = 0;
+  /// Replay cost basis.  kMeasuredSeconds renders in real microseconds;
+  /// kNewtonIterations renders one iteration as one microsecond (the unit is
+  /// virtual anyway — Perfetto only needs monotone numbers).
+  ReplayCost replay_cost = ReplayCost::kMeasuredSeconds;
+};
+
+/// Serializes a `{"traceEvents": [...]}` document chrome://tracing and
+/// Perfetto load directly.
+std::string ChromeTraceJson(const ChromeTraceInputs& inputs);
+
+/// Convenience: writes `contents` to `path`, throwing util::Error on I/O
+/// failure (the CLI's --trace-json/--stats-json both route through this).
+void WriteTextFile(const std::string& path, const std::string& contents);
+
+}  // namespace wavepipe::pipeline

@@ -14,10 +14,15 @@ namespace {
 constexpr std::size_t kLedgerChunkDevices = 16;
 }  // namespace
 
-ReplayResult ReplayOnWorkers(const Ledger& ledger, int workers, ReplayCost cost) {
+ReplayResult ReplayOnWorkers(const Ledger& ledger, int workers, ReplayCost cost,
+                             std::vector<ReplayTask>* schedule) {
   WP_ASSERT(workers >= 1);
   ReplayResult out;
   out.workers = workers;
+  if (schedule) {
+    schedule->clear();
+    schedule->reserve(ledger.size());
+  }
 
   const auto& records = ledger.records();
   std::vector<double> finish(records.size(), 0.0);
@@ -42,6 +47,11 @@ ReplayResult ReplayOnWorkers(const Ledger& ledger, int workers, ReplayCost cost)
     *it = finish[i];
     chain[i] = chain_ready + task_cost;
     out.busy_seconds += task_cost;
+    if (schedule) {
+      schedule->push_back(ReplayTask{
+          static_cast<int>(i),
+          static_cast<int>(std::distance(worker_free.begin(), it)), start, finish[i]});
+    }
   }
 
   for (std::size_t i = 0; i < records.size(); ++i) {

@@ -34,11 +34,26 @@ enum class ReplayCost {
                       ///< tables when individual solves are microseconds.
 };
 
+/// One task placement from a replay: which virtual worker ran ledger record
+/// `record` and when.  Times are in the replay's cost unit (seconds or
+/// Newton iterations).  This is what the Chrome trace exporter renders as
+/// the modeled multi-core timeline, one lane per worker.
+struct ReplayTask {
+  int record = -1;     ///< index into ledger.records()
+  int worker = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
 /// Greedy list scheduling in ledger order (which is the order the real
 /// scheduler released the tasks): each task starts at
 /// max(earliest worker free time, all deps' finish times).
+///
+/// When `schedule` is non-null it receives one ReplayTask per ledger record,
+/// in ledger order — the full placement behind the returned makespan.
 ReplayResult ReplayOnWorkers(const Ledger& ledger, int workers,
-                             ReplayCost cost = ReplayCost::kMeasuredSeconds);
+                             ReplayCost cost = ReplayCost::kMeasuredSeconds,
+                             std::vector<ReplayTask>* schedule = nullptr);
 
 /// Ids of a batch of records appended to a ledger, for chaining further
 /// task batches behind it.

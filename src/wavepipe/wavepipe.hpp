@@ -123,6 +123,9 @@ struct PipelineSchedStats {
                : static_cast<double>(speculative_accepted) /
                      static_cast<double>(speculative_solves);
   }
+
+  /// Registers every field under the `sched.` prefix (util/telemetry.hpp).
+  void ExportCounters(util::telemetry::CounterRegistry& registry) const;
 };
 
 struct WavePipeResult {

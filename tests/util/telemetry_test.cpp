@@ -1,0 +1,193 @@
+// Telemetry layer: counter-registry semantics (ordering, uniqueness) and the
+// span capture machinery (lanes, nesting, epoch discipline).  Span tests are
+// gated on kSpansCompiledIn so the suite still passes in a
+// WAVEPIPE_TELEMETRY=OFF build.
+#include "util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/newton.hpp"
+#include "engine/transient.hpp"
+#include "parallel/fine_grained.hpp"
+#include "sparse/lu.hpp"
+#include "util/error.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe::util::telemetry {
+namespace {
+
+TEST(CounterRegistryTest, PreservesInsertionOrder) {
+  CounterRegistry registry;
+  registry.Count("b.second", 2);
+  registry.Count("a.first", 1);
+  registry.Value("c.third", 3.5);
+
+  ASSERT_EQ(registry.size(), 3u);
+  const auto names = registry.Names();
+  EXPECT_EQ(names[0], "b.second");
+  EXPECT_EQ(names[1], "a.first");
+  EXPECT_EQ(names[2], "c.third");
+  EXPECT_TRUE(registry.counters()[0].integral);
+  EXPECT_FALSE(registry.counters()[2].integral);
+}
+
+TEST(CounterRegistryTest, FindLocatesByName) {
+  CounterRegistry registry;
+  registry.Count("x.count", 7);
+  const Counter* counter = registry.Find("x.count");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 7.0);
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+}
+
+TEST(CounterRegistryTest, DuplicateNameThrows) {
+  CounterRegistry registry;
+  registry.Count("dup", 1);
+  EXPECT_THROW(registry.Count("dup", 2), Error);
+  EXPECT_THROW(registry.Value("dup", 2.0), Error);
+}
+
+// The run-stats schema depends on every stats struct exporting into ONE
+// registry without prefix collisions; a new counter that clashes should die
+// here, not in a CLI run.
+TEST(CounterRegistryTest, AllStatsStructsExportDisjointNames) {
+  CounterRegistry registry;
+  engine::TransientStats transient;
+  engine::NewtonStats newton;
+  engine::AssemblyStats assembly;
+  pipeline::PipelineSchedStats sched;
+  parallel::PhaseBreakdown phases;
+  sparse::SparseLu::Stats lu;
+
+  EXPECT_NO_THROW({
+    transient.ExportCounters(registry);
+    newton.ExportCounters(registry);
+    assembly.ExportCounters(registry);
+    sched.ExportCounters(registry);
+    phases.ExportCounters(registry);
+    lu.ExportCounters(registry);
+  });
+  EXPECT_GT(registry.size(), 50u);
+}
+
+TEST(SpanCaptureTest, InactiveByDefault) {
+  EXPECT_FALSE(CaptureActive());
+  {
+    Span span("cat", "ignored");
+    Instant("cat", "ignored");
+  }
+  // Starting a capture AFTER those spans must not resurrect them.
+  if (kSpansCompiledIn) {
+    StartCapture();
+    const Capture capture = StopCapture();
+    EXPECT_TRUE(capture.events.empty());
+  }
+}
+
+TEST(SpanCaptureTest, RecordsNestedSpansWithDepth) {
+  if (!kSpansCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  StartCapture();
+  {
+    ScopedLane lane(3, "lane-three");
+    Span outer("outer-cat", "outer");
+    {
+      Span inner("inner-cat", "inner");
+    }
+  }
+  const Capture capture = StopCapture();
+
+  ASSERT_EQ(capture.events.size(), 2u);
+  // Events are sorted by start time: outer opened first.
+  const SpanEvent& outer = capture.events[0];
+  const SpanEvent& inner = capture.events[1];
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_EQ(outer.lane, 3u);
+  EXPECT_EQ(inner.lane, 3u);
+  EXPECT_EQ(inner.depth, outer.depth + 1);
+  EXPECT_LE(outer.start_us, inner.start_us);
+  EXPECT_GE(outer.start_us + outer.dur_us, inner.start_us + inner.dur_us);
+
+  // Lane labels are process-global (first registration wins), so look up
+  // this test's lane rather than assuming a fresh table.
+  const auto lane_it =
+      std::find_if(capture.lanes.begin(), capture.lanes.end(),
+                   [](const LaneLabel& l) { return l.lane == 3u; });
+  ASSERT_NE(lane_it, capture.lanes.end());
+  EXPECT_EQ(lane_it->label, "lane-three");
+}
+
+TEST(SpanCaptureTest, ThreadsRecordIntoTheirOwnLanes) {
+  if (!kSpansCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  StartCapture();
+  // Span names must be static strings (nothing is copied on the hot path).
+  static const char* const kTaskNames[] = {"task-0", "task-1", "task-2"};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([t] {
+      ScopedLane lane(static_cast<std::uint32_t>(t + 10),
+                      "worker-" + std::to_string(t));
+      Span span("work", kTaskNames[t]);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Capture capture = StopCapture();
+
+  ASSERT_EQ(capture.events.size(), 3u);
+  // Every worker lane registered (lane table is global; only check ours).
+  for (int t = 0; t < 3; ++t) {
+    const auto id = static_cast<std::uint32_t>(t + 10);
+    const auto it = std::find_if(capture.lanes.begin(), capture.lanes.end(),
+                                 [id](const LaneLabel& l) { return l.lane == id; });
+    ASSERT_NE(it, capture.lanes.end());
+    EXPECT_EQ(it->label, "worker-" + std::to_string(t));
+  }
+  for (const auto& event : capture.events) {
+    const std::string expected = "task-" + std::to_string(event.lane - 10);
+    EXPECT_EQ(std::string(event.name), expected);
+  }
+}
+
+TEST(SpanCaptureTest, ScopedLaneRestoresPreviousLane) {
+  ScopedLane outer(5, "outer");
+  EXPECT_EQ(CurrentLane(), 5u);
+  {
+    ScopedLane inner(9, "inner");
+    EXPECT_EQ(CurrentLane(), 9u);
+  }
+  EXPECT_EQ(CurrentLane(), 5u);
+}
+
+TEST(SpanCaptureTest, SpanStraddlingStartIsDropped) {
+  if (!kSpansCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  // A span opened before StartCapture belongs to no epoch; closing it inside
+  // the capture window must not record a torn event.
+  auto straddler = std::make_unique<Span>("cat", "straddler");
+  StartCapture();
+  {
+    Span fresh("cat", "fresh");
+  }
+  straddler.reset();
+  const Capture capture = StopCapture();
+  ASSERT_EQ(capture.events.size(), 1u);
+  EXPECT_STREQ(capture.events[0].name, "fresh");
+}
+
+TEST(SpanCaptureTest, InstantEventsAreMarked) {
+  if (!kSpansCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  StartCapture();
+  Instant("lte", "reject");
+  const Capture capture = StopCapture();
+  ASSERT_EQ(capture.events.size(), 1u);
+  EXPECT_TRUE(capture.events[0].instant);
+  EXPECT_STREQ(capture.events[0].category, "lte");
+  EXPECT_EQ(capture.events[0].dur_us, 0.0);
+}
+
+}  // namespace
+}  // namespace wavepipe::util::telemetry

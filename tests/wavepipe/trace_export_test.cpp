@@ -1,0 +1,264 @@
+// Trace/stats exporters: run_stats.json schema parity across all three
+// engines, Chrome trace_event well-formedness (parsed back with the testutil
+// JSON parser), wasted-work flagging, and replay-schedule consistency.
+#include "wavepipe/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+#include "circuits/generators.hpp"
+#include "engine/transient.hpp"
+#include "parallel/fine_grained.hpp"
+#include "testutil/json.hpp"
+#include "util/telemetry.hpp"
+#include "wavepipe/virtual_pipeline.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe::pipeline {
+namespace {
+
+using testutil::JsonValue;
+using testutil::ParseJson;
+
+circuits::GeneratedCircuit SmallDeck() { return circuits::MakeRcLadder(10); }
+
+/// A tiny hand-built ledger with one wasted speculative record.
+Ledger MakeLedgerWithWaste() {
+  Ledger ledger;
+  SolveRecord dcop;
+  dcop.kind = SolveKind::kDcop;
+  dcop.seconds = 1e-3;
+  dcop.newton_iterations = 4;
+  const int dcop_id = ledger.Add(dcop);
+
+  SolveRecord leading;
+  leading.kind = SolveKind::kLeading;
+  leading.time_point = 1e-6;
+  leading.seconds = 2e-3;
+  leading.newton_iterations = 3;
+  leading.deps = {dcop_id};
+  const int leading_id = ledger.Add(leading);
+
+  SolveRecord wasted;
+  wasted.kind = SolveKind::kSpeculative;
+  wasted.time_point = 2e-6;
+  wasted.seconds = 1.5e-3;
+  wasted.newton_iterations = 2;
+  wasted.deps = {dcop_id};
+  wasted.useful = false;
+  ledger.Add(wasted);
+
+  SolveRecord tail;
+  tail.kind = SolveKind::kLeading;
+  tail.time_point = 2e-6;
+  tail.seconds = 1e-3;
+  tail.newton_iterations = 2;
+  tail.deps = {leading_id};
+  ledger.Add(tail);
+  return ledger;
+}
+
+TEST(RunStatsJsonTest, SchemaIdenticalAcrossEngines) {
+  const auto gen = SmallDeck();
+  const engine::MnaStructure mna(*gen.circuit);
+
+  // Serial engine.
+  const auto serial = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, {});
+  RunCounterInputs serial_inputs;
+  serial_inputs.stats = serial.stats;
+
+  // Fine-grained engine.
+  parallel::FineGrainedOptions fg_options;
+  fg_options.threads = 2;
+  const auto fine = parallel::RunTransientFineGrained(*gen.circuit, mna, gen.spec,
+                                                      fg_options);
+  RunCounterInputs fine_inputs;
+  fine_inputs.stats = fine.stats;
+  fine_inputs.assembly = fine.assembly;
+  fine_inputs.phases = fine.phases;
+
+  // WavePipe engine.
+  WavePipeOptions wp_options;
+  wp_options.scheme = Scheme::kCombined;
+  wp_options.threads = 3;
+  const auto wave = RunWavePipe(*gen.circuit, mna, gen.spec, wp_options);
+  RunCounterInputs wave_inputs;
+  wave_inputs.stats = wave.stats;
+  wave_inputs.assembly = wave.assembly;
+  wave_inputs.sched = wave.sched;
+  wave_inputs.ledger = &wave.ledger;
+  wave_inputs.replay = ReplayOnWorkers(wave.ledger, 3);
+
+  const auto serial_names = BuildRunCounters(serial_inputs).Names();
+  const auto fine_names = BuildRunCounters(fine_inputs).Names();
+  const auto wave_names = BuildRunCounters(wave_inputs).Names();
+  EXPECT_EQ(serial_names, fine_names);
+  EXPECT_EQ(serial_names, wave_names);
+  EXPECT_GT(serial_names.size(), 40u);
+
+  // The serialized document parses back with the same keys, in order.
+  RunInfo info;
+  info.engine = "serial";
+  info.deck = "rcladder10";
+  const JsonValue doc = ParseJson(RunStatsJson(info, BuildRunCounters(serial_inputs)));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").string, kRunStatsSchema);
+  EXPECT_EQ(doc.at("engine").string, "serial");
+  EXPECT_EQ(doc.at("threads").number, 1.0);
+  ASSERT_TRUE(doc.at("counters").is_object());
+  EXPECT_EQ(doc.at("counters").object.size(), serial_names.size());
+  for (const auto& name : serial_names) {
+    EXPECT_TRUE(doc.at("counters").has(name)) << name;
+  }
+}
+
+TEST(RunStatsJsonTest, HeaderStringsAreEscaped) {
+  RunInfo info;
+  info.engine = "serial";
+  info.deck = "deck \"quoted\"\nline2";
+  info.abort_reason = "tab\there";
+  util::telemetry::CounterRegistry registry;
+  registry.Count("one", 1);
+  const JsonValue doc = ParseJson(RunStatsJson(info, registry));
+  EXPECT_EQ(doc.at("deck").string, "deck \"quoted\"\nline2");
+  EXPECT_EQ(doc.at("abort_reason").string, "tab\there");
+}
+
+TEST(ChromeTraceJsonTest, ParsesBackWithLanesAndWastedFlags) {
+  ChromeTraceInputs inputs;
+  // Lane labels are process-global and first-registration-wins: engines run
+  // by other tests may already own lanes 0/1, so use ids private to this
+  // test.
+  if (util::telemetry::kSpansCompiledIn) {
+    util::telemetry::StartCapture();
+    {
+      util::telemetry::ScopedLane lane(7, "test-driver");
+      util::telemetry::Span span("round", "bwp");
+    }
+    {
+      util::telemetry::ScopedLane lane(8, "test-slot");
+      util::telemetry::Span span("solve", "time_point");
+    }
+    inputs.capture = util::telemetry::StopCapture();
+    ASSERT_EQ(inputs.capture.events.size(), 2u);
+  }
+
+  const Ledger ledger = MakeLedgerWithWaste();
+  inputs.ledger = &ledger;
+  inputs.replay_workers = 2;
+
+  const JsonValue doc = ParseJson(ChromeTraceJson(inputs));
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+
+  std::set<double> live_tids, replay_tids;
+  std::map<std::string, std::string> thread_names;  // "pid/tid" -> name
+  int wasted_events = 0;
+  int complete_events = 0;
+  for (const JsonValue& event : doc.at("traceEvents").array) {
+    ASSERT_TRUE(event.is_object());
+    const std::string ph = event.at("ph").string;
+    const double pid = event.at("pid").number;
+    const double tid = event.at("tid").number;
+    if (ph == "M") {
+      if (event.at("name").string == "thread_name") {
+        thread_names[std::to_string(static_cast<int>(pid)) + "/" +
+                     std::to_string(static_cast<int>(tid))] =
+            event.at("args").at("name").string;
+      }
+      continue;
+    }
+    ASSERT_TRUE(ph == "X" || ph == "i") << ph;
+    if (ph == "X") {
+      ++complete_events;
+      EXPECT_GE(event.at("dur").number, 0.0);
+    }
+    if (pid == 1.0) live_tids.insert(tid);
+    if (pid == 2.0) {
+      replay_tids.insert(tid);
+      ASSERT_TRUE(event.has("args"));
+      if (event.at("args").at("wasted").boolean) {
+        ++wasted_events;
+        EXPECT_EQ(event.at("cname").string, "terrible");
+        EXPECT_NE(event.at("name").string.find("(wasted)"), std::string::npos);
+      }
+    }
+  }
+
+  // Replay lanes: 4 tasks on 2 workers, both engaged (the wasted speculative
+  // solve runs concurrently with the leading chain).
+  EXPECT_EQ(replay_tids.size(), 2u);
+  EXPECT_EQ(thread_names["2/0"], "worker-0");
+  EXPECT_EQ(thread_names["2/1"], "worker-1");
+  EXPECT_EQ(wasted_events, 1);
+  if (util::telemetry::kSpansCompiledIn) {
+    EXPECT_EQ(live_tids.size(), 2u);
+    EXPECT_TRUE(live_tids.count(7.0));
+    EXPECT_TRUE(live_tids.count(8.0));
+    EXPECT_EQ(thread_names["1/7"], "test-driver");
+    EXPECT_EQ(thread_names["1/8"], "test-slot");
+  }
+  EXPECT_GE(complete_events, 4);
+}
+
+TEST(ReplayScheduleTest, ScheduleIsConsistentWithReplay) {
+  const Ledger ledger = MakeLedgerWithWaste();
+  std::vector<ReplayTask> schedule;
+  const ReplayResult replay = ReplayOnWorkers(ledger, 2, ReplayCost::kMeasuredSeconds,
+                                              &schedule);
+
+  ASSERT_EQ(schedule.size(), ledger.size());
+  double latest_finish = 0.0;
+  std::map<int, std::vector<std::pair<double, double>>> per_worker;
+  std::set<int> records_seen;
+  for (const auto& task : schedule) {
+    EXPECT_GE(task.worker, 0);
+    EXPECT_LT(task.worker, 2);
+    EXPECT_GE(task.finish, task.start);
+    records_seen.insert(task.record);
+    per_worker[task.worker].emplace_back(task.start, task.finish);
+    latest_finish = std::max(latest_finish, task.finish);
+
+    // Dependencies finished before this task started.
+    const auto& record = ledger.records()[static_cast<std::size_t>(task.record)];
+    for (const int dep : record.deps) {
+      const auto it = std::find_if(schedule.begin(), schedule.end(),
+                                   [&](const ReplayTask& t) { return t.record == dep; });
+      ASSERT_NE(it, schedule.end());
+      EXPECT_LE(it->finish, task.start + 1e-12);
+    }
+  }
+  EXPECT_EQ(records_seen.size(), ledger.size());
+  EXPECT_DOUBLE_EQ(latest_finish, replay.makespan_seconds);
+
+  // No worker runs two tasks at once.
+  for (auto& [worker, intervals] : per_worker) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-12)
+          << "worker " << worker << " overlaps";
+    }
+  }
+}
+
+TEST(WriteTextFileTest, RoundTripsAndFailsOnBadPath) {
+  const std::string path = ::testing::TempDir() + "/trace_export_roundtrip.json";
+  WriteTextFile(path, "{\"ok\":true}\n");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[64] = {};
+  const std::size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buffer, n), "{\"ok\":true}\n");
+  EXPECT_THROW(WriteTextFile("/nonexistent-dir/x.json", "x"), Error);
+}
+
+}  // namespace
+}  // namespace wavepipe::pipeline

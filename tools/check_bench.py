@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Bench regression gate for CI.
+
+Compares freshly generated BENCH_*.json artifacts against the committed
+baselines and fails (exit 1) when:
+
+  * a modeled-speedup metric regresses by more than --tolerance (default 15%);
+  * an engagement/accuracy guard that was true in the baseline turns false
+    (e.g. `speedup_1p2_on_at_least_two_circuits`, `bypass engaged` style
+    booleans, `disabled_rerun_bit_identical`).
+
+Only DETERMINISTIC modeled metrics are gated.  Wall-clock numbers
+(`speedup`, `*_wall_seconds`, `*_seconds_per_pass`) vary with machine load
+and are reported but never gated; `barrier_model_speedup*` is a
+deliberately pessimistic contrast model (it gates the runtime serial
+fallback, not performance) and is likewise report-only.
+
+A per-metric delta table goes to stdout and, when $GITHUB_STEP_SUMMARY is
+set, into the job summary as GitHub-flavored markdown.
+
+Usage:
+    check_bench.py --baseline-dir <committed> --current-dir <fresh> \
+                   [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BENCH_FILES = ["BENCH_assembly.json", "BENCH_factor.json", "BENCH_bypass.json"]
+
+# Numeric metrics gated on regression.  A metric is gated when its key path
+# matches one of these predicates; higher is better for all of them.
+GATED_KEY_SUBSTRINGS = [
+    "replay_speedup",            # BENCH_factor: list-scheduled DAG replay
+    "modeled_refactor_speedup",  # counter blocks: lu.* / sparse_lu.*
+]
+
+# Metrics that *look* like speedups but must never gate.
+UNGATED_KEY_SUBSTRINGS = [
+    "barrier_model_speedup",  # pessimistic fallback-gate model, not perf
+    "wall",                   # anything wall-clock
+    "seconds_per_pass",       # measured on a possibly loaded machine
+]
+
+
+def is_gated(path):
+    if any(s in path for s in UNGATED_KEY_SUBSTRINGS):
+        return False
+    return any(s in path for s in GATED_KEY_SUBSTRINGS)
+
+
+def flatten(node, prefix, out):
+    """Flattens dicts/lists-of-named-dicts into {path: scalar}.
+
+    Circuit arrays are keyed by each element's "name" so baselines and
+    fresh runs line up even if the suite order changes.
+    """
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flatten(value, f"{prefix}{key}." if prefix else f"{key}.", out)
+        return
+    if isinstance(node, list):
+        for index, value in enumerate(node):
+            tag = value.get("name", str(index)) if isinstance(value, dict) else str(index)
+            flatten(value, f"{prefix}{tag}.", out)
+        return
+    out[prefix.rstrip(".")] = node
+
+
+def compare_file(name, baseline, current, tolerance):
+    """Returns (rows, failures) for one bench artifact."""
+    base_flat, cur_flat = {}, {}
+    flatten(baseline, "", base_flat)
+    flatten(current, "", cur_flat)
+
+    rows = []
+    failures = []
+    for path in sorted(base_flat):
+        base_value = base_flat[path]
+        if path not in cur_flat:
+            failures.append(f"{name}: metric `{path}` missing from fresh run")
+            rows.append((path, base_value, "(missing)", "", "FAIL"))
+            continue
+        cur_value = cur_flat[path]
+
+        if isinstance(base_value, bool):
+            if base_value and not cur_value:
+                failures.append(f"{name}: guard `{path}` flipped true -> false")
+                rows.append((path, base_value, cur_value, "", "FAIL"))
+            elif base_value != cur_value:
+                rows.append((path, base_value, cur_value, "", "improved"))
+            continue
+
+        if not isinstance(base_value, (int, float)) or not is_gated(path):
+            continue
+        delta = (cur_value - base_value) / base_value if base_value else 0.0
+        status = "ok"
+        if delta < -tolerance:
+            status = "FAIL"
+            failures.append(
+                f"{name}: `{path}` regressed {-delta:.1%} "
+                f"({base_value:.4g} -> {cur_value:.4g}), tolerance {tolerance:.0%}"
+            )
+        rows.append((path, f"{base_value:.4g}", f"{cur_value:.4g}",
+                     f"{delta:+.1%}", status))
+    return rows, failures
+
+
+def render_table(name, rows):
+    lines = [f"\n### {name}", "",
+             "| metric | baseline | current | delta | status |",
+             "|---|---:|---:|---:|---|"]
+    for path, base_value, cur_value, delta, status in rows:
+        lines.append(f"| `{path}` | {base_value} | {cur_value} | {delta} | {status} |")
+    if len(rows) == 0:
+        lines.append("| (no gated metrics) | | | | |")
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory holding the freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max allowed fractional regression (default 0.15)")
+    args = parser.parse_args()
+
+    all_failures = []
+    summary = ["## Bench regression gate",
+               f"Tolerance: {args.tolerance:.0%} on modeled speedups; "
+               "boolean guards must not flip true → false."]
+    for name in BENCH_FILES:
+        base_path = os.path.join(args.baseline_dir, name)
+        cur_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(base_path):
+            all_failures.append(f"missing baseline {base_path}")
+            continue
+        if not os.path.exists(cur_path):
+            all_failures.append(f"missing fresh artifact {cur_path}")
+            continue
+        with open(base_path) as f:
+            baseline = json.load(f)
+        with open(cur_path) as f:
+            current = json.load(f)
+        rows, failures = compare_file(name, baseline, current, args.tolerance)
+        all_failures.extend(failures)
+        summary.append(render_table(name, rows))
+
+    if all_failures:
+        summary.append("\n### Failures\n")
+        summary.extend(f"- {failure}" for failure in all_failures)
+    else:
+        summary.append("\nAll gates passed.")
+
+    text = "\n".join(summary)
+    print(text)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as f:
+            f.write(text + "\n")
+
+    if all_failures:
+        print(f"\ncheck_bench: {len(all_failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("\ncheck_bench: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

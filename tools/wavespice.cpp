@@ -2,15 +2,22 @@
 //
 //   wavespice <deck.sp> [options]
 //
-//   --scheme serial|bwp|fwp|combined   pipelining scheme      (default serial)
+//   --engine pipeline|serial|finegrained  engine to run        (default pipeline)
+//   --scheme serial|bwp|fwp|combined   pipelining scheme       (default serial)
 //   --threads N                        worker threads          (default 3)
 //   --out FILE.csv                     write probed waveforms  (default stdout table off)
 //   --chart                            ASCII chart of the probes
-//   --stats                            print scheduling/solver statistics
+//   --stats                            print the run's counter registry
+//   --stats-json FILE                  write run_stats.json (stable schema)
+//   --trace-json FILE                  write Chrome trace_event JSON
 //   --compare-serial                   also run serial, report deviation + speedup
 //   --bypass                           enable the device latency bypass (off by default)
 //   --bypass-vtol X                    latency tolerance scale (default 1.0)
 //   --chord                            enable chord-Newton LU factor reuse
+//
+// All three engines emit the SAME run_stats.json schema (see
+// wavepipe/trace_export.hpp); --stats prints the same registry, so the text
+// and JSON views can never drift apart.
 //
 // Exit codes: 0 ok, 1 usage, 2 parse/elaboration error, 3 analysis failure.
 #include <cstdio>
@@ -21,10 +28,13 @@
 #include <string>
 
 #include "netlist/elaborate.hpp"
+#include "parallel/fine_grained.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
+#include "wavepipe/trace_export.hpp"
 #include "wavepipe/virtual_pipeline.hpp"
 #include "wavepipe/wavepipe.hpp"
 
@@ -32,11 +42,16 @@ using namespace wavepipe;
 
 namespace {
 
+enum class EngineKind { kPipeline, kSerial, kFineGrained };
+
 struct CliOptions {
   std::string deck_path;
+  EngineKind engine = EngineKind::kPipeline;
   pipeline::Scheme scheme = pipeline::Scheme::kSerial;
   int threads = 3;
   std::string csv_out;
+  std::string stats_json;
+  std::string trace_json;
   bool chart = false;
   bool stats = false;
   bool compare_serial = false;
@@ -50,8 +65,10 @@ struct CliOptions {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: wavespice <deck.sp> [--scheme serial|bwp|fwp|combined] "
+               "usage: wavespice <deck.sp> [--engine pipeline|serial|finegrained] "
+               "[--scheme serial|bwp|fwp|combined] "
                "[--threads N] [--out file.csv] [--chart] [--stats] "
+               "[--stats-json file.json] [--trace-json file.json] "
                "[--compare-serial] [--bypass] [--bypass-vtol X] [--chord]\n");
   return 1;
 }
@@ -60,7 +77,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    if (arg == "--scheme") {
+    if (arg == "--engine") {
+      const char* v = next();
+      if (!v) return false;
+      if (!std::strcmp(v, "pipeline")) out->engine = EngineKind::kPipeline;
+      else if (!std::strcmp(v, "serial")) out->engine = EngineKind::kSerial;
+      else if (!std::strcmp(v, "finegrained")) out->engine = EngineKind::kFineGrained;
+      else return false;
+    } else if (arg == "--scheme") {
       const char* v = next();
       if (!v) return false;
       if (!std::strcmp(v, "serial")) out->scheme = pipeline::Scheme::kSerial;
@@ -77,6 +101,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (!v) return false;
       out->csv_out = v;
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (!v) return false;
+      out->stats_json = v;
+    } else if (arg == "--trace-json") {
+      const char* v = next();
+      if (!v) return false;
+      out->trace_json = v;
     } else if (arg == "--chart") {
       out->chart = true;
     } else if (arg == "--stats") {
@@ -123,6 +155,30 @@ void WriteCsv(const engine::Trace& trace, const std::string& path) {
               trace.probes().size(), path.c_str());
 }
 
+/// Prints the registry — the SAME one run_stats.json serializes, so the text
+/// and JSON stats views share one source and cannot drift.
+void PrintCounters(const util::telemetry::CounterRegistry& registry) {
+  for (const auto& counter : registry.counters()) {
+    if (counter.integral) {
+      std::printf("  %-42s %lld\n", counter.name.c_str(),
+                  static_cast<long long>(counter.value));
+    } else {
+      std::printf("  %-42s %.6g\n", counter.name.c_str(), counter.value);
+    }
+  }
+}
+
+/// What every engine variant hands back to the shared output stages.
+struct RunProducts {
+  engine::Trace trace;
+  pipeline::RunInfo info;
+  pipeline::RunCounterInputs counters;
+  // Pipeline only; empty/zero for the other engines (schema unaffected:
+  // BuildRunCounters exports the groups with defaults).
+  pipeline::Ledger ledger;
+  bool has_ledger = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,82 +203,143 @@ int main(int argc, char** argv) {
 
   try {
     engine::MnaStructure mna(*elaborated.circuit);
-    pipeline::WavePipeOptions options;
-    options.scheme = cli.scheme;
-    options.threads = cli.threads;
-    options.sim = elaborated.sim_options;
-    options.sim.device_bypass = cli.bypass;
-    options.sim.bypass_vtol = cli.bypass_vtol;
-    options.sim.chord_newton = cli.chord;
-    const auto result =
-        pipeline::RunWavePipe(*elaborated.circuit, mna, elaborated.spec, options);
+    engine::SimOptions sim = elaborated.sim_options;
+    sim.device_bypass = cli.bypass;
+    sim.bypass_vtol = cli.bypass_vtol;
+    sim.chord_newton = cli.chord;
 
-    std::printf("scheme %s: %zu steps, %zu rounds, %llu Newton iterations, "
-                "dcop via %s, wall %.3f s\n",
-                pipeline::SchemeName(cli.scheme), result.stats.steps_accepted,
-                result.sched.rounds,
-                static_cast<unsigned long long>(result.stats.newton_iterations),
-                result.stats.dcop_strategy.c_str(), result.stats.wall_seconds);
+    const bool want_trace = !cli.trace_json.empty();
+    if (want_trace) util::telemetry::StartCapture();
 
-    if (cli.stats) {
-      std::printf("  LTE rejections: %zu, Newton rejections: %zu\n",
-                  result.stats.steps_rejected_lte, result.stats.steps_rejected_newton);
-      std::printf("  LU full factors: %llu, refactors: %llu\n",
-                  static_cast<unsigned long long>(result.stats.lu_full_factors),
-                  static_cast<unsigned long long>(result.stats.lu_refactors));
-      const std::uint64_t bypass_total =
-          result.stats.bypassed_evals + result.stats.bypass_full_evals;
-      std::printf("  bypassed evals: %llu of %llu bypassable (%.0f%%)\n",
-                  static_cast<unsigned long long>(result.stats.bypassed_evals),
-                  static_cast<unsigned long long>(bypass_total),
-                  bypass_total > 0
-                      ? 100.0 * static_cast<double>(result.stats.bypassed_evals) /
-                            static_cast<double>(bypass_total)
-                      : 0.0);
-      if (result.stats.bypass_auto_disables > 0) {
-        std::printf("  bypass auto-disabled by the step-floor safety valve "
-                    "(%llu time%s)\n",
-                    static_cast<unsigned long long>(result.stats.bypass_auto_disables),
-                    result.stats.bypass_auto_disables == 1 ? "" : "s");
+    RunProducts run;
+    run.info.deck = elaborated.title.empty() ? cli.deck_path : elaborated.title;
+    run.info.threads = cli.threads;
+
+    if (cli.engine == EngineKind::kSerial) {
+      const auto result =
+          engine::RunTransientSerial(*elaborated.circuit, mna, elaborated.spec, sim);
+      std::printf("engine serial: %zu steps, %llu Newton iterations, dcop via %s, "
+                  "wall %.3f s\n",
+                  result.stats.steps_accepted,
+                  static_cast<unsigned long long>(result.stats.newton_iterations),
+                  result.stats.dcop_strategy.c_str(), result.stats.wall_seconds);
+      run.trace = result.trace;
+      run.info.engine = "serial";
+      run.info.threads = 1;
+      run.info.dcop_strategy = result.stats.dcop_strategy;
+      run.info.completed = result.completed;
+      run.info.abort_reason = result.abort_reason;
+      run.info.last_good_time = result.last_good_time;
+      run.counters.stats = result.stats;
+    } else if (cli.engine == EngineKind::kFineGrained) {
+      parallel::FineGrainedOptions options;
+      options.threads = cli.threads;
+      options.sim = sim;
+      const auto result =
+          parallel::RunTransientFineGrained(*elaborated.circuit, mna, elaborated.spec,
+                                            options);
+      std::printf("engine finegrained (%d threads, %s assembly): %zu steps, "
+                  "%llu Newton iterations, dcop via %s, wall %.3f s\n",
+                  cli.threads, result.assembly.strategy, result.stats.steps_accepted,
+                  static_cast<unsigned long long>(result.stats.newton_iterations),
+                  result.stats.dcop_strategy.c_str(), result.stats.wall_seconds);
+      run.trace = result.trace;
+      run.info.engine = "fine-grained";
+      run.info.dcop_strategy = result.stats.dcop_strategy;
+      run.info.assembly_strategy = result.assembly.strategy;
+      run.info.last_good_time =
+          result.trace.num_samples() > 0
+              ? result.trace.time(result.trace.num_samples() - 1)
+              : elaborated.spec.tstart;
+      run.counters.stats = result.stats;
+      run.counters.assembly = result.assembly;
+      run.counters.phases = result.phases;
+    } else {
+      pipeline::WavePipeOptions options;
+      options.scheme = cli.scheme;
+      options.threads = cli.threads;
+      options.sim = sim;
+      const auto result =
+          pipeline::RunWavePipe(*elaborated.circuit, mna, elaborated.spec, options);
+
+      std::printf("scheme %s: %zu steps, %zu rounds, %llu Newton iterations, "
+                  "dcop via %s, wall %.3f s\n",
+                  pipeline::SchemeName(cli.scheme), result.stats.steps_accepted,
+                  result.sched.rounds,
+                  static_cast<unsigned long long>(result.stats.newton_iterations),
+                  result.stats.dcop_strategy.c_str(), result.stats.wall_seconds);
+
+      run.trace = result.trace;
+      run.info.engine = "wavepipe";
+      run.info.scheme = pipeline::SchemeName(cli.scheme);
+      run.info.dcop_strategy = result.stats.dcop_strategy;
+      run.info.assembly_strategy = result.assembly.strategy;
+      run.info.completed = result.completed;
+      run.info.abort_reason = result.abort_reason;
+      run.info.last_good_time = result.last_good_time;
+      run.counters.stats = result.stats;
+      run.counters.assembly = result.assembly;
+      run.counters.sched = result.sched;
+      run.ledger = result.ledger;
+      run.has_ledger = true;
+
+      if (cli.compare_serial && cli.scheme != pipeline::Scheme::kSerial) {
+        pipeline::WavePipeOptions serial_options = options;
+        serial_options.scheme = pipeline::Scheme::kSerial;
+        const auto serial = pipeline::RunWavePipe(*elaborated.circuit, mna,
+                                                  elaborated.spec, serial_options);
+        const double deviation =
+            engine::Trace::MaxDeviationAll(serial.trace, result.trace);
+        const double serial_makespan =
+            pipeline::ReplayOnWorkers(serial.ledger, 1).makespan_seconds;
+        const double scheme_makespan =
+            pipeline::ReplayOnWorkers(result.ledger, cli.threads).makespan_seconds;
+        std::printf("vs serial: max deviation %.3g V, modeled x%d speedup %.2f\n",
+                    deviation, cli.threads, serial_makespan / scheme_makespan);
       }
-      std::printf("  chord solves: %llu, forced refactors: %llu\n",
-                  static_cast<unsigned long long>(result.stats.chord_solves),
-                  static_cast<unsigned long long>(result.stats.forced_refactors));
-      std::printf("  backward solves: %zu, speculative: %zu (accepted %zu, direct %zu)\n",
-                  result.sched.backward_solves, result.sched.speculative_solves,
-                  result.sched.speculative_accepted, result.sched.speculative_direct);
-      const auto replay = pipeline::ReplayOnWorkers(
-          result.ledger, cli.scheme == pipeline::Scheme::kSerial ? 1 : cli.threads);
-      std::printf("  solver CPU: %.4f s, modeled %d-core makespan: %.4f s (util %.0f%%)\n",
-                  replay.busy_seconds, replay.workers, replay.makespan_seconds,
-                  100 * replay.utilization);
     }
 
-    if (cli.compare_serial && cli.scheme != pipeline::Scheme::kSerial) {
-      pipeline::WavePipeOptions serial_options = options;
-      serial_options.scheme = pipeline::Scheme::kSerial;
-      const auto serial =
-          pipeline::RunWavePipe(*elaborated.circuit, mna, elaborated.spec, serial_options);
-      const double deviation =
-          engine::Trace::MaxDeviationAll(serial.trace, result.trace);
-      const double serial_makespan =
-          pipeline::ReplayOnWorkers(serial.ledger, 1).makespan_seconds;
-      const double scheme_makespan =
-          pipeline::ReplayOnWorkers(result.ledger, cli.threads).makespan_seconds;
-      std::printf("vs serial: max deviation %.3g V, modeled x%d speedup %.2f\n",
-                  deviation, cli.threads, serial_makespan / scheme_makespan);
+    const int replay_workers =
+        (cli.engine == EngineKind::kPipeline && cli.scheme != pipeline::Scheme::kSerial)
+            ? cli.threads
+            : 1;
+    if (run.has_ledger) {
+      run.counters.ledger = &run.ledger;
+      run.counters.replay = pipeline::ReplayOnWorkers(run.ledger, replay_workers);
+    }
+    const util::telemetry::CounterRegistry registry =
+        pipeline::BuildRunCounters(run.counters);
+
+    if (cli.stats) PrintCounters(registry);
+
+    if (!cli.stats_json.empty()) {
+      pipeline::WriteTextFile(cli.stats_json, pipeline::RunStatsJson(run.info, registry));
+      std::printf("wrote run stats (%zu counters) to %s\n", registry.size(),
+                  cli.stats_json.c_str());
     }
 
-    if (cli.chart && result.trace.probes().size() > 0) {
+    if (want_trace) {
+      pipeline::ChromeTraceInputs trace_in;
+      trace_in.capture = util::telemetry::StopCapture();
+      trace_in.ledger = run.has_ledger ? &run.ledger : nullptr;
+      trace_in.replay_workers = run.has_ledger ? replay_workers : 0;
+      pipeline::WriteTextFile(cli.trace_json, pipeline::ChromeTraceJson(trace_in));
+      std::printf("wrote %zu trace events to %s (open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  trace_in.capture.events.size() +
+                      (run.has_ledger ? run.ledger.size() : 0),
+                  cli.trace_json.c_str());
+    }
+
+    if (cli.chart && run.trace.probes().size() > 0) {
       util::AsciiChart chart(72, 14);
-      for (std::size_t p = 0; p < result.trace.probes().size() && p < 4; ++p) {
-        chart.AddSeries("v(" + result.trace.probes().names[p] + ")",
-                        result.trace.Series(p));
+      for (std::size_t p = 0; p < run.trace.probes().size() && p < 4; ++p) {
+        chart.AddSeries("v(" + run.trace.probes().names[p] + ")", run.trace.Series(p));
       }
       std::printf("%s", chart.ToString().c_str());
     }
 
-    if (!cli.csv_out.empty()) WriteCsv(result.trace, cli.csv_out);
+    if (!cli.csv_out.empty()) WriteCsv(run.trace, cli.csv_out);
   } catch (const Error& e) {
     std::fprintf(stderr, "wavespice: analysis failed: %s\n", e.what());
     return 3;
