@@ -49,6 +49,7 @@ struct SchemeMetrics {
   double makespan_seconds = 0.0;    ///< virtual replay on `threads` workers
   double busy_seconds = 0.0;        ///< total solver CPU across workers
   pipeline::PipelineSchedStats sched;
+  pipeline::SpecPolicyStats spec;
   engine::TransientStats stats;
   engine::Trace trace;
 };
@@ -81,6 +82,7 @@ inline SchemeMetrics RunScheme(const circuits::GeneratedCircuit& gen,
   m.makespan_seconds = replay.makespan_seconds;
   m.busy_seconds = replay.busy_seconds;
   m.sched = result.sched;
+  m.spec = result.spec;
   m.stats = result.stats;
   m.trace = std::move(result.trace);
   return m;

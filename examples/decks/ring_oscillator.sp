@@ -1,0 +1,32 @@
+ring3
+* Three-stage CMOS ring oscillator: the canonical deck for the adaptive
+* speculation policy's event-aware predictor.  The autonomous oscillation
+* makes polynomial extrapolation miss at every output transition, so the
+* adaptive policy (--spec-policy adaptive) throttles the chain depth down,
+* converts forward slots into backward points, and snaps speculative points
+* onto predicted waveform events instead of extrapolating past them.
+*
+* Try:
+*   wavespice examples/decks/ring_oscillator.sp --scheme combined --threads 4 \
+*       --spec-policy adaptive --stats --compare-serial
+.model nmos1 NMOS (vto=0.7 kp=120u gamma=0.45 phi=0.65 lambda=0.04)
+.model pmos1 PMOS (vto=-0.8 kp=40u gamma=0.5 phi=0.65 lambda=0.05)
+Vdd vdd 0 2.5
+* Stage 1: s1 -> s2
+MP1 s2 s1 vdd vdd pmos1 W=4u L=1u
+MN1 s2 s1 0 0 nmos1 W=2u L=1u
+CL1 s2 0 20f
+* Stage 2: s2 -> s3
+MP2 s3 s2 vdd vdd pmos1 W=4u L=1u
+MN2 s3 s2 0 0 nmos1 W=2u L=1u
+CL2 s3 0 20f
+* Stage 3: s3 -> s1, closing the ring
+MP3 s1 s3 vdd vdd pmos1 W=4u L=1u
+MN3 s1 s3 0 0 nmos1 W=2u L=1u
+CL3 s1 0 20f
+* Startup kick: a short current pulse pulls stage 1 off the metastable
+* mid-rail operating point the DC solve finds for a symmetric ring.
+Ikick 0 s1 PULSE(0 200u 10p 5p 5p 100p 1)
+.tran 2p 6n
+.print v(s1) v(s2)
+.end

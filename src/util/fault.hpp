@@ -26,6 +26,9 @@
 //   pool.task_throw   a ThreadPool task throws before running its body
 //   chord.degraded    a chord-Newton iterate reports a degraded contraction
 //                     rate, forcing a refactorization on the next iteration
+//   spec.mispredict   ValidateSpeculativeChain sees the prediction error as
+//                     out of tolerance, forcing the discard path (exercises
+//                     the adaptive speculation policy's depth degradation)
 #pragma once
 
 #include <cstdint>

@@ -28,7 +28,9 @@ std::vector<PipelineDriver::HelperTask> PipelineDriver::LaunchBackwardTasks(
 
   int slot = first_slot;
   for (int i = 1; i <= count; ++i) {
-    const double fraction = (count == 1) ? options_.bwp_backward_fraction
+    // The policy places a single helper (fixed mode answers the static
+    // bwp_backward_fraction); multiple helpers stay evenly spaced.
+    const double fraction = (count == 1) ? policy_.ChooseBackwardFraction()
                                          : static_cast<double>(i) / (count + 1);
     const double t_b = prev->time + fraction * interval;
     // Degenerate slivers are numerically useless; skip them.
@@ -54,6 +56,7 @@ void PipelineDriver::JoinAndPublishBackward(std::vector<HelperTask>& tasks) {
   for (auto& task : tasks) {
     engine::StepSolveResult back = JoinSolve(task.future);
     result_.sched.backward_solves += 1;
+    CountSchemeBackward();
     if (!back.converged) {
       WP_DEBUG << "bwp: backward solve at t=" << task.time << " failed Newton; dropped";
       Record(SolveKind::kRejected, back, std::move(task.deps), /*useful=*/false);

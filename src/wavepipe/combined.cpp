@@ -24,6 +24,15 @@ void PipelineDriver::RunRoundCombined() {
     nb = std::min({2, options_.threads - 1,
                    static_cast<int>(options_.bwp_growth_caps.size())});
   }
+  // Adaptive mode replaces the heuristic above with the policy's EWMA-based
+  // helper conversion (fixed mode returns nb unchanged).  nb == 0 means the
+  // trailing interval is ineligible this round — the policy never overrides
+  // that.
+  if (nb > 0) {
+    nb = policy_.ChooseBackwardCount(
+        nb, std::min(options_.threads - 1,
+                     static_cast<int>(options_.bwp_growth_caps.size())));
+  }
 
   const double t_now = history_.newest_time();
   h_ = std::clamp(h_, limits_.hmin, limits_.hmax);
@@ -41,9 +50,9 @@ void PipelineDriver::RunRoundCombined() {
   std::vector<int> lead_deps = DepsOf(lead_window);
   auto lead_future = SubmitSolve(0, lead_window, clip.t_new, /*restart=*/false);
   std::vector<HelperTask> backward = LaunchBackwardTasks(nb, /*first_slot=*/1);
-  std::vector<HelperTask> chain =
-      LaunchSpeculativeChain(std::max(0, options_.threads - 1 - nb),
-                             /*first_slot=*/1 + nb, clip.t_new, h, lead_window);
+  const int depth = policy_.ChooseChainDepth(std::max(0, options_.threads - 1 - nb));
+  std::vector<HelperTask> chain = LaunchSpeculativeChain(
+      depth, /*first_slot=*/1 + nb, clip.t_new, h, lead_window);
 
   // ---- join -------------------------------------------------------------------
   // Drain EVERY in-flight future (lead, chain, backward) before acting on
@@ -57,6 +66,7 @@ void PipelineDriver::RunRoundCombined() {
 
   if (!lead.converged) {
     DiscardSpeculativeChain(chain, spec_results, 0);
+    policy_.OnChainValidated(static_cast<int>(chain.size()), 0);
     OnNewtonFailure(h, lead, std::move(lead_deps));
     return;
   }
@@ -75,6 +85,7 @@ void PipelineDriver::RunRoundCombined() {
 
   if (!assess.accept && h > limits_.hmin * (1.0 + 1e-6)) {
     DiscardSpeculativeChain(chain, spec_results, 0);
+    policy_.OnChainValidated(static_cast<int>(chain.size()), 0);
     Record(SolveKind::kRejected, lead, std::move(lead_deps), /*useful=*/false);
     OnLteRejection(assess, h);
     return;

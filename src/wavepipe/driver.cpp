@@ -40,8 +40,16 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
     options_.threads = 3;
   }
   breakpoints_ = circuit.CollectBreakpoints(spec.tstart, spec.tstop);
+  policy_ = SpeculationPolicy(options_.spec_policy, options_.bwp_backward_fraction);
 
-  const int slots = options_.threads;
+  // Fixed mode keeps one context per thread (slot indices never exceed the
+  // thread count).  The adaptive policy may speculate deeper than the thread
+  // count — the extra solves queue on the same pool — so it needs a context
+  // slot for the deepest chain plus the leading solve and backward helpers.
+  int slots = options_.threads;
+  if (policy_.adaptive() && options_.scheme != Scheme::kSerial) {
+    slots = std::max(slots, 3 + policy_.options().max_depth);
+  }
   contexts_.reserve(static_cast<std::size_t>(slots));
   for (int i = 0; i < slots; ++i) {
     contexts_.push_back(std::make_unique<engine::SolveContext>(circuit, structure));
@@ -173,6 +181,7 @@ WavePipeResult PipelineDriver::Run() {
   result_.completed = !aborted_;
   result_.abort_reason = abort_reason_;
   result_.last_good_time = history_.newest_time();
+  result_.spec = policy_.stats();
   result_.stats.wall_seconds = total_timer.Seconds();
   if (assembler_) result_.assembly = assembler_->stats();
   for (const auto& ctx : contexts_) {
@@ -247,6 +256,24 @@ bool PipelineDriver::RepairWorthwhile() const {
   return avg_repair_iters_ + 0.5 < avg_lead_iters_;
 }
 
+void PipelineDriver::CountSchemeSpeculation(bool accepted) {
+  if (options_.scheme == Scheme::kForward) {
+    result_.sched.fwp_speculative_solves += 1;
+    if (accepted) result_.sched.fwp_speculative_accepted += 1;
+  } else if (options_.scheme == Scheme::kCombined) {
+    result_.sched.combined_speculative_solves += 1;
+    if (accepted) result_.sched.combined_speculative_accepted += 1;
+  }
+}
+
+void PipelineDriver::CountSchemeBackward() {
+  if (options_.scheme == Scheme::kBackward) {
+    result_.sched.bwp_backward_solves += 1;
+  } else if (options_.scheme == Scheme::kCombined) {
+    result_.sched.combined_backward_solves += 1;
+  }
+}
+
 int PipelineDriver::Record(SolveKind kind, const engine::StepSolveResult& solve,
                            std::vector<int> deps, bool useful) {
   constexpr double kEma = 0.05;
@@ -254,12 +281,14 @@ int PipelineDriver::Record(SolveKind kind, const engine::StepSolveResult& solve,
     avg_lead_iters_ = avg_lead_iters_ == 0.0
                           ? solve.newton.iterations
                           : (1 - kEma) * avg_lead_iters_ + kEma * solve.newton.iterations;
+    policy_.OnLeadCost(solve.newton.iterations);
   } else if (kind == SolveKind::kRepair) {
     avg_repair_iters_ =
         avg_repair_iters_ == 0.0
             ? solve.newton.iterations
             : (1 - kEma) * avg_repair_iters_ + kEma * solve.newton.iterations;
     ++repair_samples_;
+    policy_.OnRepairCost(solve.newton.iterations);
   }
   SolveRecord record;
   record.kind = kind;
@@ -365,6 +394,7 @@ void PipelineDriver::OnLteRejection(const engine::StepAssessment& assess,
                                     double attempted_h) {
   (void)attempted_h;
   result_.stats.steps_rejected_lte += 1;
+  policy_.OnLteRejection();
   h_ = std::max(assess.h_next, limits_.hmin);
   bwp_cooldown_ = 1;
 }
@@ -374,6 +404,7 @@ void PipelineDriver::OnLeadingAccepted(const engine::StepAssessment& assess,
                                        double h_used, bool update_step_control) {
   (void)growth_cap;
   if (bwp_cooldown_ > 0) --bwp_cooldown_;
+  policy_.OnLeadingAccepted();
   consecutive_failures_ = 0;  // a clean leading accept ends the failure streak
   ++steps_since_restart_;
   restart_ = false;

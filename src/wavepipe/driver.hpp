@@ -57,6 +57,12 @@ class PipelineDriver {
   int Record(SolveKind kind, const engine::StepSolveResult& solve,
              std::vector<int> deps, bool useful);
 
+  /// Per-scheme speculation attribution: one resolved speculative entry
+  /// (accepted or not) credited to the configured scheme's sub-counters.
+  void CountSchemeSpeculation(bool accepted);
+  /// Same for one joined backward helper solve.
+  void CountSchemeBackward();
+
   /// Accepts a solution point: history + ledger-id map (+ trace for leading
   /// points).
   void AcceptPoint(const engine::SolutionPointPtr& point, int ledger_id, bool leading);
@@ -99,6 +105,11 @@ class PipelineDriver {
     engine::SolutionPointPtr predicted_predecessor;  // speculative chains only
     std::vector<int> deps;
     std::future<engine::StepSolveResult> future;
+    /// Predictor that seeded this speculative entry (policy hit-rate scoring).
+    SpecPredictor predictor = SpecPredictor::kPolynomial;
+    /// Event-aware placement landed this entry exactly on a source corner;
+    /// accepting it performs the breakpoint restart and ends the chain.
+    bool hit_breakpoint = false;
   };
 
   /// Launches `count` backward-point solves inside the trailing history
@@ -180,6 +191,10 @@ class PipelineDriver {
   double avg_repair_iters_ = 0.0;
   int repair_samples_ = 0;
   bool RepairWorthwhile() const;
+
+  /// Speculation policy (spec_policy.hpp): chain depth, predictor choice,
+  /// backward count/placement.  kFixed mode observes without steering.
+  SpeculationPolicy policy_;
 
   WavePipeResult result_;
 };

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 
@@ -25,6 +26,11 @@ namespace wavepipe::pipeline {
 std::vector<PipelineDriver::HelperTask> PipelineDriver::LaunchSpeculativeChain(
     int depth, int first_slot, double t1, double h1, engine::HistoryWindow base_window) {
   std::vector<HelperTask> chain;
+  if (depth <= 0) return chain;
+  // One predictor candidate per chain; the policy scores its entries'
+  // outcomes to keep the online hit-rate ranking fresh (fixed mode always
+  // answers kPolynomial).
+  const SpecPredictor predictor = policy_.ChoosePredictor();
   engine::HistoryWindow window = std::move(base_window);
   double t_prev = t1;
   // Follow the controller's realized step-growth trajectory: during a
@@ -33,20 +39,42 @@ std::vector<PipelineDriver::HelperTask> PipelineDriver::LaunchSpeculativeChain(
   // solve.  In steady state the factor is ~1 and this degenerates to h1.
   double h_next = h1 * last_growth_factor_;
   const int order = engine::MethodOrder(options_.sim.method);
+  const int predict_points = policy_.PredictorPoints(predictor, order);
   for (int d = 0; d < depth; ++d) {
     // Fabricate the predicted predecessor and extend the window with it.
-    engine::SolutionPointPtr predicted = engine::PredictPoint(window, order + 1, t_prev);
+    engine::SolutionPointPtr predicted =
+        engine::PredictPoint(window, predict_points, t_prev);
     window.push_back(predicted);
     if (window.size() > 4) window.erase(window.begin());
 
-    const Clip clip_next = ClipStep(t_prev, std::min(h_next, limits_.hmax));
-    if (clip_next.hit_breakpoint || clip_next.hit_stop) break;
+    Clip clip_next = ClipStep(t_prev, std::min(h_next, limits_.hmax));
+    if (clip_next.hit_stop) break;
+    bool corner_landing = false;
+    if (clip_next.hit_breakpoint) {
+      // The clipped step lands exactly on a source corner.  Only the
+      // event-aware candidate keeps it: the corner point is solved like the
+      // serial loop would solve it, and accepting it performs the breakpoint
+      // restart one round early.  Extrapolating PAST a corner is poison, so
+      // the chain always ends here.
+      if (predictor != SpecPredictor::kEvent) break;
+      corner_landing = true;
+      policy_.NoteEventSnap();
+    } else if (predictor == SpecPredictor::kEvent) {
+      // Zero crossings: pull the placement back onto a predicted waveform
+      // sign change inside the step (corners are handled by the clipper).
+      const SpecEventSnap snap = policy_.PredictEvent(
+          window, circuit_.num_nodes(), {}, 0, t_prev, clip_next.t_new, limits_.hmin);
+      if (snap.snapped) clip_next.t_new = snap.time;
+    }
     HelperTask task;
     task.time = clip_next.t_new;
     task.predicted_predecessor = predicted;
     task.deps = DepsOf(window);  // predicted points carry no ledger id
+    task.predictor = predictor;
+    task.hit_breakpoint = corner_landing;
     task.future = SubmitSolve(first_slot + d, window, clip_next.t_new, /*restart=*/false);
     chain.push_back(std::move(task));
+    if (corner_landing) break;
     t_prev = clip_next.t_new;
     h_next *= last_growth_factor_;
   }
@@ -60,6 +88,11 @@ void PipelineDriver::DiscardSpeculativeChain(std::vector<HelperTask>& chain,
     WP_TINSTANT("sched", "speculation_discarded");
     result_.sched.speculative_solves += 1;
     result_.sched.speculative_discarded += 1;
+    CountSchemeSpeculation(/*accepted=*/false);
+    // Unvalidated tail entries feed the policy's cost averages but not the
+    // predictor hit rates (their predictions were never compared to truth).
+    policy_.OnEntryOutcome(chain[d].predictor, /*accepted=*/false,
+                           results[d].newton.iterations, /*scored=*/false);
     Record(SolveKind::kSpeculative, results[d], std::move(chain[d].deps),
            /*useful=*/false);
   }
@@ -70,16 +103,23 @@ void PipelineDriver::ValidateSpeculativeChain(
   const engine::StepControlParams params =
       ParamsWithCap(engine::MethodOrder(options_.sim.method), options_.sim.step_growth);
 
+  int accepted_entries = 0;
   for (std::size_t d = 0; d < chain.size(); ++d) {
     HelperTask& task = chain[d];
     engine::StepSolveResult& spec = results[d];
     result_.sched.speculative_solves += 1;
 
     const engine::SolutionPointPtr truth = history_.newest();  // real predecessor
-    const double prediction_error = engine::SolutionWrmsDistance(
+    double prediction_error = engine::SolutionWrmsDistance(
         task.predicted_predecessor->x, truth->x, params);
+    // Fault site: a forced mispredict proves the adaptive controller degrades
+    // depth instead of thrashing when every prediction goes bad.
+    if (WP_FAULT_POINT("spec.mispredict")) {
+      prediction_error = 2.0 * options_.fwp_prediction_tol;
+    }
 
     bool chain_continues = false;
+    bool entry_accepted = false;
     if (!spec.converged) {
       WP_DEBUG << "fwp: speculative solve at t=" << task.time << " failed Newton";
       Record(SolveKind::kSpeculative, spec, std::move(task.deps), /*useful=*/false);
@@ -128,14 +168,27 @@ void PipelineDriver::ValidateSpeculativeChain(
         const int spec_id =
             Record(SolveKind::kSpeculative, spec, std::move(task.deps), /*useful=*/true);
         AcceptPoint(spec.point, spec_id, /*leading=*/true);
-        OnLeadingAccepted(assess, /*hit_breakpoint=*/false, options_.sim.step_growth,
+        OnLeadingAccepted(assess, task.hit_breakpoint, options_.sim.step_growth,
                           h_d, /*update_step_control=*/false);
+        result_.sched.speculative_accepted += 1;
+        result_.sched.speculative_direct += 1;
+        ++accepted_entries;
+        entry_accepted = true;
+        if (task.hit_breakpoint) {
+          // Event-snapped corner point: OnLeadingAccepted just performed the
+          // breakpoint restart (h_ = h0) and the chain ends here by
+          // construction.
+          CountSchemeSpeculation(/*accepted=*/true);
+          policy_.OnEntryOutcome(task.predictor, /*accepted=*/true,
+                                 spec.newton.iterations, /*scored=*/true);
+          DiscardSpeculativeChain(chain, results, d + 1);
+          policy_.OnChainValidated(static_cast<int>(chain.size()), accepted_entries);
+          return;
+        }
         // The suggested next step trails the accepted spec point; scale it
         // along the clean growth trajectory so the next lead continues from
         // here rather than re-stepping over covered time.
         h_ = std::clamp(h_d * last_growth_factor_, limits_.hmin, limits_.hmax);
-        result_.sched.speculative_accepted += 1;
-        result_.sched.speculative_direct += 1;
         chain_continues = true;
       } else {
         // The speculative step overreached; drop it and break the chain.
@@ -169,9 +222,19 @@ void PipelineDriver::ValidateSpeculativeChain(
           const int repair_id =
               Record(SolveKind::kRepair, repair, std::move(repair_deps), /*useful=*/true);
           AcceptPoint(repair.point, repair_id, /*leading=*/true);
-          OnLeadingAccepted(assess, /*hit_breakpoint=*/false, options_.sim.step_growth,
+          OnLeadingAccepted(assess, task.hit_breakpoint, options_.sim.step_growth,
                             h_d);
           result_.sched.speculative_accepted += 1;
+          ++accepted_entries;
+          entry_accepted = true;
+          if (task.hit_breakpoint) {
+            CountSchemeSpeculation(/*accepted=*/true);
+            policy_.OnEntryOutcome(task.predictor, /*accepted=*/true,
+                                   spec.newton.iterations, /*scored=*/true);
+            DiscardSpeculativeChain(chain, results, d + 1);
+            policy_.OnChainValidated(static_cast<int>(chain.size()), accepted_entries);
+            return;
+          }
           chain_continues = true;
         } else {
           // Same reasoning as the direct path: chain break, no h_ penalty.
@@ -183,13 +246,18 @@ void PipelineDriver::ValidateSpeculativeChain(
       }
     }
 
+    CountSchemeSpeculation(entry_accepted);
+    policy_.OnEntryOutcome(task.predictor, entry_accepted, spec.newton.iterations,
+                           /*scored=*/true);
     if (!chain_continues) {
       WP_TINSTANT("sched", "speculation_discarded");
       result_.sched.speculative_discarded += 1;
       DiscardSpeculativeChain(chain, results, d + 1);
+      policy_.OnChainValidated(static_cast<int>(chain.size()), accepted_entries);
       return;
     }
   }
+  policy_.OnChainValidated(static_cast<int>(chain.size()), accepted_entries);
 }
 
 void PipelineDriver::RunRoundForward() {
@@ -213,8 +281,9 @@ void PipelineDriver::RunRoundForward() {
   const engine::HistoryWindow base_window = history_.Window(4);
   std::vector<int> lead_deps = DepsOf(base_window);
   auto lead_future = SubmitSolve(0, base_window, clip1.t_new, /*restart=*/false);
-  std::vector<HelperTask> chain = LaunchSpeculativeChain(
-      std::min(options_.threads - 1, 3), /*first_slot=*/1, clip1.t_new, h1, base_window);
+  const int depth = policy_.ChooseChainDepth(std::min(options_.threads - 1, 3));
+  std::vector<HelperTask> chain =
+      LaunchSpeculativeChain(depth, /*first_slot=*/1, clip1.t_new, h1, base_window);
 
   // ---- join -------------------------------------------------------------------
   // Drain EVERY in-flight future before acting on any outcome: a worker
@@ -227,6 +296,7 @@ void PipelineDriver::RunRoundForward() {
 
   if (!lead.converged) {
     DiscardSpeculativeChain(chain, spec_results, 0);
+    policy_.OnChainValidated(static_cast<int>(chain.size()), 0);
     OnNewtonFailure(h1, lead, std::move(lead_deps));
     return;
   }
@@ -237,6 +307,7 @@ void PipelineDriver::RunRoundForward() {
       engine::AssessStep(lead.point->x, lead.predicted, h1, /*lte_active=*/true, params);
   if (!lead_assess.accept && h1 > limits_.hmin * (1.0 + 1e-6)) {
     DiscardSpeculativeChain(chain, spec_results, 0);
+    policy_.OnChainValidated(static_cast<int>(chain.size()), 0);
     Record(SolveKind::kRejected, lead, std::move(lead_deps), /*useful=*/false);
     OnLteRejection(lead_assess, h1);
     return;

@@ -1,0 +1,283 @@
+#include "wavepipe/spec_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace wavepipe::pipeline {
+namespace {
+
+/// First-sample-seeds EWMA: a zero accumulator means "no samples yet"
+/// (Newton iteration counts are always >= 1, so zero is a safe sentinel).
+double BlendCost(double accumulator, double sample, double alpha) {
+  if (accumulator == 0.0) return sample;
+  return (1.0 - alpha) * accumulator + alpha * sample;
+}
+
+}  // namespace
+
+const char* SpecPolicyModeName(SpecPolicyMode mode) {
+  switch (mode) {
+    case SpecPolicyMode::kFixed:
+      return "fixed";
+    case SpecPolicyMode::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+const char* SpecPredictorName(SpecPredictor predictor) {
+  switch (predictor) {
+    case SpecPredictor::kPolynomial:
+      return "poly";
+    case SpecPredictor::kHighOrder:
+      return "highorder";
+    case SpecPredictor::kEvent:
+      return "event";
+  }
+  return "unknown";
+}
+
+void SpecPolicyStats::ExportCounters(util::telemetry::CounterRegistry& registry) const {
+  registry.Count("spec.depth_decisions", depth_decisions);
+  registry.Count("spec.depth_chosen", depth_chosen);
+  registry.Count("spec.depth_raises", depth_raises);
+  registry.Count("spec.depth_cuts", depth_cuts);
+  registry.Count("spec.event_snaps", event_snaps);
+  for (int i = 0; i < kNumSpecPredictors; ++i) {
+    const std::string prefix =
+        std::string("spec.") + SpecPredictorName(static_cast<SpecPredictor>(i));
+    registry.Count(prefix + ".predictor_hits", predictor_hits[static_cast<std::size_t>(i)]);
+    registry.Count(prefix + ".predictor_misses",
+                   predictor_misses[static_cast<std::size_t>(i)]);
+  }
+}
+
+SpeculationPolicy::SpeculationPolicy(const SpecPolicyOptions& options,
+                                     double fixed_backward_fraction)
+    : options_(options), fixed_backward_fraction_(fixed_backward_fraction) {
+  options_.min_depth = std::max(0, options_.min_depth);
+  options_.max_depth = std::max(std::max(1, options_.min_depth), options_.max_depth);
+}
+
+int SpeculationPolicy::ChooseChainDepth(int fixed_depth) {
+  if (!adaptive()) {
+    ++stats_.depth_decisions;
+    stats_.depth_chosen += static_cast<std::uint64_t>(std::max(0, fixed_depth));
+    return fixed_depth;
+  }
+  if (current_depth_ < 0) {
+    // Warm start from the historical scheme depth so the first rounds match
+    // the fixed scheduler's budget until evidence accumulates.
+    current_depth_ = std::clamp(std::max(1, fixed_depth),
+                                std::max(1, options_.min_depth), options_.max_depth);
+  }
+  int depth = current_depth_;
+  if (depth == 0 && options_.probe_period > 0 &&
+      stats_.depth_decisions % static_cast<std::uint64_t>(options_.probe_period) == 0) {
+    // Speculation is throttled off; keep a deterministic probe cadence so
+    // the acceptance estimate can observe the waveform turning predictable.
+    depth = 1;
+  }
+  ++stats_.depth_decisions;
+  stats_.depth_chosen += static_cast<std::uint64_t>(depth);
+  return depth;
+}
+
+int SpeculationPolicy::ChooseBackwardCount(int fixed_count, int max_count) const {
+  if (!adaptive()) return fixed_count;
+  int count = 1;
+  if (acceptance_seeded_ &&
+      total_entries_ >= static_cast<std::uint64_t>(options_.bwp_convert_warmup) &&
+      acceptance_ewma_ < options_.bwp_convert_threshold) {
+    // Speculation is not paying: convert a forward slot into a second
+    // backward point and let the raised growth cap carry the round instead.
+    count = 2;
+    if (total_entries_ >= 2 * static_cast<std::uint64_t>(options_.bwp_convert_warmup) &&
+        acceptance_ewma_ < 0.5 * options_.bwp_convert_threshold) {
+      // Still not paying after twice the warmup: free a third slot too.
+      count = 3;
+    }
+  }
+  return std::clamp(count, 1, std::max(1, max_count));
+}
+
+double SpeculationPolicy::ChooseBackwardFraction() const {
+  if (!adaptive()) return fixed_backward_fraction_;
+  // Frequent leading-edge LTE rejections mean the divided-difference
+  // derivative estimate goes stale over the extrapolation range: pull the
+  // backward point toward the leading edge to densify the estimator basis
+  // where the raised growth cap leans on it.
+  const double pull = std::clamp(2.0 * lte_reject_ewma_, 0.0, 1.0);
+  const double fraction =
+      fixed_backward_fraction_ +
+      pull * (options_.backward_fraction_max - fixed_backward_fraction_);
+  return std::clamp(fraction, options_.backward_fraction_min,
+                    options_.backward_fraction_max);
+}
+
+SpecPredictor SpeculationPolicy::ChoosePredictor() {
+  if (!adaptive()) return SpecPredictor::kPolynomial;
+  const std::uint64_t launch = chain_launches_++;
+  if (options_.explore_period > 0 &&
+      launch % static_cast<std::uint64_t>(options_.explore_period) == 0) {
+    // Deterministic exploration slot: round-robin so a benched candidate can
+    // refresh its score and win back.
+    return static_cast<SpecPredictor>(
+        (launch / static_cast<std::uint64_t>(options_.explore_period)) %
+        kNumSpecPredictors);
+  }
+  int best = 0;
+  double best_score = -1.0;
+  for (int i = 0; i < kNumSpecPredictors; ++i) {
+    const auto index = static_cast<std::size_t>(i);
+    // Unscored candidates rank neutral so early rounds stay on the
+    // conservative polynomial default (ties break toward lower index).
+    const double score = hit_rate_seeded_[index] ? hit_rate_ewma_[index] : 0.5;
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return static_cast<SpecPredictor>(best);
+}
+
+int SpeculationPolicy::PredictorPoints(SpecPredictor predictor, int order) const {
+  // kHighOrder widens the divided-difference stencil by one point; the event
+  // candidate changes placement, not the extrapolation basis.
+  return predictor == SpecPredictor::kHighOrder ? order + 2 : order + 1;
+}
+
+SpecEventSnap SpeculationPolicy::PredictEvent(const engine::HistoryWindow& window,
+                                              int norm_unknowns,
+                                              std::span<const double> breakpoints,
+                                              std::size_t next_bp, double t_prev,
+                                              double t_cand, double hmin) {
+  SpecEventSnap snap;
+  snap.time = t_cand;
+  const double lo = t_prev + hmin;
+  if (t_cand <= lo) return snap;
+
+  // Source breakpoints: the earliest corner strictly inside the step.
+  for (std::size_t i = next_bp; i < breakpoints.size(); ++i) {
+    const double corner = breakpoints[i];
+    if (corner <= t_prev + 0.5 * hmin) continue;
+    if (corner > t_cand + 0.5 * hmin) break;
+    snap.time = std::clamp(corner, lo, t_cand);
+    snap.snapped = true;
+    snap.breakpoint = true;
+    break;
+  }
+
+  // Waveform zero crossings: linear trend through the two newest history
+  // points, per tracked component; the earliest predicted crossing inside
+  // the step wins over a later corner.
+  if (window.size() >= 2) {
+    const engine::SolutionPoint& p1 = *window.back();
+    const engine::SolutionPoint& p0 = *window[window.size() - 2];
+    const double dt = p1.time - p0.time;
+    if (dt > 0.0) {
+      std::size_t tracked = p1.x.size();
+      if (norm_unknowns >= 0) {
+        tracked = std::min(tracked, static_cast<std::size_t>(norm_unknowns));
+      }
+      tracked = std::min(tracked, p0.x.size());
+      for (std::size_t i = 0; i < tracked; ++i) {
+        const double x1 = p1.x[i];
+        if (std::abs(x1) < options_.zero_cross_floor) continue;
+        const double slope = (x1 - p0.x[i]) / dt;
+        if (slope == 0.0 || x1 * slope > 0.0) continue;  // moving away from zero
+        const double t_cross = p1.time - x1 / slope;
+        if (t_cross < lo || t_cross > t_cand - 0.5 * hmin) continue;
+        if (!snap.snapped || t_cross < snap.time) {
+          snap.time = t_cross;
+          snap.snapped = true;
+          snap.breakpoint = false;
+        }
+      }
+    }
+  }
+
+  if (snap.snapped) ++stats_.event_snaps;
+  return snap;
+}
+
+void SpeculationPolicy::OnEntryOutcome(SpecPredictor predictor, bool accepted,
+                                       int newton_iters, bool scored) {
+  ++total_entries_;
+  if (!accepted && newton_iters > 0) {
+    discard_iters_ewma_ = BlendCost(discard_iters_ewma_, newton_iters, options_.ema);
+  }
+  if (!scored) return;
+  const auto index = static_cast<std::size_t>(predictor);
+  const double sample = accepted ? 1.0 : 0.0;
+  if (hit_rate_seeded_[index]) {
+    hit_rate_ewma_[index] =
+        (1.0 - options_.ema) * hit_rate_ewma_[index] + options_.ema * sample;
+  } else {
+    hit_rate_ewma_[index] = sample;
+    hit_rate_seeded_[index] = true;
+  }
+  auto& bucket = accepted ? stats_.predictor_hits : stats_.predictor_misses;
+  ++bucket[index];
+}
+
+void SpeculationPolicy::OnLeadCost(int newton_iters) {
+  if (newton_iters > 0) {
+    lead_iters_ewma_ = BlendCost(lead_iters_ewma_, newton_iters, options_.ema);
+  }
+}
+
+void SpeculationPolicy::OnRepairCost(int newton_iters) {
+  if (newton_iters > 0) {
+    repair_iters_ewma_ = BlendCost(repair_iters_ewma_, newton_iters, options_.ema);
+  }
+}
+
+void SpeculationPolicy::OnChainValidated(int launched, int accepted) {
+  if (launched <= 0) return;
+  const double fraction =
+      static_cast<double>(std::clamp(accepted, 0, launched)) / launched;
+  if (acceptance_seeded_) {
+    acceptance_ewma_ =
+        (1.0 - options_.ema) * acceptance_ewma_ + options_.ema * fraction;
+  } else {
+    acceptance_ewma_ = fraction;
+    acceptance_seeded_ = true;
+  }
+  if (!adaptive() || current_depth_ < 0) return;
+  const int target = TargetDepth();
+  if (target > current_depth_) {
+    ++current_depth_;
+    ++stats_.depth_raises;
+  } else if (target < current_depth_) {
+    --current_depth_;
+    ++stats_.depth_cuts;
+  }
+}
+
+void SpeculationPolicy::OnLteRejection() {
+  lte_reject_ewma_ = (1.0 - options_.ema) * lte_reject_ewma_ + options_.ema;
+}
+
+void SpeculationPolicy::OnLeadingAccepted() {
+  lte_reject_ewma_ *= 1.0 - options_.ema;
+}
+
+int SpeculationPolicy::TargetDepth() const {
+  if (!acceptance_seeded_) return current_depth_;
+  const double a = std::clamp(acceptance_ewma_, 0.0, 1.0);
+  if (a >= 0.995) return options_.max_depth;
+  // Entry k pays off when a^k * save >= (1 - a^k) * waste, i.e. a^k >= kappa
+  // with kappa = waste / (save + waste).  Save = leading solve avoided (less
+  // half the typical repair bill, since some accepts arrive via repair);
+  // waste = discarded-solve cost scaled by the aversion weight.
+  const double save = std::max(0.5, lead_iters_ewma_ - 0.5 * repair_iters_ewma_);
+  const double waste = std::max(0.5, options_.waste_weight * discard_iters_ewma_);
+  const double kappa = waste / (save + waste);
+  if (a <= kappa) return options_.min_depth;
+  const int k = static_cast<int>(std::log(kappa) / std::log(a));
+  return std::clamp(k, options_.min_depth, options_.max_depth);
+}
+
+}  // namespace wavepipe::pipeline

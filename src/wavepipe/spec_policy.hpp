@@ -1,0 +1,219 @@
+// Adaptive speculation policy for the WavePipe pipeline engine.
+//
+// The fixed scheduler speculates at a constant chain depth with one
+// polynomial predictor, so every deck pays the same speculative-work budget
+// regardless of whether predictions are landing.  The telemetry layer prices
+// the waste exactly (discarded-work spans, ledger `useful=false` records);
+// this policy closes the loop:
+//
+//  * DEPTH CONTROLLER — tracks an exponentially-weighted acceptance rate of
+//    speculative chain entries plus EWMA costs of leading solves, repairs,
+//    and discarded solves (the same numbers the ledger records).  A chain
+//    entry at position k is useful only when every entry before it was
+//    accepted, so its expected value is a^k * (cost of the leading solve it
+//    replaces) against an expected waste of (1 - a^k) * (cost of a discarded
+//    solve).  The target depth is the largest k whose expected value still
+//    beats its expected waste; the controller steps the live depth by at
+//    most one per round toward that target (hysteresis — no thrash when the
+//    acceptance estimate wobbles around a threshold).
+//
+//  * MULTI-CANDIDATE PREDICTOR — three ways to fabricate the predicted
+//    predecessor a speculative solve integrates from:
+//      kPolynomial  the historical order+1-point Lagrange extrapolation;
+//      kHighOrder   one more divided-difference point (order+2) — pays on
+//                   smooth analog trajectories (oscillators, RC meshes);
+//      kEvent       polynomial seeding plus EVENT-AWARE PLACEMENT: when a
+//                   source breakpoint or a predicted waveform zero crossing
+//                   sits inside the speculative step, the point snaps ONTO
+//                   the event instead of extrapolating past it (cf. intrp::
+//                   ZeroCrossingPredictor, SNIPPETS.md snippet 3).
+//    Candidates are scored online by EWMA hit rate (hit = the entry they
+//    seeded was accepted); chain launches exploit the best-scoring candidate
+//    with a deterministic round-robin exploration slot every
+//    `explore_period` launches so a benched candidate can win back.
+//
+//  * BACKWARD PLACEMENT — chooses the combined scheme's backward-point
+//    count (speculation demonstrably not paying -> convert the forward slot
+//    into a second backward point) and where in the trailing interval the
+//    backward point lands (frequent LTE rejections pull it toward the
+//    leading edge, densifying the estimator basis exactly where the raised
+//    growth cap needs it).
+//
+// Accuracy is never policy-dependent: the policy only decides how much
+// speculative work is launched and where speculative points land.  Every
+// accepted point still passes the unchanged Newton convergence and LTE
+// tests, and `mode = kFixed` (the default) reproduces the historical
+// scheduler decision-for-decision, bit for bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "engine/history.hpp"
+#include "util/telemetry.hpp"
+
+namespace wavepipe::pipeline {
+
+enum class SpecPolicyMode { kFixed, kAdaptive };
+
+const char* SpecPolicyModeName(SpecPolicyMode mode);
+
+/// Predictor candidates for seeding speculative solves.
+enum class SpecPredictor { kPolynomial = 0, kHighOrder = 1, kEvent = 2 };
+inline constexpr int kNumSpecPredictors = 3;
+
+const char* SpecPredictorName(SpecPredictor predictor);
+
+struct SpecPolicyOptions {
+  SpecPolicyMode mode = SpecPolicyMode::kFixed;
+  /// Depth bounds for the adaptive controller.  min_depth = 0 lets the
+  /// controller throttle speculation OFF entirely on a losing streak; a
+  /// deterministic probe chain every `probe_period` rounds keeps the
+  /// acceptance estimate alive so speculation can resume when the waveform
+  /// turns predictable again.
+  int min_depth = 0;
+  int max_depth = 6;
+  /// EWMA smoothing for the acceptance estimate and the cost averages.
+  double ema = 0.2;
+  /// Waste aversion: how many units of discarded-solve cost one unit of
+  /// saved leading-solve cost must outweigh.  Small by design — on the
+  /// modeled k-worker pipeline a discarded speculative solve mostly burns an
+  /// otherwise-idle slot, while an accepted one shortens the critical path.
+  double waste_weight = 0.12;
+  /// While the throttle holds the depth at 0, every probe_period-th round
+  /// still launches a one-entry probe chain (deterministic cadence).
+  int probe_period = 16;
+  /// Every explore_period-th chain launch round-robins through the
+  /// candidates instead of exploiting the best score (deterministic).
+  int explore_period = 8;
+  /// Combined scheme: convert the forward helper into a second backward
+  /// point while the acceptance EWMA sits below this (after warmup), and a
+  /// third one below half of it (after twice the warmup) — backward solves
+  /// are never speculative, so with speculation not paying the freed slots
+  /// are worth more as growth-cap raisers.
+  double bwp_convert_threshold = 0.25;
+  int bwp_convert_warmup = 32;  ///< speculative samples before converting
+  /// Backward-fraction placement bounds (fraction of the trailing interval).
+  double backward_fraction_min = 0.35;
+  double backward_fraction_max = 0.75;
+  /// Ignore zero crossings of components whose current magnitude is below
+  /// this floor (they are already sitting at zero, not approaching it).
+  double zero_cross_floor = 1e-6;
+};
+
+/// Counters exported under the `spec.` prefix — additive to the
+/// wavepipe.run_stats.v1 schema (every engine exports the group; engines
+/// without a pipeline scheduler export the defaults).
+struct SpecPolicyStats {
+  std::uint64_t depth_decisions = 0;
+  std::uint64_t depth_chosen = 0;  ///< sum of chosen depths (avg = /decisions)
+  std::uint64_t depth_raises = 0;
+  std::uint64_t depth_cuts = 0;
+  std::uint64_t event_snaps = 0;  ///< speculative points snapped onto events
+  std::array<std::uint64_t, kNumSpecPredictors> predictor_hits{};
+  std::array<std::uint64_t, kNumSpecPredictors> predictor_misses{};
+
+  /// Registers every field under the `spec.` prefix; per-candidate hit/miss
+  /// counters expand to one pair per SpecPredictorName.
+  void ExportCounters(util::telemetry::CounterRegistry& registry) const;
+};
+
+/// Result of an event-placement query.
+struct SpecEventSnap {
+  double time = 0.0;       ///< placement (== t_cand when !snapped)
+  bool snapped = false;
+  bool breakpoint = false;  ///< the event was a source breakpoint
+};
+
+class SpeculationPolicy {
+ public:
+  SpeculationPolicy() = default;
+  SpeculationPolicy(const SpecPolicyOptions& options, double fixed_backward_fraction);
+
+  bool adaptive() const { return options_.mode == SpecPolicyMode::kAdaptive; }
+
+  // ---- per-round decisions --------------------------------------------------
+  /// Chain depth for this round.  `fixed_depth` is the historical scheme
+  /// expression (e.g. threads - 1 - nb); fixed mode returns it unchanged.
+  /// Adaptive mode warm-starts from it, then follows the controller within
+  /// [min_depth, max_depth].
+  int ChooseChainDepth(int fixed_depth);
+
+  /// Backward helper count for the combined scheme.  `fixed_count` is the
+  /// historical choice (including the legacy low-acceptance bump);
+  /// `max_count` bounds the adaptive answer (growth-cap table / threads).
+  int ChooseBackwardCount(int fixed_count, int max_count) const;
+
+  /// Where a single backward point lands in the trailing interval.
+  double ChooseBackwardFraction() const;
+
+  /// Predictor for this round's chain (also advances the exploration
+  /// schedule — call once per launched chain).
+  SpecPredictor ChoosePredictor();
+
+  /// History points the candidate's extrapolation uses (order+1 everywhere
+  /// except kHighOrder's order+2 divided-difference stencil).
+  int PredictorPoints(SpecPredictor predictor, int order) const;
+
+  /// Event-aware placement: the earliest event inside (t_prev + hmin,
+  /// t_cand) — a source breakpoint from `breakpoints[next_bp..]` or a
+  /// predicted zero crossing of one of the first `norm_unknowns` solution
+  /// components over the real history `window`.  Returns t_cand unsnapped
+  /// when no event is due.  Counts spec.event_snaps when it snaps.
+  SpecEventSnap PredictEvent(const engine::HistoryWindow& window, int norm_unknowns,
+                             std::span<const double> breakpoints, std::size_t next_bp,
+                             double t_prev, double t_cand, double hmin);
+
+  // ---- outcome feedback -----------------------------------------------------
+  /// One validated chain entry: accepted (directly or via repair) or not.
+  /// `scored` is false for tail entries discarded unvalidated (their
+  /// prediction was never compared against a truth, so they feed the cost
+  /// averages but not the predictor hit rates).
+  void OnEntryOutcome(SpecPredictor predictor, bool accepted, int newton_iters,
+                      bool scored);
+  /// Cost of a cold leading solve (what an accepted speculation saves).
+  void OnLeadCost(int newton_iters);
+  /// Cost of hot-start repairing a near-miss prediction.
+  void OnRepairCost(int newton_iters);
+  /// A speculative point landed on an event found by the step clipper
+  /// (source corner) rather than by PredictEvent.
+  void NoteEventSnap() { ++stats_.event_snaps; }
+  /// Round finished validating a chain of `launched` entries: fold the
+  /// round's acceptance into the EWMA and step the depth toward the target.
+  void OnChainValidated(int launched, int accepted);
+  /// Leading-edge LTE feedback, drives backward placement.
+  void OnLteRejection();
+  void OnLeadingAccepted();
+
+  // ---- introspection (tests, stats export) ---------------------------------
+  const SpecPolicyStats& stats() const { return stats_; }
+  double acceptance_ewma() const { return acceptance_ewma_; }
+  int current_depth() const { return current_depth_; }
+  const SpecPolicyOptions& options() const { return options_; }
+
+ private:
+  int TargetDepth() const;
+
+  SpecPolicyOptions options_;
+  double fixed_backward_fraction_ = 0.5;
+
+  // Controller state.
+  int current_depth_ = -1;  ///< -1 until the first ChooseChainDepth warm start
+  double acceptance_ewma_ = 0.0;
+  bool acceptance_seeded_ = false;
+  double lead_iters_ewma_ = 0.0;
+  double repair_iters_ewma_ = 0.0;
+  double discard_iters_ewma_ = 0.0;
+  double lte_reject_ewma_ = 0.0;  ///< rejections per leading decision
+
+  // Predictor scoring.
+  std::array<double, kNumSpecPredictors> hit_rate_ewma_{};
+  std::array<bool, kNumSpecPredictors> hit_rate_seeded_{};
+  std::uint64_t chain_launches_ = 0;
+  std::uint64_t total_entries_ = 0;  ///< validated speculative entries seen
+
+  SpecPolicyStats stats_;
+};
+
+}  // namespace wavepipe::pipeline

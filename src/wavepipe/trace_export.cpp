@@ -23,6 +23,17 @@ void PipelineSchedStats::ExportCounters(util::telemetry::CounterRegistry& regist
   registry.Count("sched.quarantined_rounds", quarantined_rounds);
   registry.Count("sched.drained_task_errors", drained_task_errors);
   registry.Value("sched.speculation_acceptance", speculation_acceptance());
+  // Per-scheme attribution sub-keys — additive to the schema above (the
+  // original keys stay byte-stable; see kRunStatsSchema note).
+  registry.Count("sched.bwp.backward_solves", bwp_backward_solves);
+  registry.Count("sched.combined.backward_solves", combined_backward_solves);
+  registry.Count("sched.fwp.speculative_solves", fwp_speculative_solves);
+  registry.Count("sched.fwp.speculative_accepted", fwp_speculative_accepted);
+  registry.Value("sched.fwp.speculation_acceptance", speculation_acceptance_fwp());
+  registry.Count("sched.combined.speculative_solves", combined_speculative_solves);
+  registry.Count("sched.combined.speculative_accepted", combined_speculative_accepted);
+  registry.Value("sched.combined.speculation_acceptance",
+                 speculation_acceptance_combined());
 }
 
 namespace {
@@ -121,6 +132,7 @@ util::telemetry::CounterRegistry BuildRunCounters(const RunCounterInputs& inputs
   inputs.stats.ExportCounters(registry);
   inputs.assembly.ExportCounters(registry);
   inputs.sched.ExportCounters(registry);
+  inputs.spec.ExportCounters(registry);
   inputs.phases.ExportCounters(registry);
   registry.Count("replay.workers", static_cast<std::uint64_t>(
                                        inputs.replay.workers > 0 ? inputs.replay.workers : 0));

@@ -34,6 +34,12 @@ namespace wavepipe::pipeline {
 
 /// run_stats.json schema tag.  Bump ONLY with a matching update to
 /// tools/check_bench.py and the schema-parity tests.
+///
+/// v1 note: the schema grows ADDITIVELY.  The original v1 key set is
+/// byte-stable; the per-scheme `sched.{bwp,fwp,combined}.*` sub-keys and the
+/// speculation-policy `spec.*` group were appended later under the same tag
+/// (consumers iterate their own baseline keys, so additions never break
+/// them — see tools/check_bench.py).
 inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1";
 
 /// Identity of one run for the run_stats.json header.  Strings live here;
@@ -58,14 +64,15 @@ struct RunCounterInputs {
   engine::TransientStats stats;
   engine::AssemblyStats assembly;
   PipelineSchedStats sched;
+  SpecPolicyStats spec;
   parallel::PhaseBreakdown phases;
   ReplayResult replay;
   const Ledger* ledger = nullptr;
 };
 
 /// Builds the full run_stats counter registry: transient.* + lu.* (engine
-/// core), assembly.*, sched.*, phases.*, replay.*, ledger.*.  Group order
-/// and names are the schema; the parity test pins them.
+/// core), assembly.*, sched.*, spec.*, phases.*, replay.*, ledger.*.  Group
+/// order and names are the schema; the parity test pins them.
 util::telemetry::CounterRegistry BuildRunCounters(const RunCounterInputs& inputs);
 
 /// Serializes header + counters to the run_stats.json document (integral

@@ -34,6 +34,7 @@
 #include "engine/trace.hpp"
 #include "engine/transient.hpp"
 #include "wavepipe/ledger.hpp"
+#include "wavepipe/spec_policy.hpp"
 
 namespace wavepipe::pipeline {
 
@@ -100,6 +101,12 @@ struct WavePipeOptions {
   int quarantine_threshold = 3;
   int quarantine_rounds = 8;
 
+  /// Adaptive speculation policy (spec_policy.hpp).  The default kFixed mode
+  /// reproduces the historical fixed-depth scheduler bit for bit; kAdaptive
+  /// lets observed acceptance/cost drive chain depth, predictor choice, and
+  /// backward placement.
+  SpecPolicyOptions spec_policy;
+
   engine::SimOptions sim;
 };
 
@@ -117,11 +124,36 @@ struct PipelineSchedStats {
   std::size_t quarantined_rounds = 0;      ///< rounds forced to the serial scheme
   std::size_t drained_task_errors = 0;     ///< worker exceptions folded into failed solves
 
+  // Per-scheme attribution (additive to the aggregate fields above): which
+  // configured scheme launched the work.  A kForward run's speculation lands
+  // in fwp_*, a kCombined run's in combined_*; backward helpers split
+  // between bwp_* (kBackward) and combined_* the same way.
+  std::size_t fwp_speculative_solves = 0;
+  std::size_t fwp_speculative_accepted = 0;
+  std::size_t combined_speculative_solves = 0;
+  std::size_t combined_speculative_accepted = 0;
+  std::size_t bwp_backward_solves = 0;
+  std::size_t combined_backward_solves = 0;
+
   double speculation_acceptance() const {
     return speculative_solves == 0
                ? 0.0
                : static_cast<double>(speculative_accepted) /
                      static_cast<double>(speculative_solves);
+  }
+
+  double speculation_acceptance_fwp() const {
+    return fwp_speculative_solves == 0
+               ? 0.0
+               : static_cast<double>(fwp_speculative_accepted) /
+                     static_cast<double>(fwp_speculative_solves);
+  }
+
+  double speculation_acceptance_combined() const {
+    return combined_speculative_solves == 0
+               ? 0.0
+               : static_cast<double>(combined_speculative_accepted) /
+                     static_cast<double>(combined_speculative_solves);
   }
 
   /// Registers every field under the `sched.` prefix (util/telemetry.hpp).
@@ -132,6 +164,7 @@ struct WavePipeResult {
   engine::Trace trace;
   engine::TransientStats stats;
   PipelineSchedStats sched;
+  SpecPolicyStats spec;  ///< speculation-policy counters (spec.* export group)
   Ledger ledger;
   /// Colored-assembly accounting when assembly_threads engaged a colored
   /// assembler; strategy stays "serial" otherwise.

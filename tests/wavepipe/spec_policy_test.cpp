@@ -1,0 +1,383 @@
+// Unit tests for the adaptive speculation policy (wavepipe/spec_policy.hpp):
+// the acceptance-driven depth controller, the multi-candidate predictor
+// scoring, event-aware placement, and — under deterministic fault injection
+// at spec.mispredict — the depth-degradation story end to end.  The
+// controller is plain sequential state, so most tests drive it directly with
+// crafted outcome streams; the fault test runs the real pipeline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "engine/history.hpp"
+#include "engine/trace.hpp"
+#include "util/fault.hpp"
+#include "wavepipe/spec_policy.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe::pipeline {
+namespace {
+
+using util::fault::Schedule;
+using util::fault::ScopedFault;
+
+SpecPolicyOptions AdaptiveOptions() {
+  SpecPolicyOptions options;
+  options.mode = SpecPolicyMode::kAdaptive;
+  return options;
+}
+
+engine::SolutionPointPtr MakePoint(double time, std::vector<double> x) {
+  auto point = std::make_shared<engine::SolutionPoint>();
+  point->time = time;
+  point->x = std::move(x);
+  return point;
+}
+
+// ---- depth controller -------------------------------------------------------
+
+TEST(SpecPolicyDepth, FixedModeReturnsTheSchemeDepthUnchanged) {
+  SpeculationPolicy policy({}, 0.5);
+  EXPECT_FALSE(policy.adaptive());
+  for (int depth : {0, 1, 3, 7}) {
+    EXPECT_EQ(policy.ChooseChainDepth(depth), depth);
+  }
+  // Fixed mode observes but never steers.
+  for (int i = 0; i < 50; ++i) policy.OnChainValidated(3, 0);
+  EXPECT_EQ(policy.ChooseChainDepth(3), 3);
+  EXPECT_EQ(policy.stats().depth_raises, 0u);
+  EXPECT_EQ(policy.stats().depth_cuts, 0u);
+  EXPECT_EQ(policy.stats().depth_decisions, 5u);
+}
+
+TEST(SpecPolicyDepth, GrowsMonotonicallyToMaxOnAnAcceptStreak) {
+  auto options = AdaptiveOptions();
+  options.min_depth = 1;
+  options.max_depth = 5;
+  SpeculationPolicy policy(options, 0.5);
+
+  int previous = policy.ChooseChainDepth(2);
+  EXPECT_EQ(previous, 2);  // warm start from the scheme depth
+  for (int round = 0; round < 40; ++round) {
+    policy.OnLeadCost(4);
+    const int depth = policy.ChooseChainDepth(2);
+    EXPECT_GE(depth, previous) << "depth fell during an all-accept streak";
+    EXPECT_LE(depth, previous + 1) << "depth moved more than one step per round";
+    EXPECT_LE(depth, options.max_depth);
+    previous = depth;
+    policy.OnChainValidated(depth, depth);  // every entry accepted
+  }
+  EXPECT_EQ(previous, options.max_depth);
+  EXPECT_GT(policy.stats().depth_raises, 0u);
+  EXPECT_EQ(policy.stats().depth_cuts, 0u);
+}
+
+TEST(SpecPolicyDepth, ShrinksMonotonicallyToMinOnADiscardStreak) {
+  auto options = AdaptiveOptions();
+  options.min_depth = 1;
+  options.max_depth = 6;
+  SpeculationPolicy policy(options, 0.5);
+
+  int previous = policy.ChooseChainDepth(4);
+  EXPECT_EQ(previous, 4);
+  for (int round = 0; round < 40; ++round) {
+    const int depth = policy.ChooseChainDepth(4);
+    EXPECT_LE(depth, previous) << "depth rose during an all-discard streak";
+    EXPECT_GE(depth, options.min_depth) << "depth fell through the lower bound";
+    previous = depth;
+    policy.OnChainValidated(depth, 0);  // every entry discarded
+  }
+  EXPECT_EQ(previous, options.min_depth);
+  EXPECT_GT(policy.stats().depth_cuts, 0u);
+  EXPECT_EQ(policy.stats().depth_raises, 0u);
+}
+
+TEST(SpecPolicyDepth, BoundsAreClampedAndWarmStartRespectsThem) {
+  auto options = AdaptiveOptions();
+  options.min_depth = 2;
+  options.max_depth = 3;
+  SpeculationPolicy policy(options, 0.5);
+  // Warm start clamps the scheme depth (5) into [2, 3].
+  EXPECT_EQ(policy.ChooseChainDepth(5), 3);
+  for (int round = 0; round < 30; ++round) {
+    policy.OnChainValidated(3, 3);
+    EXPECT_LE(policy.ChooseChainDepth(5), 3);
+  }
+  for (int round = 0; round < 30; ++round) {
+    policy.OnChainValidated(3, 0);
+    EXPECT_GE(policy.ChooseChainDepth(5), 2);
+  }
+}
+
+TEST(SpecPolicyDepth, ThrottledDepthZeroKeepsADeterministicProbeCadence) {
+  auto options = AdaptiveOptions();
+  options.min_depth = 0;
+  options.max_depth = 4;
+  options.probe_period = 4;
+  SpeculationPolicy policy(options, 0.5);
+
+  policy.ChooseChainDepth(2);
+  for (int round = 0; round < 60; ++round) policy.OnChainValidated(2, 0);
+  EXPECT_EQ(policy.current_depth(), 0);
+
+  int probes = 0;
+  int zeros = 0;
+  for (int round = 0; round < 32; ++round) {
+    const int depth = policy.ChooseChainDepth(2);
+    // The streak above never accepted, so the throttle must hold: only probe
+    // chains (depth 1) are allowed through, on the fixed cadence.
+    if (depth == 1) ++probes;
+    else if (depth == 0) ++zeros;
+    else FAIL() << "throttled controller chose depth " << depth;
+    policy.OnChainValidated(depth, 0);
+  }
+  EXPECT_EQ(probes, 32 / options.probe_period);
+  EXPECT_EQ(zeros, 32 - probes);
+}
+
+TEST(SpecPolicyDepth, ProbeAcceptanceReopensSpeculation) {
+  auto options = AdaptiveOptions();
+  options.min_depth = 0;
+  options.max_depth = 4;
+  options.probe_period = 2;
+  SpeculationPolicy policy(options, 0.5);
+
+  policy.ChooseChainDepth(2);
+  for (int round = 0; round < 60; ++round) policy.OnChainValidated(2, 0);
+  ASSERT_EQ(policy.current_depth(), 0);
+
+  // The waveform turns predictable: every probe lands.  The acceptance EWMA
+  // recovers through the probe outcomes and speculation resumes.
+  for (int round = 0; round < 60 && policy.current_depth() == 0; ++round) {
+    const int depth = policy.ChooseChainDepth(2);
+    if (depth > 0) policy.OnChainValidated(depth, depth);
+  }
+  EXPECT_GT(policy.current_depth(), 0);
+}
+
+// ---- predictor selection ----------------------------------------------------
+
+TEST(SpecPolicyPredictor, FixedModeAlwaysPicksThePolynomialCandidate) {
+  SpeculationPolicy policy({}, 0.5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.ChoosePredictor(), SpecPredictor::kPolynomial);
+  }
+}
+
+TEST(SpecPolicyPredictor, ExploitsTheCandidateWithTheBestHitRate) {
+  auto options = AdaptiveOptions();
+  options.explore_period = 1000;  // keep exploration out of this test
+  SpeculationPolicy policy(options, 0.5);
+
+  // Crafted history: the high-order candidate lands, the polynomial misses.
+  for (int i = 0; i < 20; ++i) {
+    policy.OnEntryOutcome(SpecPredictor::kHighOrder, true, 3, /*scored=*/true);
+    policy.OnEntryOutcome(SpecPredictor::kPolynomial, false, 3, /*scored=*/true);
+  }
+  policy.ChoosePredictor();  // launch 0 is an exploration slot
+  EXPECT_EQ(policy.ChoosePredictor(), SpecPredictor::kHighOrder);
+
+  // The tide turns: the event candidate starts winning over everything.
+  for (int i = 0; i < 40; ++i) {
+    policy.OnEntryOutcome(SpecPredictor::kEvent, true, 3, /*scored=*/true);
+    policy.OnEntryOutcome(SpecPredictor::kHighOrder, false, 3, /*scored=*/true);
+  }
+  EXPECT_EQ(policy.ChoosePredictor(), SpecPredictor::kEvent);
+}
+
+TEST(SpecPolicyPredictor, ExplorationSlotsRoundRobinDeterministically) {
+  auto options = AdaptiveOptions();
+  options.explore_period = 2;
+  SpeculationPolicy policy(options, 0.5);
+  // Launches 0, 2, 4 are exploration slots cycling through the candidates.
+  EXPECT_EQ(policy.ChoosePredictor(), SpecPredictor::kPolynomial);  // 0
+  policy.ChoosePredictor();                                         // 1: exploit
+  EXPECT_EQ(policy.ChoosePredictor(), SpecPredictor::kHighOrder);   // 2
+  policy.ChoosePredictor();                                         // 3: exploit
+  EXPECT_EQ(policy.ChoosePredictor(), SpecPredictor::kEvent);       // 4
+}
+
+TEST(SpecPolicyPredictor, UnvalidatedTailEntriesFeedCostsButNotScores) {
+  auto options = AdaptiveOptions();
+  SpeculationPolicy policy(options, 0.5);
+  policy.OnEntryOutcome(SpecPredictor::kPolynomial, false, 5, /*scored=*/false);
+  EXPECT_EQ(policy.stats().predictor_hits[0], 0u);
+  EXPECT_EQ(policy.stats().predictor_misses[0], 0u);
+  policy.OnEntryOutcome(SpecPredictor::kPolynomial, true, 5, /*scored=*/true);
+  EXPECT_EQ(policy.stats().predictor_hits[0], 1u);
+}
+
+TEST(SpecPolicyPredictor, HighOrderCandidateWidensTheStencilByOnePoint) {
+  SpeculationPolicy policy(AdaptiveOptions(), 0.5);
+  EXPECT_EQ(policy.PredictorPoints(SpecPredictor::kPolynomial, 2), 3);
+  EXPECT_EQ(policy.PredictorPoints(SpecPredictor::kEvent, 2), 3);
+  EXPECT_EQ(policy.PredictorPoints(SpecPredictor::kHighOrder, 2), 4);
+}
+
+// ---- event-aware placement --------------------------------------------------
+
+TEST(SpecPolicyEvent, SnapsOntoASourceBreakpointWithinOneHmin) {
+  SpeculationPolicy policy(AdaptiveOptions(), 0.5);
+  const double hmin = 1e-9;
+  engine::HistoryWindow window;  // no usable trend: breakpoints only
+  const std::vector<double> breakpoints = {5e-6, 9e-6};
+
+  const SpecEventSnap snap =
+      policy.PredictEvent(window, 0, breakpoints, 0, /*t_prev=*/4e-6,
+                          /*t_cand=*/6e-6, hmin);
+  ASSERT_TRUE(snap.snapped);
+  EXPECT_TRUE(snap.breakpoint);
+  EXPECT_NEAR(snap.time, 5e-6, hmin);
+  EXPECT_EQ(policy.stats().event_snaps, 1u);
+}
+
+TEST(SpecPolicyEvent, IgnoresBreakpointsOutsideTheStep) {
+  SpeculationPolicy policy(AdaptiveOptions(), 0.5);
+  const std::vector<double> breakpoints = {9e-6};
+  const SpecEventSnap snap = policy.PredictEvent({}, 0, breakpoints, 0, 4e-6, 6e-6, 1e-9);
+  EXPECT_FALSE(snap.snapped);
+  EXPECT_DOUBLE_EQ(snap.time, 6e-6);
+  EXPECT_EQ(policy.stats().event_snaps, 0u);
+}
+
+TEST(SpecPolicyEvent, SnapsOntoAPredictedZeroCrossing) {
+  SpeculationPolicy policy(AdaptiveOptions(), 0.5);
+  engine::HistoryWindow window;
+  // Component 0 ramps 3 -> 2 over [0, 1]us: the linear trend reaches zero at
+  // t = 3us, inside the speculative step [1us, 4us].
+  window.push_back(MakePoint(0.0, {3.0, 5.0}));
+  window.push_back(MakePoint(1e-6, {2.0, 5.0}));
+
+  const SpecEventSnap snap =
+      policy.PredictEvent(window, 2, {}, 0, /*t_prev=*/1e-6, /*t_cand=*/4e-6, 1e-9);
+  ASSERT_TRUE(snap.snapped);
+  EXPECT_FALSE(snap.breakpoint);
+  EXPECT_NEAR(snap.time, 3e-6, 1e-12);
+}
+
+TEST(SpecPolicyEvent, IgnoresComponentsMovingAwayFromZeroOrBelowTheFloor) {
+  auto options = AdaptiveOptions();
+  options.zero_cross_floor = 1e-6;
+  SpeculationPolicy policy(options, 0.5);
+  engine::HistoryWindow window;
+  // Component 0 moves away from zero; component 1 sits below the magnitude
+  // floor (already at zero, not approaching it).
+  window.push_back(MakePoint(0.0, {1.0, 1e-9}));
+  window.push_back(MakePoint(1e-6, {2.0, -1e-9}));
+
+  const SpecEventSnap snap = policy.PredictEvent(window, 2, {}, 0, 1e-6, 4e-6, 1e-9);
+  EXPECT_FALSE(snap.snapped);
+}
+
+TEST(SpecPolicyEvent, EarliestEventWinsBetweenCornerAndCrossing) {
+  SpeculationPolicy policy(AdaptiveOptions(), 0.5);
+  engine::HistoryWindow window;
+  // Crossing predicted at 2us; corner at 3us: the crossing is earlier.
+  window.push_back(MakePoint(0.0, {2.0}));
+  window.push_back(MakePoint(1e-6, {1.0}));
+  const std::vector<double> breakpoints = {3e-6};
+
+  const SpecEventSnap snap = policy.PredictEvent(window, 1, breakpoints, 0, 1e-6, 4e-6, 1e-9);
+  ASSERT_TRUE(snap.snapped);
+  EXPECT_FALSE(snap.breakpoint);
+  EXPECT_NEAR(snap.time, 2e-6, 1e-12);
+}
+
+// ---- backward placement -----------------------------------------------------
+
+TEST(SpecPolicyBackward, ConvertsForwardSlotsAsAcceptanceCollapses) {
+  auto options = AdaptiveOptions();
+  options.bwp_convert_warmup = 8;
+  SpeculationPolicy policy(options, 0.5);
+  // Before any evidence: one backward point, whatever the fixed choice was.
+  EXPECT_EQ(policy.ChooseBackwardCount(1, 3), 1);
+
+  for (int round = 0; round < 32; ++round) {
+    // What the pipeline reports for a one-entry chain that missed: the entry
+    // outcome (feeds the warmup sample count) plus the chain summary.
+    policy.OnEntryOutcome(SpecPredictor::kPolynomial, false, 3, /*scored=*/true);
+    policy.OnChainValidated(1, 0);
+  }
+  // Acceptance EWMA is ~0 with 32 >= 2*warmup samples: full conversion.
+  EXPECT_EQ(policy.ChooseBackwardCount(1, 3), 3);
+  // The cap still binds.
+  EXPECT_EQ(policy.ChooseBackwardCount(1, 2), 2);
+  EXPECT_EQ(policy.ChooseBackwardCount(1, 1), 1);
+}
+
+TEST(SpecPolicyBackward, HighAcceptanceKeepsTheSingleBackwardPoint) {
+  auto options = AdaptiveOptions();
+  options.bwp_convert_warmup = 8;
+  SpeculationPolicy policy(options, 0.5);
+  for (int round = 0; round < 32; ++round) policy.OnChainValidated(1, 1);
+  EXPECT_EQ(policy.ChooseBackwardCount(1, 3), 1);
+}
+
+TEST(SpecPolicyBackward, LteRejectionsPullThePlacementTowardTheLeadingEdge) {
+  auto options = AdaptiveOptions();
+  SpeculationPolicy policy(options, 0.5);
+  const double baseline = policy.ChooseBackwardFraction();
+  EXPECT_DOUBLE_EQ(baseline, 0.5);
+
+  for (int i = 0; i < 20; ++i) policy.OnLteRejection();
+  const double pulled = policy.ChooseBackwardFraction();
+  EXPECT_GT(pulled, baseline);
+  EXPECT_LE(pulled, options.backward_fraction_max);
+
+  // Accepted leading steps decay the pressure back down.
+  for (int i = 0; i < 60; ++i) policy.OnLeadingAccepted();
+  EXPECT_LT(policy.ChooseBackwardFraction(), pulled);
+  EXPECT_GE(policy.ChooseBackwardFraction(), options.backward_fraction_min);
+}
+
+TEST(SpecPolicyBackward, FixedModeKeepsTheConfiguredFraction) {
+  SpeculationPolicy policy({}, 0.42);
+  for (int i = 0; i < 20; ++i) policy.OnLteRejection();
+  EXPECT_DOUBLE_EQ(policy.ChooseBackwardFraction(), 0.42);
+  EXPECT_EQ(policy.ChooseBackwardCount(2, 3), 2);
+}
+
+// ---- mispredict fault: depth degrades without thrashing ---------------------
+
+TEST(SpecPolicyFault, ForcedMispredictsDegradeDepthWithoutThrashing) {
+  const auto gen = circuits::MakeRcLadder(12);
+  engine::MnaStructure mna(*gen.circuit);
+
+  WavePipeOptions serial_options;
+  serial_options.scheme = Scheme::kSerial;
+  serial_options.threads = 1;
+  const WavePipeResult serial = RunWavePipe(*gen.circuit, mna, gen.spec, serial_options);
+  ASSERT_TRUE(serial.completed);
+
+  WavePipeOptions options;
+  options.scheme = Scheme::kForward;
+  options.threads = 4;
+  options.spec_policy.mode = SpecPolicyMode::kAdaptive;
+
+  Schedule schedule;
+  schedule.skip = 0;
+  schedule.fire = Schedule::kUnlimited;
+  ScopedFault fault("spec.mispredict", schedule);
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_GT(fault.fired(), 0u);
+  // Every prediction was forced out of tolerance, so nothing was accepted...
+  EXPECT_EQ(result.sched.speculative_accepted, 0u);
+  // ...and the controller must have throttled the chain down: the average
+  // chosen depth ends well below the fixed scheme's constant 3, with the
+  // raise counter showing no cut/raise oscillation against the losing streak.
+  ASSERT_GT(result.spec.depth_decisions, 0u);
+  const double average_depth = static_cast<double>(result.spec.depth_chosen) /
+                               static_cast<double>(result.spec.depth_decisions);
+  EXPECT_LT(average_depth, 1.0);
+  EXPECT_GT(result.spec.depth_cuts, 0u);
+  EXPECT_LE(result.spec.depth_raises, result.spec.depth_cuts);
+  // Accuracy is never policy-dependent: with every speculation discarded the
+  // waveform still matches the serial engine.
+  const double deviation = engine::Trace::MaxDeviationAll(serial.trace, result.trace);
+  EXPECT_LT(deviation, 0.08);
+}
+
+}  // namespace
+}  // namespace wavepipe::pipeline

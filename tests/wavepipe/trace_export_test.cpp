@@ -118,6 +118,89 @@ TEST(RunStatsJsonTest, SchemaIdenticalAcrossEngines) {
   }
 }
 
+double CounterValue(const util::telemetry::CounterRegistry& registry,
+                    const std::string& name) {
+  for (const auto& counter : registry.counters()) {
+    if (counter.name == name) return counter.value;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return -1.0;
+}
+
+TEST(RunStatsJsonTest, PerSchemeSubKeysAttributeWorkToTheConfiguredScheme) {
+  const auto gen = SmallDeck();
+  const engine::MnaStructure mna(*gen.circuit);
+
+  auto run = [&](Scheme scheme, int threads) {
+    WavePipeOptions options;
+    options.scheme = scheme;
+    options.threads = threads;
+    const auto result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+    RunCounterInputs inputs;
+    inputs.stats = result.stats;
+    inputs.sched = result.sched;
+    inputs.spec = result.spec;
+    return BuildRunCounters(inputs);
+  };
+
+  // A forward run books its speculation under sched.fwp.*; the bwp/combined
+  // sub-keys stay at their defaults (the schema is identical either way).
+  const auto fwp = run(Scheme::kForward, 4);
+  EXPECT_GT(CounterValue(fwp, "sched.fwp.speculative_solves"), 0.0);
+  EXPECT_EQ(CounterValue(fwp, "sched.combined.speculative_solves"), 0.0);
+  EXPECT_EQ(CounterValue(fwp, "sched.bwp.backward_solves"), 0.0);
+  EXPECT_EQ(CounterValue(fwp, "sched.fwp.speculative_solves"),
+            CounterValue(fwp, "sched.speculative_solves"));
+
+  const auto bwp = run(Scheme::kBackward, 2);
+  EXPECT_GT(CounterValue(bwp, "sched.bwp.backward_solves"), 0.0);
+  EXPECT_EQ(CounterValue(bwp, "sched.fwp.speculative_solves"), 0.0);
+  EXPECT_EQ(CounterValue(bwp, "sched.bwp.backward_solves"),
+            CounterValue(bwp, "sched.backward_solves"));
+
+  const auto combined = run(Scheme::kCombined, 4);
+  EXPECT_GT(CounterValue(combined, "sched.combined.backward_solves"), 0.0);
+  EXPECT_GT(CounterValue(combined, "sched.combined.speculative_solves"), 0.0);
+  EXPECT_EQ(CounterValue(combined, "sched.fwp.speculative_solves"), 0.0);
+  EXPECT_EQ(CounterValue(combined, "sched.bwp.backward_solves"), 0.0);
+
+  // The per-scheme acceptance exports divide cleanly (0 when idle).
+  EXPECT_EQ(CounterValue(fwp, "sched.combined.speculation_acceptance"), 0.0);
+  EXPECT_GE(CounterValue(fwp, "sched.fwp.speculation_acceptance"), 0.0);
+  EXPECT_LE(CounterValue(fwp, "sched.fwp.speculation_acceptance"), 1.0);
+}
+
+TEST(RunStatsJsonTest, SpecPolicyGroupExportsOnEveryEngine) {
+  const auto gen = SmallDeck();
+  const engine::MnaStructure mna(*gen.circuit);
+
+  // An engine with no pipeline scheduler exports the spec.* defaults.
+  const auto serial = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, {});
+  RunCounterInputs serial_inputs;
+  serial_inputs.stats = serial.stats;
+  const auto serial_counters = BuildRunCounters(serial_inputs);
+  EXPECT_EQ(CounterValue(serial_counters, "spec.depth_decisions"), 0.0);
+  EXPECT_EQ(CounterValue(serial_counters, "spec.event_snaps"), 0.0);
+  EXPECT_EQ(CounterValue(serial_counters, "spec.poly.predictor_hits"), 0.0);
+  EXPECT_EQ(CounterValue(serial_counters, "spec.highorder.predictor_misses"), 0.0);
+  EXPECT_EQ(CounterValue(serial_counters, "spec.event.predictor_hits"), 0.0);
+
+  // A pipelined run populates the depth ledger even in fixed mode (every
+  // round's depth decision is counted; the policy just never steers).
+  WavePipeOptions options;
+  options.scheme = Scheme::kForward;
+  options.threads = 4;
+  const auto wave = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  RunCounterInputs wave_inputs;
+  wave_inputs.stats = wave.stats;
+  wave_inputs.sched = wave.sched;
+  wave_inputs.spec = wave.spec;
+  const auto wave_counters = BuildRunCounters(wave_inputs);
+  EXPECT_GT(CounterValue(wave_counters, "spec.depth_decisions"), 0.0);
+  EXPECT_EQ(CounterValue(wave_counters, "spec.depth_raises"), 0.0);
+  EXPECT_EQ(CounterValue(wave_counters, "spec.depth_cuts"), 0.0);
+}
+
 TEST(RunStatsJsonTest, HeaderStringsAreEscaped) {
   RunInfo info;
   info.engine = "serial";

@@ -7,7 +7,12 @@ baselines and fails (exit 1) when:
   * a modeled-speedup metric regresses by more than --tolerance (default 15%);
   * an engagement/accuracy guard that was true in the baseline turns false
     (e.g. `speedup_1p2_on_at_least_two_circuits`, `bypass engaged` style
-    booleans, `disabled_rerun_bit_identical`).
+    booleans, `disabled_rerun_bit_identical`);
+  * a metric falls below an absolute floor declared by the baseline's
+    top-level `min_ratio` object: each entry maps a key substring to the
+    minimum every matching numeric metric in the FRESH artifact must reach
+    (e.g. `{"adaptive_over_fixed_ratio": 0.999}` gates "adaptive never loses
+    to fixed on any deck" independently of the relative tolerance).
 
 Only DETERMINISTIC modeled metrics are gated.  Wall-clock numbers
 (`speedup`, `*_wall_seconds`, `*_seconds_per_pass`) vary with machine load
@@ -28,13 +33,16 @@ import json
 import os
 import sys
 
-BENCH_FILES = ["BENCH_assembly.json", "BENCH_factor.json", "BENCH_bypass.json"]
+BENCH_FILES = ["BENCH_assembly.json", "BENCH_factor.json", "BENCH_bypass.json",
+               "BENCH_pipeline.json"]
 
 # Numeric metrics gated on regression.  A metric is gated when its key path
 # matches one of these predicates; higher is better for all of them.
 GATED_KEY_SUBSTRINGS = [
     "replay_speedup",            # BENCH_factor: list-scheduled DAG replay
     "modeled_refactor_speedup",  # counter blocks: lu.* / sparse_lu.*
+    "modeled_speedup",           # BENCH_pipeline: virtual-replay makespans
+    "adaptive_over_fixed_ratio", # BENCH_pipeline: policy vs fixed scheduler
 ]
 
 # Metrics that *look* like speedups but must never gate.
@@ -105,6 +113,28 @@ def compare_file(name, baseline, current, tolerance):
             )
         rows.append((path, f"{base_value:.4g}", f"{cur_value:.4g}",
                      f"{delta:+.1%}", status))
+
+    # Absolute floors: the baseline's min_ratio block is a gate SPEC, not a
+    # metric — each entry applies to every matching numeric in the fresh run.
+    min_ratio = baseline.get("min_ratio", {})
+    if isinstance(min_ratio, dict):
+        for substring, floor in min_ratio.items():
+            for path in sorted(cur_flat):
+                if path.startswith("min_ratio."):
+                    continue  # the spec itself, not a gated metric
+                value = cur_flat[path]
+                if substring not in path or not isinstance(value, (int, float)):
+                    continue
+                if isinstance(value, bool):
+                    continue
+                status = "ok"
+                if value < floor:
+                    status = "FAIL"
+                    failures.append(
+                        f"{name}: `{path}` = {value:.4g} below min_ratio "
+                        f"floor {floor:.4g}"
+                    )
+                rows.append((path, f">= {floor:.4g}", f"{value:.4g}", "", status))
     return rows, failures
 
 

@@ -14,6 +14,10 @@
 //   --bypass                           enable the device latency bypass (off by default)
 //   --bypass-vtol X                    latency tolerance scale (default 1.0)
 //   --chord                            enable chord-Newton LU factor reuse
+//   --spec-policy fixed|adaptive       speculation policy       (default fixed)
+//   --spec-depth-min N                 adaptive chain depth lower bound (default 0:
+//                                      the controller may throttle speculation off)
+//   --spec-depth-max N                 adaptive chain depth upper bound (default 6)
 //
 // All three engines emit the SAME run_stats.json schema (see
 // wavepipe/trace_export.hpp); --stats prints the same registry, so the text
@@ -61,6 +65,8 @@ struct CliOptions {
   bool bypass = false;
   double bypass_vtol = 1.0;
   bool chord = false;
+  // Speculation policy: kFixed keeps the historical scheduler bit for bit.
+  pipeline::SpecPolicyOptions spec_policy;
 };
 
 int Usage() {
@@ -69,7 +75,9 @@ int Usage() {
                "[--scheme serial|bwp|fwp|combined] "
                "[--threads N] [--out file.csv] [--chart] [--stats] "
                "[--stats-json file.json] [--trace-json file.json] "
-               "[--compare-serial] [--bypass] [--bypass-vtol X] [--chord]\n");
+               "[--compare-serial] [--bypass] [--bypass-vtol X] [--chord] "
+               "[--spec-policy fixed|adaptive] [--spec-depth-min N] "
+               "[--spec-depth-max N]\n");
   return 1;
 }
 
@@ -126,6 +134,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       if (!(out->bypass_vtol > 0.0)) return false;
     } else if (arg == "--chord") {
       out->chord = true;
+    } else if (arg == "--spec-policy") {
+      const char* v = next();
+      if (!v) return false;
+      if (!std::strcmp(v, "fixed")) {
+        out->spec_policy.mode = pipeline::SpecPolicyMode::kFixed;
+      } else if (!std::strcmp(v, "adaptive")) {
+        out->spec_policy.mode = pipeline::SpecPolicyMode::kAdaptive;
+      } else {
+        return false;
+      }
+    } else if (arg == "--spec-depth-min") {
+      const char* v = next();
+      if (!v) return false;
+      out->spec_policy.min_depth = std::atoi(v);
+      if (out->spec_policy.min_depth < 0) return false;
+    } else if (arg == "--spec-depth-max") {
+      const char* v = next();
+      if (!v) return false;
+      out->spec_policy.max_depth = std::atoi(v);
+      if (out->spec_policy.max_depth < 1) return false;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (out->deck_path.empty()) {
@@ -258,6 +286,7 @@ int main(int argc, char** argv) {
       pipeline::WavePipeOptions options;
       options.scheme = cli.scheme;
       options.threads = cli.threads;
+      options.spec_policy = cli.spec_policy;
       options.sim = sim;
       const auto result =
           pipeline::RunWavePipe(*elaborated.circuit, mna, elaborated.spec, options);
@@ -280,6 +309,7 @@ int main(int argc, char** argv) {
       run.counters.stats = result.stats;
       run.counters.assembly = result.assembly;
       run.counters.sched = result.sched;
+      run.counters.spec = result.spec;
       run.ledger = result.ledger;
       run.has_ledger = true;
 
