@@ -175,6 +175,14 @@ GeneratedCircuit MakeRcMesh(int rows, int cols, unsigned seed, double r_ohm, dou
   return out;
 }
 
+GeneratedCircuit MakePowerGrid(int rows, int cols, unsigned seed) {
+  GeneratedCircuit grid =
+      MakeRcMesh(rows, cols, seed, /*r_ohm=*/1.0, /*c_farad=*/1e-12,
+                 /*num_loads=*/std::max(4, rows * cols / 256));
+  grid.name = "powergrid" + std::to_string(rows) + "x" + std::to_string(cols);
+  return grid;
+}
+
 GeneratedCircuit MakeRingOscillator(int stages, double vdd, double cload) {
   WP_ASSERT(stages >= 3 && stages % 2 == 1);
   auto circuit = std::make_unique<Circuit>();

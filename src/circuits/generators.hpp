@@ -39,6 +39,16 @@ GeneratedCircuit MakeRcMesh(int rows, int cols, unsigned seed = 1,
                             double r_ohm = 10.0, double c_farad = 0.5e-12,
                             int num_loads = -1);
 
+/// Power-delivery grid at partitioning scale: an RC mesh with a tighter
+/// resistive fabric (1 ohm segments), 1 pF decap per node and one switching
+/// load per ~256 nodes.  Same topology as MakeRcMesh, renamed and re-tuned
+/// so domain-decomposition experiments can ask for "powergrid3200x32"
+/// (102,400 unknowns) without disturbing the rcmesh benchmark points.
+/// Elongated aspect ratios (rows >> cols) keep the row-major numbering's
+/// natural stripe separators `cols` wide, which is what makes the
+/// interface block small relative to the pieces.
+GeneratedCircuit MakePowerGrid(int rows, int cols, unsigned seed = 1);
+
 /// N-stage (odd) CMOS ring oscillator with explicit load capacitors and a
 /// startup kick current pulse on stage 0.
 GeneratedCircuit MakeRingOscillator(int stages, double vdd = 2.5, double cload = 5e-15);

@@ -120,8 +120,10 @@ ChordPolicy::ChordPolicy(SolveContext& ctx, const NewtonInputs& inputs,
       options_(&options),
       a0_(inputs.a0),
       prev_worst_(std::numeric_limits<double>::infinity()) {
+  // Chord reuse targets ctx.lu; under the BBD path that factor is idle, so
+  // chord disables itself rather than solve against a never-refreshed LU.
   enabled_ = options.chord_newton && inputs.damping >= 1.0 &&
-             inputs.gshunt == 0.0 && inputs.nodeset_g == 0.0;
+             inputs.gshunt == 0.0 && inputs.nodeset_g == 0.0 && !ctx.partition_active();
   // Adaptive attempt gate: a solve inside a backoff window never tries chord
   // steps (it still refreshes the factor snapshot for later reuse).
   allowed_ = enabled_;
@@ -289,6 +291,29 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       std::copy(ctx.x.begin(), ctx.x.end(), ctx.x_new.begin());
       ctx.lu.ChordStep(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work,
                        ctx.factor_pool);
+    } else if (ctx.partition_active()) {
+      // Bordered-block-diagonal path: per-piece parallel factors + Schur
+      // interface coupling on ctx.factor_pool.  Same failure contract as the
+      // monolithic branch — a singular piece/interface pivot becomes a failed
+      // solve the step-shrink / rescue ladder handles.
+      const auto before_full = ctx.bbd.stats().full_factor_count;
+      const auto before_re = ctx.bbd.stats().refactor_count;
+      try {
+        WP_TSPAN("factor", "bbd_factor");
+        ctx.bbd.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
+      } catch (const SingularMatrixError&) {
+        stats.converged = false;
+        stats.singular = true;
+        stats.final_delta = std::numeric_limits<double>::infinity();
+        chord.Settle(false);
+        return stats;
+      }
+      stats.lu_full_factors +=
+          static_cast<int>(ctx.bbd.stats().full_factor_count - before_full);
+      stats.lu_refactors += static_cast<int>(ctx.bbd.stats().refactor_count - before_re);
+
+      std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
+      ctx.bbd.Solve(ctx.x_new, ctx.factor_pool);
     } else {
       const auto before_factor = ctx.lu.stats().factor_count;
       const auto before_refactor = ctx.lu.stats().refactor_count;

@@ -13,6 +13,7 @@
 #include "engine/circuit.hpp"
 #include "engine/mna.hpp"
 #include "engine/options.hpp"
+#include "sparse/bbd.hpp"
 #include "sparse/lu.hpp"
 
 namespace wavepipe::util {
@@ -202,6 +203,18 @@ class SolveContext {
     bypass.Configure(*circuit_, *structure_, options);
   }
 
+  /// Routes this context's linear solves through the bordered-block-diagonal
+  /// solver (sparse/bbd.hpp) built for `plan`.  Drivers compute one plan per
+  /// run (partition::PartitionPattern) and hand the same shared plan to every
+  /// context, so WavePipe workers don't re-partition.  Never called with the
+  /// default options — the monolithic ctx.lu path stays bit-identical.
+  void ConfigurePartition(std::shared_ptr<const sparse::BbdPlan> plan) {
+    bbd.Configure(std::move(plan), structure_->pattern());
+  }
+
+  /// True when linear solves go through the BBD path instead of ctx.lu.
+  bool partition_active() const { return bbd.configured(); }
+
   // Workspaces (public by design: the Newton loop, the DC continuation and
   // the integrators all operate on them directly).
   sparse::CscMatrix matrix;        ///< private copy of the pattern
@@ -212,6 +225,10 @@ class SolveContext {
   std::vector<double> state_hist;  ///< integrator history term per state
   std::vector<double> limit_a, limit_b;
   sparse::SparseLu lu;
+  /// Partitioned (BBD) linear solver; engaged via ConfigurePartition().
+  /// When configured, SolveNewton routes factor/solve through it (on
+  /// factor_pool) and ctx.lu sits idle; chord Newton disables itself.
+  sparse::BbdSolver bbd;
   std::vector<double> lu_work;  ///< per-context Solve() scratch (thread-safe LU)
   std::vector<double> refine_work;  ///< residual scratch for iterative refinement
 

@@ -96,6 +96,14 @@ struct SimOptions {
   /// behavior; 1 is plenty for ill-conditioned MNA systems.
   int newton_refine_steps = 0;
 
+  // ---- domain decomposition -------------------------------------------------
+  /// Bordered-block-diagonal solve path: partition the unknowns into this
+  /// many pieces (vertex-separator plan from src/partition), factor/solve
+  /// the pieces in parallel and couple them through a Schur complement on
+  /// the interface.  0 (default) keeps the monolithic LU path bit-identical
+  /// to historical behavior; values are clamped to the system dimension.
+  int partition_pieces = 0;
+
   // ---- latency bypass & chord Newton ---------------------------------------
   /// Device latency bypass (SPICE-style): cache each bypassable device's
   /// stamped Jacobian/RHS contributions and replay them while its controlling

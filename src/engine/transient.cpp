@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "engine/rescue.hpp"
+#include "partition/partitioner.hpp"
 
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -39,6 +40,15 @@ void TransientStats::ExportCounters(util::telemetry::CounterRegistry& registry) 
   registry.Count("lu.parallel_refactors", lu_parallel_refactors);
   registry.Count("lu.refactor_fallbacks", lu_refactor_fallbacks);
   registry.Count("lu.parallel_solves", lu_parallel_solves);
+  registry.Count("partition.pieces", static_cast<std::uint64_t>(partition_pieces));
+  registry.Count("partition.interface_size", partition_interface_size);
+  registry.Value("partition.piece_imbalance", partition_piece_imbalance);
+  registry.Count("partition.full_factors", partition_full_factors);
+  registry.Count("partition.refactors", partition_refactors);
+  registry.Count("partition.solves", partition_solves);
+  registry.Count("partition.schur_factors", partition_schur_factors);
+  registry.Count("partition.schur_nnz", partition_schur_nnz);
+  registry.Value("partition.schur_seconds", partition_schur_seconds);
 }
 
 StepControlParams MakeStepParams(const SimOptions& options, int num_nodes, int order) {
@@ -160,6 +170,10 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
 
   SolveContext ctx(circuit, structure);
   ctx.ConfigureAcceleration(options);
+  if (options.partition_pieces > 0) {
+    ctx.ConfigurePartition(
+        partition::PartitionPattern(structure.pattern(), options.partition_pieces));
+  }
   result.last_good_time = spec.tstart;
   try {
     const DcopResult dcop = SolveDcOperatingPoint(ctx, options, spec.initial_conditions);
@@ -326,6 +340,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
   result.last_good_time = history.newest_time();
   result.stats.wall_seconds = total_timer.Seconds();
   result.stats.AbsorbLuStats(ctx.lu.stats());
+  if (ctx.partition_active()) result.stats.AbsorbPartitionStats(ctx.bbd.stats());
   result.stats.bypassed_evals += ctx.bypass.bypassed_evals();
   result.stats.bypass_full_evals += ctx.bypass.full_evals();
   return result;

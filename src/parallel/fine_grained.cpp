@@ -7,6 +7,7 @@
 #include "engine/dcop.hpp"
 #include "engine/integrator.hpp"
 #include "engine/step_control.hpp"
+#include "partition/partitioner.hpp"
 #include "util/error.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -98,6 +99,21 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
       std::copy(ctx.x.begin(), ctx.x.end(), ctx.x_new.begin());
       ctx.lu.ChordStep(ctx.matrix, ctx.rhs, ctx.x_new, ctx.refine_work, ctx.lu_work,
                        ctx.factor_pool);
+    } else if (ctx.partition_active()) {
+      // BBD path, mirroring engine::SolveNewton: per-piece parallel factors
+      // + Schur coupling on the shared pool.  Singular pivots propagate,
+      // matching the monolithic branch below.
+      const auto before_full = ctx.bbd.stats().full_factor_count;
+      const auto before_re = ctx.bbd.stats().refactor_count;
+      {
+        WP_TSPAN("factor", "bbd_factor");
+        ctx.bbd.FactorOrRefactor(ctx.matrix, ctx.factor_pool);
+      }
+      stats.lu_full_factors +=
+          static_cast<int>(ctx.bbd.stats().full_factor_count - before_full);
+      stats.lu_refactors += static_cast<int>(ctx.bbd.stats().refactor_count - before_re);
+      std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
+      ctx.bbd.Solve(ctx.x_new, ctx.factor_pool);
     } else {
       const auto before_factor = ctx.lu.stats().factor_count;
       const auto before_refactor = ctx.lu.stats().refactor_count;
@@ -184,6 +200,10 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
   // assembler.
   evaluator.Attach(ctx);
   ctx.ConfigureAcceleration(options.sim);
+  if (options.sim.partition_pieces > 0) {
+    ctx.ConfigurePartition(
+        partition::PartitionPattern(structure.pattern(), options.sim.partition_pieces));
+  }
 
   engine::History history(options.sim.history_depth);
   history.Add(engine::MakeDcSolutionPoint(ctx, spec.tstart));
@@ -287,6 +307,7 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
 
   result.stats.wall_seconds = total_timer.Seconds();
   result.stats.AbsorbLuStats(ctx.lu.stats());
+  if (ctx.partition_active()) result.stats.AbsorbPartitionStats(ctx.bbd.stats());
   result.stats.bypassed_evals += ctx.bypass.bypassed_evals();
   result.stats.bypass_full_evals += ctx.bypass.full_evals();
   result.assembly = evaluator.stats();

@@ -1,0 +1,237 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::partition {
+namespace {
+
+// Symmetrized adjacency (CSR == CSC for a symmetric pattern), self-loops
+// dropped: the undirected connectivity graph of the unknowns.
+struct Adjacency {
+  std::vector<int> ptr;
+  std::vector<int> nbr;
+
+  int degree(int v) const { return ptr[v + 1] - ptr[v]; }
+  std::span<const int> neighbors(int v) const {
+    return std::span<const int>(nbr).subspan(static_cast<std::size_t>(ptr[v]),
+                                             static_cast<std::size_t>(degree(v)));
+  }
+};
+
+Adjacency BuildAdjacency(const sparse::CscMatrix& pattern) {
+  const sparse::CscMatrix sym = pattern.SymmetrizedPattern();
+  Adjacency adj;
+  const int n = sym.cols();
+  adj.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int col = 0; col < n; ++col) {
+    for (int k = sym.col_begin(col); k < sym.col_end(col); ++k) {
+      if (sym.row_of(k) != col) ++adj.ptr[col + 1];
+    }
+  }
+  for (int col = 0; col < n; ++col) adj.ptr[col + 1] += adj.ptr[col];
+  adj.nbr.resize(static_cast<std::size_t>(adj.ptr[n]));
+  std::vector<int> fill(adj.ptr.begin(), adj.ptr.end() - 1);
+  for (int col = 0; col < n; ++col) {
+    for (int k = sym.col_begin(col); k < sym.col_end(col); ++k) {
+      const int row = sym.row_of(k);
+      if (row != col) adj.nbr[fill[col]++] = row;
+    }
+  }
+  return adj;
+}
+
+// Stage 1: grow pieces by BFS from the lowest unassigned vertex.  Piece k
+// stops at its target size; the last piece absorbs the remainder (including
+// any disconnected leftovers via reseeding).
+std::vector<int> GrowPieces(const Adjacency& adj, int n, int pieces) {
+  std::vector<int> piece_of(static_cast<std::size_t>(n), -1);
+  const int target = (n + pieces - 1) / pieces;
+  int next_seed = 0;
+  for (int k = 0; k < pieces; ++k) {
+    const bool last = (k == pieces - 1);
+    int assigned = 0;
+    std::deque<int> frontier;
+    while (last || assigned < target) {
+      if (frontier.empty()) {
+        while (next_seed < n && piece_of[next_seed] != -1) ++next_seed;
+        if (next_seed >= n) break;
+        frontier.push_back(next_seed);
+        piece_of[next_seed] = k;
+        ++assigned;
+        if (!last && assigned >= target) break;
+      }
+      const int v = frontier.front();
+      frontier.pop_front();
+      for (int w : adj.neighbors(v)) {
+        if (piece_of[w] != -1) continue;
+        piece_of[w] = k;
+        ++assigned;
+        frontier.push_back(w);
+        if (!last && assigned >= target) break;
+      }
+      if (!last && assigned >= target) break;
+    }
+  }
+  return piece_of;
+}
+
+std::size_t CountEdgeCut(const Adjacency& adj, const std::vector<int>& piece_of) {
+  std::size_t cut = 0;
+  for (int v = 0; v < static_cast<int>(piece_of.size()); ++v) {
+    for (int w : adj.neighbors(v)) {
+      if (w > v && piece_of[w] != piece_of[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+// Stage 2: move each boundary vertex to the piece holding the strict
+// majority of its neighbors, unless that piece is already at the balance
+// cap.  Sequential ascending sweeps: deterministic, and each move is
+// immediately visible to later vertices (Gauss–Seidel style smoothing).
+void RefineBoundary(const Adjacency& adj, std::vector<int>& piece_of, int pieces,
+                    int passes, double balance_slack) {
+  const int n = static_cast<int>(piece_of.size());
+  const int target = (n + pieces - 1) / pieces;
+  const int cap = std::max(target, static_cast<int>(balance_slack * target));
+  std::vector<int> sizes(static_cast<std::size_t>(pieces), 0);
+  for (int p : piece_of) ++sizes[p];
+  std::vector<int> tally(static_cast<std::size_t>(pieces), 0);
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (int v = 0; v < n; ++v) {
+      const int home = piece_of[v];
+      if (sizes[home] <= 1) continue;  // never empty a piece
+      bool boundary = false;
+      for (int w : adj.neighbors(v)) {
+        tally[piece_of[w]]++;
+        if (piece_of[w] != home) boundary = true;
+      }
+      if (boundary) {
+        int best = home;
+        for (int p = 0; p < pieces; ++p) {
+          // Strict improvement, lowest piece id wins ties deterministically.
+          if (p != best && tally[p] > tally[best] && sizes[p] < cap) best = p;
+        }
+        if (best != home && tally[best] > tally[home]) {
+          piece_of[v] = best;
+          --sizes[home];
+          ++sizes[best];
+          moved = true;
+        }
+      }
+      for (int w : adj.neighbors(v)) tally[piece_of[w]] = 0;
+      tally[home] = 0;
+      tally[piece_of[v]] = 0;
+    }
+    if (!moved) break;
+  }
+}
+
+// Stage 3: one-sided vertex separator.  Marking only the higher-piece
+// endpoint of each cross edge halves the separator a naive "both endpoints"
+// rule would produce; the thinning sweep then reclaims interface vertices
+// whose non-interface neighbors all agree on one piece.
+void ExtractSeparator(const Adjacency& adj, std::vector<int>& piece_of) {
+  const int n = static_cast<int>(piece_of.size());
+  for (int v = 0; v < n; ++v) {
+    if (piece_of[v] == sparse::BbdPlan::kInterface) continue;
+    for (int w : adj.neighbors(v)) {
+      const int pw = piece_of[w];
+      if (pw == sparse::BbdPlan::kInterface || pw == piece_of[v]) continue;
+      if (pw > piece_of[v]) {
+        piece_of[w] = sparse::BbdPlan::kInterface;
+      } else {
+        piece_of[v] = sparse::BbdPlan::kInterface;
+        break;
+      }
+    }
+  }
+  // Thinning: sequential ascending sweep, so a reclaimed vertex immediately
+  // constrains later candidates — no two adjacent interface vertices can
+  // both return to different pieces and break the separator property.
+  for (int v = 0; v < n; ++v) {
+    if (piece_of[v] != sparse::BbdPlan::kInterface) continue;
+    int home = -2;  // -2: none seen yet
+    for (int w : adj.neighbors(v)) {
+      const int pw = piece_of[w];
+      if (pw == sparse::BbdPlan::kInterface) continue;
+      if (home == -2) {
+        home = pw;
+      } else if (home != pw) {
+        home = -3;  // conflict: stays interface
+        break;
+      }
+    }
+    if (home >= 0) piece_of[v] = home;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const sparse::BbdPlan> PartitionPattern(const sparse::CscMatrix& pattern,
+                                                        const PartitionOptions& options,
+                                                        PartitionTelemetry* telemetry) {
+  WP_ASSERT(pattern.rows() == pattern.cols());
+  const int n = pattern.cols();
+  const int pieces = std::clamp(options.pieces, 1, std::max(n, 1));
+
+  auto plan = std::make_shared<sparse::BbdPlan>();
+  plan->num_pieces = pieces;
+  plan->dimension = n;
+
+  if (pieces <= 1 || n == 0) {
+    // Trivial plan: one piece, everything interior, empty interface.
+    plan->num_pieces = std::max(pieces, 1);
+    plan->piece_of.assign(static_cast<std::size_t>(n), 0);
+    plan->interiors.assign(1, {});
+    plan->interiors[0].resize(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) plan->interiors[0][v] = v;
+    plan->local_index = plan->interiors[0];
+    if (telemetry != nullptr) *telemetry = PartitionTelemetry{};
+    return plan;
+  }
+
+  const Adjacency adj = BuildAdjacency(pattern);
+  std::vector<int> piece_of = GrowPieces(adj, n, pieces);
+  const std::size_t cut_before = CountEdgeCut(adj, piece_of);
+  RefineBoundary(adj, piece_of, pieces, options.refine_passes, options.balance_slack);
+  const std::size_t cut_after = CountEdgeCut(adj, piece_of);
+  ExtractSeparator(adj, piece_of);
+
+  plan->piece_of = std::move(piece_of);
+  plan->interiors.assign(static_cast<std::size_t>(pieces), {});
+  plan->local_index.assign(static_cast<std::size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    const int p = plan->piece_of[v];
+    if (p == sparse::BbdPlan::kInterface) {
+      plan->local_index[v] = static_cast<int>(plan->interface_nodes.size());
+      plan->interface_nodes.push_back(v);
+    } else {
+      plan->local_index[v] = static_cast<int>(plan->interiors[p].size());
+      plan->interiors[p].push_back(v);
+    }
+  }
+
+  if (telemetry != nullptr) {
+    telemetry->edge_cut_before = cut_before;
+    telemetry->edge_cut_after = cut_after;
+    telemetry->interface_size = plan->interface_nodes.size();
+    telemetry->imbalance = plan->Imbalance();
+  }
+  return plan;
+}
+
+std::shared_ptr<const sparse::BbdPlan> PartitionPattern(const sparse::CscMatrix& pattern,
+                                                        int pieces) {
+  PartitionOptions options;
+  options.pieces = pieces;
+  return PartitionPattern(pattern, options);
+}
+
+}  // namespace wavepipe::partition

@@ -1,0 +1,65 @@
+// Netlist graph partitioner producing BBD plans.
+//
+// The matrix pattern is read as an undirected graph (unknowns = vertices,
+// symmetrized off-diagonal entries = edges).  Partitioning runs in three
+// deterministic stages:
+//
+//  1. BFS greedy growth: pieces are grown one at a time from the
+//     lowest-numbered unassigned vertex until each reaches its target size
+//     ceil(n / pieces); the last piece absorbs any remainder, and
+//     disconnected graphs simply reseed.  Circuit node numbering follows
+//     netlist locality, so BFS growth already yields compact pieces.
+//  2. Boundary refinement: a few sweeps move vertices to the neighboring
+//     piece holding the strict majority of their neighbors, subject to a
+//     balance guard — classic cut smoothing without the KL/FM machinery.
+//  3. One-sided vertex separator: for every edge still crossing pieces, the
+//     endpoint in the HIGHER-numbered piece moves to the interface; a
+//     thinning pass then returns interface vertices all of whose
+//     non-interface neighbors live in one piece back to that piece.
+//
+// Every stage iterates vertices in ascending order with no tie randomness,
+// so equal inputs give bit-identical plans on every run and thread count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sparse/bbd.hpp"
+
+namespace wavepipe::sparse {
+class CscMatrix;
+}
+
+namespace wavepipe::partition {
+
+struct PartitionOptions {
+  /// Requested piece count; clamped to [1, dimension].
+  int pieces = 1;
+  /// Boundary-smoothing sweeps between growth and separator extraction.
+  int refine_passes = 2;
+  /// A refinement move may not push the destination piece beyond
+  /// balance_slack * ceil(n / pieces) vertices.
+  double balance_slack = 1.10;
+};
+
+/// What the partitioner did — exported by callers that want to report cut
+/// quality (the BBD solver re-derives interface size and imbalance itself).
+struct PartitionTelemetry {
+  std::size_t edge_cut_before = 0;  ///< cross-piece edges after growth
+  std::size_t edge_cut_after = 0;   ///< cross-piece edges after refinement
+  std::size_t interface_size = 0;   ///< separator vertices after thinning
+  double imbalance = 1.0;           ///< largest piece / ideal piece size
+};
+
+/// Partitions the unknowns of `pattern` into a vertex-separator BBD plan.
+/// Deterministic; never fails (degenerate requests clamp to sensible
+/// plans — 1 piece means "everything interior, empty interface").
+std::shared_ptr<const sparse::BbdPlan> PartitionPattern(
+    const sparse::CscMatrix& pattern, const PartitionOptions& options,
+    PartitionTelemetry* telemetry = nullptr);
+
+/// Convenience overload: default options with `pieces` pieces.
+std::shared_ptr<const sparse::BbdPlan> PartitionPattern(const sparse::CscMatrix& pattern,
+                                                        int pieces);
+
+}  // namespace wavepipe::partition

@@ -42,24 +42,22 @@ namespace {
 /// column updates.  Affects speed only, never results.
 constexpr std::size_t kMinColsPerChunk = 8;
 
-/// FNV-1a over the pattern arrays — cheap O(nnz) fingerprint for the
-/// ordering cache.  A collision merely reuses a permutation computed for a
-/// different pattern, which costs fill quality, never correctness (the
-/// factorization pivots within whatever column order it is given).
-std::uint64_t PatternHash(const CscMatrix& matrix) {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](int v) {
-    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
-    h *= 1099511628211ull;
-  };
-  for (int p : matrix.col_ptr()) mix(p);
-  for (int r : matrix.row_idx()) mix(r);
-  return h;
-}
-
 }  // namespace
 
 SparseLu::SparseLu(Options options) : options_(options) {}
+
+void SparseLu::Reset(const Options& options) {
+  options_ = options;
+  factored_ = false;
+  n_ = 0;
+  pattern_nnz_ = 0;
+  ordering_cached_ = false;
+  stats_ = Stats{};
+  solve_count_.store(0, std::memory_order_relaxed);
+  solve_flops_.store(0, std::memory_order_relaxed);
+  parallel_solve_count_.store(0, std::memory_order_relaxed);
+  chord_step_count_.store(0, std::memory_order_relaxed);
+}
 
 void SparseLu::ComputeOrdering(const CscMatrix& matrix) {
   const std::uint64_t hash = PatternHash(matrix);
@@ -68,6 +66,22 @@ void SparseLu::ComputeOrdering(const CscMatrix& matrix) {
       ordering_kind_ == options_.ordering) {
     ++stats_.ordering_reuse_count;
     return;
+  }
+  // Shared cache: other instances may already have ordered this pattern
+  // (WavePipe contexts on one circuit, equal BBD piece stripes).
+  const OrderingCache::Key key{matrix.cols(), matrix.num_nonzeros(), hash,
+                               static_cast<int>(options_.ordering)};
+  if (ordering_cache_ != nullptr) {
+    if (OrderingCache::OrderingPtr cached = ordering_cache_->Find(key)) {
+      q_ = *cached;
+      ++stats_.ordering_reuse_count;
+      ordering_cached_ = true;
+      ordering_n_ = matrix.cols();
+      ordering_nnz_ = matrix.num_nonzeros();
+      ordering_pattern_hash_ = hash;
+      ordering_kind_ = options_.ordering;
+      return;
+    }
   }
   switch (options_.ordering) {
     case Options::Ordering::kMinimumDegree:
@@ -79,6 +93,11 @@ void SparseLu::ComputeOrdering(const CscMatrix& matrix) {
     case Options::Ordering::kRcm:
       q_ = ReverseCuthillMcKeeOrder(matrix);
       break;
+  }
+  if (ordering_cache_ != nullptr) {
+    // First insert wins; adopt whatever the cache settled on so concurrent
+    // factors of one pattern stay deterministic.
+    q_ = *ordering_cache_->Insert(key, q_);
   }
   ordering_cached_ = true;
   ordering_n_ = matrix.cols();

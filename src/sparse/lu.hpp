@@ -40,6 +40,7 @@
 
 #include "sparse/csc.hpp"
 #include "sparse/level_schedule.hpp"
+#include "sparse/ordering_cache.hpp"
 
 namespace wavepipe::util {
 class ThreadPool;
@@ -113,6 +114,13 @@ class SparseLu {
   SparseLu() : SparseLu(Options{}) {}
   explicit SparseLu(Options options);
 
+  /// Re-initializes with `options`: drops the factors, the private ordering
+  /// slot and all counters, as if freshly constructed.  The attached shared
+  /// ordering cache (if any) stays attached.  Exists because the atomic
+  /// solve counters make SparseLu non-movable, so holders that rebuild
+  /// (BbdSolver pieces) reset in place instead of assigning a new instance.
+  void Reset(const Options& options);
+
   /// Full symbolic + numeric factorization.  Throws SingularMatrixError if a
   /// structurally or numerically singular column is met.  Also rebuilds the
   /// level schedules and row-major factor mirrors the parallel kernels use.
@@ -181,6 +189,14 @@ class SparseLu {
   double ChordStep(const CscMatrix& matrix, std::span<const double> b,
                    std::span<double> x, std::vector<double>& residual,
                    std::vector<double>& solve_workspace, util::ThreadPool* pool) const;
+
+  /// Attaches a shared fill-reducing-ordering cache (not owned; may be null
+  /// to detach).  Factor() consults it after the private single-slot cache
+  /// misses and publishes freshly computed orderings into it, so several
+  /// SparseLu instances factoring equal patterns (WavePipe contexts, BBD
+  /// pieces, batch variants) compute each ordering once.  Safe to share one
+  /// cache across threads; see sparse/ordering_cache.hpp.
+  void set_ordering_cache(OrderingCache* cache) { ordering_cache_ = cache; }
 
   bool factored() const { return factored_; }
   int dimension() const { return n_; }
@@ -252,6 +268,8 @@ class SparseLu {
   std::size_t ordering_nnz_ = 0;
   std::uint64_t ordering_pattern_hash_ = 0;
   Options::Ordering ordering_kind_ = Options::Ordering::kMinimumDegree;
+  /// Optional shared cache consulted when the private slot misses.
+  OrderingCache* ordering_cache_ = nullptr;
 
   // L: strictly lower triangular, unit diagonal implicit, permuted row ids.
   std::vector<int> lp_;

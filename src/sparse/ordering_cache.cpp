@@ -1,0 +1,55 @@
+#include "sparse/ordering_cache.hpp"
+
+#include "sparse/csc.hpp"
+
+namespace wavepipe::sparse {
+
+std::uint64_t PatternHash(const CscMatrix& matrix) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](int v) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    h *= 1099511628211ull;
+  };
+  for (int p : matrix.col_ptr()) mix(p);
+  for (int r : matrix.row_idx()) mix(r);
+  return h;
+}
+
+OrderingCache::OrderingPtr OrderingCache::Find(const Key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [k, order] : entries_) {
+    if (k == key) {
+      ++hits_;
+      return order;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+OrderingCache::OrderingPtr OrderingCache::Insert(const Key& key, std::vector<int> order) {
+  auto candidate = std::make_shared<const std::vector<int>>(std::move(order));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [k, cached] : entries_) {
+    if (k == key) return cached;  // first insert won; agree with it
+  }
+  entries_.emplace_back(key, candidate);
+  return candidate;
+}
+
+std::size_t OrderingCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t OrderingCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t OrderingCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace wavepipe::sparse

@@ -6,6 +6,7 @@
 
 #include "engine/rescue.hpp"
 #include "parallel/coloring.hpp"
+#include "partition/partitioner.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
@@ -91,6 +92,16 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
   // Latency bypass / chord Newton: per-context caches and factor-reuse
   // state, so pipelined solves on different contexts never share them.
   for (auto& ctx : contexts_) ctx->ConfigureAcceleration(options_.sim);
+
+  // Domain decomposition: ONE plan computed for the shared pattern, handed
+  // to every context (each keeps its own numeric BbdSolver — piece factors
+  // are per-context state exactly like ctx.lu).  Piece-parallel factor/solve
+  // runs on the intra-solve pool for the same no-deadlock reason as above.
+  if (options_.sim.partition_pieces > 0) {
+    const auto plan =
+        partition::PartitionPattern(structure.pattern(), options_.sim.partition_pieces);
+    for (auto& ctx : contexts_) ctx->ConfigurePartition(plan);
+  }
 }
 
 bool PipelineDriver::Done() const {
@@ -186,6 +197,7 @@ WavePipeResult PipelineDriver::Run() {
   if (assembler_) result_.assembly = assembler_->stats();
   for (const auto& ctx : contexts_) {
     result_.stats.AbsorbLuStats(ctx->lu.stats());
+    if (ctx->partition_active()) result_.stats.AbsorbPartitionStats(ctx->bbd.stats());
     result_.stats.bypassed_evals += ctx->bypass.bypassed_evals();
     result_.stats.bypass_full_evals += ctx->bypass.full_evals();
   }

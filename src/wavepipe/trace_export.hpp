@@ -35,12 +35,18 @@ namespace wavepipe::pipeline {
 /// run_stats.json schema tag.  Bump ONLY with a matching update to
 /// tools/check_bench.py and the schema-parity tests.
 ///
-/// v1 note: the schema grows ADDITIVELY.  The original v1 key set is
-/// byte-stable; the per-scheme `sched.{bwp,fwp,combined}.*` sub-keys and the
-/// speculation-policy `spec.*` group were appended later under the same tag
+/// The schema grows ADDITIVELY.  The original v1 key set is byte-stable; the
+/// per-scheme `sched.{bwp,fwp,combined}.*` sub-keys and the
+/// speculation-policy `spec.*` group were appended under the v1 tag
 /// (consumers iterate their own baseline keys, so additions never break
 /// them — see tools/check_bench.py).
-inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1";
+///
+/// v1.1 appends the domain-decomposition group `partition.*` (pieces,
+/// interface_size, piece_imbalance, full_factors, refactors, solves,
+/// schur_factors, schur_nnz, schur_seconds) after the `lu.*` block.  Every
+/// pre-existing key keeps its name, type and position; v1 consumers reading
+/// their own baseline keys parse v1.1 documents unchanged.
+inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1.1";
 
 /// Identity of one run for the run_stats.json header.  Strings live here;
 /// the counter registry is numeric-only by design.

@@ -1,0 +1,135 @@
+// End-to-end parity for the --partition path: domain-decomposed transients
+// must match the monolithic solve within solver tolerances on real decks and
+// generated circuits, across every engine, at piece counts 1/2/4/8 — and the
+// default (partition off) must stay bit-identical run to run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuits/generators.hpp"
+#include "engine/transient.hpp"
+#include "netlist/elaborate.hpp"
+#include "parallel/fine_grained.hpp"
+#include "wavepipe/wavepipe.hpp"
+
+namespace wavepipe {
+namespace {
+
+constexpr const char* kRcDeck = R"(rc lowpass
+V1 in 0 DC 0 PULSE(0 1 100u 1u 1u 10m 20m)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 5m
+.print v(out) v(in)
+.end
+)";
+
+constexpr const char* kClipperDeck = R"(clipper
+V1 in 0 SIN(0 3 10k)
+R1 in out 1k
+D1 out 0 dclip
+D2 0 out dclip
+.model dclip D (is=1e-14 n=1.2)
+.tran 1u 300u
+.print v(in) v(out)
+)";
+
+/// Deviation budget: both runs satisfy the same Newton/LTE tolerances, so
+/// traces may differ by a few times reltol but no more.
+constexpr double kTol = 5e-3;
+
+engine::TransientResult RunSerialDeck(const char* deck, int pieces) {
+  auto e = netlist::ParseAndElaborate(deck);
+  engine::MnaStructure mna(*e.circuit);
+  engine::SimOptions options = e.sim_options;
+  options.partition_pieces = pieces;
+  return engine::RunTransientSerial(*e.circuit, mna, e.spec, options);
+}
+
+TEST(PartitionParity, SerialEngineDecksMatchAcrossPieceCounts) {
+  for (const char* deck : {kRcDeck, kClipperDeck}) {
+    const auto baseline = RunSerialDeck(deck, 0);
+    EXPECT_EQ(baseline.stats.partition_pieces, 0);
+    EXPECT_EQ(baseline.stats.partition_solves, 0u);
+    for (int pieces : {1, 2, 4, 8}) {
+      const auto partitioned = RunSerialDeck(deck, pieces);
+      EXPECT_LT(engine::Trace::MaxDeviationAll(baseline.trace, partitioned.trace),
+                kTol)
+          << "pieces=" << pieces;
+      EXPECT_GE(partitioned.stats.partition_pieces, 1) << "pieces=" << pieces;
+      EXPECT_GT(partitioned.stats.partition_solves, 0u) << "pieces=" << pieces;
+    }
+  }
+}
+
+TEST(PartitionParity, SerialEngineGeneratorsMatchAcrossPieceCounts) {
+  std::vector<circuits::GeneratedCircuit> gens;
+  gens.push_back(circuits::MakeRcMesh(10, 10));
+  gens.push_back(circuits::MakeInverterChain(8));
+  for (const auto& gen : gens) {
+    engine::MnaStructure mna(*gen.circuit);
+    const auto baseline =
+        engine::RunTransientSerial(*gen.circuit, mna, gen.spec, {});
+    for (int pieces : {2, 4, 8}) {
+      engine::SimOptions options;
+      options.partition_pieces = pieces;
+      const auto partitioned =
+          engine::RunTransientSerial(*gen.circuit, mna, gen.spec, options);
+      EXPECT_LT(engine::Trace::MaxDeviationAll(baseline.trace, partitioned.trace),
+                kTol)
+          << gen.name << " pieces=" << pieces;
+    }
+  }
+}
+
+TEST(PartitionParity, DefaultOffIsBitIdenticalRunToRun) {
+  // partition_pieces defaults to 0; two identical runs must agree sample by
+  // sample, which pins the off-path's determinism (and that adding the BBD
+  // plumbing left the monolithic solve untouched at runtime).
+  const auto a = RunSerialDeck(kRcDeck, 0);
+  const auto b = RunSerialDeck(kRcDeck, 0);
+  ASSERT_EQ(a.trace.num_samples(), b.trace.num_samples());
+  for (std::size_t i = 0; i < a.trace.num_samples(); ++i) {
+    ASSERT_EQ(a.trace.time(i), b.trace.time(i)) << i;
+    for (std::size_t p = 0; p < 2; ++p) {
+      ASSERT_EQ(a.trace.value(i, p), b.trace.value(i, p)) << i;
+    }
+  }
+}
+
+TEST(PartitionParity, FineGrainedEngineMatchesSerialUnderPartition) {
+  const auto gen = circuits::MakeRcMesh(8, 8);
+  engine::MnaStructure mna(*gen.circuit);
+  const auto baseline = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, {});
+
+  parallel::FineGrainedOptions options;
+  options.threads = 2;
+  options.sim.partition_pieces = 4;
+  const auto fine =
+      parallel::RunTransientFineGrained(*gen.circuit, mna, gen.spec, options);
+  EXPECT_LT(engine::Trace::MaxDeviationAll(baseline.trace, fine.trace), kTol);
+  EXPECT_GE(fine.stats.partition_pieces, 1);
+  EXPECT_GT(fine.stats.partition_solves, 0u);
+}
+
+TEST(PartitionParity, WavePipeEngineMatchesSerialUnderPartition) {
+  auto e = netlist::ParseAndElaborate(kRcDeck);
+  engine::MnaStructure mna(*e.circuit);
+  const auto baseline =
+      engine::RunTransientSerial(*e.circuit, mna, e.spec, e.sim_options);
+
+  pipeline::WavePipeOptions options;
+  options.scheme = pipeline::Scheme::kCombined;
+  options.threads = 3;
+  options.sim = e.sim_options;
+  options.sim.partition_pieces = 4;
+  const auto piped = pipeline::RunWavePipe(*e.circuit, mna, e.spec, options);
+  // Pipelined schemes carry their own speculation-induced deviation on top
+  // of the partition's: use the deck-flow suite's cross-scheme budget.
+  EXPECT_LT(engine::Trace::MaxDeviationAll(baseline.trace, piped.trace), 0.03);
+  EXPECT_GE(piped.stats.partition_pieces, 1);
+  EXPECT_GT(piped.stats.partition_solves, 0u);
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,309 @@
+// Unit tests for the netlist partitioner (src/partition) and the BBD solver
+// (sparse/bbd.hpp): plan invariants, determinism, numeric parity against the
+// monolithic LU, the refactor path, parallel execution, and the injected
+// Schur pivot failure feeding Newton's rescue ladder.
+#include "partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/bbd.hpp"
+#include "sparse/lu.hpp"
+#include "sparse/triplet.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wavepipe {
+namespace {
+
+using partition::PartitionOptions;
+using partition::PartitionPattern;
+using partition::PartitionTelemetry;
+using sparse::BbdPlan;
+using sparse::BbdSolver;
+using sparse::CscMatrix;
+using sparse::SparseLu;
+using sparse::TripletBuilder;
+
+/// Diagonally dominant tridiagonal system — a 1D resistor chain's Jacobian.
+CscMatrix MakeChain(int n, double diag = 4.0) {
+  TripletBuilder builder(n, n);
+  for (int i = 0; i < n; ++i) {
+    builder.Add(i, i, diag + 0.01 * i);
+    if (i + 1 < n) {
+      builder.Add(i, i + 1, -1.0);
+      builder.Add(i + 1, i, -1.0);
+    }
+  }
+  return builder.ToCsc();
+}
+
+/// rows x cols 5-point grid Laplacian with a dominant diagonal.
+CscMatrix MakeGrid(int rows, int cols) {
+  const int n = rows * cols;
+  TripletBuilder builder(n, n);
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      builder.Add(id(r, c), id(r, c), 5.0 + 0.001 * id(r, c));
+      if (c + 1 < cols) {
+        builder.Add(id(r, c), id(r, c + 1), -1.0);
+        builder.Add(id(r, c + 1), id(r, c), -1.0);
+      }
+      if (r + 1 < rows) {
+        builder.Add(id(r, c), id(r + 1, c), -1.0);
+        builder.Add(id(r + 1, c), id(r, c), -1.0);
+      }
+    }
+  }
+  return builder.ToCsc();
+}
+
+std::vector<double> MakeRhs(int n) {
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rhs[static_cast<std::size_t>(i)] = std::sin(0.3 * i) + 2.0;
+  }
+  return rhs;
+}
+
+/// max|a - b| over the vectors.
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+TEST(Partitioner, SinglePieceIsTrivial) {
+  const CscMatrix m = MakeChain(12);
+  const auto plan = PartitionPattern(m, 1);
+  EXPECT_EQ(plan->num_pieces, 1);
+  EXPECT_EQ(plan->dimension, 12);
+  EXPECT_TRUE(plan->interface_nodes.empty());
+  ASSERT_EQ(plan->interiors.size(), 1u);
+  EXPECT_EQ(plan->interiors[0].size(), 12u);
+  for (int p : plan->piece_of) EXPECT_EQ(p, 0);
+  EXPECT_TRUE(plan->Validate(m));
+}
+
+TEST(Partitioner, RequestClampsToDimension) {
+  const CscMatrix m = MakeChain(5);
+  const auto plan = PartitionPattern(m, 64);
+  EXPECT_LE(plan->num_pieces, 5);
+  EXPECT_TRUE(plan->Validate(m));
+  // Every unknown lands somewhere: interior or interface.
+  std::size_t assigned = plan->interface_nodes.size();
+  for (const auto& interior : plan->interiors) assigned += interior.size();
+  EXPECT_EQ(assigned, 5u);
+}
+
+TEST(Partitioner, ChainPartitionIsThinAndBalanced) {
+  const CscMatrix m = MakeChain(100);
+  PartitionTelemetry telem;
+  PartitionOptions options;
+  options.pieces = 4;
+  const auto plan = PartitionPattern(m, options, &telem);
+  EXPECT_TRUE(plan->Validate(m));
+  // A chain's separator is one vertex per piece boundary.
+  EXPECT_LE(plan->interface_nodes.size(), 3u);
+  EXPECT_EQ(telem.interface_size, plan->interface_nodes.size());
+  EXPECT_LT(plan->Imbalance(), 1.25);
+  EXPECT_GE(plan->SmallestPiece(), 1u);
+}
+
+TEST(Partitioner, GridPartitionSeparatorHoldsAndRefinementHelps) {
+  const CscMatrix m = MakeGrid(24, 6);
+  PartitionTelemetry telem;
+  PartitionOptions options;
+  options.pieces = 4;
+  const auto plan = PartitionPattern(m, options, &telem);
+  EXPECT_TRUE(plan->Validate(m));
+  EXPECT_GT(plan->interface_nodes.size(), 0u);
+  EXPECT_LE(telem.edge_cut_after, telem.edge_cut_before);
+  // local_index is consistent with the block orders.
+  for (std::size_t k = 0; k < plan->interiors.size(); ++k) {
+    for (std::size_t i = 0; i < plan->interiors[k].size(); ++i) {
+      const int g = plan->interiors[k][i];
+      EXPECT_EQ(plan->piece_of[static_cast<std::size_t>(g)], static_cast<int>(k));
+      EXPECT_EQ(plan->local_index[static_cast<std::size_t>(g)], static_cast<int>(i));
+    }
+  }
+  for (std::size_t i = 0; i < plan->interface_nodes.size(); ++i) {
+    const int g = plan->interface_nodes[i];
+    EXPECT_EQ(plan->piece_of[static_cast<std::size_t>(g)], BbdPlan::kInterface);
+    EXPECT_EQ(plan->local_index[static_cast<std::size_t>(g)], static_cast<int>(i));
+  }
+}
+
+TEST(Partitioner, DeterministicAcrossCalls) {
+  const CscMatrix m = MakeGrid(16, 8);
+  const auto a = PartitionPattern(m, 4);
+  const auto b = PartitionPattern(m, 4);
+  EXPECT_EQ(a->piece_of, b->piece_of);
+  EXPECT_EQ(a->interface_nodes, b->interface_nodes);
+  EXPECT_EQ(a->interiors, b->interiors);
+}
+
+TEST(Partitioner, DisconnectedGraphReseedsCleanly) {
+  // Two unconnected chains in one matrix.
+  const int half = 10;
+  TripletBuilder builder(2 * half, 2 * half);
+  for (int block = 0; block < 2; ++block) {
+    const int base = block * half;
+    for (int i = 0; i < half; ++i) {
+      builder.Add(base + i, base + i, 4.0);
+      if (i + 1 < half) {
+        builder.Add(base + i, base + i + 1, -1.0);
+        builder.Add(base + i + 1, base + i, -1.0);
+      }
+    }
+  }
+  const CscMatrix m = builder.ToCsc();
+  const auto plan = PartitionPattern(m, 2);
+  EXPECT_TRUE(plan->Validate(m));
+  std::size_t assigned = plan->interface_nodes.size();
+  for (const auto& interior : plan->interiors) assigned += interior.size();
+  EXPECT_EQ(assigned, static_cast<std::size_t>(2 * half));
+}
+
+TEST(Partitioner, ValidateRejectsCrossPieceCoupling) {
+  const CscMatrix m = MakeChain(4);
+  // Hand-built plan splitting the chain 0,1 | 2,3 with NO separator: the
+  // (1,2) entry couples two interiors, which Validate must flag.
+  auto plan = std::make_shared<BbdPlan>();
+  plan->num_pieces = 2;
+  plan->dimension = 4;
+  plan->piece_of = {0, 0, 1, 1};
+  plan->interiors = {{0, 1}, {2, 3}};
+  plan->local_index = {0, 1, 0, 1};
+  EXPECT_FALSE(plan->Validate(m));
+}
+
+TEST(BbdSolverTest, MatchesMonolithicOnChainAndGrid) {
+  for (int pieces : {2, 4}) {
+    for (const CscMatrix& m : {MakeChain(60), MakeGrid(12, 5)}) {
+      const int n = m.cols();
+      SparseLu mono;
+      mono.Factor(m);
+      std::vector<double> x_mono = MakeRhs(n), ws;
+      mono.Solve(x_mono, ws);
+
+      BbdSolver bbd;
+      bbd.Configure(PartitionPattern(m, pieces), m);
+      bbd.FactorOrRefactor(m, nullptr);
+      std::vector<double> x_bbd = MakeRhs(n);
+      bbd.Solve(x_bbd, nullptr);
+
+      EXPECT_LT(MaxAbsDiff(x_mono, x_bbd), 1e-10) << "pieces=" << pieces;
+      EXPECT_TRUE(bbd.factored());
+      EXPECT_EQ(bbd.stats().solve_count, 1u);
+    }
+  }
+}
+
+TEST(BbdSolverTest, RefactorPathTracksChangedValues) {
+  CscMatrix m = MakeGrid(10, 6);
+  const auto plan = PartitionPattern(m, 3);
+  BbdSolver bbd;
+  bbd.Configure(plan, m);
+  bbd.FactorOrRefactor(m, nullptr);
+  EXPECT_GE(bbd.stats().full_factor_count, 1u);
+
+  // Scale the values (same pattern) and refactor: the numeric-only path must
+  // engage and produce the solution of the SCALED system.
+  for (std::size_t i = 0; i < m.num_nonzeros(); ++i) m.mutable_values()[i] *= 2.0;
+  bbd.FactorOrRefactor(m, nullptr);
+  EXPECT_GE(bbd.stats().refactor_count, 1u);
+
+  SparseLu mono;
+  mono.Factor(m);
+  const int n = m.cols();
+  std::vector<double> x_mono = MakeRhs(n), ws;
+  mono.Solve(x_mono, ws);
+  std::vector<double> x_bbd = MakeRhs(n);
+  bbd.Solve(x_bbd, nullptr);
+  EXPECT_LT(MaxAbsDiff(x_mono, x_bbd), 1e-10);
+}
+
+TEST(BbdSolverTest, SinglePiecePlanHasEmptyInterface) {
+  const CscMatrix m = MakeChain(30);
+  BbdSolver bbd;
+  bbd.Configure(PartitionPattern(m, 1), m);
+  bbd.FactorOrRefactor(m, nullptr);
+  EXPECT_EQ(bbd.stats().interface_size, 0u);
+  EXPECT_EQ(bbd.stats().schur_nnz, 0u);
+
+  SparseLu mono;
+  mono.Factor(m);
+  std::vector<double> x_mono = MakeRhs(30), ws;
+  mono.Solve(x_mono, ws);
+  std::vector<double> x_bbd = MakeRhs(30);
+  bbd.Solve(x_bbd, nullptr);
+  EXPECT_LT(MaxAbsDiff(x_mono, x_bbd), 1e-11);
+}
+
+TEST(BbdSolverTest, ParallelExecutionIsBitIdenticalToSerial) {
+  const CscMatrix m = MakeGrid(20, 8);
+  const auto plan = PartitionPattern(m, 4);
+
+  BbdSolver serial;
+  serial.Configure(plan, m);
+  serial.FactorOrRefactor(m, nullptr);
+  std::vector<double> x_serial = MakeRhs(m.cols());
+  serial.Solve(x_serial, nullptr);
+
+  util::ThreadPool pool(4);
+  BbdSolver parallel;
+  parallel.Configure(plan, m);
+  parallel.FactorOrRefactor(m, &pool);
+  std::vector<double> x_parallel = MakeRhs(m.cols());
+  parallel.Solve(x_parallel, &pool);
+
+  // Determinism promise: identical results regardless of thread count.
+  EXPECT_EQ(x_serial, x_parallel);
+}
+
+TEST(BbdSolverTest, ConfigureRejectsSeparatorViolation) {
+  const CscMatrix m = MakeChain(4);
+  auto plan = std::make_shared<BbdPlan>();
+  plan->num_pieces = 2;
+  plan->dimension = 4;
+  plan->piece_of = {0, 0, 1, 1};
+  plan->interiors = {{0, 1}, {2, 3}};
+  plan->local_index = {0, 1, 0, 1};
+  BbdSolver bbd;
+  EXPECT_THROW(bbd.Configure(std::move(plan), m), Error);
+}
+
+class BbdFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fault::DisarmAll(); }
+};
+
+TEST_F(BbdFaultTest, SchurFactorFaultThrowsSingularMatrixError) {
+  const CscMatrix m = MakeGrid(12, 6);
+  const auto plan = PartitionPattern(m, 4);
+  ASSERT_GT(plan->interface_nodes.size(), 0u);  // fault site needs a Schur block
+
+  BbdSolver bbd;
+  bbd.Configure(plan, m);
+  util::fault::Schedule once;
+  once.fire = 1;
+  util::fault::ScopedFault site("schur.factor", once);
+  EXPECT_THROW(bbd.FactorOrRefactor(m, nullptr), SingularMatrixError);
+
+  // The window passed: the next attempt recovers — the rescue-ladder
+  // contract (transient drivers retry after a singular factorization).
+  bbd.FactorOrRefactor(m, nullptr);
+  EXPECT_TRUE(bbd.factored());
+  std::vector<double> x = MakeRhs(m.cols());
+  bbd.Solve(x, nullptr);
+}
+
+}  // namespace
+}  // namespace wavepipe

@@ -1,0 +1,144 @@
+// Shared fill-reducing-ordering cache (sparse/ordering_cache.hpp): keyed
+// hit/miss bookkeeping, first-insert-wins publication, and concurrent reuse
+// by many SparseLu instances (the domain-decomposition piece-factor shape) —
+// the latter is the suite's ThreadSanitizer target.
+#include "sparse/ordering_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "sparse/lu.hpp"
+#include "sparse/triplet.hpp"
+
+namespace wavepipe::sparse {
+namespace {
+
+/// Tridiagonal test system; `diag` varies the values, never the pattern.
+CscMatrix MakeChain(int n, double diag) {
+  TripletBuilder builder(n, n);
+  for (int i = 0; i < n; ++i) {
+    builder.Add(i, i, diag);
+    if (i + 1 < n) {
+      builder.Add(i, i + 1, -1.0);
+      builder.Add(i + 1, i, -1.0);
+    }
+  }
+  return builder.ToCsc();
+}
+
+/// Pentadiagonal: same size as MakeChain but a different pattern/key.
+CscMatrix MakeWideChain(int n, double diag) {
+  TripletBuilder builder(n, n);
+  for (int i = 0; i < n; ++i) {
+    builder.Add(i, i, diag);
+    if (i + 2 < n) {
+      builder.Add(i, i + 2, -0.5);
+      builder.Add(i + 2, i, -0.5);
+    }
+  }
+  return builder.ToCsc();
+}
+
+TEST(OrderingCacheTest, EqualPatternsShareOneOrdering) {
+  OrderingCache cache;
+  const CscMatrix a = MakeChain(40, 4.0);
+  const CscMatrix b = MakeChain(40, 7.5);  // same pattern, other values
+
+  SparseLu lu_a, lu_b;
+  lu_a.set_ordering_cache(&cache);
+  lu_b.set_ordering_cache(&cache);
+  lu_a.Factor(a);
+  lu_b.Factor(b);
+
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GE(cache.hits(), 1u);
+  EXPECT_GE(cache.misses(), 1u);
+
+  // The shared ordering must not change results: compare against a
+  // cache-free factorization of the same matrix.
+  SparseLu plain;
+  plain.Factor(b);
+  std::vector<double> x_cached(40, 1.0), x_plain(40, 1.0), ws;
+  lu_b.Solve(x_cached, ws);
+  plain.Solve(x_plain, ws);
+  EXPECT_EQ(x_cached, x_plain);
+}
+
+TEST(OrderingCacheTest, DistinctPatternsGetDistinctEntries) {
+  OrderingCache cache;
+  SparseLu lu_a, lu_b;
+  lu_a.set_ordering_cache(&cache);
+  lu_b.set_ordering_cache(&cache);
+  lu_a.Factor(MakeChain(30, 4.0));
+  lu_b.Factor(MakeWideChain(30, 4.0));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(OrderingCacheTest, InsertIsFirstWins) {
+  OrderingCache cache;
+  OrderingCache::Key key;
+  key.n = 3;
+  key.nnz = 3;
+  key.pattern_hash = 42;
+  const auto first = cache.Insert(key, {0, 1, 2});
+  const auto second = cache.Insert(key, {2, 1, 0});
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(*second, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(OrderingCacheTest, ConcurrentReuseAcrossManyFactorsIsSafe) {
+  // The BBD piece-factor shape: many SparseLu instances, one shared cache,
+  // two recurring patterns, all factoring and solving at once.
+  OrderingCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 12;
+  constexpr int kN = 48;
+
+  // Reference solutions, computed serially without the cache.
+  std::vector<std::vector<double>> expected;
+  for (int pattern = 0; pattern < 2; ++pattern) {
+    const CscMatrix m =
+        pattern ? MakeWideChain(kN, 5.0) : MakeChain(kN, 5.0);
+    SparseLu lu;
+    lu.Factor(m);
+    std::vector<double> x(kN, 1.0), ws;
+    lu.Solve(x, ws);
+    expected.push_back(std::move(x));
+  }
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int pattern = (t + round) % 2;
+        const CscMatrix m =
+            pattern ? MakeWideChain(kN, 5.0) : MakeChain(kN, 5.0);
+        SparseLu lu;
+        lu.set_ordering_cache(&cache);
+        lu.Factor(m);
+        std::vector<double> x(kN, 1.0), ws;
+        lu.Solve(x, ws);
+        if (x != expected[static_cast<std::size_t>(pattern)]) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  // Both patterns cached exactly once; everything after the first factor of
+  // each pattern was a hit.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads * kRounds));
+  // A miss can only happen before the first Insert of a pattern lands, so at
+  // most kThreads threads can race into a miss per pattern.
+  EXPECT_LE(cache.misses(), static_cast<std::uint64_t>(2 * kThreads));
+}
+
+}  // namespace
+}  // namespace wavepipe::sparse

@@ -201,6 +201,42 @@ TEST(RunStatsJsonTest, SpecPolicyGroupExportsOnEveryEngine) {
   EXPECT_EQ(CounterValue(wave_counters, "spec.depth_cuts"), 0.0);
 }
 
+TEST(RunStatsJsonTest, SchemaTagIsPinned) {
+  // v1.1 = v1 plus the appended partition.* group.  Changing this string (or
+  // the partition key set below) is a schema bump: update check_bench.py and
+  // the docs in trace_export.hpp alongside.
+  EXPECT_STREQ(kRunStatsSchema, "wavepipe.run_stats.v1.1");
+}
+
+TEST(RunStatsJsonTest, PartitionGroupExportsOnEveryEngine) {
+  const auto gen = SmallDeck();
+  const engine::MnaStructure mna(*gen.circuit);
+
+  // Partition off (the default): the group is present with zero values, so
+  // the key set stays structurally identical whether or not BBD ran.
+  const auto off = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, {});
+  RunCounterInputs off_inputs;
+  off_inputs.stats = off.stats;
+  const auto off_counters = BuildRunCounters(off_inputs);
+  for (const char* key :
+       {"partition.pieces", "partition.interface_size", "partition.piece_imbalance",
+        "partition.full_factors", "partition.refactors", "partition.solves",
+        "partition.schur_factors", "partition.schur_nnz", "partition.schur_seconds"}) {
+    EXPECT_EQ(CounterValue(off_counters, key), 0.0) << key;
+  }
+
+  // Partition on: the serial engine populates the group.
+  engine::SimOptions sim;
+  sim.partition_pieces = 2;
+  const auto on = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, sim);
+  RunCounterInputs on_inputs;
+  on_inputs.stats = on.stats;
+  const auto on_counters = BuildRunCounters(on_inputs);
+  EXPECT_GE(CounterValue(on_counters, "partition.pieces"), 1.0);
+  EXPECT_GT(CounterValue(on_counters, "partition.solves"), 0.0);
+  EXPECT_GT(CounterValue(on_counters, "partition.full_factors"), 0.0);
+}
+
 TEST(RunStatsJsonTest, HeaderStringsAreEscaped) {
   RunInfo info;
   info.engine = "serial";

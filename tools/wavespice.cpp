@@ -14,6 +14,8 @@
 //   --bypass                           enable the device latency bypass (off by default)
 //   --bypass-vtol X                    latency tolerance scale (default 1.0)
 //   --chord                            enable chord-Newton LU factor reuse
+//   --partition N                      bordered-block-diagonal solve with N
+//                                      pieces (0 = monolithic LU, default)
 //   --spec-policy fixed|adaptive       speculation policy       (default fixed)
 //   --spec-depth-min N                 adaptive chain depth lower bound (default 0:
 //                                      the controller may throttle speculation off)
@@ -65,6 +67,7 @@ struct CliOptions {
   bool bypass = false;
   double bypass_vtol = 1.0;
   bool chord = false;
+  int partition = 0;
   // Speculation policy: kFixed keeps the historical scheduler bit for bit.
   pipeline::SpecPolicyOptions spec_policy;
 };
@@ -76,6 +79,7 @@ int Usage() {
                "[--threads N] [--out file.csv] [--chart] [--stats] "
                "[--stats-json file.json] [--trace-json file.json] "
                "[--compare-serial] [--bypass] [--bypass-vtol X] [--chord] "
+               "[--partition N] "
                "[--spec-policy fixed|adaptive] [--spec-depth-min N] "
                "[--spec-depth-max N]\n");
   return 1;
@@ -134,6 +138,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       if (!(out->bypass_vtol > 0.0)) return false;
     } else if (arg == "--chord") {
       out->chord = true;
+    } else if (arg == "--partition") {
+      const char* v = next();
+      if (!v) return false;
+      out->partition = std::atoi(v);
+      if (out->partition < 0) return false;
     } else if (arg == "--spec-policy") {
       const char* v = next();
       if (!v) return false;
@@ -235,6 +244,7 @@ int main(int argc, char** argv) {
     sim.device_bypass = cli.bypass;
     sim.bypass_vtol = cli.bypass_vtol;
     sim.chord_newton = cli.chord;
+    sim.partition_pieces = cli.partition;
 
     const bool want_trace = !cli.trace_json.empty();
     if (want_trace) util::telemetry::StartCapture();
