@@ -45,6 +45,41 @@ SolveContext::SolveContext(const Circuit& circuit, const MnaStructure& structure
   WP_ASSERT(circuit.finalized());
 }
 
+void SolveContext::RecordFactorSeeds(FactorSeeds& seeds, bool did_full_factor) {
+  if (!record_factor_seeds) return;
+  seeds.numeric.assign(matrix.values().begin(), matrix.values().end());
+  if (did_full_factor || seeds.full.empty()) seeds.full = seeds.numeric;
+}
+
+void SolveContext::PrimeFactorsFromSeeds(const FactorSeeds& lu_from,
+                                         const FactorSeeds& bbd_from) {
+  const auto load = [this](std::span<const double> values) {
+    WP_ASSERT(values.size() == matrix.values().size());
+    std::copy(values.begin(), values.end(), matrix.mutable_values().begin());
+  };
+  if (lu_from.valid()) {
+    load(lu_from.full);
+    lu.Factor(matrix);
+    if (lu_from.numeric != lu_from.full) {
+      load(lu_from.numeric);
+      // The interrupted run's Refactor on these exact values succeeded, so
+      // the fallback only guards adversarial checkpoint contents.
+      if (!lu.Refactor(matrix)) lu.Factor(matrix);
+    }
+    lu_seeds = lu_from;
+  }
+  if (bbd_from.valid() && bbd.configured()) {
+    load(bbd_from.full);
+    bbd.FactorOrRefactor(matrix, factor_pool);
+    if (bbd_from.numeric != bbd_from.full) {
+      load(bbd_from.numeric);
+      bbd.FactorOrRefactor(matrix, factor_pool);
+    }
+    bbd_seeds = bbd_from;
+  }
+  matrix.ZeroValues();
+}
+
 void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid,
                  bool first_iteration) {
   WP_TSPAN("assembly", "eval_devices");
@@ -276,6 +311,7 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
   for (int iter = 0; iter < max_iterations; ++iter) {
     stats.iterations = iter + 1;
     ++ctx.total_newton_iterations;
+    ctx.heartbeat.fetch_add(1, std::memory_order_relaxed);
 
     EvalDevices(ctx, inputs, limit_valid, iter == 0);
     limit_valid = true;
@@ -311,6 +347,8 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       stats.lu_full_factors +=
           static_cast<int>(ctx.bbd.stats().full_factor_count - before_full);
       stats.lu_refactors += static_cast<int>(ctx.bbd.stats().refactor_count - before_re);
+      ctx.RecordFactorSeeds(ctx.bbd_seeds,
+                            ctx.bbd.stats().full_factor_count != before_full);
 
       std::copy(ctx.rhs.begin(), ctx.rhs.end(), ctx.x_new.begin());
       ctx.bbd.Solve(ctx.x_new, ctx.factor_pool);
@@ -333,6 +371,8 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       }
       stats.lu_full_factors += static_cast<int>(ctx.lu.stats().factor_count - before_factor);
       stats.lu_refactors += static_cast<int>(ctx.lu.stats().refactor_count - before_refactor);
+      ctx.RecordFactorSeeds(ctx.lu_seeds,
+                            ctx.lu.stats().factor_count != before_factor);
       chord.NoteFreshFactor();
 
       WP_TSPAN("solve", "triangular_solve");

@@ -6,6 +6,7 @@
 // MnaStructure stay shared and read-only.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -189,6 +190,20 @@ class ChordPolicy {
   double prev_worst_ = 0.0;        ///< previous iteration's weighted norm
 };
 
+/// Bitwise factor-replay seeds: the Jacobian values the linear solver saw at
+/// its last FULL factorization and at its last numeric (re)factorization.
+/// Refactor() output is a pure function of (symbolic state, input matrix), so
+/// replaying Factor(full) then Refactor(numeric) reconstructs the solver's
+/// exact state — pivot sequence AND numeric factors, down to the last ULP.
+/// This is what lets a checkpoint resume continue bit-identically instead of
+/// taking a fresh full factor whose summation order differs from the
+/// refactor the uninterrupted run would have done (engine/resilience.hpp).
+struct FactorSeeds {
+  std::vector<double> full;     ///< values at the last full factorization
+  std::vector<double> numeric;  ///< values at the last numeric factorization
+  bool valid() const { return !full.empty(); }
+};
+
 class SolveContext {
  public:
   SolveContext(const Circuit& circuit, const MnaStructure& structure);
@@ -213,7 +228,26 @@ class SolveContext {
   }
 
   /// True when linear solves go through the BBD path instead of ctx.lu.
-  bool partition_active() const { return bbd.configured(); }
+  bool partition_active() const { return bbd.configured() && !partition_disengaged_; }
+
+  /// Circuit-breaker hooks (engine/resilience.hpp): park/resume the BBD path
+  /// without discarding the plan.  While disengaged, SolveNewton falls back
+  /// to the bit-identical monolithic ctx.lu path; bbd.configured() still
+  /// reports true so end-of-run stats absorption keeps its partition block.
+  void DisengagePartition() { partition_disengaged_ = true; }
+  void ReengagePartition() { partition_disengaged_ = false; }
+
+  /// Captures the current Jacobian values as factor-replay seeds after a
+  /// successful factorization (no-op unless record_factor_seeds is set by an
+  /// engine with checkpointing engaged — the default path pays nothing).
+  void RecordFactorSeeds(FactorSeeds& seeds, bool did_full_factor);
+
+  /// Checkpoint-resume priming: replays the stored seeds through the
+  /// monolithic and/or BBD solvers so their state is bit-identical to the
+  /// interrupted process at the snapshot boundary.  Leaves ctx.matrix
+  /// zeroed; copies the seeds into lu_seeds/bbd_seeds so a resumed run that
+  /// checkpoints again before its first factorization stays replayable.
+  void PrimeFactorsFromSeeds(const FactorSeeds& lu_from, const FactorSeeds& bbd_from);
 
   // Workspaces (public by design: the Newton loop, the DC continuation and
   // the integrators all operate on them directly).
@@ -254,9 +288,22 @@ class SolveContext {
   /// Chord-Newton factor reuse state (see SolveNewton).
   FactorReusePolicy factor_reuse;
 
+  /// Factor-replay seeds for checkpoint/restart (engine/resilience.hpp).
+  /// Maintained by SolveNewton only while record_factor_seeds is set.
+  FactorSeeds lu_seeds;
+  FactorSeeds bbd_seeds;
+  bool record_factor_seeds = false;
+
   std::uint64_t total_newton_iterations = 0;  ///< lifetime counter
 
+  /// Liveness heartbeat: ticked once per Newton iteration (relaxed; a
+  /// one-RMW-per-iteration cost).  The stall watchdog samples it from its
+  /// monitor thread, which is why it is atomic while the lifetime counter
+  /// above stays a plain integer.
+  std::atomic<std::uint64_t> heartbeat{0};
+
  private:
+  bool partition_disengaged_ = false;  ///< breaker parked the BBD path
   const Circuit* circuit_;
   const MnaStructure* structure_;
 };

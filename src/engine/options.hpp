@@ -2,7 +2,64 @@
 // Field names and defaults follow SPICE .options conventions.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 namespace wavepipe::engine {
+
+struct TransientCheckpoint;  // engine/resilience.hpp
+
+/// Durable-run configuration (engine/resilience.hpp): checkpoint cadence,
+/// resume source, run budgets, the stall watchdog, and the feature
+/// circuit-breakers.  Everything here defaults to "off"/no-op so that a run
+/// with no resilience flags is bit-identical to historical behavior.
+struct ResilienceOptions {
+  // ---- checkpoint/restart ---------------------------------------------------
+  /// Base path for durable snapshots (slots `<path>.a` / `<path>.b`,
+  /// util/checkpoint.hpp).  Empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Write a checkpoint every N accepted steps (0 = wall-cadence only).
+  std::uint64_t checkpoint_every_steps = 0;
+  /// Write a checkpoint every T wall-seconds (0 = step-cadence only).  The
+  /// default cadence when --checkpoint is given with neither knob.
+  double checkpoint_every_seconds = 15.0;
+  /// Deserialized engine state to resume from (owned by the caller; null for
+  /// a fresh run).  Engines restore history/trace/stats/step-control from it
+  /// and skip the DC operating point.
+  const TransientCheckpoint* resume = nullptr;
+
+  // ---- run-budget governor --------------------------------------------------
+  /// Hard ceilings checked at accepted-step (serial/fine-grained) or round
+  /// (pipeline) boundaries.  0 = unlimited.  Exhaustion writes a final
+  /// checkpoint (when enabled) and aborts structurally with an abort_reason
+  /// starting with kBudgetExhausted — never a throw, never lost work.
+  double max_wall_seconds = 0.0;
+  std::uint64_t max_steps = 0;         ///< accepted steps this PROCESS (post-resume)
+  std::uint64_t max_newton_total = 0;  ///< cumulative Newton iterations
+
+  // ---- stall watchdog -------------------------------------------------------
+  /// Monitor thread sampling per-worker heartbeats (ThreadPool task counters
+  /// + per-context Newton beats).  Off by default: a default run spawns no
+  /// extra thread.
+  bool watchdog = false;
+  double watchdog_interval_seconds = 2.0;
+  /// Consecutive no-progress sampling intervals before the stall escalates.
+  int watchdog_stall_intervals = 3;
+
+  // ---- feature circuit-breakers --------------------------------------------
+  /// Per-feature failure EWMAs (chord, bypass, partition, parallel factor,
+  /// parallel assembly) that degrade a misbehaving accelerated path to the
+  /// bit-identical monolithic serial path, with a half-open re-probe after a
+  /// cooldown.  Enabled by default: on a healthy run no breaker ever trips,
+  /// and with every feature off there is nothing to degrade — the default
+  /// path is untouched.
+  bool breakers = true;
+  /// Consecutive feature-attributed solve failures that trip a breaker.
+  int breaker_trip_threshold = 4;
+  /// Accepted steps an open breaker waits before re-probing (doubles on each
+  /// re-trip).
+  std::uint64_t breaker_cooldown_steps = 64;
+};
 
 /// Implicit integration method for transient analysis.
 enum class Method {
@@ -143,6 +200,11 @@ struct SimOptions {
   /// only add iterations (ladders, chains and trees factor fill-free; 2-D
   /// meshes fill 3-5x and profit).  Set to 0 to attempt chord everywhere.
   double chord_fill_ratio = 2.0;
+
+  // ---- durable runs ---------------------------------------------------------
+  /// Checkpoint/restart, run budgets, watchdog, circuit-breakers.  All
+  /// defaults are no-ops on the clean path (engine/resilience.hpp).
+  ResilienceOptions resilience;
 };
 
 }  // namespace wavepipe::engine

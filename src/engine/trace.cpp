@@ -49,6 +49,13 @@ void Trace::Record(double time, std::span<const double> full_solution) {
   }
 }
 
+void Trace::AppendProbeSample(double time, std::span<const double> probe_values) {
+  WP_ASSERT(probe_values.size() == probes_.size());
+  WP_ASSERT(times_.empty() || time > times_.back());
+  times_.push_back(time);
+  values_.insert(values_.end(), probe_values.begin(), probe_values.end());
+}
+
 double Trace::Interpolate(double t, std::size_t p) const {
   WP_ASSERT(!times_.empty());
   WP_ASSERT(p < probes_.size());

@@ -30,6 +30,11 @@ class Trace {
 
   void Record(double time, std::span<const double> full_solution);
 
+  /// Appends a sample of ALREADY-SELECTED probe values (checkpoint restore:
+  /// a trace snapshot stores probe values, not full solutions).  The span's
+  /// size must equal probes().size().
+  void AppendProbeSample(double time, std::span<const double> probe_values);
+
   /// Pre-reserves sample storage for a run over `span` seconds with minimum
   /// step `hmin`.  span/hmin bounds the accepted-step count but is
   /// astronomically pessimistic (hmin is the abort floor, not the typical

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "engine/rescue.hpp"
+#include "engine/resilience.hpp"
 #include "partition/partitioner.hpp"
 
 #include "util/error.hpp"
@@ -168,41 +169,186 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
                            ? spec.probes
                            : ProbeSet::FirstNodes(circuit.num_nodes(), 16));
 
+  // Durable-run machinery (engine/resilience.hpp).  With the default
+  // ResilienceOptions everything below is inert: no files, no extra thread,
+  // no behavior change.  `live` is the options block the breakers are
+  // allowed to degrade mid-run; it starts as an exact copy.
+  const ResilienceOptions& res = options.resilience;
+  SimOptions live = options;
+  ResilienceStats& rstats = result.resilience;
+  CheckpointSink sink(res, rstats);
+  const RunBudget run_budget(res);
+  StallWatchdog watchdog(res, rstats);
+  BreakerBoard breakers(res, rstats);
+
   SolveContext ctx(circuit, structure);
   ctx.ConfigureAcceleration(options);
   if (options.partition_pieces > 0) {
     ctx.ConfigurePartition(
         partition::PartitionPattern(structure.pattern(), options.partition_pieces));
   }
+  watchdog.AddSource(&ctx.heartbeat);
+  watchdog.Start();
+  ctx.record_factor_seeds = sink.enabled();
   result.last_good_time = spec.tstart;
-  try {
-    const DcopResult dcop = SolveDcOperatingPoint(ctx, options, spec.initial_conditions);
-    result.stats.dcop_strategy = dcop.strategy;
-  } catch (const Error& error) {
-    // No operating point, no waveform to lose — but still a structured
-    // result instead of an unwound stack.
-    result.completed = false;
-    result.abort_reason = error.what();
-    result.stats.wall_seconds = total_timer.Seconds();
-    return result;
-  }
 
-  History history(options.history_depth);
-  history.Add(MakeDcSolutionPoint(ctx, spec.tstart));
-  result.trace.Record(spec.tstart, history.newest()->x);
+  // Factor counters spent PRIMING the linear solvers at resume (replaying
+  // the checkpointed seeds) are bookkeeping, not simulation work — this
+  // baseline keeps them out of the absorbed partition stats so resumed and
+  // uninterrupted runs agree on every activity counter.
+  sparse::BbdStats bbd_prime_base{};
+  const auto net_bbd_stats = [&]() {
+    sparse::BbdStats s = ctx.bbd.stats();
+    s.full_factor_count -= bbd_prime_base.full_factor_count;
+    s.refactor_count -= bbd_prime_base.refactor_count;
+    s.solve_count -= bbd_prime_base.solve_count;
+    s.schur_factor_count -= bbd_prime_base.schur_factor_count;
+    s.schur_seconds -= bbd_prime_base.schur_seconds;
+    return s;
+  };
 
   const StepLimits limits = StepLimits::FromSpec(spec, options);
-  result.trace.ReserveEstimate(spec.tstop - spec.tstart, limits.hmin);
-  if (spec.record_step_details) {
-    result.steps.reserve(result.trace.reserved_samples());
-  }
   std::vector<double> breakpoints = circuit.CollectBreakpoints(spec.tstart, spec.tstop);
   std::size_t next_bp = 0;
+  History history(options.history_depth);
 
   double h = limits.h0;
   bool restart = true;  // first step integrates off the DC point
   int steps_since_restart = 0;
   int floor_streak = 0;  // accepted-at-hmin run length (bypass safety valve)
+  std::uint64_t process_steps = 0;   // accepted steps THIS process (budget basis)
+  std::uint64_t process_newton = 0;  // Newton iterations THIS process
+
+  if (res.resume != nullptr) {
+    // Restore the accepted-step boundary the checkpoint captured; the DC
+    // operating point is already inside the history, so the loop continues
+    // exactly where the checkpointed process would have.
+    const TransientCheckpoint& ck = *res.resume;
+    ValidateResume(ck, "serial", "", options.partition_pieces,
+                   static_cast<std::uint64_t>(ctx.x.size()),
+                   result.trace.probes().size(), spec.tstop);
+    rstats.ckpt_resumed = 1;
+    result.stats = ck.stats;
+    result.steps = ck.steps;
+    for (const auto& p : ck.history) {
+      auto point = std::make_shared<SolutionPoint>();
+      point->time = p.time;
+      point->x = p.x;
+      point->q = p.q;
+      point->qdot = p.qdot;
+      point->auxiliary = p.auxiliary;
+      history.Add(std::move(point));
+    }
+    for (std::size_t s = 0; s < ck.trace_times.size(); ++s) {
+      const std::size_t stride = result.trace.probes().size();
+      result.trace.AppendProbeSample(
+          ck.trace_times[s],
+          std::span<const double>(ck.trace_values).subspan(s * stride, stride));
+    }
+    result.final_point = history.newest();
+    h = ck.h;
+    restart = ck.restart;
+    steps_since_restart = static_cast<int>(ck.steps_since_restart);
+    floor_streak = static_cast<int>(ck.floor_streak);
+    next_bp = ck.next_breakpoint;
+    ctx.PrimeFactorsFromSeeds(FactorSeeds{ck.lu_seed_full, ck.lu_seed_numeric},
+                              FactorSeeds{ck.bbd_seed_full, ck.bbd_seed_numeric});
+    if (ctx.bbd.configured()) bbd_prime_base = ctx.bbd.stats();
+  } else {
+    try {
+      const DcopResult dcop = SolveDcOperatingPoint(ctx, options, spec.initial_conditions);
+      result.stats.dcop_strategy = dcop.strategy;
+    } catch (const Error& error) {
+      // No operating point, no waveform to lose — but still a structured
+      // result instead of an unwound stack.
+      watchdog.Finish();
+      result.completed = false;
+      result.abort_reason = error.what();
+      result.stats.wall_seconds = total_timer.Seconds();
+      return result;
+    }
+    history.Add(MakeDcSolutionPoint(ctx, spec.tstart));
+    result.trace.Record(spec.tstart, history.newest()->x);
+  }
+
+  result.trace.ReserveEstimate(spec.tstop - spec.tstart, limits.hmin);
+  if (spec.record_step_details) {
+    result.steps.reserve(result.trace.reserved_samples());
+  }
+
+  // Serializes the CURRENT accepted-step boundary.  Solver stats absorbed
+  // into the snapshot COPY so the running tallies keep accumulating raw.
+  const auto snapshot = [&]() -> std::vector<std::uint8_t> {
+    TransientCheckpoint ck;
+    ck.engine = "serial";
+    ck.partition_pieces = options.partition_pieces;
+    ck.num_unknowns = static_cast<std::uint64_t>(ctx.x.size());
+    ck.num_probes = result.trace.probes().size();
+    ck.tstop = spec.tstop;
+    ck.h = h;
+    ck.restart = restart;
+    ck.steps_since_restart = static_cast<std::uint64_t>(steps_since_restart);
+    ck.floor_streak = static_cast<std::uint64_t>(floor_streak);
+    ck.next_breakpoint = next_bp;
+    for (const auto& sp : history.Window(history.size())) {
+      CheckpointPoint p;
+      p.time = sp->time;
+      p.x = sp->x;
+      p.q = sp->q;
+      p.qdot = sp->qdot;
+      p.auxiliary = sp->auxiliary;
+      ck.history.push_back(std::move(p));
+    }
+    ck.stats = result.stats;
+    ck.stats.AbsorbLuStats(ctx.lu.stats());
+    if (ctx.bbd.configured()) ck.stats.AbsorbPartitionStats(net_bbd_stats());
+    ck.stats.bypassed_evals += ctx.bypass.bypassed_evals();
+    ck.stats.bypass_full_evals += ctx.bypass.full_evals();
+    ck.stats.wall_seconds = total_timer.Seconds();
+    ck.lu_seed_full = ctx.lu_seeds.full;
+    ck.lu_seed_numeric = ctx.lu_seeds.numeric;
+    ck.bbd_seed_full = ctx.bbd_seeds.full;
+    ck.bbd_seed_numeric = ctx.bbd_seeds.numeric;
+    ck.steps = result.steps;
+    ck.trace_times.assign(result.trace.times().begin(), result.trace.times().end());
+    const std::size_t stride = result.trace.probes().size();
+    ck.trace_values.reserve(result.trace.num_samples() * stride);
+    for (std::size_t s = 0; s < result.trace.num_samples(); ++s) {
+      for (std::size_t p = 0; p < stride; ++p) {
+        ck.trace_values.push_back(result.trace.value(s, p));
+      }
+    }
+    return SerializeCheckpoint(ck);
+  };
+
+  // Accepted-step boundary hook: breaker cooldowns, checkpoint cadence, the
+  // budget governor, and watchdog escalation.  True = stop the run now.
+  const auto accepted_boundary = [&]() -> bool {
+    ++process_steps;
+    if (breakers.enabled()) {
+      const std::uint64_t reprobe = breakers.OnAcceptedStep();
+      if (reprobe & FeatureBit(Feature::kChord)) live.chord_newton = options.chord_newton;
+      if (reprobe & FeatureBit(Feature::kPartition)) ctx.ReengagePartition();
+      // No bypass re-probe: DeviceBypass::Disable is terminal, matching the
+      // step-floor safety valve's one-way semantics.
+    }
+    sink.MaybeWrite(process_steps, snapshot);
+    if (watchdog.ShouldAbort()) {
+      ++rstats.watchdog_escalations;
+      result.completed = false;
+      result.abort_reason = watchdog.AbortReason();
+      return true;
+    }
+    const std::string budget_reason =
+        run_budget.Exceeded(process_steps, process_newton, total_timer.Seconds());
+    if (!budget_reason.empty()) {
+      rstats.budget_exhausted = 1;
+      result.completed = false;
+      result.abort_reason = budget_reason;
+      return true;
+    }
+    return false;
+  };
 
   while (!TransientHorizonReached(history.newest_time(), spec.tstop)) {
     const double t_now = history.newest_time();
@@ -218,13 +364,25 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     const HistoryWindow window = history.Window(4);
     StepSolveResult solve;
     try {
-      solve = SolveTimePoint(ctx, window, t_new, options.method, restart, options);
+      solve = SolveTimePoint(ctx, window, t_new, live.method, restart, live);
     } catch (const Error& error) {
       // Recoverable engine errors (injected or genuine) demote to a failed
       // solve: the shrink/rescue machinery below owns what happens next.
       solve.converged = false;
       solve.failure = error.what();
     }
+    if (breakers.enabled()) {
+      std::uint64_t mask = 0;
+      if (live.chord_newton) mask |= FeatureBit(Feature::kChord);
+      if (ctx.bypass.active()) mask |= FeatureBit(Feature::kBypass);
+      if (ctx.partition_active()) mask |= FeatureBit(Feature::kPartition);
+      const std::uint64_t tripped =
+          breakers.OnSolveOutcome(mask, solve.converged, solve.solve_seconds);
+      if (tripped & FeatureBit(Feature::kChord)) live.chord_newton = false;
+      if (tripped & FeatureBit(Feature::kBypass)) ctx.bypass.Disable();
+      if (tripped & FeatureBit(Feature::kPartition)) ctx.DisengagePartition();
+    }
+    process_newton += static_cast<std::uint64_t>(solve.newton.iterations);
     result.stats.newton_iterations += static_cast<std::uint64_t>(solve.newton.iterations);
     result.stats.lu_full_factors += static_cast<std::uint64_t>(solve.newton.lu_full_factors);
     result.stats.lu_refactors += static_cast<std::uint64_t>(solve.newton.lu_refactors);
@@ -244,7 +402,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
         // minimal step before giving up.
         const double t_rescue = std::min(t_now + limits.hmin, spec.tstop);
         RescueOutcome rescue =
-            AttemptRescue(ctx, window, t_rescue, options, result.stats);
+            AttemptRescue(ctx, window, t_rescue, live, result.stats);
         if (rescue.rescued) {
           history.Add(rescue.solve.point);
           result.trace.Record(t_rescue, rescue.solve.point->x);
@@ -267,6 +425,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
             ctx.bypass.Disable();
             result.stats.bypass_auto_disables += 1;
           }
+          if (accepted_boundary()) break;
           continue;
         }
         result.completed = false;
@@ -284,7 +443,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     // yet trustworthy (restart step and the one following it).
     const bool lte_active = !restart && steps_since_restart >= 1 && window.size() >= 2;
     const StepControlParams params =
-        MakeStepParams(options, circuit.num_nodes(), solve.plan.order);
+        MakeStepParams(live, circuit.num_nodes(), solve.plan.order);
     const StepAssessment assess = [&] {
       WP_TSPAN("lte", "assess_step");
       return AssessStep(solve.point->x, solve.predicted, t_new - t_now, lte_active,
@@ -335,12 +494,18 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
     } else {
       h = std::max(assess.h_next, limits.hmin);
     }
+
+    if (accepted_boundary()) break;
   }
 
+  watchdog.Finish();
+  // One final snapshot on EVERY exit (completion, budget, watchdog, rescue
+  // exhaustion): the newest accepted state is always resumable.
+  sink.WriteFinal(snapshot);
   result.last_good_time = history.newest_time();
   result.stats.wall_seconds = total_timer.Seconds();
   result.stats.AbsorbLuStats(ctx.lu.stats());
-  if (ctx.partition_active()) result.stats.AbsorbPartitionStats(ctx.bbd.stats());
+  if (ctx.bbd.configured()) result.stats.AbsorbPartitionStats(net_bbd_stats());
   result.stats.bypassed_evals += ctx.bypass.bypassed_evals();
   result.stats.bypass_full_evals += ctx.bypass.full_evals();
   return result;

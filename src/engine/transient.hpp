@@ -15,6 +15,7 @@
 #include "engine/mna.hpp"
 #include "engine/newton.hpp"
 #include "engine/options.hpp"
+#include "engine/resilience_stats.hpp"
 #include "engine/step_control.hpp"
 #include "engine/trace.hpp"
 
@@ -179,6 +180,9 @@ struct TransientStats {
 struct TransientResult {
   Trace trace;
   TransientStats stats;
+  /// Durable-run telemetry (ckpt./watchdog./resilience. counter groups); all
+  /// zero unless SimOptions::resilience engaged something.
+  ResilienceStats resilience;
   std::vector<StepRecord> steps;
   SolutionPointPtr final_point;
   /// False when the run aborted before reaching tstop.  The trace, stats,

@@ -65,6 +65,15 @@ struct FineGrainedResult {
   PhaseBreakdown phases;
   engine::AssemblyStats assembly;  ///< strategy chosen + per-phase assembly time
   engine::SolutionPointPtr final_point;
+  /// Structured failure reporting (same contract as TransientResult): an
+  /// unconverged step at hmin, a budget stop, or a watchdog escalation ends
+  /// the run with completed=false and the waveform up to last_good_time
+  /// intact instead of an unwound stack.
+  bool completed = true;
+  std::string abort_reason;
+  double last_good_time = 0.0;
+  /// Durable-run telemetry (ckpt./watchdog./resilience. counter groups).
+  engine::ResilienceStats resilience;
 };
 
 /// Runs the fine-grained-parallel transient.  Waveforms are identical to the

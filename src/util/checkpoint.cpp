@@ -1,0 +1,262 @@
+#include "util/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/fault.hpp"
+
+namespace wavepipe::util {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'W', 'P', 'C', 'K'};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 4;
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string SlotPath(const std::string& path_base, std::uint64_t generation) {
+  return path_base + ((generation % 2 == 0) ? ".a" : ".b");
+}
+
+/// One slot's validation outcome: a payload, or the reason it was rejected.
+struct SlotRead {
+  bool valid = false;
+  std::uint64_t generation = 0;
+  std::vector<std::uint8_t> payload;
+  std::string reject_reason;
+};
+
+SlotRead ReadSlot(const std::string& path) {
+  SlotRead slot;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    slot.reject_reason = path + ": " + std::strerror(errno);
+    return slot;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 65536> chunk;
+  std::size_t got;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), file)) > 0) {
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    slot.reject_reason = path + ": read error";
+    return slot;
+  }
+  if (bytes.size() < kHeaderBytes) {
+    slot.reject_reason = path + ": truncated header (" + std::to_string(bytes.size()) +
+                         " bytes)";
+    return slot;
+  }
+  if (std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0) {
+    slot.reject_reason = path + ": bad magic";
+    return slot;
+  }
+  const std::uint32_t version = GetU32(bytes.data() + 4);
+  if (version != kCheckpointFormatVersion) {
+    slot.reject_reason = path + ": unsupported format version " + std::to_string(version);
+    return slot;
+  }
+  slot.generation = GetU64(bytes.data() + 8);
+  const std::uint64_t payload_len = GetU64(bytes.data() + 16);
+  const std::uint32_t stored_crc = GetU32(bytes.data() + 24);
+  if (bytes.size() - kHeaderBytes != payload_len) {
+    slot.reject_reason = path + ": truncated payload (" +
+                         std::to_string(bytes.size() - kHeaderBytes) + " of " +
+                         std::to_string(payload_len) + " bytes)";
+    return slot;
+  }
+  const std::span<const std::uint8_t> payload(bytes.data() + kHeaderBytes, payload_len);
+  const std::uint32_t crc = Crc32(payload);
+  if (crc != stored_crc) {
+    slot.reject_reason = path + ": CRC mismatch";
+    return slot;
+  }
+  slot.valid = true;
+  slot.payload.assign(payload.begin(), payload.end());
+  return slot;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : bytes) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::U32(std::uint32_t v) { PutU32(bytes_, v); }
+void ByteWriter::U64(std::uint64_t v) { PutU64(bytes_, v); }
+
+void ByteWriter::F64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::Str(const std::string& v) {
+  U64(v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::DoubleVec(std::span<const double> v) {
+  U64(v.size());
+  for (const double d : v) F64(d);
+}
+
+void ByteReader::Need(std::size_t n) {
+  if (bytes_.size() - pos_ < n) {
+    throw CheckpointError("checkpoint payload truncated: need " + std::to_string(n) +
+                          " bytes at offset " + std::to_string(pos_) + ", have " +
+                          std::to_string(bytes_.size() - pos_));
+  }
+}
+
+std::uint8_t ByteReader::U8() {
+  Need(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t ByteReader::U32() {
+  Need(4);
+  const std::uint32_t v = GetU32(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::U64() {
+  Need(8);
+  const std::uint64_t v = GetU64(bytes_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::F64() {
+  const std::uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::Str() {
+  const std::uint64_t n = U64();
+  Need(n);
+  std::string v(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return v;
+}
+
+std::vector<double> ByteReader::DoubleVec() {
+  const std::uint64_t n = U64();
+  Need(n * 8);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(F64());
+  return v;
+}
+
+std::size_t WriteCheckpointSlot(const std::string& path_base,
+                                std::span<const std::uint8_t> payload,
+                                std::uint64_t generation) {
+  if (WP_FAULT_POINT("ckpt.write")) {
+    throw CheckpointError("injected ckpt.write I/O failure");
+  }
+
+  std::vector<std::uint8_t> file_bytes;
+  file_bytes.reserve(kHeaderBytes + payload.size());
+  file_bytes.insert(file_bytes.end(), kMagic.begin(), kMagic.end());
+  PutU32(file_bytes, kCheckpointFormatVersion);
+  PutU64(file_bytes, generation);
+  PutU64(file_bytes, payload.size());
+  PutU32(file_bytes, Crc32(payload));
+  file_bytes.insert(file_bytes.end(), payload.begin(), payload.end());
+
+  // After the CRC is sealed: a flipped payload byte yields a well-formed file
+  // that MUST be rejected by LoadNewestCheckpoint — the corrupt-file tests'
+  // deterministic way to produce on-disk damage.
+  if (WP_FAULT_POINT("ckpt.corrupt") && !payload.empty()) {
+    file_bytes[kHeaderBytes + payload.size() / 2] ^= 0xFFu;
+  }
+
+  const std::string final_path = SlotPath(path_base, generation);
+  const std::string tmp_path = path_base + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    throw CheckpointError(tmp_path + ": open failed: " + std::strerror(errno));
+  }
+  const std::size_t wrote = std::fwrite(file_bytes.data(), 1, file_bytes.size(), file);
+  if (wrote != file_bytes.size() || std::fflush(file) != 0 ||
+      ::fsync(::fileno(file)) != 0) {
+    std::fclose(file);
+    std::remove(tmp_path.c_str());
+    throw CheckpointError(tmp_path + ": write failed: " + std::strerror(errno));
+  }
+  std::fclose(file);
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    std::remove(tmp_path.c_str());
+    throw CheckpointError(final_path + ": rename failed: " + reason);
+  }
+  return file_bytes.size();
+}
+
+LoadedCheckpoint LoadNewestCheckpoint(const std::string& path_base) {
+  SlotRead best;
+  std::string reasons;
+  for (const std::string& path :
+       {path_base + ".a", path_base + ".b", path_base}) {
+    SlotRead slot = ReadSlot(path);
+    if (slot.valid) {
+      if (!best.valid || slot.generation > best.generation) best = std::move(slot);
+    } else {
+      if (!reasons.empty()) reasons += "; ";
+      reasons += slot.reject_reason;
+    }
+  }
+  if (!best.valid) {
+    throw CheckpointError("no valid checkpoint at " + path_base + " (" + reasons + ")");
+  }
+  LoadedCheckpoint loaded;
+  loaded.generation = best.generation;
+  loaded.payload = std::move(best.payload);
+  return loaded;
+}
+
+}  // namespace wavepipe::util

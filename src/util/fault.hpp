@@ -29,6 +29,16 @@
 //   spec.mispredict   ValidateSpeculativeChain sees the prediction error as
 //                     out of tolerance, forcing the discard path (exercises
 //                     the adaptive speculation policy's depth degradation)
+//   schur.factor      BbdSolver::FactorOrRefactor throws SingularMatrixError
+//                     from the Schur-complement factorization
+//   ckpt.write        WriteCheckpointSlot fails as if the disk did (throws
+//                     CheckpointError before the slot is replaced)
+//   ckpt.corrupt      WriteCheckpointSlot flips a payload byte AFTER the CRC
+//                     is sealed, producing an on-disk file a resume must reject
+//   watchdog.stall    the stall watchdog's next sample reads as no-progress
+//                     regardless of the real heartbeats (forces escalation)
+//   breaker.trip      the next breaker-board observation trips the breaker of
+//                     the feature it is attributed to, bypassing the EWMA
 #pragma once
 
 #include <cstdint>

@@ -35,7 +35,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    tasks_started_.fetch_add(1, std::memory_order_relaxed);
     task();  // packaged_task captures exceptions into the future
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -15,7 +15,9 @@
 //    deadlock the caller forever).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -71,6 +73,18 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Liveness heartbeats for the stall watchdog (engine/resilience.hpp):
+  /// ticked by workers at task pickup and completion (relaxed).  A pool whose
+  /// started beat advances while completed stays put has a hung task; one
+  /// where neither moves is idle or starved — the watchdog's no-progress
+  /// window covers both, fed alongside the Newton-loop heartbeats.
+  const std::atomic<std::uint64_t>& tasks_started_heartbeat() const {
+    return tasks_started_;
+  }
+  const std::atomic<std::uint64_t>& tasks_completed_heartbeat() const {
+    return tasks_completed_;
+  }
+
  private:
   void WorkerLoop();
 
@@ -79,6 +93,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> tasks_started_{0};
+  std::atomic<std::uint64_t> tasks_completed_{0};
 };
 
 }  // namespace wavepipe::util

@@ -7,6 +7,7 @@
 #include "engine/rescue.hpp"
 #include "parallel/coloring.hpp"
 #include "partition/partitioner.hpp"
+#include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
@@ -33,7 +34,11 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
       spec_(spec),
       options_(options),
       limits_(engine::StepLimits::FromSpec(spec, options.sim)),
-      history_(options.sim.history_depth) {
+      history_(options.sim.history_depth),
+      sink_(options.sim.resilience, result_.resilience),
+      budget_(options.sim.resilience),
+      watchdog_(options.sim.resilience, result_.resilience),
+      breakers_(options.sim.resilience, result_.resilience) {
   WP_ASSERT(options_.threads >= 1);
   if (options_.scheme == Scheme::kSerial) options_.threads = 1;
   if (options_.scheme == Scheme::kCombined && options_.threads < 3) {
@@ -92,6 +97,8 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
   // Latency bypass / chord Newton: per-context caches and factor-reuse
   // state, so pipelined solves on different contexts never share them.
   for (auto& ctx : contexts_) ctx->ConfigureAcceleration(options_.sim);
+  chord_configured_ = options_.sim.chord_newton;
+  for (auto& ctx : contexts_) ctx->record_factor_seeds = sink_.enabled();
 
   // Domain decomposition: ONE plan computed for the shared pattern, handed
   // to every context (each keeps its own numeric BbdSolver — piece factors
@@ -113,46 +120,63 @@ WavePipeResult PipelineDriver::Run() {
   // lane slot+1 (see SubmitSolve), which the Chrome exporter renders as one
   // track per pipeline worker.
   util::telemetry::ScopedLane lane(0, "driver");
-  util::WallTimer total_timer;
+  total_timer_.Reset();
   result_.trace = engine::Trace(spec_.probes.size() > 0
                                     ? spec_.probes
                                     : engine::ProbeSet::FirstNodes(circuit_.num_nodes(), 16));
   result_.trace.ReserveEstimate(spec_.tstop - spec_.tstart, limits_.hmin);
 
-  // Sequential prologue: DC operating point on context 0.
-  engine::SolveContext& ctx0 = *contexts_[0];
-  util::ThreadCpuTimer dc_timer;
-  engine::DcopResult dcop;
-  try {
-    dcop = engine::SolveDcOperatingPoint(ctx0, options_.sim, spec_.initial_conditions);
-  } catch (const Error& error) {
-    result_.completed = false;
-    result_.abort_reason = error.what();
-    result_.last_good_time = spec_.tstart;
-    result_.stats.wall_seconds = total_timer.Seconds();
-    return std::move(result_);
+  // Stall watchdog sources: every context's Newton heartbeat plus the worker
+  // pool's task counters — the sampling window sees both stuck solves and a
+  // wedged pool.
+  for (auto& ctx : contexts_) watchdog_.AddSource(&ctx->heartbeat);
+  if (pool_) {
+    watchdog_.AddSource(&pool_->tasks_started_heartbeat());
+    watchdog_.AddSource(&pool_->tasks_completed_heartbeat());
   }
-  result_.stats.dcop_strategy = dcop.strategy;
+  watchdog_.Start();
 
-  SolveRecord dc_record;
-  dc_record.kind = SolveKind::kDcop;
-  dc_record.time_point = spec_.tstart;
-  dc_record.seconds = dc_timer.Seconds();
-  dc_record.newton_iterations = dcop.newton.iterations;
-  const int dc_id = result_.ledger.Add(dc_record);
+  if (options_.sim.resilience.resume != nullptr) {
+    // Resume at the round barrier the checkpoint captured; the DC operating
+    // point is already inside the restored history/trace/ledger.
+    RestoreFromCheckpoint(*options_.sim.resilience.resume);
+  } else {
+    // Sequential prologue: DC operating point on context 0.
+    engine::SolveContext& ctx0 = *contexts_[0];
+    util::ThreadCpuTimer dc_timer;
+    engine::DcopResult dcop;
+    try {
+      dcop = engine::SolveDcOperatingPoint(ctx0, options_.sim, spec_.initial_conditions);
+    } catch (const Error& error) {
+      watchdog_.Finish();
+      result_.completed = false;
+      result_.abort_reason = error.what();
+      result_.last_good_time = spec_.tstart;
+      result_.stats.wall_seconds = total_timer_.Seconds();
+      return std::move(result_);
+    }
+    result_.stats.dcop_strategy = dcop.strategy;
 
-  // Seed history/trace with the operating point.  Not counted as an
-  // accepted step (the serial engine doesn't count it either).
-  const engine::SolutionPointPtr dc_point = engine::MakeDcSolutionPoint(ctx0, spec_.tstart);
-  history_.Add(dc_point);
-  ledger_id_of_point_[dc_point.get()] = dc_id;
-  result_.trace.Record(dc_point->time, dc_point->x);
-  result_.final_point = dc_point;
+    SolveRecord dc_record;
+    dc_record.kind = SolveKind::kDcop;
+    dc_record.time_point = spec_.tstart;
+    dc_record.seconds = dc_timer.Seconds();
+    dc_record.newton_iterations = dcop.newton.iterations;
+    const int dc_id = result_.ledger.Add(dc_record);
 
-  h_ = limits_.h0;
-  restart_ = true;
-  steps_since_restart_ = 0;
-  last_leading_time_ = spec_.tstart;
+    // Seed history/trace with the operating point.  Not counted as an
+    // accepted step (the serial engine doesn't count it either).
+    const engine::SolutionPointPtr dc_point = engine::MakeDcSolutionPoint(ctx0, spec_.tstart);
+    history_.Add(dc_point);
+    ledger_id_of_point_[dc_point.get()] = dc_id;
+    result_.trace.Record(dc_point->time, dc_point->x);
+    result_.final_point = dc_point;
+
+    h_ = limits_.h0;
+    restart_ = true;
+    steps_since_restart_ = 0;
+    last_leading_time_ = spec_.tstart;
+  }
 
   while (!Done() && !aborted_) {
     result_.sched.rounds += 1;
@@ -187,17 +211,28 @@ WavePipeResult PipelineDriver::Run() {
         break;
       }
     }
+    // Rounds are the pipeline's quiescent checkpoint boundaries: every solve
+    // joined, only the driver thread alive.
+    RoundBarrier();
   }
 
   result_.completed = !aborted_;
   result_.abort_reason = abort_reason_;
   result_.last_good_time = history_.newest_time();
   result_.spec = policy_.stats();
-  result_.stats.wall_seconds = total_timer.Seconds();
+
+  watchdog_.Finish();
+  // One final snapshot on EVERY exit (completion, budget, watchdog, rescue
+  // exhaustion) — the newest round barrier is always resumable.  Runs BEFORE
+  // the absorption below: Snapshot() folds context stats into its own copy.
+  sink_.WriteFinal([this] { return Snapshot(); });
+
+  result_.stats.wall_seconds = total_timer_.Seconds();
   if (assembler_) result_.assembly = assembler_->stats();
-  for (const auto& ctx : contexts_) {
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    const auto& ctx = contexts_[i];
     result_.stats.AbsorbLuStats(ctx->lu.stats());
-    if (ctx->partition_active()) result_.stats.AbsorbPartitionStats(ctx->bbd.stats());
+    if (ctx->bbd.configured()) result_.stats.AbsorbPartitionStats(NetBbdStats(i));
     result_.stats.bypassed_evals += ctx->bypass.bypassed_evals();
     result_.stats.bypass_full_evals += ctx->bypass.full_evals();
   }
@@ -315,6 +350,7 @@ int PipelineDriver::Record(SolveKind kind, const engine::StepSolveResult& solve,
   result_.stats.lu_refactors += static_cast<std::uint64_t>(solve.newton.lu_refactors);
   result_.stats.chord_solves += static_cast<std::uint64_t>(solve.newton.chord_solves);
   result_.stats.forced_refactors += static_cast<std::uint64_t>(solve.newton.forced_refactors);
+  process_newton_ += static_cast<std::uint64_t>(solve.newton.iterations);
   return result_.ledger.Add(std::move(record));
 }
 
@@ -335,6 +371,7 @@ void PipelineDriver::AcceptPoint(const engine::SolutionPointPtr& point, int ledg
   if (leading) {
     result_.trace.Record(point->time, point->x);
     result_.stats.steps_accepted += 1;
+    ++process_steps_;
     result_.final_point = point;
 
     // Bypass step-floor safety valve (same rule as the serial engine): a
@@ -369,6 +406,11 @@ void PipelineDriver::OnNewtonFailure(double attempted_h,
                                      std::vector<int> deps) {
   result_.stats.steps_rejected_newton += 1;
   Record(SolveKind::kRejected, solve, std::move(deps), /*useful=*/false);
+  if (breakers_.enabled()) {
+    ApplyBreakerTrips(breakers_.OnSolveOutcome(ActiveFeatureMask(),
+                                               /*converged=*/false,
+                                               solve.solve_seconds));
+  }
   ++consecutive_failures_;
   MaybeQuarantine();
   h_ = attempted_h / options_.sim.newton_fail_shrink;
@@ -417,6 +459,11 @@ void PipelineDriver::OnLeadingAccepted(const engine::StepAssessment& assess,
   (void)growth_cap;
   if (bwp_cooldown_ > 0) --bwp_cooldown_;
   policy_.OnLeadingAccepted();
+  if (breakers_.enabled()) {
+    // A converged leading solve clears every participating feature's
+    // consecutive-failure count (never trips).
+    (void)breakers_.OnSolveOutcome(ActiveFeatureMask(), /*converged=*/true, 0.0);
+  }
   consecutive_failures_ = 0;  // a clean leading accept ends the failure streak
   ++steps_since_restart_;
   restart_ = false;
@@ -466,6 +513,315 @@ double PipelineDriver::BwpGrowthCap(int backward_points) const {
       std::min(static_cast<std::size_t>(backward_points) - 1,
                options_.bwp_growth_caps.size() - 1);
   return options_.bwp_growth_caps[index];
+}
+
+// ---------------------------------------------------------------------------
+// Durable-run machinery (engine/resilience.hpp)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// PipelineSchedStats fields packed ahead of the SpeculationPolicy state in
+/// TransientCheckpoint::sched_u64 (fixed order — part of the ckpt format).
+constexpr std::size_t kSchedU64Fields = 17;
+}  // namespace
+
+void PipelineDriver::PackSched(std::vector<std::uint64_t>& u64,
+                               std::vector<double>& f64) const {
+  const PipelineSchedStats& s = result_.sched;
+  u64.clear();
+  f64.clear();
+  u64.reserve(kSchedU64Fields + SpeculationPolicy::kStateU64);
+  u64.push_back(static_cast<std::uint64_t>(s.rounds));
+  u64.push_back(static_cast<std::uint64_t>(s.backward_solves));
+  u64.push_back(static_cast<std::uint64_t>(s.speculative_solves));
+  u64.push_back(static_cast<std::uint64_t>(s.speculative_accepted));
+  u64.push_back(static_cast<std::uint64_t>(s.speculative_direct));
+  u64.push_back(static_cast<std::uint64_t>(s.speculative_discarded));
+  u64.push_back(static_cast<std::uint64_t>(s.repair_solves));
+  u64.push_back(s.repair_newton_iterations);
+  u64.push_back(static_cast<std::uint64_t>(s.quarantine_activations));
+  u64.push_back(static_cast<std::uint64_t>(s.quarantined_rounds));
+  u64.push_back(static_cast<std::uint64_t>(s.drained_task_errors));
+  u64.push_back(static_cast<std::uint64_t>(s.fwp_speculative_solves));
+  u64.push_back(static_cast<std::uint64_t>(s.fwp_speculative_accepted));
+  u64.push_back(static_cast<std::uint64_t>(s.combined_speculative_solves));
+  u64.push_back(static_cast<std::uint64_t>(s.combined_speculative_accepted));
+  u64.push_back(static_cast<std::uint64_t>(s.bwp_backward_solves));
+  u64.push_back(static_cast<std::uint64_t>(s.combined_backward_solves));
+  policy_.SaveState(u64, f64);
+}
+
+void PipelineDriver::UnpackSched(std::span<const std::uint64_t> u64,
+                                 std::span<const double> f64) {
+  if (u64.size() != kSchedU64Fields + SpeculationPolicy::kStateU64 ||
+      f64.size() != SpeculationPolicy::kStateF64) {
+    throw util::CheckpointError("pipeline checkpoint scheduler-state layout mismatch");
+  }
+  PipelineSchedStats& s = result_.sched;
+  std::size_t i = 0;
+  s.rounds = static_cast<std::size_t>(u64[i++]);
+  s.backward_solves = static_cast<std::size_t>(u64[i++]);
+  s.speculative_solves = static_cast<std::size_t>(u64[i++]);
+  s.speculative_accepted = static_cast<std::size_t>(u64[i++]);
+  s.speculative_direct = static_cast<std::size_t>(u64[i++]);
+  s.speculative_discarded = static_cast<std::size_t>(u64[i++]);
+  s.repair_solves = static_cast<std::size_t>(u64[i++]);
+  s.repair_newton_iterations = u64[i++];
+  s.quarantine_activations = static_cast<std::size_t>(u64[i++]);
+  s.quarantined_rounds = static_cast<std::size_t>(u64[i++]);
+  s.drained_task_errors = static_cast<std::size_t>(u64[i++]);
+  s.fwp_speculative_solves = static_cast<std::size_t>(u64[i++]);
+  s.fwp_speculative_accepted = static_cast<std::size_t>(u64[i++]);
+  s.combined_speculative_solves = static_cast<std::size_t>(u64[i++]);
+  s.combined_speculative_accepted = static_cast<std::size_t>(u64[i++]);
+  s.bwp_backward_solves = static_cast<std::size_t>(u64[i++]);
+  s.combined_backward_solves = static_cast<std::size_t>(u64[i++]);
+  policy_.RestoreState(u64.subspan(kSchedU64Fields), f64);
+}
+
+sparse::BbdStats PipelineDriver::NetBbdStats(std::size_t i) const {
+  sparse::BbdStats s = contexts_[i]->bbd.stats();
+  if (i < bbd_prime_base_.size()) {
+    const sparse::BbdStats& base = bbd_prime_base_[i];
+    s.full_factor_count -= base.full_factor_count;
+    s.refactor_count -= base.refactor_count;
+    s.solve_count -= base.solve_count;
+    s.schur_factor_count -= base.schur_factor_count;
+    s.schur_seconds -= base.schur_seconds;
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> PipelineDriver::Snapshot() {
+  engine::TransientCheckpoint ck;
+  ck.engine = "pipeline";
+  ck.scheme = SchemeName(options_.scheme);
+  ck.partition_pieces = options_.sim.partition_pieces;
+  ck.num_unknowns = static_cast<std::uint64_t>(contexts_[0]->x.size());
+  ck.num_probes = result_.trace.probes().size();
+  ck.tstop = spec_.tstop;
+
+  ck.h = h_;
+  ck.restart = restart_;
+  ck.steps_since_restart = static_cast<std::uint64_t>(steps_since_restart_);
+  ck.floor_streak = static_cast<std::uint64_t>(floor_streak_);
+  ck.next_breakpoint = next_breakpoint_;
+
+  ck.last_leading_time = last_leading_time_;
+  ck.bwp_cooldown = static_cast<std::uint64_t>(bwp_cooldown_);
+  ck.consecutive_failures = static_cast<std::uint64_t>(consecutive_failures_);
+  ck.quarantine_rounds_left = static_cast<std::uint64_t>(quarantine_rounds_left_);
+  ck.last_growth_factor = last_growth_factor_;
+  ck.avg_lead_iters = avg_lead_iters_;
+  ck.avg_repair_iters = avg_repair_iters_;
+  ck.repair_samples = static_cast<std::uint64_t>(repair_samples_);
+  PackSched(ck.sched_u64, ck.sched_f64);
+
+  ck.ledger.reserve(result_.ledger.size());
+  for (const auto& rec : result_.ledger.records()) {
+    engine::CheckpointLedgerRecord r;
+    r.id = rec.id;
+    r.kind = static_cast<std::uint8_t>(rec.kind);
+    r.time_point = rec.time_point;
+    r.seconds = rec.seconds;
+    r.newton_iterations = rec.newton_iterations;
+    r.useful = rec.useful;
+    r.deps.assign(rec.deps.begin(), rec.deps.end());
+    ck.ledger.push_back(std::move(r));
+  }
+
+  for (const auto& sp : history_.Window(history_.size())) {
+    engine::CheckpointPoint p;
+    p.time = sp->time;
+    p.x = sp->x;
+    p.q = sp->q;
+    p.qdot = sp->qdot;
+    p.auxiliary = sp->auxiliary;
+    const auto it = ledger_id_of_point_.find(sp.get());
+    p.ledger_id = it != ledger_id_of_point_.end() ? it->second : -1;
+    ck.history.push_back(std::move(p));
+  }
+
+  // Solver stats absorbed into the snapshot COPY so the live tallies keep
+  // accumulating raw (the epilogue absorbs them exactly once).
+  ck.stats = result_.stats;
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    ck.stats.AbsorbLuStats(contexts_[i]->lu.stats());
+    if (contexts_[i]->bbd.configured()) ck.stats.AbsorbPartitionStats(NetBbdStats(i));
+    ck.stats.bypassed_evals += contexts_[i]->bypass.bypassed_evals();
+    ck.stats.bypass_full_evals += contexts_[i]->bypass.full_evals();
+  }
+  ck.stats.wall_seconds = total_timer_.Seconds();
+
+  for (const auto& ctx : contexts_) {
+    engine::CheckpointContextSeeds seeds;
+    seeds.lu_full = ctx->lu_seeds.full;
+    seeds.lu_numeric = ctx->lu_seeds.numeric;
+    seeds.bbd_full = ctx->bbd_seeds.full;
+    seeds.bbd_numeric = ctx->bbd_seeds.numeric;
+    ck.context_seeds.push_back(std::move(seeds));
+  }
+
+  ck.trace_times.assign(result_.trace.times().begin(), result_.trace.times().end());
+  const std::size_t stride = result_.trace.probes().size();
+  ck.trace_values.reserve(result_.trace.num_samples() * stride);
+  for (std::size_t s = 0; s < result_.trace.num_samples(); ++s) {
+    for (std::size_t p = 0; p < stride; ++p) {
+      ck.trace_values.push_back(result_.trace.value(s, p));
+    }
+  }
+  return engine::SerializeCheckpoint(ck);
+}
+
+void PipelineDriver::RestoreFromCheckpoint(const engine::TransientCheckpoint& ck) {
+  engine::ValidateResume(ck, "pipeline", SchemeName(options_.scheme),
+                         options_.sim.partition_pieces,
+                         static_cast<std::uint64_t>(contexts_[0]->x.size()),
+                         result_.trace.probes().size(), spec_.tstop);
+  if (ck.context_seeds.size() != contexts_.size()) {
+    throw util::CheckpointError(
+        "pipeline checkpoint carries " + std::to_string(ck.context_seeds.size()) +
+        " context slots, this run has " + std::to_string(contexts_.size()) +
+        " (thread/policy configuration differs)");
+  }
+  UnpackSched(ck.sched_u64, ck.sched_f64);
+  result_.resilience.ckpt_resumed = 1;
+  result_.stats = ck.stats;
+
+  for (const auto& rec : ck.ledger) {
+    SolveRecord r;
+    r.kind = static_cast<SolveKind>(rec.kind);
+    r.time_point = rec.time_point;
+    r.seconds = rec.seconds;
+    r.newton_iterations = static_cast<int>(rec.newton_iterations);
+    r.useful = rec.useful;
+    r.deps.assign(rec.deps.begin(), rec.deps.end());
+    const int id = result_.ledger.Add(std::move(r));
+    if (id != static_cast<int>(rec.id)) {
+      throw util::CheckpointError("pipeline checkpoint ledger ids not contiguous");
+    }
+  }
+
+  for (const auto& p : ck.history) {
+    auto point = std::make_shared<engine::SolutionPoint>();
+    point->time = p.time;
+    point->x = p.x;
+    point->q = p.q;
+    point->qdot = p.qdot;
+    point->auxiliary = p.auxiliary;
+    if (p.ledger_id >= 0) {
+      ledger_id_of_point_[point.get()] = static_cast<int>(p.ledger_id);
+    }
+    history_.Add(std::move(point));
+  }
+
+  const std::size_t stride = result_.trace.probes().size();
+  for (std::size_t s = 0; s < ck.trace_times.size(); ++s) {
+    result_.trace.AppendProbeSample(
+        ck.trace_times[s],
+        std::span<const double>(ck.trace_values).subspan(s * stride, stride));
+  }
+  result_.final_point = history_.newest();
+  result_.last_good_time = history_.newest_time();
+
+  h_ = ck.h;
+  restart_ = ck.restart;
+  steps_since_restart_ = static_cast<int>(ck.steps_since_restart);
+  floor_streak_ = static_cast<int>(ck.floor_streak);
+  next_breakpoint_ = ck.next_breakpoint;
+  last_leading_time_ = ck.last_leading_time;
+  bwp_cooldown_ = static_cast<int>(ck.bwp_cooldown);
+  consecutive_failures_ = static_cast<int>(ck.consecutive_failures);
+  quarantine_rounds_left_ = static_cast<int>(ck.quarantine_rounds_left);
+  last_growth_factor_ = ck.last_growth_factor;
+  avg_lead_iters_ = ck.avg_lead_iters;
+  avg_repair_iters_ = ck.avg_repair_iters;
+  repair_samples_ = static_cast<int>(ck.repair_samples);
+
+  // Prime every context's linear solvers from its replay seeds so the first
+  // post-resume solve on each slot REFACTORS exactly like the uninterrupted
+  // run (see FactorSeeds).  The factor counters this spends are bookkeeping,
+  // not simulation work — keep them out of the absorbed stats.
+  bbd_prime_base_.assign(contexts_.size(), sparse::BbdStats{});
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    const engine::CheckpointContextSeeds& seeds = ck.context_seeds[i];
+    contexts_[i]->PrimeFactorsFromSeeds(
+        engine::FactorSeeds{seeds.lu_full, seeds.lu_numeric},
+        engine::FactorSeeds{seeds.bbd_full, seeds.bbd_numeric});
+    if (contexts_[i]->bbd.configured()) bbd_prime_base_[i] = contexts_[i]->bbd.stats();
+  }
+}
+
+std::uint64_t PipelineDriver::ActiveFeatureMask() const {
+  std::uint64_t mask = 0;
+  if (options_.sim.chord_newton) mask |= engine::FeatureBit(engine::Feature::kChord);
+  if (contexts_[0]->bypass.active()) mask |= engine::FeatureBit(engine::Feature::kBypass);
+  if (contexts_[0]->partition_active()) {
+    mask |= engine::FeatureBit(engine::Feature::kPartition);
+  }
+  if (contexts_[0]->factor_pool != nullptr) {
+    mask |= engine::FeatureBit(engine::Feature::kParallelFactor);
+  }
+  if (contexts_[0]->assembler != nullptr) {
+    mask |= engine::FeatureBit(engine::Feature::kParallelAssembly);
+  }
+  return mask;
+}
+
+void PipelineDriver::ApplyBreakerTrips(std::uint64_t tripped) {
+  if (tripped == 0) return;
+  if (tripped & engine::FeatureBit(engine::Feature::kChord)) {
+    options_.sim.chord_newton = false;
+  }
+  if (tripped & engine::FeatureBit(engine::Feature::kBypass)) {
+    for (auto& ctx : contexts_) ctx->bypass.Disable();
+  }
+  if (tripped & engine::FeatureBit(engine::Feature::kPartition)) {
+    for (auto& ctx : contexts_) ctx->DisengagePartition();
+  }
+  if (tripped & engine::FeatureBit(engine::Feature::kParallelFactor)) {
+    for (auto& ctx : contexts_) ctx->factor_pool = nullptr;
+  }
+  if (tripped & engine::FeatureBit(engine::Feature::kParallelAssembly)) {
+    for (auto& ctx : contexts_) ctx->assembler = nullptr;
+  }
+}
+
+void PipelineDriver::RoundBarrier() {
+  if (breakers_.enabled()) {
+    // Cooldown ticks once per round (the pipeline's acceptance unit).
+    const std::uint64_t reprobe = breakers_.OnAcceptedStep();
+    if (reprobe & engine::FeatureBit(engine::Feature::kChord)) {
+      options_.sim.chord_newton = chord_configured_;
+    }
+    if (reprobe & engine::FeatureBit(engine::Feature::kPartition)) {
+      for (auto& ctx : contexts_) ctx->ReengagePartition();
+    }
+    if ((reprobe & engine::FeatureBit(engine::Feature::kParallelFactor)) &&
+        intra_pool_ && options_.factor_threads > 1) {
+      for (auto& ctx : contexts_) ctx->factor_pool = intra_pool_.get();
+    }
+    if ((reprobe & engine::FeatureBit(engine::Feature::kParallelAssembly)) && assembler_) {
+      for (auto& ctx : contexts_) ctx->assembler = assembler_.get();
+    }
+    // No bypass re-probe: DeviceBypass::Disable is terminal, matching the
+    // step-floor safety valve's one-way semantics.
+  }
+  sink_.MaybeWrite(process_steps_, [this] { return Snapshot(); });
+  if (aborted_) return;  // the round's own abort reason wins
+  if (watchdog_.ShouldAbort()) {
+    ++result_.resilience.watchdog_escalations;
+    aborted_ = true;
+    abort_reason_ = watchdog_.AbortReason();
+    return;
+  }
+  const std::string budget_reason =
+      budget_.Exceeded(process_steps_, process_newton_, total_timer_.Seconds());
+  if (!budget_reason.empty()) {
+    result_.resilience.budget_exhausted = 1;
+    aborted_ = true;
+    abort_reason_ = budget_reason;
+  }
 }
 
 WavePipeResult RunWavePipe(const engine::Circuit& circuit,

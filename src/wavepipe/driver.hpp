@@ -17,9 +17,11 @@
 
 #include "engine/dcop.hpp"
 #include "engine/newton.hpp"
+#include "engine/resilience.hpp"
 #include "engine/step_control.hpp"
 #include "engine/transient.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 #include "wavepipe/wavepipe.hpp"
 
 namespace wavepipe::pipeline {
@@ -140,6 +142,29 @@ class PipelineDriver {
 
   bool Done() const;
 
+  // ---- durable-run machinery (engine/resilience.hpp) -----------------------
+  /// Serializes the CURRENT round-barrier state (rounds are the pipeline's
+  /// quiescent checkpoint boundaries — between rounds no solve is in flight).
+  std::vector<std::uint8_t> Snapshot();
+  /// Restores history/trace/ledger/step-control/scheduler state and primes
+  /// every context's linear solvers from the per-slot replay seeds.  Throws
+  /// util::CheckpointError on any fingerprint or layout mismatch.
+  void RestoreFromCheckpoint(const engine::TransientCheckpoint& ck);
+  /// Round-barrier hook: breaker cooldowns, checkpoint cadence, the budget
+  /// governor and watchdog escalation.  Sets aborted_ to stop the run.
+  void RoundBarrier();
+  /// Feature mask of the accelerated paths currently engaged (breaker
+  /// attribution for leading-solve outcomes).
+  std::uint64_t ActiveFeatureMask() const;
+  /// Degrades every feature in `tripped` across all contexts.
+  void ApplyBreakerTrips(std::uint64_t tripped);
+  /// Scheduler + speculation-policy state <-> checkpoint vectors.
+  void PackSched(std::vector<std::uint64_t>& u64, std::vector<double>& f64) const;
+  void UnpackSched(std::span<const std::uint64_t> u64, std::span<const double> f64);
+  /// Context i's BBD counters net of the factor work spent PRIMING it at
+  /// resume (bookkeeping, not simulation work).
+  sparse::BbdStats NetBbdStats(std::size_t i) const;
+
   // ---- immutable configuration ---------------------------------------------
   const engine::Circuit& circuit_;
   const engine::MnaStructure& structure_;
@@ -197,6 +222,19 @@ class PipelineDriver {
   SpeculationPolicy policy_;
 
   WavePipeResult result_;
+
+  // ---- durable-run state (declared after result_: the sink/watchdog/breaker
+  // constructors bind result_.resilience) ------------------------------------
+  engine::CheckpointSink sink_;
+  engine::RunBudget budget_;
+  engine::StallWatchdog watchdog_;
+  engine::BreakerBoard breakers_;
+  util::WallTimer total_timer_;
+  std::uint64_t process_steps_ = 0;   ///< accepted steps THIS process (budget basis)
+  std::uint64_t process_newton_ = 0;  ///< Newton iterations THIS process
+  bool chord_configured_ = false;     ///< chord enabled at construction (re-probe target)
+  /// Per-context BBD factor counters spent priming replay seeds at resume.
+  std::vector<sparse::BbdStats> bbd_prime_base_;
 };
 
 }  // namespace wavepipe::pipeline

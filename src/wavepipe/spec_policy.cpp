@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "util/error.hpp"
+
 namespace wavepipe::pipeline {
 namespace {
 
@@ -50,6 +52,68 @@ void SpecPolicyStats::ExportCounters(util::telemetry::CounterRegistry& registry)
     registry.Count(prefix + ".predictor_hits", predictor_hits[static_cast<std::size_t>(i)]);
     registry.Count(prefix + ".predictor_misses",
                    predictor_misses[static_cast<std::size_t>(i)]);
+  }
+}
+
+void SpeculationPolicy::SaveState(std::vector<std::uint64_t>& u64,
+                                  std::vector<double>& f64) const {
+  u64.push_back(stats_.depth_decisions);
+  u64.push_back(stats_.depth_chosen);
+  u64.push_back(stats_.depth_raises);
+  u64.push_back(stats_.depth_cuts);
+  u64.push_back(stats_.event_snaps);
+  for (int i = 0; i < kNumSpecPredictors; ++i) {
+    u64.push_back(stats_.predictor_hits[static_cast<std::size_t>(i)]);
+    u64.push_back(stats_.predictor_misses[static_cast<std::size_t>(i)]);
+  }
+  // current_depth_ may be -1 (pre-warm-start); round-trip through int64.
+  u64.push_back(static_cast<std::uint64_t>(static_cast<std::int64_t>(current_depth_)));
+  u64.push_back(acceptance_seeded_ ? 1 : 0);
+  for (int i = 0; i < kNumSpecPredictors; ++i) {
+    u64.push_back(hit_rate_seeded_[static_cast<std::size_t>(i)] ? 1 : 0);
+  }
+  u64.push_back(chain_launches_);
+  u64.push_back(total_entries_);
+
+  f64.push_back(acceptance_ewma_);
+  f64.push_back(lead_iters_ewma_);
+  f64.push_back(repair_iters_ewma_);
+  f64.push_back(discard_iters_ewma_);
+  f64.push_back(lte_reject_ewma_);
+  for (int i = 0; i < kNumSpecPredictors; ++i) {
+    f64.push_back(hit_rate_ewma_[static_cast<std::size_t>(i)]);
+  }
+}
+
+void SpeculationPolicy::RestoreState(std::span<const std::uint64_t> u64,
+                                     std::span<const double> f64) {
+  WP_ASSERT(u64.size() >= kStateU64 && f64.size() >= kStateF64);
+  std::size_t u = 0;
+  stats_.depth_decisions = u64[u++];
+  stats_.depth_chosen = u64[u++];
+  stats_.depth_raises = u64[u++];
+  stats_.depth_cuts = u64[u++];
+  stats_.event_snaps = u64[u++];
+  for (int i = 0; i < kNumSpecPredictors; ++i) {
+    stats_.predictor_hits[static_cast<std::size_t>(i)] = u64[u++];
+    stats_.predictor_misses[static_cast<std::size_t>(i)] = u64[u++];
+  }
+  current_depth_ = static_cast<int>(static_cast<std::int64_t>(u64[u++]));
+  acceptance_seeded_ = u64[u++] != 0;
+  for (int i = 0; i < kNumSpecPredictors; ++i) {
+    hit_rate_seeded_[static_cast<std::size_t>(i)] = u64[u++] != 0;
+  }
+  chain_launches_ = u64[u++];
+  total_entries_ = u64[u++];
+
+  std::size_t f = 0;
+  acceptance_ewma_ = f64[f++];
+  lead_iters_ewma_ = f64[f++];
+  repair_iters_ewma_ = f64[f++];
+  discard_iters_ewma_ = f64[f++];
+  lte_reject_ewma_ = f64[f++];
+  for (int i = 0; i < kNumSpecPredictors; ++i) {
+    hit_rate_ewma_[static_cast<std::size_t>(i)] = f64[f++];
   }
 }
 

@@ -49,6 +49,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "engine/history.hpp"
 #include "util/telemetry.hpp"
@@ -185,6 +186,16 @@ class SpeculationPolicy {
   /// Leading-edge LTE feedback, drives backward placement.
   void OnLteRejection();
   void OnLeadingAccepted();
+
+  // ---- checkpoint/resume ----------------------------------------------------
+  /// Appends the complete controller/predictor state — stats counters and
+  /// EWMA scalars — in a fixed order for the pipeline checkpoint.
+  void SaveState(std::vector<std::uint64_t>& u64, std::vector<double>& f64) const;
+  /// Restores state packed by SaveState (same fixed layout).
+  void RestoreState(std::span<const std::uint64_t> u64, std::span<const double> f64);
+  /// Entries SaveState appends to each vector (resume-layout validation).
+  static constexpr std::size_t kStateU64 = 18;
+  static constexpr std::size_t kStateF64 = 8;
 
   // ---- introspection (tests, stats export) ---------------------------------
   const SpecPolicyStats& stats() const { return stats_; }

@@ -144,6 +144,7 @@ util::telemetry::CounterRegistry BuildRunCounters(const RunCounterInputs& inputs
   registry.Count("ledger.records", ledger ? ledger->size() : 0);
   registry.Value("ledger.total_seconds", ledger ? ledger->TotalSeconds() : 0.0);
   registry.Value("ledger.useful_seconds", ledger ? ledger->UsefulSeconds() : 0.0);
+  inputs.resilience.ExportCounters(registry);  // v1.2: appended after ledger.*
   return registry;
 }
 

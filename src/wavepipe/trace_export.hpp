@@ -46,7 +46,14 @@ namespace wavepipe::pipeline {
 /// schur_factors, schur_nnz, schur_seconds) after the `lu.*` block.  Every
 /// pre-existing key keeps its name, type and position; v1 consumers reading
 /// their own baseline keys parse v1.1 documents unchanged.
-inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1.1";
+///
+/// v1.2 appends the durable-run groups `ckpt.*`, `watchdog.*` and
+/// `resilience.*` (engine/resilience_stats.hpp: checkpoint writes/failures/
+/// bytes/generation/resumed, watchdog stalls/escalations, breaker trips/
+/// retrips/reprobes, per-feature trip counts, budget_exhausted) after the
+/// `ledger.*` block.  Additive-only again: v1.1 consumers parse v1.2
+/// documents unchanged.
+inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1.2";
 
 /// Identity of one run for the run_stats.json header.  Strings live here;
 /// the counter registry is numeric-only by design.
@@ -74,6 +81,8 @@ struct RunCounterInputs {
   parallel::PhaseBreakdown phases;
   ReplayResult replay;
   const Ledger* ledger = nullptr;
+  /// Durable-run counters (v1.2): ckpt.*, watchdog.*, resilience.*.
+  engine::ResilienceStats resilience;
 };
 
 /// Builds the full run_stats counter registry: transient.* + lu.* (engine

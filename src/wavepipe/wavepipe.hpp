@@ -177,6 +177,8 @@ struct WavePipeResult {
   bool completed = true;
   std::string abort_reason;     ///< empty when completed
   double last_good_time = 0.0;  ///< newest accepted time point
+  /// Durable-run telemetry (ckpt./watchdog./resilience. counter groups).
+  engine::ResilienceStats resilience;
 };
 
 /// Runs a transient analysis under the selected scheme.  Thread-safe with

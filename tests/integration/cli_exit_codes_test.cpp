@@ -1,0 +1,120 @@
+// wavespice exit-code contract (see the code map in tools/wavespice.cpp and
+// `wavespice --help`):
+//
+//   0 ok, 1 usage, 2 parse/elaboration error, 3 analysis failure,
+//   4 run incomplete (budget/watchdog/structured abort), 5 checkpoint error.
+//
+// Job schedulers and the CI crash-recovery job key off these codes, so each
+// one is pinned here by invoking the real binary.  WAVESPICE_BINARY is
+// injected by the build (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+std::string Binary() { return WAVESPICE_BINARY; }
+
+/// Runs `wavespice <args>` with stdout/stderr discarded; returns the exit
+/// code (-1 when the process did not exit normally).
+int RunCli(const std::string& args) {
+  const std::string cmd = Binary() + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status == -1) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string WriteDeck(const std::string& name, const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+std::string RcDeck() {
+  return WriteDeck("cli_rc.sp",
+                   "rc lowpass\n"
+                   "V1 in 0 DC 0 PULSE(0 1 1u 1u 1u 100u 200u)\n"
+                   "R1 in out 1k\n"
+                   "C1 out 0 1n\n"
+                   ".tran 1u 200u\n"
+                   ".print v(out)\n"
+                   ".end\n");
+}
+
+TEST(CliExitCodes, CleanRunExitsZero) {
+  EXPECT_EQ(RunCli(RcDeck() + " --engine serial"), 0);
+}
+
+TEST(CliExitCodes, MissingDeckIsUsageError) { EXPECT_EQ(RunCli(""), 1); }
+
+TEST(CliExitCodes, UnknownFlagIsUsageError) {
+  EXPECT_EQ(RunCli(RcDeck() + " --frobnicate"), 1);
+}
+
+TEST(CliExitCodes, FlagMissingValueIsUsageError) {
+  EXPECT_EQ(RunCli(RcDeck() + " --max-steps"), 1);
+}
+
+TEST(CliExitCodes, UnreadableDeckIsParseError) {
+  EXPECT_EQ(RunCli("/nonexistent/deck.sp"), 2);
+}
+
+TEST(CliExitCodes, MalformedDeckIsParseError) {
+  const std::string deck = WriteDeck("cli_bad.sp",
+                                     "broken deck\n"
+                                     "R1 in out not_a_number\n"
+                                     ".tran 1u 10u\n"
+                                     ".end\n");
+  EXPECT_EQ(RunCli(deck), 2);
+}
+
+TEST(CliExitCodes, DeckWithoutTranIsParseError) {
+  const std::string deck = WriteDeck("cli_notran.sp",
+                                     "no tran card\n"
+                                     "V1 in 0 DC 1\n"
+                                     "R1 in 0 1k\n"
+                                     ".end\n");
+  EXPECT_EQ(RunCli(deck), 2);
+}
+
+TEST(CliExitCodes, BudgetExhaustionIsIncomplete) {
+  EXPECT_EQ(RunCli(RcDeck() + " --engine serial --max-steps 5"), 4);
+}
+
+TEST(CliExitCodes, CorruptCheckpointIsCheckpointError) {
+  const std::string base = ::testing::TempDir() + "/cli_corrupt.ckpt";
+  std::ofstream(base + ".a") << "not a checkpoint";
+  std::ofstream(base + ".b") << "not a checkpoint";
+  EXPECT_EQ(RunCli(RcDeck() + " --engine serial --resume " + base), 5);
+  std::remove((base + ".a").c_str());
+  std::remove((base + ".b").c_str());
+}
+
+TEST(CliExitCodes, MismatchedResumeIsCheckpointError) {
+  const std::string base = ::testing::TempDir() + "/cli_mismatch.ckpt";
+  // Serial checkpoint, stopped early by the step budget...
+  ASSERT_EQ(RunCli(RcDeck() + " --engine serial --checkpoint " + base +
+                   " --max-steps 5"),
+            4);
+  // ...resumed into a different engine: fingerprint mismatch, not a crash.
+  EXPECT_EQ(RunCli(RcDeck() + " --engine finegrained --resume " + base), 5);
+  std::remove((base + ".a").c_str());
+  std::remove((base + ".b").c_str());
+}
+
+TEST(CliExitCodes, CheckpointResumeRoundTripCompletes) {
+  const std::string base = ::testing::TempDir() + "/cli_roundtrip.ckpt";
+  const std::string deck = RcDeck();
+  ASSERT_EQ(RunCli(deck + " --engine serial --checkpoint " + base +
+                   " --max-steps 7"),
+            4);
+  EXPECT_EQ(RunCli(deck + " --engine serial --resume " + base), 0);
+  std::remove((base + ".a").c_str());
+  std::remove((base + ".b").c_str());
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 
 #include "circuits/generators.hpp"
 #include "engine/transient.hpp"
+#include "parallel/fine_grained.hpp"
 #include "util/fault.hpp"
 #include "wavepipe/wavepipe.hpp"
 
@@ -207,6 +208,86 @@ TEST_F(PipelineFaultTest, CleanRunHasNoFailureTelemetry) {
   EXPECT_EQ(result.stats.TotalRescuesAttempted(), 0u);
 }
 
+TEST_F(PipelineFaultTest, SchurFactorFaultIsAttributedToNewtonNotDrained) {
+  // Regression: a SingularMatrixError from the BBD Schur factor inside a
+  // pipeline round must surface as a FAILED SOLVE routed through
+  // OnNewtonFailure (steps_rejected_newton / rescue attribution), never as a
+  // generic drained_task_errors abort — the Schur pivot breakdown is a
+  // numerical event, not a worker crash.
+  const auto gen = circuits::MakeRcMesh(8, 8);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 3;
+  schedule.fire = 1;
+  ScopedFault site("schur.factor", schedule);
+
+  WavePipeOptions options;
+  options.scheme = Scheme::kCombined;
+  options.threads = 3;
+  options.sim.partition_pieces = 4;
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  ExpectWaveformNeverLost(result, gen.spec.tstop);
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(util::fault::Fired("schur.factor"), 1u);
+  EXPECT_GE(result.stats.steps_rejected_newton, 1u);
+  EXPECT_EQ(result.sched.drained_task_errors, 0u);
+}
+
+TEST_F(PipelineFaultTest, PersistentSchurFaultAbortsWithRescueAttribution) {
+  const auto gen = circuits::MakeRcMesh(8, 8);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 3;
+  schedule.fire = Schedule::kUnlimited;
+  ScopedFault site("schur.factor", schedule);
+
+  WavePipeOptions options;
+  options.scheme = Scheme::kCombined;
+  options.threads = 3;
+  options.sim.partition_pieces = 4;
+  // The partition breaker would otherwise degrade the run to the monolithic
+  // path and complete it (asserted by the companion test below); this test
+  // pins the undegraded abort attribution.
+  options.sim.resilience.breakers = false;
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  ExpectWaveformNeverLost(result, gen.spec.tstop);
+  EXPECT_FALSE(result.completed);
+  // The abort must carry the Newton-failure attribution (singular pivot +
+  // rescue ladder), not a drained-worker or generic scheduler reason.
+  EXPECT_NE(result.abort_reason.find("singular"), std::string::npos)
+      << result.abort_reason;
+  EXPECT_GE(result.stats.TotalRescuesAttempted(), 1u);
+  EXPECT_EQ(result.sched.drained_task_errors, 0u);
+}
+
+TEST_F(PipelineFaultTest, PartitionBreakerRescuesPersistentSchurFault) {
+  const auto gen = circuits::MakeRcMesh(8, 8);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 3;
+  schedule.fire = Schedule::kUnlimited;
+  ScopedFault site("schur.factor", schedule);
+
+  WavePipeOptions options;
+  options.scheme = Scheme::kCombined;
+  options.threads = 3;
+  options.sim.partition_pieces = 4;
+  // Default breakers: the persistent singular Schur factor trips the
+  // partition breaker, the run degrades to the monolithic LU and COMPLETES
+  // where the breaker-less run above aborts.
+  const WavePipeResult result = RunWavePipe(*gen.circuit, mna, gen.spec, options);
+  ExpectWaveformNeverLost(result, gen.spec.tstop);
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_GE(result.resilience.breaker_trips, 1u);
+  EXPECT_GE(result.resilience.feature_trips[static_cast<int>(
+                engine::Feature::kPartition)],
+            1u);
+  EXPECT_EQ(result.sched.drained_task_errors, 0u);
+}
+
 TEST_F(PipelineFaultTest, DcopFaultAbortsStructurally) {
   const auto gen = circuits::MakeRcLadder(8);
   engine::MnaStructure mna(*gen.circuit);
@@ -222,6 +303,93 @@ TEST_F(PipelineFaultTest, DcopFaultAbortsStructurally) {
   EXPECT_FALSE(result.completed);
   EXPECT_NE(result.abort_reason.find("DC operating point failed"), std::string::npos);
   EXPECT_EQ(result.trace.num_samples(), 0u);
+}
+
+class FineGrainedFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fault::DisarmAll(); }
+};
+
+TEST_F(FineGrainedFaultTest, SchurFactorFaultIsAbsorbedAsNewtonFailure) {
+  // Regression: a SingularMatrixError from the BBD Schur factor inside the
+  // fine-grained Newton loop used to unwind the whole run.  It must instead
+  // surface as a failed solve (steps_rejected_newton) recovered by the
+  // step-shrink ladder, exactly like the serial engine.
+  const auto gen = circuits::MakeRcMesh(8, 8);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 3;
+  schedule.fire = 1;
+  ScopedFault site("schur.factor", schedule);
+
+  parallel::FineGrainedOptions options;
+  options.threads = 2;
+  options.sim.partition_pieces = 4;
+  parallel::FineGrainedResult result;
+  ASSERT_NO_THROW(
+      result = parallel::RunTransientFineGrained(*gen.circuit, mna, gen.spec, options));
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(util::fault::Fired("schur.factor"), 1u);
+  EXPECT_GE(result.stats.steps_rejected_newton, 1u);
+  ASSERT_NE(result.final_point, nullptr);
+  EXPECT_NEAR(result.final_point->time, gen.spec.tstop, 1e-12 * gen.spec.tstop);
+}
+
+TEST_F(FineGrainedFaultTest, PersistentSchurFaultAbortsStructurally) {
+  // With the partition breaker disabled, a persistent Schur pivot breakdown
+  // exhausts the shrink ladder and must end in a structured abort (the old
+  // behavior was an unwound SingularMatrixError), waveform intact.
+  const auto gen = circuits::MakeRcMesh(8, 8);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 3;
+  schedule.fire = Schedule::kUnlimited;
+  ScopedFault site("schur.factor", schedule);
+
+  parallel::FineGrainedOptions options;
+  options.threads = 2;
+  options.sim.partition_pieces = 4;
+  options.sim.resilience.breakers = false;
+  parallel::FineGrainedResult result;
+  ASSERT_NO_THROW(
+      result = parallel::RunTransientFineGrained(*gen.circuit, mna, gen.spec, options));
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("singular"), std::string::npos)
+      << result.abort_reason;
+  EXPECT_LT(result.last_good_time, gen.spec.tstop);
+  // The waveform up to the abort is intact and monotone.
+  for (std::size_t i = 1; i < result.trace.num_samples(); ++i) {
+    EXPECT_GT(result.trace.time(i), result.trace.time(i - 1));
+  }
+}
+
+TEST_F(FineGrainedFaultTest, PartitionBreakerDegradesPersistentSchurFault) {
+  // Default breakers ON: the same persistent fault trips the partition
+  // breaker after breaker_trip_threshold consecutive failures, the run
+  // degrades to the monolithic LU path and COMPLETES.
+  const auto gen = circuits::MakeRcMesh(8, 8);
+  engine::MnaStructure mna(*gen.circuit);
+
+  Schedule schedule;
+  schedule.skip = 3;
+  schedule.fire = Schedule::kUnlimited;
+  ScopedFault site("schur.factor", schedule);
+
+  parallel::FineGrainedOptions options;
+  options.threads = 2;
+  options.sim.partition_pieces = 4;
+  parallel::FineGrainedResult result;
+  ASSERT_NO_THROW(
+      result = parallel::RunTransientFineGrained(*gen.circuit, mna, gen.spec, options));
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_GE(result.resilience.breaker_trips, 1u);
+  EXPECT_GE(
+      result.resilience.feature_trips[static_cast<int>(engine::Feature::kPartition)],
+      1u);
+  ASSERT_NE(result.final_point, nullptr);
+  EXPECT_NEAR(result.final_point->time, gen.spec.tstop, 1e-12 * gen.spec.tstop);
 }
 
 }  // namespace

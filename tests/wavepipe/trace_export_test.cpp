@@ -202,10 +202,75 @@ TEST(RunStatsJsonTest, SpecPolicyGroupExportsOnEveryEngine) {
 }
 
 TEST(RunStatsJsonTest, SchemaTagIsPinned) {
-  // v1.1 = v1 plus the appended partition.* group.  Changing this string (or
-  // the partition key set below) is a schema bump: update check_bench.py and
-  // the docs in trace_export.hpp alongside.
-  EXPECT_STREQ(kRunStatsSchema, "wavepipe.run_stats.v1.1");
+  // v1.2 = v1.1 plus the appended durable-run groups (ckpt.*, watchdog.*,
+  // resilience.*).  Changing this string (or the key sets below) is a schema
+  // bump: update check_bench.py and the docs in trace_export.hpp alongside.
+  EXPECT_STREQ(kRunStatsSchema, "wavepipe.run_stats.v1.2");
+}
+
+TEST(RunStatsJsonTest, ResilienceGroupExportsOnEveryEngine) {
+  const auto gen = SmallDeck();
+  const engine::MnaStructure mna(*gen.circuit);
+
+  // Default run (no checkpointing, no budget): the v1.2 keys are present
+  // with zero values on every engine, so the key set never depends on
+  // whether durable-run machinery engaged.
+  const auto serial = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, {});
+  RunCounterInputs inputs;
+  inputs.stats = serial.stats;
+  inputs.resilience = serial.resilience;
+  const auto counters = BuildRunCounters(inputs);
+  for (const char* key :
+       {"ckpt.writes", "ckpt.write_failures", "ckpt.bytes_last", "ckpt.generation",
+        "ckpt.resumed", "watchdog.stalls", "watchdog.escalations",
+        "resilience.breaker_trips", "resilience.breaker_retrips",
+        "resilience.breaker_reprobes", "resilience.trips.chord",
+        "resilience.trips.bypass", "resilience.trips.partition",
+        "resilience.trips.parallel_factor", "resilience.trips.parallel_assembly",
+        "resilience.budget_exhausted"}) {
+    EXPECT_EQ(CounterValue(counters, key), 0.0) << key;
+  }
+
+  // A checkpointing run populates ckpt.*.
+  engine::SimOptions sim;
+  sim.resilience.checkpoint_path = ::testing::TempDir() + "/trace_export_res.ckpt";
+  sim.resilience.checkpoint_every_steps = 5;
+  const auto ck_run = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, sim);
+  RunCounterInputs ck_inputs;
+  ck_inputs.stats = ck_run.stats;
+  ck_inputs.resilience = ck_run.resilience;
+  const auto ck_counters = BuildRunCounters(ck_inputs);
+  EXPECT_GT(CounterValue(ck_counters, "ckpt.writes"), 0.0);
+  EXPECT_GT(CounterValue(ck_counters, "ckpt.bytes_last"), 0.0);
+  std::remove((sim.resilience.checkpoint_path + ".a").c_str());
+  std::remove((sim.resilience.checkpoint_path + ".b").c_str());
+}
+
+TEST(RunStatsJsonTest, V11ConsumersStillParseV12Documents) {
+  // The schema grows additively: every v1.1 key keeps its name and position,
+  // and the v1.2 groups land strictly AFTER the last v1.1 group (ledger.*).
+  // A v1.1 consumer that iterates its own baseline keys therefore parses a
+  // v1.2 document unchanged.  This pins that ordering.
+  RunCounterInputs inputs;
+  const auto names = BuildRunCounters(inputs).Names();
+  std::size_t last_v11 = 0;
+  std::size_t first_v12 = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const bool v12 = names[i].rfind("ckpt.", 0) == 0 ||
+                     names[i].rfind("watchdog.", 0) == 0 ||
+                     names[i].rfind("resilience.", 0) == 0;
+    if (v12) {
+      first_v12 = std::min(first_v12, i);
+    } else {
+      last_v11 = std::max(last_v11, i);
+    }
+  }
+  ASSERT_LT(first_v12, names.size()) << "v1.2 groups missing from the registry";
+  EXPECT_LT(last_v11, first_v12)
+      << "v1.2 keys must append after every v1.1 key, not interleave";
+  // And the v1.1 ledger.* tail is still immediately before the v1.2 block.
+  ASSERT_GT(first_v12, 0u);
+  EXPECT_EQ(names[last_v11], "ledger.useful_seconds");
 }
 
 TEST(RunStatsJsonTest, PartitionGroupExportsOnEveryEngine) {

@@ -20,12 +20,25 @@
 //   --spec-depth-min N                 adaptive chain depth lower bound (default 0:
 //                                      the controller may throttle speculation off)
 //   --spec-depth-max N                 adaptive chain depth upper bound (default 6)
+//   --checkpoint FILE                  durable run: periodic checkpoints to FILE.{a,b}
+//   --checkpoint-steps N               checkpoint every N accepted steps (default 0: off)
+//   --checkpoint-seconds T             checkpoint every T wall seconds (default 15)
+//   --resume FILE                      restore a checkpoint and continue the run
+//   --max-wall S                       abort (with final checkpoint) after S wall seconds
+//   --max-steps N                      abort after N accepted steps this process
+//   --max-newton-total N               abort after N Newton iterations this process
+//   --watchdog                         stall watchdog over worker heartbeats
+//   --no-breakers                      disable the feature circuit-breakers
 //
 // All three engines emit the SAME run_stats.json schema (see
 // wavepipe/trace_export.hpp); --stats prints the same registry, so the text
 // and JSON views can never drift apart.
 //
-// Exit codes: 0 ok, 1 usage, 2 parse/elaboration error, 3 analysis failure.
+// Exit codes: 0 ok, 1 usage, 2 parse/elaboration error, 3 analysis failure,
+// 4 run incomplete (budget exhausted / watchdog / structured abort — partial
+// results and any final checkpoint were still written), 5 checkpoint error
+// (corrupt file or resume fingerprint mismatch).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,7 +46,9 @@
 #include <iostream>
 #include <string>
 
+#include "engine/resilience.hpp"
 #include "netlist/elaborate.hpp"
+#include "util/checkpoint.hpp"
 #include "parallel/fine_grained.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -70,6 +85,16 @@ struct CliOptions {
   int partition = 0;
   // Speculation policy: kFixed keeps the historical scheduler bit for bit.
   pipeline::SpecPolicyOptions spec_policy;
+  // Durable-run machinery (engine/resilience.hpp).
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::uint64_t checkpoint_steps = 0;
+  double checkpoint_seconds = 15.0;
+  double max_wall = 0.0;
+  std::uint64_t max_steps = 0;
+  std::uint64_t max_newton_total = 0;
+  bool watchdog = false;
+  bool breakers = true;
 };
 
 int Usage() {
@@ -81,7 +106,15 @@ int Usage() {
                "[--compare-serial] [--bypass] [--bypass-vtol X] [--chord] "
                "[--partition N] "
                "[--spec-policy fixed|adaptive] [--spec-depth-min N] "
-               "[--spec-depth-max N]\n");
+               "[--spec-depth-max N] "
+               "[--checkpoint file.ckpt] [--checkpoint-steps N] "
+               "[--checkpoint-seconds T] [--resume file.ckpt] "
+               "[--max-wall S] [--max-steps N] [--max-newton-total N] "
+               "[--watchdog] [--no-breakers]\n"
+               "exit codes: 0 ok, 1 usage, 2 parse/elaboration error, "
+               "3 analysis failure,\n"
+               "            4 run incomplete (budget/watchdog/structured abort), "
+               "5 checkpoint error\n");
   return 1;
 }
 
@@ -163,6 +196,46 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       if (!v) return false;
       out->spec_policy.max_depth = std::atoi(v);
       if (out->spec_policy.max_depth < 1) return false;
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      out->checkpoint_path = v;
+    } else if (arg == "--checkpoint-steps") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 0) return false;
+      out->checkpoint_steps = static_cast<std::uint64_t>(n);
+    } else if (arg == "--checkpoint-seconds") {
+      const char* v = next();
+      if (!v) return false;
+      out->checkpoint_seconds = std::atof(v);
+      if (!(out->checkpoint_seconds >= 0.0)) return false;
+    } else if (arg == "--resume") {
+      const char* v = next();
+      if (!v) return false;
+      out->resume_path = v;
+    } else if (arg == "--max-wall") {
+      const char* v = next();
+      if (!v) return false;
+      out->max_wall = std::atof(v);
+      if (!(out->max_wall >= 0.0)) return false;
+    } else if (arg == "--max-steps") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 0) return false;
+      out->max_steps = static_cast<std::uint64_t>(n);
+    } else if (arg == "--max-newton-total") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 0) return false;
+      out->max_newton_total = static_cast<std::uint64_t>(n);
+    } else if (arg == "--watchdog") {
+      out->watchdog = true;
+    } else if (arg == "--no-breakers") {
+      out->breakers = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (out->deck_path.empty()) {
@@ -238,6 +311,9 @@ int main(int argc, char** argv) {
               elaborated.circuit->num_devices(), elaborated.spec.tstart,
               elaborated.spec.tstop);
 
+  // The resume checkpoint outlives the run (SimOptions holds a pointer).
+  engine::TransientCheckpoint resume_ck;
+
   try {
     engine::MnaStructure mna(*elaborated.circuit);
     engine::SimOptions sim = elaborated.sim_options;
@@ -245,6 +321,22 @@ int main(int argc, char** argv) {
     sim.bypass_vtol = cli.bypass_vtol;
     sim.chord_newton = cli.chord;
     sim.partition_pieces = cli.partition;
+    sim.resilience.checkpoint_path = cli.checkpoint_path;
+    sim.resilience.checkpoint_every_steps = cli.checkpoint_steps;
+    sim.resilience.checkpoint_every_seconds = cli.checkpoint_seconds;
+    sim.resilience.max_wall_seconds = cli.max_wall;
+    sim.resilience.max_steps = cli.max_steps;
+    sim.resilience.max_newton_total = cli.max_newton_total;
+    sim.resilience.watchdog = cli.watchdog;
+    sim.resilience.breakers = cli.breakers;
+    if (!cli.resume_path.empty()) {
+      resume_ck = engine::LoadCheckpoint(cli.resume_path);
+      sim.resilience.resume = &resume_ck;
+      std::printf("resuming from %s (engine %s, %zu accepted steps, t = %g s)\n",
+                  cli.resume_path.c_str(), resume_ck.engine.c_str(),
+                  resume_ck.stats.steps_accepted,
+                  resume_ck.trace_times.empty() ? 0.0 : resume_ck.trace_times.back());
+    }
 
     const bool want_trace = !cli.trace_json.empty();
     if (want_trace) util::telemetry::StartCapture();
@@ -269,6 +361,7 @@ int main(int argc, char** argv) {
       run.info.abort_reason = result.abort_reason;
       run.info.last_good_time = result.last_good_time;
       run.counters.stats = result.stats;
+      run.counters.resilience = result.resilience;
     } else if (cli.engine == EngineKind::kFineGrained) {
       parallel::FineGrainedOptions options;
       options.threads = cli.threads;
@@ -285,6 +378,8 @@ int main(int argc, char** argv) {
       run.info.engine = "fine-grained";
       run.info.dcop_strategy = result.stats.dcop_strategy;
       run.info.assembly_strategy = result.assembly.strategy;
+      run.info.completed = result.completed;
+      run.info.abort_reason = result.abort_reason;
       run.info.last_good_time =
           result.trace.num_samples() > 0
               ? result.trace.time(result.trace.num_samples() - 1)
@@ -292,6 +387,7 @@ int main(int argc, char** argv) {
       run.counters.stats = result.stats;
       run.counters.assembly = result.assembly;
       run.counters.phases = result.phases;
+      run.counters.resilience = result.resilience;
     } else {
       pipeline::WavePipeOptions options;
       options.scheme = cli.scheme;
@@ -320,6 +416,7 @@ int main(int argc, char** argv) {
       run.counters.assembly = result.assembly;
       run.counters.sched = result.sched;
       run.counters.spec = result.spec;
+      run.counters.resilience = result.resilience;
       run.ledger = result.ledger;
       run.has_ledger = true;
 
@@ -380,6 +477,15 @@ int main(int argc, char** argv) {
     }
 
     if (!cli.csv_out.empty()) WriteCsv(run.trace, cli.csv_out);
+
+    if (!run.info.completed) {
+      std::fprintf(stderr, "wavespice: run incomplete at t = %g s: %s\n",
+                   run.info.last_good_time, run.info.abort_reason.c_str());
+      return 4;
+    }
+  } catch (const util::CheckpointError& e) {
+    std::fprintf(stderr, "wavespice: checkpoint error: %s\n", e.what());
+    return 5;
   } catch (const Error& e) {
     std::fprintf(stderr, "wavespice: analysis failed: %s\n", e.what());
     return 3;
