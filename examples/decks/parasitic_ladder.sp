@@ -1,0 +1,51 @@
+parasitic ladder
+* A digital-style driver net loaded by three extracted-parasitic RC ladders
+* (the post-layout pattern src/reduce targets): every node past the driver
+* is touched only by R/C, so --reduce collapses the whole parasitic network
+* into one Schur equivalent with a single port at drv — 19 of 20 nodes
+* eliminated, 37 devices absorbed.  Probing interiors (v(net), v(a4), ...)
+* exercises on-demand back-substitution.
+V1 drv 0 DC 0 PULSE(0 1.8 50n 2n 2n 100n 200n)
+Rdrv drv net 50
+* ladder a: 8 segments
+Ra1 net a1 120
+Ca1 a1 0 15f
+Ra2 a1 a2 120
+Ca2 a2 0 15f
+Ra3 a2 a3 120
+Ca3 a3 0 15f
+Ra4 a3 a4 120
+Ca4 a4 0 15f
+Ra5 a4 a5 120
+Ca5 a5 0 15f
+Ra6 a5 a6 120
+Ca6 a6 0 15f
+Ra7 a6 a7 120
+Ca7 a7 0 15f
+Ra8 a7 a8 120
+Ca8 a8 0 15f
+* ladder b: 6 segments
+Rb1 net b1 200
+Cb1 b1 0 10f
+Rb2 b1 b2 200
+Cb2 b2 0 10f
+Rb3 b2 b3 200
+Cb3 b3 0 10f
+Rb4 b3 b4 200
+Cb4 b4 0 10f
+Rb5 b4 b5 200
+Cb5 b5 0 10f
+Rb6 b5 b6 200
+Cb6 b6 0 10f
+* ladder c: 4 segments, heavier load at the sink
+Rc1 net c1 80
+Cc1 c1 0 20f
+Rc2 c1 c2 80
+Cc2 c2 0 20f
+Rc3 c2 c3 80
+Cc3 c3 0 20f
+Rc4 c3 c4 80
+Cc4 c4 0 40f
+.tran 1n 400n
+.print v(drv) v(net) v(a8) v(a4) v(c4)
+.end

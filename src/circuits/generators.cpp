@@ -264,6 +264,64 @@ GeneratedCircuit MakeInverterChain(int stages, double vdd, double cload) {
   return out;
 }
 
+GeneratedCircuit MakeParasiticLadder(int stages, int taps, double vdd, double r_ohm,
+                                     double c_farad) {
+  WP_ASSERT(stages >= 1 && taps >= 2);
+  auto circuit = std::make_unique<Circuit>();
+  Circuit& c = *circuit;
+  const MosfetModel nmos = DefaultNmos();
+  const MosfetModel pmos = DefaultPmos();
+
+  const int vddnode = c.AddNode("vdd");
+  c.Emplace<VoltageSource>("vdd", vddnode, devices::kGround,
+                           std::make_unique<DcWaveform>(vdd));
+
+  const double idsat = 0.5 * nmos.kp * 2.0 * (vdd - nmos.vto) * (vdd - nmos.vto);
+  const double wire_tau = r_ohm * c_farad * taps * taps / 2.0;  // Elmore-ish
+  const double stage_delay = (taps * c_farad + 15e-15) * vdd / idsat + wire_tau;
+  const double period = std::max(40.0 * stage_delay, 4.0 * stages * stage_delay);
+
+  const int in = c.AddNode("in");
+  c.Emplace<VoltageSource>(
+      "vin", in, devices::kGround,
+      std::make_unique<PulseWaveform>(0.0, vdd, period / 10, period / 100, period / 100,
+                                      period * 0.4, period));
+  int prev = in;
+  for (int i = 0; i < stages; ++i) {
+    const std::string tag = std::to_string(i);
+    const int drive = c.AddNode("x" + tag);
+    AddInverter(c, tag, prev, drive, vddnode, nmos, pmos);
+    // Parasitic RC ladder from this stage's output to the next stage's input.
+    // The `taps - 1` mid-ladder nodes (w<i>_<k>) see only R/C devices, so the
+    // reduction pass eliminates all of them; `drive` and the far end remain
+    // anchored by the MOSFETs.
+    int node = drive;
+    for (int k = 1; k <= taps; ++k) {
+      const int next = c.AddNode("w" + tag + "_" + std::to_string(k));
+      c.Emplace<Resistor>("rw" + tag + "_" + std::to_string(k), node, next, r_ohm);
+      c.Emplace<Capacitor>("cw" + tag + "_" + std::to_string(k), next, devices::kGround,
+                           c_farad);
+      node = next;
+    }
+    prev = node;
+  }
+  c.Finalize();
+
+  GeneratedCircuit out;
+  out.name = "parladder" + std::to_string(stages) + "x" + std::to_string(taps);
+  out.kind = "mixed";
+  out.spec.tstart = 0.0;
+  out.spec.tstop = 2.0 * period;
+  out.spec.tstep = period / 100.0;
+  // Probe a mid-ladder INTERIOR node on purpose: under --reduce its waveform
+  // comes from back-substitution, which is what the parity suites compare.
+  out.spec.probes =
+      NamedProbes(c, {"in", "x0", "w0_" + std::to_string(std::max(1, taps / 2)),
+                      "w" + std::to_string(stages - 1) + "_" + std::to_string(taps)});
+  out.circuit = std::move(circuit);
+  return out;
+}
+
 GeneratedCircuit MakeDiodeRectifier(int ladder_sections, double freq) {
   WP_ASSERT(ladder_sections >= 0);
   auto circuit = std::make_unique<Circuit>();

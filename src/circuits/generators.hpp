@@ -57,6 +57,15 @@ GeneratedCircuit MakeRingOscillator(int stages, double vdd = 2.5, double cload =
 /// the "digital gate chain" workload.
 GeneratedCircuit MakeInverterChain(int stages, double vdd = 2.5, double cload = 10e-15);
 
+/// CMOS inverter chain whose stage-to-stage wires are parasitic RC ladders
+/// (`taps` R/C sections per wire): the linear-subnetwork-reduction workload.
+/// Every ladder interior node touches only resistors and capacitors, so
+/// --reduce eliminates taps-1 nodes per wire while the MOSFET-anchored stage
+/// nodes survive as ports.  The probe set includes a mid-ladder interior node
+/// to exercise back-substituted interior expansion.
+GeneratedCircuit MakeParasiticLadder(int stages, int taps, double vdd = 2.5,
+                                     double r_ohm = 50.0, double c_farad = 2e-15);
+
 /// Full-wave diode bridge rectifier with RC smoothing, driven by a SIN
 /// source; optionally `ladder_sections` of RC filtering after the bridge.
 GeneratedCircuit MakeDiodeRectifier(int ladder_sections = 4, double freq = 1e6);

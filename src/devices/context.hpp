@@ -61,6 +61,10 @@ class EvalContext {
   bool first_iteration = true;  ///< true on Newton iteration 0
   double gmin = 0.0;            ///< continuation gmin across nonlinear junctions
   double source_scale = 1.0;    ///< source-stepping continuation factor
+  /// Rescue-ladder node shunt the ENGINE adds on every node diagonal.  Most
+  /// devices ignore it; a ReducedSubnet must see it to fold the same shunt
+  /// onto its eliminated interior diagonals (see src/reduce).
+  double gshunt = 0.0;
 
   std::span<const double> x;  ///< current Newton iterate (all unknowns)
 

@@ -56,6 +56,32 @@ class Device {
   /// heuristics and convergence bookkeeping).
   virtual bool is_nonlinear() const { return false; }
 
+  /// True when Eval() derives a STATE value from the state history itself,
+  /// not purely from x (a ReducedSubnet's back-substituted interior voltages
+  /// and absorbed-capacitor charges).  Ordinary device states (C·v, L·i,
+  /// junction charges) are functions of the solution vector, so a validated
+  /// x pins them; history-coupled states are not, and any scheduler that
+  /// publishes a point solved against a PREDICTED history must re-derive
+  /// them against the true history first (engine::RefreshPointStates).
+  virtual bool states_depend_on_history() const { return false; }
+
+  /// Appends every NODE index this device's equations touch: terminal nodes
+  /// AND controlling nodes (branch unknowns excluded; kGround entries
+  /// allowed, consumers drop them).  This is the adjacency the linear-
+  /// subnetwork reduction pass (src/reduce) walks, and the invariant it
+  /// relies on: a node NOT listed by any non-reducible device is provably
+  /// outside every nonlinear/controlled coupling and may be eliminated.
+  /// Every device must implement it — a missing terminal would silently
+  /// expose its node to elimination.
+  virtual void TerminalNodes(std::vector<int>& out) const = 0;
+
+  /// Rewrites every stored node index through `map` (old node id -> new node
+  /// id; kGround entries stay kGround).  Called once by the reduction pass
+  /// when it rebuilds the circuit over the surviving node set, BEFORE the
+  /// rebuilt circuit is finalized — branch/state/limit slots are re-claimed
+  /// by the subsequent Bind(), so only node ids need rewriting here.
+  virtual void RemapNodes(const std::vector<int>& map) = 0;
+
   /// Appends the unknown indices whose values Eval() reads (terminal nodes,
   /// controlling nodes, branch currents; ground entries allowed — consumers
   /// drop them).  Implementing this is a device's opt-in to the latency
@@ -72,6 +98,12 @@ class Device {
  private:
   std::string name_;
 };
+
+/// Shared RemapNodes kernel: ground passes through, everything else goes via
+/// the map (which must cover every surviving node id).
+inline int RemapNode(const std::vector<int>& map, int node) {
+  return node < 0 ? kGround : map[static_cast<std::size_t>(node)];
+}
 
 /// Stamps a standard 2-terminal conductance block: rows/cols (p,p) (p,n)
 /// (n,p) (n,n).  Shared by most devices; returns the 4 slot ids.

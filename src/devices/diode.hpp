@@ -37,6 +37,13 @@ class Diode final : public Device {
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
   void ControllingUnknowns(std::vector<int>& out) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+  }
   bool is_nonlinear() const override { return true; }
   int pattern_size() const override { return 4; }
 

@@ -40,6 +40,15 @@ class Mosfet final : public Device {
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
   void ControllingUnknowns(std::vector<int>& out) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {d_, g_, s_, b_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    d_ = RemapNode(map, d_);
+    g_ = RemapNode(map, g_);
+    s_ = RemapNode(map, s_);
+    b_ = RemapNode(map, b_);
+  }
   bool is_nonlinear() const override { return true; }
   int pattern_size() const override { return 16; }
 

@@ -17,9 +17,21 @@ class Resistor final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+  }
   int pattern_size() const override { return 4; }
 
   double resistance() const { return resistance_; }
+  /// Exactly the value Eval() stamps — the reduction pass absorbs this, not
+  /// a recomputed 1/R, so reduced stamps reuse the same bits.
+  double conductance() const { return conductance_; }
+  int p() const { return p_; }
+  int n() const { return n_; }
 
  private:
   int p_, n_;
@@ -39,10 +51,19 @@ class Capacitor final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+  }
   int pattern_size() const override { return 4; }
 
   double capacitance() const { return capacitance_; }
   int state_slot() const { return state_; }
+  int p() const { return p_; }
+  int n() const { return n_; }
 
  private:
   int p_, n_;
@@ -62,6 +83,13 @@ class Inductor final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+  }
   int pattern_size() const override { return 5; }
 
   double inductance() const { return inductance_; }
@@ -87,6 +115,8 @@ class MutualInductance final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override { (void)out; }
+  void RemapNodes(const std::vector<int>& map) override { (void)map; }
   int pattern_size() const override { return 2; }
 
   double mutual() const { return mutual_; }

@@ -21,6 +21,13 @@ class VoltageSource final : public Device {
   void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+  }
   int pattern_size() const override { return 4; }
 
   int branch() const { return branch_; }
@@ -44,7 +51,18 @@ class CurrentSource final : public Device {
   void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+  }
   int pattern_size() const override { return 0; }
+
+  int p() const { return p_; }
+  int n() const { return n_; }
+  const Waveform& waveform() const { return *waveform_; }
 
  private:
   int p_, n_;
@@ -61,6 +79,15 @@ class Vcvs final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_, cp_, cn_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+    cp_ = RemapNode(map, cp_);
+    cn_ = RemapNode(map, cn_);
+  }
   int pattern_size() const override { return 6; }
 
   int branch() const { return branch_; }
@@ -83,6 +110,15 @@ class Vccs final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_, cp_, cn_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+    cp_ = RemapNode(map, cp_);
+    cn_ = RemapNode(map, cn_);
+  }
   int pattern_size() const override { return 4; }
 
  private:
@@ -101,6 +137,13 @@ class Cccs final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+  }
   int pattern_size() const override { return 2; }
 
  private:
@@ -121,6 +164,13 @@ class Ccvs final : public Device {
   void Eval(EvalContext& ctx) const override;
   void StampFootprint(std::vector<int>& jacobian_slots,
                       std::vector<int>& rhs_rows) const override;
+  void TerminalNodes(std::vector<int>& out) const override {
+    out.insert(out.end(), {p_, n_});
+  }
+  void RemapNodes(const std::vector<int>& map) override {
+    p_ = RemapNode(map, p_);
+    n_ = RemapNode(map, n_);
+  }
   int pattern_size() const override { return 5; }
 
  private:

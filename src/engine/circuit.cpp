@@ -69,6 +69,7 @@ void Circuit::Finalize() {
       state_range_[index] = SlotRange{states_before, num_states_};
       limit_range_[index] = SlotRange{limits_before, num_limits_};
       if (device->is_nonlinear()) nonlinear_ = true;
+      if (device->states_depend_on_history()) history_coupled_states_ = true;
     }
     if (deferred.size() == pending.size()) {
       throw ElaborationError("unresolvable device reference: " + last_error);

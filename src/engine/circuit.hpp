@@ -50,6 +50,15 @@ class Circuit final : private devices::Binder {
   void Finalize();
   bool finalized() const { return finalized_; }
 
+  /// Surrenders the device list (the circuit becomes an empty husk).  Used by
+  /// the linear-subnetwork reduction pass, which rebuilds a fresh circuit
+  /// over the surviving node set and re-Adds (remapped) survivors to it.
+  /// Only valid on a finalized circuit that is not shared with any solver.
+  std::vector<std::unique_ptr<devices::Device>> TakeDevices() {
+    WP_ASSERT(finalized_);
+    return std::move(devices_);
+  }
+
   // ---- post-Finalize queries --------------------------------------------------
   int num_nodes() const { return num_nodes_; }
   int num_branches() const { return num_branches_; }
@@ -58,6 +67,9 @@ class Circuit final : private devices::Binder {
   int num_limit_slots() const { return num_limits_; }
   std::size_t num_devices() const { return devices_.size(); }
   bool is_nonlinear() const { return nonlinear_; }
+  /// Any device with history-coupled states (devices/device.hpp) — tells the
+  /// WavePipe validator whether a direct-accept needs a full state refresh.
+  bool has_history_coupled_states() const { return history_coupled_states_; }
 
   const std::vector<std::unique_ptr<devices::Device>>& devices() const { return devices_; }
 
@@ -92,6 +104,7 @@ class Circuit final : private devices::Binder {
 
   bool finalized_ = false;
   bool nonlinear_ = false;
+  bool history_coupled_states_ = false;
   int num_nodes_ = 0;
   int num_branches_ = 0;  // assigned indices num_nodes_ .. num_nodes_+num_branches_-1
   int num_states_ = 0;

@@ -101,6 +101,7 @@ void EvalDevices(SolveContext& ctx, const NewtonInputs& inputs, bool limit_valid
     eval.first_iteration = first_iteration;
     eval.gmin = inputs.gmin;
     eval.source_scale = inputs.source_scale;
+    eval.gshunt = inputs.gshunt;
     eval.x = ctx.x;
     eval.jacobian_values = ctx.matrix.mutable_values();
     eval.rhs = ctx.rhs;
@@ -313,7 +314,18 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
     ++ctx.total_newton_iterations;
     ctx.heartbeat.fetch_add(1, std::memory_order_relaxed);
 
-    EvalDevices(ctx, inputs, limit_valid, iter == 0);
+    try {
+      EvalDevices(ctx, inputs, limit_valid, iter == 0);
+    } catch (const SingularMatrixError&) {
+      // A ReducedSubnet's interior factor hit a zero pivot (real, or injected
+      // via "reduce.singular").  Same contract as a singular solve pivot: a
+      // failed solve the step-shrink / rescue ladder owns, not an unwound run.
+      stats.converged = false;
+      stats.singular = true;
+      stats.final_delta = std::numeric_limits<double>::infinity();
+      chord.Settle(false);
+      return stats;
+    }
     limit_valid = true;
 
     if (chord.ShouldUseChord(iter)) {
@@ -433,7 +445,15 @@ NewtonStats SolveNewton(SolveContext& ctx, const NewtonInputs& inputs,
       // ctx.state_now was evaluated at the pre-update iterate; refresh it at
       // the converged point unless the update was too small to matter.
       if (worst > 0.1) {
-        EvalDevices(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false);
+        try {
+          EvalDevices(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false);
+        } catch (const SingularMatrixError&) {
+          stats.converged = false;
+          stats.singular = true;
+          stats.final_delta = std::numeric_limits<double>::infinity();
+          chord.Settle(false);
+          return stats;
+        }
       }
       chord.Settle(true);
       return stats;

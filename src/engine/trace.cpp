@@ -42,10 +42,23 @@ void Trace::ReserveEstimate(double span, double hmin) {
 }
 
 void Trace::Record(double time, std::span<const double> full_solution) {
+  Record(time, full_solution, {});
+}
+
+void Trace::Record(double time, std::span<const double> full_solution,
+                   std::span<const double> states) {
   WP_ASSERT(times_.empty() || time > times_.back());
   times_.push_back(time);
   for (int u : probes_.unknowns) {
-    values_.push_back(full_solution[static_cast<std::size_t>(u)]);
+    if (u >= 0) {
+      values_.push_back(full_solution[static_cast<std::size_t>(u)]);
+    } else if (ProbeSet::IsStateProbe(u)) {
+      // Back-substituted interior voltage living in a state slot (see
+      // ProbeSet::EncodeState); requires the caller to pass the state vector.
+      values_.push_back(states[static_cast<std::size_t>(ProbeSet::DecodeState(u))]);
+    } else {
+      values_.push_back(0.0);  // ground probe
+    }
   }
 }
 

@@ -11,11 +11,23 @@ namespace wavepipe::engine {
 /// Which unknowns a transient run records.  Recording everything is O(steps
 /// × unknowns) memory, so big-circuit benches probe a subset.
 struct ProbeSet {
-  std::vector<int> unknowns;      ///< unknown indices, in recording order
+  /// Probe addresses, in recording order.  Non-negative entries index the
+  /// solution vector x.  Entries <= -2 address a dynamic STATE slot instead
+  /// (EncodeState/DecodeState) — the linear-subnetwork reduction pass routes
+  /// probes of eliminated interior nodes through the state vector, where the
+  /// ReducedSubnet device writes their back-substituted voltages each accept.
+  /// kGround (-1) records a constant 0.
+  std::vector<int> unknowns;
   std::vector<std::string> names; ///< parallel display names
 
   static ProbeSet All(int num_unknowns);
   static ProbeSet FirstNodes(int num_nodes, int limit);
+
+  /// State-slot probe encoding (invertible, disjoint from unknowns and
+  /// kGround): slot s <-> entry -2 - s.
+  static constexpr int EncodeState(int state_slot) { return -2 - state_slot; }
+  static constexpr int DecodeState(int encoded) { return -2 - encoded; }
+  static constexpr bool IsStateProbe(int entry) { return entry <= -2; }
 
   std::size_t size() const { return unknowns.size(); }
 };
@@ -29,6 +41,12 @@ class Trace {
   const ProbeSet& probes() const { return probes_; }
 
   void Record(double time, std::span<const double> full_solution);
+
+  /// Record() with the accepted point's state vector alongside, so state
+  /// probes (ProbeSet::EncodeState) resolve.  Engines pass SolutionPoint::q;
+  /// the two-argument overload asserts no state probe is present.
+  void Record(double time, std::span<const double> full_solution,
+              std::span<const double> states);
 
   /// Appends a sample of ALREADY-SELECTED probe values (checkpoint restore:
   /// a trace snapshot stores probe values, not full solutions).  The span's

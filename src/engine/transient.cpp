@@ -158,6 +158,26 @@ StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, d
   return result;
 }
 
+IntegrationPlan RefreshPointStates(SolveContext& ctx, const HistoryWindow& window,
+                                   Method method,
+                                   const std::shared_ptr<SolutionPoint>& point,
+                                   const SimOptions& options) {
+  WP_ASSERT(point != nullptr);
+  const IntegrationPlan plan = PlanIntegration(method, point->time, window, ctx.state_hist);
+  ctx.x = point->x;
+  NewtonInputs inputs;
+  inputs.time = point->time;
+  inputs.a0 = plan.a0;
+  inputs.transient = true;
+  inputs.gmin = options.gmin;
+  inputs.source_scale = 1.0;
+  EvalDevices(ctx, inputs, /*limit_valid=*/false, /*first_iteration=*/true);
+  point->q = ctx.state_now;
+  point->qdot.resize(ctx.state_now.size());
+  ComputeQdot(plan, point->q, ctx.state_hist, point->qdot);
+  return plan;
+}
+
 TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& structure,
                                    const TransientSpec& spec, const SimOptions& options) {
   WP_ASSERT(spec.tstop > spec.tstart);
@@ -268,7 +288,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
       return result;
     }
     history.Add(MakeDcSolutionPoint(ctx, spec.tstart));
-    result.trace.Record(spec.tstart, history.newest()->x);
+    result.trace.Record(spec.tstart, history.newest()->x, history.newest()->q);
   }
 
   result.trace.ReserveEstimate(spec.tstop - spec.tstart, limits.hmin);
@@ -405,7 +425,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
             AttemptRescue(ctx, window, t_rescue, live, result.stats);
         if (rescue.rescued) {
           history.Add(rescue.solve.point);
-          result.trace.Record(t_rescue, rescue.solve.point->x);
+          result.trace.Record(t_rescue, rescue.solve.point->x, rescue.solve.point->q);
           result.stats.steps_accepted += 1;
           result.final_point = rescue.solve.point;
           if (spec.record_step_details) {
@@ -465,7 +485,7 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
 
     // Accept.
     history.Add(solve.point);
-    result.trace.Record(t_new, solve.point->x);
+    result.trace.Record(t_new, solve.point->x, solve.point->q);
     result.stats.steps_accepted += 1;
     result.final_point = solve.point;
     ++steps_since_restart;

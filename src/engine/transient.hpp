@@ -66,6 +66,24 @@ StepSolveResult SolveTimePoint(SolveContext& ctx, const HistoryWindow& window, d
 /// Builds the LTE/step-control parameter block from SimOptions.
 StepControlParams MakeStepParams(const SimOptions& options, int num_nodes, int order);
 
+/// Re-derives `point`'s state vector (q, then qdot) against `window` at the
+/// point's own solution x — one device-evaluation pass, no solve.  Returns
+/// the integration plan used.
+///
+/// Forward pipelining needs this when it accepts a speculative solution
+/// DIRECTLY: the speculative solve computed its states against PREDICTED
+/// history.  For ordinary devices that is harmless — their charges are
+/// functions of the (validated) solution vector.  But a ReducedSubnet's
+/// interior voltages and absorbed-capacitor charges depend on the state
+/// HISTORY itself, so an unrepaired prediction error would feed state→state
+/// without ever crossing the validated x, and the trapezoidal rule amplifies
+/// it into ringing.  Re-evaluating against the true window pins every
+/// published state to the same inputs a cold solve would have used.
+IntegrationPlan RefreshPointStates(SolveContext& ctx, const HistoryWindow& window,
+                                   Method method,
+                                   const std::shared_ptr<SolutionPoint>& point,
+                                   const SimOptions& options);
+
 struct TransientSpec {
   double tstart = 0.0;
   double tstop = 0.0;

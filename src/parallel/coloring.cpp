@@ -35,6 +35,7 @@ devices::EvalContext MakeEval(engine::SolveContext& ctx, const engine::NewtonInp
   eval.first_iteration = first_iteration;
   eval.gmin = inputs.gmin;
   eval.source_scale = inputs.source_scale;
+  eval.gshunt = inputs.gshunt;
   eval.x = ctx.x;
   eval.jacobian_values = jacobian;
   eval.rhs = rhs;

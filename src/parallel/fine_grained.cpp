@@ -101,7 +101,17 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
     stats.iterations = iter + 1;
     ++ctx.total_newton_iterations;
     ctx.heartbeat.fetch_add(1, std::memory_order_relaxed);
-    evaluator.Eval(ctx, inputs, limit_valid, iter == 0, phases);
+    try {
+      evaluator.Eval(ctx, inputs, limit_valid, iter == 0, phases);
+    } catch (const SingularMatrixError&) {
+      // ReducedSubnet interior pivot failure ("reduce.singular" or real):
+      // classified as a failed solve, same as a singular BBD/LU pivot below.
+      stats.converged = false;
+      stats.singular = true;
+      stats.final_delta = std::numeric_limits<double>::infinity();
+      chord.Settle(false);
+      return stats;
+    }
     limit_valid = true;
 
     util::ThreadCpuTimer lu_timer;
@@ -192,8 +202,16 @@ engine::NewtonStats SolveNewtonFineGrained(FineGrainedEvaluator& evaluator,
     if (chord.FinishIteration(worst, confirmed || hot_start_accept, stats)) {
       stats.converged = true;
       if (worst > 0.1) {
-        evaluator.Eval(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false,
-                       phases);
+        try {
+          evaluator.Eval(ctx, inputs, /*limit_valid=*/true, /*first_iteration=*/false,
+                         phases);
+        } catch (const SingularMatrixError&) {
+          stats.converged = false;
+          stats.singular = true;
+          stats.final_delta = std::numeric_limits<double>::infinity();
+          chord.Settle(false);
+          return stats;
+        }
       }
       chord.Settle(true);
       return stats;
@@ -313,7 +331,7 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
     if (ctx.bbd.configured()) bbd_prime_base = ctx.bbd.stats();
   } else {
     history.Add(engine::MakeDcSolutionPoint(ctx, spec.tstart));
-    result.trace.Record(spec.tstart, history.newest()->x);
+    result.trace.Record(spec.tstart, history.newest()->x, history.newest()->q);
   }
   result.trace.ReserveEstimate(spec.tstop - spec.tstart, limits.hmin);
 
@@ -501,7 +519,7 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
     point->qdot.resize(ctx.state_now.size());
     engine::ComputeQdot(plan, point->q, ctx.state_hist, point->qdot);
     history.Add(point);
-    result.trace.Record(t_new, point->x);
+    result.trace.Record(t_new, point->x, point->q);
     result.final_point = point;
     result.stats.steps_accepted += 1;
     ++steps_since_restart;

@@ -1,0 +1,268 @@
+#include "reduce/reduce.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "engine/trace.hpp"
+#include "reduce/reduced_subnet.hpp"
+#include "util/telemetry.hpp"
+
+namespace wavepipe::reduce {
+
+namespace {
+
+/// One maximal linear-only component found by the boundary sweep.
+struct Component {
+  std::vector<int> interiors;  ///< eliminated nodes, ascending original id
+  std::vector<int> ports;      ///< anchored neighbors, ascending original id
+};
+
+/// Local index of original node `old` in `comp` (see ReducedSubnet's
+/// convention): interiors map to [0, ni), ports to [ni, ni+np), ground to -1.
+int LocalIndex(const Component& comp, int old) {
+  if (old < 0) return devices::kGround;
+  const int ni = static_cast<int>(comp.interiors.size());
+  auto it = std::lower_bound(comp.interiors.begin(), comp.interiors.end(), old);
+  if (it != comp.interiors.end() && *it == old) {
+    return static_cast<int>(it - comp.interiors.begin());
+  }
+  auto pt = std::lower_bound(comp.ports.begin(), comp.ports.end(), old);
+  WP_ASSERT(pt != comp.ports.end() && *pt == old);
+  return ni + static_cast<int>(pt - comp.ports.begin());
+}
+
+}  // namespace
+
+void ReductionStats::ExportCounters(util::telemetry::CounterRegistry& registry) const {
+  registry.Count("reduce.subnets", subnets);
+  registry.Count("reduce.nodes_eliminated", nodes_eliminated);
+  registry.Count("reduce.devices_absorbed", devices_absorbed);
+  registry.Count("reduce.static_subnets", static_subnets);
+  registry.Count("reduce.max_interior", max_interior);
+  registry.Count("reduce.max_ports", max_ports);
+  registry.Count("reduce.interior_expansions", interior_expansions);
+}
+
+ReductionResult Reduce(std::unique_ptr<engine::Circuit> circuit,
+                       std::span<const int> keep_nodes) {
+  WP_ASSERT(circuit && circuit->finalized());
+  const int nn = circuit->num_nodes();
+  const int nb = circuit->num_branches();
+  const auto& devs = circuit->devices();
+
+  // ---- classify: reducible devices vs anchors -------------------------------
+  // A node listed by ANY non-reducible device (TerminalNodes covers terminal
+  // and controlling nodes) is anchored and survives; so do keep_nodes.
+  struct ReducibleRef {
+    std::size_t index;
+    int a, b;
+  };
+  std::vector<ReducibleRef> reducibles;
+  std::vector<char> anchored(static_cast<std::size_t>(nn), 0);
+  std::vector<int> terms;
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    const devices::Device* d = devs[i].get();
+    if (const auto* r = dynamic_cast<const devices::Resistor*>(d)) {
+      reducibles.push_back({i, r->p(), r->n()});
+    } else if (const auto* c = dynamic_cast<const devices::Capacitor*>(d)) {
+      reducibles.push_back({i, c->p(), c->n()});
+    } else if (const auto* s = dynamic_cast<const devices::CurrentSource*>(d)) {
+      reducibles.push_back({i, s->p(), s->n()});
+    } else {
+      terms.clear();
+      d->TerminalNodes(terms);
+      for (int t : terms) {
+        if (t >= 0) anchored[static_cast<std::size_t>(t)] = 1;
+      }
+    }
+  }
+  for (int u : keep_nodes) {
+    if (u >= 0 && u < nn) anchored[static_cast<std::size_t>(u)] = 1;
+  }
+
+  // ---- adjacency over reducible devices -------------------------------------
+  // Current-source endpoints count as edges: an absorbed source's non-interior
+  // endpoint must end up a port of the SAME component so its companion current
+  // lands in that subnet's condensed RHS.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(nn));
+  for (const auto& ref : reducibles) {
+    if (ref.a >= 0 && ref.b >= 0 && ref.a != ref.b) {
+      adj[static_cast<std::size_t>(ref.a)].push_back(ref.b);
+      adj[static_cast<std::size_t>(ref.b)].push_back(ref.a);
+    }
+  }
+
+  // ---- connected components of non-anchored nodes ---------------------------
+  // Seeds sweep ascending node ids and the per-component node lists are
+  // sorted, so detection output is a pure function of the circuit.
+  std::vector<int> comp_of(static_cast<std::size_t>(nn), -1);
+  std::vector<Component> components;
+  for (int seed = 0; seed < nn; ++seed) {
+    if (anchored[static_cast<std::size_t>(seed)] || comp_of[static_cast<std::size_t>(seed)] >= 0) {
+      continue;
+    }
+    const int id = static_cast<int>(components.size());
+    Component comp;
+    std::vector<int> frontier{seed};
+    comp_of[static_cast<std::size_t>(seed)] = id;
+    while (!frontier.empty()) {
+      const int node = frontier.back();
+      frontier.pop_back();
+      comp.interiors.push_back(node);
+      for (int nbr : adj[static_cast<std::size_t>(node)]) {
+        if (anchored[static_cast<std::size_t>(nbr)]) {
+          comp.ports.push_back(nbr);
+        } else if (comp_of[static_cast<std::size_t>(nbr)] < 0) {
+          comp_of[static_cast<std::size_t>(nbr)] = id;
+          frontier.push_back(nbr);
+        }
+      }
+    }
+    std::sort(comp.interiors.begin(), comp.interiors.end());
+    std::sort(comp.ports.begin(), comp.ports.end());
+    comp.ports.erase(std::unique(comp.ports.begin(), comp.ports.end()), comp.ports.end());
+    components.push_back(std::move(comp));
+  }
+
+  if (components.empty()) {
+    // Nothing reducible: hand the ORIGINAL circuit back untouched so the
+    // --reduce flag is bit-identical on decks with no linear interior.
+    ReductionResult out;
+    out.reduced = false;
+    out.unknown_map.resize(static_cast<std::size_t>(nn + nb));
+    std::iota(out.unknown_map.begin(), out.unknown_map.end(), 0);
+    out.circuit = std::move(circuit);
+    return out;
+  }
+
+  // ---- assign reducible devices: absorbed into a component or survivor ------
+  struct Build {
+    std::vector<ReducedSubnet::AbsorbedResistor> resistors;
+    std::vector<ReducedSubnet::AbsorbedCapacitor> capacitors;
+    std::vector<ReducedSubnet::AbsorbedSource> sources;
+    std::vector<std::unique_ptr<devices::Device>> owned;
+  };
+  std::vector<Build> builds(components.size());
+  std::vector<char> absorbed(devs.size(), 0);
+  for (const auto& ref : reducibles) {
+    const int ca = ref.a >= 0 ? comp_of[static_cast<std::size_t>(ref.a)] : -1;
+    const int cb = ref.b >= 0 ? comp_of[static_cast<std::size_t>(ref.b)] : -1;
+    const int cid = ca >= 0 ? ca : cb;
+    if (cid < 0) continue;  // both endpoints anchored/ground: stays stamped
+    WP_ASSERT(ca < 0 || cb < 0 || ca == cb);
+    absorbed[ref.index] = 1;
+    const Component& comp = components[static_cast<std::size_t>(cid)];
+    Build& build = builds[static_cast<std::size_t>(cid)];
+    const int la = LocalIndex(comp, ref.a);
+    const int lb = LocalIndex(comp, ref.b);
+    const devices::Device* d = devs[ref.index].get();
+    if (const auto* r = dynamic_cast<const devices::Resistor*>(d)) {
+      build.resistors.push_back({la, lb, r->conductance()});
+    } else if (const auto* c = dynamic_cast<const devices::Capacitor*>(d)) {
+      build.capacitors.push_back({la, lb, c->capacitance()});
+    } else {
+      const auto* s = dynamic_cast<const devices::CurrentSource*>(d);
+      WP_ASSERT(s != nullptr);
+      build.sources.push_back({la, lb, &s->waveform(), s});
+    }
+  }
+
+  // ---- rebuild the circuit over the surviving node set ----------------------
+  // Kept nodes are re-added in ascending original id, so survivors' indices
+  // only shift down and the engine's unknown ordering stays deterministic.
+  std::vector<int> node_map(static_cast<std::size_t>(nn), -1);
+  auto rebuilt = std::make_unique<engine::Circuit>();
+  for (int old = 0; old < nn; ++old) {
+    if (comp_of[static_cast<std::size_t>(old)] >= 0) continue;  // eliminated
+    node_map[static_cast<std::size_t>(old)] = rebuilt->AddNode(circuit->node_name(old));
+  }
+
+  auto old_devices = circuit->TakeDevices();
+  for (std::size_t i = 0; i < old_devices.size(); ++i) {
+    if (absorbed[i]) continue;
+    old_devices[i]->RemapNodes(node_map);
+    rebuilt->Add(std::move(old_devices[i]));
+  }
+  // Absorbed device objects migrate into their subnet (waveform ownership);
+  // collected AFTER the survivor pass so each component keeps device order.
+  for (const auto& ref : reducibles) {
+    if (!absorbed[ref.index]) continue;
+    const int cid = ref.a >= 0 && comp_of[static_cast<std::size_t>(ref.a)] >= 0
+                        ? comp_of[static_cast<std::size_t>(ref.a)]
+                        : comp_of[static_cast<std::size_t>(ref.b)];
+    builds[static_cast<std::size_t>(cid)].owned.push_back(std::move(old_devices[ref.index]));
+  }
+
+  ReductionResult out;
+  out.reduced = true;
+  out.stats.subnets = components.size();
+
+  std::vector<ReducedSubnet*> subnets;
+  subnets.reserve(components.size());
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    const Component& comp = components[c];
+    Build& build = builds[c];
+    std::vector<int> port_nodes;
+    port_nodes.reserve(comp.ports.size());
+    for (int port : comp.ports) {
+      port_nodes.push_back(node_map[static_cast<std::size_t>(port)]);
+    }
+    auto subnet = std::make_unique<ReducedSubnet>(
+        "reduce:" + circuit->node_name(comp.interiors.front()), std::move(port_nodes),
+        static_cast<int>(comp.interiors.size()), std::move(build.resistors),
+        std::move(build.capacitors), std::move(build.sources), std::move(build.owned));
+    out.stats.nodes_eliminated += comp.interiors.size();
+    out.stats.devices_absorbed += subnet->num_absorbed_devices();
+    if (subnet->is_static()) ++out.stats.static_subnets;
+    out.stats.max_interior = std::max<std::uint64_t>(out.stats.max_interior, comp.interiors.size());
+    out.stats.max_ports = std::max<std::uint64_t>(out.stats.max_ports, comp.ports.size());
+    subnets.push_back(rebuilt->Add(std::move(subnet)));
+  }
+  rebuilt->Finalize();
+
+  // ---- original-unknown translation table -----------------------------------
+  out.unknown_map.assign(static_cast<std::size_t>(nn + nb), devices::kGround);
+  for (int old = 0; old < nn; ++old) {
+    const int cid = comp_of[static_cast<std::size_t>(old)];
+    if (cid < 0) {
+      out.unknown_map[static_cast<std::size_t>(old)] = node_map[static_cast<std::size_t>(old)];
+    } else {
+      const Component& comp = components[static_cast<std::size_t>(cid)];
+      const int k = LocalIndex(comp, old);
+      out.unknown_map[static_cast<std::size_t>(old)] = engine::ProbeSet::EncodeState(
+          subnets[static_cast<std::size_t>(cid)]->interior_state_slot(k));
+    }
+  }
+  // Branch ordinals are preserved: absorbed devices never claim branches and
+  // survivors keep their relative order, so original branch j is rebuilt
+  // branch j — only the node-count offset changes.
+  WP_ASSERT(rebuilt->num_branches() == nb);
+  for (int j = 0; j < nb; ++j) {
+    out.unknown_map[static_cast<std::size_t>(nn + j)] = rebuilt->num_nodes() + j;
+  }
+
+  out.circuit = std::move(rebuilt);
+  return out;
+}
+
+std::size_t RemapSpec(const ReductionResult& result, engine::TransientSpec& spec) {
+  std::size_t expansions = 0;
+  for (int& u : spec.probes.unknowns) {
+    if (u < 0) continue;  // ground probes pass through
+    const int mapped = result.unknown_map[static_cast<std::size_t>(u)];
+    if (engine::ProbeSet::IsStateProbe(mapped)) ++expansions;
+    u = mapped;
+  }
+  for (auto& ic : spec.initial_conditions) {
+    if (ic.first >= 0) {
+      ic.first = result.unknown_map[static_cast<std::size_t>(ic.first)];
+    }
+  }
+  return expansions;
+}
+
+}  // namespace wavepipe::reduce

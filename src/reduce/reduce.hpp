@@ -1,0 +1,81 @@
+// Linear-subnetwork reduction: netlist-elaboration pass that detects maximal
+// linear-only subgraphs (resistors, capacitors, current sources), eliminates
+// their interior nodes by exact companion-model-aware Gaussian elimination and
+// replaces each subgraph with one ReducedSubnet device stamping the small
+// Schur-complement equivalent (see reduced_subnet.hpp for the algebra).
+//
+// Detection is a deterministic port-boundary sweep:
+//   * every node listed by any NON-reducible device (via TerminalNodes) is
+//     anchored, as is every node in `keep_nodes` (initial conditions, nodesets)
+//     and ground;
+//   * connected components of non-anchored nodes under the reducible-device
+//     adjacency, discovered by BFS over ascending node ids, become subnets;
+//   * a component's ports are its anchored neighbors; reducible devices with
+//     at least one interior endpoint are absorbed, the rest stay.
+// Probed nodes are NOT anchored: probes of eliminated interiors are rerouted
+// to the subnet's back-substituted state slots (ProbeSet::EncodeState), so
+// `.print` output is unchanged — that is the on-demand interior expansion.
+//
+// The pass consumes the elaborated circuit and rebuilds a fresh one over the
+// surviving node set (ascending original id, so survivor indices only shift
+// down); when nothing is reducible the ORIGINAL circuit is returned unmoved
+// and downstream behaviour is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/circuit.hpp"
+#include "engine/transient.hpp"
+
+namespace wavepipe::util::telemetry {
+class CounterRegistry;
+}
+
+namespace wavepipe::reduce {
+
+/// Counters describing one reduction pass (run_stats schema v1.3: exported
+/// under "reduce.*").
+struct ReductionStats {
+  std::uint64_t subnets = 0;             ///< ReducedSubnet devices created
+  std::uint64_t nodes_eliminated = 0;    ///< interior unknowns removed
+  std::uint64_t devices_absorbed = 0;    ///< R/C/I devices folded into subnets
+  std::uint64_t static_subnets = 0;      ///< purely resistive subnets
+  std::uint64_t max_interior = 0;        ///< largest eliminated interior
+  std::uint64_t max_ports = 0;           ///< widest port boundary
+  std::uint64_t interior_expansions = 0; ///< probes rerouted to state slots
+
+  /// Exports every counter under the "reduce." prefix.
+  void ExportCounters(util::telemetry::CounterRegistry& registry) const;
+};
+
+/// Result of Reduce().  `unknown_map` translates ORIGINAL unknown indices:
+///   * surviving node  -> its node index in `circuit`
+///   * eliminated node -> engine::ProbeSet::EncodeState(slot) of the state
+///     slot carrying its back-substituted voltage (a negative encoding)
+///   * branch j        -> circuit->num_nodes() + j (branch ordinals survive:
+///     absorbed devices never claim branches)
+struct ReductionResult {
+  std::unique_ptr<engine::Circuit> circuit;
+  bool reduced = false;          ///< false: `circuit` is the input, untouched
+  std::vector<int> unknown_map;  ///< size = original num_unknowns()
+  ReductionStats stats;
+};
+
+/// Runs the reduction pass on a finalized circuit.  `keep_nodes` lists node
+/// unknowns that must survive even if only linear devices touch them
+/// (targets of .ic/.nodeset — their values are imposed by unknown index).
+/// Returns the input circuit unmoved (reduced = false, identity map) when
+/// nothing is reducible.
+ReductionResult Reduce(std::unique_ptr<engine::Circuit> circuit,
+                       std::span<const int> keep_nodes = {});
+
+/// Rewrites `spec` (probe unknowns, initial-condition targets) through
+/// `result.unknown_map` and returns how many probes were rerouted to
+/// back-substituted interior state slots.  Callers add the return value to
+/// `result.stats.interior_expansions`.
+std::size_t RemapSpec(const ReductionResult& result, engine::TransientSpec& spec);
+
+}  // namespace wavepipe::reduce

@@ -1,0 +1,319 @@
+#include "reduce/reduced_subnet.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "sparse/lu.hpp"
+#include "sparse/triplet.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace wavepipe::reduce {
+
+namespace {
+
+/// Per-thread scratch so the hot Eval() path allocates only on first use.
+/// Safe under concurrent Eval(): each worker thread owns its own copy, and
+/// every vector is fully (re)sized and overwritten per call.
+struct Workspace {
+  std::vector<double> r;        // local RHS, interior then ports
+  std::vector<double> w;        // A_ii^{-1} r_i
+  std::vector<double> vp;       // port voltages of the current iterate
+  std::vector<double> vi;       // back-substituted interior voltages
+  std::vector<double> lu_work;  // SparseLu::Solve workspace
+};
+
+Workspace& LocalWorkspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace
+
+/// One factorization of the interior block for a fixed (a0', gshunt) pair,
+/// plus the dense products the Schur stamp needs.  Immutable once built;
+/// shared by concurrent Evals through shared_ptr<const Bundle>.
+struct ReducedSubnet::Bundle {
+  sparse::SparseLu lu;        ///< factored A_ii (kNatural: ascending node id)
+  std::vector<double> a_ip;   ///< ni x np, column-major (a_ip[i + j*ni])
+  std::vector<double> x;      ///< ni x np, column-major: A_ii^{-1} a_ip
+  std::vector<double> s;      ///< np x np, row-major Schur complement
+};
+
+ReducedSubnet::ReducedSubnet(std::string name, std::vector<int> port_nodes,
+                             int num_interior,
+                             std::vector<AbsorbedResistor> resistors,
+                             std::vector<AbsorbedCapacitor> capacitors,
+                             std::vector<AbsorbedSource> sources,
+                             std::vector<std::unique_ptr<devices::Device>> absorbed)
+    : devices::Device(std::move(name)),
+      ports_(std::move(port_nodes)),
+      ni_(num_interior),
+      resistors_(std::move(resistors)),
+      capacitors_(std::move(capacitors)),
+      sources_(std::move(sources)),
+      absorbed_(std::move(absorbed)) {
+  WP_ASSERT(ni_ > 0);
+  const int np = num_ports();
+  auto check_local = [&](int a, int b) {
+    WP_ASSERT(a >= devices::kGround && a < ni_ + np);
+    WP_ASSERT(b >= devices::kGround && b < ni_ + np);
+    WP_ASSERT(a < ni_ || b < ni_);  // absorbed => at least one interior end
+  };
+  for (const auto& r : resistors_) check_local(r.a, r.b);
+  for (const auto& c : capacitors_) check_local(c.a, c.b);
+  for (const auto& s : sources_) check_local(s.a, s.b);
+}
+
+ReducedSubnet::~ReducedSubnet() = default;
+
+void ReducedSubnet::Bind(devices::Binder& binder) {
+  // Finalize() may Bind more than once (deferred-bind retry); reassign from
+  // scratch each time.
+  cap_state_.clear();
+  cap_state_.reserve(capacitors_.size());
+  for (std::size_t k = 0; k < capacitors_.size(); ++k) {
+    cap_state_.push_back(binder.AddState(name()));
+  }
+  interior_state_.clear();
+  interior_state_.reserve(static_cast<std::size_t>(ni_));
+  for (int k = 0; k < ni_; ++k) {
+    interior_state_.push_back(binder.AddState(name()));
+  }
+}
+
+void ReducedSubnet::DeclarePattern(devices::PatternBuilder& pattern) {
+  // The Schur complement couples every port with every port: a dense np x np
+  // block.  This is the reduction's pattern cost — bounded by the (small)
+  // port count, independent of how many interior nodes were eliminated.
+  const int np = num_ports();
+  port_slots_.assign(static_cast<std::size_t>(np) * static_cast<std::size_t>(np), -1);
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      port_slots_[static_cast<std::size_t>(i * np + j)] =
+          pattern.Entry(ports_[static_cast<std::size_t>(i)],
+                        ports_[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+std::shared_ptr<const ReducedSubnet::Bundle> ReducedSubnet::BundleFor(
+    double a0, double gshunt) const {
+  const std::pair<double, double> key(a0, gshunt);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (const auto& [k, bundle] : cache_) {
+      if (k == key) return bundle;
+    }
+  }
+  // Build outside the lock: concurrent builders produce bit-identical
+  // bundles (same deterministic assembly + factorization), so it does not
+  // matter whose insert wins.
+  auto built = ComputeBundle(a0, gshunt);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (const auto& [k, bundle] : cache_) {
+    if (k == key) return bundle;  // first insert won; agree with it
+  }
+  if (cache_.size() >= kMaxBundles) cache_.erase(cache_.begin());
+  cache_.emplace_back(key, built);
+  return built;
+}
+
+std::shared_ptr<const ReducedSubnet::Bundle> ReducedSubnet::ComputeBundle(
+    double a0, double gshunt) const {
+  if (WP_FAULT_POINT("reduce.singular")) {
+    throw SingularMatrixError("reduce.singular: injected interior pivot failure");
+  }
+  const int ni = ni_;
+  const int np = num_ports();
+  auto bundle = std::make_shared<Bundle>();
+  bundle->a_ip.assign(static_cast<std::size_t>(ni) * static_cast<std::size_t>(np), 0.0);
+  std::vector<double> s_diag(static_cast<std::size_t>(np), 0.0);
+
+  sparse::TripletBuilder triplets(ni, ni);
+  // Reserve every interior diagonal so the gshunt fold (and the factorization
+  // pivot) always has an entry, even for nodes whose devices vanish at DC.
+  for (int k = 0; k < ni; ++k) triplets.AddPattern(k, k);
+
+  // Two-terminal conductance g between local endpoints (a, b).  By the
+  // absorption rule at least one endpoint is interior and port-port coupling
+  // cannot occur, so the port-side contribution is diagonal-only.
+  auto stamp_g = [&](int a, int b, double g) {
+    if (a == b) return;  // degenerate self-loop stamps net zero
+    for (int e : {a, b}) {
+      if (e < 0) continue;
+      if (e < ni) {
+        triplets.Add(e, e, g);
+      } else {
+        s_diag[static_cast<std::size_t>(e - ni)] += g;
+      }
+    }
+    if (a >= 0 && b >= 0) {
+      const bool a_int = a < ni;
+      const bool b_int = b < ni;
+      if (a_int && b_int) {
+        triplets.Add(a, b, -g);
+        triplets.Add(b, a, -g);
+      } else if (a_int) {
+        bundle->a_ip[static_cast<std::size_t>(a) +
+                     static_cast<std::size_t>(b - ni) * static_cast<std::size_t>(ni)] -= g;
+      } else {
+        WP_ASSERT(b_int);
+        bundle->a_ip[static_cast<std::size_t>(b) +
+                     static_cast<std::size_t>(a - ni) * static_cast<std::size_t>(ni)] -= g;
+      }
+    }
+  };
+
+  for (const auto& r : resistors_) stamp_g(r.a, r.b, r.conductance);
+  if (a0 != 0.0) {
+    for (const auto& c : capacitors_) stamp_g(c.a, c.b, a0 * c.capacitance);
+  }
+  // The engine stamps gshunt on every surviving node diagonal itself; the
+  // eliminated interiors must receive the same shunt here or the rescue
+  // ladder (DC gmin stepping, transient gshunt rungs) would behave
+  // differently reduced vs unreduced.
+  if (gshunt > 0.0) {
+    for (int k = 0; k < ni; ++k) triplets.Add(k, k, gshunt);
+  }
+
+  sparse::SparseLu::Options options;
+  options.ordering = sparse::SparseLu::Options::Ordering::kNatural;
+  bundle->lu.Reset(options);
+  bundle->lu.Factor(triplets.ToCsc());  // throws SingularMatrixError on zero pivot
+
+  // X = A_ii^{-1} A_ip, one triangular solve per port column.
+  bundle->x = bundle->a_ip;
+  std::vector<double> lu_work;
+  for (int j = 0; j < np; ++j) {
+    std::span<double> column(bundle->x.data() + static_cast<std::size_t>(j) * ni,
+                             static_cast<std::size_t>(ni));
+    bundle->lu.Solve(column, lu_work);
+  }
+
+  // S = A_pp - A_pi X  with A_pi = A_ip^T (the absorbed block is symmetric)
+  // and A_pp diagonal (see stamp_g).
+  bundle->s.assign(static_cast<std::size_t>(np) * static_cast<std::size_t>(np), 0.0);
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      double acc = (i == j) ? s_diag[static_cast<std::size_t>(i)] : 0.0;
+      const double* col_i = bundle->a_ip.data() + static_cast<std::size_t>(i) * ni;
+      const double* col_j = bundle->x.data() + static_cast<std::size_t>(j) * ni;
+      for (int k = 0; k < ni; ++k) acc -= col_i[k] * col_j[k];
+      bundle->s[static_cast<std::size_t>(i * np + j)] = acc;
+    }
+  }
+  return bundle;
+}
+
+void ReducedSubnet::Eval(devices::EvalContext& ctx) const {
+  const int ni = ni_;
+  const int np = num_ports();
+  // DC zeroes the dynamic branches exactly as for an unreduced capacitor
+  // (a0 = 0, history = 0); a cap-free subnet normalizes to key 0.0 so the
+  // whole run shares one conductance-only bundle per gshunt value.
+  const double a0 = (ctx.transient && !capacitors_.empty()) ? ctx.a0 : 0.0;
+  const auto bundle = BundleFor(a0, ctx.gshunt);
+
+  Workspace& ws = LocalWorkspace();
+  ws.r.assign(static_cast<std::size_t>(ni + np), 0.0);
+  auto add_r = [&](int local, double value) {
+    if (local >= 0) ws.r[static_cast<std::size_t>(local)] += value;
+  };
+
+  // Companion RHS of the absorbed devices.  A capacitor's equivalent current
+  // is exactly its integrator history term (ieq = i - geq*v = hist), which is
+  // iterate-independent — the whole local RHS is, so one interior solve per
+  // Eval suffices for exact equivalence.
+  for (std::size_t k = 0; k < capacitors_.size(); ++k) {
+    const double ieq = ctx.state_hist[static_cast<std::size_t>(cap_state_[k])];
+    add_r(capacitors_[k].a, -ieq);
+    add_r(capacitors_[k].b, ieq);
+  }
+  for (const auto& s : sources_) {
+    const double i = ctx.source_scale *
+                     (ctx.transient ? s.waveform->Value(ctx.time) : s.waveform->DcValue());
+    add_r(s.a, -i);
+    add_r(s.b, i);
+  }
+
+  // w = A_ii^{-1} r_i
+  ws.w.assign(ws.r.begin(), ws.r.begin() + ni);
+  bundle->lu.Solve(std::span<double>(ws.w), ws.lu_work);
+
+  ws.vp.resize(static_cast<std::size_t>(np));
+  for (int j = 0; j < np; ++j) {
+    ws.vp[static_cast<std::size_t>(j)] = ctx.V(ports_[static_cast<std::size_t>(j)]);
+  }
+
+  // Stamp the Schur block and the condensed port RHS.
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      ctx.AddJacobian(port_slots_[static_cast<std::size_t>(i * np + j)],
+                      bundle->s[static_cast<std::size_t>(i * np + j)]);
+    }
+    double rp = ws.r[static_cast<std::size_t>(ni + i)];
+    const double* col_i = bundle->a_ip.data() + static_cast<std::size_t>(i) * ni;
+    for (int k = 0; k < ni; ++k) rp -= col_i[k] * ws.w[static_cast<std::size_t>(k)];
+    ctx.AddRhs(ports_[static_cast<std::size_t>(i)], rp);
+  }
+
+  // Back-substitute the interior voltages of THIS iterate:
+  //   v_i = A_ii^{-1} (r_i - A_ip v_p) = w - X v_p.
+  ws.vi = ws.w;
+  for (int j = 0; j < np; ++j) {
+    const double vpj = ws.vp[static_cast<std::size_t>(j)];
+    if (vpj == 0.0) continue;
+    const double* col_j = bundle->x.data() + static_cast<std::size_t>(j) * ni;
+    for (int k = 0; k < ni; ++k) ws.vi[static_cast<std::size_t>(k)] -= col_j[k] * vpj;
+  }
+  for (int k = 0; k < ni; ++k) {
+    ctx.state_now[static_cast<std::size_t>(interior_state_[static_cast<std::size_t>(k)])] =
+        ws.vi[static_cast<std::size_t>(k)];
+  }
+
+  // Absorbed capacitor charges follow the back-substituted voltages so the
+  // integrator history they feed next step matches the unreduced run.
+  auto local_v = [&](int local) {
+    if (local < 0) return 0.0;
+    return local < ni ? ws.vi[static_cast<std::size_t>(local)]
+                      : ws.vp[static_cast<std::size_t>(local - ni)];
+  };
+  for (std::size_t k = 0; k < capacitors_.size(); ++k) {
+    const double v = local_v(capacitors_[k].a) - local_v(capacitors_[k].b);
+    ctx.IntegrateState(cap_state_[k], capacitors_[k].capacitance * v);
+  }
+}
+
+void ReducedSubnet::StampFootprint(std::vector<int>& jacobian_slots,
+                                   std::vector<int>& rhs_rows) const {
+  jacobian_slots.insert(jacobian_slots.end(), port_slots_.begin(), port_slots_.end());
+  // Port RHS rows are written only when the subnet carries a companion RHS.
+  if (!capacitors_.empty() || !sources_.empty()) {
+    rhs_rows.insert(rhs_rows.end(), ports_.begin(), ports_.end());
+  }
+}
+
+void ReducedSubnet::CollectBreakpoints(double t0, double t1,
+                                       std::vector<double>& out) const {
+  for (const auto& s : sources_) s.device->CollectBreakpoints(t0, t1, out);
+}
+
+void ReducedSubnet::TerminalNodes(std::vector<int>& out) const {
+  out.insert(out.end(), ports_.begin(), ports_.end());
+}
+
+void ReducedSubnet::RemapNodes(const std::vector<int>& map) {
+  for (int& p : ports_) p = devices::RemapNode(map, p);
+}
+
+int ReducedSubnet::pattern_size() const {
+  return num_ports() * num_ports();
+}
+
+std::size_t ReducedSubnet::bundle_count() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+}  // namespace wavepipe::reduce

@@ -1,0 +1,138 @@
+// ReducedSubnet: the exact Schur-complement equivalent of an eliminated
+// linear-only subnetwork, packaged as a Device.
+//
+// The reduction pass (reduce.hpp) detects maximal subgraphs containing only
+// resistors, capacitors and current sources, eliminates their interior nodes
+// and replaces the absorbed devices with one ReducedSubnet per subgraph.  At
+// every Eval() the subnet stamps the small dense port-coupling block
+//
+//   S      = A_pp - A_pi * A_ii^{-1} * A_ip          (Jacobian, ports x ports)
+//   r_hat  = r_p  - A_pi * A_ii^{-1} * r_i           (RHS, port rows)
+//
+// where A is the subnetwork's own companion-model contribution G + a0*C and
+// r its companion RHS.  Because Gaussian elimination of interior unknowns is
+// exact for a linear block, the engine's solution on the surviving unknowns
+// is algebraically identical to the unreduced system's — the reduction is a
+// performance transform, not an approximation.  The eliminated interior
+// voltages are back-substituted (v_i = A_ii^{-1} (r_i - A_ip v_p)) and
+// written to state slots claimed during Bind(), which is how probes of
+// eliminated nodes keep producing waveforms (engine::ProbeSet::EncodeState).
+//
+// Determinism: the interior matrix is assembled in fixed device order over
+// interiors indexed by ascending original node id, and factored with
+// SparseLu's kNatural ordering — the elimination order IS the ascending node
+// id order, so reduced stamps are bit-identical across runs and threads.
+//
+// Factor bundles (factored A_ii + X = A_ii^{-1} A_ip + S) depend only on the
+// pair (a0', gshunt); a bounded, mutex-protected cache keyed bit-exactly on
+// that pair makes the per-Eval cost one triangular solve + two small dense
+// products once the integrator settles on a step size.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "devices/waveform.hpp"
+#include "sparse/csc.hpp"
+
+namespace wavepipe::reduce {
+
+class ReducedSubnet final : public devices::Device {
+ public:
+  /// Local endpoint index convention used by the absorbed-device records:
+  /// [0, num_interior) are interior nodes in ascending ORIGINAL node id,
+  /// [num_interior, num_interior + num_ports) are ports in ascending original
+  /// node id, and devices::kGround (-1) is ground.
+  struct AbsorbedResistor {
+    int a = -1, b = -1;
+    double conductance = 0.0;
+  };
+  struct AbsorbedCapacitor {
+    int a = -1, b = -1;
+    double capacitance = 0.0;
+  };
+  struct AbsorbedSource {
+    int a = -1, b = -1;                          ///< current flows a -> b
+    const devices::Waveform* waveform = nullptr; ///< owned by `absorbed` below
+    const devices::Device* device = nullptr;     ///< for CollectBreakpoints
+  };
+
+  /// `port_nodes` are node ids of the REBUILT circuit, ascending original id.
+  /// `absorbed` keeps the eliminated device objects alive (the source records
+  /// point into their waveforms); their node ids are stale and never used.
+  ReducedSubnet(std::string name, std::vector<int> port_nodes, int num_interior,
+                std::vector<AbsorbedResistor> resistors,
+                std::vector<AbsorbedCapacitor> capacitors,
+                std::vector<AbsorbedSource> sources,
+                std::vector<std::unique_ptr<devices::Device>> absorbed);
+  ~ReducedSubnet() override;
+
+  // ---- Device interface -----------------------------------------------------
+  void Bind(devices::Binder& binder) override;
+  void DeclarePattern(devices::PatternBuilder& pattern) override;
+  /// May throw SingularMatrixError when the interior block factorization hits
+  /// a zero pivot (degenerate eliminated subnetwork, or the injected
+  /// "reduce.singular" fault).  The Newton loops catch it and classify the
+  /// solve as failed-singular — the same contract as a singular full-matrix
+  /// pivot.
+  void Eval(devices::EvalContext& ctx) const override;
+  void StampFootprint(std::vector<int>& jacobian_slots,
+                      std::vector<int>& rhs_rows) const override;
+  void CollectBreakpoints(double t0, double t1, std::vector<double>& out) const override;
+  void TerminalNodes(std::vector<int>& out) const override;
+  void RemapNodes(const std::vector<int>& map) override;
+  int pattern_size() const override;
+  /// Interior voltages and absorbed-capacitor charges are back-substituted
+  /// THROUGH the state history, not derived from x alone — schedulers that
+  /// accept points solved over predicted histories must refresh them.
+  bool states_depend_on_history() const override { return true; }
+
+  // ---- reduction-pass queries -----------------------------------------------
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  int num_interior() const { return ni_; }
+  std::size_t num_absorbed_devices() const { return absorbed_.size(); }
+  /// Purely resistive (no capacitors, no sources): the equivalent is one
+  /// constant conductance block — a single cached bundle serves every solve.
+  bool is_static() const { return capacitors_.empty() && sources_.empty(); }
+
+  /// State slot holding the back-substituted voltage of interior node k
+  /// (ascending original node id).  Valid after Bind(); the reduction pass
+  /// routes probes of eliminated nodes here via ProbeSet::EncodeState.
+  int interior_state_slot(int k) const {
+    return interior_state_[static_cast<std::size_t>(k)];
+  }
+
+  /// Factor bundles built so far (telemetry/tests).
+  std::size_t bundle_count() const;
+
+ private:
+  struct Bundle;
+  /// Bundle for the bit-exact key (a0', gshunt); builds and caches on miss.
+  /// The cache is bounded (kMaxBundles, oldest evicted) and first-insert-wins
+  /// so concurrent Evals agree on one (identical) bundle.
+  std::shared_ptr<const Bundle> BundleFor(double a0, double gshunt) const;
+  std::shared_ptr<const Bundle> ComputeBundle(double a0, double gshunt) const;
+
+  static constexpr std::size_t kMaxBundles = 32;
+
+  std::vector<int> ports_;  ///< rebuilt-circuit node ids, ascending original id
+  int ni_ = 0;
+  std::vector<AbsorbedResistor> resistors_;
+  std::vector<AbsorbedCapacitor> capacitors_;
+  std::vector<AbsorbedSource> sources_;
+  std::vector<std::unique_ptr<devices::Device>> absorbed_;
+
+  std::vector<int> cap_state_;       ///< per-capacitor charge slot (Bind)
+  std::vector<int> interior_state_;  ///< per-interior-node voltage slot (Bind)
+  std::vector<int> port_slots_;      ///< np x np Jacobian slots, row-major
+
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<std::pair<std::pair<double, double>, std::shared_ptr<const Bundle>>>
+      cache_;
+};
+
+}  // namespace wavepipe::reduce

@@ -10,6 +10,14 @@ std::uint64_t PatternHash(const CscMatrix& matrix) {
     h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
     h *= 1099511628211ull;
   };
+  // The dimensions participate in the hash: col_ptr/row_idx alone collide
+  // across sizes (every empty n x n pattern hashes its n+1 zero col_ptr
+  // entries to nearly the same digest, and a pattern padded with empty
+  // trailing columns is indistinguishable from its smaller prefix).  Keys
+  // also compare n, but reduced-subnet matrices make same-hash/different-n
+  // patterns common enough that the hash itself must separate them.
+  mix(matrix.rows());
+  mix(matrix.cols());
   for (int p : matrix.col_ptr()) mix(p);
   for (int r : matrix.row_idx()) mix(r);
   return h;

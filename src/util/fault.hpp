@@ -39,6 +39,9 @@
 //                     regardless of the real heartbeats (forces escalation)
 //   breaker.trip      the next breaker-board observation trips the breaker of
 //                     the feature it is attributed to, bypassing the EWMA
+//   reduce.singular   a ReducedSubnet's interior factorization throws
+//                     SingularMatrixError (degenerate eliminated subnetwork);
+//                     surfaces as a failed Newton solve the rescue ladder owns
 #pragma once
 
 #include <cstdint>

@@ -169,7 +169,7 @@ WavePipeResult PipelineDriver::Run() {
     const engine::SolutionPointPtr dc_point = engine::MakeDcSolutionPoint(ctx0, spec_.tstart);
     history_.Add(dc_point);
     ledger_id_of_point_[dc_point.get()] = dc_id;
-    result_.trace.Record(dc_point->time, dc_point->x);
+    result_.trace.Record(dc_point->time, dc_point->x, dc_point->q);
     result_.final_point = dc_point;
 
     h_ = limits_.h0;
@@ -369,7 +369,7 @@ void PipelineDriver::AcceptPoint(const engine::SolutionPointPtr& point, int ledg
     ledger_id_of_point_ = std::move(kept);
   }
   if (leading) {
-    result_.trace.Record(point->time, point->x);
+    result_.trace.Record(point->time, point->x, point->q);
     result_.stats.steps_accepted += 1;
     ++process_steps_;
     result_.final_point = point;

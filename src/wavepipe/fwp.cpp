@@ -142,11 +142,28 @@ void PipelineDriver::ValidateSpeculativeChain(
       // qdot forward undamped — publishing it as-is rings the integrator
       // into a permanent hmin death spiral.  Recompute qdot consistently
       // against the true history (O(states), no solve).
+      //
+      // When the circuit carries history-COUPLED states (a ReducedSubnet's
+      // interior voltages and absorbed-capacitor charges), q itself needs
+      // the same treatment: those states are functions of the state history,
+      // not of x, so their prediction error would feed state→state without
+      // ever crossing the validated solution and the trapezoidal rule rings
+      // it up unbounded.  RefreshPointStates re-derives q AND qdot with one
+      // device-eval pass (no solve) on the idle contexts_[0].  Gated on the
+      // circuit flag so ordinary runs keep their published states (recorded
+      // one Newton iterate behind x, like the serial engine's) bit-for-bit.
       const engine::HistoryWindow true_window = history_.Window(4);
-      std::vector<double> hist(spec.point->q.size());
-      const engine::IntegrationPlan true_plan = engine::PlanIntegration(
-          spec.plan.effective_method, task.time, true_window, hist);
-      engine::ComputeQdot(true_plan, spec.point->q, hist, spec.point->qdot);
+      engine::IntegrationPlan true_plan;
+      if (circuit_.has_history_coupled_states()) {
+        true_plan = engine::RefreshPointStates(*contexts_[0], true_window,
+                                               spec.plan.effective_method,
+                                               spec.point, options_.sim);
+      } else {
+        std::vector<double> hist(spec.point->q.size());
+        true_plan = engine::PlanIntegration(spec.plan.effective_method, task.time,
+                                            true_window, hist);
+        engine::ComputeQdot(true_plan, spec.point->q, hist, spec.point->qdot);
+      }
 
       // Assess against the TRUE-window predictor (exactly what the serial
       // controller would have used), not the speculative one built over

@@ -25,6 +25,7 @@
 #include "engine/newton.hpp"
 #include "engine/transient.hpp"
 #include "parallel/fine_grained.hpp"
+#include "reduce/reduce.hpp"
 #include "util/telemetry.hpp"
 #include "wavepipe/ledger.hpp"
 #include "wavepipe/virtual_pipeline.hpp"
@@ -53,7 +54,13 @@ namespace wavepipe::pipeline {
 /// retrips/reprobes, per-feature trip counts, budget_exhausted) after the
 /// `ledger.*` block.  Additive-only again: v1.1 consumers parse v1.2
 /// documents unchanged.
-inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1.2";
+///
+/// v1.3 appends the linear-subnetwork-reduction group `reduce.*`
+/// (reduce/reduce.hpp: subnets, nodes_eliminated, devices_absorbed,
+/// static_subnets, max_interior, max_ports, interior_expansions) after the
+/// resilience block.  All zeros when --reduce is off or nothing was
+/// reducible; additive-only, so v1.2 consumers parse v1.3 unchanged.
+inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1.3";
 
 /// Identity of one run for the run_stats.json header.  Strings live here;
 /// the counter registry is numeric-only by design.
@@ -83,6 +90,8 @@ struct RunCounterInputs {
   const Ledger* ledger = nullptr;
   /// Durable-run counters (v1.2): ckpt.*, watchdog.*, resilience.*.
   engine::ResilienceStats resilience;
+  /// Linear-subnetwork reduction counters (v1.3): reduce.*.
+  reduce::ReductionStats reduction;
 };
 
 /// Builds the full run_stats counter registry: transient.* + lu.* (engine

@@ -1,0 +1,159 @@
+// Failure paths of the reduction pass: an interior Schur factorization that
+// throws SingularMatrixError must surface as a failed Newton solve the rescue
+// ladder owns — a transient blip is absorbed, a permanent degeneracy becomes
+// a structured abort (never an unwound stack), and a REAL DC-singular
+// interior (cap-only node) follows the same gshunt rescue the unreduced
+// matrix would.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuits/generators.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "engine/transient.hpp"
+#include "parallel/fine_grained.hpp"
+#include "reduce/reduce.hpp"
+#include "util/fault.hpp"
+
+namespace wavepipe::reduce {
+namespace {
+
+using util::fault::Schedule;
+using util::fault::ScopedFault;
+
+class ReduceFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fault::DisarmAll(); }
+
+  struct Prepared {
+    std::unique_ptr<engine::Circuit> circuit;
+    engine::TransientSpec spec;
+  };
+
+  static Prepared ReducedLadder() {
+    auto gen = circuits::MakeRcLadder(8);
+    auto result = Reduce(std::move(gen.circuit));
+    EXPECT_TRUE(result.reduced);
+    RemapSpec(result, gen.spec);
+    return {std::move(result.circuit), std::move(gen.spec)};
+  }
+};
+
+TEST_F(ReduceFaultTest, TransientSingularBlipIsAbsorbedByRescue) {
+  auto prep = ReducedLadder();
+  const engine::MnaStructure mna(*prep.circuit);
+
+  // Unfaulted reference for the parity check afterwards.
+  const auto clean = engine::RunTransientSerial(*prep.circuit, mna, prep.spec, {});
+  ASSERT_TRUE(clean.completed);
+
+  // Let the DC bundle build, then poison the next interior factorization
+  // (the transient-a0 bundle).  The retry recomputes it cleanly — nothing
+  // is cached from a failed Factor — so the run must still complete.
+  Schedule blip;
+  blip.skip = 1;
+  blip.fire = 1;
+  ScopedFault site("reduce.singular", blip);
+
+  const auto run = engine::RunTransientSerial(*prep.circuit, mna, prep.spec, {});
+  EXPECT_GT(site.fired(), 0u);
+  ASSERT_TRUE(run.completed) << run.abort_reason;
+  // The blip surfaces as a failed Newton solve; the shrink-and-retry loop
+  // (and, had that exhausted, the rescue ladder) owns it from there.
+  EXPECT_GT(run.stats.steps_rejected_newton + run.stats.TotalRescuesAttempted(), 0u)
+      << "an injected singular factor must surface as a failed solve";
+  ASSERT_EQ(run.trace.probes().size(), clean.trace.probes().size());
+  for (std::size_t p = 0; p < run.trace.probes().size(); ++p) {
+    EXPECT_LT(engine::Trace::MaxDeviation(clean.trace, run.trace, p), 0.02) << p;
+  }
+}
+
+TEST_F(ReduceFaultTest, PermanentSingularityBecomesStructuredAbort) {
+  auto prep = ReducedLadder();
+  const engine::MnaStructure mna(*prep.circuit);
+
+  // DC passes, then EVERY interior factorization fails: the rescue ladder
+  // (which varies a0/gshunt, forcing fresh bundle builds that all throw)
+  // must exhaust and end the run with the waveform intact — not a throw.
+  Schedule permanent;
+  permanent.skip = 1;
+  permanent.fire = Schedule::kUnlimited;
+  ScopedFault site("reduce.singular", permanent);
+
+  engine::TransientResult run;
+  ASSERT_NO_THROW(
+      run = engine::RunTransientSerial(*prep.circuit, mna, prep.spec, {}));
+  EXPECT_GT(site.fired(), 0u);
+  EXPECT_FALSE(run.completed);
+  EXPECT_FALSE(run.abort_reason.empty());
+  EXPECT_LT(run.last_good_time, prep.spec.tstop);
+}
+
+TEST_F(ReduceFaultTest, FineGrainedEngineOwnsTheSameFaultSite) {
+  auto prep = ReducedLadder();
+  const engine::MnaStructure mna(*prep.circuit);
+
+  Schedule blip;
+  blip.skip = 1;
+  blip.fire = 1;
+  ScopedFault site("reduce.singular", blip);
+
+  parallel::FineGrainedOptions options;
+  options.threads = 3;
+  parallel::FineGrainedResult run;
+  ASSERT_NO_THROW(
+      run = parallel::RunTransientFineGrained(*prep.circuit, mna, prep.spec, options));
+  EXPECT_GT(site.fired(), 0u);
+  // Concurrency caveat (util/fault.hpp): assert outcome properties, not which
+  // worker absorbed the hit.  A one-shot blip must never abort the run.
+  EXPECT_TRUE(run.completed) << run.abort_reason;
+}
+
+// No injection: a cap-only interior node is GENUINELY singular at DC
+// (a0' = 0 zeroes its diagonal).  The unreduced matrix has the identical
+// degeneracy, and both sides own it the same way — via the gshunt rescue —
+// so the reduced run must complete exactly when the unreduced one does.
+TEST_F(ReduceFaultTest, RealDcSingularInteriorMirrorsUnreducedRescue) {
+  auto make = [] {
+    auto circuit = std::make_unique<engine::Circuit>();
+    const int in = circuit->AddNode("in");
+    const int mid = circuit->AddNode("mid");
+    circuit->Emplace<devices::VoltageSource>(
+        "vin", in, devices::kGround,
+        std::make_unique<devices::PulseWaveform>(0.0, 1.0, 1e-6, 1e-7, 1e-7, 4e-6,
+                                                 10e-6));
+    circuit->Emplace<devices::Capacitor>("c1", in, mid, 1e-12);
+    circuit->Emplace<devices::Capacitor>("c2", mid, devices::kGround, 1e-12);
+    circuit->Finalize();
+    return circuit;
+  };
+
+  engine::TransientSpec spec;
+  spec.tstop = 8e-6;
+  spec.tstep = 1e-7;
+  spec.probes.unknowns = {0, 1};  // in, mid
+  spec.probes.names = {"in", "mid"};
+
+  auto unreduced = make();
+  const engine::MnaStructure mna_u(*unreduced);
+  const auto base = engine::RunTransientSerial(*unreduced, mna_u, spec, {});
+
+  auto result = Reduce(make());
+  ASSERT_TRUE(result.reduced);
+  engine::TransientSpec reduced_spec = spec;
+  RemapSpec(result, reduced_spec);
+  const engine::MnaStructure mna_r(*result.circuit);
+  engine::TransientResult run;
+  ASSERT_NO_THROW(run = engine::RunTransientSerial(*result.circuit, mna_r,
+                                                   reduced_spec, {}));
+  EXPECT_EQ(run.completed, base.completed);
+  if (base.completed && run.completed) {
+    for (std::size_t p = 0; p < spec.probes.size(); ++p) {
+      EXPECT_LT(engine::Trace::MaxDeviation(base.trace, run.trace, p), 0.02) << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavepipe::reduce

@@ -90,6 +90,57 @@ TEST(OrderingCacheTest, InsertIsFirstWins) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(OrderingCacheTest, PatternHashSeparatesSizes) {
+  // Regression: PatternHash once digested only col_ptr/row_idx, so every
+  // empty n x n pattern collapsed to (nearly) one digest and a pattern padded
+  // with empty trailing columns matched its smaller prefix.  The dimensions
+  // now participate in the hash.
+  EXPECT_NE(PatternHash(TripletBuilder(2, 2).ToCsc()),
+            PatternHash(TripletBuilder(3, 3).ToCsc()));
+
+  // A chain pattern vs the same chain embedded in a larger matrix with empty
+  // trailing columns: identical col_ptr prefix + identical row_idx, different
+  // size — the classic reduced-subnet shape (many small blocks of one family).
+  const CscMatrix chain = MakeChain(30, 4.0);
+  TripletBuilder padded_builder(40, 40);
+  for (int i = 0; i < 30; ++i) {
+    padded_builder.Add(i, i, 4.0);
+    if (i + 1 < 30) {
+      padded_builder.Add(i, i + 1, -1.0);
+      padded_builder.Add(i + 1, i, -1.0);
+    }
+  }
+  EXPECT_NE(PatternHash(chain), PatternHash(padded_builder.ToCsc()));
+}
+
+TEST(OrderingCacheTest, CrossSizePatternsNeverShareAnEntry) {
+  // Even under a forced hash collision the Key compares n and nnz; and with
+  // the fixed hash, same-family different-size chains get distinct digests,
+  // so each size caches its own ordering of the right length.
+  OrderingCache cache;
+  SparseLu lu_small, lu_large;
+  lu_small.set_ordering_cache(&cache);
+  lu_large.set_ordering_cache(&cache);
+  lu_small.Factor(MakeChain(20, 4.0));
+  lu_large.Factor(MakeChain(32, 4.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Solves on both stay correct (an ordering of the wrong length would have
+  // been an out-of-bounds permutation before it got this far).
+  std::vector<double> x_small(20, 1.0), x_large(32, 1.0), ws;
+  lu_small.Solve(x_small, ws);
+  lu_large.Solve(x_large, ws);
+  SparseLu plain_small, plain_large;
+  plain_small.Factor(MakeChain(20, 4.0));
+  plain_large.Factor(MakeChain(32, 4.0));
+  std::vector<double> y_small(20, 1.0), y_large(32, 1.0);
+  plain_small.Solve(y_small, ws);
+  plain_large.Solve(y_large, ws);
+  EXPECT_EQ(x_small, y_small);
+  EXPECT_EQ(x_large, y_large);
+}
+
 TEST(OrderingCacheTest, ConcurrentReuseAcrossManyFactorsIsSafe) {
   // The BBD piece-factor shape: many SparseLu instances, one shared cache,
   // two recurring patterns, all factoring and solving at once.

@@ -202,10 +202,10 @@ TEST(RunStatsJsonTest, SpecPolicyGroupExportsOnEveryEngine) {
 }
 
 TEST(RunStatsJsonTest, SchemaTagIsPinned) {
-  // v1.2 = v1.1 plus the appended durable-run groups (ckpt.*, watchdog.*,
-  // resilience.*).  Changing this string (or the key sets below) is a schema
+  // v1.3 = v1.2 plus the appended linear-subnetwork-reduction group
+  // (reduce.*).  Changing this string (or the key sets below) is a schema
   // bump: update check_bench.py and the docs in trace_export.hpp alongside.
-  EXPECT_STREQ(kRunStatsSchema, "wavepipe.run_stats.v1.2");
+  EXPECT_STREQ(kRunStatsSchema, "wavepipe.run_stats.v1.3");
 }
 
 TEST(RunStatsJsonTest, ResilienceGroupExportsOnEveryEngine) {
@@ -246,31 +246,71 @@ TEST(RunStatsJsonTest, ResilienceGroupExportsOnEveryEngine) {
   std::remove((sim.resilience.checkpoint_path + ".b").c_str());
 }
 
-TEST(RunStatsJsonTest, V11ConsumersStillParseV12Documents) {
+TEST(RunStatsJsonTest, OlderConsumersStillParseNewerDocuments) {
   // The schema grows additively: every v1.1 key keeps its name and position,
-  // and the v1.2 groups land strictly AFTER the last v1.1 group (ledger.*).
-  // A v1.1 consumer that iterates its own baseline keys therefore parses a
-  // v1.2 document unchanged.  This pins that ordering.
+  // the v1.2 groups (ckpt./watchdog./resilience.) land strictly AFTER the
+  // last v1.1 group (ledger.*), and the v1.3 group (reduce.*) lands strictly
+  // AFTER the last v1.2 key.  A consumer of any older version that iterates
+  // its own baseline keys therefore parses a newer document unchanged.  This
+  // pins both orderings.
   RunCounterInputs inputs;
   const auto names = BuildRunCounters(inputs).Names();
   std::size_t last_v11 = 0;
   std::size_t first_v12 = names.size();
+  std::size_t last_v12 = 0;
+  std::size_t first_v13 = names.size();
   for (std::size_t i = 0; i < names.size(); ++i) {
     const bool v12 = names[i].rfind("ckpt.", 0) == 0 ||
                      names[i].rfind("watchdog.", 0) == 0 ||
                      names[i].rfind("resilience.", 0) == 0;
-    if (v12) {
+    const bool v13 = names[i].rfind("reduce.", 0) == 0;
+    if (v13) {
+      first_v13 = std::min(first_v13, i);
+    } else if (v12) {
       first_v12 = std::min(first_v12, i);
+      last_v12 = std::max(last_v12, i);
     } else {
       last_v11 = std::max(last_v11, i);
     }
   }
   ASSERT_LT(first_v12, names.size()) << "v1.2 groups missing from the registry";
+  ASSERT_LT(first_v13, names.size()) << "v1.3 group missing from the registry";
   EXPECT_LT(last_v11, first_v12)
       << "v1.2 keys must append after every v1.1 key, not interleave";
-  // And the v1.1 ledger.* tail is still immediately before the v1.2 block.
+  EXPECT_LT(last_v12, first_v13)
+      << "v1.3 keys must append after every v1.2 key, not interleave";
+  // The v1.1 ledger.* tail is still immediately before the v1.2 block, and
+  // the v1.3 reduce.* block is the document's tail.
   ASSERT_GT(first_v12, 0u);
   EXPECT_EQ(names[last_v11], "ledger.useful_seconds");
+  EXPECT_EQ(names.back(), "reduce.interior_expansions");
+}
+
+TEST(RunStatsJsonTest, ReduceGroupExportsOnEveryEngine) {
+  const auto gen = SmallDeck();
+  const engine::MnaStructure mna(*gen.circuit);
+
+  // Default run (no --reduce): the v1.3 keys are present with zero values,
+  // so the key set never depends on whether the reduction pass engaged.
+  const auto serial = engine::RunTransientSerial(*gen.circuit, mna, gen.spec, {});
+  RunCounterInputs inputs;
+  inputs.stats = serial.stats;
+  const auto counters = BuildRunCounters(inputs);
+  for (const char* key :
+       {"reduce.subnets", "reduce.nodes_eliminated", "reduce.devices_absorbed",
+        "reduce.static_subnets", "reduce.max_interior", "reduce.max_ports",
+        "reduce.interior_expansions"}) {
+    EXPECT_EQ(CounterValue(counters, key), 0.0) << key;
+  }
+
+  // A reduced run's stats flow through verbatim.
+  RunCounterInputs on_inputs;
+  on_inputs.stats = serial.stats;
+  on_inputs.reduction.subnets = 3;
+  on_inputs.reduction.nodes_eliminated = 17;
+  const auto on_counters = BuildRunCounters(on_inputs);
+  EXPECT_EQ(CounterValue(on_counters, "reduce.subnets"), 3.0);
+  EXPECT_EQ(CounterValue(on_counters, "reduce.nodes_eliminated"), 17.0);
 }
 
 TEST(RunStatsJsonTest, PartitionGroupExportsOnEveryEngine) {

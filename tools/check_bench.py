@@ -35,7 +35,7 @@ import sys
 
 BENCH_FILES = ["BENCH_assembly.json", "BENCH_factor.json", "BENCH_bypass.json",
                "BENCH_pipeline.json", "BENCH_partition.json",
-               "BENCH_resilience.json"]
+               "BENCH_resilience.json", "BENCH_reduction.json"]
 
 # Numeric metrics gated on regression.  A metric is gated when its key path
 # matches one of these predicates; higher is better for all of them.

@@ -16,6 +16,11 @@
 //   --chord                            enable chord-Newton LU factor reuse
 //   --partition N                      bordered-block-diagonal solve with N
 //                                      pieces (0 = monolithic LU, default)
+//   --reduce                           eliminate linear-only subnetworks before
+//                                      analysis (exact Schur equivalents; probed
+//                                      interior nodes are back-substituted).
+//                                      Composes with --partition: reduce first,
+//                                      then partition the smaller system.
 //   --spec-policy fixed|adaptive       speculation policy       (default fixed)
 //   --spec-depth-min N                 adaptive chain depth lower bound (default 0:
 //                                      the controller may throttle speculation off)
@@ -48,6 +53,7 @@
 
 #include "engine/resilience.hpp"
 #include "netlist/elaborate.hpp"
+#include "reduce/reduce.hpp"
 #include "util/checkpoint.hpp"
 #include "parallel/fine_grained.hpp"
 #include "util/error.hpp"
@@ -83,6 +89,7 @@ struct CliOptions {
   double bypass_vtol = 1.0;
   bool chord = false;
   int partition = 0;
+  bool reduce = false;
   // Speculation policy: kFixed keeps the historical scheduler bit for bit.
   pipeline::SpecPolicyOptions spec_policy;
   // Durable-run machinery (engine/resilience.hpp).
@@ -104,7 +111,7 @@ int Usage() {
                "[--threads N] [--out file.csv] [--chart] [--stats] "
                "[--stats-json file.json] [--trace-json file.json] "
                "[--compare-serial] [--bypass] [--bypass-vtol X] [--chord] "
-               "[--partition N] "
+               "[--partition N] [--reduce] "
                "[--spec-policy fixed|adaptive] [--spec-depth-min N] "
                "[--spec-depth-max N] "
                "[--checkpoint file.ckpt] [--checkpoint-steps N] "
@@ -176,6 +183,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       if (!v) return false;
       out->partition = std::atoi(v);
       if (out->partition < 0) return false;
+    } else if (arg == "--reduce") {
+      out->reduce = true;
     } else if (arg == "--spec-policy") {
       const char* v = next();
       if (!v) return false;
@@ -314,7 +323,36 @@ int main(int argc, char** argv) {
   // The resume checkpoint outlives the run (SimOptions holds a pointer).
   engine::TransientCheckpoint resume_ck;
 
+  // Reduction stats survive past the pass so every engine branch exports the
+  // same reduce.* counter group (zeros when --reduce is off).
+  reduce::ReductionStats reduction_stats;
+
   try {
+    if (cli.reduce) {
+      // Nodes whose values are imposed by unknown index (.ic) must survive
+      // elimination; probed nodes need not — RemapSpec reroutes them to the
+      // subnets' back-substituted state slots.
+      std::vector<int> keep;
+      for (const auto& ic : elaborated.spec.initial_conditions) keep.push_back(ic.first);
+      for (const auto& ic : elaborated.initial_conditions) keep.push_back(ic.first);
+      reduce::ReductionResult reduction = reduce::Reduce(std::move(elaborated.circuit), keep);
+      reduction.stats.interior_expansions +=
+          reduce::RemapSpec(reduction, elaborated.spec);
+      for (auto& ic : elaborated.initial_conditions) {
+        if (ic.first >= 0) ic.first = reduction.unknown_map[static_cast<std::size_t>(ic.first)];
+      }
+      elaborated.circuit = std::move(reduction.circuit);
+      reduction_stats = reduction.stats;
+      if (reduction.reduced) {
+        std::printf("reduce: %llu subnets, %llu nodes eliminated, %llu devices "
+                    "absorbed, %d unknowns remain\n",
+                    static_cast<unsigned long long>(reduction_stats.subnets),
+                    static_cast<unsigned long long>(reduction_stats.nodes_eliminated),
+                    static_cast<unsigned long long>(reduction_stats.devices_absorbed),
+                    elaborated.circuit->num_unknowns());
+      }
+    }
+
     engine::MnaStructure mna(*elaborated.circuit);
     engine::SimOptions sim = elaborated.sim_options;
     sim.device_bypass = cli.bypass;
@@ -444,6 +482,7 @@ int main(int argc, char** argv) {
       run.counters.ledger = &run.ledger;
       run.counters.replay = pipeline::ReplayOnWorkers(run.ledger, replay_workers);
     }
+    run.counters.reduction = reduction_stats;
     const util::telemetry::CounterRegistry registry =
         pipeline::BuildRunCounters(run.counters);
 
