@@ -1,0 +1,14 @@
+rc sweep
+* Parameterized RC lowpass for the batch engine (--sweep): a 3-point .step
+* over the series resistance crossed with 4 seeded Monte Carlo samples gives
+* a 12-variant grid whose aggregate CSV must be byte-identical at any
+* --threads — CI's batch-determinism job diffs exactly that.
+.param rload=1k
+V1 in 0 DC 0 PULSE(0 1 1u 100n 100n 10u 20u) ac 1
+R1 in out {rload}
+C1 out 0 1n
+.step param rload list 500 1k 2k
+.mc 4 variation=0.05
+.tran 0.2u 30u
+.print v(in) v(out)
+.end

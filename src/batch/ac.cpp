@@ -1,0 +1,224 @@
+#include "batch/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "devices/sources.hpp"
+#include "engine/dcop.hpp"
+#include "engine/newton.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/lu.hpp"
+#include "sparse/ordering_cache.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::batch {
+namespace {
+
+std::vector<double> FrequencyGrid(const netlist::AcCard& card) {
+  std::vector<double> freqs;
+  if (card.scale == netlist::AcCard::Scale::kDec) {
+    const double tol = card.fstop * (1.0 + 1e-9);
+    for (int k = 0;; ++k) {
+      const double f =
+          card.fstart * std::pow(10.0, static_cast<double>(k) / card.points);
+      if (f > tol) break;
+      freqs.push_back(f);
+    }
+  } else {
+    if (card.points == 1) return {card.fstart};
+    const double step = (card.fstop - card.fstart) / (card.points - 1);
+    for (int k = 0; k < card.points; ++k) freqs.push_back(card.fstart + k * step);
+  }
+  return freqs;
+}
+
+/// The 2n doubled pattern [[G, -wC], [wC, G]] with slot maps back into the
+/// 1n pattern, so per-frequency value refresh is one linear sweep.
+struct DoubledSystem {
+  sparse::CscMatrix matrix;  // 2n x 2n, values refreshed per frequency
+  // For pattern slot k of the 1n matrix, the four doubled-value indices:
+  std::vector<int> slot_gg;   // (i,     j)     <- G
+  std::vector<int> slot_wc;   // (i + n, j)     <- +wC
+  std::vector<int> slot_mwc;  // (i,     j + n) <- -wC
+  std::vector<int> slot_gg2;  // (i + n, j + n) <- G
+};
+
+DoubledSystem BuildDoubledPattern(const sparse::CscMatrix& pattern) {
+  const int n = pattern.cols();
+  const std::size_t nnz = pattern.num_nonzeros();
+  DoubledSystem sys;
+  sys.slot_gg.resize(nnz);
+  sys.slot_wc.resize(nnz);
+  sys.slot_mwc.resize(nnz);
+  sys.slot_gg2.resize(nnz);
+
+  std::vector<int> col_ptr(static_cast<std::size_t>(2 * n) + 1, 0);
+  std::vector<int> row_idx;
+  row_idx.reserve(4 * nnz);
+  // Column j of the doubled matrix: rows {i} (G) then rows {i + n} (wC) —
+  // both runs ascending, so the concatenation stays sorted.
+  int cursor = 0;
+  for (int j = 0; j < n; ++j) {
+    for (int k = pattern.col_begin(j); k < pattern.col_end(j); ++k) {
+      sys.slot_gg[static_cast<std::size_t>(k)] = cursor++;
+      row_idx.push_back(pattern.row_of(k));
+    }
+    for (int k = pattern.col_begin(j); k < pattern.col_end(j); ++k) {
+      sys.slot_wc[static_cast<std::size_t>(k)] = cursor++;
+      row_idx.push_back(pattern.row_of(k) + n);
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] = cursor;
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int k = pattern.col_begin(j); k < pattern.col_end(j); ++k) {
+      sys.slot_mwc[static_cast<std::size_t>(k)] = cursor++;
+      row_idx.push_back(pattern.row_of(k));
+    }
+    for (int k = pattern.col_begin(j); k < pattern.col_end(j); ++k) {
+      sys.slot_gg2[static_cast<std::size_t>(k)] = cursor++;
+      row_idx.push_back(pattern.row_of(k) + n);
+    }
+    col_ptr[static_cast<std::size_t>(n + j) + 1] = cursor;
+  }
+  sys.matrix = sparse::CscMatrix(2 * n, 2 * n, std::move(col_ptr), std::move(row_idx),
+                                 std::vector<double>(4 * nnz, 0.0));
+  return sys;
+}
+
+}  // namespace
+
+AcResult RunAcAnalysis(const engine::Circuit& circuit,
+                       const engine::MnaStructure& structure,
+                       const netlist::AcCard& card, const engine::ProbeSet& probes,
+                       const engine::SimOptions& options) {
+  AcResult result;
+  const int n = structure.dimension();
+
+  // ---- operating point + G/C extraction -----------------------------------
+  engine::SolveContext ctx(circuit, structure);
+  ctx.ConfigureAcceleration(options);
+  if (options.ordering_cache != nullptr) ctx.lu.set_ordering_cache(options.ordering_cache);
+  const engine::DcopResult dcop = engine::SolveDcOperatingPoint(ctx, options);
+  result.dcop_iterations = static_cast<std::uint64_t>(dcop.newton.iterations);
+
+  // Two linearization passes at the operating point.  With zeroed history
+  // IntegrateState() returns a0 * q, so a0 = 0 gives G and the a0 = 1
+  // difference isolates every reactive stamp as C.
+  std::fill(ctx.state_hist.begin(), ctx.state_hist.end(), 0.0);
+  engine::NewtonInputs inputs;
+  inputs.transient = true;
+  inputs.gmin = options.gmin;
+  inputs.a0 = 0.0;
+  engine::EvalDevices(ctx, inputs, /*limit_valid=*/false, /*first_iteration=*/true);
+  std::vector<double> g_values(ctx.matrix.values().begin(), ctx.matrix.values().end());
+  inputs.a0 = 1.0;
+  engine::EvalDevices(ctx, inputs, /*limit_valid=*/false, /*first_iteration=*/true);
+  std::vector<double> c_values(ctx.matrix.values().size());
+  for (std::size_t k = 0; k < c_values.size(); ++k) {
+    c_values[k] = ctx.matrix.values()[k] - g_values[k];
+  }
+
+  // ---- AC stimulus ---------------------------------------------------------
+  std::vector<double> b_re(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> b_im(static_cast<std::size_t>(n), 0.0);
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  auto add_phasor = [&](int row, double mag, double phase_deg, double sign) {
+    if (row < 0) return;
+    b_re[static_cast<std::size_t>(row)] += sign * mag * std::cos(phase_deg * kDegToRad);
+    b_im[static_cast<std::size_t>(row)] += sign * mag * std::sin(phase_deg * kDegToRad);
+  };
+  bool any_stimulus = false;
+  for (const auto& device : circuit.devices()) {
+    if (const auto* v = dynamic_cast<const devices::VoltageSource*>(device.get())) {
+      if (v->ac_mag() == 0.0) continue;
+      add_phasor(v->branch(), v->ac_mag(), v->ac_phase_deg(), 1.0);
+      any_stimulus = true;
+    } else if (const auto* i = dynamic_cast<const devices::CurrentSource*>(device.get())) {
+      if (i->ac_mag() == 0.0) continue;
+      add_phasor(i->p(), i->ac_mag(), i->ac_phase_deg(), -1.0);
+      add_phasor(i->n(), i->ac_mag(), i->ac_phase_deg(), 1.0);
+      any_stimulus = true;
+    }
+  }
+  if (!any_stimulus) {
+    throw ElaborationError(".ac: no source carries an AC stimulus (add 'ac <mag>')");
+  }
+
+  // ---- doubled real system + inherited ordering ----------------------------
+  DoubledSystem sys = BuildDoubledPattern(structure.pattern());
+  sparse::SparseLu lu;
+  if (options.ordering_cache != nullptr) {
+    lu.set_ordering_cache(options.ordering_cache);
+    // Reuse the real pattern's fill-reducing ordering: interleave it and
+    // publish it under the doubled pattern's key before the first Factor().
+    const sparse::OrderingCache::Key real_key{
+        n, structure.pattern().num_nonzeros(), sparse::PatternHash(structure.pattern()),
+        static_cast<int>(sparse::SparseLu::Options{}.ordering)};
+    if (const auto real_order = options.ordering_cache->Find(real_key)) {
+      std::vector<int> doubled_order;
+      doubled_order.reserve(static_cast<std::size_t>(2 * n));
+      for (const int q : *real_order) {
+        doubled_order.push_back(q);
+        doubled_order.push_back(q + n);
+      }
+      const sparse::OrderingCache::Key doubled_key{
+          2 * n, sys.matrix.num_nonzeros(), sparse::PatternHash(sys.matrix),
+          static_cast<int>(sparse::SparseLu::Options{}.ordering)};
+      options.ordering_cache->Insert(doubled_key, std::move(doubled_order));
+      result.ordering_injected = true;
+    }
+  }
+
+  // ---- probes --------------------------------------------------------------
+  const engine::ProbeSet base_probes =
+      probes.size() > 0 ? probes : engine::ProbeSet::FirstNodes(circuit.num_nodes(), 16);
+  engine::ProbeSet ac_probes;
+  for (std::size_t p = 0; p < base_probes.size(); ++p) {
+    ac_probes.unknowns.push_back(base_probes.unknowns[p]);
+    ac_probes.names.push_back("vm(" + base_probes.names[p] + ")");
+  }
+  for (std::size_t p = 0; p < base_probes.size(); ++p) {
+    ac_probes.unknowns.push_back(base_probes.unknowns[p]);
+    ac_probes.names.push_back("vp(" + base_probes.names[p] + ")");
+  }
+  result.trace = engine::Trace(ac_probes);
+
+  // ---- frequency loop ------------------------------------------------------
+  std::vector<double> xb(static_cast<std::size_t>(2 * n));
+  std::vector<double> workspace;
+  std::vector<double> sample(ac_probes.size());
+  for (const double freq : FrequencyGrid(card)) {
+    const double w = 2.0 * std::numbers::pi * freq;
+    auto values = sys.matrix.mutable_values();
+    for (std::size_t k = 0; k < g_values.size(); ++k) {
+      values[static_cast<std::size_t>(sys.slot_gg[k])] = g_values[k];
+      values[static_cast<std::size_t>(sys.slot_gg2[k])] = g_values[k];
+      values[static_cast<std::size_t>(sys.slot_wc[k])] = w * c_values[k];
+      values[static_cast<std::size_t>(sys.slot_mwc[k])] = -w * c_values[k];
+    }
+    lu.FactorOrRefactor(sys.matrix);
+    for (int i = 0; i < n; ++i) {
+      xb[static_cast<std::size_t>(i)] = b_re[static_cast<std::size_t>(i)];
+      xb[static_cast<std::size_t>(n + i)] = b_im[static_cast<std::size_t>(i)];
+    }
+    lu.Solve(xb, workspace);
+
+    const std::size_t half = base_probes.size();
+    for (std::size_t p = 0; p < half; ++p) {
+      const int unknown = ac_probes.unknowns[p];
+      double re = 0.0, im = 0.0;
+      if (unknown >= 0) {
+        re = xb[static_cast<std::size_t>(unknown)];
+        im = xb[static_cast<std::size_t>(n + unknown)];
+      }
+      sample[p] = std::hypot(re, im);
+      sample[half + p] = std::atan2(im, re) / kDegToRad;
+    }
+    result.trace.AppendProbeSample(freq, sample);
+    ++result.points;
+  }
+  return result;
+}
+
+}  // namespace wavepipe::batch

@@ -1,0 +1,50 @@
+// Small-signal AC analysis (.ac): linearize at the DC operating point and
+// solve (G + jwC) x = b over a frequency grid.
+//
+// G and C are extracted with two device passes through the UNCHANGED model
+// evaluation: the companion integration hook IntegrateState() contributes
+// a0 * q with zeroed history, so the Jacobian at a0 = 0 is the conductance
+// matrix G and the entrywise difference J(a0 = 1) - J(a0 = 0) is the
+// capacitance/inductance matrix C — every reactive stamp (including the
+// inductor's -L branch term) falls out without any device knowing about AC.
+//
+// The complex system is solved as the equivalent 2n real system
+//   [ G  -wC ] [Re x]   [Re b]
+//   [ wC   G ] [Im x] = [Im b]
+// on the SAME SparseLu.  The 2n pattern inherits the real pattern's
+// fill-reducing ordering: the interleaved permutation [q0, q0+n, q1, q1+n,
+// ...] is published into the shared OrderingCache under the 2n pattern's
+// key, so Factor() "finds" it instead of re-running minimum degree on a
+// matrix twice the size — the batch artifact-reuse story extended to a new
+// analysis verb with zero changes to the LU itself.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/circuit.hpp"
+#include "engine/mna.hpp"
+#include "engine/options.hpp"
+#include "engine/trace.hpp"
+#include "netlist/parser.hpp"
+
+namespace wavepipe::batch {
+
+struct AcResult {
+  /// One sample per frequency (time = Hz).  Probes come in pairs per probed
+  /// node: `vm(node)` magnitude [V], `vp(node)` phase [degrees].
+  engine::Trace trace;
+  std::uint64_t points = 0;           ///< frequencies solved
+  std::uint64_t dcop_iterations = 0;  ///< Newton cost of the operating point
+  bool ordering_injected = false;     ///< 2n ordering derived from the 1n cache
+};
+
+/// Runs the frequency sweep.  Empty `probes` defaults to the first nodes.
+/// Honors SimOptions::ordering_cache for both the operating point and the
+/// interleaved 2n ordering injection.  Throws when the operating point does
+/// not converge or the AC matrix is singular at some frequency.
+AcResult RunAcAnalysis(const engine::Circuit& circuit,
+                       const engine::MnaStructure& structure,
+                       const netlist::AcCard& card, const engine::ProbeSet& probes,
+                       const engine::SimOptions& options);
+
+}  // namespace wavepipe::batch

@@ -1,0 +1,86 @@
+#include "batch/dc_sweep.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "devices/sources.hpp"
+#include "devices/waveform.hpp"
+#include "engine/dcop.hpp"
+#include "engine/newton.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::batch {
+namespace {
+
+/// Sweep points with the .step-lin edge rule (stop included when the
+/// increment lands on it within rounding).
+std::vector<double> SweepValues(const netlist::DcCard& card) {
+  const double span = card.stop - card.start;
+  const int count = static_cast<int>(std::floor(span / card.step + 1e-9)) + 1;
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) values.push_back(card.start + k * card.step);
+  return values;
+}
+
+}  // namespace
+
+DcSweepResult RunDcSweep(engine::Circuit& circuit,
+                         const engine::MnaStructure& structure,
+                         const netlist::DcCard& card, const engine::ProbeSet& probes,
+                         const engine::SimOptions& options) {
+  devices::Device* device = circuit.FindDevice(card.source);
+  if (device == nullptr) {
+    throw ElaborationError(".dc: unknown source '" + card.source + "'");
+  }
+  auto* vsource = dynamic_cast<devices::VoltageSource*>(device);
+  auto* isource = dynamic_cast<devices::CurrentSource*>(device);
+  if (vsource == nullptr && isource == nullptr) {
+    throw ElaborationError(".dc: '" + card.source + "' is not a V or I source");
+  }
+  auto retune = [&](double value) {
+    auto waveform = std::make_unique<devices::DcWaveform>(value);
+    if (vsource != nullptr) vsource->SetWaveform(std::move(waveform));
+    else isource->SetWaveform(std::move(waveform));
+  };
+
+  DcSweepResult result;
+  result.trace = engine::Trace(probes.size() > 0
+                                   ? probes
+                                   : engine::ProbeSet::FirstNodes(circuit.num_nodes(), 16));
+
+  engine::SolveContext ctx(circuit, structure);
+  ctx.ConfigureAcceleration(options);
+  if (options.ordering_cache != nullptr) ctx.lu.set_ordering_cache(options.ordering_cache);
+
+  // Points are SOLVED in card order (the warm start walks the curve in the
+  // direction the user asked for) but RECORDED ascending: Trace requires a
+  // strictly increasing axis, so a descending sweep buffers its samples and
+  // appends them reversed.
+  const std::vector<double> values = SweepValues(card);
+  const bool descending = card.step < 0.0;
+  std::vector<double> sample(result.trace.probes().size());
+  std::vector<std::vector<double>> buffered;
+  if (descending) buffered.reserve(values.size());
+  for (const double value : values) {
+    retune(value);
+    // Warm start: ctx.x keeps the previous point's solution, which is what
+    // makes a fine sweep through a nonlinear curve cheap and robust.
+    const engine::DcopResult dcop = engine::SolveDcOperatingPoint(ctx, options);
+    result.newton_iterations += static_cast<std::uint64_t>(dcop.newton.iterations);
+    ++result.points;
+    for (std::size_t p = 0; p < sample.size(); ++p) {
+      const int unknown = result.trace.probes().unknowns[p];
+      sample[p] = unknown >= 0 ? ctx.x[static_cast<std::size_t>(unknown)] : 0.0;
+    }
+    if (descending) buffered.push_back(sample);
+    else result.trace.AppendProbeSample(value, sample);
+  }
+  for (std::size_t i = buffered.size(); i-- > 0;) {
+    result.trace.AppendProbeSample(values[i], buffered[i]);
+  }
+  return result;
+}
+
+}  // namespace wavepipe::batch

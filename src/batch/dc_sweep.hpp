@@ -1,0 +1,34 @@
+// DC sweep (.dc): step one independent source's DC value and solve the
+// operating point at each step, warm-starting from the previous solution.
+// The recorded Trace uses the swept value as the "time" axis, so every CSV /
+// comparison utility built for transient waveforms works unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/circuit.hpp"
+#include "engine/mna.hpp"
+#include "engine/options.hpp"
+#include "engine/trace.hpp"
+#include "netlist/parser.hpp"
+
+namespace wavepipe::batch {
+
+struct DcSweepResult {
+  engine::Trace trace;               ///< sample per sweep point (time = value)
+  std::uint64_t points = 0;          ///< operating points solved
+  std::uint64_t newton_iterations = 0;
+};
+
+/// Runs the sweep.  `circuit` is mutated between (sequential) solves — the
+/// swept source's waveform is replaced per point — and left at the last
+/// point's value; never share it with a concurrent solver.  Empty `probes`
+/// defaults to the first nodes, like the transient engines.  Honors
+/// SimOptions::ordering_cache.  Throws on an unknown/unsuitable source or a
+/// non-convergent point.
+DcSweepResult RunDcSweep(engine::Circuit& circuit,
+                         const engine::MnaStructure& structure,
+                         const netlist::DcCard& card, const engine::ProbeSet& probes,
+                         const engine::SimOptions& options);
+
+}  // namespace wavepipe::batch

@@ -1,0 +1,203 @@
+#include "batch/sweep.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace wavepipe::batch {
+namespace {
+
+using netlist::ElementCard;
+using netlist::ParsedNetlist;
+using netlist::StepCard;
+
+/// Round-trip-exact formatting for substituted/perturbed values: 17
+/// significant digits reconstruct the exact double, which is what makes a
+/// rewritten variant deck bit-identical to the in-memory variant.
+std::string FormatExact(double value) { return util::FormatDouble(value, 17); }
+
+/// `{name}` -> name, or empty when the token is not a parameter reference.
+std::string ParamRef(const std::string& token) {
+  if (token.size() < 3 || token.front() != '{' || token.back() != '}') return {};
+  return util::ToLowerAscii(token.substr(1, token.size() - 2));
+}
+
+}  // namespace
+
+std::size_t SweepPlan::num_variants() const {
+  std::size_t n = static_cast<std::size_t>(mc_runs);
+  for (const auto& values : axis_values) n *= values.size();
+  return n;
+}
+
+std::vector<double> ExpandStepValues(const StepCard& card) {
+  std::vector<double> values;
+  switch (card.kind) {
+    case StepCard::Kind::kLin: {
+      // Edge rule: include stop when start + k*step lands on it within a
+      // half-ulp-scale tolerance (1e-9 of the span), so 0..1 step 0.25
+      // yields 5 points, not 4.
+      const double span = card.stop - card.start;
+      const int count = static_cast<int>(std::floor(span / card.step + 1e-9)) + 1;
+      for (int k = 0; k < count; ++k) values.push_back(card.start + k * card.step);
+      break;
+    }
+    case StepCard::Kind::kDec: {
+      // start * 10^(k / points), up to and including stop.
+      const double tol = card.stop * (1.0 + 1e-9);
+      for (int k = 0;; ++k) {
+        const double value =
+            card.start * std::pow(10.0, static_cast<double>(k) / card.points_per_decade);
+        if (value > tol) break;
+        values.push_back(value);
+      }
+      break;
+    }
+    case StepCard::Kind::kList:
+      values = card.values;
+      break;
+  }
+  return values;
+}
+
+SweepPlan BuildSweepPlan(const ParsedNetlist& netlist) {
+  SweepPlan plan;
+  for (const StepCard& card : netlist.steps) {
+    plan.axis_names.push_back(card.param);
+    plan.axis_values.push_back(ExpandStepValues(card));
+  }
+  if (netlist.mc.present) {
+    plan.mc_present = true;
+    plan.mc_runs = netlist.mc.runs;
+    plan.mc_variation = netlist.mc.variation;
+  }
+  return plan;
+}
+
+std::vector<VariantSpec> ExpandVariants(const SweepPlan& plan,
+                                        const ParsedNetlist& netlist,
+                                        std::uint64_t base_seed) {
+  // Defaults once; each grid point overrides the stepped names.
+  std::vector<std::pair<std::string, std::string>> defaults;
+  for (const auto& [name, value] : netlist.params) {
+    bool replaced = false;
+    for (auto& existing : defaults) {
+      if (existing.first == name) {
+        existing.second = value;  // later .param cards override earlier ones
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) defaults.emplace_back(name, value);
+  }
+
+  const std::size_t axes = plan.axis_values.size();
+  std::vector<VariantSpec> variants;
+  variants.reserve(plan.num_variants());
+  for (int mc = 0; mc < plan.mc_runs; ++mc) {
+    // Per-sample seed from (base_seed, mc sample) only: splitmix64 step so
+    // neighboring samples decorrelate.  Sample index, NOT grid index — all
+    // grid points of one MC sample share the device perturbation draw.
+    std::uint64_t seed = 0;
+    if (plan.mc_present) {
+      std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(mc) + 1);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      seed = z ^ (z >> 31);
+      if (seed == 0) seed = 1;  // 0 means "no perturbation"
+    }
+
+    std::vector<std::size_t> cursor(axes, 0);
+    bool grid_done = false;
+    while (!grid_done) {
+      VariantSpec variant;
+      variant.index = static_cast<int>(variants.size());
+      variant.mc_index = mc;
+      variant.seed = seed;
+      variant.variation = plan.mc_present ? plan.mc_variation : 0.0;
+      variant.params = defaults;
+      for (std::size_t a = 0; a < axes; ++a) {
+        const double value = plan.axis_values[a][cursor[a]];
+        variant.step_values.emplace_back(plan.axis_names[a], value);
+        bool replaced = false;
+        for (auto& existing : variant.params) {
+          if (existing.first == plan.axis_names[a]) {
+            existing.second = FormatExact(value);
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) variant.params.emplace_back(plan.axis_names[a], FormatExact(value));
+      }
+      variants.push_back(std::move(variant));
+
+      // Odometer increment, last axis fastest.
+      grid_done = true;
+      for (std::size_t a = axes; a-- > 0;) {
+        if (++cursor[a] < plan.axis_values[a].size()) {
+          grid_done = false;
+          break;
+        }
+        cursor[a] = 0;
+      }
+      if (axes == 0) grid_done = true;
+    }
+  }
+  return variants;
+}
+
+ParsedNetlist ApplyVariant(const ParsedNetlist& base, const VariantSpec& variant) {
+  ParsedNetlist out = base;
+  // Variant decks elaborate standalone: the sweep cards are consumed here.
+  out.steps.clear();
+  out.mc.present = false;
+  out.params.clear();
+
+  for (ElementCard& card : out.elements) {
+    for (std::string& arg : card.args) {
+      const std::string name = ParamRef(arg);
+      if (name.empty()) continue;
+      bool found = false;
+      for (const auto& [pname, pvalue] : variant.params) {
+        if (pname == name) {
+          arg = pvalue;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw ParseError("undefined parameter '{" + name + "}' in element '" +
+                             card.name + "'",
+                         card.line);
+      }
+    }
+  }
+
+  if (variant.seed != 0 && variant.variation > 0.0) {
+    // Seeded device variation: one draw per R/C/L in element order, so the
+    // perturbation sequence depends only on (deck, seed) — never on pool
+    // size or scheduling.  The value token is rewritten in place AFTER
+    // parameter substitution, 17-digit exact, so a perturbed deck written
+    // to disk reproduces the variant bit for bit.
+    util::Rng rng(variant.seed);
+    for (ElementCard& card : out.elements) {
+      if (card.kind != 'r' && card.kind != 'c' && card.kind != 'l') continue;
+      if (card.args.size() < 3) continue;
+      const double u = 2.0 * rng.NextDouble() - 1.0;  // drawn even if unparsable
+      const auto value = util::ParseSpiceNumber(card.args[2]);
+      if (!value) continue;
+      card.args[2] = FormatExact(*value * (1.0 + variant.variation * u));
+    }
+  }
+  return out;
+}
+
+ParsedNetlist ApplyParamDefaults(const ParsedNetlist& base) {
+  const SweepPlan trivial;  // no axes, single sample, no MC
+  const std::vector<VariantSpec> variants = ExpandVariants(trivial, base, 0);
+  return ApplyVariant(base, variants.front());
+}
+
+}  // namespace wavepipe::batch

@@ -1,0 +1,77 @@
+// Sweep planner: .param / .step / .mc cards -> an explicit variant grid.
+//
+// A variant is a pure value assignment: the full parameter map (defaults
+// overridden by its grid point) plus a Monte Carlo sample index and seed.
+// ApplyVariant() rewrites a ParsedNetlist at the CARD level — `{name}`
+// tokens substituted, R/C/L values perturbed by the seeded MC draw — so a
+// variant deck elaborates through the unchanged front end and is therefore
+// bit-identical to running the rewritten deck standalone.  Every function
+// here is deterministic: the grid order, the per-variant seeds and the
+// perturbation draws depend only on the deck and the base seed, never on
+// thread count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/parser.hpp"
+
+namespace wavepipe::batch {
+
+/// One fully resolved grid point.
+struct VariantSpec {
+  int index = 0;  ///< flat grid index (mc-major, then axis order)
+  /// Full parameter assignment: .param defaults overridden by this grid
+  /// point's stepped values.  Values are raw tokens (numbers pre-formatted
+  /// round-trip-exact with 17 significant digits).
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Just the stepped axes as numbers, for CSV columns (axis order).
+  std::vector<std::pair<std::string, double>> step_values;
+  int mc_index = 0;        ///< 0-based Monte Carlo sample (0 when .mc absent)
+  std::uint64_t seed = 0;  ///< per-variant MC seed; 0 = no perturbation
+  double variation = 0.0;  ///< .mc variation fraction
+};
+
+/// The expanded sweep axes of a deck.
+struct SweepPlan {
+  std::vector<std::string> axis_names;             ///< stepped param per axis
+  std::vector<std::vector<double>> axis_values;    ///< expanded per axis
+  bool mc_present = false;
+  int mc_runs = 1;
+  double mc_variation = 0.0;
+  /// Grid size: product of axis sizes times mc_runs.
+  std::size_t num_variants() const;
+};
+
+/// Expands one .step card into its value list (lin/dec/list edge rules:
+/// lin includes stop when start + k*step lands on it within rounding; dec
+/// runs start * 10^(k/points) up to and including stop).
+std::vector<double> ExpandStepValues(const netlist::StepCard& card);
+
+/// Builds the plan from a deck's .step/.mc cards.  A deck with neither
+/// yields the trivial single-variant plan.
+SweepPlan BuildSweepPlan(const netlist::ParsedNetlist& netlist);
+
+/// Expands the full variant grid.  Order: Monte Carlo sample major, then
+/// the cartesian product of the axes with the LAST .step card fastest.
+/// Per-variant seeds derive from (base_seed, mc_index) only, so one MC
+/// sample's device perturbations are identical across all its grid points —
+/// the sweep axes stay comparable within a sample.
+std::vector<VariantSpec> ExpandVariants(const SweepPlan& plan,
+                                        const netlist::ParsedNetlist& netlist,
+                                        std::uint64_t base_seed);
+
+/// Rewrites `base` for one variant: substitutes every `{name}` element-arg
+/// token from the variant's parameter map, then (when the variant carries a
+/// nonzero seed) perturbs each R/C/L value by its seeded MC factor.  Throws
+/// ParseError on an undefined `{name}` reference.
+netlist::ParsedNetlist ApplyVariant(const netlist::ParsedNetlist& base,
+                                    const VariantSpec& variant);
+
+/// Substitutes `{name}` tokens from the deck's own .param defaults (no
+/// stepping, no MC) — the single-run path for decks that use parameters.
+netlist::ParsedNetlist ApplyParamDefaults(const netlist::ParsedNetlist& base);
+
+}  // namespace wavepipe::batch

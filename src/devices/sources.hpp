@@ -33,9 +33,24 @@ class VoltageSource final : public Device {
   int branch() const { return branch_; }
   const Waveform& waveform() const { return *waveform_; }
 
+  /// Small-signal AC stimulus (the `ac mag [phase]` card tail).  Zero mag
+  /// (default) keeps the source quiet in .ac analysis.
+  void set_ac(double mag, double phase_deg) {
+    ac_mag_ = mag;
+    ac_phase_deg_ = phase_deg;
+  }
+  double ac_mag() const { return ac_mag_; }
+  double ac_phase_deg() const { return ac_phase_deg_; }
+
+  /// Replaces the waveform (DC-sweep verb retuning the swept source between
+  /// sequential operating-point solves).  Never call while a solver shares
+  /// the circuit.
+  void SetWaveform(std::unique_ptr<Waveform> waveform) { waveform_ = std::move(waveform); }
+
  private:
   int p_, n_;
   std::unique_ptr<Waveform> waveform_;
+  double ac_mag_ = 0.0, ac_phase_deg_ = 0.0;
   int branch_ = -1;
   int slot_pb_ = -1, slot_nb_ = -1, slot_bp_ = -1, slot_bn_ = -1;
 };
@@ -64,9 +79,21 @@ class CurrentSource final : public Device {
   int n() const { return n_; }
   const Waveform& waveform() const { return *waveform_; }
 
+  /// Small-signal AC stimulus (see VoltageSource::set_ac).
+  void set_ac(double mag, double phase_deg) {
+    ac_mag_ = mag;
+    ac_phase_deg_ = phase_deg;
+  }
+  double ac_mag() const { return ac_mag_; }
+  double ac_phase_deg() const { return ac_phase_deg_; }
+
+  /// Replaces the waveform (DC-sweep verb; see VoltageSource::SetWaveform).
+  void SetWaveform(std::unique_ptr<Waveform> waveform) { waveform_ = std::move(waveform); }
+
  private:
   int p_, n_;
   std::unique_ptr<Waveform> waveform_;
+  double ac_mag_ = 0.0, ac_phase_deg_ = 0.0;
 };
 
 /// VCVS ("E"): v(p,n) = gain * v(cp,cn).

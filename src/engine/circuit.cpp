@@ -101,6 +101,14 @@ int Circuit::BranchIndex(const std::string& device_name) const {
   return it->second;
 }
 
+devices::Device* Circuit::FindDevice(const std::string& name) {
+  const std::string lowered = util::ToLowerAscii(name);
+  for (const auto& device : devices_) {
+    if (device->name() == lowered) return device.get();
+  }
+  return nullptr;
+}
+
 int Circuit::AddBranch(const std::string& owner_name) {
   const int index = num_nodes_ + num_branches_++;
   branch_of_device_[util::ToLowerAscii(owner_name)] = index;

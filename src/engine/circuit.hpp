@@ -95,6 +95,11 @@ class Circuit final : private devices::Binder {
   /// Unknown index of a device's branch current; throws if it has none.
   int BranchIndex(const std::string& device_name) const;
 
+  /// Mutable device lookup by instance name (nullptr when absent).  Only
+  /// valid while no solver shares the circuit — the DC-sweep analysis verb
+  /// retunes a source's value between (sequential) operating-point solves.
+  devices::Device* FindDevice(const std::string& name);
+
  private:
   // devices::Binder implementation (used only inside Finalize()).
   int AddBranch(const std::string& owner_name) override;

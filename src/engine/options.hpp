@@ -3,7 +3,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+
+namespace wavepipe::sparse {
+class OrderingCache;  // sparse/ordering_cache.hpp
+struct BbdPlan;       // sparse/bbd.hpp
+}  // namespace wavepipe::sparse
 
 namespace wavepipe::engine {
 
@@ -205,6 +211,21 @@ struct SimOptions {
   /// Checkpoint/restart, run budgets, watchdog, circuit-breakers.  All
   /// defaults are no-ops on the clean path (engine/resilience.hpp).
   ResilienceOptions resilience;
+
+  // ---- shared symbolic artifacts (batch analysis) ---------------------------
+  /// Shared fill-reducing-ordering cache attached to every SparseLu the run
+  /// creates (sparse/ordering_cache.hpp).  The batch runner hands all
+  /// variants of one pattern a single cache so the minimum-degree ordering
+  /// is computed once; a cache hit returns the identical permutation the
+  /// instance would have computed itself, so results stay bit-identical.
+  /// Not owned; null (default) keeps the historical private-cache behavior.
+  sparse::OrderingCache* ordering_cache = nullptr;
+  /// Precomputed BBD partition plan (partition::PartitionPattern) reused
+  /// instead of re-partitioning when partition_pieces > 0.  The plan is a
+  /// pure function of the sparsity pattern, so sharing one across variants
+  /// of a common pattern changes nothing numerically.  Null (default) lets
+  /// each run compute its own.
+  std::shared_ptr<const sparse::BbdPlan> partition_plan;
 };
 
 }  // namespace wavepipe::engine

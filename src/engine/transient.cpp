@@ -203,9 +203,12 @@ TransientResult RunTransientSerial(const Circuit& circuit, const MnaStructure& s
 
   SolveContext ctx(circuit, structure);
   ctx.ConfigureAcceleration(options);
+  if (options.ordering_cache != nullptr) ctx.lu.set_ordering_cache(options.ordering_cache);
   if (options.partition_pieces > 0) {
     ctx.ConfigurePartition(
-        partition::PartitionPattern(structure.pattern(), options.partition_pieces));
+        options.partition_plan != nullptr
+            ? options.partition_plan
+            : partition::PartitionPattern(structure.pattern(), options.partition_pieces));
   }
   watchdog.AddSource(&ctx.heartbeat);
   watchdog.Start();

@@ -49,16 +49,26 @@ class Args {
 };
 
 /// Parses the source specification tail of a V/I card:
-///   [DC value] [PULSE|SIN|EXP|PWL ( v v v ... )] | value
+///   [DC value] [AC mag [phase]] [PULSE|SIN|EXP|PWL ( v v v ... )] | value
 /// If both DC and a time-varying function are given, the function wins for
 /// transient and its t = 0 value is used for DC (documented simplification).
-std::unique_ptr<Waveform> ParseSourceWaveform(Args& args) {
+/// An `ac` clause sets the small-signal stimulus via *ac_mag / *ac_phase —
+/// it never affects DC or transient.
+std::unique_ptr<Waveform> ParseSourceWaveform(Args& args, double* ac_mag,
+                                              double* ac_phase) {
   double dc_value = 0.0;
 
   while (!args.done()) {
     const std::string tok = ToLowerAscii(args.Next());
     if (tok == "dc") {
       dc_value = args.NextNumber();
+      continue;
+    }
+    if (tok == "ac") {
+      *ac_mag = args.NextNumber();
+      *ac_phase = 0.0;
+      // Optional phase: a following number (not a keyword like pulse/sin).
+      if (!args.done() && ParseSpiceNumber(args.peek())) *ac_phase = args.NextNumber();
       continue;
     }
     if (tok == "pulse" || tok == "sin" || tok == "exp" || tok == "pwl") {
@@ -237,13 +247,19 @@ ElaboratedCircuit Elaborate(const ParsedNetlist& netlist) {
       case 'v': {
         const int p = c.AddNode(args.Next());
         const int n = c.AddNode(args.Next());
-        c.Emplace<devices::VoltageSource>(card.name, p, n, ParseSourceWaveform(args));
+        double ac_mag = 0.0, ac_phase = 0.0;
+        auto* source = c.Emplace<devices::VoltageSource>(
+            card.name, p, n, ParseSourceWaveform(args, &ac_mag, &ac_phase));
+        source->set_ac(ac_mag, ac_phase);
         break;
       }
       case 'i': {
         const int p = c.AddNode(args.Next());
         const int n = c.AddNode(args.Next());
-        c.Emplace<devices::CurrentSource>(card.name, p, n, ParseSourceWaveform(args));
+        double ac_mag = 0.0, ac_phase = 0.0;
+        auto* source = c.Emplace<devices::CurrentSource>(
+            card.name, p, n, ParseSourceWaveform(args, &ac_mag, &ac_phase));
+        source->set_ac(ac_mag, ac_phase);
         break;
       }
       case 'e': {
@@ -321,17 +337,21 @@ ElaboratedCircuit Elaborate(const ParsedNetlist& netlist) {
   c.Finalize();
 
   out.sim_options = BuildSimOptions(netlist);
+  for (const std::string& node : netlist.print_nodes) {
+    out.probes.unknowns.push_back(c.NodeIndex(node));
+    out.probes.names.push_back(node);
+  }
   out.has_tran = netlist.tran.present;
   if (out.has_tran) {
     out.spec.tstart = netlist.tran.tstart;
     out.spec.tstop = netlist.tran.tstop;
     out.spec.tstep = netlist.tran.tstep;
-    if (!netlist.print_nodes.empty()) {
-      for (const std::string& node : netlist.print_nodes) {
-        out.spec.probes.unknowns.push_back(c.NodeIndex(node));
-        out.spec.probes.names.push_back(node);
-      }
-    }
+    out.spec.probes = out.probes;
+  }
+  out.dc = netlist.dc;
+  out.ac = netlist.ac;
+  if (out.dc.present && c.FindDevice(out.dc.source) == nullptr) {
+    throw ElaborationError(".dc: unknown source '" + out.dc.source + "'");
   }
   for (const auto& [node, volts] : netlist.initial_conditions) {
     out.initial_conditions.emplace_back(c.NodeIndex(node), volts);

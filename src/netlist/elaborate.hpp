@@ -20,6 +20,13 @@ struct ElaboratedCircuit {
   engine::SimOptions sim_options;   ///< .options applied over defaults
   /// .ic entries resolved to unknown indices (applied as the DC guess).
   std::vector<std::pair<int, double>> initial_conditions;
+  /// Non-transient analysis verbs carried through from the deck (check
+  /// .present); the CLI / batch runner dispatch on tran > dc > ac.
+  DcCard dc;
+  AcCard ac;
+  /// .print/.probe selections resolved against the circuit, shared by every
+  /// analysis verb (spec.probes duplicates this for the transient path).
+  engine::ProbeSet probes;
 };
 
 /// Builds devices from cards; throws ElaborationError / ParseError on

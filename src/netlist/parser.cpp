@@ -1,5 +1,8 @@
 #include "netlist/parser.hpp"
 
+#include <fstream>
+#include <sstream>
+
 #include "netlist/lexer.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -42,6 +45,86 @@ ModelCard ParseModelCard(const std::vector<std::string>& tokens, int line) {
     i += 3;
   }
   return card;
+}
+
+/// Cards a real SPICE front end would accept but this reproduction does not
+/// implement.  Listed in the unknown-directive error so a user can tell a
+/// typo from a genuinely unsupported feature.
+constexpr const char* kRecognizedUnsupported[] = {
+    ".subckt", ".include", ".lib",   ".global", ".temp", ".nodeset",
+    ".four",   ".noise",   ".tf",    ".sens",   ".meas", ".measure",
+    ".save",   ".func",    ".csparam",
+};
+
+std::string RecognizedUnsupportedList() {
+  std::string list;
+  for (const char* card : kRecognizedUnsupported) {
+    if (!list.empty()) list += " ";
+    list += card;
+  }
+  return list;
+}
+
+/// .param name = value ...  (values stay raw tokens; `{name}` references in
+/// element args are substituted textually by the batch planner).
+void ParseParamCard(const std::vector<std::string>& tokens, int line, ParsedNetlist& out) {
+  std::size_t i = 1;
+  while (i < tokens.size()) {
+    const std::string name = ToLowerAscii(tokens[i]);
+    if (i + 1 >= tokens.size() || tokens[i + 1] != "=" || i + 2 >= tokens.size()) {
+      throw ParseError(".param: expected 'name = value', got '" + tokens[i] + "'", line);
+    }
+    out.params.emplace_back(name, tokens[i + 2]);
+    i += 3;
+  }
+  if (out.params.empty()) throw ParseError(".param needs at least one name = value", line);
+}
+
+/// .step [param] <name> lin|dec|list ...
+void ParseStepCard(const std::vector<std::string>& tokens, int line, ParsedNetlist& out) {
+  std::size_t i = 1;
+  if (i < tokens.size() && EqualsIgnoreCase(tokens[i], "param")) ++i;
+  if (i + 1 >= tokens.size()) {
+    throw ParseError(".step needs a parameter name and a lin|dec|list spec", line);
+  }
+  StepCard card;
+  card.line = line;
+  card.param = ToLowerAscii(tokens[i]);
+  const std::string kind = ToLowerAscii(tokens[i + 1]);
+  i += 2;
+  if (kind == "lin") {
+    if (i + 2 >= tokens.size()) throw ParseError(".step lin needs start stop step", line);
+    card.kind = StepCard::Kind::kLin;
+    card.start = RequireNumber(tokens[i], line);
+    card.stop = RequireNumber(tokens[i + 1], line);
+    card.step = RequireNumber(tokens[i + 2], line);
+    if (card.step == 0.0) throw ParseError(".step lin: zero increment", line);
+    if ((card.stop - card.start) * card.step < 0.0) {
+      throw ParseError(".step lin: increment walks away from stop", line);
+    }
+  } else if (kind == "dec") {
+    if (i + 2 >= tokens.size()) throw ParseError(".step dec needs start stop points", line);
+    card.kind = StepCard::Kind::kDec;
+    card.start = RequireNumber(tokens[i], line);
+    card.stop = RequireNumber(tokens[i + 1], line);
+    card.points_per_decade = static_cast<int>(RequireNumber(tokens[i + 2], line));
+    if (card.start <= 0.0 || card.stop < card.start) {
+      throw ParseError(".step dec: needs 0 < start <= stop", line);
+    }
+    if (card.points_per_decade < 1) throw ParseError(".step dec: points must be >= 1", line);
+  } else if (kind == "list") {
+    card.kind = StepCard::Kind::kList;
+    while (i < tokens.size()) card.values.push_back(RequireNumber(tokens[i++], line));
+    if (card.values.empty()) throw ParseError(".step list needs at least one value", line);
+  } else {
+    throw ParseError(".step: expected lin, dec or list, got '" + kind + "'", line);
+  }
+  for (const StepCard& existing : out.steps) {
+    if (existing.param == card.param) {
+      throw ParseError(".step: duplicate axis for parameter '" + card.param + "'", line);
+    }
+  }
+  out.steps.push_back(std::move(card));
 }
 
 void ParseDotCard(const std::vector<std::string>& tokens, int line, ParsedNetlist& out) {
@@ -111,10 +194,72 @@ void ParseDotCard(const std::vector<std::string>& tokens, int line, ParsedNetlis
         throw ParseError(".print: expected v(node), got '" + tokens[i] + "'", line);
       }
     }
+  } else if (directive == ".param") {
+    ParseParamCard(tokens, line, out);
+  } else if (directive == ".step") {
+    ParseStepCard(tokens, line, out);
+  } else if (directive == ".mc") {
+    if (tokens.size() < 2) throw ParseError(".mc needs a run count", line);
+    out.mc.present = true;
+    out.mc.line = line;
+    out.mc.runs = static_cast<int>(RequireNumber(tokens[1], line));
+    if (out.mc.runs < 1) throw ParseError(".mc: run count must be >= 1", line);
+    // Variation: positional (".mc 4 0.05") or named (".mc 4 variation=0.05";
+    // the lexer splits '=' into its own token).
+    if (tokens.size() == 3) {
+      out.mc.variation = RequireNumber(tokens[2], line);
+    } else if (tokens.size() == 5 && ToLowerAscii(tokens[2]) == "variation" &&
+               tokens[3] == "=") {
+      out.mc.variation = RequireNumber(tokens[4], line);
+    } else if (tokens.size() > 2) {
+      throw ParseError(".mc: expected '.mc N [variation=X]'", line);
+    }
+    if (out.mc.variation < 0.0 || out.mc.variation >= 1.0) {
+      throw ParseError(".mc: variation must be in [0, 1)", line);
+    }
+  } else if (directive == ".dc") {
+    if (tokens.size() < 5) throw ParseError(".dc needs source start stop step", line);
+    out.dc.present = true;
+    out.dc.line = line;
+    out.dc.source = ToLowerAscii(tokens[1]);
+    out.dc.start = RequireNumber(tokens[2], line);
+    out.dc.stop = RequireNumber(tokens[3], line);
+    out.dc.step = RequireNumber(tokens[4], line);
+    if (out.dc.step == 0.0) throw ParseError(".dc: zero increment", line);
+    if ((out.dc.stop - out.dc.start) * out.dc.step < 0.0) {
+      throw ParseError(".dc: increment walks away from stop", line);
+    }
+  } else if (directive == ".ac") {
+    if (tokens.size() < 5) throw ParseError(".ac needs dec|lin points fstart fstop", line);
+    out.ac.present = true;
+    out.ac.line = line;
+    const std::string scale = ToLowerAscii(tokens[1]);
+    if (scale == "dec") out.ac.scale = AcCard::Scale::kDec;
+    else if (scale == "lin") out.ac.scale = AcCard::Scale::kLin;
+    else throw ParseError(".ac: expected dec or lin, got '" + scale + "'", line);
+    out.ac.points = static_cast<int>(RequireNumber(tokens[2], line));
+    out.ac.fstart = RequireNumber(tokens[3], line);
+    out.ac.fstop = RequireNumber(tokens[4], line);
+    if (out.ac.points < 1) throw ParseError(".ac: points must be >= 1", line);
+    if (out.ac.fstart <= 0.0 || out.ac.fstop < out.ac.fstart) {
+      throw ParseError(".ac: needs 0 < fstart <= fstop", line);
+    }
   } else if (directive == ".end" || directive == ".ends") {
     // no-op
   } else {
-    throw ParseError("unsupported directive '" + directive + "'", line);
+    // Structured unknown-directive error: name the card and the line, and
+    // distinguish a known-but-unimplemented SPICE card from a typo.
+    for (const char* known : kRecognizedUnsupported) {
+      if (directive == known) {
+        throw ParseError("directive '" + directive +
+                             "' is recognized but not supported by this simulator",
+                         line);
+      }
+    }
+    throw ParseError("unknown directive '" + directive +
+                         "'; recognized but unsupported cards: " +
+                         RecognizedUnsupportedList(),
+                     line);
   }
 }
 
@@ -145,6 +290,14 @@ ParsedNetlist ParseNetlist(std::string_view text) {
     out.elements.push_back(std::move(card));
   }
   return out;
+}
+
+ParsedNetlist ParseNetlistFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open deck file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseNetlist(buffer.str());
 }
 
 }  // namespace wavepipe::netlist

@@ -31,6 +31,52 @@ struct TranCard {
   double tstart = 0.0;
 };
 
+/// One `.step` axis of a parameter sweep.  Multiple cards nest: the batch
+/// planner expands their cartesian product (src/batch/sweep.hpp).
+struct StepCard {
+  enum class Kind {
+    kLin,   ///< .step <param> lin <start> <stop> <increment>
+    kDec,   ///< .step <param> dec <start> <stop> <points-per-decade>
+    kList,  ///< .step <param> list v1 v2 ...
+  };
+  std::string param;  ///< lowercase parameter name
+  Kind kind = Kind::kLin;
+  double start = 0.0, stop = 0.0;
+  double step = 0.0;            ///< lin: increment
+  int points_per_decade = 0;    ///< dec
+  std::vector<double> values;   ///< list
+  int line = 0;
+};
+
+/// `.mc <runs> [variation]`: seeded Monte Carlo corners; every R/C/L value
+/// is perturbed by a deterministic per-(variant, device) factor in
+/// [1 - variation, 1 + variation].
+struct McCard {
+  bool present = false;
+  int runs = 0;
+  double variation = 0.1;
+  int line = 0;
+};
+
+/// `.dc <source> <start> <stop> <increment>`: sweep one V/I source's DC
+/// value, solving the operating point at each step.
+struct DcCard {
+  bool present = false;
+  std::string source;  ///< lowercase instance name of the swept source
+  double start = 0.0, stop = 0.0, step = 0.0;
+  int line = 0;
+};
+
+/// `.ac dec|lin <points> <fstart> <fstop>`: small-signal frequency sweep.
+struct AcCard {
+  enum class Scale { kDec, kLin };
+  bool present = false;
+  Scale scale = Scale::kDec;
+  int points = 0;  ///< per decade (dec) or total (lin)
+  double fstart = 0.0, fstop = 0.0;
+  int line = 0;
+};
+
 struct ParsedNetlist {
   std::string title;
   std::vector<ElementCard> elements;
@@ -40,9 +86,22 @@ struct ParsedNetlist {
   std::map<std::string, std::string> options;    ///< raw .options key -> value
   std::map<std::string, double> initial_conditions;  ///< node -> volts (.ic)
   std::vector<std::string> print_nodes;          ///< .print/.probe v(x) targets
+  /// `.param name = value` defaults, in declaration order (later cards
+  /// override earlier ones).  Values stay raw tokens: `{name}` references in
+  /// element args are substituted textually (src/batch/sweep.hpp).
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<StepCard> steps;  ///< sweep axes, cartesian-product order
+  McCard mc;
+  DcCard dc;
+  AcCard ac;
 };
 
 /// Parses a full deck.  Throws ParseError with line numbers on bad input.
 ParsedNetlist ParseNetlist(std::string_view text);
+
+/// Loads and parses a deck from a file path (throws util::Error when the
+/// file cannot be opened).  The batch front end parses before elaborating so
+/// it can expand .param/.step/.mc variants from the card level.
+ParsedNetlist ParseNetlistFile(const std::string& path);
 
 }  // namespace wavepipe::netlist

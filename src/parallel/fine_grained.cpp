@@ -247,6 +247,9 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
 
   FineGrainedEvaluator evaluator(circuit, structure, options);
   SolveContext ctx(circuit, structure);
+  if (options.sim.ordering_cache != nullptr) {
+    ctx.lu.set_ordering_cache(options.sim.ordering_cache);
+  }
   ctx.record_factor_seeds = sink.enabled();
   watchdog.AddSource(&ctx.heartbeat);
   if (evaluator.pool() != nullptr) {
@@ -272,7 +275,10 @@ FineGrainedResult RunTransientFineGrained(const engine::Circuit& circuit,
   ctx.ConfigureAcceleration(options.sim);
   if (options.sim.partition_pieces > 0) {
     ctx.ConfigurePartition(
-        partition::PartitionPattern(structure.pattern(), options.sim.partition_pieces));
+        options.sim.partition_plan != nullptr
+            ? options.sim.partition_plan
+            : partition::PartitionPattern(structure.pattern(),
+                                          options.sim.partition_pieces));
   }
 
   const engine::StepLimits limits = engine::StepLimits::FromSpec(spec, options.sim);

@@ -97,6 +97,9 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
   // Latency bypass / chord Newton: per-context caches and factor-reuse
   // state, so pipelined solves on different contexts never share them.
   for (auto& ctx : contexts_) ctx->ConfigureAcceleration(options_.sim);
+  if (options_.sim.ordering_cache != nullptr) {
+    for (auto& ctx : contexts_) ctx->lu.set_ordering_cache(options_.sim.ordering_cache);
+  }
   chord_configured_ = options_.sim.chord_newton;
   for (auto& ctx : contexts_) ctx->record_factor_seeds = sink_.enabled();
 
@@ -106,7 +109,10 @@ PipelineDriver::PipelineDriver(const engine::Circuit& circuit,
   // runs on the intra-solve pool for the same no-deadlock reason as above.
   if (options_.sim.partition_pieces > 0) {
     const auto plan =
-        partition::PartitionPattern(structure.pattern(), options_.sim.partition_pieces);
+        options_.sim.partition_plan != nullptr
+            ? options_.sim.partition_plan
+            : partition::PartitionPattern(structure.pattern(),
+                                          options_.sim.partition_pieces);
     for (auto& ctx : contexts_) ctx->ConfigurePartition(plan);
   }
 }

@@ -145,7 +145,8 @@ util::telemetry::CounterRegistry BuildRunCounters(const RunCounterInputs& inputs
   registry.Value("ledger.total_seconds", ledger ? ledger->TotalSeconds() : 0.0);
   registry.Value("ledger.useful_seconds", ledger ? ledger->UsefulSeconds() : 0.0);
   inputs.resilience.ExportCounters(registry);  // v1.2: appended after ledger.*
-  inputs.reduction.ExportCounters(registry);   // v1.3: reduce.* appended last
+  inputs.reduction.ExportCounters(registry);   // v1.3: reduce.* after resilience
+  inputs.batch.ExportCounters(registry);       // v1.4: batch.* appended last
   return registry;
 }
 

@@ -25,6 +25,7 @@
 #include "engine/newton.hpp"
 #include "engine/transient.hpp"
 #include "parallel/fine_grained.hpp"
+#include "batch/stats.hpp"
 #include "reduce/reduce.hpp"
 #include "util/telemetry.hpp"
 #include "wavepipe/ledger.hpp"
@@ -60,7 +61,14 @@ namespace wavepipe::pipeline {
 /// static_subnets, max_interior, max_ports, interior_expansions) after the
 /// resilience block.  All zeros when --reduce is off or nothing was
 /// reducible; additive-only, so v1.2 consumers parse v1.3 unchanged.
-inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1.3";
+///
+/// v1.4 appends the batch-analysis group `batch.*` (batch/stats.hpp:
+/// variants_total/ok/failed, step_axes, mc_samples, ordering_hits/misses,
+/// artifacts_shared, artifacts_build_seconds, steps_accepted,
+/// newton_iterations, dc_points, ac_points, wall_seconds) after the
+/// `reduce.*` block.  All zeros outside --sweep runs; additive-only, so
+/// v1.3 consumers parse v1.4 unchanged.
+inline constexpr const char* kRunStatsSchema = "wavepipe.run_stats.v1.4";
 
 /// Identity of one run for the run_stats.json header.  Strings live here;
 /// the counter registry is numeric-only by design.
@@ -92,6 +100,8 @@ struct RunCounterInputs {
   engine::ResilienceStats resilience;
   /// Linear-subnetwork reduction counters (v1.3): reduce.*.
   reduce::ReductionStats reduction;
+  /// Batch-analysis counters (v1.4): batch.*.
+  batch::BatchStats batch;
 };
 
 /// Builds the full run_stats counter registry: transient.* + lu.* (engine

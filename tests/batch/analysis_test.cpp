@@ -1,0 +1,189 @@
+// DC-sweep and AC analysis parity against analytic answers.  Both verbs are
+// linear-algebra exact on RC circuits, so the tolerances here are rounding
+// noise, not physics slack: the divider is solved at machine precision and
+// the lowpass transfer function is |H| = 1/sqrt(1 + (wRC)^2) with phase
+// -atan(wRC).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "batch/runner.hpp"
+#include "netlist/elaborate.hpp"
+#include "netlist/parser.hpp"
+
+namespace wavepipe::batch {
+namespace {
+
+BatchOptions SingleRun(const netlist::ParsedNetlist& parsed) {
+  BatchOptions options;
+  options.sim = netlist::Elaborate(ApplyParamDefaults(parsed)).sim_options;
+  return options;
+}
+
+const VariantResult& RunOne(const netlist::ParsedNetlist& parsed,
+                            BatchResult& storage) {
+  storage = RunBatch(parsed, SingleRun(parsed));
+  EXPECT_EQ(storage.variants.size(), 1u);
+  EXPECT_TRUE(storage.variants[0].ok) << storage.variants[0].error;
+  return storage.variants[0];
+}
+
+int ProbeIndex(const engine::Trace& trace, const std::string& name) {
+  const auto& names = trace.probes().names;
+  for (std::size_t p = 0; p < names.size(); ++p) {
+    if (names[p] == name) return static_cast<int>(p);
+  }
+  ADD_FAILURE() << "no probe named " << name;
+  return -1;
+}
+
+TEST(DcSweep, ResistiveDividerIsExactAtEveryPoint) {
+  const auto parsed = netlist::ParseNetlist(R"(divider
+V1 in 0 DC 0
+R1 in out 1k
+R2 out 0 1k
+.dc V1 0 2 0.5
+.print v(in) v(out)
+.end
+)");
+  BatchResult storage;
+  const VariantResult& run = RunOne(parsed, storage);
+  EXPECT_EQ(run.analysis, "dc");
+  EXPECT_EQ(run.points, 5u);  // 0, 0.5, 1, 1.5, 2
+  const engine::Trace& trace = run.trace;
+  // .print v(x) probes carry the bare node name.
+  const int in = ProbeIndex(trace, "in");
+  const int out = ProbeIndex(trace, "out");
+  ASSERT_EQ(trace.num_samples(), 5u);
+  for (std::size_t i = 0; i < trace.num_samples(); ++i) {
+    const double swept = trace.time(i);  // trace time axis = swept value
+    EXPECT_DOUBLE_EQ(swept, 0.5 * static_cast<double>(i));
+    EXPECT_NEAR(trace.value(i, in), swept, 1e-12);
+    EXPECT_NEAR(trace.value(i, out), swept / 2.0, 1e-12);
+  }
+}
+
+TEST(DcSweep, DescendingSweepWorks) {
+  const auto parsed = netlist::ParseNetlist(R"(down
+V1 in 0 DC 2
+R1 in out 1k
+R2 out 0 1k
+.dc V1 2 0 -1
+.print v(out)
+.end
+)");
+  BatchResult storage;
+  const VariantResult& run = RunOne(parsed, storage);
+  // Solved 2 -> 0 (warm start in the asked direction) but recorded with the
+  // ascending axis the Trace contract requires.
+  ASSERT_EQ(run.trace.num_samples(), 3u);
+  const int out = ProbeIndex(run.trace, "out");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(run.trace.time(i), static_cast<double>(i));
+    EXPECT_NEAR(run.trace.value(i, out), run.trace.time(i) / 2.0, 1e-12);
+  }
+}
+
+constexpr const char* kLowpassDeck = R"(ac lowpass
+V1 in 0 DC 0 ac 1
+R1 in out 1k
+C1 out 0 1u
+.ac dec 10 10 10k
+.print v(out)
+.end
+)";
+
+TEST(AcAnalysis, LowpassMagnitudeAndPhaseMatchAnalytic) {
+  const auto parsed = netlist::ParseNetlist(kLowpassDeck);
+  BatchResult storage;
+  const VariantResult& run = RunOne(parsed, storage);
+  EXPECT_EQ(run.analysis, "ac");
+  EXPECT_EQ(run.points, 31u);  // 3 decades x 10 points + endpoint
+  const engine::Trace& trace = run.trace;
+  const int vm = ProbeIndex(trace, "vm(out)");
+  const int vp = ProbeIndex(trace, "vp(out)");
+  constexpr double kRc = 1e3 * 1e-6;
+  for (std::size_t i = 0; i < trace.num_samples(); ++i) {
+    const double w = 2.0 * std::numbers::pi * trace.time(i);  // time axis = Hz
+    const double mag = 1.0 / std::sqrt(1.0 + w * kRc * w * kRc);
+    const double phase = -std::atan(w * kRc) * 180.0 / std::numbers::pi;
+    EXPECT_NEAR(trace.value(i, vm), mag, 1e-9 + 1e-9 * mag) << "f=" << trace.time(i);
+    EXPECT_NEAR(trace.value(i, vp), phase, 1e-7) << "f=" << trace.time(i);
+  }
+  // The corner frequency sits inside the sweep: magnitude crosses 1/sqrt(2).
+  EXPECT_GT(trace.value(0, vm), 0.99);
+  EXPECT_LT(trace.value(trace.num_samples() - 1, vm), 0.02);
+}
+
+TEST(AcAnalysis, DrivingSourceIsUnityMagnitudeZeroPhase) {
+  const auto parsed = netlist::ParseNetlist(R"(ac ref
+V1 in 0 DC 0 ac 1
+R1 in out 1k
+C1 out 0 1u
+.ac lin 5 100 500
+.print v(in) v(out)
+.end
+)");
+  BatchResult storage;
+  const VariantResult& run = RunOne(parsed, storage);
+  EXPECT_EQ(run.points, 5u);
+  const int vm = ProbeIndex(run.trace, "vm(in)");
+  const int vp = ProbeIndex(run.trace, "vp(in)");
+  for (std::size_t i = 0; i < run.trace.num_samples(); ++i) {
+    EXPECT_NEAR(run.trace.value(i, vm), 1.0, 1e-12);
+    EXPECT_NEAR(run.trace.value(i, vp), 0.0, 1e-9);
+  }
+}
+
+TEST(AcAnalysis, DeckWithoutAcStimulusFailsTheVariant) {
+  const auto parsed = netlist::ParseNetlist(R"(no stimulus
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1u
+.ac dec 10 10 10k
+.end
+)");
+  const BatchResult result = RunBatch(parsed, SingleRun(parsed));
+  ASSERT_EQ(result.variants.size(), 1u);
+  EXPECT_FALSE(result.variants[0].ok);
+  EXPECT_NE(result.variants[0].error.find("no source carries an AC stimulus"),
+            std::string::npos)
+      << result.variants[0].error;
+}
+
+TEST(AcAnalysis, SweepingAcOverStepAxisKeepsAnalyticParity) {
+  // The batch path end to end: a .step over R shifts the corner frequency;
+  // every variant must still match its own analytic curve.
+  const auto parsed = netlist::ParseNetlist(R"(ac sweep
+.param rload=1k
+V1 in 0 DC 0 ac 1
+R1 in out {rload}
+C1 out 0 1u
+.step param rload list 500 1k 2k
+.ac dec 5 10 10k
+.print v(out)
+.end
+)");
+  BatchOptions options = SingleRun(parsed);
+  options.threads = 3;
+  const BatchResult result = RunBatch(parsed, options);
+  ASSERT_EQ(result.variants.size(), 3u);
+  const double rs[] = {500.0, 1000.0, 2000.0};
+  for (int v = 0; v < 3; ++v) {
+    const VariantResult& run = result.variants[v];
+    ASSERT_TRUE(run.ok) << run.error;
+    const int vm = ProbeIndex(run.trace, "vm(out)");
+    const double rc = rs[v] * 1e-6;
+    for (std::size_t i = 0; i < run.trace.num_samples(); ++i) {
+      const double w = 2.0 * std::numbers::pi * run.trace.time(i);
+      EXPECT_NEAR(run.trace.value(i, vm), 1.0 / std::sqrt(1.0 + w * rc * w * rc),
+                  1e-9);
+    }
+  }
+  EXPECT_EQ(result.stats.ac_points, 3u * result.variants[0].points);
+}
+
+}  // namespace
+}  // namespace wavepipe::batch

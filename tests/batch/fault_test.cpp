@@ -1,0 +1,125 @@
+// Failure isolation: one bad corner aborts only its own variant.  The batch
+// keeps running, the failure is captured in that VariantResult and counted
+// in batch.variants_failed — never thrown out of RunBatch.  Runs under both
+// sanitizer presets via the "faults" ctest label.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "batch/runner.hpp"
+#include "netlist/elaborate.hpp"
+#include "netlist/parser.hpp"
+#include "util/error.hpp"
+#include "util/telemetry.hpp"
+
+namespace wavepipe::batch {
+namespace {
+
+// rload=0 elaborates to a zero resistance, which the front end rejects —
+// a corner-local failure injected through the sweep axis itself.
+constexpr const char* kBadCornerDeck = R"(bad corner
+.param rload=1k
+V1 in 0 DC 0 PULSE(0 1 1u 100n 100n 10u 20u)
+R1 in out {rload}
+C1 out 0 1n
+.step param rload list 1k 0 2k
+.tran 0.5u 10u
+.print v(out)
+.end
+)";
+
+BatchOptions Options(const netlist::ParsedNetlist& parsed, int threads) {
+  BatchOptions options;
+  options.threads = threads;
+  options.sim = netlist::Elaborate(ApplyParamDefaults(parsed)).sim_options;
+  return options;
+}
+
+TEST(BatchFaults, OneBadCornerFailsAloneAndIsCounted) {
+  const auto parsed = netlist::ParseNetlist(kBadCornerDeck);
+  const BatchResult result = RunBatch(parsed, Options(parsed, 4));
+  ASSERT_EQ(result.variants.size(), 3u);
+
+  EXPECT_TRUE(result.variants[0].ok) << result.variants[0].error;
+  EXPECT_FALSE(result.variants[1].ok);
+  EXPECT_TRUE(result.variants[2].ok) << result.variants[2].error;
+
+  const VariantResult& bad = result.variants[1];
+  EXPECT_NE(bad.error.find("zero resistance"), std::string::npos) << bad.error;
+  EXPECT_EQ(bad.waveform_hash, 0u);
+
+  EXPECT_EQ(result.stats.variants_total, 3u);
+  EXPECT_EQ(result.stats.variants_ok, 2u);
+  EXPECT_EQ(result.stats.variants_failed, 1u);
+}
+
+TEST(BatchFaults, FailureCountSurvivesIntoExportedCounters) {
+  const auto parsed = netlist::ParseNetlist(kBadCornerDeck);
+  const BatchResult result = RunBatch(parsed, Options(parsed, 2));
+  util::telemetry::CounterRegistry registry;
+  result.stats.ExportCounters(registry);
+  bool found = false;
+  for (const auto& counter : registry.counters()) {
+    if (counter.name == "batch.variants_failed") {
+      found = true;
+      EXPECT_EQ(counter.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(found) << "batch.variants_failed missing from the registry";
+}
+
+TEST(BatchFaults, SurvivingVariantsAreStillDeterministic) {
+  const auto parsed = netlist::ParseNetlist(kBadCornerDeck);
+  const BatchResult a = RunBatch(parsed, Options(parsed, 1));
+  const BatchResult b = RunBatch(parsed, Options(parsed, 4));
+  for (int i : {0, 2}) {
+    EXPECT_EQ(a.variants[i].waveform_hash, b.variants[i].waveform_hash)
+        << "variant " << i;
+    EXPECT_NE(a.variants[i].waveform_hash, 0u);
+  }
+}
+
+TEST(BatchFaults, AllCornersBadStillReturnsNormallyWithoutSharing) {
+  const auto parsed = netlist::ParseNetlist(R"(all bad
+.param rload=0
+V1 in 0 DC 1
+R1 in out {rload}
+C1 out 0 1n
+.step param rload list 0 0
+.tran 0.5u 5u
+.end
+)");
+  // No Options() helper here: even the DEFAULT deck elaborates to the broken
+  // corner, so sim options stay at engine defaults.
+  BatchOptions options;
+  options.threads = 2;
+  options.share_artifacts = false;
+  const BatchResult result = RunBatch(parsed, options);
+  EXPECT_EQ(result.stats.variants_failed, 2u);
+  EXPECT_EQ(result.stats.variants_ok, 0u);
+}
+
+TEST(BatchFaults, UnelaboratablePrototypeIsAWholeBatchError) {
+  // Artifact sharing elaborates variant 0 up front: when THAT variant is the
+  // broken one there is nothing to share and the failure surfaces
+  // immediately instead of poisoning every corner (runner.cpp documents it).
+  const auto parsed = netlist::ParseNetlist(R"(bad prototype
+.param rload=1k
+V1 in 0 DC 1
+R1 in out {rload}
+C1 out 0 1n
+.step param rload list 0 1k
+.tran 0.5u 5u
+.end
+)");
+  EXPECT_THROW(RunBatch(parsed, Options(parsed, 2)), ElaborationError);
+}
+
+TEST(BatchFaults, DeckWithNoAnalysisCardThrowsWholeBatch) {
+  const auto parsed = netlist::ParseNetlist("t\nV1 a 0 DC 1\nR1 a 0 1k\n.end\n");
+  BatchOptions options;
+  EXPECT_THROW(RunBatch(parsed, options), Error);
+}
+
+}  // namespace
+}  // namespace wavepipe::batch

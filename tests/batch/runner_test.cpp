@@ -1,0 +1,140 @@
+// Batch runner determinism: waveforms are a pure function of the VariantSpec
+// — never of pool size, artifact sharing, or scheduling order (the contract
+// src/batch/runner.hpp documents).  The concurrent suites run under
+// ThreadSanitizer via the "tsan" ctest label: many workers reusing one
+// SharedAnalysisArtifacts bundle and one OrderingCache is exactly the data
+// pattern tsan would flag if the read-only contract were violated.
+#include "batch/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/elaborate.hpp"
+#include "netlist/parser.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::batch {
+namespace {
+
+constexpr const char* kSweptDeck = R"(rc sweep
+.param rload=1k
+V1 in 0 DC 0 PULSE(0 1 1u 100n 100n 10u 20u)
+R1 in out {rload}
+C1 out 0 1n
+.step param rload list 500 1k 2k
+.mc 2 variation=0.05
+.tran 0.5u 10u
+.print v(in) v(out)
+.end
+)";
+
+BatchOptions Options(const netlist::ParsedNetlist& parsed, int threads,
+                     bool share = true) {
+  BatchOptions options;
+  options.threads = threads;
+  options.mc_seed = 7;
+  options.share_artifacts = share;
+  options.sim = netlist::Elaborate(ApplyParamDefaults(parsed)).sim_options;
+  return options;
+}
+
+std::vector<std::uint64_t> Hashes(const BatchResult& result) {
+  std::vector<std::uint64_t> hashes;
+  for (const VariantResult& v : result.variants) {
+    EXPECT_TRUE(v.ok) << "variant " << v.index << ": " << v.error;
+    hashes.push_back(v.waveform_hash);
+  }
+  return hashes;
+}
+
+TEST(BatchRunner, PoolSizesOneAndFourAreBitIdentical) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const BatchResult serial = RunBatch(parsed, Options(parsed, 1));
+  const BatchResult pooled = RunBatch(parsed, Options(parsed, 4));
+  ASSERT_EQ(serial.variants.size(), 6u);
+  EXPECT_EQ(Hashes(serial), Hashes(pooled));
+}
+
+TEST(BatchRunner, SharedArtifactsMatchColdRebuilds) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const BatchResult shared = RunBatch(parsed, Options(parsed, 4, true));
+  const BatchResult cold = RunBatch(parsed, Options(parsed, 4, false));
+  EXPECT_EQ(Hashes(shared), Hashes(cold));
+  EXPECT_TRUE(shared.artifacts.built);
+  EXPECT_FALSE(cold.artifacts.built);
+}
+
+TEST(BatchRunner, EachVariantMatchesItsStandaloneRun) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const BatchResult batch = RunBatch(parsed, Options(parsed, 4));
+  const auto variants = ExpandVariants(batch.plan, parsed, 7);
+  ASSERT_EQ(variants.size(), batch.variants.size());
+  for (const VariantSpec& spec : variants) {
+    // A standalone run: the variant's rewritten deck as a plain single-variant
+    // batch with no shared artifacts and no sweep cards left.
+    netlist::ParsedNetlist standalone = ApplyVariant(parsed, spec);
+    standalone.steps.clear();
+    standalone.mc = netlist::McCard{};
+    BatchOptions options = Options(parsed, 1, false);
+    const BatchResult single = RunBatch(standalone, options);
+    ASSERT_EQ(single.variants.size(), 1u);
+    ASSERT_TRUE(single.variants[0].ok) << single.variants[0].error;
+    EXPECT_EQ(single.variants[0].waveform_hash,
+              batch.variants[spec.index].waveform_hash)
+        << "variant " << spec.index << " diverged from its standalone run";
+  }
+}
+
+TEST(BatchRunner, ConcurrentReuseSharesOneOrdering) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const BatchResult result = RunBatch(parsed, Options(parsed, 8));
+  EXPECT_TRUE(result.artifacts.built);
+  EXPECT_GT(result.artifacts.dimension, 0);
+  // The prototype's miss is the only min-degree run; every variant hits.
+  EXPECT_LE(result.stats.ordering_misses, 1u);
+  EXPECT_GE(result.stats.ordering_hits, result.variants.size());
+  EXPECT_EQ(result.stats.artifacts_shared, result.variants.size());
+}
+
+TEST(BatchRunner, AggregateStatsDescribeTheGrid) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const BatchResult result = RunBatch(parsed, Options(parsed, 2));
+  EXPECT_EQ(result.stats.variants_total, 6u);
+  EXPECT_EQ(result.stats.variants_ok, 6u);
+  EXPECT_EQ(result.stats.variants_failed, 0u);
+  EXPECT_EQ(result.stats.step_axes, 1u);
+  EXPECT_EQ(result.stats.mc_samples, 2u);
+  EXPECT_GT(result.stats.steps_accepted, 0u);
+  EXPECT_GT(result.stats.newton_iterations, 0u);
+  for (const VariantResult& v : result.variants) {
+    EXPECT_EQ(v.analysis, "tran");
+    EXPECT_GT(v.steps_accepted, 0u);
+    EXPECT_NE(v.waveform_hash, 0u);
+  }
+}
+
+TEST(BatchRunner, HashTraceDistinguishesSingleBitChanges) {
+  engine::ProbeSet probes;
+  probes.unknowns = {0};
+  probes.names = {"v(a)"};
+  engine::Trace a(probes), b(probes);
+  const double va[] = {1.0}, vb[] = {1.0 + 1e-15};
+  a.AppendProbeSample(0.0, va);
+  b.AppendProbeSample(0.0, vb);
+  EXPECT_EQ(HashTrace(a), HashTrace(a));
+  EXPECT_NE(HashTrace(a), HashTrace(b));
+}
+
+TEST(BatchRunner, DifferentSeedsChangeMcWaveforms) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  BatchOptions a = Options(parsed, 2);
+  BatchOptions b = Options(parsed, 2);
+  b.mc_seed = 99;
+  const auto ha = Hashes(RunBatch(parsed, a));
+  const auto hb = Hashes(RunBatch(parsed, b));
+  EXPECT_NE(ha, hb);
+}
+
+}  // namespace
+}  // namespace wavepipe::batch

@@ -1,0 +1,201 @@
+// Sweep planner: .step expansion edge rules, grid order, seed derivation and
+// card-level variant rewriting (src/batch/sweep.hpp documents the contract).
+#include "batch/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "netlist/elaborate.hpp"
+#include "netlist/parser.hpp"
+#include "util/error.hpp"
+
+namespace wavepipe::batch {
+namespace {
+
+netlist::StepCard Lin(double start, double stop, double step) {
+  netlist::StepCard card;
+  card.param = "p";
+  card.kind = netlist::StepCard::Kind::kLin;
+  card.start = start;
+  card.stop = stop;
+  card.step = step;
+  return card;
+}
+
+TEST(ExpandStep, LinIncludesStopOnExactLanding) {
+  const auto values = ExpandStepValues(Lin(1.0, 3.0, 1.0));
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 2.0);
+  EXPECT_DOUBLE_EQ(values[2], 3.0);
+}
+
+TEST(ExpandStep, LinStopsBeforeOvershoot) {
+  // 0, 0.4, 0.8 — 1.2 overshoots stop=1 and must not appear.
+  const auto values = ExpandStepValues(Lin(0.0, 1.0, 0.4));
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values.back(), 0.8);
+}
+
+TEST(ExpandStep, LinSinglePointWhenStartEqualsStop) {
+  const auto values = ExpandStepValues(Lin(5.0, 5.0, 1.0));
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 5.0);
+}
+
+TEST(ExpandStep, DecIsLogSpacedAndEndpointInclusive) {
+  netlist::StepCard card;
+  card.param = "p";
+  card.kind = netlist::StepCard::Kind::kDec;
+  card.start = 1.0;
+  card.stop = 100.0;
+  card.points_per_decade = 2;
+  const auto values = ExpandStepValues(card);
+  ASSERT_EQ(values.size(), 5u);  // 1, sqrt(10), 10, 10*sqrt(10), 100
+  EXPECT_DOUBLE_EQ(values.front(), 1.0);
+  EXPECT_NEAR(values[1], std::sqrt(10.0), 1e-12);
+  EXPECT_NEAR(values.back(), 100.0, 1e-9);
+}
+
+TEST(ExpandStep, ListIsVerbatim) {
+  netlist::StepCard card;
+  card.param = "p";
+  card.kind = netlist::StepCard::Kind::kList;
+  card.values = {500.0, 1000.0, 2000.0};
+  EXPECT_EQ(ExpandStepValues(card), card.values);
+}
+
+constexpr const char* kSweptDeck = R"(sweep deck
+.param rload=1k cap=1n
+V1 in 0 DC 0 PULSE(0 1 1u 100n 100n 10u 20u)
+R1 in out {rload}
+C1 out 0 {cap}
+.step param rload list 500 1k 2k
+.step param cap lin 1n 2n 1n
+.mc 2 variation=0.1
+.tran 0.5u 5u
+.print v(out)
+.end
+)";
+
+TEST(SweepPlan, GridIsStepProductTimesMcRuns) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const SweepPlan plan = BuildSweepPlan(parsed);
+  ASSERT_EQ(plan.axis_names.size(), 2u);
+  EXPECT_EQ(plan.axis_names[0], "rload");
+  EXPECT_EQ(plan.axis_names[1], "cap");
+  EXPECT_EQ(plan.axis_values[0].size(), 3u);
+  EXPECT_EQ(plan.axis_values[1].size(), 2u);
+  EXPECT_TRUE(plan.mc_present);
+  EXPECT_EQ(plan.mc_runs, 2);
+  EXPECT_EQ(plan.num_variants(), 12u);  // 3 x 2 x 2
+}
+
+TEST(SweepPlan, DeckWithoutSweepCardsIsTrivial) {
+  const auto parsed = netlist::ParseNetlist("t\nR1 a 0 1k\n.tran 1u 2u\n.end\n");
+  const SweepPlan plan = BuildSweepPlan(parsed);
+  EXPECT_TRUE(plan.axis_names.empty());
+  EXPECT_FALSE(plan.mc_present);
+  EXPECT_EQ(plan.num_variants(), 1u);
+}
+
+TEST(ExpandVariants, OrderIsMcMajorThenLastAxisFastest) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const auto variants = ExpandVariants(BuildSweepPlan(parsed), parsed, 1);
+  ASSERT_EQ(variants.size(), 12u);
+  // First MC sample occupies indices 0..5, second 6..11.
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(variants[i].mc_index, 0);
+  for (int i = 6; i < 12; ++i) EXPECT_EQ(variants[i].mc_index, 1);
+  // Last axis (cap) fastest: consecutive variants differ in cap, rload every 2.
+  EXPECT_DOUBLE_EQ(variants[0].step_values[1].second, 1e-9);
+  EXPECT_DOUBLE_EQ(variants[1].step_values[1].second, 2e-9);
+  EXPECT_DOUBLE_EQ(variants[0].step_values[0].second, variants[1].step_values[0].second);
+  EXPECT_NE(variants[0].step_values[0].second, variants[2].step_values[0].second);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(variants[i].index, i);
+}
+
+TEST(ExpandVariants, SeedsDependOnlyOnMcIndex) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const auto variants = ExpandVariants(BuildSweepPlan(parsed), parsed, 42);
+  std::set<std::uint64_t> seeds_per_sample[2];
+  for (const VariantSpec& v : variants) {
+    EXPECT_NE(v.seed, 0u);  // .mc present: every variant perturbs
+    seeds_per_sample[v.mc_index].insert(v.seed);
+  }
+  // One seed per MC sample (shared across its grid points), distinct samples.
+  EXPECT_EQ(seeds_per_sample[0].size(), 1u);
+  EXPECT_EQ(seeds_per_sample[1].size(), 1u);
+  EXPECT_NE(*seeds_per_sample[0].begin(), *seeds_per_sample[1].begin());
+}
+
+TEST(ExpandVariants, NoMcMeansNoPerturbationSeed) {
+  const auto parsed = netlist::ParseNetlist(
+      "t\n.param r=1k\nR1 a 0 {r}\n.step param r list 1 2\n.tran 1u 2u\n.end\n");
+  const auto variants = ExpandVariants(BuildSweepPlan(parsed), parsed, 42);
+  ASSERT_EQ(variants.size(), 2u);
+  for (const VariantSpec& v : variants) EXPECT_EQ(v.seed, 0u);
+}
+
+TEST(ExpandVariants, DeterministicAcrossCalls) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const SweepPlan plan = BuildSweepPlan(parsed);
+  const auto a = ExpandVariants(plan, parsed, 7);
+  const auto b = ExpandVariants(plan, parsed, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].params, b[i].params);
+  }
+}
+
+TEST(ApplyVariant, SubstitutesSteppedParamsAtCardLevel) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const auto variants = ExpandVariants(BuildSweepPlan(parsed), parsed, 1);
+  const auto rewritten = ApplyVariant(parsed, variants[0]);
+  for (const netlist::ElementCard& card : rewritten.elements) {
+    for (const std::string& arg : card.args) {
+      EXPECT_EQ(arg.find('{'), std::string::npos)
+          << card.name << " kept unsubstituted arg " << arg;
+    }
+  }
+  // The rewritten deck elaborates through the unchanged front end.
+  EXPECT_NO_THROW(netlist::Elaborate(rewritten));
+}
+
+TEST(ApplyVariant, McPerturbationIsBoundedAndSampleDistinct) {
+  const auto parsed = netlist::ParseNetlist(kSweptDeck);
+  const auto variants = ExpandVariants(BuildSweepPlan(parsed), parsed, 1);
+  // Same grid point (rload=500, cap=1n) in MC samples 0 and 1.
+  const auto s0 = ApplyVariant(parsed, variants[0]);
+  const auto s1 = ApplyVariant(parsed, variants[6]);
+  const double r0 = std::stod(s0.elements[1].args[2]);
+  const double r1 = std::stod(s1.elements[1].args[2]);
+  EXPECT_GE(r0, 500.0 * 0.9);
+  EXPECT_LE(r0, 500.0 * 1.1);
+  EXPECT_NE(r0, r1);  // different samples draw different factors
+  // Re-applying the same variant reproduces the same deck text.
+  const auto again = ApplyVariant(parsed, variants[0]);
+  EXPECT_EQ(s0.elements[1].args[2], again.elements[1].args[2]);
+}
+
+TEST(ApplyVariant, UndefinedParamReferenceThrows) {
+  const auto parsed = netlist::ParseNetlist("t\nR1 a 0 {nope}\n.tran 1u 2u\n.end\n");
+  const auto variants = ExpandVariants(BuildSweepPlan(parsed), parsed, 1);
+  EXPECT_THROW(ApplyVariant(parsed, variants[0]), ParseError);
+}
+
+TEST(ApplyParamDefaults, SubstitutesDeclaredDefaults) {
+  const auto parsed =
+      netlist::ParseNetlist("t\n.param r=2k\nR1 a 0 {r}\n.tran 1u 2u\n.end\n");
+  const auto rewritten = ApplyParamDefaults(parsed);
+  // Substitution is textual — the raw "2k" token lands in the card and the
+  // unchanged front end gives it its SPICE suffix meaning.
+  EXPECT_EQ(rewritten.elements[0].args[2], "2k");
+  const auto elab = netlist::Elaborate(rewritten);
+  EXPECT_EQ(elab.circuit->num_devices(), 1u);
+}
+
+}  // namespace
+}  // namespace wavepipe::batch

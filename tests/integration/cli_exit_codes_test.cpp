@@ -9,6 +9,8 @@
 // injected by the build (tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -28,9 +30,16 @@ int RunCli(const std::string& args) {
 }
 
 std::string WriteDeck(const std::string& name, const std::string& contents) {
+  // ctest runs each TEST as its own process, so tests sharing a deck name
+  // (RcDeck) can race on the file.  Write-then-rename keeps every reader on
+  // a complete deck: rename(2) is atomic within TempDir.
   const std::string path = ::testing::TempDir() + "/" + name;
-  std::ofstream out(path);
-  out << contents;
+  const std::string staging = path + "." + std::to_string(::getpid()) + ".tmp";
+  {
+    std::ofstream out(staging);
+    out << contents;
+  }
+  std::rename(staging.c_str(), path.c_str());
   return path;
 }
 
@@ -70,6 +79,71 @@ TEST(CliExitCodes, MalformedDeckIsParseError) {
                                      ".tran 1u 10u\n"
                                      ".end\n");
   EXPECT_EQ(RunCli(deck), 2);
+}
+
+/// Like RunCli but captures combined stdout+stderr into `output`.
+int RunCliCapture(const std::string& args, std::string& output) {
+  const std::string log = ::testing::TempDir() + "/cli_capture." +
+                          std::to_string(::getpid()) + ".log";
+  const std::string cmd = Binary() + " " + args + " > " + log + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  std::ifstream in(log);
+  output.assign(std::istreambuf_iterator<char>(in), {});
+  std::remove(log.c_str());
+  if (status == -1) return -1;
+  return WEXITSTATUS(status);
+}
+
+TEST(CliExitCodes, UnknownDirectiveIsStructuredParseError) {
+  const std::string deck = WriteDeck("cli_unknown_card.sp",
+                                     "unknown card\n"
+                                     "R1 in 0 1k\n"
+                                     ".frobnicate 1 2 3\n"
+                                     ".tran 1u 10u\n"
+                                     ".end\n");
+  std::string output;
+  EXPECT_EQ(RunCliCapture(deck, output), 2);
+  // Structured: names the card, the line, and the recognized-but-unsupported
+  // cards so a typo is distinguishable from a missing feature.
+  EXPECT_NE(output.find(".frobnicate"), std::string::npos) << output;
+  EXPECT_NE(output.find("line 3"), std::string::npos) << output;
+  EXPECT_NE(output.find(".subckt"), std::string::npos) << output;
+}
+
+TEST(CliExitCodes, RecognizedUnsupportedDirectiveIsParseError) {
+  const std::string deck = WriteDeck("cli_unsupported_card.sp",
+                                     "unsupported card\n"
+                                     "R1 in 0 1k\n"
+                                     ".subckt inv in out\n"
+                                     ".tran 1u 10u\n"
+                                     ".end\n");
+  std::string output;
+  EXPECT_EQ(RunCliCapture(deck, output), 2);
+  EXPECT_NE(output.find("recognized but not supported"), std::string::npos)
+      << output;
+}
+
+std::string SweepDeck(const std::string& step_values) {
+  return WriteDeck("cli_sweep.sp",
+                   "cli sweep\n"
+                   ".param rload=1k\n"
+                   "V1 in 0 DC 0 PULSE(0 1 1u 1u 1u 10u 20u)\n"
+                   "R1 in out {rload}\n"
+                   "C1 out 0 1n\n"
+                   ".step param rload list " + step_values + "\n"
+                   ".tran 1u 20u\n"
+                   ".print v(out)\n"
+                   ".end\n");
+}
+
+TEST(CliExitCodes, CleanSweepExitsZero) {
+  EXPECT_EQ(RunCli(SweepDeck("500 1k") + " --sweep --threads 2"), 0);
+}
+
+TEST(CliExitCodes, SweepWithFailingVariantIsIncomplete) {
+  // rload=0 elaborates to a zero resistance: that corner fails, the batch
+  // finishes, and the partial result is reported as "run incomplete".
+  EXPECT_EQ(RunCli(SweepDeck("1k 0") + " --sweep"), 4);
 }
 
 TEST(CliExitCodes, DeckWithoutTranIsParseError) {

@@ -202,10 +202,10 @@ TEST(RunStatsJsonTest, SpecPolicyGroupExportsOnEveryEngine) {
 }
 
 TEST(RunStatsJsonTest, SchemaTagIsPinned) {
-  // v1.3 = v1.2 plus the appended linear-subnetwork-reduction group
-  // (reduce.*).  Changing this string (or the key sets below) is a schema
-  // bump: update check_bench.py and the docs in trace_export.hpp alongside.
-  EXPECT_STREQ(kRunStatsSchema, "wavepipe.run_stats.v1.3");
+  // v1.4 = v1.3 plus the appended batch-analysis group (batch.*).  Changing
+  // this string (or the key sets below) is a schema bump: update
+  // check_bench.py and the docs in trace_export.hpp alongside.
+  EXPECT_STREQ(kRunStatsSchema, "wavepipe.run_stats.v1.4");
 }
 
 TEST(RunStatsJsonTest, ResilienceGroupExportsOnEveryEngine) {
@@ -249,23 +249,30 @@ TEST(RunStatsJsonTest, ResilienceGroupExportsOnEveryEngine) {
 TEST(RunStatsJsonTest, OlderConsumersStillParseNewerDocuments) {
   // The schema grows additively: every v1.1 key keeps its name and position,
   // the v1.2 groups (ckpt./watchdog./resilience.) land strictly AFTER the
-  // last v1.1 group (ledger.*), and the v1.3 group (reduce.*) lands strictly
-  // AFTER the last v1.2 key.  A consumer of any older version that iterates
+  // last v1.1 group (ledger.*), the v1.3 group (reduce.*) lands strictly
+  // AFTER the last v1.2 key, and the v1.4 group (batch.*) lands strictly
+  // AFTER the last v1.3 key.  A consumer of any older version that iterates
   // its own baseline keys therefore parses a newer document unchanged.  This
-  // pins both orderings.
+  // pins all three orderings.
   RunCounterInputs inputs;
   const auto names = BuildRunCounters(inputs).Names();
   std::size_t last_v11 = 0;
   std::size_t first_v12 = names.size();
   std::size_t last_v12 = 0;
   std::size_t first_v13 = names.size();
+  std::size_t last_v13 = 0;
+  std::size_t first_v14 = names.size();
   for (std::size_t i = 0; i < names.size(); ++i) {
     const bool v12 = names[i].rfind("ckpt.", 0) == 0 ||
                      names[i].rfind("watchdog.", 0) == 0 ||
                      names[i].rfind("resilience.", 0) == 0;
     const bool v13 = names[i].rfind("reduce.", 0) == 0;
-    if (v13) {
+    const bool v14 = names[i].rfind("batch.", 0) == 0;
+    if (v14) {
+      first_v14 = std::min(first_v14, i);
+    } else if (v13) {
       first_v13 = std::min(first_v13, i);
+      last_v13 = std::max(last_v13, i);
     } else if (v12) {
       first_v12 = std::min(first_v12, i);
       last_v12 = std::max(last_v12, i);
@@ -275,15 +282,20 @@ TEST(RunStatsJsonTest, OlderConsumersStillParseNewerDocuments) {
   }
   ASSERT_LT(first_v12, names.size()) << "v1.2 groups missing from the registry";
   ASSERT_LT(first_v13, names.size()) << "v1.3 group missing from the registry";
+  ASSERT_LT(first_v14, names.size()) << "v1.4 group missing from the registry";
   EXPECT_LT(last_v11, first_v12)
       << "v1.2 keys must append after every v1.1 key, not interleave";
   EXPECT_LT(last_v12, first_v13)
       << "v1.3 keys must append after every v1.2 key, not interleave";
-  // The v1.1 ledger.* tail is still immediately before the v1.2 block, and
-  // the v1.3 reduce.* block is the document's tail.
+  EXPECT_LT(last_v13, first_v14)
+      << "v1.4 keys must append after every v1.3 key, not interleave";
+  // The v1.1 ledger.* tail is still immediately before the v1.2 block, the
+  // v1.3 reduce.* tail keeps its boundary key, and the v1.4 batch.* block is
+  // the document's tail.
   ASSERT_GT(first_v12, 0u);
   EXPECT_EQ(names[last_v11], "ledger.useful_seconds");
-  EXPECT_EQ(names.back(), "reduce.interior_expansions");
+  EXPECT_EQ(names[last_v13], "reduce.interior_expansions");
+  EXPECT_EQ(names.back(), "batch.wall_seconds");
 }
 
 TEST(RunStatsJsonTest, ReduceGroupExportsOnEveryEngine) {

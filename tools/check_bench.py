@@ -21,21 +21,30 @@ deliberately pessimistic contrast model (it gates the runtime serial
 fallback, not performance) and is likewise report-only.
 
 A per-metric delta table goes to stdout and, when $GITHUB_STEP_SUMMARY is
-set, into the job summary as GitHub-flavored markdown.
+set, into the job summary as GitHub-flavored markdown.  --report also writes
+a machine-readable bench_report.json (per-file rows + failures + exit code).
+
+Exit codes: 0 all gates passed, 1 regression / guard flip / floor breach,
+2 infrastructure problem (baseline or fresh artifact missing).  When both
+kinds of failure occur, the regression exit code (1) wins — a missing file
+next to a real regression should page as a regression.
 
 Usage:
     check_bench.py --baseline-dir <committed> --current-dir <fresh> \
-                   [--tolerance 0.15]
+                   [--tolerance 0.15] [--report bench_report.json]
+    check_bench.py --self-test
 """
 
 import argparse
 import json
 import os
 import sys
+import tempfile
 
 BENCH_FILES = ["BENCH_assembly.json", "BENCH_factor.json", "BENCH_bypass.json",
                "BENCH_pipeline.json", "BENCH_partition.json",
-               "BENCH_resilience.json", "BENCH_reduction.json"]
+               "BENCH_resilience.json", "BENCH_reduction.json",
+               "BENCH_batch.json"]
 
 # Numeric metrics gated on regression.  A metric is gated when its key path
 # matches one of these predicates; higher is better for all of them.
@@ -44,6 +53,7 @@ GATED_KEY_SUBSTRINGS = [
     "modeled_refactor_speedup",  # counter blocks: lu.* / sparse_lu.*
     "modeled_speedup",           # BENCH_pipeline: virtual-replay makespans
     "adaptive_over_fixed_ratio", # BENCH_pipeline: policy vs fixed scheduler
+    "modeled_batch_speedup",     # BENCH_batch: shared-vs-cold sweep throughput
 ]
 
 # Metrics that *look* like speedups but must never gate.
@@ -150,53 +160,175 @@ def render_table(name, rows):
     return "\n".join(lines) + "\n"
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline-dir", required=True,
-                        help="directory holding the committed BENCH_*.json")
-    parser.add_argument("--current-dir", required=True,
-                        help="directory holding the freshly generated BENCH_*.json")
-    parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="max allowed fractional regression (default 0.15)")
-    args = parser.parse_args()
+def run_gate(baseline_dir, current_dir, tolerance):
+    """Runs every bench file through the gate.
 
-    all_failures = []
+    Returns (summary_text, report_dict, exit_code).  Regression failures
+    (exit 1) take precedence over infrastructure failures (exit 2).
+    """
+    regression_failures = []
+    missing_failures = []
+    report = {"schema": "wavepipe.bench_report.v1", "tolerance": tolerance,
+              "files": [], "failures": []}
     summary = ["## Bench regression gate",
-               f"Tolerance: {args.tolerance:.0%} on modeled speedups; "
+               f"Tolerance: {tolerance:.0%} on modeled speedups; "
                "boolean guards must not flip true → false."]
     for name in BENCH_FILES:
-        base_path = os.path.join(args.baseline_dir, name)
-        cur_path = os.path.join(args.current_dir, name)
+        base_path = os.path.join(baseline_dir, name)
+        cur_path = os.path.join(current_dir, name)
         if not os.path.exists(base_path):
-            all_failures.append(f"missing baseline {base_path}")
+            missing_failures.append(f"missing baseline {base_path}")
+            report["files"].append({"name": name, "status": "missing-baseline"})
             continue
         if not os.path.exists(cur_path):
-            all_failures.append(f"missing fresh artifact {cur_path}")
+            missing_failures.append(f"missing fresh artifact {cur_path}")
+            report["files"].append({"name": name, "status": "missing-fresh"})
             continue
         with open(base_path) as f:
             baseline = json.load(f)
         with open(cur_path) as f:
             current = json.load(f)
-        rows, failures = compare_file(name, baseline, current, args.tolerance)
-        all_failures.extend(failures)
+        rows, failures = compare_file(name, baseline, current, tolerance)
+        regression_failures.extend(failures)
         summary.append(render_table(name, rows))
+        report["files"].append({
+            "name": name,
+            "status": "fail" if failures else "ok",
+            "rows": [{"metric": path, "baseline": str(base_value),
+                      "current": str(cur_value), "delta": delta,
+                      "status": status}
+                     for path, base_value, cur_value, delta, status in rows],
+        })
 
+    all_failures = regression_failures + missing_failures
     if all_failures:
         summary.append("\n### Failures\n")
         summary.extend(f"- {failure}" for failure in all_failures)
     else:
         summary.append("\nAll gates passed.")
+    report["failures"] = all_failures
 
-    text = "\n".join(summary)
+    exit_code = 0
+    if missing_failures:
+        exit_code = 2
+    if regression_failures:
+        exit_code = 1  # regressions win over infrastructure problems
+    report["exit_code"] = exit_code
+    return "\n".join(summary), report, exit_code
+
+
+def self_test():
+    """Self-contained checks of the gate logic (no pytest dependency)."""
+    failures = []
+
+    def expect(ok, what):
+        print(f"  {what:<62} {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(what)
+
+    # flatten: nested dicts and name-keyed lists.
+    flat = {}
+    flatten({"a": {"b": 1.5}, "runs": [{"name": "x", "v": 2}]}, "", flat)
+    expect(flat == {"a.b": 1.5, "runs.x.name": "x", "runs.x.v": 2},
+           "flatten keys nested paths by name")
+
+    # is_gated: gated substrings minus the ungated overrides.
+    expect(is_gated("decks.mesh.modeled_batch_speedup"),
+           "modeled_batch_speedup is gated")
+    expect(not is_gated("decks.mesh.wall_seconds_shared"), "wall clock never gated")
+    expect(not is_gated("barrier_model_speedup"), "barrier model never gated")
+
+    # compare_file: regression beyond tolerance fails, within passes.
+    _, fails = compare_file("t", {"modeled_speedup": 2.0},
+                            {"modeled_speedup": 1.0}, 0.15)
+    expect(len(fails) == 1, "50% regression fails at 15% tolerance")
+    _, fails = compare_file("t", {"modeled_speedup": 2.0},
+                            {"modeled_speedup": 1.9}, 0.15)
+    expect(not fails, "5% regression passes at 15% tolerance")
+
+    # Boolean guard: true -> false fails, false -> true improves.
+    _, fails = compare_file("t", {"bit_identical": True},
+                            {"bit_identical": False}, 0.15)
+    expect(len(fails) == 1, "guard flip true -> false fails")
+    _, fails = compare_file("t", {"bit_identical": False},
+                            {"bit_identical": True}, 0.15)
+    expect(not fails, "guard flip false -> true passes")
+
+    # min_ratio floor: applies to every matching numeric in the FRESH run.
+    # Real artifacts carry the spec in both docs, so mirror that here.
+    spec = {"min_ratio": {"modeled_batch_speedup": 2.0}}
+    _, fails = compare_file("t", spec,
+                            dict(spec, a={"modeled_batch_speedup": 1.5}), 0.15)
+    expect(len(fails) == 1, "min_ratio floor breach fails")
+    _, fails = compare_file("t", spec,
+                            dict(spec, a={"modeled_batch_speedup": 2.5}), 0.15)
+    expect(not fails, "min_ratio floor met passes")
+
+    # Exit codes: 2 for missing files, 1 for regressions, 1 when both.
+    with tempfile.TemporaryDirectory() as base, \
+         tempfile.TemporaryDirectory() as cur:
+        _, _, code = run_gate(base, cur, 0.15)
+        expect(code == 2, "all baselines missing -> exit 2")
+        for name in BENCH_FILES[:-1]:
+            for where in (base, cur):
+                with open(os.path.join(where, name), "w") as f:
+                    json.dump({"modeled_speedup": 2.0}, f)
+        _, _, code = run_gate(base, cur, 0.15)
+        expect(code == 2, "one baseline missing -> exit 2")
+        with open(os.path.join(base, BENCH_FILES[-1]), "w") as f:
+            json.dump({"modeled_batch_speedup": 2.0}, f)
+        with open(os.path.join(cur, BENCH_FILES[-1]), "w") as f:
+            json.dump({"modeled_batch_speedup": 0.5}, f)
+        _, _, code = run_gate(base, cur, 0.15)
+        expect(code == 1, "regression -> exit 1")
+        os.remove(os.path.join(cur, BENCH_FILES[0]))
+        _, _, code = run_gate(base, cur, 0.15)
+        expect(code == 1, "regression + missing file -> exit 1 (regression wins)")
+
+    if failures:
+        print(f"check_bench --self-test: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("check_bench --self-test: all checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir",
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current-dir",
+                        help="directory holding the freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max allowed fractional regression (default 0.15)")
+    parser.add_argument("--report",
+                        help="write a machine-readable bench_report.json here")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate logic's built-in checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline_dir or not args.current_dir:
+        parser.error("--baseline-dir and --current-dir are required "
+                     "(or use --self-test)")
+
+    text, report, exit_code = run_gate(args.baseline_dir, args.current_dir,
+                                       args.tolerance)
     print(text)
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if step_summary:
         with open(step_summary, "a") as f:
             f.write(text + "\n")
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"\ncheck_bench: report written to {args.report}")
 
-    if all_failures:
-        print(f"\ncheck_bench: {len(all_failures)} failure(s)", file=sys.stderr)
-        return 1
+    if exit_code:
+        print(f"\ncheck_bench: {len(report['failures'])} failure(s)",
+              file=sys.stderr)
+        return exit_code
     print("\ncheck_bench: all gates passed")
     return 0
 

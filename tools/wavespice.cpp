@@ -34,6 +34,17 @@
 //   --max-newton-total N               abort after N Newton iterations this process
 //   --watchdog                         stall watchdog over worker heartbeats
 //   --no-breakers                      disable the feature circuit-breakers
+//   --sweep                            batch mode: expand .param/.step/.mc into a
+//                                      variant grid and run every variant across
+//                                      --threads workers on shared symbolic
+//                                      artifacts; --out becomes the aggregate CSV
+//   --mc-seed N                        base seed for .mc device variation (default 1)
+//   --sweep-waveforms                  also write per-variant CSVs (<out>.vK.csv)
+//   --no-share                         batch mode: rebuild symbolic work per
+//                                      variant (cold baseline, for benchmarking)
+//
+// Decks without .tran dispatch on the next analysis card: .dc (operating-
+// point sweep) then .ac (small-signal frequency sweep).
 //
 // All three engines emit the SAME run_stats.json schema (see
 // wavepipe/trace_export.hpp); --stats prints the same registry, so the text
@@ -51,6 +62,9 @@
 #include <iostream>
 #include <string>
 
+#include "batch/ac.hpp"
+#include "batch/dc_sweep.hpp"
+#include "batch/runner.hpp"
 #include "engine/resilience.hpp"
 #include "netlist/elaborate.hpp"
 #include "reduce/reduce.hpp"
@@ -102,6 +116,11 @@ struct CliOptions {
   std::uint64_t max_newton_total = 0;
   bool watchdog = false;
   bool breakers = true;
+  // Batch mode (src/batch).
+  bool sweep = false;
+  std::uint64_t mc_seed = 1;
+  bool sweep_waveforms = false;
+  bool share_artifacts = true;
 };
 
 int Usage() {
@@ -117,7 +136,8 @@ int Usage() {
                "[--checkpoint file.ckpt] [--checkpoint-steps N] "
                "[--checkpoint-seconds T] [--resume file.ckpt] "
                "[--max-wall S] [--max-steps N] [--max-newton-total N] "
-               "[--watchdog] [--no-breakers]\n"
+               "[--watchdog] [--no-breakers] "
+               "[--sweep] [--mc-seed N] [--sweep-waveforms] [--no-share]\n"
                "exit codes: 0 ok, 1 usage, 2 parse/elaboration error, "
                "3 analysis failure,\n"
                "            4 run incomplete (budget/watchdog/structured abort), "
@@ -245,6 +265,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->watchdog = true;
     } else if (arg == "--no-breakers") {
       out->breakers = false;
+    } else if (arg == "--sweep") {
+      out->sweep = true;
+    } else if (arg == "--mc-seed") {
+      const char* v = next();
+      if (!v) return false;
+      const long long n = std::atoll(v);
+      if (n < 0) return false;
+      out->mc_seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--sweep-waveforms") {
+      out->sweep_waveforms = true;
+    } else if (arg == "--no-share") {
+      out->share_artifacts = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (out->deck_path.empty()) {
@@ -256,10 +288,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
   return !out->deck_path.empty();
 }
 
-void WriteCsv(const engine::Trace& trace, const std::string& path) {
+/// `axis` names the first column; `wrap_v` wraps probe names as "v(name)"
+/// (transient convention — dc/ac traces carry self-describing names).
+void WriteTraceCsv(const engine::Trace& trace, const std::string& path,
+                   const std::string& axis, bool wrap_v) {
   util::Table table([&] {
-    std::vector<std::string> header{"time"};
-    for (const auto& name : trace.probes().names) header.push_back("v(" + name + ")");
+    std::vector<std::string> header{axis};
+    for (const auto& name : trace.probes().names) {
+      header.push_back(wrap_v ? "v(" + name + ")" : name);
+    }
     return header;
   }());
   for (std::size_t i = 0; i < trace.num_samples(); ++i) {
@@ -274,6 +311,10 @@ void WriteCsv(const engine::Trace& trace, const std::string& path) {
               trace.probes().size(), path.c_str());
 }
 
+void WriteCsv(const engine::Trace& trace, const std::string& path) {
+  WriteTraceCsv(trace, path, "time", /*wrap_v=*/true);
+}
+
 /// Prints the registry — the SAME one run_stats.json serializes, so the text
 /// and JSON stats views share one source and cannot drift.
 void PrintCounters(const util::telemetry::CounterRegistry& registry) {
@@ -285,6 +326,197 @@ void PrintCounters(const util::telemetry::CounterRegistry& registry) {
       std::printf("  %-42s %.6g\n", counter.name.c_str(), counter.value);
     }
   }
+}
+
+/// Hex form of a waveform hash — the aggregate CSV's bit-identity column.
+std::string HashHex(std::uint64_t hash) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+/// Batch mode (--sweep): expand the deck's grid, run every variant on the
+/// pool with shared symbolic artifacts, and write the aggregate CSV whose
+/// bytes are the determinism contract CI diffs across pool sizes.
+int RunBatchMode(const CliOptions& cli) {
+  netlist::ParsedNetlist parsed;
+  batch::BatchOptions options;
+  options.threads = cli.threads;
+  options.mc_seed = cli.mc_seed;
+  options.share_artifacts = cli.share_artifacts;
+  try {
+    parsed = netlist::ParseNetlistFile(cli.deck_path);
+    // The prototype's .options seed the per-variant SimOptions; CLI
+    // acceleration flags overlay them, exactly like the single-run path.
+    options.sim = netlist::Elaborate(batch::ApplyParamDefaults(parsed)).sim_options;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "wavespice: %s\n", e.what());
+    return 2;
+  }
+  options.sim.device_bypass = cli.bypass;
+  options.sim.bypass_vtol = cli.bypass_vtol;
+  options.sim.chord_newton = cli.chord;
+  options.sim.partition_pieces = cli.partition;
+
+  try {
+    const batch::BatchResult result = batch::RunBatch(parsed, options);
+    const batch::BatchStats& stats = result.stats;
+    std::printf("batch: %llu variants (%llu step axes x %llu mc samples), "
+                "%llu ok, %llu failed, %d threads, wall %.3f s\n",
+                static_cast<unsigned long long>(stats.variants_total),
+                static_cast<unsigned long long>(stats.step_axes),
+                static_cast<unsigned long long>(
+                    stats.mc_samples > 0 ? stats.mc_samples : 1),
+                static_cast<unsigned long long>(stats.variants_ok),
+                static_cast<unsigned long long>(stats.variants_failed),
+                cli.threads, stats.wall_seconds);
+    if (result.artifacts.built) {
+      std::printf("shared artifacts: dim %d, ordering %llu hits / %llu misses, "
+                  "build %.3f s\n",
+                  result.artifacts.dimension,
+                  static_cast<unsigned long long>(stats.ordering_hits),
+                  static_cast<unsigned long long>(stats.ordering_misses),
+                  stats.artifacts_build_seconds);
+    }
+    for (const auto& v : result.variants) {
+      if (!v.ok) {
+        std::fprintf(stderr, "wavespice: variant %d failed: %s\n", v.index,
+                     v.error.c_str());
+      }
+    }
+
+    if (!cli.csv_out.empty()) {
+      util::Table table([&] {
+        std::vector<std::string> header{"variant"};
+        for (const auto& axis : result.plan.axis_names) header.push_back(axis);
+        header.insert(header.end(), {"mc", "seed", "status", "analysis", "steps",
+                                     "newton", "points", "waveform_hash",
+                                     "error"});
+        return header;
+      }());
+      for (const auto& v : result.variants) {
+        std::vector<std::string> row{std::to_string(v.index)};
+        for (const auto& [name, value] : v.spec.step_values) {
+          (void)name;
+          row.push_back(util::FormatDouble(value, 9));
+        }
+        row.push_back(std::to_string(v.spec.mc_index));
+        row.push_back(std::to_string(v.spec.seed));
+        row.push_back(v.ok ? "ok" : "failed");
+        row.push_back(v.analysis.empty() ? "-" : v.analysis);
+        row.push_back(std::to_string(v.steps_accepted));
+        row.push_back(std::to_string(v.newton_iterations));
+        row.push_back(std::to_string(v.points));
+        row.push_back(v.ok ? HashHex(v.waveform_hash) : "-");
+        row.push_back(v.error);
+        table.AddRow(std::move(row));
+      }
+      table.WriteCsv(cli.csv_out);
+      std::printf("wrote %zu variant rows to %s\n", result.variants.size(),
+                  cli.csv_out.c_str());
+      if (cli.sweep_waveforms) {
+        std::string stem = cli.csv_out;
+        if (stem.size() > 4 && stem.substr(stem.size() - 4) == ".csv") {
+          stem.resize(stem.size() - 4);
+        }
+        for (const auto& v : result.variants) {
+          if (!v.ok) continue;
+          const std::string axis = v.analysis == "tran"  ? "time"
+                                   : v.analysis == "dc"  ? "sweep"
+                                                         : "freq";
+          WriteTraceCsv(v.trace, stem + ".v" + std::to_string(v.index) + ".csv",
+                        axis, v.analysis == "tran");
+        }
+      }
+    }
+
+    pipeline::RunCounterInputs inputs;
+    inputs.batch = stats;
+    const util::telemetry::CounterRegistry registry =
+        pipeline::BuildRunCounters(inputs);
+    if (cli.stats) PrintCounters(registry);
+    if (!cli.stats_json.empty()) {
+      pipeline::RunInfo info;
+      info.engine = "batch";
+      info.deck = cli.deck_path;
+      info.threads = cli.threads;
+      info.dcop_strategy = "-";
+      info.completed = stats.variants_failed == 0;
+      if (!info.completed) info.abort_reason = "variant failures";
+      pipeline::WriteTextFile(cli.stats_json, pipeline::RunStatsJson(info, registry));
+      std::printf("wrote run stats (%zu counters) to %s\n", registry.size(),
+                  cli.stats_json.c_str());
+    }
+    if (stats.variants_failed > 0) return 4;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "wavespice: analysis failed: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}
+
+/// Single-run path for .dc / .ac decks (no .tran, no --sweep).
+int RunSingleSweepAnalysis(const CliOptions& cli,
+                           netlist::ElaboratedCircuit& elaborated) {
+  try {
+    const engine::MnaStructure mna(*elaborated.circuit);
+    engine::SimOptions sim = elaborated.sim_options;
+    sim.device_bypass = cli.bypass;
+    sim.bypass_vtol = cli.bypass_vtol;
+    sim.chord_newton = cli.chord;
+    sim.partition_pieces = cli.partition;
+
+    engine::Trace trace;
+    std::string engine_name, axis;
+    if (elaborated.dc.present) {
+      const auto result = batch::RunDcSweep(*elaborated.circuit, mna, elaborated.dc,
+                                            elaborated.probes, sim);
+      std::printf("dc sweep of %s: %llu points, %llu Newton iterations\n",
+                  elaborated.dc.source.c_str(),
+                  static_cast<unsigned long long>(result.points),
+                  static_cast<unsigned long long>(result.newton_iterations));
+      trace = result.trace;
+      engine_name = "dc-sweep";
+      axis = "sweep";
+    } else {
+      const auto result = batch::RunAcAnalysis(*elaborated.circuit, mna, elaborated.ac,
+                                               elaborated.probes, sim);
+      std::printf("ac: %llu frequencies, dcop %llu Newton iterations%s\n",
+                  static_cast<unsigned long long>(result.points),
+                  static_cast<unsigned long long>(result.dcop_iterations),
+                  result.ordering_injected ? ", 2n ordering inherited" : "");
+      trace = result.trace;
+      engine_name = "ac";
+      axis = "freq";
+    }
+
+    pipeline::RunCounterInputs inputs;
+    const util::telemetry::CounterRegistry registry =
+        pipeline::BuildRunCounters(inputs);
+    if (cli.stats) PrintCounters(registry);
+    if (!cli.stats_json.empty()) {
+      pipeline::RunInfo info;
+      info.engine = engine_name;
+      info.deck = elaborated.title.empty() ? cli.deck_path : elaborated.title;
+      info.threads = 1;
+      info.dcop_strategy = "-";
+      pipeline::WriteTextFile(cli.stats_json, pipeline::RunStatsJson(info, registry));
+      std::printf("wrote run stats (%zu counters) to %s\n", registry.size(),
+                  cli.stats_json.c_str());
+    }
+    if (cli.chart && trace.probes().size() > 0) {
+      util::AsciiChart chart(72, 14);
+      for (std::size_t p = 0; p < trace.probes().size() && p < 4; ++p) {
+        chart.AddSeries(trace.probes().names[p], trace.Series(p));
+      }
+      std::printf("%s", chart.ToString().c_str());
+    }
+    if (!cli.csv_out.empty()) WriteTraceCsv(trace, cli.csv_out, axis, false);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "wavespice: analysis failed: %s\n", e.what());
+    return 3;
+  }
+  return 0;
 }
 
 /// What every engine variant hands back to the shared output stages.
@@ -304,6 +536,8 @@ int main(int argc, char** argv) {
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) return Usage();
 
+  if (cli.sweep) return RunBatchMode(cli);
+
   netlist::ElaboratedCircuit elaborated;
   try {
     elaborated = netlist::LoadDeckFile(cli.deck_path);
@@ -312,7 +546,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!elaborated.has_tran) {
-    std::fprintf(stderr, "wavespice: deck has no .tran card\n");
+    if (elaborated.dc.present || elaborated.ac.present) {
+      return RunSingleSweepAnalysis(cli, elaborated);
+    }
+    std::fprintf(stderr, "wavespice: deck has no analysis card (.tran/.dc/.ac)\n");
     return 2;
   }
   std::printf("%s: %d unknowns, %zu devices, tran %g..%g s\n",
